@@ -1,0 +1,44 @@
+// A1 — §2.2.4 ablation: the three asynchronous-message handling schemes
+// the paper considered (periodic timer, polling thread, NIC interrupt via
+// the firmware mod). The paper adopted interrupts after finding the
+// polling thread "extremely CPU intensive" and the timer too slow to
+// bound response time. This bench shows that trade-off on the lock
+// microbenchmark (request-latency bound) and on Jacobi (compute bound).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "micro/micro.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+  using fastgm::AsyncScheme;
+
+  struct Scheme {
+    const char* name;
+    AsyncScheme scheme;
+  };
+  const Scheme schemes[] = {
+      {"interrupt (adopted)", AsyncScheme::Interrupt},
+      {"timer 1ms", AsyncScheme::Timer},
+      {"polling thread", AsyncScheme::PollingThread},
+  };
+
+  apps::JacobiParams jacobi{512, 512, 10};
+
+  Table t({"scheme", "lock indirect (us)", "barrier(8) (us)", "Jacobi-8 (s)"});
+  for (const auto& s : schemes) {
+    auto cfg = bench::make_config(8, SubstrateKind::FastGm);
+    cfg.fastgm.async_scheme = s.scheme;
+    const double lock = micro::lock_us(cfg, /*indirect=*/true);
+    const double barrier = micro::barrier_us(cfg);
+    const double jac = bench::run_app_seconds(
+        cfg, [&](tmk::Tmk& t_) { return apps::jacobi(t_, jacobi); });
+    t.add_row({s.name, Table::num(lock, 1), Table::num(barrier, 1),
+               Table::num(jac, 3)});
+  }
+
+  std::printf("=== A1 (paper sec 2.2.4): async handling schemes ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// A2 — §2.2.2 ablation: full pre-posting (sizes 4..15) vs the rendezvous
+// variant that drops sizes >= 13 and pins memory on demand for messages
+// over 8K. The paper's math: full pre-posting costs ~64K*(n-1)+64K of
+// pinned memory per node (~16 MB at 256 nodes); rendezvous brings it to
+// ~6 MB but "increases the communication overhead". We show both the
+// pinned-memory model for growing clusters and the measured performance
+// cost on the large-message paths (Diff-large, 3D FFT).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "micro/micro.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  // Pinned receive-pool bytes per node, from the paper's formulas.
+  Table mem({"nodes", "full prepost (MB)", "rendezvous (MB)"});
+  for (int n : {16, 64, 128, 256}) {
+    auto pool_bytes = [&](int max_size) {
+      std::size_t per_peer = 0;
+      for (int s = 5; s <= max_size; ++s) per_peer += 1u << s;
+      per_peer += 2 * 16;  // o=2 size-4 buffers
+      std::size_t sync = 0;
+      for (int s = 4; s <= max_size; ++s) sync += 1u << s;
+      return static_cast<double>(per_peer) * (n - 1) +
+             static_cast<double>(sync);
+    };
+    mem.add_row({std::to_string(n),
+                 Table::num(pool_bytes(15) / 1048576.0, 2),
+                 Table::num(pool_bytes(12) / 1048576.0, 2)});
+  }
+  std::printf("=== A2 (paper sec 2.2.2): pinned memory model ===\n%s\n",
+              mem.to_string().c_str());
+
+  apps::FftParams fft{32, 2};
+  Table t({"strategy", "Diff large (us/page)", "3Dfft-8 (s)",
+           "pinned @8 nodes (KB)"});
+  for (bool rendezvous : {false, true}) {
+    auto cfg = bench::make_config(8, SubstrateKind::FastGm);
+    cfg.fastgm.rendezvous_large = rendezvous;
+    const double diff = micro::diff_us(cfg, /*large=*/true);
+    cluster::Cluster probe(cfg);
+    const auto pinned =
+        probe.run([](cluster::NodeEnv&) {}).pinned_bytes_node0;
+    const double fftsec = bench::run_app_seconds(
+        cfg, [&](tmk::Tmk& t_) { return apps::fft3d(t_, fft); });
+    t.add_row({rendezvous ? "rendezvous >8K" : "full prepost",
+               Table::num(diff, 1), Table::num(fftsec, 3),
+               Table::num(static_cast<double>(pinned) / 1024.0, 0)});
+  }
+  std::printf("=== A2: measured cost of the rendezvous variant ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

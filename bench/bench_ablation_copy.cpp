@@ -1,0 +1,38 @@
+// A4 — §2.2.3 ablation: the receive-side response copy. The paper accepts
+// one extra copy (registered buffer -> TreadMarks structures) to avoid
+// modifying TreadMarks; the rejected alternative processes responses in
+// place. zero_copy_responses models that alternative: same protocol, no
+// copy charge on the response path.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "micro/micro.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  apps::FftParams fft{32, 2};
+  apps::JacobiParams jacobi{512, 512, 10};
+
+  Table t({"response handling", "Page (us)", "Diff large (us)", "3Dfft-8 (s)",
+           "Jacobi-8 (s)"});
+  for (bool zero_copy : {false, true}) {
+    auto cfg = bench::make_config(8, SubstrateKind::FastGm);
+    cfg.fastgm.zero_copy_responses = zero_copy;
+    const double page = micro::page_us(cfg);
+    const double diff = micro::diff_us(cfg, /*large=*/true);
+    const double fftsec = bench::run_app_seconds(
+        cfg, [&](tmk::Tmk& t_) { return apps::fft3d(t_, fft); });
+    const double jac = bench::run_app_seconds(
+        cfg, [&](tmk::Tmk& t_) { return apps::jacobi(t_, jacobi); });
+    t.add_row({zero_copy ? "zero-copy (rejected alternative)"
+                         : "copy-out (paper's choice)",
+               Table::num(page, 1), Table::num(diff, 1),
+               Table::num(fftsec, 3), Table::num(jac, 3)});
+  }
+
+  std::printf("=== A4 (paper sec 2.2.3): response copy ablation ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

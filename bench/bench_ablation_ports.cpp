@@ -1,0 +1,69 @@
+// A3 — §2.2.1 ablation: why FAST/GM multiplexes all peers over two ports.
+// GM exposes 8 ports per NIC, one reserved for the mapper: a design that
+// opened one port per peer connection (as a naive TreadMarks port of the
+// UDP code might) runs out at 7 peers; the multiplexed design needs two
+// ports at any cluster size. We demonstrate the port-exhaustion limit on
+// the raw GM layer and the interrupt economy of dedicating the async port.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gm/gm.hpp"
+#include "micro/micro.hpp"
+#include "util/check.hpp"
+
+int main() {
+  using namespace tmkgm;
+
+  // Port exhaustion demo: how many "connections" can a per-pair design
+  // open on one NIC?
+  {
+    sim::Engine engine;
+    int opened = 0;
+    engine.add_node("n0", [&](sim::Node&) {
+      // One NIC; try to open one port per peer in a 16-node cluster.
+      // (GmSystem needs all nodes; a 1-node system suffices to exercise
+      // the per-NIC port table.)
+    });
+    net::Network network(engine, 1, net::testbed_cost_model());
+    gm::GmSystem gm(network);
+    engine.run();
+    auto& nic = gm.nic(0);
+    for (int peer = 0; peer < 15; ++peer) {
+      try {
+        // In the sim, open_port charges nothing, so calling outside node
+        // context is fine for this capacity probe.
+        nic.open_port(1 + peer);
+        ++opened;
+      } catch (const CheckError&) {
+        break;
+      }
+    }
+    Table t({"design", "ports available", "max peers", "scales to 256?"});
+    t.add_row({"per-pair ports", std::to_string(opened),
+               std::to_string(opened), "no"});
+    t.add_row({"2 multiplexed ports (FAST/GM)", "2", "unbounded", "yes"});
+    std::printf("=== A3 (paper sec 2.2.1): GM port budget ===\n%s\n",
+                t.to_string().c_str());
+  }
+
+  // Interrupt economy: the request/reply split means replies never pay the
+  // interrupt. Compare against a single-port design approximated by
+  // enabling interrupts for *all* traffic (responses included) — modeled
+  // by the timer=0-like cost of taking gm_interrupt per reply, i.e. we
+  // simply measure how much of the lock RTT the interrupt represents.
+  {
+    const auto cost = net::testbed_cost_model();
+    auto cfg = bench::make_config(2, cluster::SubstrateKind::FastGm);
+    const double direct = micro::lock_us(cfg, false);
+    Table t({"metric", "us"});
+    t.add_row({"lock direct (request port interrupts only)",
+               Table::num(direct, 2)});
+    t.add_row({"interrupt cost per message (model)",
+               Table::num(to_us(cost.gm_interrupt), 2)});
+    t.add_row({"extra RTT if replies also interrupted (est.)",
+               Table::num(to_us(2 * cost.gm_interrupt), 2)});
+    std::printf("=== A3: interrupt economy of the two-port split ===\n%s\n",
+                t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the benchmark harnesses. Every bench prints
+// paper-style rows in virtual time; EXPERIMENTS.md records these against
+// the paper's (partially OCR-mangled) numbers.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "cluster/cluster.hpp"
+#include "util/table.hpp"
+
+namespace tmkgm::bench {
+
+inline cluster::ClusterConfig make_config(int n_procs,
+                                          cluster::SubstrateKind kind,
+                                          std::size_t arena_bytes = 160u << 20) {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = n_procs;
+  cfg.kind = kind;
+  cfg.tmk.arena_bytes = arena_bytes;
+  cfg.event_limit = 4'000'000'000ULL;
+  return cfg;
+}
+
+/// Runs one app under one configuration; returns the virtual time of the
+/// timed parallel phase (max over procs), in seconds, validating the
+/// checksum against `expected` when provided.
+template <typename AppFn>
+double run_app_seconds(const cluster::ClusterConfig& cfg, AppFn&& app,
+                       const double* expected_checksum = nullptr) {
+  cluster::Cluster c(cfg);
+  double checksum = 0.0;
+  SimTime elapsed = 0;
+  c.run_tmk([&](tmk::Tmk& tmk, cluster::NodeEnv& env) {
+    const apps::AppResult r = app(tmk);
+    if (env.id == 0) checksum = r.checksum;
+    elapsed = std::max(elapsed, r.elapsed);
+  });
+  if (expected_checksum != nullptr) {
+    const double diff = checksum - *expected_checksum;
+    if (diff > 1e-6 || diff < -1e-6) {
+      std::fprintf(stderr,
+                   "WARNING: checksum mismatch (%.9g vs expected %.9g)\n",
+                   checksum, *expected_checksum);
+    }
+  }
+  return to_s(elapsed);
+}
+
+inline const char* kind_name(cluster::SubstrateKind kind) {
+  return cluster::to_string(kind);
+}
+
+}  // namespace tmkgm::bench

@@ -1,0 +1,63 @@
+// Host-side performance of the simulator itself (google-benchmark). All
+// paper results are virtual-time; this bench guards the wall-clock cost of
+// producing them (event throughput, node handoffs, protocol rounds).
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "tmk/shared_array.hpp"
+
+namespace {
+
+using namespace tmkgm;
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      e.after(i, [] {});
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(10000);
+
+void BM_NodeHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    e.add_node("n", [&](sim::Node& n) {
+      for (int i = 0; i < 1000; ++i) n.compute(10);
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NodeHandoff);
+
+void BM_TmkLockRound(benchmark::State& state) {
+  for (auto _ : state) {
+    cluster::ClusterConfig cfg;
+    cfg.n_procs = 4;
+    cfg.tmk.arena_bytes = 1u << 20;
+    cluster::Cluster c(cfg);
+    c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv&) {
+      auto arr = tmk::SharedArray<std::int32_t>::alloc(tmk, 16);
+      tmk.barrier(0);
+      for (int r = 0; r < 10; ++r) {
+        tmk.lock_acquire(1);
+        arr.put(0, arr.get(0) + 1);
+        tmk.lock_release(1);
+      }
+      tmk.barrier(1);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_TmkLockRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// X1 — extended workload suite (beyond the paper): IS, Gauss and Water on
+// 16 nodes across all three transports. These patterns (histogram
+// all-to-all, pivot-row broadcast, migratory lock accumulation) complete
+// the communication-pattern coverage the paper's four apps start.
+#include <cstdio>
+
+#include "apps/extended.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  apps::IsParams is;
+  is.keys_per_proc = 8192;
+  is.buckets = 1024;
+  is.iters = 5;
+  apps::GaussParams gauss;
+  gauss.n = 256;
+  apps::WaterParams water;
+  water.molecules = 288;
+  water.iters = 3;
+
+  const SubstrateKind kinds[] = {SubstrateKind::UdpGm, SubstrateKind::FastGm,
+                                 SubstrateKind::FastIb};
+
+  Table t({"app (16 nodes)", "UDP/GM (s)", "FAST/GM (s)", "FAST/IB (s)",
+           "FAST/GM vs UDP"});
+  auto row = [&](const char* name, auto run) {
+    double v[3];
+    int i = 0;
+    for (auto kind : kinds) {
+      v[i++] = bench::run_app_seconds(bench::make_config(16, kind), run);
+    }
+    t.add_row({name, Table::num(v[0], 3), Table::num(v[1], 3),
+               Table::num(v[2], 3), Table::num(v[0] / v[1], 2)});
+  };
+  apps::BarnesParams barnes;
+  barnes.bodies = 512;
+  barnes.steps = 4;
+  row("IS", [&](tmk::Tmk& t_) { return apps::is_sort(t_, is); });
+  row("Barnes", [&](tmk::Tmk& t_) { return apps::barnes(t_, barnes); });
+  row("Gauss", [&](tmk::Tmk& t_) { return apps::gauss(t_, gauss); });
+  row("Water", [&](tmk::Tmk& t_) { return apps::water(t_, water); });
+
+  std::printf("=== X1 (extension): extended workloads at 16 nodes ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

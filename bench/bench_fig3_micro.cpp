@@ -1,0 +1,56 @@
+// E2 — Figure 3 of the paper: the four TreadMarks microbenchmarks
+// (Barrier on 4/8/16 nodes, Lock direct/indirect, Page, Diff small/large)
+// on UDP/GM vs FAST/GM.
+//
+// Paper anchors (legible through the OCR): FAST/GM wins everywhere;
+// Barrier improves by ~2.5x, Page by ~6.2x; the lock and diff factors are
+// mangled but lie between those.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "micro/micro.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  Table t({"microbenchmark", "UDP/GM (us)", "FAST/GM (us)", "factor"});
+
+  auto row = [&](const std::string& name, double udp, double fast) {
+    t.add_row({name, Table::num(udp, 1), Table::num(fast, 1),
+               Table::num(udp / fast, 2)});
+  };
+
+  for (int n : {4, 8, 16}) {
+    const double udp =
+        micro::barrier_us(bench::make_config(n, SubstrateKind::UdpGm));
+    const double fast =
+        micro::barrier_us(bench::make_config(n, SubstrateKind::FastGm));
+    row("Barrier(" + std::to_string(n) + ")", udp, fast);
+  }
+  for (bool indirect : {false, true}) {
+    const double udp = micro::lock_us(
+        bench::make_config(2, SubstrateKind::UdpGm), indirect);
+    const double fast = micro::lock_us(
+        bench::make_config(2, SubstrateKind::FastGm), indirect);
+    row(indirect ? "Lock(indirect)" : "Lock(direct)", udp, fast);
+  }
+  {
+    const double udp =
+        micro::page_us(bench::make_config(2, SubstrateKind::UdpGm));
+    const double fast =
+        micro::page_us(bench::make_config(2, SubstrateKind::FastGm));
+    row("Page", udp, fast);
+  }
+  for (bool large : {false, true}) {
+    const double udp =
+        micro::diff_us(bench::make_config(2, SubstrateKind::UdpGm), large);
+    const double fast =
+        micro::diff_us(bench::make_config(2, SubstrateKind::FastGm), large);
+    row(large ? "Diff(large)" : "Diff(small)", udp, fast);
+  }
+
+  std::printf("=== E2 (paper Figure 3): microbenchmarks ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

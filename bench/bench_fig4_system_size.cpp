@@ -1,0 +1,53 @@
+// E3 — Figure 4 of the paper: execution time of Jacobi, SOR, 3D FFT and
+// TSP on 4, 8 and 16 nodes, UDP/GM vs FAST/GM, plus parallel speedups.
+//
+// Paper anchors (legible): at 16 nodes FAST/GM beats UDP/GM by ~1.x on
+// Jacobi (compute bound), ~6 on SOR (lock bound), ~6.3 on 3D FFT (the
+// abstract's headline factor) and ~1.8 on TSP; UDP/GM shows an outright
+// slowdown from 8 to 16 nodes for 3D FFT; FAST/GM's speedups keep rising
+// (e.g. SOR 2.96 -> 7.4 from 4 to 16 nodes).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  apps::JacobiParams jacobi{2048, 2048, 20};
+  apps::SorParams sor{1000, 256, 10, 1.5};
+  apps::TspParams tsp{16, 2003, 3};
+  apps::FftParams fft{64, 2};
+
+  struct AppRow {
+    const char* name;
+    std::function<apps::AppResult(tmk::Tmk&)> run;
+  };
+  std::vector<AppRow> app_rows;
+  app_rows.push_back({"Jacobi", [&](tmk::Tmk& t) { return apps::jacobi(t, jacobi); }});
+  app_rows.push_back({"SOR", [&](tmk::Tmk& t) { return apps::sor(t, sor); }});
+  app_rows.push_back({"3Dfft", [&](tmk::Tmk& t) { return apps::fft3d(t, fft); }});
+  app_rows.push_back({"TSP", [&](tmk::Tmk& t) { return apps::tsp(t, tsp); }});
+
+  Table t({"app", "nodes", "UDP/GM (s)", "FAST/GM (s)", "factor",
+           "speedup UDP", "speedup FAST"});
+
+  for (auto& app : app_rows) {
+    // 1-process baseline (substrate-independent: no communication).
+    const double t1 = bench::run_app_seconds(
+        bench::make_config(1, SubstrateKind::FastGm), app.run);
+    for (int n : {4, 8, 16}) {
+      const double udp = bench::run_app_seconds(
+          bench::make_config(n, SubstrateKind::UdpGm), app.run);
+      const double fast = bench::run_app_seconds(
+          bench::make_config(n, SubstrateKind::FastGm), app.run);
+      t.add_row({app.name, std::to_string(n), Table::num(udp, 3),
+                 Table::num(fast, 3), Table::num(udp / fast, 2),
+                 Table::num(t1 / udp, 2), Table::num(t1 / fast, 2)});
+    }
+  }
+
+  std::printf("=== E3 (paper Figure 4): system-size scaling ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

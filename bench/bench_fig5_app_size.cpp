@@ -1,0 +1,71 @@
+// E4 — Table 1 + Figure 5 of the paper: execution time on 16 nodes (and 1
+// process) as the problem size grows, UDP/GM vs FAST/GM.
+//
+// Paper anchors (legible): at the largest sizes FAST/GM improves on UDP/GM
+// by ~4.34 (3D FFT), ~1.54 (Jacobi), ~5.5 (SOR), ~1.84 (TSP), and the
+// UDP/GM curve pulls away from FAST/GM as the size grows (most prominent
+// for 3D FFT). The exact Table 1 sizes are OCR-mangled; we use four
+// escalating sizes per app of the same character.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  // Our stand-in for the paper's Table 1.
+  const std::size_t jacobi_sizes[] = {512, 1024, 1536, 2048};
+  const std::size_t sor_cols[] = {256, 512, 1024, 2048};
+  const int tsp_cities[] = {13, 14, 15, 16};
+  const std::size_t fft_sizes[] = {16, 32, 64, 128};
+
+  Table t1({"application", "size 1", "size 2", "size 3", "size 4"});
+  t1.add_row({"Jacobi (ZxZ)", "512", "1024", "1536", "2048"});
+  t1.add_row({"SOR (1000xZ)", "256", "512", "1024", "2048"});
+  t1.add_row({"TSP (cities)", "13", "14", "15", "16"});
+  t1.add_row({"3Dfft (ZxZxZ)", "16", "32", "64", "128"});
+  std::printf("=== Table 1: application sizes ===\n%s\n",
+              t1.to_string().c_str());
+
+  Table t({"app", "size", "UDP-16 (s)", "FAST-16 (s)", "factor",
+           "UDP-1 (s)", "FAST-1 (s)"});
+
+  auto bench_sizes = [&](const char* name, auto make_run) {
+    for (int s = 0; s < 4; ++s) {
+      auto run = make_run(s);
+      const double udp16 = tmkgm::bench::run_app_seconds(
+          tmkgm::bench::make_config(16, SubstrateKind::UdpGm), run);
+      const double fast16 = tmkgm::bench::run_app_seconds(
+          tmkgm::bench::make_config(16, SubstrateKind::FastGm), run);
+      const double udp1 = tmkgm::bench::run_app_seconds(
+          tmkgm::bench::make_config(1, SubstrateKind::UdpGm), run);
+      const double fast1 = tmkgm::bench::run_app_seconds(
+          tmkgm::bench::make_config(1, SubstrateKind::FastGm), run);
+      t.add_row({name, std::to_string(s + 1), Table::num(udp16, 3),
+                 Table::num(fast16, 3), Table::num(udp16 / fast16, 2),
+                 Table::num(udp1, 3), Table::num(fast1, 3)});
+    }
+  };
+
+  bench_sizes("Jacobi", [&](int s) {
+    apps::JacobiParams p{jacobi_sizes[s], jacobi_sizes[s], 10};
+    return [p](tmk::Tmk& t_) { return apps::jacobi(t_, p); };
+  });
+  bench_sizes("SOR", [&](int s) {
+    apps::SorParams p{1000, sor_cols[s], 10, 1.5};
+    return [p](tmk::Tmk& t_) { return apps::sor(t_, p); };
+  });
+  bench_sizes("TSP", [&](int s) {
+    apps::TspParams p{tsp_cities[s], 2003, 3};
+    return [p](tmk::Tmk& t_) { return apps::tsp(t_, p); };
+  });
+  bench_sizes("3Dfft", [&](int s) {
+    apps::FftParams p{fft_sizes[s], 2};
+    return [p](tmk::Tmk& t_) { return apps::fft3d(t_, p); };
+  });
+
+  std::printf("=== E4 (paper Figure 5): application-size scaling ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// F3 — the paper's closing future-work direction, implemented: "Currently
+// InfiniBand connected clusters offer very high bandwidth ... and low
+// latency ... We will be exploring the design issues for implementing SDSM
+// over the InfiniBand architecture."
+//
+// FAST/IB (src/ib) re-targets the substrate at verbs: per-peer RC queue
+// pairs (no port scarcity), completion-channel interrupts (no firmware
+// mod), and one-sided RDMA-write responses into per-peer reply slots (no
+// receive matching or pre-post accounting at all). This bench contrasts
+// all three transports end to end.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "micro/micro.hpp"
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  const SubstrateKind kinds[] = {SubstrateKind::UdpGm, SubstrateKind::FastGm,
+                                 SubstrateKind::FastIb};
+
+  // Substrate-level latency/bandwidth.
+  {
+    Table t({"substrate", "latency (us)", "bandwidth (MB/s)"});
+    for (auto kind : kinds) {
+      const int window = kind == SubstrateKind::UdpGm    ? 1
+                         : kind == SubstrateKind::FastIb ? 4
+                                                         : 8;
+      const auto r = micro::substrate_latbw(bench::make_config(2, kind), window);
+      t.add_row({bench::kind_name(kind), Table::num(r.latency_us, 2),
+                 Table::num(r.bandwidth_mbps, 1)});
+    }
+    std::printf("=== F3: substrate latency / bandwidth ===\n%s\n",
+                t.to_string().c_str());
+  }
+
+  // Microbenchmarks across all three transports.
+  {
+    Table t({"microbenchmark", "UDP/GM (us)", "FAST/GM (us)", "FAST/IB (us)",
+             "IB vs GM"});
+    auto row = [&](const std::string& name, double u, double g, double i) {
+      t.add_row({name, Table::num(u, 1), Table::num(g, 1), Table::num(i, 1),
+                 Table::num(g / i, 2)});
+    };
+    row("Barrier(16)",
+        micro::barrier_us(bench::make_config(16, SubstrateKind::UdpGm)),
+        micro::barrier_us(bench::make_config(16, SubstrateKind::FastGm)),
+        micro::barrier_us(bench::make_config(16, SubstrateKind::FastIb)));
+    row("Lock(indirect)",
+        micro::lock_us(bench::make_config(2, SubstrateKind::UdpGm), true),
+        micro::lock_us(bench::make_config(2, SubstrateKind::FastGm), true),
+        micro::lock_us(bench::make_config(2, SubstrateKind::FastIb), true));
+    row("Page", micro::page_us(bench::make_config(2, SubstrateKind::UdpGm)),
+        micro::page_us(bench::make_config(2, SubstrateKind::FastGm)),
+        micro::page_us(bench::make_config(2, SubstrateKind::FastIb)));
+    row("Diff(large)",
+        micro::diff_us(bench::make_config(2, SubstrateKind::UdpGm), true),
+        micro::diff_us(bench::make_config(2, SubstrateKind::FastGm), true),
+        micro::diff_us(bench::make_config(2, SubstrateKind::FastIb), true));
+    std::printf("=== F3: microbenchmarks on all transports ===\n%s\n",
+                t.to_string().c_str());
+  }
+
+  // Applications at 16 nodes.
+  {
+    apps::JacobiParams jacobi{2048, 2048, 20};
+    apps::FftParams fft{64, 2};
+    apps::SorParams sor{1000, 256, 10, 1.5};
+    Table t({"app (16 nodes)", "UDP/GM (s)", "FAST/GM (s)", "FAST/IB (s)",
+             "IB vs GM"});
+    auto row = [&](const char* name, auto run) {
+      double v[3];
+      int i = 0;
+      for (auto kind : kinds) {
+        v[i++] = bench::run_app_seconds(bench::make_config(16, kind), run);
+      }
+      t.add_row({name, Table::num(v[0], 3), Table::num(v[1], 3),
+                 Table::num(v[2], 3), Table::num(v[1] / v[2], 2)});
+    };
+    row("Jacobi", [&](tmk::Tmk& t_) { return apps::jacobi(t_, jacobi); });
+    row("3Dfft", [&](tmk::Tmk& t_) { return apps::fft3d(t_, fft); });
+    row("SOR", [&](tmk::Tmk& t_) { return apps::sor(t_, sor); });
+    std::printf("=== F3: applications at 16 nodes ===\n%s\n",
+                t.to_string().c_str());
+  }
+  return 0;
+}

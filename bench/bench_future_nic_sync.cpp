@@ -1,0 +1,103 @@
+// F1 — the paper's §5 future work, measured: synchronization primitives
+// pushed down to the NIC vs the TreadMarks host-path equivalents over
+// FAST/GM. The firmware version skips the host interrupt, the SIGIO-style
+// dispatch and the protocol processing at the root; the remaining cost is
+// fabric + LANai occupancy. (TreadMarks' versions also move consistency
+// information, so the delta is an upper bound on the win.)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gm/nic_sync.hpp"
+#include "micro/micro.hpp"
+
+namespace {
+
+using namespace tmkgm;
+
+double nic_barrier_us(int n, int rounds = 20) {
+  sim::Engine engine;
+  gm::GmSystem* gm_sys = nullptr;
+  gm::NicSyncSystem* sync = nullptr;
+  double out = 0;
+  for (int i = 0; i < n; ++i) {
+    engine.add_node("n" + std::to_string(i), [&, i](sim::Node& node) {
+      sync->barrier(i);  // warmup
+      const SimTime t0 = node.now();
+      for (int r = 0; r < rounds; ++r) sync->barrier(i);
+      if (i == 0) out = to_us(node.now() - t0) / rounds;
+    });
+  }
+  net::Network network(engine, n, net::testbed_cost_model());
+  gm::GmSystem gm(network);
+  gm::NicSyncSystem nic_sync(gm);
+  gm_sys = &gm;
+  (void)gm_sys;
+  sync = &nic_sync;
+  engine.run();
+  return out;
+}
+
+double nic_lock_us(int rounds = 20) {
+  sim::Engine engine;
+  gm::NicSyncSystem* sync = nullptr;
+  double out = 0;
+  // Node 1 acquires/releases, then node 0's timed acquire goes to the
+  // root NIC queue — the analogue of the "direct" Lock microbenchmark.
+  engine.add_node("n0", [&](sim::Node& node) {
+    SimTime acc = 0;
+    for (int r = 0; r < rounds; ++r) {
+      sync->barrier(0);
+      const SimTime t0 = node.now();
+      sync->lock_acquire(0, 1);
+      acc += node.now() - t0;
+      sync->lock_release(0, 1);
+      sync->barrier(0);
+    }
+    out = to_us(acc) / rounds;
+  });
+  engine.add_node("n1", [&](sim::Node&) {
+    for (int r = 0; r < rounds; ++r) {
+      sync->lock_acquire(1, 1);
+      sync->lock_release(1, 1);
+      sync->barrier(1);
+      sync->barrier(1);
+    }
+  });
+  net::Network network(engine, 2, net::testbed_cost_model());
+  gm::GmSystem gm(network);
+  gm::NicSyncSystem nic_sync(gm);
+  sync = &nic_sync;
+  engine.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tmkgm;
+  using cluster::SubstrateKind;
+
+  Table t({"primitive", "nodes", "TreadMarks/FAST-GM (us)", "NIC offload (us)",
+           "projected win"});
+  for (int n : {4, 8, 16, 32}) {
+    const double host = micro::barrier_us(bench::make_config(n, SubstrateKind::FastGm));
+    const double nic = nic_barrier_us(n);
+    t.add_row({"barrier", std::to_string(n), Table::num(host, 1),
+               Table::num(nic, 1), Table::num(host / nic, 2)});
+  }
+  {
+    const double host =
+        micro::lock_us(bench::make_config(2, SubstrateKind::FastGm), false);
+    const double nic = nic_lock_us();
+    t.add_row({"lock (direct)", "2", Table::num(host, 1), Table::num(nic, 1),
+               Table::num(host / nic, 2)});
+  }
+  std::printf(
+      "=== F1 (paper sec 5 future work): NIC-offloaded synchronization "
+      "===\n%s\n",
+      t.to_string().c_str());
+  std::printf(
+      "Note: the NIC primitives move no consistency information, so the\n"
+      "win column is the upper bound the paper speculates about.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// E1 — §3.1 of the paper: raw latency and bandwidth of GM, FAST/GM and
+// UDP/GM on the simulated testbed.
+//
+// Paper anchors (legible): GM 1-byte latency 8.99 µs; GM large-message
+// bandwidth in the 235 MB/s class; FAST/GM latency 9.4 µs (the send-buffer
+// copy costs ~0.4 µs); UDP/GM several times slower, with bandwidth the
+// authors could not even measure reliably (we report stop-and-wait
+// throughput, since UDP's at-most-once request dedup forbids pipelining).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "micro/micro.hpp"
+
+int main() {
+  using namespace tmkgm;
+  const auto cost = net::testbed_cost_model();
+
+  Table t({"layer", "latency (us)", "bandwidth (MB/s)", "note"});
+
+  const auto gm = micro::raw_gm_latbw(cost);
+  t.add_row({"GM (raw)", Table::num(gm.latency_us), Table::num(gm.bandwidth_mbps, 1),
+             "paper: 8.99 us / ~235 MB/s"});
+
+  auto fast_cfg = bench::make_config(2, cluster::SubstrateKind::FastGm);
+  const auto fast = micro::substrate_latbw(fast_cfg, /*window=*/8);
+  t.add_row({"FAST/GM", Table::num(fast.latency_us),
+             Table::num(fast.bandwidth_mbps, 1), "paper: 9.4 us"});
+
+  auto udp_cfg = bench::make_config(2, cluster::SubstrateKind::UdpGm);
+  const auto udp = micro::substrate_latbw(udp_cfg, /*window=*/1);
+  t.add_row({"UDP/GM", Table::num(udp.latency_us),
+             Table::num(udp.bandwidth_mbps, 1),
+             "paper: latency mangled; bw unmeasurable"});
+
+  std::printf("=== E1 (paper sec 3.1): latency / bandwidth ===\n%s\n",
+              t.to_string().c_str());
+  std::printf("FAST/GM vs UDP/GM latency factor: %.2f\n",
+              udp.latency_us / fast.latency_us);
+  return 0;
+}

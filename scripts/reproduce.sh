@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the repository, runs the full test suite, then regenerates every
+# paper table/figure plus the ablations and future-work studies, capturing
+# the outputs at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "##### $(basename "$b")" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "Done. See test_output.txt and bench_output.txt."

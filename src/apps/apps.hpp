@@ -1,0 +1,74 @@
+// The four applications of the paper's evaluation (§3.3), taken from the
+// TreadMarks distribution's workload set:
+//
+//   Jacobi — iterative grid relaxation; barriers only, high
+//            computation-to-communication ratio.
+//   SOR    — red/black successive over-relaxation; per the paper's
+//            characterization it synchronizes with locks more than any
+//            other application (pairwise producer/consumer row handoff).
+//   TSP    — branch-and-bound travelling salesman over a lock-protected
+//            central work queue and shared best bound; lock-dominated.
+//   3D FFT — transpose-based FFT; barriers, large message volume per unit
+//            time (the most communication-intensive of the four).
+//
+// Every app computes real values; *_serial() references validate them.
+// Application compute is charged through Tmk::compute_work (≈flops), so
+// virtual execution times reflect the paper's machine, not the host.
+//
+// Each app returns the verification checksum plus `elapsed`, the virtual
+// time of the parallel phase proper (initialization and the checksum sweep
+// are excluded, as in the paper's execution-time graphs).
+#pragma once
+
+#include <cstdint>
+
+#include "tmk/tmk.hpp"
+
+namespace tmkgm::apps {
+
+struct AppResult {
+  double checksum = 0.0;   ///< on proc 0; zero elsewhere
+  SimTime elapsed = 0;     ///< timed parallel phase, this proc
+};
+
+// ---------------------------------------------------------------- Jacobi
+struct JacobiParams {
+  std::size_t rows = 512;
+  std::size_t cols = 512;
+  int iters = 10;
+};
+/// Checksum is bitwise comparable with jacobi_serial on any proc count.
+AppResult jacobi(tmk::Tmk& tmk, const JacobiParams& p);
+double jacobi_serial(const JacobiParams& p);
+
+// ------------------------------------------------------------------- SOR
+struct SorParams {
+  std::size_t rows = 512;
+  std::size_t cols = 512;
+  int iters = 10;
+  double omega = 1.5;
+};
+AppResult sor(tmk::Tmk& tmk, const SorParams& p);
+double sor_serial(const SorParams& p);
+
+// ------------------------------------------------------------------- TSP
+struct TspParams {
+  int cities = 11;
+  std::uint64_t seed = 2003;
+  /// Tour prefixes shorter than this go back on the shared queue.
+  int split_depth = 4;
+};
+/// checksum holds the optimal tour length.
+AppResult tsp(tmk::Tmk& tmk, const TspParams& p);
+std::int64_t tsp_serial(const TspParams& p);
+
+// ---------------------------------------------------------------- 3D FFT
+struct FftParams {
+  std::size_t n = 32;  // N x N x N, power of two
+  int iters = 2;       // forward+inverse per iteration
+};
+/// Checksum after iters round trips matches fft3d_serial bitwise.
+AppResult fft3d(tmk::Tmk& tmk, const FftParams& p);
+double fft3d_serial(const FftParams& p);
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,298 @@
+#include <cmath>
+#include <vector>
+
+#include "apps/extended.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tmkgm::apps {
+
+namespace {
+
+/// Octree node in shared memory. Only the builder writes; after the build
+/// barrier the whole pool is read-shared by every proc.
+struct TreeNode {
+  std::int32_t child[8];  // -1 = empty
+  std::int32_t body = -1;  // leaf payload (-1 for internal nodes)
+  std::int32_t pad = 0;
+  double cx = 0, cy = 0, cz = 0;  // cell center (build) / COM (after pass)
+  double half = 0;                // cell half-width
+  double mass = 0;
+};
+static_assert(std::is_trivially_copyable_v<TreeNode>);
+
+struct Body {
+  double x, y, z;
+  double vx, vy, vz;
+  double ax, ay, az;
+};
+
+constexpr double kTheta = 0.5;
+constexpr double kSoft = 1e-4;
+constexpr double kDt = 1e-3;
+constexpr double kWorkPerInteraction = 24.0;
+
+std::vector<Body> initial_bodies(const BarnesParams& p) {
+  Rng rng(p.seed * 2166136261u);
+  std::vector<Body> bodies(static_cast<std::size_t>(p.bodies));
+  for (auto& b : bodies) {
+    b = {};
+    b.x = rng.next_double();
+    b.y = rng.next_double();
+    b.z = rng.next_double();
+  }
+  return bodies;
+}
+
+/// Sequential octree build + COM pass over a node pool (used identically
+/// by the shared-memory builder and the serial reference).
+class Builder {
+ public:
+  Builder(TreeNode* pool, std::size_t cap) : pool_(pool), cap_(cap) {}
+
+  int build(const std::vector<Body>& bodies) {
+    count_ = 0;
+    const int root = alloc(0.5, 0.5, 0.5, 0.5);
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      insert(root, bodies, static_cast<std::int32_t>(i));
+    }
+    com_pass(root, bodies);
+    return root;
+  }
+
+  std::size_t nodes_used() const { return count_; }
+
+ private:
+  int alloc(double cx, double cy, double cz, double half) {
+    TMKGM_CHECK_MSG(count_ < cap_, "Barnes node pool exhausted");
+    TreeNode& n = pool_[count_];
+    for (auto& c : n.child) c = -1;
+    n.body = -1;
+    n.cx = cx;
+    n.cy = cy;
+    n.cz = cz;
+    n.half = half;
+    n.mass = 0;
+    return static_cast<int>(count_++);
+  }
+
+  int octant(const TreeNode& n, const Body& b) const {
+    return (b.x >= n.cx ? 1 : 0) | (b.y >= n.cy ? 2 : 0) |
+           (b.z >= n.cz ? 4 : 0);
+  }
+
+  void insert(int at, const std::vector<Body>& bodies, std::int32_t bi) {
+    TreeNode* n = &pool_[at];
+    while (true) {
+      if (n->body == -1 && n->mass == 0) {  // empty leaf
+        n->body = bi;
+        n->mass = 1;  // marker; real masses applied in the COM pass
+        return;
+      }
+      if (n->body != -1) {
+        // Leaf split: push the resident body down.
+        const std::int32_t old = n->body;
+        n->body = -1;
+        const int oq = octant(*n, bodies[static_cast<std::size_t>(old)]);
+        if (n->child[oq] == -1) n->child[oq] = child_cell(*n, oq);
+        n = &pool_[at];  // re-establish after potential alloc
+        insert(n->child[oq], bodies, old);
+        n = &pool_[at];
+      }
+      const int q = octant(*n, bodies[static_cast<std::size_t>(bi)]);
+      if (n->child[q] == -1) {
+        n->child[q] = child_cell(*n, q);
+        n = &pool_[at];
+      }
+      const int next = n->child[q];
+      at = next;
+      n = &pool_[at];
+    }
+  }
+
+  int child_cell(const TreeNode& n, int q) {
+    const double h = n.half / 2;
+    return alloc(n.cx + ((q & 1) ? h : -h), n.cy + ((q & 2) ? h : -h),
+                 n.cz + ((q & 4) ? h : -h), h);
+  }
+
+  void com_pass(int at, const std::vector<Body>& bodies) {
+    TreeNode& n = pool_[at];
+    if (n.body != -1) {
+      const Body& b = bodies[static_cast<std::size_t>(n.body)];
+      n.cx = b.x;
+      n.cy = b.y;
+      n.cz = b.z;
+      n.mass = 1.0;
+      return;
+    }
+    double m = 0, x = 0, y = 0, z = 0;
+    for (int q = 0; q < 8; ++q) {
+      if (n.child[q] == -1) continue;
+      com_pass(n.child[q], bodies);
+      const TreeNode& c = pool_[n.child[q]];
+      m += c.mass;
+      x += c.mass * c.cx;
+      y += c.mass * c.cy;
+      z += c.mass * c.cz;
+    }
+    n.mass = m;
+    if (m > 0) {
+      n.cx = x / m;
+      n.cy = y / m;
+      n.cz = z / m;
+    }
+  }
+
+  TreeNode* pool_;
+  std::size_t cap_;
+  std::size_t count_ = 0;
+};
+
+/// Barnes–Hut force on one body; returns the interaction count for the
+/// work charge.
+int tree_force(const TreeNode* pool, int root, Body& b, std::int32_t self) {
+  int interactions = 0;
+  std::vector<int> stack{root};
+  while (!stack.empty()) {
+    const int at = stack.back();
+    stack.pop_back();
+    const TreeNode& n = pool[at];
+    if (n.mass <= 0) continue;
+    const double dx = n.cx - b.x;
+    const double dy = n.cy - b.y;
+    const double dz = n.cz - b.z;
+    const double d2 = dx * dx + dy * dy + dz * dz + kSoft;
+    const bool leaf = n.body != -1;
+    if (leaf || (2 * n.half) * (2 * n.half) < kTheta * kTheta * d2) {
+      if (leaf && n.body == self) continue;
+      const double inv = 1.0 / std::sqrt(d2);
+      const double f = n.mass * inv * inv * inv * 1e-5;
+      b.ax += f * dx;
+      b.ay += f * dy;
+      b.az += f * dz;
+      ++interactions;
+    } else {
+      for (int q = 0; q < 8; ++q) {
+        if (n.child[q] != -1) stack.push_back(n.child[q]);
+      }
+    }
+  }
+  return interactions;
+}
+
+}  // namespace
+
+// Barnes–Hut N-body (the TreadMarks/SPLASH Barnes pattern, simplified):
+// proc 0 rebuilds the octree in shared memory each step (single writer),
+// a barrier publishes it, and every proc traverses the read-shared tree to
+// compute forces for its block of bodies — an irregular, pointer-chasing,
+// read-broadcast structure unlike anything else in the suite. Bodies are
+// block-partitioned; integration is owner-computes.
+AppResult barnes(tmk::Tmk& tmk, const BarnesParams& p) {
+  const int me = tmk.proc_id();
+  const int np = tmk.n_procs();
+  const auto N = static_cast<std::size_t>(p.bodies);
+  const std::size_t pool_cap = 4 * N + 64;
+
+  auto bodies_arr = tmk::SharedArray<Body>::alloc(tmk, N);
+  auto pool_arr = tmk::SharedArray<TreeNode>::alloc(tmk, pool_cap);
+  auto meta = tmk::SharedArray<std::int32_t>::alloc(tmk, 2);  // root, used
+
+  if (me == 0) {
+    const auto init = initial_bodies(p);
+    auto w = bodies_arr.span_rw(0, N);
+    std::copy(init.begin(), init.end(), w.begin());
+  }
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  const std::size_t per = (N + static_cast<std::size_t>(np) - 1) /
+                          static_cast<std::size_t>(np);
+  const std::size_t lo = static_cast<std::size_t>(me) * per;
+  const std::size_t hi = std::min(N, lo + per);
+
+  for (int step = 0; step < p.steps; ++step) {
+    // Proc 0 rebuilds the shared tree from the current body positions.
+    if (me == 0) {
+      std::vector<Body> snapshot(N);
+      {
+        auto ro = bodies_arr.span_ro(0, N);
+        std::copy(ro.begin(), ro.end(), snapshot.begin());
+      }
+      auto pool = pool_arr.span_rw(0, pool_cap);
+      Builder builder(pool.data(), pool_cap);
+      const int root = builder.build(snapshot);
+      meta.put(0, root);
+      meta.put(1, static_cast<std::int32_t>(builder.nodes_used()));
+      tmk.compute_work(static_cast<double>(N) * 60.0);  // build cost
+    }
+    tmk.barrier(1);
+
+    // Everyone traverses the read-shared tree for its bodies.
+    const int root = meta.get(0);
+    const auto used = static_cast<std::size_t>(meta.get(1));
+    auto pool = pool_arr.span_ro(0, used);
+    long interactions = 0;
+    if (lo < hi) {
+      auto mine = bodies_arr.span_rw(lo, hi - lo);
+      for (auto& b : mine) {
+        b.ax = b.ay = b.az = 0;
+        interactions += tree_force(pool.data(), root, b,
+                                   static_cast<std::int32_t>(&b - mine.data() +
+                                                             static_cast<std::ptrdiff_t>(lo)));
+      }
+      // Leapfrog-lite integration, owner-computes.
+      for (auto& b : mine) {
+        b.vx += b.ax * kDt;
+        b.vy += b.ay * kDt;
+        b.vz += b.az * kDt;
+        b.x += b.vx * kDt;
+        b.y += b.vy * kDt;
+        b.z += b.vz * kDt;
+      }
+    }
+    tmk.compute_work(static_cast<double>(interactions) * kWorkPerInteraction +
+                     static_cast<double>(hi - lo) * 12.0);
+    tmk.barrier(2);
+  }
+
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  double checksum = 0.0;  // untimed verification sweep
+  if (me == 0) {
+    auto ro = bodies_arr.span_ro(0, N);
+    for (const auto& b : ro) checksum += b.x + b.y + b.z;
+  }
+  tmk.barrier(3);
+  return {checksum, elapsed};
+}
+
+double barnes_serial(const BarnesParams& p) {
+  const auto N = static_cast<std::size_t>(p.bodies);
+  auto bodies = initial_bodies(p);
+  std::vector<TreeNode> pool(4 * N + 64);
+  for (int step = 0; step < p.steps; ++step) {
+    Builder builder(pool.data(), pool.size());
+    const int root = builder.build(bodies);
+    for (std::size_t i = 0; i < N; ++i) {
+      Body& b = bodies[i];
+      b.ax = b.ay = b.az = 0;
+      tree_force(pool.data(), root, b, static_cast<std::int32_t>(i));
+    }
+    for (auto& b : bodies) {
+      b.vx += b.ax * kDt;
+      b.vy += b.ay * kDt;
+      b.vz += b.az * kDt;
+      b.x += b.vx * kDt;
+      b.y += b.vy * kDt;
+      b.z += b.vz * kDt;
+    }
+  }
+  double checksum = 0.0;
+  for (const auto& b : bodies) checksum += b.x + b.y + b.z;
+  return checksum;
+}
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,68 @@
+// Extended workloads beyond the paper's four — drawn from the wider
+// TreadMarks/NAS circle, exercising protocol patterns the paper's suite
+// does not:
+//
+//   IS     — NAS-style integer sort: per-proc histograms merged through
+//            barriers (all-to-all of private pages, bulk read traffic).
+//   Gauss  — LU factorization: one proc produces the pivot row per step,
+//            everyone else reads it (single-writer broadcast pattern,
+//            many short barrier epochs).
+//   Water  — cutoff molecular dynamics (Water-lite): force contributions
+//            accumulated into per-region shared accumulators under
+//            migratory locks, then an integration phase per step.
+//   Barnes — Barnes–Hut N-body: an octree rebuilt in shared memory each
+//            step and traversed read-only by everyone (irregular,
+//            pointer-chasing, read-broadcast sharing).
+//
+// Same conventions as apps.hpp: real computation, serial references,
+// fixed-point accumulation where cross-proc sum order would otherwise
+// break bitwise comparability.
+#pragma once
+
+#include "apps/apps.hpp"
+
+namespace tmkgm::apps {
+
+// -------------------------------------------------------------------- IS
+struct IsParams {
+  std::size_t keys_per_proc = 4096;
+  int buckets = 512;
+  int iters = 5;
+  std::uint64_t seed = 7;
+};
+/// checksum = sum of sampled key ranks over all iterations.
+AppResult is_sort(tmk::Tmk& tmk, const IsParams& p);
+double is_sort_serial(const IsParams& p, int n_procs);
+
+// ----------------------------------------------------------------- Gauss
+struct GaussParams {
+  std::size_t n = 128;  // matrix dimension
+  std::uint64_t seed = 11;
+};
+/// checksum = sum of |U| diagonal after elimination (bitwise comparable).
+AppResult gauss(tmk::Tmk& tmk, const GaussParams& p);
+double gauss_serial(const GaussParams& p);
+
+// ----------------------------------------------------------------- Water
+struct WaterParams {
+  int molecules = 192;
+  int iters = 3;
+  double cutoff = 0.35;  // fraction of the unit box
+  std::uint64_t seed = 13;
+};
+/// checksum = folded fixed-point positions after the last step.
+AppResult water(tmk::Tmk& tmk, const WaterParams& p);
+double water_serial(const WaterParams& p);
+
+// ---------------------------------------------------------------- Barnes
+struct BarnesParams {
+  int bodies = 256;
+  int steps = 3;
+  std::uint64_t seed = 17;
+};
+/// checksum = folded positions after the last step (bitwise comparable:
+/// the shared tree is rebuilt identically to the serial reference).
+AppResult barnes(tmk::Tmk& tmk, const BarnesParams& p);
+double barnes_serial(const BarnesParams& p);
+
+}  // namespace tmkgm::apps

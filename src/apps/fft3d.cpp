@@ -1,0 +1,246 @@
+#include <cmath>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::apps {
+
+namespace {
+
+struct Cx {
+  double re = 0.0;
+  double im = 0.0;
+};
+
+/// Iterative radix-2 Cooley–Tukey on a contiguous line.
+void fft_line(Cx* a, std::size_t n, bool inverse) {
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Cx wl{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Cx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cx u = a[i + k];
+        const Cx& src = a[i + k + len / 2];
+        const Cx v{src.re * w.re - src.im * w.im,
+                   src.re * w.im + src.im * w.re};
+        a[i + k] = {u.re + v.re, u.im + v.im};
+        a[i + k + len / 2] = {u.re - v.re, u.im - v.im};
+        const Cx nw{w.re * wl.re - w.im * wl.im,
+                    w.re * wl.im + w.im * wl.re};
+        w = nw;
+      }
+    }
+  }
+  if (inverse) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i].re /= static_cast<double>(n);
+      a[i].im /= static_cast<double>(n);
+    }
+  }
+}
+
+/// In-place square transpose of an N x N plane.
+void transpose_plane(Cx* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::swap(p[i * n + j], p[j * n + i]);
+    }
+  }
+}
+
+double fft_work(std::size_t n) {
+  return 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+/// Deterministic initial field.
+Cx init_value(std::size_t x, std::size_t y, std::size_t z) {
+  std::uint64_t v = x * 73856093u ^ y * 19349663u ^ z * 83492791u;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return {static_cast<double>(v & 0xffff) / 65536.0,
+          static_cast<double>((v >> 16) & 0xffff) / 65536.0};
+}
+
+std::pair<std::size_t, std::size_t> block(std::size_t planes, int p, int n) {
+  const std::size_t base = planes / static_cast<std::size_t>(n);
+  const std::size_t extra = planes % static_cast<std::size_t>(n);
+  const auto up = static_cast<std::size_t>(p);
+  const std::size_t first = up * base + std::min(up, extra);
+  return {first, first + base + (up < extra ? 1 : 0)};
+}
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+// Transpose-based 3-D FFT (the TreadMarks 3Dfft workload), laid out so the
+// all-to-all transpose reads CONTIGUOUS slabs (the NAS-FT trick): array A
+// lives z-plane-major and is locally re-ordered to [z][x][y] before the
+// global transpose, so building B's x-planes reads one contiguous
+// slab-chunk per remote plane — each proc moves N^3/P elements per
+// transpose instead of faulting on every page of the volume. Still the
+// most communication-intensive app of the suite (the paper's biggest
+// FAST/GM win), but it scales. Each iteration runs forward + inverse, so
+// the field is stable.
+AppResult fft3d(tmk::Tmk& tmk, const FftParams& p) {
+  const std::size_t N = p.n;
+  TMKGM_CHECK_MSG(is_pow2(N) && N >= 4, "FFT size must be a power of two");
+  const std::size_t plane = N * N;
+  const int me = tmk.proc_id();
+  const int np = tmk.n_procs();
+
+  auto A = tmk::SharedArray<Cx>::alloc(tmk, N * plane);  // [z][...]
+  auto B = tmk::SharedArray<Cx>::alloc(tmk, N * plane);  // [x][...]
+
+  const auto [zf, zl] = block(N, me, np);
+  const auto [xf, xl] = block(N, me, np);
+  const std::size_t xw = xl - xf;
+
+  for (std::size_t z = zf; z < zl; ++z) {
+    auto pl = A.span_rw(z * plane, plane);  // [y][x]
+    for (std::size_t y = 0; y < N; ++y) {
+      for (std::size_t x = 0; x < N; ++x) {
+        pl[y * N + x] = init_value(x, y, z);
+      }
+    }
+  }
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  // Local pass over my z-planes: FFT along x, transpose in-plane to
+  // [x][y], FFT along y. `inverse` runs the mirror order.
+  auto xy_pass = [&](bool inverse) {
+    for (std::size_t z = zf; z < zl; ++z) {
+      auto pl = A.span_rw(z * plane, plane);
+      if (!inverse) {
+        for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, false);
+        transpose_plane(pl.data(), N);  // now [x][y]
+        for (std::size_t x = 0; x < N; ++x) fft_line(&pl[x * N], N, false);
+      } else {
+        for (std::size_t x = 0; x < N; ++x) fft_line(&pl[x * N], N, true);
+        transpose_plane(pl.data(), N);  // back to [y][x]
+        for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, true);
+      }
+      tmk.compute_work(2.0 * static_cast<double>(N) * fft_work(N) +
+                       2.0 * static_cast<double>(plane));
+    }
+  };
+
+  for (int it = 0; it < p.iters; ++it) {
+    xy_pass(false);  // A now [z][x][y]
+    tmk.barrier(1);
+
+    // Global transpose A[z][x][y] -> B[x][z][y]: for my x-slab, each
+    // remote z-plane contributes one contiguous chunk of xw*N elements.
+    for (std::size_t z = 0; z < N; ++z) {
+      auto src = A.span_ro(z * plane + xf * N, xw * N);
+      for (std::size_t x = xf; x < xl; ++x) {
+        auto dst = B.span_rw(x * plane + z * N, N);
+        const Cx* line = &src[(x - xf) * N];
+        std::copy(line, line + N, dst.begin());
+      }
+      tmk.compute_work(static_cast<double>(xw * N) * 2.0);
+    }
+    // FFT along z within my x-planes: transpose [z][y] -> [y][z], FFT the
+    // now-contiguous z-lines, inverse-FFT, transpose back.
+    for (std::size_t x = xf; x < xl; ++x) {
+      auto pl = B.span_rw(x * plane, plane);
+      transpose_plane(pl.data(), N);  // [y][z]
+      for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, false);
+      // ...frequency-domain point here...
+      for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, true);
+      transpose_plane(pl.data(), N);  // back to [z][y]
+      tmk.compute_work(2.0 * static_cast<double>(N) * fft_work(N) +
+                       2.0 * static_cast<double>(plane));
+    }
+    tmk.barrier(2);
+
+    // Transpose back B[x][z][y] -> A[z][x][y]: for my z-slab, each remote
+    // x-plane contributes one contiguous chunk of zw*N elements.
+    for (std::size_t x = 0; x < N; ++x) {
+      auto src = B.span_ro(x * plane + zf * N, (zl - zf) * N);
+      for (std::size_t z = zf; z < zl; ++z) {
+        auto dst = A.span_rw(z * plane + x * N, N);
+        const Cx* line = &src[(z - zf) * N];
+        std::copy(line, line + N, dst.begin());
+      }
+      tmk.compute_work(static_cast<double>((zl - zf) * N) * 2.0);
+    }
+    xy_pass(true);  // A back to [z][y][x]
+    tmk.barrier(3);
+  }
+
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  double checksum = 0.0;  // untimed verification sweep
+  if (me == 0) {
+    for (std::size_t i = 0; i < N * plane; ++i) {
+      const auto v = A.get(i);
+      checksum += v.re + v.im;
+    }
+  }
+  tmk.barrier(4);
+  return {checksum, elapsed};
+}
+
+double fft3d_serial(const FftParams& p) {
+  const std::size_t N = p.n;
+  TMKGM_CHECK(is_pow2(N) && N >= 4);
+  const std::size_t plane = N * N;
+  std::vector<Cx> A(N * plane), B(N * plane);
+  for (std::size_t z = 0; z < N; ++z) {
+    for (std::size_t y = 0; y < N; ++y) {
+      for (std::size_t x = 0; x < N; ++x) {
+        A[z * plane + y * N + x] = init_value(x, y, z);
+      }
+    }
+  }
+  for (int it = 0; it < p.iters; ++it) {
+    for (std::size_t z = 0; z < N; ++z) {
+      Cx* pl = &A[z * plane];
+      for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, false);
+      transpose_plane(pl, N);
+      for (std::size_t x = 0; x < N; ++x) fft_line(&pl[x * N], N, false);
+    }
+    for (std::size_t z = 0; z < N; ++z) {
+      for (std::size_t x = 0; x < N; ++x) {
+        std::copy(&A[z * plane + x * N], &A[z * plane + (x + 1) * N],
+                  &B[x * plane + z * N]);
+      }
+    }
+    for (std::size_t x = 0; x < N; ++x) {
+      Cx* pl = &B[x * plane];
+      transpose_plane(pl, N);
+      for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, false);
+      for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, true);
+      transpose_plane(pl, N);
+    }
+    for (std::size_t x = 0; x < N; ++x) {
+      for (std::size_t z = 0; z < N; ++z) {
+        std::copy(&B[x * plane + z * N], &B[x * plane + (z + 1) * N],
+                  &A[z * plane + x * N]);
+      }
+    }
+    for (std::size_t z = 0; z < N; ++z) {
+      Cx* pl = &A[z * plane];
+      for (std::size_t x = 0; x < N; ++x) fft_line(&pl[x * N], N, true);
+      transpose_plane(pl, N);
+      for (std::size_t y = 0; y < N; ++y) fft_line(&pl[y * N], N, true);
+    }
+  }
+  double checksum = 0.0;
+  for (const auto& v : A) checksum += v.re + v.im;
+  return checksum;
+}
+
+}  // namespace tmkgm::apps

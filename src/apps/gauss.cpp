@@ -1,0 +1,113 @@
+#include <cmath>
+#include <vector>
+
+#include "apps/extended.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tmkgm::apps {
+
+namespace {
+
+/// Diagonally dominant deterministic matrix: elimination without pivoting
+/// stays stable, so the parallel and serial runs are bitwise identical.
+float element(std::uint64_t seed, std::size_t r, std::size_t c,
+              std::size_t n) {
+  std::uint64_t v = seed ^ (r * 2654435761u) ^ (c * 40503u);
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v ^= v >> 27;
+  float x = static_cast<float>(v & 0xffff) / 65536.0f - 0.5f;
+  if (r == c) x += static_cast<float>(n);  // dominance
+  return x;
+}
+
+constexpr double kWorkPerCell = 2.0;
+
+}  // namespace
+
+// Row-cyclic LU factorization (Gaussian elimination): at step k, the owner
+// of row k divides it by the pivot; after a barrier every proc eliminates
+// its rows below k by reading the pivot row — the single-writer broadcast
+// pattern, repeated n times with short epochs. Stress-tests barrier-epoch
+// turnover and read sharing of a hot page.
+AppResult gauss(tmk::Tmk& tmk, const GaussParams& p) {
+  const std::size_t n = p.n;
+  const int me = tmk.proc_id();
+  const int np = tmk.n_procs();
+
+  auto A = tmk::Shared2D<float>::alloc(tmk, n, n);
+  auto owner = [&](std::size_t row) {
+    return static_cast<int>(row % static_cast<std::size_t>(np));
+  };
+
+  for (std::size_t r = 0; r < n; ++r) {
+    if (owner(r) != me) continue;
+    auto row = A.row_rw(r);
+    for (std::size_t c = 0; c < n; ++c) row[c] = element(p.seed, r, c, n);
+  }
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  std::vector<float> pivot(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (owner(k) == me) {
+      auto row = A.row_rw(k);
+      const float d = row[k];
+      for (std::size_t c = k + 1; c < n; ++c) row[c] /= d;
+      tmk.compute_work(static_cast<double>(n - k) * kWorkPerCell);
+    }
+    tmk.barrier(1);
+
+    {
+      auto row = A.row_ro(k);
+      std::copy(row.begin(), row.end(), pivot.begin());
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (owner(r) != me) continue;
+      auto row = A.row_rw(r);
+      const float f = row[k];
+      for (std::size_t c = k + 1; c < n; ++c) row[c] -= f * pivot[c];
+      tmk.compute_work(static_cast<double>(n - k) * kWorkPerCell);
+    }
+    tmk.barrier(2);
+  }
+
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  double checksum = 0.0;  // untimed verification sweep
+  if (me == 0) {
+    for (std::size_t k = 0; k < n; ++k) {
+      checksum += std::fabs(static_cast<double>(A.get(k, k)));
+    }
+  }
+  tmk.barrier(3);
+  return {checksum, elapsed};
+}
+
+double gauss_serial(const GaussParams& p) {
+  const std::size_t n = p.n;
+  std::vector<float> A(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      A[r * n + c] = element(p.seed, r, c, n);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const float d = A[k * n + k];
+    for (std::size_t c = k + 1; c < n; ++c) A[k * n + c] /= d;
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const float f = A[r * n + k];
+      for (std::size_t c = k + 1; c < n; ++c) {
+        A[r * n + c] -= f * A[k * n + c];
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    checksum += std::fabs(static_cast<double>(A[k * n + k]));
+  }
+  return checksum;
+}
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,134 @@
+#include <vector>
+
+#include "apps/extended.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tmkgm::apps {
+
+namespace {
+
+/// Deterministic key stream for proc `p`, iteration-0 state.
+std::vector<std::int32_t> make_keys(const IsParams& p, int proc) {
+  Rng rng(p.seed * 1315423911u + static_cast<std::uint64_t>(proc));
+  std::vector<std::int32_t> keys(p.keys_per_proc);
+  for (auto& k : keys) {
+    k = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(p.buckets)));
+  }
+  return keys;
+}
+
+/// Per-iteration perturbation (NAS IS modifies keys between rankings).
+void perturb(std::vector<std::int32_t>& keys, int iter, int buckets) {
+  const std::size_t idx =
+      static_cast<std::size_t>(iter * 2654435761u) % keys.size();
+  keys[idx] = static_cast<std::int32_t>(
+      (static_cast<std::uint32_t>(keys[idx]) + 7u *
+       static_cast<std::uint32_t>(iter + 1)) %
+      static_cast<std::uint32_t>(buckets));
+}
+
+constexpr double kWorkPerKey = 6.0;
+
+}  // namespace
+
+// Parallel ranking: each proc histograms its private keys into its OWN row
+// of a shared [n_procs x buckets] table (single writer per row), a barrier
+// publishes the rows, then every proc reads all rows to build the global
+// bucket counts and ranks its keys. The communication is a bulk all-to-all
+// of whole pages per iteration — a pattern none of the paper's four apps
+// has.
+AppResult is_sort(tmk::Tmk& tmk, const IsParams& p) {
+  const int me = tmk.proc_id();
+  const int np = tmk.n_procs();
+  const auto B = static_cast<std::size_t>(p.buckets);
+
+  auto hist = tmk::Shared2D<std::int32_t>::alloc(
+      tmk, static_cast<std::size_t>(np), B);
+
+  auto keys = make_keys(p, me);
+  double checksum = 0.0;
+
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  for (int it = 0; it < p.iters; ++it) {
+    perturb(keys, it, p.buckets);
+
+    // Local histogram into our shared row.
+    {
+      auto row = hist.row_rw(static_cast<std::size_t>(me));
+      for (std::size_t b = 0; b < B; ++b) row[b] = 0;
+      for (auto k : keys) row[static_cast<std::size_t>(k)] += 1;
+      tmk.compute_work(static_cast<double>(keys.size()) * kWorkPerKey +
+                       static_cast<double>(B));
+    }
+    tmk.barrier(1);
+
+    // Global counts: read every proc's row.
+    std::vector<std::int64_t> global(B, 0);
+    for (int q = 0; q < np; ++q) {
+      auto row = hist.row_ro(static_cast<std::size_t>(q));
+      for (std::size_t b = 0; b < B; ++b) global[b] += row[b];
+    }
+    tmk.compute_work(static_cast<double>(np) * static_cast<double>(B) * 2.0);
+
+    // Prefix sums -> bucket start ranks; fold sampled key ranks into the
+    // checksum (every 97th local key).
+    std::vector<std::int64_t> start(B, 0);
+    for (std::size_t b = 1; b < B; ++b) {
+      start[b] = start[b - 1] + global[b - 1];
+    }
+    tmk.compute_work(static_cast<double>(B) * 2.0);
+    for (std::size_t i = 0; i < keys.size(); i += 97) {
+      checksum += static_cast<double>(
+          start[static_cast<std::size_t>(keys[i])]);
+    }
+    tmk.barrier(2);
+  }
+
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  // Fold every proc's partial checksum via the shared table (untimed).
+  auto partials = tmk::SharedArray<double>::alloc(
+      tmk, static_cast<std::size_t>(np));
+  partials.put(static_cast<std::size_t>(me), checksum);
+  tmk.barrier(3);
+  double total = 0.0;
+  if (me == 0) {
+    for (int q = 0; q < np; ++q) {
+      total += partials.get(static_cast<std::size_t>(q));
+    }
+  }
+  tmk.barrier(4);
+  return {total, elapsed};
+}
+
+double is_sort_serial(const IsParams& p, int n_procs) {
+  const auto B = static_cast<std::size_t>(p.buckets);
+  std::vector<std::vector<std::int32_t>> keys;
+  for (int q = 0; q < n_procs; ++q) keys.push_back(make_keys(p, q));
+
+  double total = 0.0;
+  for (int it = 0; it < p.iters; ++it) {
+    std::vector<std::int64_t> global(B, 0);
+    for (auto& ks : keys) {
+      perturb(ks, it, p.buckets);
+      for (auto k : ks) global[static_cast<std::size_t>(k)] += 1;
+    }
+    std::vector<std::int64_t> start(B, 0);
+    for (std::size_t b = 1; b < B; ++b) {
+      start[b] = start[b - 1] + global[b - 1];
+    }
+    for (auto& ks : keys) {
+      for (std::size_t i = 0; i < ks.size(); i += 97) {
+        total += static_cast<double>(start[static_cast<std::size_t>(ks[i])]);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,141 @@
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::apps {
+
+namespace {
+
+constexpr double kWorkPerCell = 7.0;
+constexpr double kPollBackoffWork = 800.0;  // ~5 us between lock polls
+constexpr int kProgressLockBase = 8;
+
+std::pair<std::size_t, std::size_t> block(std::size_t rows, int p, int n) {
+  const std::size_t base = rows / static_cast<std::size_t>(n);
+  const std::size_t extra = rows % static_cast<std::size_t>(n);
+  const auto up = static_cast<std::size_t>(p);
+  const std::size_t first = up * base + std::min(up, extra);
+  return {first, first + base + (up < extra ? 1 : 0)};
+}
+
+float relax(float old, float up, float down, float left, float right,
+            double omega) {
+  const auto w = static_cast<float>(omega);
+  return (1.0f - w) * old + w * 0.25f * (up + down + left + right);
+}
+
+}  // namespace
+
+// Red/black successive over-relaxation. Synchronization is entirely
+// lock-based (the paper: "SOR uses locks for synchronization more than any
+// other application"): after each half-sweep a proc publishes a phase
+// counter under its progress lock, and neighbours poll that lock until the
+// phase they need is visible. Acquiring the publisher's lock also delivers
+// the write notices for the boundary rows — lazy release consistency makes
+// the data ride the same synchronization.
+AppResult sor(tmk::Tmk& tmk, const SorParams& p) {
+  TMKGM_CHECK(p.rows >= 4 && p.cols >= 4);
+  const std::size_t R = p.rows, C = p.cols;
+  const int me = tmk.proc_id();
+  const int n = tmk.n_procs();
+
+  auto grid = tmk::Shared2D<float>::alloc(tmk, R, C);
+  auto progress = tmk::SharedArray<std::int32_t>::alloc(
+      tmk, static_cast<std::size_t>(n));
+
+  const auto [first, last] = block(R, me, n);
+
+  for (std::size_t r = first; r < last; ++r) {
+    auto row = grid.row_rw(r);
+    for (std::size_t c = 0; c < C; ++c) {
+      const bool edge = r == 0 || r == R - 1 || c == 0 || c == C - 1;
+      row[c] = edge ? 1.0f : 0.0f;
+    }
+  }
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  auto publish = [&](std::int32_t phase) {
+    tmk.lock_acquire(kProgressLockBase + me);
+    progress.put(static_cast<std::size_t>(me), phase);
+    tmk.lock_release(kProgressLockBase + me);
+  };
+  auto wait_neighbour = [&](int nb, std::int32_t phase) {
+    if (nb < 0 || nb >= n) return;
+    while (true) {
+      tmk.lock_acquire(kProgressLockBase + nb);
+      const auto seen = progress.get(static_cast<std::size_t>(nb));
+      tmk.lock_release(kProgressLockBase + nb);
+      if (seen >= phase) return;
+      tmk.compute_work(kPollBackoffWork);
+    }
+  };
+
+  std::int32_t phase = 0;
+  for (int it = 0; it < p.iters; ++it) {
+    for (int color = 0; color < 2; ++color) {
+      // Neighbours must have finished the previous half-sweep before we
+      // read their boundary rows.
+      wait_neighbour(me - 1, phase);
+      wait_neighbour(me + 1, phase);
+      for (std::size_t r = std::max<std::size_t>(first, 1);
+           r < std::min(last, R - 1); ++r) {
+        auto above = grid.row_ro(r - 1);
+        auto below = grid.row_ro(r + 1);
+        auto row = grid.row_rw(r);
+        for (std::size_t c = 1 + ((r + 1 + static_cast<std::size_t>(color)) % 2);
+             c + 1 < C; c += 2) {
+          row[c] = relax(row[c], above[c], below[c], row[c - 1], row[c + 1],
+                         p.omega);
+        }
+        tmk.compute_work(static_cast<double>(C) / 2.0 * kWorkPerCell);
+      }
+      ++phase;
+      publish(phase);
+    }
+  }
+
+  tmk.barrier(1);
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  double checksum = 0.0;  // untimed verification sweep
+  if (me == 0) {
+    for (std::size_t r = 0; r < R; ++r) {
+      auto row = grid.row_ro(r);
+      for (std::size_t c = 0; c < C; ++c) checksum += row[c];
+    }
+  }
+  tmk.barrier(2);
+  return {checksum, elapsed};
+}
+
+double sor_serial(const SorParams& p) {
+  const std::size_t R = p.rows, C = p.cols;
+  std::vector<float> grid(R * C);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const bool edge = r == 0 || r == R - 1 || c == 0 || c == C - 1;
+      grid[r * C + c] = edge ? 1.0f : 0.0f;
+    }
+  }
+  for (int it = 0; it < p.iters; ++it) {
+    for (int color = 0; color < 2; ++color) {
+      for (std::size_t r = 1; r + 1 < R; ++r) {
+        for (std::size_t c = 1 + ((r + 1 + static_cast<std::size_t>(color)) % 2);
+             c + 1 < C; c += 2) {
+          grid[r * C + c] =
+              relax(grid[r * C + c], grid[(r - 1) * C + c],
+                    grid[(r + 1) * C + c], grid[r * C + c - 1],
+                    grid[r * C + c + 1], p.omega);
+        }
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (auto v : grid) checksum += v;
+  return checksum;
+}
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,257 @@
+#include <algorithm>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tmkgm::apps {
+
+namespace {
+
+constexpr int kQueueLock = 1;
+constexpr int kBestLock = 2;
+constexpr double kWorkPerNode = 40.0;   // tree-node expansion cost
+constexpr double kPollBackoffWork = 4000.0;
+constexpr int kMaxCities = 24;
+
+/// Deterministic symmetric distance matrix, identical on every proc.
+std::vector<std::int32_t> make_distances(int cities, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> d(static_cast<std::size_t>(cities) *
+                              static_cast<std::size_t>(cities));
+  for (int i = 0; i < cities; ++i) {
+    for (int j = i + 1; j < cities; ++j) {
+      const auto v = static_cast<std::int32_t>(1 + rng.next_below(99));
+      d[static_cast<std::size_t>(i * cities + j)] = v;
+      d[static_cast<std::size_t>(j * cities + i)] = v;
+    }
+  }
+  return d;
+}
+
+struct Searcher {
+  int cities;
+  const std::int32_t* dist;
+  std::vector<std::int32_t> min_edge;  // cheapest edge per city (bound)
+  std::uint64_t nodes_visited = 0;
+
+  explicit Searcher(int n, const std::int32_t* d) : cities(n), dist(d) {
+    min_edge.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::int32_t best = INT32_MAX;
+      for (int j = 0; j < n; ++j) {
+        if (j != i) best = std::min(best, dist[i * n + j]);
+      }
+      min_edge[static_cast<std::size_t>(i)] = best;
+    }
+  }
+
+  std::int32_t lower_bound(std::int32_t len, std::uint32_t visited) const {
+    std::int32_t bound = len;
+    for (int c = 0; c < cities; ++c) {
+      if ((visited & (1u << c)) == 0) bound += min_edge[static_cast<std::size_t>(c)];
+    }
+    // The return edge to city 0 is still pending too.
+    bound += min_edge[0];
+    return bound;
+  }
+
+  /// Greedy nearest-neighbour tour: the initial upper bound.
+  std::int32_t greedy() const {
+    std::int32_t total = 0;
+    std::uint32_t visited = 1;
+    int at = 0;
+    for (int step = 1; step < cities; ++step) {
+      std::int32_t best = INT32_MAX;
+      int next = -1;
+      for (int c = 1; c < cities; ++c) {
+        if ((visited & (1u << c)) == 0 && dist[at * cities + c] < best) {
+          best = dist[at * cities + c];
+          next = c;
+        }
+      }
+      total += best;
+      visited |= 1u << next;
+      at = next;
+    }
+    return total + dist[at * cities + 0];
+  }
+
+  /// Depth-first branch & bound from a prefix; returns the best complete
+  /// tour length found (or INT32_MAX), pruning against `best`.
+  std::int32_t solve(std::vector<int>& tour, std::uint32_t visited,
+                     std::int32_t len, std::int32_t best) {
+    ++nodes_visited;
+    const int depth = static_cast<int>(tour.size());
+    if (depth == cities) {
+      return len + dist[tour.back() * cities + 0];
+    }
+    if (lower_bound(len, visited) >= best) return INT32_MAX;
+    std::int32_t found = INT32_MAX;
+    for (int c = 1; c < cities; ++c) {
+      if (visited & (1u << c)) continue;
+      const std::int32_t nlen = len + dist[tour.back() * cities + c];
+      if (nlen >= best) continue;
+      tour.push_back(c);
+      const auto sub = solve(tour, visited | (1u << c), nlen,
+                             std::min(best, found));
+      tour.pop_back();
+      found = std::min(found, sub);
+    }
+    return found;
+  }
+};
+
+}  // namespace
+
+// Parallel branch & bound: partial tours shorter than split_depth live on a
+// lock-protected shared queue; longer prefixes are solved to completion
+// locally, publishing improved bounds under the best-tour lock. This is the
+// lock-dominated workload of the paper's Table of app characteristics.
+AppResult tsp(tmk::Tmk& tmk, const TspParams& p) {
+  TMKGM_CHECK(p.cities >= 4 && p.cities <= kMaxCities);
+  const int cities = p.cities;
+  const auto dist = make_distances(cities, p.seed);
+  Searcher searcher(cities, dist.data());
+
+  // Shared state: queue of fixed-size records + cursors + best bound.
+  const std::size_t rec_ints = static_cast<std::size_t>(cities) + 2;
+  std::size_t cap = 1;
+  for (int d = 1; d < p.split_depth; ++d) {
+    cap *= static_cast<std::size_t>(cities);
+  }
+  cap = cap * 4 + 64;
+  auto queue =
+      tmk::SharedArray<std::int32_t>::alloc(tmk, cap * rec_ints);
+  auto ctrl = tmk::SharedArray<std::int32_t>::alloc(tmk, 4);
+  // ctrl[0]=head, ctrl[1]=tail, ctrl[2]=active workers, ctrl[3]=best.
+
+  if (tmk.proc_id() == 0) {
+    tmk.lock_acquire(kQueueLock);
+    // Seed: tour {0}.
+    auto rec = queue.span_rw(0, rec_ints);
+    rec[0] = 1;  // depth
+    rec[1] = 0;  // length
+    rec[2] = 0;  // city 0
+    ctrl.put(0, 0);
+    ctrl.put(1, 1);
+    ctrl.put(2, 0);
+    tmk.lock_release(kQueueLock);
+    tmk.lock_acquire(kBestLock);
+    ctrl.put(3, searcher.greedy());
+    tmk.lock_release(kBestLock);
+  }
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  double pending_work = 0.0;
+  std::uint64_t last_nodes = 0;
+  auto flush_work = [&] {
+    pending_work +=
+        static_cast<double>(searcher.nodes_visited - last_nodes) *
+        kWorkPerNode;
+    last_nodes = searcher.nodes_visited;
+    if (pending_work > 0) {
+      tmk.compute_work(pending_work);
+      pending_work = 0;
+    }
+  };
+
+  while (true) {
+    // Take a record (or learn that the search is over).
+    tmk.lock_acquire(kQueueLock);
+    const auto head = ctrl.get(0);
+    const auto tail = ctrl.get(1);
+    const auto active = ctrl.get(2);
+    std::vector<std::int32_t> rec;
+    if (head < tail) {
+      auto ro = queue.span_ro(static_cast<std::size_t>(head) * rec_ints,
+                              rec_ints);
+      rec.assign(ro.begin(), ro.end());
+      ctrl.put(0, head + 1);
+      ctrl.put(2, active + 1);
+    }
+    tmk.lock_release(kQueueLock);
+
+    if (rec.empty()) {
+      if (active == 0 && head >= tail) break;  // drained and quiet: done
+      tmk.compute_work(kPollBackoffWork);
+      continue;
+    }
+
+    const int depth = rec[0];
+    const std::int32_t len = rec[1];
+    std::vector<int> tour(rec.begin() + 2, rec.begin() + 2 + depth);
+    std::uint32_t visited = 0;
+    for (int c : tour) visited |= 1u << c;
+
+    tmk.lock_acquire(kBestLock);
+    std::int32_t best = ctrl.get(3);
+    tmk.lock_release(kBestLock);
+
+    if (depth < p.split_depth) {
+      // Expand one level back onto the shared queue.
+      std::vector<std::vector<std::int32_t>> children;
+      for (int c = 1; c < cities; ++c) {
+        if (visited & (1u << c)) continue;
+        const std::int32_t nlen = len + dist[static_cast<std::size_t>(
+                                      tour.back() * cities + c)];
+        ++searcher.nodes_visited;
+        if (searcher.lower_bound(nlen, visited | (1u << c)) >= best) continue;
+        std::vector<std::int32_t> child(rec_ints, 0);
+        child[0] = depth + 1;
+        child[1] = nlen;
+        for (int i = 0; i < depth; ++i) child[2 + i] = tour[static_cast<std::size_t>(i)];
+        child[2 + depth] = c;
+        children.push_back(std::move(child));
+      }
+      flush_work();
+      tmk.lock_acquire(kQueueLock);
+      auto t = ctrl.get(1);
+      TMKGM_CHECK_MSG(static_cast<std::size_t>(t) + children.size() <= cap,
+                      "TSP queue overflow; raise capacity");
+      for (const auto& child : children) {
+        auto w = queue.span_rw(static_cast<std::size_t>(t) * rec_ints,
+                               rec_ints);
+        std::copy(child.begin(), child.end(), w.begin());
+        ++t;
+      }
+      ctrl.put(1, t);
+      ctrl.put(2, ctrl.get(2) - 1);
+      tmk.lock_release(kQueueLock);
+    } else {
+      // Solve the subtree locally, then publish any improvement.
+      const auto found = searcher.solve(tour, visited, len, best);
+      flush_work();
+      tmk.lock_acquire(kBestLock);
+      if (found < ctrl.get(3)) ctrl.put(3, found);
+      tmk.lock_release(kBestLock);
+      tmk.lock_acquire(kQueueLock);
+      ctrl.put(2, ctrl.get(2) - 1);
+      tmk.lock_release(kQueueLock);
+    }
+  }
+
+  tmk.barrier(1);
+  const SimTime elapsed = tmk.node().now() - t0;
+  std::int64_t best = 0;
+  tmk.lock_acquire(kBestLock);
+  best = ctrl.get(3);
+  tmk.lock_release(kBestLock);
+  tmk.barrier(2);
+  return {static_cast<double>(best), elapsed};
+}
+
+std::int64_t tsp_serial(const TspParams& p) {
+  TMKGM_CHECK(p.cities >= 4 && p.cities <= kMaxCities);
+  const auto dist = make_distances(p.cities, p.seed);
+  Searcher searcher(p.cities, dist.data());
+  std::vector<int> tour{0};
+  const auto greedy = searcher.greedy();
+  const auto found = searcher.solve(tour, 1u, 0, greedy);
+  return std::min<std::int32_t>(greedy, found);
+}
+
+}  // namespace tmkgm::apps

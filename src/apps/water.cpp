@@ -1,0 +1,208 @@
+#include <cmath>
+#include <vector>
+
+#include "apps/extended.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace tmkgm::apps {
+
+namespace {
+
+// Forces are accumulated as fixed-point int64 so the sum is independent of
+// the order in which procs add their contributions — keeping the parallel
+// result bitwise equal to the serial reference.
+constexpr double kScale = 1 << 20;
+constexpr int kRegions = 8;  // lock granularity for the accumulators
+constexpr int kLockBase = 32;
+constexpr double kWorkPerPair = 14.0;
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+
+std::vector<Vec3> initial_positions(const WaterParams& p) {
+  Rng rng(p.seed * 888888877u);
+  std::vector<Vec3> pos(static_cast<std::size_t>(p.molecules));
+  for (auto& m : pos) {
+    m.x = rng.next_double();
+    m.y = rng.next_double();
+    m.z = rng.next_double();
+  }
+  return pos;
+}
+
+/// Pairwise short-range force (soft Lennard-Jones-ish, minimum image).
+Vec3 pair_force(const Vec3& a, const Vec3& b, double cutoff) {
+  auto wrap = [](double d) {
+    if (d > 0.5) return d - 1.0;
+    if (d < -0.5) return d + 1.0;
+    return d;
+  };
+  const double dx = wrap(a.x - b.x);
+  const double dy = wrap(a.y - b.y);
+  const double dz = wrap(a.z - b.z);
+  const double r2 = dx * dx + dy * dy + dz * dz;
+  if (r2 >= cutoff * cutoff || r2 < 1e-9) return {};
+  const double inv = 1.0 / (r2 + 0.01);
+  const double mag = inv * inv * 1e-4;
+  return {dx * mag, dy * mag, dz * mag};
+}
+
+std::int64_t fx(double v) {
+  return static_cast<std::int64_t>(std::llround(v * kScale));
+}
+
+}  // namespace
+
+// Water-lite molecular dynamics: the O(N^2) pair interactions are split
+// cyclically across procs; force contributions go into shared fixed-point
+// accumulators guarded by per-region locks (migratory, write-shared data —
+// the classic Water pattern); after a barrier each proc integrates its own
+// molecules. Positions are replicated read-mostly pages refreshed each
+// step.
+AppResult water(tmk::Tmk& tmk, const WaterParams& p) {
+  const int me = tmk.proc_id();
+  const int np = tmk.n_procs();
+  const auto N = static_cast<std::size_t>(p.molecules);
+
+  auto pos = tmk::SharedArray<double>::alloc(tmk, N * 3);
+  auto force = tmk::SharedArray<std::int64_t>::alloc(tmk, N * 3);
+
+  // Proc 0 lays down the initial configuration.
+  if (me == 0) {
+    const auto init = initial_positions(p);
+    auto w = pos.span_rw(0, N * 3);
+    for (std::size_t m = 0; m < N; ++m) {
+      w[m * 3] = init[m].x;
+      w[m * 3 + 1] = init[m].y;
+      w[m * 3 + 2] = init[m].z;
+    }
+  }
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  for (int it = 0; it < p.iters; ++it) {
+    // Zero the force accumulators for our own molecules.
+    for (std::size_t m = static_cast<std::size_t>(me); m < N;
+         m += static_cast<std::size_t>(np)) {
+      auto w = force.span_rw(m * 3, 3);
+      w[0] = w[1] = w[2] = 0;
+    }
+    tmk.barrier(1);
+
+    // Read all positions once, locally.
+    std::vector<Vec3> local(N);
+    {
+      auto ro = pos.span_ro(0, N * 3);
+      for (std::size_t m = 0; m < N; ++m) {
+        local[m] = {ro[m * 3], ro[m * 3 + 1], ro[m * 3 + 2]};
+      }
+    }
+
+    // Our share of the pair triangle, accumulated privately per region,
+    // then merged under the region locks.
+    std::vector<std::int64_t> acc(N * 3, 0);
+    std::size_t pair_index = 0;
+    std::size_t pairs_done = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = i + 1; j < N; ++j, ++pair_index) {
+        if (pair_index % static_cast<std::size_t>(np) !=
+            static_cast<std::size_t>(me)) {
+          continue;
+        }
+        const Vec3 f = pair_force(local[i], local[j], p.cutoff);
+        acc[i * 3] += fx(f.x);
+        acc[i * 3 + 1] += fx(f.y);
+        acc[i * 3 + 2] += fx(f.z);
+        acc[j * 3] -= fx(f.x);
+        acc[j * 3 + 1] -= fx(f.y);
+        acc[j * 3 + 2] -= fx(f.z);
+        ++pairs_done;
+      }
+    }
+    tmk.compute_work(static_cast<double>(pairs_done) * kWorkPerPair);
+
+    const std::size_t per_region = (N + kRegions - 1) / kRegions;
+    for (int reg = 0; reg < kRegions; ++reg) {
+      const std::size_t lo = static_cast<std::size_t>(reg) * per_region;
+      const std::size_t hi = std::min(N, lo + per_region);
+      if (lo >= hi) continue;
+      tmk.lock_acquire(kLockBase + reg);
+      auto w = force.span_rw(lo * 3, (hi - lo) * 3);
+      for (std::size_t k = 0; k < (hi - lo) * 3; ++k) {
+        w[k] += acc[lo * 3 + k];
+      }
+      tmk.lock_release(kLockBase + reg);
+      tmk.compute_work(static_cast<double>(hi - lo) * 3.0);
+    }
+    tmk.barrier(2);
+
+    // Integrate our own molecules.
+    for (std::size_t m = static_cast<std::size_t>(me); m < N;
+         m += static_cast<std::size_t>(np)) {
+      auto f = force.span_ro(m * 3, 3);
+      auto w = pos.span_rw(m * 3, 3);
+      for (int d = 0; d < 3; ++d) {
+        double v = w[static_cast<std::size_t>(d)] +
+                   static_cast<double>(f[static_cast<std::size_t>(d)]) /
+                       kScale;
+        v -= std::floor(v);  // periodic box
+        w[static_cast<std::size_t>(d)] = v;
+      }
+    }
+    tmk.compute_work(static_cast<double>(N / static_cast<std::size_t>(np)) *
+                     9.0);
+    tmk.barrier(3);
+  }
+
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  double checksum = 0.0;  // untimed verification sweep
+  if (me == 0) {
+    auto ro = pos.span_ro(0, N * 3);
+    for (std::size_t k = 0; k < N * 3; ++k) checksum += ro[k];
+  }
+  tmk.barrier(4);
+  return {checksum, elapsed};
+}
+
+double water_serial(const WaterParams& p) {
+  const auto N = static_cast<std::size_t>(p.molecules);
+  auto init = initial_positions(p);
+  std::vector<double> pos(N * 3);
+  for (std::size_t m = 0; m < N; ++m) {
+    pos[m * 3] = init[m].x;
+    pos[m * 3 + 1] = init[m].y;
+    pos[m * 3 + 2] = init[m].z;
+  }
+  for (int it = 0; it < p.iters; ++it) {
+    std::vector<std::int64_t> force(N * 3, 0);
+    std::vector<Vec3> local(N);
+    for (std::size_t m = 0; m < N; ++m) {
+      local[m] = {pos[m * 3], pos[m * 3 + 1], pos[m * 3 + 2]};
+    }
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = i + 1; j < N; ++j) {
+        const Vec3 f = pair_force(local[i], local[j], p.cutoff);
+        force[i * 3] += fx(f.x);
+        force[i * 3 + 1] += fx(f.y);
+        force[i * 3 + 2] += fx(f.z);
+        force[j * 3] -= fx(f.x);
+        force[j * 3 + 1] -= fx(f.y);
+        force[j * 3 + 2] -= fx(f.z);
+      }
+    }
+    for (std::size_t k = 0; k < N * 3; ++k) {
+      double v = pos[k] + static_cast<double>(force[k]) / kScale;
+      v -= std::floor(v);
+      pos[k] = v;
+    }
+  }
+  double checksum = 0.0;
+  for (auto v : pos) checksum += v;
+  return checksum;
+}
+
+}  // namespace tmkgm::apps

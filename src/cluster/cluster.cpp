@@ -1,0 +1,184 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "gm/gm.hpp"
+#include "ib/verbs.hpp"
+#include "udpnet/udp.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::cluster {
+
+const char* to_string(SubstrateKind kind) {
+  switch (kind) {
+    case SubstrateKind::FastGm: return "FAST/GM";
+    case SubstrateKind::UdpGm: return "UDP/GM";
+    case SubstrateKind::FastIb: return "FAST/IB";
+  }
+  return "?";
+}
+
+void Latch::arrive_and_wait(sim::Node& node) {
+  ++arrived_;
+  if (arrived_ == expected_) {
+    // Release everyone else via an event (cross-node signals must not be
+    // synchronous); the last arriver proceeds immediately.
+    auto waiters = waiters_;
+    waiters_.clear();
+    arrived_ = 0;
+    node.engine().after(0, [waiters] {
+      for (auto* c : waiters) c->signal();
+    });
+    return;
+  }
+  sim::Condition self(node);
+  waiters_.push_back(&self);
+  self.wait();
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  TMKGM_CHECK(config_.n_procs >= 1);
+}
+
+RunResult Cluster::run(const Program& program) {
+  const int n = config_.n_procs;
+  sim::Engine engine(config_.seed);
+  if (config_.event_limit > 0) engine.set_event_limit(config_.event_limit);
+
+  RunResult result;
+  result.node_finish.assign(static_cast<std::size_t>(n), 0);
+  result.substrate_stats.resize(static_cast<std::size_t>(n));
+
+  Latch start_gate(n);
+  Latch end_gate(n);
+
+  // Deferred wiring: the network/GM/UDP systems need the nodes to exist,
+  // and substrates are created from each node's own context.
+  struct Shared {
+    std::unique_ptr<net::Network> network;
+    std::unique_ptr<gm::GmSystem> gm;
+    std::unique_ptr<fastgm::FastGmCluster> fast;
+    std::unique_ptr<udpnet::UdpSystem> udp;
+    std::unique_ptr<udpsub::UdpSubCluster> udpsub;
+    std::unique_ptr<ib::IbSystem> ib;
+    std::unique_ptr<ib::FastIbCluster> fastib;
+  } shared;
+
+  for (int i = 0; i < n; ++i) {
+    engine.add_node(
+        "p" + std::to_string(i), [&, i](sim::Node& node) {
+          sub::Substrate* substrate = nullptr;
+          fastgm::FastGmSubstrate* fast_sub = nullptr;
+          udpsub::UdpSubstrate* udp_sub = nullptr;
+          ib::FastIbSubstrate* ib_sub = nullptr;
+          switch (config_.kind) {
+            case SubstrateKind::FastGm:
+              fast_sub = &shared.fast->create(i);
+              substrate = fast_sub;
+              break;
+            case SubstrateKind::UdpGm:
+              udp_sub = &shared.udpsub->create(i);
+              substrate = udp_sub;
+              break;
+            case SubstrateKind::FastIb:
+              ib_sub = &shared.fastib->create(i);
+              substrate = ib_sub;
+              break;
+          }
+          (void)ib_sub;
+
+          start_gate.arrive_and_wait(node);
+
+          NodeEnv env{node,
+                      *substrate,
+                      i,
+                      n,
+                      shared.network->cost(),
+                      fast_sub != nullptr ? fast_sub->compute_tax() : 0.0};
+          program(env);
+
+          result.node_finish[static_cast<std::size_t>(i)] = node.now();
+          end_gate.arrive_and_wait(node);
+
+          if (fast_sub != nullptr) fast_sub->shutdown();
+          if (udp_sub != nullptr) udp_sub->shutdown();
+          result.substrate_stats[static_cast<std::size_t>(i)] =
+              substrate->stats();
+          if (i == 0) result.pinned_bytes_node0 = substrate->pinned_bytes();
+        });
+  }
+
+  shared.network = std::make_unique<net::Network>(
+      engine, n, config_.cost,
+      config_.kind == SubstrateKind::FastIb ? net::ib_fabric(config_.cost)
+                                            : net::gm_fabric(config_.cost));
+  switch (config_.kind) {
+    case SubstrateKind::FastGm: {
+      gm::GmConfig gm_cfg;
+      // The barrier root bursts one release per peer; keep tokens ahead of
+      // the cluster size.
+      gm_cfg.send_tokens = std::max(gm_cfg.send_tokens, 2 * n + 16);
+      shared.gm = std::make_unique<gm::GmSystem>(*shared.network, gm_cfg);
+      shared.fast = std::make_unique<fastgm::FastGmCluster>(*shared.gm,
+                                                            config_.fastgm);
+      break;
+    }
+    case SubstrateKind::UdpGm:
+      shared.udp = std::make_unique<udpnet::UdpSystem>(*shared.network,
+                                                       config_.seed + 17);
+      shared.udpsub = std::make_unique<udpsub::UdpSubCluster>(*shared.udp,
+                                                              config_.udpsub);
+      break;
+    case SubstrateKind::FastIb:
+      shared.ib = std::make_unique<ib::IbSystem>(*shared.network);
+      shared.fastib = std::make_unique<ib::FastIbCluster>(*shared.ib,
+                                                          config_.fastib);
+      break;
+  }
+
+  engine.run();
+
+  result.duration =
+      *std::max_element(result.node_finish.begin(), result.node_finish.end());
+  result.events = engine.events_processed();
+  result.net = shared.network->stats();
+  return result;
+}
+
+RunResult Cluster::run_tmk(const TmkProgram& program) {
+  const int n = config_.n_procs;
+  std::vector<tmk::TmkStats> tmk_stats(static_cast<std::size_t>(n));
+  // TreadMarks installs the request handler in its constructor; gate so no
+  // protocol message reaches a node whose Tmk does not exist yet, and gate
+  // at the end so the timing excludes construction (the paper's execution
+  // times exclude initialization too).
+  Latch ready_gate(n);
+  Latch finish_gate(n);
+  std::vector<SimTime> started(static_cast<std::size_t>(n), 0);
+  std::vector<SimTime> finished(static_cast<std::size_t>(n), 0);
+
+  RunResult result = run([&](NodeEnv& env) {
+    tmk::Tmk tmk(env.node, env.substrate, env.cost, config_.tmk,
+                 env.compute_tax);
+    ready_gate.arrive_and_wait(env.node);
+    started[static_cast<std::size_t>(env.id)] = env.node.now();
+    program(tmk, env);
+    finished[static_cast<std::size_t>(env.id)] = env.node.now();
+    tmk_stats[static_cast<std::size_t>(env.id)] = tmk.stats();
+    // Keep this node's Tmk alive (still servicing diff/page requests)
+    // until every node is done — like a real process parked in Tmk_exit.
+    finish_gate.arrive_and_wait(env.node);
+  });
+
+  // Execution time: from everyone ready to the last node done (the
+  // paper's graphs exclude initialization).
+  SimTime t0 = 0, t1 = 0;
+  for (auto s : started) t0 = std::max(t0, s);
+  for (auto f : finished) t1 = std::max(t1, f);
+  result.duration = t1 - t0;
+  result.node_finish = std::move(finished);
+  result.tmk_stats = std::move(tmk_stats);
+  return result;
+}
+
+}  // namespace tmkgm::cluster

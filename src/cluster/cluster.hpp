@@ -1,0 +1,112 @@
+// Cluster harness: stands up the full simulated testbed — engine, Myrinet
+// fabric, GM or UDP stack, one substrate per node — and runs an SPMD
+// program on every node.
+//
+// This is the experiment entry point used by tests, examples and benches:
+//
+//   cluster::ClusterConfig cfg;
+//   cfg.n_procs = 16;
+//   cfg.kind = cluster::SubstrateKind::FastGm;
+//   cluster::Cluster c(cfg);
+//   auto result = c.run([&](cluster::NodeEnv& env) { ... });
+//
+// Nodes pass a start gate after substrate setup (so no message targets an
+// unopened port) and an end gate before teardown (so a finished node keeps
+// servicing requests until everyone is done — like a real TreadMarks
+// process sitting in Tmk_exit).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fastgm/fastgm.hpp"
+#include "ib/fastib.hpp"
+#include "net/cost_model.hpp"
+#include "net/network.hpp"
+#include "sub/substrate.hpp"
+#include "tmk/tmk.hpp"
+#include "udpsub/udpsub.hpp"
+
+namespace tmkgm::cluster {
+
+enum class SubstrateKind { FastGm, UdpGm, FastIb };
+
+const char* to_string(SubstrateKind kind);
+
+struct ClusterConfig {
+  int n_procs = 4;
+  SubstrateKind kind = SubstrateKind::FastGm;
+  net::CostModel cost = net::testbed_cost_model();
+  fastgm::FastGmConfig fastgm;
+  udpsub::UdpSubConfig udpsub;
+  ib::FastIbConfig fastib;
+  tmk::TmkConfig tmk;
+  std::uint64_t seed = 1;
+  /// Guard against runaway simulations (0 = unlimited).
+  std::uint64_t event_limit = 0;
+};
+
+struct NodeEnv {
+  sim::Node& node;
+  sub::Substrate& substrate;
+  int id;
+  int n_procs;
+  const net::CostModel& cost;
+  /// Extra multiplier on application compute (polling-thread scheme).
+  double compute_tax;
+
+  /// Charges `work` abstract work units (≈flops) of application compute.
+  void compute_work(double work) {
+    node.compute(static_cast<SimTime>(work * cost.app_ns_per_work *
+                                      (1.0 + compute_tax)));
+  }
+};
+
+struct RunResult {
+  /// Virtual time from the start gate opening to the last node reaching
+  /// the end gate — the "execution time" of the paper's graphs.
+  SimTime duration = 0;
+  std::vector<SimTime> node_finish;
+  std::uint64_t events = 0;
+  net::Network::Stats net;
+  std::vector<sub::Substrate::Stats> substrate_stats;
+  std::size_t pinned_bytes_node0 = 0;
+  /// Per-node TreadMarks protocol stats (run_tmk only).
+  std::vector<tmk::TmkStats> tmk_stats;
+};
+
+/// Simulation-level barrier for harness sequencing (not a TreadMarks
+/// barrier: costs nothing and exchanges no messages).
+class Latch {
+ public:
+  explicit Latch(int n) : expected_(n) {}
+  void arrive_and_wait(sim::Node& node);
+
+ private:
+  int expected_;
+  int arrived_ = 0;
+  std::vector<sim::Condition*> waiters_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  using Program = std::function<void(NodeEnv&)>;
+  using TmkProgram = std::function<void(tmk::Tmk&, NodeEnv&)>;
+
+  /// Runs `program` on every node; returns timing and traffic statistics.
+  RunResult run(const Program& program);
+
+  /// Stands TreadMarks up on every node and runs `program` SPMD. Per-node
+  /// protocol statistics are aggregated into RunResult::tmk_stats.
+  RunResult run_tmk(const TmkProgram& program);
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace tmkgm::cluster

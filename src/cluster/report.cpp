@@ -1,0 +1,81 @@
+#include "cluster/report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace tmkgm::cluster {
+
+tmk::TmkStats aggregate_tmk_stats(const RunResult& result) {
+  tmk::TmkStats t;
+  for (const auto& s : result.tmk_stats) {
+    t.read_faults += s.read_faults;
+    t.write_faults += s.write_faults;
+    t.page_fetches += s.page_fetches;
+    t.diff_requests += s.diff_requests;
+    t.diffs_applied += s.diffs_applied;
+    t.diff_bytes_applied += s.diff_bytes_applied;
+    t.diffs_created += s.diffs_created;
+    t.diff_bytes_created += s.diff_bytes_created;
+    t.twins_created += s.twins_created;
+    t.invalidations += s.invalidations;
+    t.lock_acquires += s.lock_acquires;
+    t.lock_remote_acquires += s.lock_remote_acquires;
+    t.barriers += s.barriers;
+    t.intervals_created += s.intervals_created;
+    t.gc_rounds += s.gc_rounds;
+  }
+  return t;
+}
+
+std::string format_report(const ClusterConfig& config,
+                          const RunResult& result) {
+  std::ostringstream os;
+  os << "=== run report: " << to_string(config.kind) << " on "
+     << config.n_procs << " nodes ===\n";
+  os << "execution time   " << Table::num(to_ms(result.duration), 3)
+     << " ms (virtual)\n";
+  os << "engine events    " << result.events << "\n";
+  os << "fabric traffic   " << result.net.messages << " messages, "
+     << result.net.bytes << " bytes\n";
+  os << "pinned (node 0)  " << result.pinned_bytes_node0 << " bytes\n";
+
+  sub::Substrate::Stats ss{};
+  for (const auto& s : result.substrate_stats) {
+    ss.requests_sent += s.requests_sent;
+    ss.responses_sent += s.responses_sent;
+    ss.forwards_sent += s.forwards_sent;
+    ss.requests_handled += s.requests_handled;
+    ss.bytes_sent += s.bytes_sent;
+    ss.retransmits += s.retransmits;
+    ss.duplicates_dropped += s.duplicates_dropped;
+    ss.rendezvous += s.rendezvous;
+  }
+  os << "substrate        " << ss.requests_sent << " requests, "
+     << ss.responses_sent << " responses, " << ss.forwards_sent
+     << " forwards";
+  if (ss.retransmits > 0 || ss.duplicates_dropped > 0) {
+    os << ", " << ss.retransmits << " retransmits, " << ss.duplicates_dropped
+       << " duplicates";
+  }
+  if (ss.rendezvous > 0) os << ", " << ss.rendezvous << " rendezvous";
+  os << "\n";
+
+  if (!result.tmk_stats.empty()) {
+    const auto t = aggregate_tmk_stats(result);
+    os << "tmk faults       " << t.read_faults << " read, " << t.write_faults
+       << " write (" << t.page_fetches << " page fetches)\n";
+    os << "tmk diffs        " << t.diffs_created << " created ("
+       << t.diff_bytes_created << " B), " << t.diffs_applied << " applied ("
+       << t.diff_bytes_applied << " B), " << t.twins_created << " twins\n";
+    os << "tmk sync         " << t.lock_acquires << " lock acquires ("
+       << t.lock_remote_acquires << " remote), " << t.barriers
+       << " barriers, " << t.intervals_created << " intervals, "
+       << t.invalidations << " invalidations";
+    if (t.gc_rounds > 0) os << ", " << t.gc_rounds << " GC rounds";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tmkgm::cluster

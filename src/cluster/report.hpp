@@ -1,0 +1,20 @@
+// Human-readable run reports: per-run protocol and traffic statistics in
+// the style of TreadMarks' Tmk_stats output. Used by the CLI driver and
+// the examples.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+
+namespace tmkgm::cluster {
+
+/// Aggregates per-node TreadMarks statistics (run_tmk results).
+tmk::TmkStats aggregate_tmk_stats(const RunResult& result);
+
+/// Formats a full report: timing, fabric traffic, substrate and protocol
+/// counters.
+std::string format_report(const ClusterConfig& config,
+                          const RunResult& result);
+
+}  // namespace tmkgm::cluster

@@ -1,0 +1,476 @@
+#include "fastgm/fastgm.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace tmkgm::fastgm {
+
+namespace {
+
+std::size_t iov_length(std::span<const sub::ConstBuf> iov) {
+  std::size_t len = 0;
+  for (const auto& b : iov) len += b.len;
+  return len;
+}
+
+}  // namespace
+
+FastGmCluster::FastGmCluster(gm::GmSystem& gm, const FastGmConfig& config)
+    : gm_(gm), config_(config) {
+  substrates_.resize(static_cast<std::size_t>(gm.n_nodes()));
+}
+
+FastGmSubstrate& FastGmCluster::create(int id) {
+  auto& slot = substrates_.at(static_cast<std::size_t>(id));
+  TMKGM_CHECK_MSG(slot == nullptr, "substrate already created for node " << id);
+  slot.reset(new FastGmSubstrate(gm_, id, config_));
+  return *slot;
+}
+
+FastGmSubstrate& FastGmCluster::substrate(int id) {
+  auto& slot = substrates_.at(static_cast<std::size_t>(id));
+  TMKGM_CHECK(slot != nullptr);
+  return *slot;
+}
+
+FastGmSubstrate::FastGmSubstrate(gm::GmSystem& gm, int node_id,
+                                 const FastGmConfig& config)
+    : gm_(gm),
+      node_id_(node_id),
+      config_(config),
+      nic_(gm.nic(node_id)),
+      node_(nic_.node()),
+      send_avail_(nic_.node()) {
+  TMKGM_CHECK(config_.outstanding_async >= 1);
+  TMKGM_CHECK(config_.sync_prepost_per_size >= 1);
+  setup();
+}
+
+FastGmSubstrate::~FastGmSubstrate() { stopped_ = true; }
+
+int FastGmSubstrate::n_procs() const { return gm_.n_nodes(); }
+
+void FastGmSubstrate::setup() {
+  TMKGM_CHECK_MSG(node_.is_current(),
+                  "substrate must be created from its node's context");
+  req_port_ = &nic_.open_port(kRequestPort);
+  rep_port_ = &nic_.open_port(kReplyPort);
+
+  const int n = n_procs();
+  const int peers = n - 1;
+
+  auto make_slab = [&](std::size_t bytes) -> std::byte* {
+    slabs_.emplace_back(new std::byte[bytes]);
+    slab_bytes_ += bytes;
+    nic_.register_memory(slabs_.back().get(), bytes);
+    return slabs_.back().get();
+  };
+
+  if (peers > 0) {
+    // Request-port pools (paper §2.2.2): o·(n−1) size-4 buffers for the
+    // small asynchronous requests, (n−1) buffers for each larger class.
+    const int small_count = config_.outstanding_async * peers;
+    std::size_t bytes =
+        static_cast<std::size_t>(small_count) * gm::buffer_bytes_for_size(4);
+    for (int s = 5; s <= max_prepost_size(); ++s) {
+      bytes += static_cast<std::size_t>(peers) * gm::buffer_bytes_for_size(s);
+    }
+    std::byte* p = make_slab(bytes);
+    for (int i = 0; i < small_count; ++i) {
+      req_port_->provide_receive_buffer(p, 4);
+      p += gm::buffer_bytes_for_size(4);
+    }
+    for (int s = 5; s <= max_prepost_size(); ++s) {
+      for (int i = 0; i < peers; ++i) {
+        req_port_->provide_receive_buffer(p, s);
+        p += gm::buffer_bytes_for_size(s);
+      }
+    }
+
+    // Reply-port pools: one buffer per class (single outstanding
+    // synchronous request per process).
+    std::size_t rbytes = 0;
+    for (int s = 4; s <= max_prepost_size(); ++s) {
+      rbytes += static_cast<std::size_t>(config_.sync_prepost_per_size) *
+                gm::buffer_bytes_for_size(s);
+    }
+    std::byte* r = make_slab(rbytes);
+    for (int s = 4; s <= max_prepost_size(); ++s) {
+      for (int i = 0; i < config_.sync_prepost_per_size; ++i) {
+        rep_port_->provide_receive_buffer(r, s);
+        r += gm::buffer_bytes_for_size(s);
+      }
+    }
+  }
+
+  // Send-buffer pool (paper §2.2.3): registered, copied into, recycled via
+  // the send callback; generous enough that handlers never wait.
+  const int pool = config_.send_pool > 0 ? config_.send_pool : 2 * n + 8;
+  constexpr std::size_t kSendBuf = 32768;
+  std::byte* s = make_slab(static_cast<std::size_t>(pool) * kSendBuf);
+  for (int i = 0; i < pool; ++i) {
+    send_free_.push_back(s);
+    s += kSendBuf;
+  }
+
+  // Asynchronous notification (§2.2.4).
+  switch (config_.async_scheme) {
+    case AsyncScheme::Interrupt:
+    case AsyncScheme::PollingThread:
+      irq_ = node_.add_interrupt([this] { on_async_notify(); });
+      req_port_->set_receive_interrupt(irq_);
+      break;
+    case AsyncScheme::Timer: {
+      irq_ = node_.add_interrupt([this] { on_async_notify(); });
+      // Self-rescheduling periodic check (the "timer wakes a thread"
+      // option of §2.2.4).
+      struct Rearm {
+        FastGmSubstrate* sub;
+        void operator()() const {
+          if (sub->stopped_) return;
+          sub->node_.raise_interrupt(sub->irq_);
+          sub->timer_event_ = sub->gm_.network().engine().after(
+              sub->config_.timer_period, Rearm{sub});
+        }
+      };
+      timer_event_ =
+          gm_.network().engine().after(config_.timer_period, Rearm{this});
+      break;
+    }
+  }
+}
+
+double FastGmSubstrate::compute_tax() const {
+  return config_.async_scheme == AsyncScheme::PollingThread
+             ? config_.polling_tax
+             : 0.0;
+}
+
+void FastGmSubstrate::shutdown() {
+  stopped_ = true;
+  timer_event_.cancel();
+}
+
+void FastGmSubstrate::set_request_handler(RequestHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void FastGmSubstrate::mask_async() { node_.mask_interrupts(); }
+void FastGmSubstrate::unmask_async() { node_.unmask_interrupts(); }
+
+std::size_t FastGmSubstrate::pinned_bytes() const {
+  return nic_.registered_bytes();
+}
+
+std::byte* FastGmSubstrate::acquire_send_buffer() {
+  while (send_free_.empty()) {
+    TMKGM_CHECK_MSG(!node_.in_handler(),
+                    "send-buffer pool exhausted inside a handler; enlarge "
+                    "FastGmConfig::send_pool");
+    send_avail_.wait();
+  }
+  std::byte* buf = send_free_.back();
+  send_free_.pop_back();
+  return buf;
+}
+
+void FastGmSubstrate::release_send_buffer(std::byte* buf) {
+  send_free_.push_back(buf);
+  send_avail_.signal();
+}
+
+void FastGmSubstrate::send_message(sub::MsgKind kind, int origin,
+                                   std::uint32_t seq, int dst, int dst_port,
+                                   std::span<const sub::ConstBuf> iov) {
+  const std::size_t payload = iov_length(iov);
+  const std::size_t total = sizeof(sub::Envelope) + payload;
+  TMKGM_CHECK_MSG(total <= sub::kMaxMessage,
+                  "message too large for the substrate: " << total);
+
+  std::byte* buf = acquire_send_buffer();
+  sub::Envelope env;
+  env.kind = static_cast<std::uint8_t>(kind);
+  env.origin = static_cast<std::uint8_t>(origin);
+  env.seq = seq;
+  std::memcpy(buf, &env, sizeof(env));
+  std::size_t off = sizeof(env);
+  for (const auto& b : iov) {
+    std::memcpy(buf + off, b.data, b.len);
+    off += b.len;
+  }
+  // The paper's send-side copy into registered memory.
+  const auto& cost = gm_.network().cost();
+  node_.compute(cost.mem_op_overhead +
+                transfer_time(payload, cost.memcpy_bytes_per_us));
+
+  const int size = gm::min_size_for_length(total);
+  stats_.bytes_sent += total;
+  gm::Port* port = dst_port == kRequestPort ? req_port_ : rep_port_;
+  port->send_with_callback(
+      buf, size, static_cast<std::uint32_t>(total), dst, dst_port,
+      [this](gm::Status st, void* ctx) {
+        TMKGM_CHECK_MSG(st == gm::Status::Ok,
+                        "FAST/GM send failed (receiver out of buffers?)");
+        release_send_buffer(static_cast<std::byte*>(ctx));
+      },
+      buf);
+}
+
+std::uint32_t FastGmSubstrate::send_request(
+    int dst, std::span<const sub::ConstBuf> iov) {
+  const std::uint32_t seq = next_seq_++;
+  const std::size_t payload = iov_length(iov);
+  ++stats_.requests_sent;
+  if (config_.rendezvous_large &&
+      sizeof(sub::Envelope) + payload > gm::max_length_for_size(12)) {
+    start_rendezvous(sub::MsgKind::RtsRequest, node_id_, seq, dst, iov,
+                     payload);
+  } else {
+    send_message(sub::MsgKind::Request, node_id_, seq, dst, kRequestPort, iov);
+  }
+  return seq;
+}
+
+void FastGmSubstrate::forward(const sub::RequestCtx& ctx, int dst,
+                              std::span<const sub::ConstBuf> iov) {
+  ++stats_.forwards_sent;
+  const std::size_t payload = iov_length(iov);
+  if (config_.rendezvous_large &&
+      sizeof(sub::Envelope) + payload > gm::max_length_for_size(12)) {
+    start_rendezvous(sub::MsgKind::RtsRequest, ctx.origin, ctx.seq, dst, iov,
+                     payload);
+  } else {
+    send_message(sub::MsgKind::Request, ctx.origin, ctx.seq, dst,
+                 kRequestPort, iov);
+  }
+}
+
+void FastGmSubstrate::respond(const sub::RequestCtx& ctx,
+                              std::span<const sub::ConstBuf> iov) {
+  ++stats_.responses_sent;
+  const std::size_t payload = iov_length(iov);
+  if (config_.rendezvous_large &&
+      sizeof(sub::Envelope) + payload > gm::max_length_for_size(12)) {
+    start_rendezvous(sub::MsgKind::RtsResponse, node_id_, ctx.seq, ctx.origin,
+                     iov, payload);
+  } else {
+    send_message(sub::MsgKind::Response, node_id_, ctx.seq, ctx.origin,
+                 kReplyPort, iov);
+  }
+}
+
+void FastGmSubstrate::start_rendezvous(sub::MsgKind rts_kind, int origin,
+                                       std::uint32_t seq, int dst,
+                                       std::span<const sub::ConstBuf> iov,
+                                       std::size_t payload_len) {
+  ++stats_.rendezvous;
+  const auto total =
+      static_cast<std::uint32_t>(sizeof(sub::Envelope) + payload_len);
+
+  // Prepare the data message now so the CTS handler (interrupt context)
+  // can ship it without touching caller memory.
+  std::byte* buf = acquire_send_buffer();
+  sub::Envelope env;
+  env.kind = static_cast<std::uint8_t>(rts_kind == sub::MsgKind::RtsRequest
+                                           ? sub::MsgKind::Request
+                                           : sub::MsgKind::Response);
+  env.origin = static_cast<std::uint8_t>(
+      rts_kind == sub::MsgKind::RtsRequest ? origin : node_id_);
+  env.seq = seq;
+  std::memcpy(buf, &env, sizeof(env));
+  std::size_t off = sizeof(env);
+  for (const auto& b : iov) {
+    std::memcpy(buf + off, b.data, b.len);
+    off += b.len;
+  }
+  const auto& cost = gm_.network().cost();
+  node_.compute(cost.mem_op_overhead +
+                transfer_time(payload_len, cost.memcpy_bytes_per_us));
+
+  PendingLarge pending;
+  pending.buffer = buf;
+  pending.length = total;
+  pending.size_class = gm::min_size_for_length(total);
+  const RendezvousKey key{static_cast<std::uint8_t>(rts_kind), dst, seq};
+  TMKGM_CHECK_MSG(!rendezvous_out_.contains(key),
+                  "duplicate rendezvous in flight");
+  rendezvous_out_[key] = pending;
+
+  // RTS: tiny control message on the request port announcing the length.
+  const std::uint32_t announced = total;
+  sub::ConstBuf body{&announced, sizeof(announced)};
+  send_message(rts_kind, node_id_, seq, dst, kRequestPort,
+               std::span<const sub::ConstBuf>(&body, 1));
+}
+
+void FastGmSubstrate::on_async_notify() {
+  const auto& cost = gm_.network().cost();
+  switch (config_.async_scheme) {
+    case AsyncScheme::Interrupt:
+      node_.compute(cost.gm_interrupt);
+      break;
+    case AsyncScheme::PollingThread:
+      node_.compute(config_.polling_dispatch);
+      break;
+    case AsyncScheme::Timer:
+      node_.compute(config_.timer_check_cost);
+      break;
+  }
+  drain_request_port();
+}
+
+void FastGmSubstrate::drain_request_port() {
+  while (auto msg = req_port_->receive()) handle_request_msg(*msg);
+}
+
+void FastGmSubstrate::handle_request_msg(const gm::RecvMsg& msg) {
+  TMKGM_CHECK(msg.length >= sizeof(sub::Envelope));
+  sub::Envelope env;
+  std::memcpy(&env, msg.buffer, sizeof(env));
+  const auto* payload =
+      static_cast<const std::byte*>(msg.buffer) + sizeof(env);
+  const std::size_t payload_len = msg.length - sizeof(env);
+
+  switch (static_cast<sub::MsgKind>(env.kind)) {
+    case sub::MsgKind::Request: {
+      ++stats_.requests_handled;
+      sub::RequestCtx ctx;
+      ctx.src = msg.sender_node;
+      ctx.origin = env.origin;
+      ctx.seq = env.seq;
+      TMKGM_CHECK_MSG(handler_ != nullptr, "no request handler installed");
+      // Requests are processed in place: no copy (paper §2.2.3).
+      handler_(ctx, std::span<const std::byte>(payload, payload_len));
+      break;
+    }
+    case sub::MsgKind::RtsRequest:
+    case sub::MsgKind::RtsResponse: {
+      // Rendezvous announce: pin a one-shot buffer of the right class and
+      // tell the sender to go ahead.
+      TMKGM_CHECK(payload_len == sizeof(std::uint32_t));
+      std::uint32_t total;
+      std::memcpy(&total, payload, sizeof(total));
+      const int size = gm::min_size_for_length(total);
+      OneShot shot;
+      shot.bytes = gm::buffer_bytes_for_size(size);
+      shot.storage.reset(new std::byte[shot.bytes]);
+      std::byte* base = shot.storage.get();
+      nic_.register_memory(base, shot.bytes);  // charges the pin
+      one_shots_[base] = std::move(shot);
+      const bool for_request =
+          static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::RtsRequest;
+      (for_request ? req_port_ : rep_port_)->provide_receive_buffer(base, size);
+      const std::uint8_t echo_kind = env.kind;
+      sub::ConstBuf body{&echo_kind, sizeof(echo_kind)};
+      send_message(sub::MsgKind::Cts, node_id_, env.seq, msg.sender_node,
+                   kRequestPort, std::span<const sub::ConstBuf>(&body, 1));
+      break;
+    }
+    case sub::MsgKind::Cts: {
+      TMKGM_CHECK(payload_len == sizeof(std::uint8_t));
+      std::uint8_t rts_kind;
+      std::memcpy(&rts_kind, payload, sizeof(rts_kind));
+      const RendezvousKey key{rts_kind, msg.sender_node, env.seq};
+      auto it = rendezvous_out_.find(key);
+      TMKGM_CHECK_MSG(it != rendezvous_out_.end(), "CTS without RTS");
+      PendingLarge pending = it->second;
+      rendezvous_out_.erase(it);
+      const int dst_port =
+          static_cast<sub::MsgKind>(rts_kind) == sub::MsgKind::RtsRequest
+              ? kRequestPort
+              : kReplyPort;
+      stats_.bytes_sent += pending.length;
+      gm::Port* port = dst_port == kRequestPort ? req_port_ : rep_port_;
+      port->send_with_callback(
+          pending.buffer, pending.size_class, pending.length, msg.sender_node,
+          dst_port,
+          [this](gm::Status st, void* ctx) {
+            TMKGM_CHECK(st == gm::Status::Ok);
+            release_send_buffer(static_cast<std::byte*>(ctx));
+          },
+          pending.buffer);
+      break;
+    }
+    case sub::MsgKind::Response:
+      TMKGM_CHECK_MSG(false, "Response arrived on the request port");
+  }
+  consume_request_buffer(msg);
+}
+
+void FastGmSubstrate::consume_request_buffer(const gm::RecvMsg& msg) {
+  auto it = one_shots_.find(msg.buffer);
+  if (it != one_shots_.end()) {
+    nic_.deregister_memory(it->first);
+    one_shots_.erase(it);
+    return;
+  }
+  req_port_->provide_receive_buffer(msg.buffer, msg.size);
+}
+
+void FastGmSubstrate::consume_reply_buffer(const gm::RecvMsg& msg) {
+  auto it = one_shots_.find(msg.buffer);
+  if (it != one_shots_.end()) {
+    nic_.deregister_memory(it->first);
+    one_shots_.erase(it);
+    return;
+  }
+  rep_port_->provide_receive_buffer(msg.buffer, msg.size);
+}
+
+void FastGmSubstrate::handle_reply_msg(const gm::RecvMsg& msg) {
+  TMKGM_CHECK(msg.length >= sizeof(sub::Envelope));
+  sub::Envelope env;
+  std::memcpy(&env, msg.buffer, sizeof(env));
+  TMKGM_CHECK_MSG(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Response,
+                  "non-response on the reply port");
+  const auto* payload =
+      static_cast<const std::byte*>(msg.buffer) + sizeof(env);
+  const std::size_t payload_len = msg.length - sizeof(env);
+
+  // The paper's accepted receive-side copy: responses move from the
+  // registered buffer into TreadMarks-visible memory.
+  if (!config_.zero_copy_responses) {
+    const auto& cost = gm_.network().cost();
+    node_.compute(cost.mem_op_overhead +
+                  transfer_time(payload_len, cost.memcpy_bytes_per_us));
+  }
+  reply_stash_[env.seq].assign(payload, payload + payload_len);
+  consume_reply_buffer(msg);
+}
+
+std::size_t FastGmSubstrate::recv_response(std::uint32_t seq,
+                                           std::span<std::byte> out) {
+  while (true) {
+    auto it = reply_stash_.find(seq);
+    if (it != reply_stash_.end()) {
+      const std::size_t len = it->second.size();
+      TMKGM_CHECK(len <= out.size());
+      std::memcpy(out.data(), it->second.data(), len);
+      reply_stash_.erase(it);
+      return len;
+    }
+    handle_reply_msg(rep_port_->blocking_receive());
+  }
+}
+
+std::size_t FastGmSubstrate::recv_response_any(
+    std::span<const std::uint32_t> seqs, std::span<std::byte> out,
+    std::size_t& len) {
+  TMKGM_CHECK(!seqs.empty());
+  while (true) {
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      auto it = reply_stash_.find(seqs[i]);
+      if (it != reply_stash_.end()) {
+        len = it->second.size();
+        TMKGM_CHECK(len <= out.size());
+        std::memcpy(out.data(), it->second.data(), len);
+        reply_stash_.erase(it);
+        return i;
+      }
+    }
+    handle_reply_msg(rep_port_->blocking_receive());
+  }
+}
+
+}  // namespace tmkgm::fastgm

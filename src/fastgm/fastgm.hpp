@@ -1,0 +1,195 @@
+// FAST/GM: the paper's thin communication substrate between TreadMarks
+// and GM (Section 2).
+//
+// Design decisions reproduced from the paper:
+//  - Connection management (§2.2.1): every node opens exactly TWO ports —
+//    a request port that generates interrupts (the firmware mod) and a
+//    reply port that is polled synchronously. All peers multiplex over
+//    them; a "connection descriptor" is just the destination's GM node id,
+//    so the design scales regardless of GM's 7-usable-port limit.
+//  - Receive-buffer pre-posting (§2.2.2): for n processes and o outstanding
+//    asynchronous messages, post o·(n−1) small (size 4) request buffers,
+//    (n−1) buffers for each size 5..15 (barrier arrivals: one large message
+//    per process at the root), and one reply buffer per size 4..15 (a
+//    single outstanding synchronous request per process) — ≈64KB·(n−1)+64KB
+//    of pinned memory. The rendezvous variant drops sizes ≥13 and pins
+//    on demand (RTS/CTS), trading messages for memory.
+//  - Buffer management (§2.2.3): outgoing messages are COPIED into a pool
+//    of registered send buffers (no TreadMarks changes, enables pipelined
+//    sends); incoming requests are processed in place (no copy); incoming
+//    responses are copied out to the caller (the paper's accepted extra
+//    copy; zero_copy_responses models the alternative they rejected).
+//  - Asynchronous messages (§2.2.4): three schemes — NIC interrupt (the
+//    adopted one), a periodic timer check, and a polling thread (fast
+//    dispatch but taxes every cycle of application compute).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gm/gm.hpp"
+#include "sub/substrate.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::fastgm {
+
+enum class AsyncScheme : std::uint8_t { Interrupt, Timer, PollingThread };
+
+struct FastGmConfig {
+  /// 'o' in the paper's pre-posting formula: outstanding async messages
+  /// allowed per peer before senders start parking.
+  int outstanding_async = 2;
+  /// Pre-posted reply buffers per size class (paper: 1, single outstanding
+  /// synchronous request per process).
+  int sync_prepost_per_size = 1;
+  /// §2.2.2 alternative: drop pre-posting for sizes >= 13 and use an
+  /// RTS/CTS rendezvous that pins memory on demand for messages > 8K.
+  bool rendezvous_large = false;
+  /// §2.2.4 scheme selection.
+  AsyncScheme async_scheme = AsyncScheme::Interrupt;
+  /// Timer scheme: period between checks and cost per check.
+  SimTime timer_period = milliseconds(1.0);
+  SimTime timer_check_cost = microseconds(3.0);
+  /// Polling-thread scheme: dispatch delay once the poller sees a message,
+  /// and the fraction of extra CPU the poller steals from the application
+  /// (1.0 = application compute takes twice as long).
+  SimTime polling_dispatch = microseconds(2.0);
+  double polling_tax = 1.0;
+  /// Send-buffer pool size (0 = auto: 2n+8).
+  int send_pool = 0;
+  /// Models the rejected zero-copy alternative of §2.2.3: responses are
+  /// handed to TreadMarks without the receive-side copy charge.
+  bool zero_copy_responses = false;
+};
+
+inline constexpr int kRequestPort = 2;
+inline constexpr int kReplyPort = 3;
+
+using sub::kMaxPayload;
+
+class FastGmSubstrate;
+
+/// Cluster-wide factory; each node creates its substrate from its own
+/// context (buffer registration charges that node's CPU).
+class FastGmCluster {
+ public:
+  explicit FastGmCluster(gm::GmSystem& gm, const FastGmConfig& config = {});
+
+  /// Must be called from node `id`'s context, once.
+  FastGmSubstrate& create(int id);
+  FastGmSubstrate& substrate(int id);
+
+  const FastGmConfig& config() const { return config_; }
+
+ private:
+  gm::GmSystem& gm_;
+  FastGmConfig config_;
+  std::vector<std::unique_ptr<FastGmSubstrate>> substrates_;
+};
+
+class FastGmSubstrate final : public sub::Substrate {
+ public:
+  FastGmSubstrate(gm::GmSystem& gm, int node_id, const FastGmConfig& config);
+  ~FastGmSubstrate() override;
+
+  // --- sub::Substrate -------------------------------------------------
+  const char* name() const override { return "FAST/GM"; }
+  int self() const override { return node_id_; }
+  int n_procs() const override;
+  void set_request_handler(RequestHandler handler) override;
+  std::uint32_t send_request(int dst,
+                             std::span<const sub::ConstBuf> iov) override;
+  void forward(const sub::RequestCtx& ctx, int dst,
+               std::span<const sub::ConstBuf> iov) override;
+  void respond(const sub::RequestCtx& ctx,
+               std::span<const sub::ConstBuf> iov) override;
+  std::size_t recv_response(std::uint32_t seq,
+                            std::span<std::byte> out) override;
+  std::size_t recv_response_any(std::span<const std::uint32_t> seqs,
+                                std::span<std::byte> out,
+                                std::size_t& len) override;
+  void mask_async() override;
+  void unmask_async() override;
+  Stats stats() const override { return stats_; }
+  std::size_t pinned_bytes() const override;
+  using sub::Substrate::forward;
+  using sub::Substrate::respond;
+  using sub::Substrate::send_request;
+
+  /// Extra multiplier on application compute (§2.2.4 polling thread tax):
+  /// TreadMarks charges compute ×(1 + compute_tax()).
+  double compute_tax() const;
+
+  /// Stops timers so the simulation can drain; call when the node's
+  /// program is done with the substrate.
+  void shutdown();
+
+  const FastGmConfig& config() const { return config_; }
+
+ private:
+  struct OneShot {
+    std::unique_ptr<std::byte[]> storage;
+    std::size_t bytes = 0;
+  };
+  struct PendingLarge {
+    std::byte* buffer = nullptr;  // prepared send-pool buffer
+    std::uint32_t length = 0;     // envelope + payload
+    int size_class = 0;
+  };
+  using RendezvousKey = std::tuple<std::uint8_t, int, std::uint32_t>;
+
+  void setup();
+  void on_async_notify();
+  void drain_request_port();
+  void handle_request_msg(const gm::RecvMsg& msg);
+  void handle_reply_msg(const gm::RecvMsg& msg);
+  void consume_request_buffer(const gm::RecvMsg& msg);
+  void consume_reply_buffer(const gm::RecvMsg& msg);
+
+  std::byte* acquire_send_buffer();
+  void release_send_buffer(std::byte* buf);
+
+  /// Copies envelope+iov into a send buffer and ships it.
+  void send_message(sub::MsgKind kind, int origin, std::uint32_t seq, int dst,
+                    int dst_port, std::span<const sub::ConstBuf> iov);
+  /// Rendezvous start: prepare the data message, send the RTS.
+  void start_rendezvous(sub::MsgKind rts_kind, int origin, std::uint32_t seq,
+                        int dst, std::span<const sub::ConstBuf> iov,
+                        std::size_t payload_len);
+
+  int max_prepost_size() const {
+    return config_.rendezvous_large ? 12 : gm::kMaxSize;
+  }
+
+  gm::GmSystem& gm_;
+  const int node_id_;
+  FastGmConfig config_;
+  gm::GmNic& nic_;
+  gm::Port* req_port_ = nullptr;
+  gm::Port* rep_port_ = nullptr;
+  sim::Node& node_;
+
+  RequestHandler handler_;
+
+  // Registered slabs: one per receive pool and one for send buffers.
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::size_t slab_bytes_ = 0;
+  std::vector<std::byte*> send_free_;
+  sim::Condition send_avail_;
+
+  std::map<std::uint32_t, std::vector<std::byte>> reply_stash_;
+  std::map<RendezvousKey, PendingLarge> rendezvous_out_;
+  std::map<const void*, OneShot> one_shots_;
+
+  std::uint32_t next_seq_ = 1;
+  int irq_ = -1;
+  bool stopped_ = false;
+  sim::EventHandle timer_event_;
+  Stats stats_;
+};
+
+}  // namespace tmkgm::fastgm

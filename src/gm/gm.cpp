@@ -1,0 +1,232 @@
+#include "gm/gm.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace tmkgm::gm {
+
+GmSystem::GmSystem(net::Network& network, const GmConfig& config)
+    : network_(network), config_(config) {
+  TMKGM_CHECK(config_.max_ports >= 2);
+  const int n = network_.n_nodes();
+  TMKGM_CHECK_MSG(static_cast<std::size_t>(n) <=
+                      network_.engine().node_count(),
+                  "network has more nodes than the engine");
+  nics_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nics_.emplace_back(new GmNic(*this, network_.engine().node(i)));
+  }
+}
+
+GmNic& GmSystem::nic(int node) {
+  TMKGM_CHECK(node >= 0 && static_cast<std::size_t>(node) < nics_.size());
+  return *nics_[static_cast<std::size_t>(node)];
+}
+
+int GmSystem::n_nodes() const { return static_cast<int>(nics_.size()); }
+
+GmNic::GmNic(GmSystem& system, sim::Node& node)
+    : system_(system), node_(node) {
+  ports_.resize(static_cast<std::size_t>(system_.config().max_ports));
+}
+
+Port& GmNic::open_port(int port_id) {
+  TMKGM_CHECK_MSG(port_id != 0, "port 0 is reserved for the GM mapper");
+  TMKGM_CHECK_MSG(port_id > 0 && port_id < system_.config().max_ports,
+                  "GM exposes only " << system_.config().max_ports
+                                     << " ports per NIC");
+  auto& slot = ports_[static_cast<std::size_t>(port_id)];
+  TMKGM_CHECK_MSG(slot == nullptr, "port " << port_id << " already open");
+  slot.reset(new Port(*this, port_id));
+  return *slot;
+}
+
+Port* GmNic::port(int port_id) {
+  if (port_id < 0 || static_cast<std::size_t>(port_id) >= ports_.size()) {
+    return nullptr;
+  }
+  return ports_[static_cast<std::size_t>(port_id)].get();
+}
+
+void GmNic::register_memory(const void* addr, std::size_t len) {
+  pinned_.register_memory(node_, addr, len,
+                          system_.network().cost().gm_register_per_page);
+}
+
+void GmNic::deregister_memory(const void* addr) {
+  pinned_.deregister_memory(addr);
+}
+
+bool GmNic::is_registered(const void* addr, std::size_t len) const {
+  return pinned_.is_registered(addr, len);
+}
+
+std::size_t GmNic::registered_bytes() const {
+  return pinned_.registered_bytes();
+}
+
+Port::Port(GmNic& nic, int port_id)
+    : nic_(nic),
+      port_id_(port_id),
+      send_tokens_(nic.system_.config().send_tokens),
+      recv_cond_(nic.node_) {}
+
+int Port::posted_buffers(int size) const {
+  auto it = buffers_.find(size);
+  return it == buffers_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void Port::provide_receive_buffer(void* buf, int size) {
+  TMKGM_CHECK(buf != nullptr);
+  TMKGM_CHECK(size >= kMinSize && size <= kMaxSize);
+  TMKGM_CHECK_MSG(
+      nic_.is_registered(buf, buffer_bytes_for_size(size)),
+      "receive buffer not in registered memory (node " << node_id() << ")");
+  auto& parked = parked_[size];
+  if (!parked.empty()) {
+    auto msg = parked.front();
+    parked.pop_front();
+    msg->timeout.cancel();
+    complete_into_buffer(*msg, buf);
+  } else {
+    buffers_[size].push_back(buf);
+  }
+}
+
+void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
+                              int dest_node, int dest_port,
+                              SendCallback callback, void* context) {
+  auto& engine = nic_.system_.network().engine();
+  TMKGM_CHECK_MSG(engine.current_node() == &nic_.node_,
+                  "send from wrong node context");
+  TMKGM_CHECK(callback != nullptr);
+  TMKGM_CHECK(size >= kMinSize && size <= kMaxSize);
+  TMKGM_CHECK_MSG(len <= max_length_for_size(size),
+                  "length " << len << " exceeds size class " << size);
+  TMKGM_CHECK(dest_node >= 0 && dest_node < nic_.system_.n_nodes());
+  TMKGM_CHECK(dest_node != node_id());
+  TMKGM_CHECK_MSG(nic_.is_registered(buf, len),
+                  "send buffer not in registered memory");
+
+  if (!enabled_) {
+    engine.after(0, [callback, context] {
+      callback(Status::SendPortDisabled, context);
+    });
+    return;
+  }
+  TMKGM_CHECK_MSG(send_tokens_ > 0, "out of GM send tokens");
+  --send_tokens_;
+  ++stats_.sends;
+
+  const auto& cost = nic_.system_.network().cost();
+  nic_.node_.compute(cost.gm_host_send);
+
+  auto msg = std::make_shared<Inbound>();
+  msg->data.resize(len);
+  std::memcpy(msg->data.data(), buf, len);
+  msg->size = size;
+  msg->sender_node = node_id();
+  msg->sender_port = port_id_;
+
+  Port* self = this;
+  msg->complete = [&engine, &cost, self, callback, context](Status st) {
+    const SimTime ack_delay =
+        st == Status::Ok ? cost.gm_switch_hop * cost.hops : 0;
+    engine.after(ack_delay, [self, st, callback, context] {
+      if (st != Status::Ok) {
+        self->enabled_ = false;
+        ++self->stats_.send_failures;
+      }
+      ++self->send_tokens_;
+      callback(st, context);
+    });
+  };
+
+  auto& system = nic_.system_;
+  system.network().transfer(
+      node_id(), dest_node,
+      len + system.config().wire_header_bytes,
+      [&system, dest_node, dest_port, msg] {
+        Port* port = system.nic(dest_node).port(dest_port);
+        if (port == nullptr) {
+          // No such port: the message can never be claimed; GM's resend
+          // timer eventually fails the send.
+          auto& eng = system.network().engine();
+          auto done = msg->complete;
+          eng.after(system.network().cost().gm_resend_timeout,
+                    [done] { done(Status::SendTimedOut); });
+          return;
+        }
+        port->deliver(msg);
+      });
+}
+
+void Port::deliver(std::shared_ptr<Inbound> msg) {
+  auto& pool = buffers_[msg->size];
+  auto& parked = parked_[msg->size];
+  if (!pool.empty() && parked.empty()) {
+    void* buf = pool.front();
+    pool.pop_front();
+    complete_into_buffer(*msg, buf);
+    return;
+  }
+  // Park behind any earlier arrivals of the same class (FIFO per size).
+  ++stats_.parked;
+  auto& engine = nic_.system_.network().engine();
+  Port* self = this;
+  auto weak = std::weak_ptr<Inbound>(msg);
+  msg->timeout = engine.after(
+      nic_.system_.network().cost().gm_resend_timeout, [self, weak] {
+        auto m = weak.lock();
+        if (!m) return;
+        auto& q = self->parked_[m->size];
+        for (auto it = q.begin(); it != q.end(); ++it) {
+          if (it->get() == m.get()) {
+            q.erase(it);
+            break;
+          }
+        }
+        m->complete(Status::SendTimedOut);
+      });
+  parked.push_back(std::move(msg));
+}
+
+void Port::complete_into_buffer(Inbound& msg, void* buf) {
+  std::memcpy(buf, msg.data.data(), msg.data.size());
+  RecvMsg out;
+  out.buffer = buf;
+  out.length = static_cast<std::uint32_t>(msg.data.size());
+  out.size = msg.size;
+  out.sender_node = msg.sender_node;
+  out.sender_port = msg.sender_port;
+  recv_queue_.push_back(out);
+  ++stats_.receives;
+  msg.complete(Status::Ok);
+  recv_cond_.signal();
+  if (recv_irq_ >= 0) nic_.node_.raise_interrupt(recv_irq_);
+}
+
+std::optional<RecvMsg> Port::receive() {
+  if (recv_queue_.empty()) return std::nullopt;
+  RecvMsg msg = recv_queue_.front();
+  recv_queue_.pop_front();
+  nic_.node_.compute(nic_.system_.network().cost().gm_host_recv);
+  return msg;
+}
+
+RecvMsg Port::blocking_receive() {
+  while (recv_queue_.empty()) recv_cond_.wait();
+  RecvMsg msg = recv_queue_.front();
+  recv_queue_.pop_front();
+  nic_.node_.compute(nic_.system_.network().cost().gm_host_recv);
+  return msg;
+}
+
+void Port::reenable() {
+  TMKGM_CHECK(!enabled_);
+  nic_.node_.compute(nic_.system_.network().cost().gm_port_reenable);
+  enabled_ = true;
+}
+
+}  // namespace tmkgm::gm

@@ -1,0 +1,182 @@
+// GM user-level messaging over the Myrinet model.
+//
+// API-level reimplementation of the GM semantics the paper's substrate
+// design hinges on:
+//  - connectionless, reliable, in-order delivery between (node, port) pairs;
+//  - at most 8 ports per NIC, port 0 reserved for the mapper (7 usable);
+//  - sends and receives must target registered (pinned) memory;
+//  - receives must be pre-posted per size class; a message that finds no
+//    matching buffer parks, and if none appears within gm_resend_timeout the
+//    *send* fails via callback and the sending port is disabled (re-enabling
+//    probes the network and is expensive);
+//  - no asynchronous notification: receivers poll — except through the
+//    paper's firmware modification, exposed here as
+//    Port::set_receive_interrupt(), which raises a host interrupt per
+//    arrival on that port;
+//  - send tokens bound the number of in-flight sends per port.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gm/sizes.hpp"
+#include "net/network.hpp"
+#include "net/pinned.hpp"
+#include "sim/node.hpp"
+
+namespace tmkgm::gm {
+
+enum class Status : std::uint8_t {
+  Ok,
+  SendTimedOut,   // no receive buffer appeared within gm_resend_timeout
+  SendPortDisabled,  // port was disabled by an earlier failure
+};
+
+/// One received message, referencing the user's pre-posted buffer.
+struct RecvMsg {
+  void* buffer = nullptr;
+  std::uint32_t length = 0;
+  int size = 0;
+  int sender_node = -1;
+  int sender_port = -1;
+};
+
+struct GmConfig {
+  int max_ports = 8;       // including the reserved mapper port 0
+  int send_tokens = 64;    // per port
+  std::uint32_t wire_header_bytes = 16;
+};
+
+class GmNic;
+class Port;
+
+/// Cluster-wide GM instance: one NIC per simulated node.
+class GmSystem {
+ public:
+  GmSystem(net::Network& network, const GmConfig& config = {});
+
+  GmNic& nic(int node);
+  int n_nodes() const;
+  const GmConfig& config() const { return config_; }
+  net::Network& network() { return network_; }
+
+ private:
+  net::Network& network_;
+  GmConfig config_;
+  std::vector<std::unique_ptr<GmNic>> nics_;
+};
+
+/// Per-node NIC: port table and registered-memory registry.
+class GmNic {
+ public:
+  GmNic(GmSystem& system, sim::Node& node);
+
+  sim::Node& node() { return node_; }
+  int node_id() const { return node_.id(); }
+
+  /// Opens a port (1..max_ports-1; 0 is the mapper's). Charges nothing;
+  /// opening twice is a usage error.
+  Port& open_port(int port_id);
+  Port* port(int port_id);
+
+  /// Pins [addr, addr+len); sends/receives must fall inside a registered
+  /// region. Charges gm_register_per_page on the node's CPU.
+  void register_memory(const void* addr, std::size_t len);
+  void deregister_memory(const void* addr);
+  bool is_registered(const void* addr, std::size_t len) const;
+  std::size_t registered_bytes() const;
+
+ private:
+  friend class Port;
+  GmSystem& system_;
+  sim::Node& node_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  net::PinnedRegistry pinned_;
+};
+
+class Port {
+ public:
+  using SendCallback = std::function<void(Status, void* context)>;
+
+  int port_id() const { return port_id_; }
+  int node_id() const { return nic_.node_id(); }
+  bool enabled() const { return enabled_; }
+
+  /// Posts a receive buffer of the given size class. The buffer must be
+  /// registered and at least buffer_bytes_for_size(size) long.
+  void provide_receive_buffer(void* buf, int size);
+
+  /// Sends `len` bytes from registered memory `buf` (declared size class
+  /// `size`) to (dest_node, dest_port). The callback fires in the sender's
+  /// event context when the message is delivered (Status::Ok) or when GM's
+  /// resend timer gives up (Status::SendTimedOut, port disabled). The user
+  /// must not reuse `buf` until the callback.
+  void send_with_callback(const void* buf, int size, std::uint32_t len,
+                          int dest_node, int dest_port, SendCallback callback,
+                          void* context);
+
+  /// Polls for the next received message (non-blocking).
+  std::optional<RecvMsg> receive();
+
+  /// Blocks (polling the NIC) until a message arrives.
+  RecvMsg blocking_receive();
+
+  /// Firmware modification (paper §2.2.4): raise `irq` on the host for
+  /// every message received on this port. Pass -1 to restore stock GM.
+  void set_receive_interrupt(int irq) { recv_irq_ = irq; }
+
+  /// Re-enables a port disabled by a send failure; charges the network
+  /// probe on the caller's CPU.
+  void reenable();
+
+  int send_tokens() const { return send_tokens_; }
+  int posted_buffers(int size) const;
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t send_failures = 0;
+    std::uint64_t receives = 0;
+    std::uint64_t parked = 0;  // messages that had to wait for a buffer
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class GmNic;
+  friend class GmSystem;
+
+  Port(GmNic& nic, int port_id);
+
+  /// A message that has arrived at this NIC and needs a buffer.
+  struct Inbound {
+    std::vector<std::byte> data;
+    int size = 0;
+    int sender_node = -1;
+    int sender_port = -1;
+    std::function<void(Status)> complete;  // notifies the sender side
+    sim::EventHandle timeout;
+  };
+
+  /// Called in event context when a message arrives at the receiving NIC.
+  void deliver(std::shared_ptr<Inbound> msg);
+  void complete_into_buffer(Inbound& msg, void* buf);
+
+  GmNic& nic_;
+  const int port_id_;
+  bool enabled_ = true;
+  int send_tokens_;
+  int recv_irq_ = -1;
+
+  std::map<int, std::deque<void*>> buffers_;                 // size -> FIFO
+  std::map<int, std::deque<std::shared_ptr<Inbound>>> parked_;  // size -> FIFO
+  std::deque<RecvMsg> recv_queue_;
+  sim::Condition recv_cond_;
+  Stats stats_;
+};
+
+}  // namespace tmkgm::gm

@@ -1,0 +1,121 @@
+#include "gm/nic_sync.hpp"
+
+#include "util/check.hpp"
+
+namespace tmkgm::gm {
+
+namespace {
+/// A firmware sync packet: command + ids; rides the fabric like any small
+/// message.
+constexpr std::uint64_t kFwPacketBytes = 16;
+/// Firmware processing per sync packet at the root LANai, beyond the
+/// generic per-message NIC occupancy already modeled by the fabric.
+constexpr SimTime kFwOp = 500;
+}  // namespace
+
+NicSyncSystem::NicSyncSystem(GmSystem& gm, int root, int n_locks)
+    : gm_(gm), root_(root), locks_(static_cast<std::size_t>(n_locks)) {
+  const auto n = static_cast<std::size_t>(gm_.n_nodes());
+  barrier_waiters_.resize(n);
+  lock_waiters_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& node = gm_.nic(static_cast<int>(i)).node();
+    barrier_waiters_[i] = std::make_unique<sim::Condition>(node);
+    lock_waiters_[i] = std::make_unique<sim::Condition>(node);
+  }
+}
+
+void NicSyncSystem::firmware_send(int src, int dst,
+                                  std::function<void()> on_arrival) {
+  ++stats_.packets;
+  auto& engine = gm_.network().engine();
+  if (src == dst) {
+    // Local NIC command: just the firmware op.
+    engine.after(kFwOp, std::move(on_arrival));
+    return;
+  }
+  gm_.network().transfer(src, dst, kFwPacketBytes,
+                         [&engine, fn = std::move(on_arrival)]() mutable {
+                           engine.after(kFwOp, std::move(fn));
+                         });
+}
+
+void NicSyncSystem::wake(int node_id, sim::Condition& cond) {
+  // The host notices the completion with its usual receive-poll cost; the
+  // charge lands when the woken node resumes (it is blocked on `cond`).
+  (void)node_id;
+  cond.signal();
+}
+
+void NicSyncSystem::barrier(int node_id) {
+  auto& node = gm_.nic(node_id).node();
+  TMKGM_CHECK_MSG(node.is_current(), "barrier outside node context");
+  node.compute(gm_.network().cost().gm_host_send);  // post the command
+
+  const int n = gm_.n_nodes();
+  firmware_send(node_id, root_, [this, n] {
+    ++arrived_;
+    if (arrived_ < n) return;
+    arrived_ = 0;
+    ++stats_.barriers;
+    // Root firmware multicasts the release.
+    for (int p = 0; p < gm_.n_nodes(); ++p) {
+      firmware_send(root_, p, [this, p] {
+        wake(p, *barrier_waiters_[static_cast<std::size_t>(p)]);
+      });
+    }
+  });
+
+  barrier_waiters_[static_cast<std::size_t>(node_id)]->wait();
+  node.compute(gm_.network().cost().gm_host_recv);  // notice the release
+}
+
+void NicSyncSystem::lock_acquire(int node_id, int lock) {
+  TMKGM_CHECK(lock >= 0 &&
+              static_cast<std::size_t>(lock) < locks_.size());
+  auto& node = gm_.nic(node_id).node();
+  TMKGM_CHECK_MSG(node.is_current(), "lock_acquire outside node context");
+  node.compute(gm_.network().cost().gm_host_send);
+
+  firmware_send(node_id, root_, [this, node_id, lock] {
+    FwLock& L = locks_[static_cast<std::size_t>(lock)];
+    if (L.holder < 0) {
+      L.holder = node_id;
+      ++stats_.lock_grants;
+      firmware_send(root_, node_id, [this, node_id] {
+        wake(node_id, *lock_waiters_[static_cast<std::size_t>(node_id)]);
+      });
+    } else {
+      L.queue.push_back(node_id);
+    }
+  });
+
+  lock_waiters_[static_cast<std::size_t>(node_id)]->wait();
+  node.compute(gm_.network().cost().gm_host_recv);
+}
+
+void NicSyncSystem::lock_release(int node_id, int lock) {
+  TMKGM_CHECK(lock >= 0 &&
+              static_cast<std::size_t>(lock) < locks_.size());
+  auto& node = gm_.nic(node_id).node();
+  TMKGM_CHECK_MSG(node.is_current(), "lock_release outside node context");
+  node.compute(gm_.network().cost().gm_host_send);
+
+  firmware_send(node_id, root_, [this, node_id, lock] {
+    FwLock& L = locks_[static_cast<std::size_t>(lock)];
+    TMKGM_CHECK_MSG(L.holder == node_id, "firmware lock released by non-holder");
+    if (L.queue.empty()) {
+      L.holder = -1;
+      return;
+    }
+    const int next = L.queue.front();
+    L.queue.pop_front();
+    L.holder = next;
+    ++stats_.lock_grants;
+    firmware_send(root_, next, [this, next] {
+      wake(next, *lock_waiters_[static_cast<std::size_t>(next)]);
+    });
+  });
+}
+
+}  // namespace tmkgm::gm

@@ -1,0 +1,68 @@
+// NIC-offloaded synchronization — the paper's §5 future work, implemented.
+//
+// "One technique would be to push certain primitives such as locks and
+//  barriers down to the NIC."
+//
+// This models a further GM firmware extension: barrier counting and lock
+// queueing live on the LANai at a root NIC. Hosts post a tiny command
+// descriptor and sleep; arrival/grant packets are consumed entirely in
+// firmware (NIC occupancy, no host interrupt, no SIGIO, no protocol
+// processing), and only the final release/grant wakes the host.
+//
+// Note this is a *synchronization-only* primitive: TreadMarks barriers and
+// locks also carry consistency information (interval records), which would
+// still travel on the host path. The companion bench reports the pure
+// synchronization cost both ways — the gap is the paper's projected win.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gm/gm.hpp"
+
+namespace tmkgm::gm {
+
+class NicSyncSystem {
+ public:
+  /// `root` hosts the firmware counters/queues.
+  NicSyncSystem(GmSystem& gm, int root = 0, int n_locks = 64);
+
+  /// Firmware barrier across all nodes. Called from the node's context.
+  void barrier(int node_id);
+
+  /// Firmware FIFO lock.
+  void lock_acquire(int node_id, int lock);
+  void lock_release(int node_id, int lock);
+
+  struct Stats {
+    std::uint64_t barriers = 0;
+    std::uint64_t lock_grants = 0;
+    std::uint64_t packets = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Ships a firmware-level packet (host not involved at the receiver).
+  void firmware_send(int src, int dst, std::function<void()> on_arrival);
+  void wake(int node_id, sim::Condition& cond);
+
+  GmSystem& gm_;
+  const int root_;
+
+  // Barrier state at the root NIC.
+  int arrived_ = 0;
+  std::vector<std::unique_ptr<sim::Condition>> barrier_waiters_;
+
+  // Lock state at the root NIC: holder (-1 free) + FIFO of waiting nodes.
+  struct FwLock {
+    int holder = -1;
+    std::deque<int> queue;
+  };
+  std::vector<FwLock> locks_;
+  std::vector<std::unique_ptr<sim::Condition>> lock_waiters_;
+
+  Stats stats_;
+};
+
+}  // namespace tmkgm::gm

@@ -1,0 +1,17 @@
+#include "gm/sizes.hpp"
+
+#include "util/check.hpp"
+
+namespace tmkgm::gm {
+
+int min_size_for_length(std::size_t len) {
+  for (int s = kMinSize; s <= kMaxSize; ++s) {
+    if (len <= max_length_for_size(s)) return s;
+  }
+  TMKGM_CHECK_MSG(false, "message of " << len << " bytes exceeds size class "
+                                       << kMaxSize << " ("
+                                       << max_length_for_size(kMaxSize)
+                                       << " bytes)");
+}
+
+}  // namespace tmkgm::gm

@@ -1,0 +1,33 @@
+// GM size classes.
+//
+// GM matches an incoming message of length l to a pre-posted receive buffer
+// of the smallest "size" s such that l <= max_length_for_size(s), where
+// max_length_for_size(s) = 2^s - 8 (8 bytes of GM header share the buffer).
+// The paper's worked numbers confirm this: 8-byte requests are size 4,
+// size 5 holds up to 24 bytes, size 13 ~8K, and size 15 holds 32760 bytes —
+// "the largest message TreadMarks could potentially send".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmkgm::gm {
+
+/// Smallest usable size class (max_length_for_size(4) == 8 bytes).
+inline constexpr int kMinSize = 4;
+/// Largest size class used by the substrate (32760 bytes).
+inline constexpr int kMaxSize = 15;
+
+constexpr std::size_t max_length_for_size(int size) {
+  return (std::size_t{1} << size) - 8;
+}
+
+/// Smallest size class whose buffer holds a message of length `len`.
+int min_size_for_length(std::size_t len);
+
+/// Host buffer bytes needed to post a receive of class `size`.
+constexpr std::size_t buffer_bytes_for_size(int size) {
+  return std::size_t{1} << size;
+}
+
+}  // namespace tmkgm::gm

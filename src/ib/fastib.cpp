@@ -1,0 +1,253 @@
+#include "ib/fastib.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace tmkgm::ib {
+
+namespace {
+constexpr std::size_t kSlot = 32768;  // per-peer reply slot / buffer size
+}
+
+FastIbCluster::FastIbCluster(IbSystem& ib, const FastIbConfig& config)
+    : ib_(ib), config_(config) {
+  substrates_.resize(static_cast<std::size_t>(ib.n_nodes()));
+}
+
+FastIbSubstrate& FastIbCluster::create(int id) {
+  auto& slot = substrates_.at(static_cast<std::size_t>(id));
+  TMKGM_CHECK_MSG(slot == nullptr, "substrate already created for node " << id);
+  slot.reset(new FastIbSubstrate(*this, id));
+  return *slot;
+}
+
+FastIbSubstrate& FastIbCluster::substrate(int id) {
+  auto& slot = substrates_.at(static_cast<std::size_t>(id));
+  TMKGM_CHECK(slot != nullptr);
+  return *slot;
+}
+
+FastIbSubstrate::FastIbSubstrate(FastIbCluster& cluster, int node_id)
+    : cluster_(cluster),
+      node_id_(node_id),
+      hca_(cluster.ib_.hca(node_id)),
+      node_(hca_.node()),
+      send_avail_(hca_.node()) {
+  TMKGM_CHECK_MSG(node_.is_current(),
+                  "substrate must be created from its node's context");
+  const int n = n_procs();
+
+  auto make_slab = [&](std::size_t bytes) -> std::byte* {
+    slabs_.emplace_back(new std::byte[bytes]);
+    hca_.register_memory(slabs_.back().get(), bytes);
+    return slabs_.back().get();
+  };
+
+  // Reply slots: reply_slots sub-slots per peer, RDMA targets; the
+  // sub-slot is chosen by seq so several requests to one target can be
+  // pipelined without overwriting each other.
+  reply_slab_ = make_slab(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(
+                              cluster_.config_.reply_slots) *
+                          kSlot);
+
+  // Per-peer QPs with pre-posted receives for incoming requests.
+  if (n > 1) {
+    std::byte* r = make_slab(static_cast<std::size_t>(n - 1) *
+                             static_cast<std::size_t>(
+                                 cluster_.config_.recv_per_qp) *
+                             kSlot);
+    for (int p = 0; p < n; ++p) {
+      if (p == node_id_) continue;
+      auto& qp = hca_.qp(p);
+      for (int k = 0; k < cluster_.config_.recv_per_qp; ++k) {
+        qp.post_recv(r, kSlot);
+        r += kSlot;
+      }
+    }
+  }
+
+  // Send pool.
+  const int pool =
+      cluster_.config_.send_pool > 0 ? cluster_.config_.send_pool : 2 * n + 8;
+  std::byte* s = make_slab(static_cast<std::size_t>(pool) * kSlot);
+  for (int i = 0; i < pool; ++i) {
+    send_free_.push_back(s);
+    s += kSlot;
+  }
+
+  // Completion-channel interrupt for incoming requests.
+  irq_ = node_.add_interrupt([this] { on_recv_event(); });
+  hca_.set_recv_interrupt(irq_);
+}
+
+int FastIbSubstrate::n_procs() const { return cluster_.ib_.n_nodes(); }
+
+void FastIbSubstrate::set_request_handler(RequestHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void FastIbSubstrate::mask_async() { node_.mask_interrupts(); }
+void FastIbSubstrate::unmask_async() { node_.unmask_interrupts(); }
+
+std::size_t FastIbSubstrate::pinned_bytes() const {
+  return hca_.registered_bytes();
+}
+
+std::byte* FastIbSubstrate::reply_slot_for(int peer, std::uint32_t seq) {
+  TMKGM_CHECK(peer >= 0 && peer < n_procs());
+  const auto k = static_cast<std::uint32_t>(cluster_.config_.reply_slots);
+  return reply_slab_ +
+         (static_cast<std::size_t>(peer) * k + seq % k) * kSlot;
+}
+
+std::byte* FastIbSubstrate::acquire_send_buffer() {
+  while (send_free_.empty()) {
+    TMKGM_CHECK_MSG(!node_.in_handler(),
+                    "send-buffer pool exhausted inside a handler");
+    send_avail_.wait();
+  }
+  std::byte* buf = send_free_.back();
+  send_free_.pop_back();
+  return buf;
+}
+
+void FastIbSubstrate::release_send_buffer(std::byte* buf) {
+  send_free_.push_back(buf);
+  send_avail_.signal();
+}
+
+void FastIbSubstrate::send_message(sub::MsgKind kind, int origin,
+                                   std::uint32_t seq, int dst,
+                                   std::span<const sub::ConstBuf> iov) {
+  std::size_t payload = 0;
+  for (const auto& b : iov) payload += b.len;
+  const std::size_t total = sizeof(sub::Envelope) + payload;
+  TMKGM_CHECK_MSG(total <= kSlot, "message too large: " << total);
+
+  std::byte* buf = acquire_send_buffer();
+  sub::Envelope env;
+  env.kind = static_cast<std::uint8_t>(kind);
+  env.origin = static_cast<std::uint8_t>(origin);
+  env.seq = seq;
+  std::memcpy(buf, &env, sizeof(env));
+  std::size_t off = sizeof(env);
+  for (const auto& b : iov) {
+    std::memcpy(buf + off, b.data, b.len);
+    off += b.len;
+  }
+  const auto& cost = cluster_.ib_.network().cost();
+  node_.compute(cost.mem_op_overhead +
+                transfer_time(payload, cost.memcpy_bytes_per_us));
+  stats_.bytes_sent += total;
+
+  if (kind == sub::MsgKind::Response) {
+    // One-sided: place the response in the origin's reply slot for us and
+    // ring the doorbell with the seq as immediate data.
+    std::byte* remote =
+        cluster_.substrate(dst).reply_slot_for(node_id_, seq);
+    hca_.qp(dst).rdma_write(buf, remote, static_cast<std::uint32_t>(total),
+                            seq, [this, buf] { release_send_buffer(buf); });
+  } else {
+    hca_.qp(dst).post_send(buf, static_cast<std::uint32_t>(total),
+                           [this, buf] { release_send_buffer(buf); });
+  }
+}
+
+std::uint32_t FastIbSubstrate::send_request(
+    int dst, std::span<const sub::ConstBuf> iov) {
+  const std::uint32_t seq = next_seq_++;
+  ++stats_.requests_sent;
+  send_message(sub::MsgKind::Request, node_id_, seq, dst, iov);
+  return seq;
+}
+
+void FastIbSubstrate::forward(const sub::RequestCtx& ctx, int dst,
+                              std::span<const sub::ConstBuf> iov) {
+  ++stats_.forwards_sent;
+  send_message(sub::MsgKind::Request, ctx.origin, ctx.seq, dst, iov);
+}
+
+void FastIbSubstrate::respond(const sub::RequestCtx& ctx,
+                              std::span<const sub::ConstBuf> iov) {
+  ++stats_.responses_sent;
+  send_message(sub::MsgKind::Response, node_id_, ctx.seq, ctx.origin, iov);
+}
+
+void FastIbSubstrate::on_recv_event() {
+  node_.compute(cluster_.ib_.network().cost().ib_interrupt);
+  while (auto c = hca_.poll_recv_cq()) handle_request_msg(*c);
+}
+
+void FastIbSubstrate::handle_request_msg(const Completion& c) {
+  TMKGM_CHECK(c.kind == Completion::Kind::Recv);
+  TMKGM_CHECK(c.byte_len >= sizeof(sub::Envelope));
+  sub::Envelope env;
+  std::memcpy(&env, c.buffer, sizeof(env));
+  TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Request);
+  ++stats_.requests_handled;
+  sub::RequestCtx ctx;
+  ctx.src = c.peer;
+  ctx.origin = env.origin;
+  ctx.seq = env.seq;
+  const auto* payload = static_cast<const std::byte*>(c.buffer) + sizeof(env);
+  TMKGM_CHECK_MSG(handler_ != nullptr, "no request handler installed");
+  handler_(ctx, std::span<const std::byte>(
+                    payload, c.byte_len - sizeof(sub::Envelope)));
+  // Recycle the receive buffer.
+  hca_.qp(c.peer).post_recv(c.buffer, kSlot);
+}
+
+void FastIbSubstrate::drain_rdma_cq() {
+  const Completion c = hca_.wait_rdma_cq();
+  TMKGM_CHECK(c.kind == Completion::Kind::RdmaImm);
+  const std::byte* slot = reply_slot_for(c.peer, c.imm);
+  sub::Envelope env;
+  std::memcpy(&env, slot, sizeof(env));
+  TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Response);
+  TMKGM_CHECK(env.seq == c.imm);
+  const std::size_t payload_len = c.byte_len - sizeof(env);
+  // Single copy out of the slot into TreadMarks-visible storage.
+  const auto& cost = cluster_.ib_.network().cost();
+  node_.compute(cost.mem_op_overhead +
+                transfer_time(payload_len, cost.memcpy_bytes_per_us));
+  reply_stash_[env.seq].assign(slot + sizeof(env),
+                               slot + sizeof(env) + payload_len);
+}
+
+std::size_t FastIbSubstrate::recv_response(std::uint32_t seq,
+                                           std::span<std::byte> out) {
+  while (true) {
+    auto it = reply_stash_.find(seq);
+    if (it != reply_stash_.end()) {
+      const std::size_t len = it->second.size();
+      TMKGM_CHECK(len <= out.size());
+      std::memcpy(out.data(), it->second.data(), len);
+      reply_stash_.erase(it);
+      return len;
+    }
+    drain_rdma_cq();
+  }
+}
+
+std::size_t FastIbSubstrate::recv_response_any(
+    std::span<const std::uint32_t> seqs, std::span<std::byte> out,
+    std::size_t& len) {
+  TMKGM_CHECK(!seqs.empty());
+  while (true) {
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      auto it = reply_stash_.find(seqs[i]);
+      if (it != reply_stash_.end()) {
+        len = it->second.size();
+        TMKGM_CHECK(len <= out.size());
+        std::memcpy(out.data(), it->second.data(), len);
+        reply_stash_.erase(it);
+        return i;
+      }
+    }
+    drain_rdma_cq();
+  }
+}
+
+}  // namespace tmkgm::ib

@@ -1,0 +1,234 @@
+#include "ib/verbs.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace tmkgm::ib {
+
+IbSystem::IbSystem(net::Network& network, const IbConfig& config)
+    : network_(network), config_(config) {
+  const int n = network_.n_nodes();
+  hcas_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    hcas_.emplace_back(new Hca(*this, network_.engine().node(i)));
+  }
+}
+
+Hca& IbSystem::hca(int node) {
+  TMKGM_CHECK(node >= 0 && static_cast<std::size_t>(node) < hcas_.size());
+  return *hcas_[static_cast<std::size_t>(node)];
+}
+
+int IbSystem::n_nodes() const { return static_cast<int>(hcas_.size()); }
+
+Hca::Hca(IbSystem& system, sim::Node& node)
+    : system_(system),
+      node_(node),
+      recv_cq_cond_(node),
+      rdma_cq_cond_(node) {}
+
+Qp& Hca::qp(int peer) {
+  TMKGM_CHECK(peer >= 0 && peer < system_.n_nodes());
+  TMKGM_CHECK_MSG(peer != node_id(), "QP to self");
+  auto it = qps_.find(peer);
+  if (it == qps_.end()) {
+    auto q = std::unique_ptr<Qp>(new Qp(*this, peer));
+    q->send_credits_ = static_cast<int>(system_.config().max_send_wr);
+    it = qps_.emplace(peer, std::move(q)).first;
+  }
+  return *it->second;
+}
+
+void Hca::register_memory(const void* addr, std::size_t len) {
+  pinned_.register_memory(node_, addr, len,
+                          system_.network().cost().gm_register_per_page);
+}
+
+void Hca::deregister_memory(const void* addr) {
+  pinned_.deregister_memory(addr);
+}
+
+bool Hca::is_registered(const void* addr, std::size_t len) const {
+  return pinned_.is_registered(addr, len);
+}
+
+std::size_t Hca::registered_bytes() const {
+  return pinned_.registered_bytes();
+}
+
+void Hca::push_recv_completion(Completion c) {
+  recv_cq_.push_back(c);
+  ++stats_.recvs;
+  recv_cq_cond_.signal();
+  if (recv_irq_ >= 0) node_.raise_interrupt(recv_irq_);
+}
+
+void Hca::push_rdma_completion(Completion c) {
+  rdma_cq_.push_back(c);
+  rdma_cq_cond_.signal();
+}
+
+std::optional<Completion> Hca::poll_recv_cq() {
+  if (recv_cq_.empty()) return std::nullopt;
+  Completion c = recv_cq_.front();
+  recv_cq_.pop_front();
+  node_.compute(system_.network().cost().ib_poll);
+  return c;
+}
+
+Completion Hca::wait_recv_cq() {
+  while (recv_cq_.empty()) recv_cq_cond_.wait();
+  Completion c = recv_cq_.front();
+  recv_cq_.pop_front();
+  node_.compute(system_.network().cost().ib_poll);
+  return c;
+}
+
+std::optional<Completion> Hca::poll_rdma_cq() {
+  if (rdma_cq_.empty()) return std::nullopt;
+  Completion c = rdma_cq_.front();
+  rdma_cq_.pop_front();
+  node_.compute(system_.network().cost().ib_poll);
+  return c;
+}
+
+Completion Hca::wait_rdma_cq() {
+  while (rdma_cq_.empty()) rdma_cq_cond_.wait();
+  Completion c = rdma_cq_.front();
+  rdma_cq_.pop_front();
+  node_.compute(system_.network().cost().ib_poll);
+  return c;
+}
+
+void Qp::post_recv(void* buf, std::size_t capacity) {
+  TMKGM_CHECK(buf != nullptr);
+  TMKGM_CHECK_MSG(hca_.is_registered(buf, capacity),
+                  "receive buffer not in registered memory");
+  if (!rnr_parked_.empty()) {
+    auto msg = rnr_parked_.front();
+    rnr_parked_.pop_front();
+    TMKGM_CHECK_MSG(msg->data.size() <= capacity,
+                    "posted receive smaller than parked message");
+    std::memcpy(buf, msg->data.data(), msg->data.size());
+    Completion c;
+    c.kind = Completion::Kind::Recv;
+    c.peer = peer_;
+    c.byte_len = static_cast<std::uint32_t>(msg->data.size());
+    c.buffer = buf;
+    hca_.push_recv_completion(c);
+    msg->complete();
+    return;
+  }
+  recv_queue_.emplace_back(buf, capacity);
+}
+
+void Qp::post_send(const void* buf, std::uint32_t len,
+                   std::function<void()> on_complete) {
+  auto& engine = hca_.system_.network().engine();
+  TMKGM_CHECK_MSG(engine.current_node() == &hca_.node_,
+                  "post_send from wrong node context");
+  TMKGM_CHECK_MSG(hca_.is_registered(buf, len),
+                  "send buffer not in registered memory");
+  TMKGM_CHECK_MSG(send_credits_ > 0, "QP send queue overflow");
+  --send_credits_;
+  ++hca_.stats_.sends;
+
+  const auto& cost = hca_.system_.network().cost();
+  hca_.node_.compute(cost.ib_post);
+
+  auto msg = std::make_shared<Inbound>();
+  msg->data.resize(len);
+  std::memcpy(msg->data.data(), buf, len);
+  Qp* self = this;
+  msg->complete = [&engine, &cost, self, cb = std::move(on_complete)] {
+    const SimTime ack = cost.ib_switch_hop * cost.hops;
+    engine.after(ack, [self, cb] {
+      ++self->send_credits_;
+      cb();
+    });
+  };
+
+  auto& system = hca_.system_;
+  const int src = hca_.node_id();
+  const int dst = peer_;
+  system.network().transfer(
+      src, dst, len + system.config().wire_header_bytes,
+      [&system, src, dst, msg] {
+        system.hca(dst).qp(src).deliver_send(msg);
+      });
+}
+
+void Qp::deliver_send(std::shared_ptr<Inbound> msg) {
+  if (recv_queue_.empty()) {
+    // RNR: the RC protocol retries until a receive shows up.
+    ++hca_.stats_.rnr_parks;
+    rnr_parked_.push_back(std::move(msg));
+    return;
+  }
+  auto [buf, cap] = recv_queue_.front();
+  recv_queue_.pop_front();
+  TMKGM_CHECK_MSG(msg->data.size() <= cap,
+                  "posted receive smaller than incoming message");
+  std::memcpy(buf, msg->data.data(), msg->data.size());
+  Completion c;
+  c.kind = Completion::Kind::Recv;
+  c.peer = peer_;
+  c.byte_len = static_cast<std::uint32_t>(msg->data.size());
+  c.buffer = buf;
+  hca_.push_recv_completion(c);
+  msg->complete();
+}
+
+void Qp::rdma_write(const void* local, void* remote, std::uint32_t len,
+                    std::optional<std::uint32_t> imm,
+                    std::function<void()> on_complete) {
+  auto& engine = hca_.system_.network().engine();
+  TMKGM_CHECK_MSG(engine.current_node() == &hca_.node_,
+                  "rdma_write from wrong node context");
+  TMKGM_CHECK_MSG(hca_.is_registered(local, len),
+                  "RDMA source not in registered memory");
+  Hca& peer_hca = hca_.system_.hca(peer_);
+  TMKGM_CHECK_MSG(peer_hca.is_registered(remote, len),
+                  "RDMA target not in the peer's registered memory");
+  TMKGM_CHECK_MSG(send_credits_ > 0, "QP send queue overflow");
+  --send_credits_;
+  ++hca_.stats_.rdma_writes;
+  hca_.stats_.rdma_bytes += len;
+
+  const auto& cost = hca_.system_.network().cost();
+  hca_.node_.compute(cost.ib_post);
+
+  // Stage the payload (the HCA DMAs it out; the source may be reused once
+  // the completion fires, which we model conservatively by copying here).
+  auto data = std::make_shared<std::vector<std::byte>>(
+      static_cast<const std::byte*>(local),
+      static_cast<const std::byte*>(local) + len);
+
+  auto& system = hca_.system_;
+  const int src = hca_.node_id();
+  const int dst = peer_;
+  Qp* self = this;
+  system.network().transfer(
+      src, dst, len + system.config().wire_header_bytes,
+      [&system, &engine, &cost, self, src, dst, remote, data, imm,
+       cb = std::move(on_complete)] {
+        // One-sided placement: no software at the receiver.
+        std::memcpy(remote, data->data(), data->size());
+        if (imm.has_value()) {
+          Completion c;
+          c.kind = Completion::Kind::RdmaImm;
+          c.peer = src;
+          c.byte_len = static_cast<std::uint32_t>(data->size());
+          c.imm = *imm;
+          system.hca(dst).push_rdma_completion(c);
+        }
+        const SimTime ack = cost.ib_switch_hop * cost.hops;
+        engine.after(ack, [self, cb] {
+          ++self->send_credits_;
+          cb();
+        });
+      });
+}
+
+}  // namespace tmkgm::ib

@@ -1,0 +1,164 @@
+// InfiniBand HCA model — the fabric the paper's §5 future work points at
+// ("InfiniBand connected clusters offer very high bandwidth ... and low
+// latency ... a whole new dimension for optimizations given the resource
+// rich nature of the InfiniBand network").
+//
+// The model captures the verbs semantics that matter for an SDSM substrate:
+//  - reliable-connected queue pairs, one per peer — IB supports thousands,
+//    unlike GM's 7 usable ports (the "resource rich" contrast);
+//  - two-sided send/recv with pre-posted receives (RNR: an unmatched send
+//    parks until a receive is posted — RC retries indefinitely);
+//  - one-sided RDMA WRITE (optionally with immediate data): the payload
+//    lands in the peer's registered memory with NO software action at the
+//    receiver; with immediate data, a completion surfaces on the peer's
+//    RDMA completion queue;
+//  - registered (pinned) memory on both ends;
+//  - completion handling: per-HCA receive CQ (optionally armed to raise a
+//    host interrupt — standard completion channels, no firmware mods
+//    needed) and a separate, polled CQ for RDMA-immediate arrivals. Send
+//    completions are delivered by callback (simulator simplification).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/pinned.hpp"
+#include "sim/node.hpp"
+
+namespace tmkgm::ib {
+
+struct IbConfig {
+  std::uint32_t wire_header_bytes = 30;  // LRH+BTH+ICRC etc.
+  std::uint32_t max_send_wr = 64;        // outstanding sends per QP
+};
+
+/// A receive-side completion.
+struct Completion {
+  enum class Kind : std::uint8_t { Recv, RdmaImm };
+  Kind kind = Kind::Recv;
+  int peer = -1;
+  std::uint32_t byte_len = 0;
+  std::uint32_t imm = 0;
+  void* buffer = nullptr;  // Recv only: the consumed posted buffer
+};
+
+class Hca;
+class Qp;
+
+class IbSystem {
+ public:
+  explicit IbSystem(net::Network& network, const IbConfig& config = {});
+
+  Hca& hca(int node);
+  int n_nodes() const;
+  const IbConfig& config() const { return config_; }
+  net::Network& network() { return network_; }
+
+ private:
+  net::Network& network_;
+  IbConfig config_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
+};
+
+class Hca {
+ public:
+  Hca(IbSystem& system, sim::Node& node);
+
+  sim::Node& node() { return node_; }
+  int node_id() const { return node_.id(); }
+
+  /// Creates (or returns) the reliable-connected QP to `peer`. The peer's
+  /// half is created on demand too — connection management is out of band.
+  Qp& qp(int peer);
+
+  /// Memory registration; all send/recv/RDMA targets must be pinned.
+  void register_memory(const void* addr, std::size_t len);
+  void deregister_memory(const void* addr);
+  bool is_registered(const void* addr, std::size_t len) const;
+  std::size_t registered_bytes() const;
+
+  /// --- receive CQ (two-sided traffic) -------------------------------
+  std::optional<Completion> poll_recv_cq();
+  Completion wait_recv_cq();
+  /// Arm a completion-channel interrupt for the receive CQ (-1 disarms).
+  void set_recv_interrupt(int irq) { recv_irq_ = irq; }
+
+  /// --- RDMA-immediate CQ (one-sided arrivals), polled -----------------
+  std::optional<Completion> poll_rdma_cq();
+  Completion wait_rdma_cq();
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    std::uint64_t rdma_writes = 0;
+    std::uint64_t rdma_bytes = 0;
+    std::uint64_t rnr_parks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Qp;
+  friend class IbSystem;
+
+  void push_recv_completion(Completion c);
+  void push_rdma_completion(Completion c);
+
+  IbSystem& system_;
+  sim::Node& node_;
+  net::PinnedRegistry pinned_;
+  std::map<int, std::unique_ptr<Qp>> qps_;
+  std::deque<Completion> recv_cq_;
+  std::deque<Completion> rdma_cq_;
+  sim::Condition recv_cq_cond_;
+  sim::Condition rdma_cq_cond_;
+  int recv_irq_ = -1;
+  Stats stats_;
+};
+
+/// A reliable-connected queue pair (one direction's endpoint).
+class Qp {
+ public:
+  int peer() const { return peer_; }
+
+  /// Posts a receive buffer (consumed in FIFO order by incoming sends).
+  void post_recv(void* buf, std::size_t capacity);
+  int posted_recvs() const { return static_cast<int>(recv_queue_.size()); }
+
+  /// Two-sided send; on_complete fires in event context once the message
+  /// is delivered into a posted receive (don't reuse `buf` before then).
+  void post_send(const void* buf, std::uint32_t len,
+                 std::function<void()> on_complete);
+
+  /// One-sided RDMA write into the peer's registered memory; no receiver
+  /// software runs. With `imm`, a Completion::RdmaImm surfaces on the
+  /// peer's RDMA CQ after the data is placed.
+  void rdma_write(const void* local, void* remote, std::uint32_t len,
+                  std::optional<std::uint32_t> imm,
+                  std::function<void()> on_complete);
+
+ private:
+  friend class Hca;
+
+  Qp(Hca& hca, int peer) : hca_(hca), peer_(peer) {}
+
+  struct Inbound {
+    std::vector<std::byte> data;
+    std::function<void()> complete;
+  };
+  void deliver_send(std::shared_ptr<Inbound> msg);
+
+  Hca& hca_;
+  const int peer_;
+  std::deque<std::pair<void*, std::size_t>> recv_queue_;
+  std::deque<std::shared_ptr<Inbound>> rnr_parked_;
+  int send_credits_ = 0;  // initialized from config on creation
+};
+
+}  // namespace tmkgm::ib

@@ -1,0 +1,261 @@
+#include "micro/micro.hpp"
+
+#include <vector>
+
+#include "gm/gm.hpp"
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::micro {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::NodeEnv;
+using tmk::SharedArray;
+using tmk::Tmk;
+
+double barrier_us(const ClusterConfig& cfg, int rounds) {
+  Cluster c(cfg);
+  double out = 0;
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    tmk.barrier(0);
+    tmk.barrier(0);  // warmup
+    const SimTime t0 = env.node.now();
+    for (int r = 0; r < rounds; ++r) tmk.barrier(1);
+    if (env.id == 0) {
+      out = to_us(env.node.now() - t0) / rounds;
+    }
+  });
+  return out;
+}
+
+double lock_us(const ClusterConfig& cfg, bool indirect, int rounds) {
+  ClusterConfig c2 = cfg;
+  c2.n_procs = indirect ? 3 : 2;
+  Cluster c(c2);
+  double out = 0;
+  // Lock 1's manager is proc 1. Direct case: the manager itself last held
+  // the lock, so proc 0's acquire is manager->grant (2 hops). Indirect:
+  // proc 2 last held it, so the request forwards 0 -> 1 -> 2 (3 hops).
+  constexpr int kLock = 1;
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    const int holder = indirect ? 2 : 1;
+    SimTime acc = 0;
+    tmk.barrier(0);
+    for (int r = 0; r < rounds; ++r) {
+      if (env.id == holder) {
+        tmk.lock_acquire(kLock);
+        tmk.lock_release(kLock);
+      }
+      tmk.barrier(1);
+      if (env.id == 0) {
+        const SimTime t0 = env.node.now();
+        tmk.lock_acquire(kLock);
+        acc += env.node.now() - t0;
+        tmk.lock_release(kLock);
+      }
+      tmk.barrier(2);
+    }
+    if (env.id == 0) out = to_us(acc) / rounds;
+  });
+  return out;
+}
+
+double page_us(const ClusterConfig& cfg, int pages) {
+  ClusterConfig c2 = cfg;
+  c2.n_procs = 2;
+  Cluster c(c2);
+  double out = 0;
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    const std::size_t page_words = tmk.config().page_size / 4;
+    auto arr = SharedArray<std::int32_t>::alloc(
+        tmk, static_cast<std::size_t>(pages) * page_words);
+    if (env.id == 0) {
+      for (int p = 0; p < pages; ++p) {
+        arr.put(static_cast<std::size_t>(p) * page_words, p + 1);
+      }
+      // Proc 0 reads one word from each page (its own copy: free).
+      for (int p = 0; p < pages; ++p) {
+        (void)arr.get(static_cast<std::size_t>(p) * page_words);
+      }
+    }
+    tmk.barrier(0);
+    if (env.id == 1) {
+      const SimTime t0 = env.node.now();
+      for (int p = 0; p < pages; ++p) {
+        const auto v = arr.get(static_cast<std::size_t>(p) * page_words);
+        TMKGM_CHECK(v == p + 1);
+      }
+      out = to_us(env.node.now() - t0) / pages;
+    }
+    tmk.barrier(1);
+  });
+  return out;
+}
+
+double diff_us(const ClusterConfig& cfg, bool large, int pages) {
+  ClusterConfig c2 = cfg;
+  c2.n_procs = 2;
+  Cluster c(c2);
+  double out = 0;
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    const std::size_t page_words = tmk.config().page_size / 4;
+    auto arr = SharedArray<std::int32_t>::alloc(
+        tmk, static_cast<std::size_t>(pages) * page_words);
+    // Prime both copies so the timed phase moves diffs, not whole pages.
+    for (int p = 0; p < pages; ++p) {
+      (void)arr.get(static_cast<std::size_t>(p) * page_words);
+    }
+    tmk.barrier(0);
+    if (env.id == 0) {
+      for (int p = 0; p < pages; ++p) {
+        if (large) {
+          auto w = arr.span_rw(static_cast<std::size_t>(p) * page_words,
+                               page_words);
+          for (std::size_t i = 0; i < page_words; ++i) {
+            w[i] = static_cast<std::int32_t>(i + static_cast<std::size_t>(p));
+          }
+        } else {
+          arr.put(static_cast<std::size_t>(p) * page_words, p + 42);
+        }
+      }
+    }
+    tmk.barrier(1);
+    if (env.id == 1) {
+      const SimTime t0 = env.node.now();
+      for (int p = 0; p < pages; ++p) {
+        (void)arr.get(static_cast<std::size_t>(p) * page_words);
+      }
+      out = to_us(env.node.now() - t0) / pages;
+    }
+    tmk.barrier(2);
+  });
+  return out;
+}
+
+LatBw substrate_latbw(const ClusterConfig& cfg, int window) {
+  ClusterConfig c2 = cfg;
+  c2.n_procs = 2;
+  Cluster c(c2);
+  LatBw out;
+  constexpr int kLatRounds = 50;
+  constexpr int kBwMessages = 64;
+  const std::size_t kBwBytes = sub::kMaxPayload;
+  c.run([&](NodeEnv& env) {
+    env.substrate.set_request_handler(
+        [&](const sub::RequestCtx& ctx, std::span<const std::byte>) {
+          const std::byte ack{1};
+          env.substrate.respond(ctx,
+                                std::span<const std::byte>(&ack, 1));
+        });
+    if (env.id == 0) {
+      std::byte ping{7};
+      std::vector<std::byte> reply(sub::kMaxMessage);
+      // Latency: 1-byte ping-pong; report one-way.
+      const SimTime t0 = env.node.now();
+      for (int r = 0; r < kLatRounds; ++r) {
+        const auto seq = env.substrate.send_request(
+            1, std::span<const std::byte>(&ping, 1));
+        env.substrate.recv_response(seq, reply);
+      }
+      out.latency_us = to_us(env.node.now() - t0) / kLatRounds / 2.0;
+
+      // Bandwidth: stream max-size requests with `window` outstanding.
+      std::vector<std::byte> payload(kBwBytes, std::byte{0x2a});
+      const SimTime b0 = env.node.now();
+      std::vector<std::uint32_t> inflight;
+      int sent = 0;
+      std::size_t len = 0;
+      while (sent < kBwMessages || !inflight.empty()) {
+        while (sent < kBwMessages &&
+               static_cast<int>(inflight.size()) < window) {
+          inflight.push_back(env.substrate.send_request(
+              1, std::span<const std::byte>(payload.data(), payload.size())));
+          ++sent;
+        }
+        const auto idx = env.substrate.recv_response_any(inflight, reply, len);
+        inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+      const double us = to_us(env.node.now() - b0);
+      out.bandwidth_mbps =
+          static_cast<double>(kBwMessages) * static_cast<double>(kBwBytes) / us;
+    }
+  });
+  return out;
+}
+
+LatBw raw_gm_latbw(const net::CostModel& cost) {
+  LatBw out;
+  sim::Engine engine;
+  constexpr int kLatRounds = 50;
+  constexpr int kBwMessages = 64;
+  const std::uint32_t kBwBytes = 32760;
+
+  gm::GmSystem* gm_sys = nullptr;
+
+  engine.add_node("sender", [&](sim::Node& n) {
+    auto& nic = gm_sys->nic(0);
+    auto& port = nic.open_port(2);
+    static std::byte small[16];
+    static std::byte big[32768];
+    static std::byte rbuf[16];
+    nic.register_memory(small, sizeof(small));
+    nic.register_memory(big, sizeof(big));
+    nic.register_memory(rbuf, sizeof(rbuf));
+    n.compute(milliseconds(5.0));  // receiver pins ~2.6 MB first
+
+    // Latency: 1-byte ping-pong.
+    const SimTime t0 = n.now();
+    for (int r = 0; r < kLatRounds; ++r) {
+      port.provide_receive_buffer(rbuf, 4);
+      port.send_with_callback(small, 4, 1, 1, 2, [](gm::Status, void*) {},
+                              nullptr);
+      (void)port.blocking_receive();
+    }
+    out.latency_us = to_us(n.now() - t0) / kLatRounds / 2.0;
+
+    // Bandwidth: stream with the NIC's send tokens as the window; wait for
+    // completion callbacks.
+    int done = 0;
+    const SimTime b0 = n.now();
+    for (int m = 0; m < kBwMessages; ++m) {
+      port.send_with_callback(big, 15, kBwBytes, 1, 2,
+                              [&](gm::Status st, void*) {
+                                TMKGM_CHECK(st == gm::Status::Ok);
+                                ++done;
+                              },
+                              nullptr);
+    }
+    while (done < kBwMessages) n.compute(microseconds(5.0));
+    const double us = to_us(n.now() - b0);
+    out.bandwidth_mbps =
+        static_cast<double>(kBwMessages) * static_cast<double>(kBwBytes) / us;
+  });
+
+  engine.add_node("receiver", [&](sim::Node&) {
+    auto& nic = gm_sys->nic(1);
+    auto& port = nic.open_port(2);
+    static std::byte pong[16];
+    static std::byte lat_bufs[16];
+    static std::byte bw_bufs[80][32768];
+    nic.register_memory(pong, sizeof(pong));
+    nic.register_memory(lat_bufs, sizeof(lat_bufs));
+    nic.register_memory(bw_bufs, sizeof(bw_bufs));
+    for (int r = 0; r < kLatRounds; ++r) {
+      port.provide_receive_buffer(lat_bufs, 4);
+      (void)port.blocking_receive();
+      port.send_with_callback(pong, 4, 1, 0, 2, [](gm::Status, void*) {},
+                              nullptr);
+    }
+    for (auto& b : bw_bufs) port.provide_receive_buffer(b, 15);
+    for (int m = 0; m < kBwMessages; ++m) (void)port.blocking_receive();
+  });
+
+  net::Network network(engine, 2, cost);
+  gm::GmSystem gm(network);
+  gm_sys = &gm;
+  engine.run();
+  return out;
+}
+
+}  // namespace tmkgm::micro

@@ -1,0 +1,41 @@
+// The TreadMarks microbenchmarks of the paper's §3.2 (Barrier, Lock
+// direct/indirect, Page, Diff small/large) and the raw latency/bandwidth
+// probes of §3.1, all returning virtual-time results.
+#pragma once
+
+#include "cluster/cluster.hpp"
+
+namespace tmkgm::micro {
+
+/// Time for one barrier across the cluster's nodes (µs).
+double barrier_us(const cluster::ClusterConfig& cfg, int rounds = 20);
+
+/// Lock acquire cost (µs). Direct: the lock was last held by its manager
+/// (2-hop grant). Indirect: last held by a third node (3-hop forward).
+double lock_us(const cluster::ClusterConfig& cfg, bool indirect,
+               int rounds = 20);
+
+/// Page microbenchmark: proc 0 touches a word in each page, then proc 1
+/// reads the same words; per-page cost at proc 1 (µs).
+double page_us(const cluster::ClusterConfig& cfg, int pages = 128);
+
+/// Diff microbenchmark: both procs prime their copies, proc 0 writes one
+/// word (small) or every word (large) per page, proc 1 re-reads; per-page
+/// cost at proc 1 (µs).
+double diff_us(const cluster::ClusterConfig& cfg, bool large,
+               int pages = 128);
+
+struct LatBw {
+  double latency_us = 0;    ///< one-way small-message latency
+  double bandwidth_mbps = 0;  ///< large-message throughput (MB/s)
+};
+
+/// Substrate-level latency/bandwidth (request/response over FAST/GM or
+/// UDP/GM). `window` = pipelined requests for the bandwidth phase; UDP's
+/// at-most-once duplicate suppression requires window = 1.
+LatBw substrate_latbw(const cluster::ClusterConfig& cfg, int window);
+
+/// Raw GM (no substrate): ping-pong latency and streaming bandwidth.
+LatBw raw_gm_latbw(const net::CostModel& cost);
+
+}  // namespace tmkgm::micro

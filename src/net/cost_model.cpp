@@ -1,0 +1,29 @@
+#include "net/cost_model.hpp"
+
+namespace tmkgm::net {
+
+CostModel testbed_cost_model() { return CostModel{}; }
+
+FabricParams gm_fabric(const CostModel& cost) {
+  FabricParams f;
+  f.per_msg = cost.gm_lanai_per_msg;
+  f.dma_setup = cost.gm_dma_setup;
+  f.wire_bytes_per_us = cost.gm_wire_bytes_per_us;
+  f.pci_bytes_per_us = cost.gm_pci_bytes_per_us;
+  f.switch_hop = cost.gm_switch_hop;
+  f.hops = cost.hops;
+  return f;
+}
+
+FabricParams ib_fabric(const CostModel& cost) {
+  FabricParams f;
+  f.per_msg = cost.ib_hca_per_msg;
+  f.dma_setup = cost.ib_dma_setup;
+  f.wire_bytes_per_us = cost.ib_wire_bytes_per_us;
+  f.pci_bytes_per_us = cost.gm_pci_bytes_per_us;  // same PCI bus
+  f.switch_hop = cost.ib_switch_hop;
+  f.hops = cost.hops;
+  return f;
+}
+
+}  // namespace tmkgm::net

@@ -1,0 +1,120 @@
+// The cost model: every microsecond charged anywhere in the simulation
+// comes from this one struct.
+//
+// Defaults approximate the paper's testbed: 700 MHz Pentium III nodes,
+// 66 MHz/64-bit PCI, LANai-9 NICs on a 2 Gb/s cut-through crossbar, Linux
+// 2.4 kernel path for UDP. Calibration targets (paper §3.1): GM 1-byte
+// latency 8.99 µs and ~235 MB/s large-message bandwidth; FAST/GM 9.4 µs;
+// UDP/GM several times slower. tests/calibration_test.cpp pins these.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace tmkgm::net {
+
+struct CostModel {
+  // --- Host CPU ------------------------------------------------------
+  /// Application floating-point work (ns per flop-equivalent work unit).
+  /// ~165 Mflop/s sustained, typical for a 700 MHz PIII on stencil codes.
+  double app_ns_per_work = 6.0;
+  /// User-space memcpy bandwidth (bytes/µs == MB/s).
+  double memcpy_bytes_per_us = 500.0;
+  /// Fixed overhead of any memcpy/diff-scan call.
+  SimTime mem_op_overhead = 150;
+  /// Word-compare scan bandwidth for twin/diff creation.
+  double diff_scan_bytes_per_us = 600.0;
+
+  // --- Myrinet / GM ----------------------------------------------------
+  /// Host-side cost to hand a send descriptor to the NIC (user level).
+  SimTime gm_host_send = 400;
+  /// LANai per-message processing, each side (occupies the NIC).
+  SimTime gm_lanai_per_msg = 2600;
+  /// DMA setup per message.
+  SimTime gm_dma_setup = 500;
+  /// PCI DMA bandwidth (bytes/µs); 66 MHz/64-bit PCI ≈ 528 MB/s raw.
+  double gm_pci_bytes_per_us = 440.0;
+  /// Wire bandwidth (bytes/µs); 2 Gb/s Myrinet = 250 MB/s.
+  double gm_wire_bytes_per_us = 250.0;
+  /// Cut-through latency through the crossbar, per hop.
+  SimTime gm_switch_hop = 400;
+  /// Host-side cost for the receiver to notice and dequeue a message when
+  /// polling.
+  SimTime gm_host_recv = 1500;
+  /// GM's resend timer: no matching receive buffer for this long fails the
+  /// send and disables the sending port (paper §2: 3 seconds).
+  SimTime gm_resend_timeout = seconds(3.0);
+  /// Re-enabling a disabled port probes the network (paper: "expensive").
+  SimTime gm_port_reenable = milliseconds(40.0);
+  /// Cost of taking a NIC interrupt into a user handler (firmware mod).
+  SimTime gm_interrupt = 5000;
+  /// Registering (pinning) memory, per page.
+  SimTime gm_register_per_page = 2500;
+
+  // --- Kernel UDP path (Sockets-GM / IP-over-GM) -----------------------
+  /// Syscall entry/exit.
+  SimTime k_syscall = 2000;
+  /// UDP+IP protocol processing, per packet, each side.
+  SimTime k_udp_proto = 15000;
+  /// The IP-over-GM shim driver, per packet...
+  SimTime k_ipgm_driver = 10000;
+  /// ...plus its staging copy through uncached NIC-visible memory.
+  double k_ipgm_bytes_per_us = 80.0;
+  /// Receive-side interrupt + softirq dispatch, per packet.
+  SimTime k_rx_interrupt = 10000;
+  /// SIGIO signal generation + delivery into the user handler.
+  SimTime k_sigio = 14000;
+  /// One select() call.
+  SimTime k_select = 4000;
+  /// Kernel<->user copy bandwidth (bytes/µs).
+  double k_copy_bytes_per_us = 60.0;
+  /// MTU of the IP-over-GM interface (jumbo-style, typical for Sockets-GM).
+  std::uint32_t k_mtu = 9000;
+  /// Default socket receive buffer (Linux 2.4 default-ish); overruns drop.
+  std::uint32_t k_so_rcvbuf = 65536;
+  /// Additional random datagram loss (beyond buffer overruns).
+  double k_drop_prob = 0.0;
+
+  /// Per-hop count through the single crossbar (NIC->switch->NIC).
+  int hops = 2;
+
+  // --- TreadMarks protocol costs ---------------------------------------
+  /// Taking a page fault: SIGSEGV delivery + handler entry + mprotect.
+  SimTime tmk_fault_overhead = 10000;
+  /// Fixed protocol bookkeeping per handled request/response.
+  SimTime tmk_protocol_op = 1200;
+
+  // --- InfiniBand (the paper's §5 future-work fabric) -------------------
+  /// 4X IB: 10 Gb/s signalling, 8 Gb/s payload = 1000 MB/s on the wire
+  /// (the 66 MHz/64-bit PCI of this machine class still caps the host).
+  double ib_wire_bytes_per_us = 1000.0;
+  /// HCA per-work-request processing, each side.
+  SimTime ib_hca_per_msg = 1200;
+  SimTime ib_dma_setup = 300;
+  SimTime ib_switch_hop = 200;
+  /// Host-side cost to post a work request / to poll one completion.
+  SimTime ib_post = 300;
+  SimTime ib_poll = 700;
+  /// Completion-channel event interrupt (standard on IB, unlike GM).
+  SimTime ib_interrupt = 4000;
+};
+
+/// Fabric-level parameters extracted from a CostModel, so one Network
+/// model serves both Myrinet/GM and InfiniBand.
+struct FabricParams {
+  SimTime per_msg = 0;  // NIC/HCA processing per message, each side
+  SimTime dma_setup = 0;
+  double wire_bytes_per_us = 1.0;
+  double pci_bytes_per_us = 1.0;
+  SimTime switch_hop = 0;
+  int hops = 2;
+};
+
+FabricParams gm_fabric(const CostModel& cost);
+FabricParams ib_fabric(const CostModel& cost);
+
+/// Returns the model used by all benches ("the testbed").
+CostModel testbed_cost_model();
+
+}  // namespace tmkgm::net

@@ -1,0 +1,50 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tmkgm::net {
+
+Network::Network(sim::Engine& engine, int n_nodes, const CostModel& cost)
+    : Network(engine, n_nodes, cost, gm_fabric(cost)) {}
+
+Network::Network(sim::Engine& engine, int n_nodes, const CostModel& cost,
+                 const FabricParams& fabric)
+    : engine_(engine), cost_(cost), fabric_(fabric) {
+  TMKGM_CHECK(n_nodes > 0);
+  tx_free_.assign(static_cast<std::size_t>(n_nodes), 0);
+  rx_free_.assign(static_cast<std::size_t>(n_nodes), 0);
+}
+
+void Network::transfer(int src, int dst, std::uint64_t bytes,
+                       std::function<void()> on_delivered) {
+  TMKGM_CHECK(src >= 0 && src < n_nodes());
+  TMKGM_CHECK(dst >= 0 && dst < n_nodes());
+  TMKGM_CHECK(src != dst);
+  TMKGM_CHECK(on_delivered != nullptr);
+
+  const SimTime now = engine_.now();
+  const double bottleneck =
+      std::min(fabric_.wire_bytes_per_us, fabric_.pci_bytes_per_us);
+
+  const SimTime tx_start = std::max(now, tx_free_[static_cast<std::size_t>(src)]);
+  const SimTime tx_occ = fabric_.per_msg + fabric_.dma_setup +
+                         transfer_time(bytes, bottleneck);
+  tx_free_[static_cast<std::size_t>(src)] = tx_start + tx_occ;
+
+  const SimTime arrival =
+      tx_start + tx_occ + fabric_.switch_hop * fabric_.hops;
+
+  const SimTime rx_start =
+      std::max(arrival, rx_free_[static_cast<std::size_t>(dst)]);
+  const SimTime rx_occ = fabric_.per_msg;
+  rx_free_[static_cast<std::size_t>(dst)] = rx_start + rx_occ;
+
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  engine_.at(rx_start + rx_occ, std::move(on_delivered));
+}
+
+}  // namespace tmkgm::net

@@ -1,0 +1,57 @@
+// Myrinet fabric model: per-NIC occupancy + cut-through crossbar.
+//
+// The paper's testbed is sixteen LANai-9 NICs on one low-latency crossbar.
+// The model keeps a busy-until time per NIC transmit and receive engine and
+// charges:
+//   tx:   LANai per-message processing + DMA setup + serialization at the
+//         bottleneck of wire and PCI rates (DMA is pipelined with the wire)
+//   wire: cut-through hop latency through the switch
+//   rx:   LANai per-message processing
+// Contention therefore appears exactly where the paper sees it: a hot
+// receiver (barrier root, FFT transpose target) serializes arrivals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace tmkgm::net {
+
+class Network {
+ public:
+  /// `fabric` defaults to the Myrinet parameters of `cost`; pass
+  /// ib_fabric(cost) for the InfiniBand variant.
+  Network(sim::Engine& engine, int n_nodes, const CostModel& cost);
+  Network(sim::Engine& engine, int n_nodes, const CostModel& cost,
+          const FabricParams& fabric);
+
+  int n_nodes() const { return static_cast<int>(tx_free_.size()); }
+  const CostModel& cost() const { return cost_; }
+  const FabricParams& fabric() const { return fabric_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Moves `bytes` from NIC `src` to NIC `dst`; `on_delivered` fires in
+  /// event context once the message is in receiving-NIC memory. Delivery
+  /// between a given pair is FIFO.
+  void transfer(int src, int dst, std::uint64_t bytes,
+                std::function<void()> on_delivered);
+
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Engine& engine_;
+  CostModel cost_;
+  FabricParams fabric_;
+  std::vector<SimTime> tx_free_;
+  std::vector<SimTime> rx_free_;
+  Stats stats_;
+};
+
+}  // namespace tmkgm::net

@@ -1,0 +1,46 @@
+#include "net/pinned.hpp"
+
+#include "util/check.hpp"
+
+namespace tmkgm::net {
+
+void PinnedRegistry::register_memory(sim::Node& node, const void* addr,
+                                     std::size_t len, SimTime per_page) {
+  TMKGM_CHECK(addr != nullptr && len > 0);
+  const auto start = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = regions_.upper_bound(start);
+  if (it != regions_.begin()) {
+    auto prev = std::prev(it);
+    TMKGM_CHECK_MSG(prev->first + prev->second <= start,
+                    "overlapping memory registration");
+  }
+  TMKGM_CHECK_MSG(it == regions_.end() || start + len <= it->first,
+                  "overlapping memory registration");
+  regions_[start] = len;
+  const auto pages = (len + 4095) / 4096;
+  node.compute(static_cast<SimTime>(pages) * per_page);
+}
+
+void PinnedRegistry::deregister_memory(const void* addr) {
+  const auto start = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = regions_.find(start);
+  TMKGM_CHECK_MSG(it != regions_.end(), "deregistering unknown region");
+  regions_.erase(it);
+}
+
+bool PinnedRegistry::is_registered(const void* addr, std::size_t len) const {
+  const auto start = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = regions_.upper_bound(start);
+  if (it == regions_.begin()) return false;
+  auto region = std::prev(it);
+  return start >= region->first &&
+         start + len <= region->first + region->second;
+}
+
+std::size_t PinnedRegistry::registered_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [start, len] : regions_) total += len;
+  return total;
+}
+
+}  // namespace tmkgm::net

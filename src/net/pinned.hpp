@@ -1,0 +1,29 @@
+// Registered (pinned) memory bookkeeping, shared by the GM NIC and the
+// InfiniBand HCA models: user-level transports require send/receive targets
+// to live in pinned pages, and pinning costs CPU time per page.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "sim/node.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::net {
+
+class PinnedRegistry {
+ public:
+  /// Pins [addr, addr+len); charges `per_page` on `node`'s CPU. Rejects
+  /// overlap with an existing region.
+  void register_memory(sim::Node& node, const void* addr, std::size_t len,
+                       SimTime per_page);
+  void deregister_memory(const void* addr);
+  bool is_registered(const void* addr, std::size_t len) const;
+  std::size_t registered_bytes() const;
+
+ private:
+  std::map<std::uintptr_t, std::size_t> regions_;  // start -> length
+};
+
+}  // namespace tmkgm::net

@@ -1,0 +1,115 @@
+#include "sim/engine.hpp"
+
+#include "sim/node.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::sim {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+Engine::~Engine() {
+  // Abort any node program still on its stack so their threads can be
+  // joined. Nodes unwind via NodeAborted inside yield_to_engine().
+  for (auto& n : nodes_) {
+    if (n->state_ != Node::State::Finished) {
+      n->abort_requested_ = true;
+      n->go_.release();
+      n->done_.acquire();
+    }
+  }
+}
+
+EventHandle Engine::at(SimTime t, std::function<void()> fn) {
+  TMKGM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
+  return queue_.push(t, std::move(fn));
+}
+
+EventHandle Engine::after(SimTime delay, std::function<void()> fn) {
+  TMKGM_CHECK(delay >= 0);
+  return at(now_ + delay, std::move(fn));
+}
+
+Node& Engine::add_node(std::string name, std::function<void(Node&)> program) {
+  TMKGM_CHECK_MSG(!running_, "add_node after run() started");
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back(
+      new Node(*this, id, std::move(name), std::move(program)));
+  return *nodes_.back();
+}
+
+Node& Engine::node(int id) {
+  TMKGM_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return *nodes_[id];
+}
+
+void Engine::run() {
+  TMKGM_CHECK_MSG(!running_, "run() is not reentrant");
+  running_ = true;
+
+  // Start every node at t=0, in id order for determinism.
+  for (auto& n : nodes_) {
+    Node* node = n.get();
+    at(0, [this, node] { transfer_to(*node, Resume::Start); });
+  }
+
+  while (true) {
+    auto rec = queue_.pop();
+    if (!rec) break;
+    TMKGM_CHECK(rec->at >= now_);
+    now_ = rec->at;
+    ++events_processed_;
+    TMKGM_CHECK_MSG(event_limit_ == 0 || events_processed_ <= event_limit_,
+                    "event limit exceeded (runaway simulation?)");
+    rec->fn();
+    rethrow_node_failure();
+  }
+
+  // Queue drained: every node must have finished, otherwise the simulated
+  // system deadlocked.
+  std::string stuck;
+  for (auto& n : nodes_) {
+    if (n->state_ != Node::State::Finished) {
+      if (!stuck.empty()) stuck += ", ";
+      stuck += n->name_;
+      switch (n->state_) {
+        case Node::State::NotStarted: stuck += "(not started)"; break;
+        case Node::State::BlockedCompute: stuck += "(computing)"; break;
+        case Node::State::BlockedCond: stuck += "(blocked)"; break;
+        default: stuck += "(?)"; break;
+      }
+    }
+  }
+  if (!stuck.empty()) {
+    throw SimDeadlock("simulation deadlock at t=" + std::to_string(now_) +
+                      "ns; unfinished nodes: " + stuck);
+  }
+}
+
+void Engine::transfer_to(Node& n, Resume reason) {
+  TMKGM_CHECK_MSG(current_ != &n, "node resuming itself");
+  TMKGM_CHECK(n.state_ != Node::State::Finished);
+  Node* prev = current_;
+  current_ = &n;
+  n.resume_reason_ = reason;
+  n.go_.release();
+  n.done_.acquire();
+  current_ = prev;
+}
+
+void Engine::rethrow_node_failure() {
+  if (node_failure_) {
+    auto e = node_failure_;
+    node_failure_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Engine::set_trace(std::function<void(SimTime, const std::string&)> hook) {
+  trace_hook_ = std::move(hook);
+}
+
+void Engine::trace(const std::string& msg) {
+  if (trace_hook_) trace_hook_(now_, msg);
+}
+
+}  // namespace tmkgm::sim

@@ -1,0 +1,115 @@
+// Deterministic discrete-event engine with cooperatively scheduled nodes.
+//
+// This is the hardware substitution at the bottom of the whole repository:
+// the paper's 16-node Myrinet cluster becomes N simulated nodes, each running
+// its program on a dedicated host thread, with exactly one thread runnable at
+// a time. A single event queue in virtual time carries all network and timer
+// activity. Determinism: ties in the queue break by sequence number, and all
+// randomness comes from the engine's seeded Rng.
+//
+// Threading protocol. The engine thread (the caller of run()) executes event
+// callbacks. A node runs only while the engine has handed it the baton via a
+// pair of binary semaphores; handing the baton back and forth is the only
+// inter-thread communication, so user code needs no locks. Event callbacks
+// never run on node threads.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::sim {
+
+class Node;
+
+/// Thrown by run() when nodes are still blocked but no live events remain —
+/// i.e. the simulated system has deadlocked.
+class SimDeadlock : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules fn at absolute virtual time t (must be >= now()).
+  EventHandle at(SimTime t, std::function<void()> fn);
+
+  /// Schedules fn `delay` after now().
+  EventHandle after(SimTime delay, std::function<void()> fn);
+
+  /// Creates a node; its program starts at virtual time 0 when run() is
+  /// called. Nodes must all be added before run().
+  Node& add_node(std::string name, std::function<void(Node&)> program);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(int id);
+
+  /// Runs until every node program has finished. Throws SimDeadlock if the
+  /// system wedges, and rethrows the first exception escaping a node
+  /// program.
+  void run();
+
+  /// The node whose code is executing, or nullptr in event/engine context.
+  Node* current_node() const { return current_; }
+
+  Rng& rng() { return rng_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Optional guard against runaway simulations (0 = unlimited).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+  /// Debug trace hook; trace() is cheap when no hook is installed.
+  void set_trace(std::function<void(SimTime, const std::string&)> hook);
+  void trace(const std::string& msg);
+  bool tracing() const { return trace_hook_ != nullptr; }
+
+ private:
+  friend class Node;
+  friend class Condition;
+
+  enum class Resume : std::uint8_t {
+    Start,
+    Signal,
+    Timeout,
+    ComputeDone,
+    Interrupt,
+    Abort,
+  };
+
+  /// Hands the baton to `n` (which must be blocked) and waits for it to
+  /// yield back or finish. Callable from engine context only, possibly
+  /// nested under an earlier transfer (a node that yielded mid-slice).
+  void transfer_to(Node& n, Resume reason);
+
+  void rethrow_node_failure();
+
+  SimTime now_ = 0;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Node* current_ = nullptr;
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  std::exception_ptr node_failure_;
+  std::function<void(SimTime, const std::string&)> trace_hook_;
+};
+
+}  // namespace tmkgm::sim

@@ -1,0 +1,75 @@
+// Cancellable virtual-time event queue.
+//
+// Events are (time, sequence) ordered; the sequence number makes ties — and
+// therefore the whole simulation — deterministic. Cancellation is lazy: the
+// handle flips a flag and the queue skips dead entries on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tmkgm::sim {
+
+class EventQueue;
+
+/// Shared state between the queue entry and any outstanding handle.
+struct EventRecord {
+  SimTime at = 0;
+  std::uint64_t seq = 0;
+  bool cancelled = false;
+  std::function<void()> fn;
+};
+
+/// Copyable handle to a scheduled event; cancel() is idempotent and safe
+/// after the event has fired (it becomes a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (auto rec = rec_.lock()) rec->cancelled = true;
+  }
+
+  bool pending() const {
+    auto rec = rec_.lock();
+    return rec && !rec->cancelled && rec->fn != nullptr;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<EventRecord> rec) : rec_(std::move(rec)) {}
+  std::weak_ptr<EventRecord> rec_;
+};
+
+class EventQueue {
+ public:
+  EventHandle push(SimTime at, std::function<void()> fn);
+
+  /// Pops the next live event, or nullptr when empty. The returned record
+  /// is owned by the caller; fire it with rec->fn().
+  std::shared_ptr<EventRecord> pop();
+
+  bool empty_of_live() const;
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const std::shared_ptr<EventRecord>& a,
+                    const std::shared_ptr<EventRecord>& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  std::priority_queue<std::shared_ptr<EventRecord>,
+                      std::vector<std::shared_ptr<EventRecord>>, Later>
+      heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tmkgm::sim

@@ -1,0 +1,200 @@
+#include "sim/node.hpp"
+
+#include "util/check.hpp"
+
+namespace tmkgm::sim {
+
+namespace {
+
+/// Internal unwinding exception for engine teardown; never escapes to users.
+struct NodeAborted {};
+
+}  // namespace
+
+Node::Node(Engine& engine, int id, std::string name,
+           std::function<void(Node&)> program)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      program_(std::move(program)),
+      thread_([this] { thread_main(); }) {}
+
+Node::~Node() {
+  // Engine's destructor has already unwound a live program; by the time
+  // nodes are destroyed the thread body has returned or is about to.
+  if (thread_.joinable()) thread_.join();
+}
+
+void Node::thread_main() {
+  go_.acquire();
+  if (abort_requested_) {
+    state_ = State::Finished;
+    done_.release();
+    return;
+  }
+  state_ = State::Running;
+  try {
+    program_(*this);
+  } catch (const NodeAborted&) {
+    // Engine teardown; fall through.
+  } catch (...) {
+    engine_.node_failure_ = std::current_exception();
+  }
+  state_ = State::Finished;
+  done_.release();
+}
+
+Engine::Resume Node::yield_to_engine() {
+  done_.release();
+  go_.acquire();
+  if (abort_requested_) throw NodeAborted{};
+  return resume_reason_;
+}
+
+void Node::compute(SimTime dur) {
+  TMKGM_CHECK_MSG(is_current(), "compute() outside node context");
+  TMKGM_CHECK(dur >= 0);
+  drain_interrupts();
+  SimTime remaining = dur;
+  while (remaining > 0) {
+    const SimTime slice_start = engine_.now();
+    compute_wake_ = engine_.after(remaining, [this] {
+      engine_.transfer_to(*this, Engine::Resume::ComputeDone);
+    });
+    state_ = State::BlockedCompute;
+    const auto reason = yield_to_engine();
+    state_ = State::Running;
+    if (reason == Engine::Resume::ComputeDone) {
+      remaining = 0;
+    } else {
+      TMKGM_CHECK(reason == Engine::Resume::Interrupt);
+      compute_wake_.cancel();
+      remaining -= engine_.now() - slice_start;
+      drain_interrupts();
+    }
+  }
+}
+
+void Node::compute_uninterruptible(SimTime dur) {
+  mask_interrupts();
+  compute(dur);
+  unmask_interrupts();
+}
+
+int Node::add_interrupt(InterruptHandler handler) {
+  TMKGM_CHECK(handler != nullptr);
+  handlers_.push_back(std::move(handler));
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+void Node::raise_interrupt(int irq) {
+  TMKGM_CHECK(irq >= 0 && static_cast<std::size_t>(irq) < handlers_.size());
+  Node* cur = engine_.current_node();
+  TMKGM_CHECK_MSG(cur == nullptr || cur == this,
+                  "cross-node raise_interrupt must go through an event");
+  pending_irqs_.push_back(irq);
+  if (cur == this) return;  // delivered at the node's next preemption point
+  if (mask_depth_ > 0) return;
+  deliver_from_event_context(irq);
+}
+
+void Node::deliver_from_event_context(int) {
+  // Preempt a blocked node so it can run its handler at the current virtual
+  // instant. A Running node cannot be observed here (events never run while
+  // a node holds the baton); NotStarted/Finished nodes keep it pending.
+  if (state_ == State::BlockedCompute || state_ == State::BlockedCond) {
+    engine_.transfer_to(*this, Engine::Resume::Interrupt);
+  }
+}
+
+void Node::mask_interrupts() {
+  TMKGM_CHECK_MSG(is_current(), "mask_interrupts outside node context");
+  ++mask_depth_;
+}
+
+void Node::unmask_interrupts() {
+  TMKGM_CHECK_MSG(is_current(), "unmask_interrupts outside node context");
+  TMKGM_CHECK(mask_depth_ > 0);
+  if (--mask_depth_ == 0) drain_interrupts();
+}
+
+void Node::drain_interrupts() {
+  if (mask_depth_ > 0 || in_handler_) return;
+  while (!pending_irqs_.empty()) {
+    const int irq = pending_irqs_.front();
+    pending_irqs_.pop_front();
+    in_handler_ = true;
+    ++mask_depth_;  // handlers run with interrupts masked, like SIGIO
+    handlers_[static_cast<std::size_t>(irq)]();
+    --mask_depth_;
+    in_handler_ = false;
+  }
+}
+
+void Condition::wait() {
+  Node& n = owner_;
+  TMKGM_CHECK_MSG(n.is_current(), "wait() outside owner context");
+  TMKGM_CHECK_MSG(!n.in_handler_, "interrupt handlers must not block");
+  n.drain_interrupts();
+  while (!signalled_) {
+    n.blocked_on_ = this;
+    n.state_ = Node::State::BlockedCond;
+    const auto reason = n.yield_to_engine();
+    n.state_ = Node::State::Running;
+    n.blocked_on_ = nullptr;
+    if (reason == Engine::Resume::Interrupt) n.drain_interrupts();
+    // Resume::Signal falls through; the loop rechecks signalled_.
+  }
+  signalled_ = false;
+}
+
+bool Condition::wait_until(SimTime deadline) {
+  Node& n = owner_;
+  TMKGM_CHECK_MSG(n.is_current(), "wait_until() outside owner context");
+  TMKGM_CHECK_MSG(!n.in_handler_, "interrupt handlers must not block");
+  n.drain_interrupts();
+  if (signalled_) {
+    signalled_ = false;
+    return true;
+  }
+  if (n.now() >= deadline) return false;
+  EventHandle timeout = n.engine_.at(deadline, [this, &n] {
+    if (n.state_ == Node::State::BlockedCond && n.blocked_on_ == this) {
+      n.engine_.transfer_to(n, Engine::Resume::Timeout);
+    }
+  });
+  while (!signalled_) {
+    // Interrupt handlers may have consumed virtual time past the deadline
+    // (in which case the timeout event has already fired as a no-op).
+    if (n.now() >= deadline) {
+      timeout.cancel();
+      return false;
+    }
+    n.blocked_on_ = this;
+    n.state_ = Node::State::BlockedCond;
+    const auto reason = n.yield_to_engine();
+    n.state_ = Node::State::Running;
+    n.blocked_on_ = nullptr;
+    if (reason == Engine::Resume::Interrupt) {
+      n.drain_interrupts();
+    } else if (reason == Engine::Resume::Timeout) {
+      if (!signalled_) return false;
+    }
+  }
+  timeout.cancel();
+  signalled_ = false;
+  return true;
+}
+
+void Condition::signal() {
+  signalled_ = true;
+  Node* cur = owner_.engine_.current_node();
+  if (cur == &owner_) return;  // the owner's wait loop will observe the flag
+  TMKGM_CHECK_MSG(cur == nullptr,
+                  "cross-node signal must go through a scheduled event");
+  if (owner_.state_ == Node::State::BlockedCond && owner_.blocked_on_ == this) {
+    owner_.engine_.transfer_to(owner_, Engine::Resume::Signal);
+  }
+}
+
+}  // namespace tmkgm::sim

@@ -1,0 +1,156 @@
+// A simulated cluster node: one virtual CPU running a user program.
+//
+// Node models what the paper's software sees on each cluster machine:
+//  - compute(d): occupy the CPU for d of virtual time; interruptible by
+//    delivered interrupts (the GM firmware mod / SIGIO of the paper).
+//  - interrupts: components register handlers and raise them from event
+//    context; delivery respects a mask depth (TreadMarks "disables
+//    interrupts" around its critical sections).
+//  - Condition: single-waiter blocking primitive; waiting is interruptible,
+//    so a node blocked for a synchronous reply still services asynchronous
+//    requests — exactly the behaviour the substrate design relies on.
+//
+// Handlers run on the node's own thread with interrupts masked (like a
+// SIGIO handler with the signal blocked) and may compute(), but must not
+// block on a Condition.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::sim {
+
+class Condition;
+
+class Node {
+ public:
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Engine& engine() { return engine_; }
+  SimTime now() const { return engine_.now(); }
+
+  /// True when this node's program code is the running context.
+  bool is_current() const { return engine_.current_node() == this; }
+
+  /// Occupies the virtual CPU for `dur`. Delivered interrupts preempt the
+  /// computation, run their handlers (charging their own time), and the
+  /// remainder then continues. Callable only from this node's context.
+  void compute(SimTime dur);
+
+  /// Like compute() but interrupts stay pending until it completes (models
+  /// a non-preemptible kernel path).
+  void compute_uninterruptible(SimTime dur);
+
+  /// --- Interrupts ---------------------------------------------------
+
+  using InterruptHandler = std::function<void()>;
+
+  /// Registers a handler and returns its irq id.
+  int add_interrupt(InterruptHandler handler);
+
+  /// Queues an interrupt for delivery. Callable from event context, or from
+  /// this node's own context (delivery is then deferred to the next
+  /// preemption point).
+  void raise_interrupt(int irq);
+
+  /// Nestable interrupt masking (sigprocmask-style). unmask at depth zero
+  /// drains pending interrupts immediately.
+  void mask_interrupts();
+  void unmask_interrupts();
+  bool interrupts_masked() const { return mask_depth_ > 0; }
+  bool in_handler() const { return in_handler_; }
+
+  /// Number of interrupts queued but not yet delivered.
+  std::size_t pending_interrupts() const { return pending_irqs_.size(); }
+
+ private:
+  friend class Engine;
+  friend class Condition;
+
+  enum class State : std::uint8_t {
+    NotStarted,
+    Running,
+    BlockedCompute,
+    BlockedCond,
+    Finished,
+  };
+
+  Node(Engine& engine, int id, std::string name,
+       std::function<void(Node&)> program);
+
+  void thread_main();
+
+  /// Gives the baton back to the engine; returns when the engine resumes
+  /// this node. Throws if the engine is tearing down.
+  Engine::Resume yield_to_engine();
+
+  /// Runs all deliverable pending interrupts (no-op when masked).
+  void drain_interrupts();
+
+  /// Called from event context when something wants to preempt/resume a
+  /// blocked node.
+  void deliver_from_event_context(int irq);
+
+  Engine& engine_;
+  const int id_;
+  const std::string name_;
+  std::function<void(Node&)> program_;
+
+  State state_ = State::NotStarted;
+  Condition* blocked_on_ = nullptr;
+  EventHandle compute_wake_;
+
+  std::vector<InterruptHandler> handlers_;
+  std::deque<int> pending_irqs_;
+  int mask_depth_ = 0;
+  bool in_handler_ = false;
+
+  Engine::Resume resume_reason_ = Engine::Resume::Start;
+  bool abort_requested_ = false;
+
+  std::binary_semaphore go_{0};
+  std::binary_semaphore done_{0};
+  std::thread thread_;
+};
+
+/// Single-waiter condition owned by a node. signal() may be called from
+/// event context (typical: a message-delivery event) or from the owner's own
+/// context (typical: an interrupt handler satisfying a wait on the same
+/// node); cross-node signalling must go through a scheduled event instead.
+class Condition {
+ public:
+  explicit Condition(Node& owner) : owner_(owner) {}
+
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  /// Blocks the owner until signalled; services interrupts while blocked.
+  void wait();
+
+  /// As wait(), but gives up at absolute virtual time `deadline`.
+  /// Returns false on timeout.
+  bool wait_until(SimTime deadline);
+
+  void signal();
+
+  bool signalled() const { return signalled_; }
+
+ private:
+  Node& owner_;
+  bool signalled_ = false;
+};
+
+}  // namespace tmkgm::sim

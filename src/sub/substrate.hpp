@@ -1,0 +1,159 @@
+// The communication substrate interface required by TreadMarks.
+//
+// This mirrors Figures 1 and 2 of the paper: TreadMarks needs
+//   - asynchronous Request messages (SIGIO-style upcall at the receiver,
+//     possibly forwarded to a third node),
+//   - synchronous Response messages (the requester blocks),
+//   - contiguous and non-contiguous (iovec) sends,
+//   - "receive response from any node of a group",
+//   - the ability to mask/unmask asynchronous delivery around critical
+//     sections.
+//
+// A request is identified across forwards by (origin, seq): the manager of
+// a lock forwards an acquire to the probable owner, and the eventual owner
+// responds directly to the origin. Responses are matched by seq, so a node
+// may hold several requests outstanding (parallel diff fetches) and await
+// them in any order.
+//
+// Two implementations exist: fastgm::FastGmSubstrate (the paper's
+// contribution) and udpsub::UdpSubstrate (the UDP/GM baseline, which also
+// supplies timeout/retransmission and duplicate suppression, since UDP is
+// unreliable). The paper binds the substrate at compile time; we select at
+// run time to keep one TreadMarks build honest across both transports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace tmkgm::sub {
+
+struct ConstBuf {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Largest message TreadMarks can send (GM size class 15, per the paper).
+inline constexpr std::size_t kMaxMessage = 32760;
+
+struct Envelope;  // below
+
+/// Largest payload once the 8-byte on-wire envelope is accounted for.
+inline constexpr std::size_t kMaxPayload = kMaxMessage - 8;
+
+/// Stable identity of a request as it travels (possibly via forwards).
+struct RequestCtx {
+  int src = -1;       ///< immediate sender of this hop
+  int origin = -1;    ///< original requester; responses go here
+  std::uint32_t seq = 0;
+};
+
+class Substrate {
+ public:
+  virtual ~Substrate() = default;
+
+  virtual const char* name() const = 0;
+  virtual int self() const = 0;
+  virtual int n_procs() const = 0;
+
+  /// ---- Asynchronous request channel --------------------------------
+  /// The handler runs in interrupt context with async delivery masked; it
+  /// may respond(), forward(), or return without either (deferred
+  /// response, e.g. a held lock or a barrier arrival). It must not block.
+  using RequestHandler =
+      std::function<void(const RequestCtx&, std::span<const std::byte>)>;
+  virtual void set_request_handler(RequestHandler handler) = 0;
+
+  /// Sends a new request; returns the seq to await the response with.
+  virtual std::uint32_t send_request(int dst,
+                                     std::span<const ConstBuf> iov) = 0;
+
+  /// Forwards the request in `ctx` to another node, preserving its
+  /// (origin, seq) so the eventual responder reaches the origin.
+  virtual void forward(const RequestCtx& ctx, int dst,
+                       std::span<const ConstBuf> iov) = 0;
+
+  /// Sends the response for `ctx` to its origin; callable from the handler
+  /// or later (deferred).
+  virtual void respond(const RequestCtx& ctx,
+                       std::span<const ConstBuf> iov) = 0;
+
+  /// ---- Synchronous response reception -------------------------------
+  /// Blocks until the response for `seq` arrives; returns the payload
+  /// length copied into `out`.
+  virtual std::size_t recv_response(std::uint32_t seq,
+                                    std::span<std::byte> out) = 0;
+
+  /// Blocks until a response for any of `seqs` arrives; returns the index
+  /// within `seqs` and sets `len`.
+  virtual std::size_t recv_response_any(std::span<const std::uint32_t> seqs,
+                                        std::span<std::byte> out,
+                                        std::size_t& len) = 0;
+
+  /// ---- Async masking (TreadMarks critical sections) ------------------
+  virtual void mask_async() = 0;
+  virtual void unmask_async() = 0;
+
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t forwards_sent = 0;
+    std::uint64_t requests_handled = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t rendezvous = 0;
+  };
+  virtual Stats stats() const = 0;
+
+  /// Registered (pinned) memory footprint, for the paper's §2.2.2 math.
+  virtual std::size_t pinned_bytes() const = 0;
+
+  /// ---- Convenience wrappers -----------------------------------------
+  std::uint32_t send_request(int dst, std::span<const std::byte> payload) {
+    ConstBuf one{payload.data(), payload.size()};
+    return send_request(dst, std::span<const ConstBuf>(&one, 1));
+  }
+  void respond(const RequestCtx& ctx, std::span<const std::byte> payload) {
+    ConstBuf one{payload.data(), payload.size()};
+    respond(ctx, std::span<const ConstBuf>(&one, 1));
+  }
+  void forward(const RequestCtx& ctx, int dst,
+               std::span<const std::byte> payload) {
+    ConstBuf one{payload.data(), payload.size()};
+    forward(ctx, dst, std::span<const ConstBuf>(&one, 1));
+  }
+};
+
+/// RAII guard for mask_async()/unmask_async().
+class AsyncMasked {
+ public:
+  explicit AsyncMasked(Substrate& s) : s_(s) { s_.mask_async(); }
+  ~AsyncMasked() { s_.unmask_async(); }
+  AsyncMasked(const AsyncMasked&) = delete;
+  AsyncMasked& operator=(const AsyncMasked&) = delete;
+
+ private:
+  Substrate& s_;
+};
+
+/// On-wire envelope shared by both substrates (8 bytes — the paper notes
+/// most asynchronous requests are of this order).
+enum class MsgKind : std::uint8_t {
+  Request = 1,
+  Response = 2,
+  RtsRequest = 3,   // rendezvous: announce a large request
+  RtsResponse = 4,  // rendezvous: announce a large response
+  Cts = 5,          // rendezvous: receiver pinned a buffer; go ahead
+};
+
+struct Envelope {
+  std::uint8_t kind = 0;
+  std::uint8_t origin = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t seq = 0;
+};
+static_assert(sizeof(Envelope) == 8);
+
+}  // namespace tmkgm::sub

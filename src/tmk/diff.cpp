@@ -1,0 +1,74 @@
+#include "tmk/diff.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace tmkgm::tmk {
+
+namespace {
+constexpr std::size_t kWord = 4;
+}
+
+std::vector<std::byte> encode_diff(const std::byte* current,
+                                   const std::byte* twin,
+                                   std::size_t page_size) {
+  TMKGM_CHECK(page_size % kWord == 0);
+  TMKGM_CHECK(page_size <= 65536);
+  std::vector<std::byte> out;
+  std::size_t run_start = 0;
+  bool in_run = false;
+  auto flush = [&](std::size_t end) {
+    if (!in_run) return;
+    const auto off = static_cast<std::uint16_t>(run_start);
+    const auto len = static_cast<std::uint16_t>(end - run_start);
+    const std::size_t pos = out.size();
+    out.resize(pos + 2 * sizeof(std::uint16_t) + len);
+    std::memcpy(out.data() + pos, &off, sizeof(off));
+    std::memcpy(out.data() + pos + sizeof(off), &len, sizeof(len));
+    std::memcpy(out.data() + pos + 2 * sizeof(off), current + run_start, len);
+    in_run = false;
+  };
+  for (std::size_t i = 0; i < page_size; i += kWord) {
+    if (std::memcmp(current + i, twin + i, kWord) != 0) {
+      if (!in_run) {
+        run_start = i;
+        in_run = true;
+      }
+    } else {
+      flush(i);
+    }
+  }
+  flush(page_size);
+  return out;
+}
+
+void apply_diff(std::byte* page, std::span<const std::byte> diff,
+                std::size_t page_size) {
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    TMKGM_CHECK(pos + 2 * sizeof(std::uint16_t) <= diff.size());
+    std::uint16_t off, len;
+    std::memcpy(&off, diff.data() + pos, sizeof(off));
+    std::memcpy(&len, diff.data() + pos + sizeof(off), sizeof(len));
+    pos += 2 * sizeof(std::uint16_t);
+    TMKGM_CHECK(pos + len <= diff.size());
+    TMKGM_CHECK(static_cast<std::size_t>(off) + len <= page_size);
+    std::memcpy(page + off, diff.data() + pos, len);
+    pos += len;
+  }
+}
+
+std::size_t diff_modified_bytes(std::span<const std::byte> diff) {
+  std::size_t total = 0;
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    std::uint16_t len;
+    std::memcpy(&len, diff.data() + pos + sizeof(std::uint16_t), sizeof(len));
+    pos += 2 * sizeof(std::uint16_t) + len;
+    total += len;
+  }
+  return total;
+}
+
+}  // namespace tmkgm::tmk

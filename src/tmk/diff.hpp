@@ -1,0 +1,32 @@
+// Twin/diff machinery for TreadMarks' multiple-writer protocol.
+//
+// On the first write to a page after a (re)protection point, TreadMarks
+// copies the page (the "twin"). At diff time the current page is compared
+// against the twin word-by-word and runs of modified words are encoded.
+// Diffs from concurrent writers touch disjoint words (data-race-free
+// programs), so applying each writer's diff merges all writes.
+//
+// Encoding: a sequence of {u16 word_offset_bytes, u16 run_len_bytes, bytes}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tmkgm::tmk {
+
+/// Encodes the difference between `current` and `twin` (both `page_size`
+/// long, word-aligned). Returns the encoded diff (empty if identical).
+std::vector<std::byte> encode_diff(const std::byte* current,
+                                   const std::byte* twin,
+                                   std::size_t page_size);
+
+/// Applies an encoded diff onto `page`.
+void apply_diff(std::byte* page, std::span<const std::byte> diff,
+                std::size_t page_size);
+
+/// Number of bytes the encoded diff modifies (for cost accounting).
+std::size_t diff_modified_bytes(std::span<const std::byte> diff);
+
+}  // namespace tmkgm::tmk

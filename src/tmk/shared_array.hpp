@@ -1,0 +1,107 @@
+// Typed accessors over the TreadMarks shared arena.
+//
+// The real TreadMarks catches page faults in hardware; here every access
+// goes through an inline page-mode check that triggers the same protocol
+// faults explicitly (see tmk.hpp).
+//
+// Span accessors validate a whole range once and hand back a raw span for
+// tight inner loops. CONTRACT: a span is invalidated by the next
+// synchronization operation or compute call on this node — re-acquire it
+// after a barrier, lock operation, or compute_work (an interrupt handler
+// may have re-protected or invalidated pages meanwhile).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "tmk/tmk.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::tmk {
+
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(Tmk& tmk, GlobalPtr base, std::size_t count)
+      : tmk_(&tmk), base_(base), count_(count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+  }
+
+  /// Collective constructor: allocates on every node (SPMD order).
+  static SharedArray alloc(Tmk& tmk, std::size_t count) {
+    return SharedArray(tmk, tmk.malloc(count * sizeof(T)), count);
+  }
+
+  std::size_t size() const { return count_; }
+  GlobalPtr global(std::size_t i) const { return base_ + i * sizeof(T); }
+
+  /// Single-element read.
+  T get(std::size_t i) const {
+    TMKGM_CHECK(i < count_);
+    tmk_->ensure_read(global(i), sizeof(T));
+    T out;
+    std::memcpy(&out, tmk_->local(global(i)), sizeof(T));
+    return out;
+  }
+
+  /// Single-element write.
+  void put(std::size_t i, const T& v) {
+    TMKGM_CHECK(i < count_);
+    tmk_->ensure_write(global(i), sizeof(T));
+    std::memcpy(tmk_->local(global(i)), &v, sizeof(T));
+  }
+
+  /// Read-only span over [i, i+n) (pages validated once).
+  std::span<const T> span_ro(std::size_t i, std::size_t n) const {
+    TMKGM_CHECK(i + n <= count_);
+    if (n == 0) return {};
+    tmk_->ensure_read(global(i), n * sizeof(T));
+    return {reinterpret_cast<const T*>(tmk_->local(global(i))), n};
+  }
+
+  /// Writable span over [i, i+n) (pages write-validated once).
+  std::span<T> span_rw(std::size_t i, std::size_t n) {
+    TMKGM_CHECK(i + n <= count_);
+    if (n == 0) return {};
+    tmk_->ensure_write(global(i), n * sizeof(T));
+    return {reinterpret_cast<T*>(tmk_->local(global(i))), n};
+  }
+
+ private:
+  Tmk* tmk_ = nullptr;
+  GlobalPtr base_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Row-major 2-D view over a SharedArray-style allocation.
+template <typename T>
+class Shared2D {
+ public:
+  Shared2D() = default;
+  Shared2D(Tmk& tmk, GlobalPtr base, std::size_t rows, std::size_t cols)
+      : flat_(tmk, base, rows * cols), rows_(rows), cols_(cols) {}
+
+  static Shared2D alloc(Tmk& tmk, std::size_t rows, std::size_t cols) {
+    return Shared2D(tmk, tmk.malloc(rows * cols * sizeof(T)), rows, cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T get(std::size_t r, std::size_t c) const { return flat_.get(r * cols_ + c); }
+  void put(std::size_t r, std::size_t c, const T& v) {
+    flat_.put(r * cols_ + c, v);
+  }
+  std::span<const T> row_ro(std::size_t r) const {
+    return flat_.span_ro(r * cols_, cols_);
+  }
+  std::span<T> row_rw(std::size_t r) { return flat_.span_rw(r * cols_, cols_); }
+
+ private:
+  SharedArray<T> flat_;
+  std::size_t rows_ = 0, cols_ = 0;
+};
+
+}  // namespace tmkgm::tmk

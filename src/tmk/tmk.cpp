@@ -1,0 +1,966 @@
+#include "tmk/tmk.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "tmk/diff.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::tmk {
+
+namespace {
+
+enum class Op : std::uint8_t {
+  DiffRequest = 1,
+  PageRequest = 2,
+  LockAcquire = 3,
+  BarrierArrive = 4,
+  Distribute = 5,
+  MoreIntervals = 6,  // pull the rest of a truncated interval set
+};
+
+void put_vc(WireWriter& w, const VectorClock& vc) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(vc.size()));
+  for (auto v : vc) w.put<std::uint32_t>(v);
+}
+
+VectorClock get_vc(WireReader& r) {
+  const auto n = r.get<std::uint32_t>();
+  VectorClock vc(n);
+  for (auto& v : vc) v = r.get<std::uint32_t>();
+  return vc;
+}
+
+/// Linear extension of happened-before: componentwise-ordered clocks have
+/// strictly ordered sums, so sorting by sum (proc id as tiebreak for
+/// concurrent intervals) applies diffs in a causally consistent order.
+std::uint64_t vc_sum(const VectorClock& vc) {
+  return std::accumulate(vc.begin(), vc.end(), std::uint64_t{0});
+}
+
+}  // namespace
+
+Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
+         const net::CostModel& cost, const TmkConfig& config,
+         double compute_tax)
+    : node_(node),
+      substrate_(substrate),
+      cost_(cost),
+      config_(config),
+      compute_tax_(compute_tax),
+      barrier_cond_(node),
+      distribute_cond_(node) {
+  TMKGM_CHECK(config_.page_size >= 64 && config_.page_size % 4 == 0);
+  TMKGM_CHECK(config_.home_chunk_pages >= 1);
+  TMKGM_CHECK(config_.arena_bytes % config_.page_size == 0);
+  n_pages_ = config_.arena_bytes / config_.page_size;
+  arena_.reset(static_cast<std::byte*>(std::calloc(config_.arena_bytes, 1)));
+  TMKGM_CHECK(arena_ != nullptr);
+  mode_.assign(n_pages_, PageMode::Unmapped);
+  vc_.assign(static_cast<std::size_t>(n_procs()), 0);
+  intervals_.resize(static_cast<std::size_t>(n_procs()));
+  locks_.resize(static_cast<std::size_t>(config_.n_locks));
+  for (int l = 0; l < config_.n_locks; ++l) {
+    locks_[static_cast<std::size_t>(l)].tail = lock_manager(l);
+    locks_[static_cast<std::size_t>(l)].owned = lock_manager(l) == proc_id();
+  }
+  if (proc_id() == 0) {
+    barrier_root_.resize(static_cast<std::size_t>(config_.n_barriers));
+  }
+  substrate_.set_request_handler(
+      [this](const sub::RequestCtx& ctx, std::span<const std::byte> payload) {
+        handle_request(ctx, payload);
+      });
+}
+
+Tmk::~Tmk() = default;
+
+void Tmk::charge_mem(std::size_t bytes) {
+  node_.compute(cost_.mem_op_overhead +
+                transfer_time(bytes, cost_.memcpy_bytes_per_us));
+}
+
+void Tmk::charge_fault() { node_.compute(cost_.tmk_fault_overhead); }
+
+void Tmk::compute_work(double work) {
+  node_.compute(static_cast<SimTime>(work * cost_.app_ns_per_work *
+                                     (1.0 + compute_tax_)));
+}
+
+Tmk::PageState& Tmk::state_of(PageId page) {
+  auto it = pages_.find(page);
+  if (it == pages_.end()) {
+    it = pages_.emplace(page, PageState{}).first;
+    it->second.applied.assign(static_cast<std::size_t>(n_procs()), 0);
+  }
+  return it->second;
+}
+
+Tmk::PageMode Tmk::page_mode(PageId page) const {
+  TMKGM_CHECK(page < n_pages_);
+  return mode_[page];
+}
+
+std::byte* Tmk::local(GlobalPtr ptr) {
+  TMKGM_CHECK(ptr < config_.arena_bytes);
+  return arena_.get() + ptr;
+}
+
+const std::byte* Tmk::local(GlobalPtr ptr) const {
+  TMKGM_CHECK(ptr < config_.arena_bytes);
+  return arena_.get() + ptr;
+}
+
+std::size_t Tmk::protocol_bytes() const {
+  std::size_t intervals = 0;
+  for (const auto& per_proc : intervals_) {
+    intervals += per_proc.size() *
+                 (64 + 4 * static_cast<std::size_t>(n_procs()));
+  }
+  return diff_store_bytes_ + intervals;
+}
+
+// ---------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------
+
+GlobalPtr Tmk::malloc(std::size_t bytes) {
+  TMKGM_CHECK(bytes > 0);
+  // Page-aligned allocation, reusing freed blocks of the same size first:
+  // deterministic across nodes under SPMD calling order.
+  const std::size_t aligned =
+      (bytes + config_.page_size - 1) / config_.page_size * config_.page_size;
+  auto it = free_lists_.find(aligned);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    const GlobalPtr out = it->second.back();
+    it->second.pop_back();
+    return out;
+  }
+  TMKGM_CHECK_MSG(alloc_cursor_ + aligned <= config_.arena_bytes,
+                  "shared arena exhausted: grow TmkConfig::arena_bytes");
+  const GlobalPtr out = alloc_cursor_;
+  alloc_cursor_ += aligned;
+  return out;
+}
+
+void Tmk::free(GlobalPtr ptr, std::size_t bytes) {
+  TMKGM_CHECK(bytes > 0);
+  const std::size_t aligned =
+      (bytes + config_.page_size - 1) / config_.page_size * config_.page_size;
+  TMKGM_CHECK(ptr % config_.page_size == 0);
+  TMKGM_CHECK(ptr + aligned <= alloc_cursor_);
+  free_lists_[aligned].push_back(ptr);
+}
+
+void Tmk::distribute(void* data, std::size_t bytes) {
+  TMKGM_CHECK(bytes <= sub::kMaxPayload - 16);
+  if (proc_id() == 0) {
+    WireWriter w;
+    w.put(Op::Distribute);
+    w.put_bytes(data, bytes);
+    std::vector<std::uint32_t> seqs;
+    for (int p = 1; p < n_procs(); ++p) {
+      seqs.push_back(substrate_.send_request(p, w.bytes()));
+    }
+    std::vector<std::byte> ack(16);
+    for (auto seq : seqs) substrate_.recv_response(seq, ack);
+  } else {
+    while (distribute_inbox_.empty()) distribute_cond_.wait();
+    auto msg = std::move(distribute_inbox_.front());
+    distribute_inbox_.pop_front();
+    TMKGM_CHECK(msg.size() == bytes);
+    std::memcpy(data, msg.data(), bytes);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Access checks and faults
+// ---------------------------------------------------------------------
+
+void Tmk::ensure_read(GlobalPtr ptr, std::size_t len) {
+  TMKGM_CHECK(len > 0 && ptr + len <= config_.arena_bytes);
+  const PageId first = page_of(ptr);
+  const PageId last = page_of(ptr + len - 1);
+  for (PageId p = first; p <= last; ++p) {
+    if (mode_[p] == PageMode::Unmapped || mode_[p] == PageMode::Invalid) {
+      read_fault(p);
+    }
+  }
+}
+
+void Tmk::ensure_write(GlobalPtr ptr, std::size_t len) {
+  TMKGM_CHECK(len > 0 && ptr + len <= config_.arena_bytes);
+  const PageId first = page_of(ptr);
+  const PageId last = page_of(ptr + len - 1);
+  for (PageId p = first; p <= last; ++p) {
+    if (mode_[p] != PageMode::ReadWrite) write_fault(p);
+  }
+}
+
+void Tmk::read_fault(PageId page) {
+  ++stats_.read_faults;
+  charge_fault();
+  PageState& st = state_of(page);
+  if (mode_[page] == PageMode::Unmapped) fetch_page(page);
+  while (!st.notices.empty()) fetch_diffs(page);
+  mode_[page] = (st.twin != nullptr && !st.twin_is_pending_diff)
+                    ? PageMode::ReadWrite
+                    : PageMode::ReadOnly;
+}
+
+void Tmk::write_fault(PageId page) {
+  ++stats_.write_faults;
+  charge_fault();
+  PageState& st = state_of(page);
+  if (mode_[page] == PageMode::Unmapped) fetch_page(page);
+  while (!st.notices.empty()) fetch_diffs(page);
+  if (st.twin != nullptr && st.twin_is_pending_diff) {
+    // Twin retention (TreadMarks' lazy diffing): re-writing a page whose
+    // previous intervals are still latent keeps the same twin; the
+    // accumulated diff is encoded only when somebody asks. A single
+    // steady writer pays one cheap re-protection fault per interval and
+    // never encodes pages nobody reads.
+    st.twin_is_pending_diff = false;
+    dirty_pages_.push_back(page);
+  } else if (st.twin == nullptr) {
+    charge_mem(config_.page_size);
+    st.twin.reset(new std::byte[config_.page_size]);
+    st.twin_is_pending_diff = false;
+    std::memcpy(st.twin.get(), page_base(page), config_.page_size);
+    ++stats_.twins_created;
+    dirty_pages_.push_back(page);
+  }
+  mode_[page] = PageMode::ReadWrite;
+}
+
+void Tmk::fetch_page(PageId page) {
+  PageState& st = state_of(page);
+  const int mgr = page_manager(page);
+  if (mgr == proc_id()) {
+    // Our own statically-assigned page: the zero-filled base copy is
+    // already in the arena.
+    mode_[page] = PageMode::ReadOnly;
+    return;
+  }
+  ++stats_.page_fetches;
+  WireWriter w;
+  w.put(Op::PageRequest);
+  w.put<std::uint32_t>(page);
+  const auto seq = substrate_.send_request(mgr, w.bytes());
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  const auto len = substrate_.recv_response(seq, buf);
+  WireReader r({buf.data(), len});
+  const auto got_page = r.get<std::uint32_t>();
+  TMKGM_CHECK(got_page == page);
+  VectorClock applied = get_vc(r);
+  auto bytes = r.get_bytes(config_.page_size);
+  charge_mem(config_.page_size);
+  std::memcpy(page_base(page), bytes.data(), config_.page_size);
+  st.applied = std::move(applied);
+  // Our own writes never appear as notices, and the manager's claim about
+  // what it applied of *our* diffs is irrelevant to our copy.
+  st.applied[static_cast<std::size_t>(proc_id())] = 0;
+  // Drop notices the fetched copy already covers.
+  std::erase_if(st.notices, [&](const WriteNotice& n) {
+    return n.vt <= st.applied[n.proc];
+  });
+  mode_[page] = PageMode::ReadOnly;
+}
+
+void Tmk::fetch_diffs(PageId page) {
+  PageState& st = state_of(page);
+  struct Need {
+    int proc;
+    std::uint32_t from, to;
+  };
+  std::vector<Need> needs;
+  for (const auto& n : st.notices) {
+    TMKGM_CHECK(n.proc != proc_id());
+    auto it = std::find_if(needs.begin(), needs.end(),
+                           [&](const Need& x) { return x.proc == n.proc; });
+    if (it == needs.end()) {
+      needs.push_back({n.proc, st.applied[n.proc], n.vt});
+    } else {
+      it->to = std::max(it->to, n.vt);
+    }
+  }
+  if (needs.empty()) return;
+
+  // Foreign diffs are about to land on this page: any latent accumulated
+  // diff must be encoded NOW, so one blob never spans a synchronization
+  // point after which other writers' values interleave with ours (the
+  // attribution of a spanning blob to a single position in happened-before
+  // order would be unsound in both directions).
+  if (st.twin != nullptr && !st.pending_vts.empty()) {
+    encode_pending_diff(page);
+  }
+
+  auto request_range = [&](int proc, std::uint32_t from, std::uint32_t to) {
+    WireWriter w;
+    w.put(Op::DiffRequest);
+    w.put<std::uint32_t>(page);
+    w.put<std::uint32_t>(from);
+    w.put<std::uint32_t>(to);
+    ++stats_.diff_requests;
+    return substrate_.send_request(proc, w.bytes());
+  };
+
+  // Parallel requests to every writer (the paper's "receive from any node
+  // of a group" requirement), re-requesting continuations when a writer's
+  // diffs overflow one response.
+  std::vector<std::uint32_t> seqs;
+  std::vector<Need> seq_need;
+  for (const auto& n : needs) {
+    seqs.push_back(request_range(n.proc, n.from, n.to));
+    seq_need.push_back(n);
+  }
+
+  struct GotDiff {
+    int proc;
+    std::uint32_t vt;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<GotDiff> got;
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  while (!seqs.empty()) {
+    std::size_t len = 0;
+    const auto idx = substrate_.recv_response_any(seqs, buf, len);
+    const Need need = seq_need[idx];
+    seqs.erase(seqs.begin() + static_cast<std::ptrdiff_t>(idx));
+    seq_need.erase(seq_need.begin() + static_cast<std::ptrdiff_t>(idx));
+    WireReader r({buf.data(), len});
+    const auto got_page = r.get<std::uint32_t>();
+    TMKGM_CHECK(got_page == page);
+    const auto count = r.get<std::uint32_t>();
+    const auto more = r.get<std::uint8_t>();
+    const auto cont_vt = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto vt = r.get<std::uint32_t>();
+      const auto dlen = r.get<std::uint32_t>();
+      auto bytes = r.get_bytes(dlen);
+      got.push_back({need.proc, vt, {bytes.begin(), bytes.end()}});
+    }
+    if (more != 0) {
+      seqs.push_back(request_range(need.proc, cont_vt, need.to));
+      seq_need.push_back({need.proc, cont_vt, need.to});
+    }
+  }
+
+  // Apply in a linear extension of happened-before.
+  std::sort(got.begin(), got.end(), [&](const GotDiff& a, const GotDiff& b) {
+    const auto& va = intervals_[static_cast<std::size_t>(a.proc)].at(a.vt).vc;
+    const auto& vb = intervals_[static_cast<std::size_t>(b.proc)].at(b.vt).vc;
+    const auto sa = vc_sum(va), sb = vc_sum(vb);
+    if (sa != sb) return sa < sb;
+    if (a.proc != b.proc) return a.proc < b.proc;
+    return a.vt < b.vt;
+  });
+  for (const auto& d : got) {
+    apply_one_diff(page, d.proc, d.vt, d.bytes);
+  }
+  std::erase_if(st.notices, [&](const WriteNotice& n) {
+    return n.vt <= st.applied[n.proc];
+  });
+  // st.notices may be non-empty again: an interrupt handler (e.g. a
+  // barrier arrival at the root) can incorporate fresh intervals while we
+  // were blocked waiting for responses. The fault path loops until quiet.
+}
+
+void Tmk::apply_one_diff(PageId page, int proc, std::uint32_t vt,
+                         std::span<const std::byte> diff) {
+  PageState& st = state_of(page);
+  if (vt <= st.applied[static_cast<std::size_t>(proc)]) return;  // duplicate
+  const auto modified = diff_modified_bytes(diff);
+  node_.compute(cost_.mem_op_overhead +
+                transfer_time(modified, cost_.memcpy_bytes_per_us));
+  apply_diff(page_base(page), diff, config_.page_size);
+  if (st.twin != nullptr) {
+    // Keep the twin in sync so our next diff contains only our own writes.
+    apply_diff(st.twin.get(), diff, config_.page_size);
+  }
+  st.applied[static_cast<std::size_t>(proc)] = vt;
+  ++stats_.diffs_applied;
+  stats_.diff_bytes_applied += diff.size();
+}
+
+void Tmk::encode_pending_diff(PageId page) {
+  // The compute charges below are preemption points, and a diff-request
+  // handler may try to encode this very twin; hold async delivery across
+  // the whole encode (the handler runs masked already).
+  sub::AsyncMasked masked(substrate_);
+  PageState& st = state_of(page);
+  if (st.twin == nullptr || st.pending_vts.empty()) return;  // raced
+
+  // One scan serves every pending interval: the accumulated diff is
+  // attributed to each of them (re-application is idempotent; cross-writer
+  // ordering is preserved because remote diffs were applied to the twin
+  // too). If the page is open in a new interval, its uncommitted writes
+  // ride along — data-race freedom guarantees nobody reads those words
+  // before our next release — and the twin refreshes to match.
+  node_.compute(cost_.mem_op_overhead +
+                transfer_time(config_.page_size,
+                              cost_.diff_scan_bytes_per_us));
+  auto bytes = encode_diff(page_base(page), st.twin.get(), config_.page_size);
+  node_.compute(transfer_time(bytes.size(), cost_.memcpy_bytes_per_us));
+  auto shared =
+      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  ++stats_.diffs_created;
+  stats_.diff_bytes_created += shared->size();
+  const auto first_vt = st.pending_vts.front();
+  const auto& mine = intervals_[static_cast<std::size_t>(proc_id())];
+  for (auto vt : st.pending_vts) {
+    if (!mine.contains(vt)) continue;  // GC already reclaimed it
+    my_diffs_[{page, vt}] = StoredDiff{shared, first_vt};
+    diff_store_bytes_ += shared->size();
+  }
+  st.pending_vts.clear();
+
+  const bool open = !st.twin_is_pending_diff;
+  if (open) {
+    charge_mem(config_.page_size);
+    std::memcpy(st.twin.get(), page_base(page), config_.page_size);
+  } else {
+    st.twin.reset();
+    st.twin_is_pending_diff = false;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Intervals
+// ---------------------------------------------------------------------
+
+bool Tmk::close_interval() {
+  if (n_procs() == 1) return false;  // no consumers: keep pages writable
+  if (dirty_pages_.empty()) return false;
+  substrate_.mask_async();
+  const auto vt = ++vc_[static_cast<std::size_t>(proc_id())];
+  IntervalRecord rec;
+  rec.proc = static_cast<std::uint8_t>(proc_id());
+  rec.vt = vt;
+  rec.vc = vc_;
+  rec.pages = dirty_pages_;
+  rec.epoch = barrier_epoch_;
+  for (PageId page : dirty_pages_) {
+    PageState& st = state_of(page);
+    TMKGM_CHECK(st.twin != nullptr && !st.twin_is_pending_diff);
+    st.twin_is_pending_diff = true;
+    st.pending_vts.push_back(vt);
+    if (mode_[page] == PageMode::ReadWrite) mode_[page] = PageMode::ReadOnly;
+    my_page_writes_[page].push_back(vt);
+  }
+  // Write-protecting each dirty page costs an mprotect.
+  node_.compute(static_cast<SimTime>(dirty_pages_.size()) *
+                cost_.tmk_protocol_op);
+  intervals_[static_cast<std::size_t>(proc_id())][vt] = std::move(rec);
+  dirty_pages_.clear();
+  ++stats_.intervals_created;
+  substrate_.unmask_async();
+  return true;
+}
+
+void Tmk::incorporate_interval(IntervalRecord rec) {
+  if (rec.proc == proc_id()) return;
+  auto& per_proc = intervals_[rec.proc];
+  if (per_proc.contains(rec.vt)) return;
+  rec.epoch = barrier_epoch_;
+  for (PageId page : rec.pages) {
+    PageState& st = state_of(page);
+    if (rec.vt <= st.applied[rec.proc]) continue;
+    st.notices.push_back({rec.proc, rec.vt});
+    if (mode_[page] == PageMode::ReadOnly ||
+        mode_[page] == PageMode::ReadWrite) {
+      mode_[page] = PageMode::Invalid;
+      ++stats_.invalidations;
+    }
+  }
+  vc_[rec.proc] = std::max(vc_[rec.proc], rec.vt);
+  per_proc.emplace(rec.vt, std::move(rec));
+}
+
+bool Tmk::pack_missing_intervals(WireWriter& w,
+                                 const VectorClock& theirs) const {
+  const std::size_t count_pos = w.size();
+  w.put<std::uint32_t>(0);
+  std::uint32_t count = 0;
+  // Leave headroom for whatever header the caller already wrote.
+  const std::size_t budget = sub::kMaxPayload - 64;
+  for (int p = 0; p < n_procs(); ++p) {
+    const auto& per_proc = intervals_[static_cast<std::size_t>(p)];
+    for (std::uint32_t vt = theirs[static_cast<std::size_t>(p)] + 1;
+         vt <= vc_[static_cast<std::size_t>(p)]; ++vt) {
+      auto it = per_proc.find(vt);
+      TMKGM_CHECK_MSG(it != per_proc.end(),
+                      "interval (" << p << "," << vt
+                                   << ") missing (GC raced a laggard?)");
+      const IntervalRecord& rec = it->second;
+      const std::size_t need =
+          1 + 4 + (4 + 4 * rec.vc.size()) + 4 + 4 * rec.pages.size();
+      if (w.size() + need > budget) {
+        // Receiver pulls the remainder with Op::MoreIntervals; truncating
+        // mid-stream is safe because records are packed in (proc, vt)
+        // order, so what was sent is a contiguous prefix per proc.
+        w.patch<std::uint32_t>(count_pos, count);
+        return true;
+      }
+      w.put<std::uint8_t>(rec.proc);
+      w.put<std::uint32_t>(rec.vt);
+      put_vc(w, rec.vc);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(rec.pages.size()));
+      for (auto page : rec.pages) w.put<std::uint32_t>(page);
+      ++count;
+    }
+  }
+  w.patch<std::uint32_t>(count_pos, count);
+  return false;
+}
+
+void Tmk::fetch_more_intervals(int responder) {
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  while (true) {
+    WireWriter w;
+    w.put(Op::MoreIntervals);
+    put_vc(w, vc_);
+    const auto seq = substrate_.send_request(responder, w.bytes());
+    const auto len = substrate_.recv_response(seq, buf);
+    WireReader r({buf.data(), len});
+    const auto more = r.get<std::uint8_t>();
+    unpack_intervals(r);
+    if (more == 0) return;
+  }
+}
+
+void Tmk::unpack_intervals(WireReader& r) {
+  const auto count = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    IntervalRecord rec;
+    rec.proc = r.get<std::uint8_t>();
+    rec.vt = r.get<std::uint32_t>();
+    rec.vc = get_vc(r);
+    const auto npages = r.get<std::uint32_t>();
+    rec.pages.resize(npages);
+    for (auto& page : rec.pages) page = r.get<std::uint32_t>();
+    incorporate_interval(std::move(rec));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------
+
+void Tmk::lock_acquire(int lock) {
+  TMKGM_CHECK(lock >= 0 && lock < config_.n_locks);
+  ++stats_.lock_acquires;
+  LockState& L = locks_[static_cast<std::size_t>(lock)];
+  TMKGM_CHECK_MSG(!L.held, "recursive lock acquire");
+  if (L.owned) {
+    L.held = true;  // free re-acquire: we saw our own last release
+    return;
+  }
+  ++stats_.lock_remote_acquires;
+  WireWriter w;
+  w.put(Op::LockAcquire);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(lock));
+  put_vc(w, vc_);
+  const int mgr = lock_manager(lock);
+  std::uint32_t seq;
+  if (mgr == proc_id()) {
+    // We are the manager but not the owner: enqueue ourselves by sending
+    // straight to the current chain tail.
+    substrate_.mask_async();
+    const int target = L.tail;
+    TMKGM_CHECK(target != proc_id());
+    L.tail = proc_id();
+    substrate_.unmask_async();
+    seq = substrate_.send_request(target, w.bytes());
+  } else {
+    seq = substrate_.send_request(mgr, w.bytes());
+  }
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  const auto len = substrate_.recv_response(seq, buf);
+  WireReader r({buf.data(), len});
+  const auto more = r.get<std::uint8_t>();
+  const auto granter = r.get<std::uint8_t>();
+  unpack_intervals(r);
+  if (more != 0) fetch_more_intervals(granter);
+  L.owned = true;
+  L.held = true;
+}
+
+void Tmk::lock_release(int lock) {
+  TMKGM_CHECK(lock >= 0 && lock < config_.n_locks);
+  LockState& L = locks_[static_cast<std::size_t>(lock)];
+  TMKGM_CHECK_MSG(L.held && L.owned, "releasing a lock we do not hold");
+  close_interval();
+  L.held = false;
+  if (!L.successor.has_value()) return;  // keep the token until asked
+
+  substrate_.mask_async();
+  auto [ctx, their_vc] = std::move(*L.successor);
+  L.successor.reset();
+  L.owned = false;
+  substrate_.unmask_async();
+  grant_lock(lock, ctx, their_vc);
+}
+
+void Tmk::grant_lock(int lock, const sub::RequestCtx& to,
+                     const VectorClock& their_vc) {
+  (void)lock;
+  WireWriter w;
+  w.put<std::uint8_t>(0);  // more flag, patched below
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(proc_id()));
+  const bool more = pack_missing_intervals(w, their_vc);
+  w.patch<std::uint8_t>(0, more ? 1 : 0);
+  substrate_.respond(to, w.bytes());
+}
+
+// ---------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------
+
+void Tmk::barrier(int id) {
+  TMKGM_CHECK(id >= 0 && id < config_.n_barriers);
+  ++stats_.barriers;
+  if (n_procs() == 1) return;  // nothing to synchronize or publish
+  close_interval();
+
+  bool run_gc = false;
+  if (proc_id() == 0) {
+    BarrierRoot& root = barrier_root_[static_cast<std::size_t>(id)];
+    const int expected = n_procs() - 1;
+    substrate_.mask_async();
+    while (root.arrived < expected) {
+      substrate_.unmask_async();
+      barrier_cond_.wait();
+      substrate_.mask_async();
+    }
+    // Take exactly this epoch's arrivals: a fast client may already have
+    // arrived at the *next* use of this barrier while we were still here,
+    // and that arrival must survive for the next epoch.
+    std::vector<BarrierArrival> batch(
+        std::make_move_iterator(root.clients.begin()),
+        std::make_move_iterator(root.clients.begin() + expected));
+    root.clients.erase(root.clients.begin(),
+                       root.clients.begin() + expected);
+    root.arrived -= expected;
+    bool gc = config_.gc_high_water > 0 &&
+              protocol_bytes() > config_.gc_high_water;
+    substrate_.unmask_async();
+
+    // Incorporate the union of everyone's intervals — closed, because each
+    // client contributed its own records up to its arrival. A client whose
+    // arrive message overflowed flags `more`; pull its remainder now.
+    for (auto& arrival : batch) {
+      WireReader ir(arrival.intervals);
+      const auto client_more = ir.get<std::uint8_t>();
+      unpack_intervals(ir);
+      if (client_more != 0) fetch_more_intervals(arrival.ctx.origin);
+      if (arrival.want_gc) gc = true;
+    }
+
+    // Releases carry everything each client is missing.
+    for (auto& arrival : batch) {
+      WireWriter w;
+      w.put<std::uint8_t>(gc ? 1 : 0);
+      w.put<std::uint8_t>(0);  // more flag, patched below
+      const bool more = pack_missing_intervals(w, arrival.vc);
+      w.patch<std::uint8_t>(1, more ? 1 : 0);
+      substrate_.respond(arrival.ctx, w.bytes());
+    }
+    run_gc = gc;
+  } else {
+    WireWriter w;
+    w.put(Op::BarrierArrive);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(id));
+    const bool want_gc = config_.gc_high_water > 0 &&
+                         protocol_bytes() > config_.gc_high_water;
+    w.put<std::uint8_t>(want_gc ? 1 : 0);
+    put_vc(w, vc_);
+    // Our own intervals the root has not yet been sent; if they overflow
+    // one message the root pulls the remainder with Op::MoreIntervals.
+    const std::size_t more_pos = w.size();
+    w.put<std::uint8_t>(0);
+    const std::size_t count_pos = w.size();
+    w.put<std::uint32_t>(0);
+    std::uint32_t count = 0;
+    std::uint8_t arrive_more = 0;
+    const std::size_t budget = sub::kMaxPayload - 64;
+    const auto& mine = intervals_[static_cast<std::size_t>(proc_id())];
+    for (std::uint32_t vt = my_last_sent_vt_ + 1;
+         vt <= vc_[static_cast<std::size_t>(proc_id())]; ++vt) {
+      const IntervalRecord& rec = mine.at(vt);
+      const std::size_t need =
+          1 + 4 + (4 + 4 * rec.vc.size()) + 4 + 4 * rec.pages.size();
+      if (w.size() + need > budget) {
+        arrive_more = 1;
+        break;
+      }
+      w.put<std::uint8_t>(rec.proc);
+      w.put<std::uint32_t>(rec.vt);
+      put_vc(w, rec.vc);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(rec.pages.size()));
+      for (auto page : rec.pages) w.put<std::uint32_t>(page);
+      ++count;
+    }
+    w.patch<std::uint8_t>(more_pos, arrive_more);
+    w.patch<std::uint32_t>(count_pos, count);
+    my_last_sent_vt_ = vc_[static_cast<std::size_t>(proc_id())];
+
+    const auto seq = substrate_.send_request(0, w.bytes());
+    std::vector<std::byte> buf(sub::kMaxMessage);
+    const auto len = substrate_.recv_response(seq, buf);
+    WireReader r({buf.data(), len});
+    run_gc = r.get<std::uint8_t>() != 0;
+    const auto release_more = r.get<std::uint8_t>();
+    unpack_intervals(r);
+    if (release_more != 0) fetch_more_intervals(0);
+  }
+
+  ++barrier_epoch_;
+  if (gc_discard_pending_) {
+    discard_old_protocol_state();
+    gc_discard_pending_ = false;
+  }
+  if (run_gc) {
+    run_gc_validate_phase();
+    gc_discard_pending_ = true;
+    gc_floor_epoch_ = barrier_epoch_;
+  }
+}
+
+void Tmk::run_gc_validate_phase() {
+  // Phase 1: validate every invalid page so no diff older than this epoch
+  // can ever be requested again (see DESIGN.md).
+  ++stats_.gc_rounds;
+  for (PageId p = 0; p < n_pages_; ++p) {
+    if (mode_[p] == PageMode::Invalid) read_fault(p);
+  }
+}
+
+void Tmk::discard_old_protocol_state() {
+  // Phase 2 (a barrier later): everyone validated, so intervals learned
+  // before the GC barrier — and their diffs — are dead.
+  const auto floor = gc_floor_epoch_;
+  auto& mine = intervals_[static_cast<std::size_t>(proc_id())];
+  for (auto it = my_diffs_.begin(); it != my_diffs_.end();) {
+    const auto vt = it->first.second;
+    auto rec = mine.find(vt);
+    if (rec != mine.end() && rec->second.epoch < floor) {
+      diff_store_bytes_ -= it->second.bytes->size();
+      it = my_diffs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [page, vts] : my_page_writes_) {
+    std::erase_if(vts, [&](std::uint32_t vt) {
+      auto rec = mine.find(vt);
+      return rec != mine.end() && rec->second.epoch < floor;
+    });
+  }
+  for (auto& per_proc : intervals_) {
+    std::erase_if(per_proc, [&](const auto& kv) {
+      return kv.second.epoch < floor;
+    });
+  }
+}
+
+// ---------------------------------------------------------------------
+// Request handling (interrupt context)
+// ---------------------------------------------------------------------
+
+void Tmk::handle_request(const sub::RequestCtx& ctx,
+                         std::span<const std::byte> payload) {
+  node_.compute(cost_.tmk_protocol_op);
+  WireReader r(payload);
+  const auto op = r.get<Op>();
+  switch (op) {
+    case Op::DiffRequest: handle_diff_request(ctx, r); break;
+    case Op::PageRequest: handle_page_request(ctx, r); break;
+    case Op::LockAcquire: handle_lock_acquire(ctx, r); break;
+    case Op::BarrierArrive: handle_barrier_arrive(ctx, r); break;
+    case Op::MoreIntervals: handle_more_intervals(ctx, r); break;
+    case Op::Distribute: handle_distribute(ctx, r); break;
+  }
+}
+
+void Tmk::handle_diff_request(const sub::RequestCtx& ctx, WireReader& r) {
+  const auto page = r.get<std::uint32_t>();
+  const auto from = r.get<std::uint32_t>();
+  const auto to = r.get<std::uint32_t>();
+
+  WireWriter w;
+  w.put<std::uint32_t>(page);
+  const std::size_t count_pos = w.size();
+  w.put<std::uint32_t>(0);
+  const std::size_t more_pos = w.size();
+  w.put<std::uint8_t>(0);
+  const std::size_t cont_pos = w.size();
+  w.put<std::uint32_t>(0);
+
+  std::uint32_t count = 0;
+  std::uint8_t more = 0;
+  std::uint32_t cont_vt = 0;
+
+  auto it = my_page_writes_.find(page);
+  if (it != my_page_writes_.end()) {
+    // Accumulated diffs are shared between intervals; within one response
+    // the content is sent once and the other intervals ride as empty
+    // diffs (the receiver still advances its applied clock).
+    const std::vector<std::byte>* already_sent = nullptr;
+    for (auto vt : it->second) {
+      if (vt <= from || vt > to) continue;
+      // Locate the diff: cached, or still latent in a (retained) twin.
+      auto cached = my_diffs_.find({page, vt});
+      if (cached == my_diffs_.end()) {
+        PageState& st = state_of(page);
+        const bool latent =
+            st.twin != nullptr &&
+            std::find(st.pending_vts.begin(), st.pending_vts.end(), vt) !=
+                st.pending_vts.end();
+        TMKGM_CHECK_MSG(latent,
+                        "diff (" << page << "," << vt << ") unavailable");
+        encode_pending_diff(page);
+        cached = my_diffs_.find({page, vt});
+        TMKGM_CHECK(cached != my_diffs_.end());
+      }
+      const std::vector<std::byte>& diff = *cached->second.bytes;
+      // Empty when the requester has this blob already: either it arrived
+      // earlier in this response, or the blob was first attributed to an
+      // interval the requester's range says it has applied. Re-applying
+      // would roll back writes the requester made since.
+      const bool duplicate =
+          already_sent == &diff || cached->second.first_vt <= from;
+      const std::size_t need = duplicate ? 8 : 8 + diff.size();
+      if (w.size() + need > sub::kMaxPayload) {
+        more = 1;
+        break;
+      }
+      w.put<std::uint32_t>(vt);
+      if (duplicate) {
+        w.put<std::uint32_t>(0);
+      } else {
+        w.put<std::uint32_t>(static_cast<std::uint32_t>(diff.size()));
+        w.put_bytes(diff);
+        already_sent = &diff;
+      }
+      ++count;
+      cont_vt = vt;
+    }
+  }
+  w.patch<std::uint32_t>(count_pos, count);
+  w.patch<std::uint8_t>(more_pos, more);
+  w.patch<std::uint32_t>(cont_pos, cont_vt);
+  substrate_.respond(ctx, w.bytes());
+}
+
+void Tmk::handle_page_request(const sub::RequestCtx& ctx, WireReader& r) {
+  const auto page = r.get<std::uint32_t>();
+  TMKGM_CHECK(page < n_pages_);
+  PageState& st = state_of(page);
+  WireWriter w;
+  w.put<std::uint32_t>(page);
+  // Report only the diffs we explicitly applied. Our own writes are in the
+  // copy too, but TreadMarks lets the requester fetch and (idempotently)
+  // re-apply those diffs in a second step — a page fault with outstanding
+  // notices costs a page fetch plus a diff fetch, as in the real system.
+  put_vc(w, st.applied);
+  w.put_bytes(page_base(page), config_.page_size);
+  substrate_.respond(ctx, w.bytes());
+}
+
+void Tmk::handle_lock_acquire(const sub::RequestCtx& ctx, WireReader& r) {
+  const auto lock = static_cast<int>(r.get<std::uint32_t>());
+  VectorClock their_vc = get_vc(r);
+  LockState& L = locks_[static_cast<std::size_t>(lock)];
+
+  if (lock_manager(lock) == proc_id()) {
+    // Manager duties: serialize the chain.
+    auto fwd = L.forwarded.find(ctx.origin);
+    if (fwd != L.forwarded.end() && fwd->second.first == ctx.seq) {
+      // Duplicate (the UDP path lost something downstream): re-drive the
+      // forward we already made — the target's dedup sorts out the rest.
+      WireWriter w;
+      w.put(Op::LockAcquire);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(lock));
+      put_vc(w, their_vc);
+      substrate_.forward(ctx, fwd->second.second, w.bytes());
+      return;
+    }
+    if (L.tail == proc_id()) {
+      if (L.owned && !L.held) {
+        // The token rests here and nobody is queued: grant directly.
+        L.owned = false;
+        L.tail = ctx.origin;
+        grant_lock(lock, ctx, their_vc);
+      } else {
+        // We hold (or await) the lock ourselves: the requester becomes
+        // our successor.
+        TMKGM_CHECK(!L.successor.has_value());
+        L.successor = {ctx, std::move(their_vc)};
+        L.tail = ctx.origin;
+      }
+    } else {
+      // Forward once to the current tail; it will grant at its release.
+      const int target = L.tail;
+      WireWriter w;
+      w.put(Op::LockAcquire);
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(lock));
+      put_vc(w, their_vc);
+      substrate_.forward(ctx, target, w.bytes());
+      L.forwarded[ctx.origin] = {ctx.seq, target};
+      L.tail = ctx.origin;
+    }
+    return;
+  }
+
+  // Chain member (we are, or will become, the owner): the forwarded
+  // requester is our successor — grant now if the token is free.
+  if (L.owned && !L.held) {
+    L.owned = false;
+    grant_lock(lock, ctx, their_vc);
+  } else {
+    TMKGM_CHECK(!L.successor.has_value());
+    L.successor = {ctx, std::move(their_vc)};
+  }
+}
+
+void Tmk::handle_barrier_arrive(const sub::RequestCtx& ctx, WireReader& r) {
+  TMKGM_CHECK_MSG(proc_id() == 0, "barrier arrival at a non-root node");
+  const auto id = r.get<std::uint32_t>();
+  TMKGM_CHECK(id < barrier_root_.size());
+  BarrierArrival arrival;
+  arrival.ctx = ctx;
+  arrival.want_gc = r.get<std::uint8_t>() != 0;
+  arrival.vc = get_vc(r);
+  // Do NOT incorporate here: an arrive message carries only the client's
+  // own intervals, whose clocks may reference third-party intervals the
+  // root has not seen. Incorporating mid-application would break causal
+  // closure (a later fetch could re-apply an older concurrent write over
+  // a newer one). The root collects raw records and incorporates the
+  // whole — closed — union when it reaches the barrier itself.
+  auto raw = r.get_bytes(r.remaining());
+  arrival.intervals.assign(raw.begin(), raw.end());
+  BarrierRoot& root = barrier_root_[id];
+  root.clients.push_back(std::move(arrival));
+  ++root.arrived;
+  barrier_cond_.signal();
+}
+
+void Tmk::handle_more_intervals(const sub::RequestCtx& ctx, WireReader& r) {
+  VectorClock theirs = get_vc(r);
+  WireWriter w;
+  w.put<std::uint8_t>(0);
+  const bool more = pack_missing_intervals(w, theirs);
+  w.patch<std::uint8_t>(0, more ? 1 : 0);
+  substrate_.respond(ctx, w.bytes());
+}
+
+void Tmk::handle_distribute(const sub::RequestCtx& ctx, WireReader& r) {
+  auto bytes = r.get_bytes(r.remaining());
+  distribute_inbox_.emplace_back(bytes.begin(), bytes.end());
+  substrate_.respond(ctx, std::span<const std::byte>{});
+  distribute_cond_.signal();
+}
+
+}  // namespace tmkgm::tmk

@@ -1,0 +1,312 @@
+// TreadMarks: lazy release consistency, multiple-writer software DSM.
+//
+// This is a from-scratch reimplementation of the TreadMarks protocol the
+// paper layers over GM (Keleher et al., the [3]/[4] citations):
+//
+//  - Lazy release consistency with vector timestamps. A node's execution is
+//    divided into intervals, closed at each release (lock release, barrier
+//    arrival) if pages were written. Interval records carry write notices
+//    (which pages were modified).
+//  - At a lock acquire, the last releaser piggybacks every interval record
+//    the acquirer has not seen; the acquirer invalidates the pages named in
+//    their write notices. Barriers do the same through the root.
+//  - On an access fault, the node fetches the missing diffs from the
+//    writers (in parallel) and applies them in happened-before order.
+//    First access fetches a base copy of the page from the page's manager.
+//  - Multiple-writer: the first write to a protected page makes a twin;
+//    diffs (word-run encodings of twin vs current) are created lazily when
+//    first requested, or when the page is re-written in a later interval.
+//  - Locks use a static manager (lock % nprocs) with probable-owner
+//    forwarding (the paper's "direct"/"indirect" Lock microbenchmark
+//    cases). Barriers are centralized at proc 0.
+//
+// All communication goes through sub::Substrate, so the identical protocol
+// runs over FAST/GM and UDP/GM — the paper's experimental contrast.
+//
+// Page faults: the real system takes SIGSEGV via mprotect; simulated nodes
+// share one host address space, so SharedArray accessors perform the
+// access check (same fault sequence, explicit check). The mprotect+signal
+// cost is charged from the cost model at each fault transition.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "sim/node.hpp"
+#include "sub/substrate.hpp"
+#include "util/time.hpp"
+#include "util/wire.hpp"
+
+namespace tmkgm::tmk {
+
+using GlobalPtr = std::uint64_t;  // byte offset within the shared arena
+using PageId = std::uint32_t;
+using VectorClock = std::vector<std::uint32_t>;
+
+struct TmkConfig {
+  std::size_t arena_bytes = 64u << 20;
+  std::size_t page_size = 4096;
+  int n_locks = 256;
+  int n_barriers = 16;
+  /// Protocol memory high-water mark; above it, the next barrier triggers
+  /// the two-phase garbage collection (0 disables GC).
+  std::size_t gc_high_water = 0;
+  /// Page-home striping: pages are assigned to managers in round-robin
+  /// chunks of this many pages. 1 reproduces classic per-page round-robin;
+  /// larger values give block-partitioned apps home-local base copies.
+  std::uint32_t home_chunk_pages = 1;
+};
+
+struct TmkStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t page_fetches = 0;
+  std::uint64_t diff_requests = 0;   // request messages sent
+  std::uint64_t diffs_applied = 0;
+  std::uint64_t diff_bytes_applied = 0;
+  std::uint64_t diffs_created = 0;
+  std::uint64_t diff_bytes_created = 0;
+  std::uint64_t twins_created = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_remote_acquires = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t intervals_created = 0;
+  std::uint64_t gc_rounds = 0;
+};
+
+class Tmk {
+ public:
+  Tmk(sim::Node& node, sub::Substrate& substrate, const net::CostModel& cost,
+      const TmkConfig& config, double compute_tax = 0.0);
+  ~Tmk();
+
+  Tmk(const Tmk&) = delete;
+  Tmk& operator=(const Tmk&) = delete;
+
+  int proc_id() const { return substrate_.self(); }
+  int n_procs() const { return substrate_.n_procs(); }
+  sim::Node& node() { return node_; }
+  const TmkConfig& config() const { return config_; }
+  const TmkStats& stats() const { return stats_; }
+
+  /// --- Allocation (Tmk_malloc / Tmk_distribute) ----------------------
+  /// Deterministic page-aligned bump allocation in the shared arena; with
+  /// SPMD calling order it returns identical offsets everywhere, and the
+  /// classic "proc 0 mallocs then distributes the pointer" also works.
+  GlobalPtr malloc(std::size_t bytes);
+
+  /// Returns a malloc'd block for reuse. Deterministic under SPMD calling
+  /// order, like malloc; the block's contents remain subject to the
+  /// consistency protocol (freeing is an allocator affair only).
+  void free(GlobalPtr ptr, std::size_t bytes);
+
+  /// Collective: proc 0's buffer contents reach everyone else's.
+  void distribute(void* data, std::size_t bytes);
+
+  /// --- Synchronization ------------------------------------------------
+  void lock_acquire(int lock);
+  void lock_release(int lock);
+  void barrier(int id);
+
+  /// --- Shared access (used by SharedArray; see shared_array.hpp) ------
+  /// Validates [ptr, ptr+len) for reading / writing, faulting as needed.
+  void ensure_read(GlobalPtr ptr, std::size_t len);
+  void ensure_write(GlobalPtr ptr, std::size_t len);
+
+  /// Raw local address of a shared location (valid after ensure_*).
+  std::byte* local(GlobalPtr ptr);
+  const std::byte* local(GlobalPtr ptr) const;
+
+  /// Charges `work` abstract units (≈flops) of application compute,
+  /// including any substrate CPU tax (polling-thread scheme).
+  void compute_work(double work);
+
+  /// Protocol memory currently held (diff store + interval records).
+  std::size_t protocol_bytes() const;
+
+  /// Page mode, for tests.
+  enum class PageMode : std::uint8_t { Unmapped, Invalid, ReadOnly, ReadWrite };
+  PageMode page_mode(PageId page) const;
+
+ private:
+  struct WriteNotice {
+    std::uint8_t proc;
+    std::uint32_t vt;
+  };
+
+  struct IntervalRecord {
+    std::uint8_t proc = 0;
+    std::uint32_t vt = 0;
+    VectorClock vc;               // creator's clock at close
+    std::vector<PageId> pages;    // write notices
+    std::uint32_t epoch = 0;      // local barrier epoch when learned (GC)
+  };
+
+  struct PageState {
+    std::unique_ptr<std::byte[]> twin;
+    /// True when the twin belongs to closed interval(s) and the page is
+    /// write-protected; a re-write faults once and keeps the same twin
+    /// (TreadMarks' twin retention: diffs from consecutive intervals of a
+    /// single writer accumulate until somebody asks).
+    bool twin_is_pending_diff = false;
+    /// Closed intervals whose (accumulated) diff is still latent in the
+    /// twin, oldest first.
+    std::vector<std::uint32_t> pending_vts;
+    std::vector<WriteNotice> notices;   // unapplied remote writes
+    VectorClock applied;                // applied[p] = highest vt applied
+  };
+
+  /// Lock state, TreadMarks-style distributed queue: every acquire goes to
+  /// the static manager, which forwards it (exactly once) to the tail of
+  /// the acquisition chain and records the new tail. A chain member holds
+  /// at most one successor and grants to it at release. No other node ever
+  /// forwards, so requests cannot cycle.
+  struct LockState {
+    bool held = false;
+    bool owned = false;  // we hold the token (last releaser / initial mgr)
+    /// The next node in the chain after us (set while we hold/await the
+    /// lock), granted at our release.
+    std::optional<std::pair<sub::RequestCtx, VectorClock>> successor;
+    // --- manager-only state ---
+    /// Last node in the acquisition chain (where the next request goes).
+    int tail = 0;
+    /// Re-drive table for duplicate requests (UDP loss): origin -> the
+    /// (seq, target) of the forward we already made.
+    std::map<int, std::pair<std::uint32_t, int>> forwarded;
+  };
+
+  // --- protocol helpers (all run with async masked unless noted) -------
+  PageId page_of(GlobalPtr ptr) const {
+    return static_cast<PageId>(ptr / config_.page_size);
+  }
+  std::byte* page_base(PageId page) {
+    return arena_.get() + static_cast<std::size_t>(page) * config_.page_size;
+  }
+  PageState& state_of(PageId page);
+
+  void read_fault(PageId page);
+  void write_fault(PageId page);
+  /// Fetches the base copy from the page's manager (round-robin home).
+  void fetch_page(PageId page);
+  /// Fetches and applies every missing diff for the page.
+  void fetch_diffs(PageId page);
+  void apply_one_diff(PageId page, int proc, std::uint32_t vt,
+                      std::span<const std::byte> diff);
+  /// Encodes the accumulated twin diff and stores it for every pending
+  /// interval of this page; refreshes or frees the twin.
+  void encode_pending_diff(PageId page);
+
+  /// Closes the current interval if any page is dirty; returns true if an
+  /// interval was created.
+  bool close_interval();
+  void incorporate_interval(IntervalRecord rec);
+  /// Serializes interval records the peer (with clock `theirs`) lacks, up
+  /// to the message budget; returns true if records remain (the receiver
+  /// then pulls the rest with Op::MoreIntervals).
+  bool pack_missing_intervals(WireWriter& w, const VectorClock& theirs) const;
+  void unpack_intervals(WireReader& r);
+  /// Pulls remaining interval chunks from `responder` until complete.
+  void fetch_more_intervals(int responder);
+
+  int page_manager(PageId page) const {
+    const auto chunk = page / config_.home_chunk_pages;
+    return static_cast<int>(chunk % static_cast<PageId>(n_procs()));
+  }
+  int lock_manager(int lock) const { return lock % n_procs(); }
+
+  // --- request handling (interrupt context) ----------------------------
+  void handle_request(const sub::RequestCtx& ctx,
+                      std::span<const std::byte> payload);
+  void handle_diff_request(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_page_request(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_lock_acquire(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_barrier_arrive(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_more_intervals(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_distribute(const sub::RequestCtx& ctx, WireReader& r);
+  void grant_lock(int lock, const sub::RequestCtx& to,
+                  const VectorClock& their_vc);
+
+  /// Two-phase GC (see DESIGN.md): validate-all then discard old epochs.
+  void run_gc_validate_phase();
+  void discard_old_protocol_state();
+
+  void charge_mem(std::size_t bytes);
+  void charge_fault();
+
+  sim::Node& node_;
+  sub::Substrate& substrate_;
+  const net::CostModel& cost_;
+  TmkConfig config_;
+  const double compute_tax_;
+
+  struct FreeDeleter {
+    void operator()(std::byte* p) const { std::free(p); }
+  };
+  /// calloc'd: pages stay untouched on the host until first access.
+  std::unique_ptr<std::byte[], FreeDeleter> arena_;
+  std::size_t n_pages_;
+  std::vector<PageMode> mode_;
+  std::map<PageId, PageState> pages_;
+  std::vector<PageId> dirty_pages_;
+
+  VectorClock vc_;
+  /// intervals_[p][vt]: every interval record this node knows about.
+  std::vector<std::map<std::uint32_t, IntervalRecord>> intervals_;
+  /// My own diffs: (page, vt) -> encoded diff. Accumulated diffs are
+  /// shared between the intervals they cover; first_vt identifies the
+  /// earliest of them, so a requester that already applied the blob (its
+  /// request range starts at or past first_vt) gets an empty diff instead
+  /// of a damaging re-application.
+  struct StoredDiff {
+    std::shared_ptr<const std::vector<std::byte>> bytes;
+    std::uint32_t first_vt = 0;
+  };
+  std::map<std::pair<PageId, std::uint32_t>, StoredDiff> my_diffs_;
+  /// Which of my intervals wrote each page (sorted vts).
+  std::map<PageId, std::vector<std::uint32_t>> my_page_writes_;
+  std::size_t diff_store_bytes_ = 0;
+
+  std::vector<LockState> locks_;
+
+  // Barrier root bookkeeping (proc 0).
+  struct BarrierArrival {
+    sub::RequestCtx ctx;
+    VectorClock vc;
+    std::vector<std::byte> intervals;  // raw; incorporated AT the barrier
+    bool want_gc = false;
+  };
+  struct BarrierRoot {
+    int arrived = 0;
+    std::vector<BarrierArrival> clients;
+    bool gc_requested = false;
+  };
+  std::vector<BarrierRoot> barrier_root_;
+  sim::Condition barrier_cond_;
+  std::uint32_t my_last_sent_vt_ = 0;  // own intervals already sent to root
+
+  // GC epochs (two-phase: validate-all at epoch k, discard < k at k+1).
+  std::uint32_t barrier_epoch_ = 0;
+  bool gc_validate_pending_ = false;
+  bool gc_discard_pending_ = false;
+  std::uint32_t gc_floor_epoch_ = 0;
+
+  // Distribute mailbox.
+  std::deque<std::vector<std::byte>> distribute_inbox_;
+  sim::Condition distribute_cond_;
+
+  std::size_t alloc_cursor_ = 0;
+  /// Free lists by (page-aligned) block size, LIFO for determinism.
+  std::map<std::size_t, std::vector<GlobalPtr>> free_lists_;
+  TmkStats stats_;
+};
+
+}  // namespace tmkgm::tmk

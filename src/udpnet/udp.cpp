@@ -1,0 +1,221 @@
+#include "udpnet/udp.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace tmkgm::udpnet {
+
+namespace {
+constexpr std::uint32_t kUdpIpHeader = 28;  // IP (20) + UDP (8)
+/// Kernel per-datagram bookkeeping charged against SO_RCVBUF (skb overhead).
+constexpr std::uint32_t kSkbOverhead = 64;
+}  // namespace
+
+UdpSystem::UdpSystem(net::Network& network, std::uint64_t seed)
+    : network_(network), rng_(seed) {
+  const int n = network_.n_nodes();
+  stacks_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    stacks_.emplace_back(new UdpStack(*this, network_.engine().node(i)));
+  }
+}
+
+UdpStack& UdpSystem::stack(int node) {
+  TMKGM_CHECK(node >= 0 && static_cast<std::size_t>(node) < stacks_.size());
+  return *stacks_[static_cast<std::size_t>(node)];
+}
+
+UdpStack::UdpStack(UdpSystem& system, sim::Node& node)
+    : system_(system), node_(node), readable_cond_(node) {}
+
+int UdpStack::create_socket() {
+  sockets_.emplace_back();
+  sockets_.back().rcvbuf = system_.cost().k_so_rcvbuf;
+  return static_cast<int>(sockets_.size()) - 1;
+}
+
+UdpStack::Socket& UdpStack::sock(int s) {
+  TMKGM_CHECK(s >= 0 && static_cast<std::size_t>(s) < sockets_.size());
+  return sockets_[static_cast<std::size_t>(s)];
+}
+
+const UdpStack::Socket& UdpStack::sock(int s) const {
+  TMKGM_CHECK(s >= 0 && static_cast<std::size_t>(s) < sockets_.size());
+  return sockets_[static_cast<std::size_t>(s)];
+}
+
+void UdpStack::bind(int s, int udp_port) {
+  TMKGM_CHECK_MSG(!port_to_socket_.contains(udp_port),
+                  "UDP port " << udp_port << " already bound");
+  TMKGM_CHECK(sock(s).udp_port == -1);
+  sock(s).udp_port = udp_port;
+  port_to_socket_[udp_port] = s;
+}
+
+void UdpStack::set_sigio(int s, int irq) { sock(s).sigio_irq = irq; }
+
+void UdpStack::set_rcvbuf(int s, std::uint32_t bytes) {
+  sock(s).rcvbuf = bytes;
+}
+
+void UdpStack::sendto(int s, const void* data, std::size_t len, int dst_node,
+                      int dst_port) {
+  ConstBuf one{data, len};
+  sendmsg(s, std::span<const ConstBuf>(&one, 1), dst_node, dst_port);
+}
+
+void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
+                       int dst_port) {
+  TMKGM_CHECK_MSG(node_.is_current(), "sendmsg outside node context");
+  auto& src_sock = sock(s);
+  TMKGM_CHECK_MSG(src_sock.udp_port >= 0, "sendmsg on unbound socket");
+  TMKGM_CHECK(dst_node >= 0 && dst_node < system_.n_nodes());
+
+  std::size_t len = 0;
+  for (const auto& b : iov) len += b.len;
+
+  const auto& cost = system_.cost();
+  const auto mtu = static_cast<std::size_t>(cost.k_mtu);
+  const std::size_t nfrag = len == 0 ? 1 : (len + mtu - 1) / mtu;
+
+  // Kernel send path: syscall, gather-copy into kernel buffers, and
+  // per-packet protocol + driver work; non-preemptible.
+  node_.compute_uninterruptible(
+      cost.k_syscall + transfer_time(len, cost.k_copy_bytes_per_us) +
+      transfer_time(len, cost.k_ipgm_bytes_per_us) +
+      static_cast<SimTime>(nfrag) * (cost.k_udp_proto + cost.k_ipgm_driver));
+
+  ++system_.stats_.datagrams_sent;
+  system_.stats_.fragments_sent += nfrag;
+
+  Datagram dg;
+  dg.src_node = node_.id();
+  dg.src_port = src_sock.udp_port;
+  dg.payload.resize(len);
+  std::size_t off = 0;
+  for (const auto& b : iov) {
+    std::memcpy(dg.payload.data() + off, b.data, b.len);
+    off += b.len;
+  }
+
+  UdpStack& dst = system_.stack(dst_node);
+  auto& engine = system_.network().engine();
+
+  if (dst_node == node_.id()) {
+    // Loopback: no fabric, just kernel dispatch.
+    engine.after(cost.k_rx_interrupt,
+                 [&dst, dst_port, dg = std::move(dg)]() mutable {
+                   dst.deliver_datagram(dst_port, std::move(dg));
+                 });
+    return;
+  }
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(node_.id()) << 32) | next_datagram_id_++;
+
+  // The payload rides with fragment 0's completion record; the remaining
+  // fragments are pure bookkeeping (the content already sits in kernel
+  // memory at the receiver once all fragments have arrived).
+  auto shared_dg = std::make_shared<Datagram>(std::move(dg));
+  for (std::size_t f = 0; f < nfrag; ++f) {
+    const std::size_t frag_len = std::min(mtu, len - f * mtu);
+    const bool dropped = system_.rng_.next_bool(cost.k_drop_prob);
+    system_.network().transfer(
+        node_.id(), dst_node, frag_len + kUdpIpHeader,
+        [&dst, key, nfrag, dropped, dst_port, shared_dg, frag_len] {
+          // Receive-side kernel work per packet (incl. the IP-over-GM
+          // staging copy), then reassembly.
+          auto& eng = dst.system_.network().engine();
+          const auto& c = dst.system_.cost();
+          eng.after(c.k_rx_interrupt + c.k_udp_proto +
+                        transfer_time(frag_len, c.k_ipgm_bytes_per_us),
+                    [&dst, key, nfrag, dropped, dst_port, shared_dg] {
+                      dst.fragment_arrived(key, nfrag, dropped, dst_port,
+                                           shared_dg);
+                    });
+        });
+  }
+}
+
+void UdpStack::fragment_arrived(std::uint64_t key, std::size_t total,
+                                bool dropped, int dst_port,
+                                const std::shared_ptr<Datagram>& dg) {
+  auto& re = reassembly_[key];
+  re.fragments_expected = total;
+  ++re.fragments_arrived;
+  if (dropped) {
+    re.poisoned = true;
+    ++system_.stats_.drops_random;
+  }
+  if (re.fragments_arrived < re.fragments_expected) return;
+  const bool poisoned = re.poisoned;
+  reassembly_.erase(key);
+  if (poisoned) return;  // IP: lose one fragment, lose the datagram
+  deliver_datagram(dst_port, Datagram(*dg));
+}
+
+void UdpStack::deliver_datagram(int dst_port, Datagram&& dg) {
+  auto it = port_to_socket_.find(dst_port);
+  if (it == port_to_socket_.end()) {
+    ++system_.stats_.drops_unbound;
+    return;
+  }
+  Socket& sk = sock(it->second);
+  const auto bytes =
+      static_cast<std::uint32_t>(dg.payload.size()) + kSkbOverhead;
+  if (sk.queued_bytes + bytes > sk.rcvbuf) {
+    ++system_.stats_.drops_overflow;
+    return;
+  }
+  sk.queued_bytes += bytes;
+  sk.queue.push_back(std::move(dg));
+  ++system_.stats_.datagrams_delivered;
+  readable_cond_.signal();
+  if (sk.sigio_irq >= 0) node_.raise_interrupt(sk.sigio_irq);
+}
+
+std::optional<Datagram> UdpStack::recvfrom(int s) {
+  TMKGM_CHECK_MSG(node_.is_current(), "recvfrom outside node context");
+  auto& sk = sock(s);
+  const auto& cost = system_.cost();
+  if (sk.queue.empty()) {
+    node_.compute_uninterruptible(cost.k_syscall);  // EWOULDBLOCK still pays
+    return std::nullopt;
+  }
+  Datagram dg = std::move(sk.queue.front());
+  sk.queue.pop_front();
+  sk.queued_bytes -=
+      static_cast<std::uint32_t>(dg.payload.size()) + kSkbOverhead;
+  node_.compute_uninterruptible(
+      cost.k_syscall +
+      transfer_time(dg.payload.size(), cost.k_copy_bytes_per_us));
+  return dg;
+}
+
+bool UdpStack::readable(int s) const { return !sock(s).queue.empty(); }
+
+int UdpStack::select(std::span<const int> socks, SimTime timeout) {
+  TMKGM_CHECK_MSG(node_.is_current(), "select outside node context");
+  const auto& cost = system_.cost();
+  node_.compute_uninterruptible(cost.k_select);
+  const SimTime deadline = timeout < 0 ? kNever : node_.now() + timeout;
+  while (true) {
+    for (int s : socks) {
+      if (readable(s)) return s;
+    }
+    if (deadline == kNever) {
+      readable_cond_.wait();
+    } else {
+      if (node_.now() >= deadline) return -1;
+      if (!readable_cond_.wait_until(deadline)) {
+        for (int s : socks) {
+          if (readable(s)) return s;
+        }
+        return -1;
+      }
+    }
+  }
+}
+
+}  // namespace tmkgm::udpnet

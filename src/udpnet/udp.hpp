@@ -1,0 +1,139 @@
+// Kernel UDP/IP stack over the Myrinet model ("Sockets-GM" baseline).
+//
+// Models what the paper's UDP/GM configuration pays for every message:
+// syscall entry, user<->kernel copies, UDP/IP protocol processing, the
+// IP-over-GM shim driver, receive interrupts, SIGIO delivery, select() —
+// plus the two properties GM doesn't have: IP fragmentation above the MTU
+// and *unreliability* (finite socket buffers overrun and datagrams vanish;
+// an optional random loss knob stresses retransmission paths).
+//
+// The API mirrors the sockets subset TreadMarks uses (Figure 1 of the
+// paper): sendto/sendmsg, recvfrom (non-blocking), select, and SIGIO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace tmkgm::udpnet {
+
+struct ConstBuf {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
+
+struct Datagram {
+  int src_node = -1;
+  int src_port = -1;
+  std::vector<std::byte> payload;
+};
+
+class UdpStack;
+
+/// Cluster-wide stack: one UdpStack per node plus the (node, port) routing
+/// table used for delivery.
+class UdpSystem {
+ public:
+  UdpSystem(net::Network& network, std::uint64_t seed = 1);
+
+  UdpStack& stack(int node);
+  int n_nodes() const { return static_cast<int>(stacks_.size()); }
+  net::Network& network() { return network_; }
+  const net::CostModel& cost() const { return network_.cost(); }
+  Rng& rng() { return rng_; }
+
+  struct Stats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t fragments_sent = 0;
+    std::uint64_t datagrams_delivered = 0;
+    std::uint64_t drops_overflow = 0;
+    std::uint64_t drops_random = 0;
+    std::uint64_t drops_unbound = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class UdpStack;
+  net::Network& network_;
+  Rng rng_;
+  std::vector<std::unique_ptr<UdpStack>> stacks_;
+  Stats stats_;
+};
+
+/// Per-node socket layer. All calls must run in the owning node's context.
+class UdpStack {
+ public:
+  UdpStack(UdpSystem& system, sim::Node& node);
+
+  sim::Node& node() { return node_; }
+
+  int create_socket();
+  void bind(int sock, int udp_port);
+  /// fcntl(FASYNC): raise `irq` on each datagram enqueued to this socket.
+  void set_sigio(int sock, int irq);
+  void set_rcvbuf(int sock, std::uint32_t bytes);
+
+  /// Blocking-free UDP send; datagrams above the MTU fragment, and loss of
+  /// any fragment loses the datagram (IP semantics).
+  void sendto(int sock, const void* data, std::size_t len, int dst_node,
+              int dst_port);
+
+  /// sendmsg(): gathers an iovec (TreadMarks' non-contiguous sends).
+  void sendmsg(int sock, std::span<const ConstBuf> iov, int dst_node,
+               int dst_port);
+
+  /// Non-blocking recvfrom; returns std::nullopt when the queue is empty
+  /// (EWOULDBLOCK).
+  std::optional<Datagram> recvfrom(int sock);
+
+  /// select() restricted to this node's sockets; returns the first ready
+  /// socket or -1 on timeout (relative). A negative timeout blocks forever.
+  int select(std::span<const int> socks, SimTime timeout);
+
+  bool readable(int sock) const;
+
+ private:
+  friend class UdpSystem;
+
+  struct Socket {
+    int udp_port = -1;
+    int sigio_irq = -1;
+    std::uint32_t rcvbuf = 0;
+    std::uint32_t queued_bytes = 0;
+    std::deque<Datagram> queue;
+  };
+
+  struct Reassembly {
+    std::size_t fragments_expected = 0;
+    std::size_t fragments_arrived = 0;
+    bool poisoned = false;  // a fragment was dropped in flight
+  };
+
+  Socket& sock(int s);
+  const Socket& sock(int s) const;
+
+  /// Delivery path, event context: one fragment has reached this node's
+  /// kernel.
+  void fragment_arrived(std::uint64_t key, std::size_t total, bool dropped,
+                        int dst_port, const std::shared_ptr<Datagram>& dg);
+  void deliver_datagram(int dst_port, Datagram&& dg);
+
+  UdpSystem& system_;
+  sim::Node& node_;
+  std::vector<Socket> sockets_;
+  std::map<int, int> port_to_socket_;
+  std::map<std::uint64_t, Reassembly> reassembly_;
+  std::uint64_t next_datagram_id_ = 0;
+  sim::Condition readable_cond_;
+};
+
+}  // namespace tmkgm::udpnet

@@ -1,0 +1,277 @@
+#include "udpsub/udpsub.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace tmkgm::udpsub {
+
+UdpSubCluster::UdpSubCluster(udpnet::UdpSystem& udp, const UdpSubConfig& config)
+    : udp_(udp), config_(config) {
+  substrates_.resize(static_cast<std::size_t>(udp.n_nodes()));
+}
+
+UdpSubstrate& UdpSubCluster::create(int id) {
+  auto& slot = substrates_.at(static_cast<std::size_t>(id));
+  TMKGM_CHECK_MSG(slot == nullptr, "substrate already created for node " << id);
+  slot.reset(new UdpSubstrate(udp_, id, config_));
+  return *slot;
+}
+
+UdpSubstrate& UdpSubCluster::substrate(int id) {
+  auto& slot = substrates_.at(static_cast<std::size_t>(id));
+  TMKGM_CHECK(slot != nullptr);
+  return *slot;
+}
+
+UdpSubstrate::UdpSubstrate(udpnet::UdpSystem& udp, int node_id,
+                           const UdpSubConfig& config)
+    : udp_(udp),
+      node_id_(node_id),
+      config_(config),
+      stack_(udp.stack(node_id)),
+      node_(stack_.node()) {
+  TMKGM_CHECK_MSG(node_.is_current(),
+                  "substrate must be created from its node's context");
+  req_sock_ = stack_.create_socket();
+  rep_sock_ = stack_.create_socket();
+  stack_.bind(req_sock_, config_.request_udp_port);
+  stack_.bind(rep_sock_, config_.reply_udp_port);
+  sigio_irq_ = node_.add_interrupt([this] { on_sigio(); });
+  stack_.set_sigio(req_sock_, sigio_irq_);
+}
+
+int UdpSubstrate::n_procs() const { return udp_.n_nodes(); }
+
+void UdpSubstrate::set_request_handler(RequestHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void UdpSubstrate::mask_async() { node_.mask_interrupts(); }
+void UdpSubstrate::unmask_async() { node_.unmask_interrupts(); }
+
+std::vector<std::byte> UdpSubstrate::pack(
+    sub::MsgKind kind, int origin, std::uint32_t seq,
+    std::span<const sub::ConstBuf> iov) const {
+  std::size_t len = sizeof(sub::Envelope);
+  for (const auto& b : iov) len += b.len;
+  TMKGM_CHECK_MSG(len <= sub::kMaxMessage,
+                  "message too large for the substrate: " << len);
+  std::vector<std::byte> out(len);
+  sub::Envelope env;
+  env.kind = static_cast<std::uint8_t>(kind);
+  env.origin = static_cast<std::uint8_t>(origin);
+  env.seq = seq;
+  std::memcpy(out.data(), &env, sizeof(env));
+  std::size_t off = sizeof(env);
+  for (const auto& b : iov) {
+    std::memcpy(out.data() + off, b.data, b.len);
+    off += b.len;
+  }
+  return out;
+}
+
+std::uint32_t UdpSubstrate::send_request(int dst,
+                                         std::span<const sub::ConstBuf> iov) {
+  const std::uint32_t seq = next_seq_++;
+  auto dg = pack(sub::MsgKind::Request, node_id_, seq, iov);
+  ++stats_.requests_sent;
+  stats_.bytes_sent += dg.size();
+  stack_.sendto(req_sock_, dg.data(), dg.size(), dst,
+                config_.request_udp_port);
+  Outstanding o;
+  o.dst = dst;
+  o.backoff = config_.retrans_timeout;
+  o.next_timeout = node_.now() + o.backoff;
+  o.datagram = std::move(dg);
+  outstanding_[seq] = std::move(o);
+  return seq;
+}
+
+void UdpSubstrate::forward(const sub::RequestCtx& ctx, int dst,
+                           std::span<const sub::ConstBuf> iov) {
+  auto dg = pack(sub::MsgKind::Request, ctx.origin, ctx.seq, iov);
+  ++stats_.forwards_sent;
+  stats_.bytes_sent += dg.size();
+  stack_.sendto(req_sock_, dg.data(), dg.size(), dst,
+                config_.request_udp_port);
+  auto it = dedup_.find(ctx.origin);
+  if (it != dedup_.end() && it->second.seq == ctx.seq) {
+    it->second.outcome = Outcome::Forwarded;
+  }
+}
+
+void UdpSubstrate::respond(const sub::RequestCtx& ctx,
+                           std::span<const sub::ConstBuf> iov) {
+  auto dg = pack(sub::MsgKind::Response, node_id_, ctx.seq, iov);
+  ++stats_.responses_sent;
+  stats_.bytes_sent += dg.size();
+  stack_.sendto(rep_sock_, dg.data(), dg.size(), ctx.origin,
+                config_.reply_udp_port);
+  auto it = dedup_.find(ctx.origin);
+  if (it != dedup_.end() && it->second.seq == ctx.seq) {
+    it->second.outcome = Outcome::Responded;
+    it->second.cached_response = std::move(dg);
+  }
+}
+
+void UdpSubstrate::on_sigio() {
+  node_.compute(udp_.cost().k_sigio);
+  drain_requests();
+}
+
+void UdpSubstrate::drain_requests() {
+  while (auto dg = stack_.recvfrom(req_sock_)) dispatch_request(*dg);
+}
+
+void UdpSubstrate::dispatch_request(const udpnet::Datagram& dg) {
+  TMKGM_CHECK(dg.payload.size() >= sizeof(sub::Envelope));
+  sub::Envelope env;
+  std::memcpy(&env, dg.payload.data(), sizeof(env));
+  TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Request);
+  const int origin = env.origin;
+
+  auto it = dedup_.find(origin);
+  if (it != dedup_.end()) {
+    DedupEntry& entry = it->second;
+    if (env.seq < entry.seq) {
+      ++stats_.duplicates_dropped;  // stale straggler
+      return;
+    }
+    if (env.seq == entry.seq) {
+      switch (entry.outcome) {
+        case Outcome::Responded:
+          // The response was lost: replay the cached one (at-most-once).
+          ++stats_.duplicates_dropped;
+          stats_.bytes_sent += entry.cached_response.size();
+          stack_.sendto(rep_sock_, entry.cached_response.data(),
+                        entry.cached_response.size(), origin,
+                        config_.reply_udp_port);
+          return;
+        case Outcome::InProgress:
+        case Outcome::Deferred:
+          // Response still being prepared (held lock / barrier in
+          // progress); the origin will hear from us eventually.
+          ++stats_.duplicates_dropped;
+          return;
+        case Outcome::Forwarded: {
+          // A downstream response may have died; re-drive the chain by
+          // re-running the handler on the recorded request.
+          ++stats_.duplicates_dropped;
+          std::vector<std::byte> raw = entry.raw_request;
+          std::span<const std::byte> payload(raw.data() + sizeof(env),
+                                             raw.size() - sizeof(env));
+          run_handler(dg.src_node, env, payload, std::move(raw));
+          return;
+        }
+      }
+    }
+  }
+  std::span<const std::byte> payload(dg.payload.data() + sizeof(env),
+                                     dg.payload.size() - sizeof(env));
+  run_handler(dg.src_node, env, payload, dg.payload);
+}
+
+void UdpSubstrate::run_handler(int src, const sub::Envelope& env,
+                               std::span<const std::byte> payload,
+                               std::vector<std::byte> raw) {
+  TMKGM_CHECK_MSG(handler_ != nullptr, "no request handler installed");
+  DedupEntry& entry = dedup_[env.origin];
+  entry.seq = env.seq;
+  entry.outcome = Outcome::InProgress;
+  entry.cached_response.clear();
+  entry.raw_request = std::move(raw);
+  entry.src = src;
+
+  sub::RequestCtx ctx;
+  ctx.src = src;
+  ctx.origin = env.origin;
+  ctx.seq = env.seq;
+  ++stats_.requests_handled;
+  handler_(ctx, payload);
+  // respond()/forward() flip the outcome when they run; anything else is a
+  // deferred response (the ctx was saved for later).
+  if (entry.seq == env.seq && entry.outcome == Outcome::InProgress) {
+    entry.outcome = Outcome::Deferred;
+  }
+}
+
+void UdpSubstrate::drain_replies() {
+  while (auto dg = stack_.recvfrom(rep_sock_)) {
+    if (dg->payload.size() < sizeof(sub::Envelope)) continue;
+    sub::Envelope env;
+    std::memcpy(&env, dg->payload.data(), sizeof(env));
+    if (static_cast<sub::MsgKind>(env.kind) != sub::MsgKind::Response) continue;
+    auto it = outstanding_.find(env.seq);
+    if (it == outstanding_.end()) {
+      ++stats_.duplicates_dropped;  // duplicate response
+      continue;
+    }
+    outstanding_.erase(it);
+    reply_stash_[env.seq].assign(dg->payload.begin() + sizeof(env),
+                                 dg->payload.end());
+  }
+}
+
+void UdpSubstrate::check_retransmits() {
+  const SimTime now = node_.now();
+  for (auto& [seq, o] : outstanding_) {
+    if (o.next_timeout > now) continue;
+    TMKGM_CHECK_MSG(o.retries < config_.max_retries,
+                    "request " << seq << " to node " << o.dst
+                               << " got no response after "
+                               << config_.max_retries << " retries");
+    ++o.retries;
+    ++stats_.retransmits;
+    stats_.bytes_sent += o.datagram.size();
+    stack_.sendto(req_sock_, o.datagram.data(), o.datagram.size(), o.dst,
+                  config_.request_udp_port);
+    o.backoff = std::min(o.backoff * 2, config_.retrans_max);
+    o.next_timeout = node_.now() + o.backoff;
+  }
+}
+
+std::size_t UdpSubstrate::recv_response(std::uint32_t seq,
+                                        std::span<std::byte> out) {
+  std::uint32_t seqs[] = {seq};
+  std::size_t len = 0;
+  recv_response_any(seqs, out, len);
+  return len;
+}
+
+std::size_t UdpSubstrate::recv_response_any(
+    std::span<const std::uint32_t> seqs, std::span<std::byte> out,
+    std::size_t& len) {
+  TMKGM_CHECK(!seqs.empty());
+  while (true) {
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      auto it = reply_stash_.find(seqs[i]);
+      if (it != reply_stash_.end()) {
+        len = it->second.size();
+        TMKGM_CHECK(len <= out.size());
+        std::memcpy(out.data(), it->second.data(), len);
+        reply_stash_.erase(it);
+        return i;
+      }
+    }
+    // Nothing stashed: wait for reply traffic, bounded by the earliest
+    // retransmission deadline among everything outstanding.
+    SimTime deadline = kNever;
+    for (const auto& [s, o] : outstanding_) {
+      deadline = std::min(deadline, o.next_timeout);
+    }
+    TMKGM_CHECK_MSG(deadline != kNever,
+                    "awaiting a response that was never requested");
+    const SimTime wait = std::max<SimTime>(0, deadline - node_.now());
+    const int socks[] = {rep_sock_};
+    const int ready = stack_.select(socks, wait);
+    if (ready == rep_sock_) {
+      drain_replies();
+    } else {
+      check_retransmits();
+    }
+  }
+}
+
+}  // namespace tmkgm::udpsub

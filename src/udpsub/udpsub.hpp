@@ -1,0 +1,137 @@
+// UDP/GM: the baseline substrate — TreadMarks' stock sockets path running
+// over the kernel UDP stack (itself over the Myrinet model).
+//
+// This reproduces what the paper calls UDP/GM: requests arrive via SIGIO on
+// one socket, responses are awaited synchronously on a second socket, and —
+// because UDP is unreliable — the substrate adds what the TreadMarks
+// runtime has always needed on sockets:
+//  - timeout/retransmission of requests awaiting responses (exponential
+//    backoff), and
+//  - duplicate suppression at the responder, with at-most-once semantics:
+//    per origin, the last (seq, outcome) is remembered; a duplicate either
+//    replays the cached response, is ignored (response still being
+//    prepared, e.g. a held lock), or re-runs the handler when the original
+//    was forwarded (so a lost downstream response is re-driven).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sub/substrate.hpp"
+#include "udpnet/udp.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::udpsub {
+
+struct UdpSubConfig {
+  /// First retransmission timeout; doubles per retry.
+  SimTime retrans_timeout = milliseconds(60.0);
+  SimTime retrans_max = milliseconds(1000.0);
+  int max_retries = 25;
+  int request_udp_port = 4001;
+  int reply_udp_port = 4002;
+};
+
+class UdpSubstrate;
+
+class UdpSubCluster {
+ public:
+  explicit UdpSubCluster(udpnet::UdpSystem& udp, const UdpSubConfig& config = {});
+
+  /// Must be called from node `id`'s context, once.
+  UdpSubstrate& create(int id);
+  UdpSubstrate& substrate(int id);
+
+ private:
+  udpnet::UdpSystem& udp_;
+  UdpSubConfig config_;
+  std::vector<std::unique_ptr<UdpSubstrate>> substrates_;
+};
+
+class UdpSubstrate final : public sub::Substrate {
+ public:
+  UdpSubstrate(udpnet::UdpSystem& udp, int node_id, const UdpSubConfig& config);
+
+  const char* name() const override { return "UDP/GM"; }
+  int self() const override { return node_id_; }
+  int n_procs() const override;
+  void set_request_handler(RequestHandler handler) override;
+  std::uint32_t send_request(int dst,
+                             std::span<const sub::ConstBuf> iov) override;
+  void forward(const sub::RequestCtx& ctx, int dst,
+               std::span<const sub::ConstBuf> iov) override;
+  void respond(const sub::RequestCtx& ctx,
+               std::span<const sub::ConstBuf> iov) override;
+  std::size_t recv_response(std::uint32_t seq,
+                            std::span<std::byte> out) override;
+  std::size_t recv_response_any(std::span<const std::uint32_t> seqs,
+                                std::span<std::byte> out,
+                                std::size_t& len) override;
+  void mask_async() override;
+  void unmask_async() override;
+  Stats stats() const override { return stats_; }
+  std::size_t pinned_bytes() const override { return 0; }  // UDP pins nothing
+  using sub::Substrate::forward;
+  using sub::Substrate::respond;
+  using sub::Substrate::send_request;
+
+  double compute_tax() const { return 0.0; }
+  void shutdown() {}
+
+ private:
+  /// Outcome of handling a request, for at-most-once replay decisions.
+  enum class Outcome : std::uint8_t { InProgress, Deferred, Forwarded, Responded };
+
+  struct DedupEntry {
+    std::uint32_t seq = 0;
+    Outcome outcome = Outcome::InProgress;
+    std::vector<std::byte> cached_response;
+    std::vector<std::byte> raw_request;  // replayed through the handler when
+                                         // the original was forwarded
+    int src = -1;
+  };
+
+  struct Outstanding {
+    int dst = -1;
+    std::vector<std::byte> datagram;  // envelope + payload, for retransmit
+    SimTime next_timeout = 0;
+    SimTime backoff = 0;
+    int retries = 0;
+  };
+
+  void on_sigio();
+  void drain_requests();
+  void dispatch_request(const udpnet::Datagram& dg);
+  void run_handler(int src, const sub::Envelope& env,
+                   std::span<const std::byte> payload,
+                   std::vector<std::byte> raw);
+  void drain_replies();
+  /// Retransmits any outstanding request whose timer expired.
+  void check_retransmits();
+  std::vector<std::byte> pack(sub::MsgKind kind, int origin, std::uint32_t seq,
+                              std::span<const sub::ConstBuf> iov) const;
+
+  udpnet::UdpSystem& udp_;
+  const int node_id_;
+  UdpSubConfig config_;
+  udpnet::UdpStack& stack_;
+  sim::Node& node_;
+
+  int req_sock_ = -1;
+  int rep_sock_ = -1;
+  int sigio_irq_ = -1;
+
+  RequestHandler handler_;
+  std::map<int, DedupEntry> dedup_;  // per-origin last request
+  std::map<std::uint32_t, std::vector<std::byte>> reply_stash_;
+  std::map<std::uint32_t, Outstanding> outstanding_;
+  const sub::RequestCtx* active_ctx_ = nullptr;  // set while handler runs
+  Outcome active_outcome_ = Outcome::InProgress;
+
+  std::uint32_t next_seq_ = 1;
+  Stats stats_;
+};
+
+}  // namespace tmkgm::udpsub

@@ -1,0 +1,41 @@
+// Internal invariant checking. A failed TMKGM_CHECK is a bug in the library
+// (or a misuse of its API) and throws; it is never used for data-dependent
+// error reporting on valid inputs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tmkgm {
+
+/// Thrown when an internal invariant or API precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace tmkgm
+
+#define TMKGM_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::tmkgm::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define TMKGM_CHECK_MSG(expr, msg)                              \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      std::ostringstream tmkgm_os_;                             \
+      tmkgm_os_ << msg;                                         \
+      ::tmkgm::check_failed(#expr, __FILE__, __LINE__,          \
+                            tmkgm_os_.str());                   \
+    }                                                           \
+  } while (false)

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs, so every source of
+// randomness is an explicitly seeded Rng. The engine owns a root Rng and
+// derives per-component streams with split().
+#pragma once
+
+#include <cstdint>
+
+namespace tmkgm {
+
+/// xoshiro256** with a splitmix64 seeding pass. Small, fast, and good
+/// enough for workload generation and drop decisions; not for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Derive an independent stream (stable: depends only on current state
+  /// consumption order).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tmkgm

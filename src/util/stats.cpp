@@ -1,0 +1,48 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tmkgm {
+
+void Samples::add(double v) { values_.push_back(v); }
+
+double Samples::mean() const {
+  TMKGM_CHECK(!values_.empty());
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  TMKGM_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  TMKGM_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::stddev() const {
+  TMKGM_CHECK(!values_.empty());
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Samples::percentile(double p) const {
+  TMKGM_CHECK(!values_.empty());
+  TMKGM_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank > 0) --rank;
+  return sorted[std::min(rank, n - 1)];
+}
+
+}  // namespace tmkgm

@@ -1,0 +1,27 @@
+// Small statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tmkgm {
+
+/// Accumulates samples and reports summary statistics. Percentiles require
+/// the sample list, so this keeps all values; benchmark sample counts are
+/// small.
+class Samples {
+ public:
+  void add(double v);
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// p in [0,100]; nearest-rank on the sorted samples.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace tmkgm

@@ -1,0 +1,37 @@
+// Virtual-time units used throughout the simulator.
+//
+// All simulated time is kept in signed 64-bit nanoseconds. Helper literals
+// convert from the units the paper quotes (µs for latencies, MB/s for
+// bandwidths) without floating-point surprises at call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace tmkgm {
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNever = INT64_MAX;
+
+constexpr SimTime nanoseconds(std::int64_t n) { return n; }
+constexpr SimTime microseconds(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr SimTime milliseconds(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+constexpr SimTime seconds(double s) { return static_cast<SimTime>(s * 1e9); }
+
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_s(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Time to move `bytes` at `bytes_per_us` (the natural unit for the paper's
+/// MB/s numbers: 1 MB/s == 1 byte/µs).
+constexpr SimTime transfer_time(std::uint64_t bytes, double bytes_per_us) {
+  return static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_us *
+                              1e3);
+}
+
+}  // namespace tmkgm

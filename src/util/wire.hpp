@@ -1,0 +1,85 @@
+// Tiny binary serializer for protocol messages.
+//
+// TreadMarks and the substrates exchange self-describing binary records;
+// WireWriter appends trivially-copyable values and byte spans, WireReader
+// consumes them in the same order. Bounds are always checked — a malformed
+// message is a protocol bug and trips a CHECK.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tmkgm {
+
+class WireWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void put_bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  std::span<const std::byte> bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+  /// Overwrites a previously put() value at a byte offset (for patching
+  /// headers once payload length is known).
+  template <typename T>
+  void patch(std::size_t offset, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TMKGM_CHECK(offset + sizeof(T) <= buf_.size());
+    std::memcpy(buf_.data() + offset, &v, sizeof(T));
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TMKGM_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(),
+                    "wire underrun reading " << sizeof(T) << " at " << pos_
+                                             << "/" << bytes_.size());
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::byte> get_bytes(std::size_t len) {
+    TMKGM_CHECK(pos_ + len <= bytes_.size());
+    auto out = bytes_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tmkgm

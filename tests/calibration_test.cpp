@@ -1,0 +1,89 @@
+// Calibration: pins the simulated testbed to the paper's §3.1 anchors so
+// that cost-model drift is caught. Legible paper numbers: GM 1-byte
+// latency 8.99 µs and ~235 MB/s-class bandwidth; FAST/GM 9.4 µs (slightly
+// above GM because of the send-buffer copy); UDP/GM markedly slower with
+// throughput the authors could not measure reliably.
+#include <gtest/gtest.h>
+
+#include "micro/micro.hpp"
+
+namespace tmkgm::micro {
+namespace {
+
+cluster::ClusterConfig config(cluster::SubstrateKind kind) {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 2;
+  cfg.kind = kind;
+  cfg.tmk.arena_bytes = 8u << 20;
+  return cfg;
+}
+
+TEST(Calibration, RawGmLatencyNearPaper) {
+  const auto gm = raw_gm_latbw(net::testbed_cost_model());
+  EXPECT_NEAR(gm.latency_us, 8.99, 1.2);  // paper: 8.99 us
+}
+
+TEST(Calibration, RawGmBandwidthNearPaper) {
+  const auto gm = raw_gm_latbw(net::testbed_cost_model());
+  EXPECT_GT(gm.bandwidth_mbps, 225.0);
+  EXPECT_LT(gm.bandwidth_mbps, 250.0);  // paper: ~235 MB/s class
+}
+
+TEST(Calibration, FastGmLatencySlightlyAboveGm) {
+  const auto gm = raw_gm_latbw(net::testbed_cost_model());
+  const auto fast = substrate_latbw(config(cluster::SubstrateKind::FastGm), 8);
+  EXPECT_GT(fast.latency_us, gm.latency_us);  // the copy costs something
+  EXPECT_LT(fast.latency_us, 14.0);           // paper: 9.4 us
+}
+
+TEST(Calibration, FastGmBandwidthNearWire) {
+  const auto fast = substrate_latbw(config(cluster::SubstrateKind::FastGm), 8);
+  EXPECT_GT(fast.bandwidth_mbps, 200.0);
+}
+
+TEST(Calibration, UdpGmMuchSlower) {
+  const auto fast = substrate_latbw(config(cluster::SubstrateKind::FastGm), 8);
+  const auto udp = substrate_latbw(config(cluster::SubstrateKind::UdpGm), 1);
+  EXPECT_GT(udp.latency_us, 4.0 * fast.latency_us);
+  EXPECT_LT(udp.latency_us, 150.0);
+  EXPECT_LT(udp.bandwidth_mbps, fast.bandwidth_mbps / 3.0);
+}
+
+TEST(Calibration, MicrobenchmarkOrderingMatchesPaper) {
+  // Figure 3's qualitative content: FAST/GM wins every microbenchmark,
+  // the Page factor exceeds the Diff factor, and the barrier cost grows
+  // with node count on both substrates.
+  using cluster::SubstrateKind;
+  const double page_u = page_us(config(SubstrateKind::UdpGm), 32);
+  const double page_f = page_us(config(SubstrateKind::FastGm), 32);
+  const double diff_u = diff_us(config(SubstrateKind::UdpGm), false, 32);
+  const double diff_f = diff_us(config(SubstrateKind::FastGm), false, 32);
+  EXPECT_GT(page_u, page_f);
+  EXPECT_GT(diff_u, diff_f);
+  EXPECT_GT(page_u / page_f, diff_u / diff_f);  // paper: 6.x vs 3.x
+
+  auto cfg4u = config(SubstrateKind::UdpGm);
+  cfg4u.n_procs = 4;
+  auto cfg8u = config(SubstrateKind::UdpGm);
+  cfg8u.n_procs = 8;
+  EXPECT_GT(barrier_us(cfg8u, 10), barrier_us(cfg4u, 10));
+
+  auto cfg4f = config(SubstrateKind::FastGm);
+  cfg4f.n_procs = 4;
+  EXPECT_GT(barrier_us(cfg4u, 10), barrier_us(cfg4f, 10));
+}
+
+TEST(Calibration, LockFactorsFavorFastGm) {
+  using cluster::SubstrateKind;
+  const double dir_u = lock_us(config(SubstrateKind::UdpGm), false, 10);
+  const double dir_f = lock_us(config(SubstrateKind::FastGm), false, 10);
+  const double ind_u = lock_us(config(SubstrateKind::UdpGm), true, 10);
+  const double ind_f = lock_us(config(SubstrateKind::FastGm), true, 10);
+  EXPECT_GT(dir_u / dir_f, 3.0);
+  EXPECT_GT(ind_u / ind_f, 3.0);
+  EXPECT_GT(ind_f, dir_f);  // 3-hop forward costs more than 2-hop grant
+  EXPECT_GT(ind_u, dir_u);
+}
+
+}  // namespace
+}  // namespace tmkgm::micro

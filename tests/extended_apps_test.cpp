@@ -1,0 +1,112 @@
+// Correctness of the extended workload set (IS, Gauss, Water) on all three
+// substrates and several node counts — each must match its serial
+// reference bitwise (fixed-point accumulation makes Water order-free).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/extended.hpp"
+#include "cluster/cluster.hpp"
+
+namespace tmkgm::cluster {
+namespace {
+
+struct Case {
+  SubstrateKind kind;
+  int n_procs;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const char* kind = info.param.kind == SubstrateKind::FastGm ? "FastGm"
+                     : info.param.kind == SubstrateKind::UdpGm ? "UdpGm"
+                                                               : "FastIb";
+  return std::string(kind) + "_n" + std::to_string(info.param.n_procs);
+}
+
+class ExtendedAppsTest : public ::testing::TestWithParam<Case> {
+ protected:
+  ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.n_procs = GetParam().n_procs;
+    cfg.kind = GetParam().kind;
+    cfg.tmk.arena_bytes = 8u << 20;
+    cfg.event_limit = 500'000'000;
+    return cfg;
+  }
+};
+
+TEST_P(ExtendedAppsTest, IsSortMatchesSerial) {
+  apps::IsParams p;
+  p.keys_per_proc = 512;
+  p.buckets = 128;
+  p.iters = 3;
+  Cluster c(config());
+  double got = 0;
+  c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto r = apps::is_sort(tmk, p);
+    if (env.id == 0) got = r.checksum;
+  });
+  EXPECT_DOUBLE_EQ(got, apps::is_sort_serial(p, GetParam().n_procs));
+}
+
+TEST_P(ExtendedAppsTest, GaussMatchesSerial) {
+  apps::GaussParams p;
+  p.n = 48;
+  Cluster c(config());
+  double got = 0;
+  c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto r = apps::gauss(tmk, p);
+    if (env.id == 0) got = r.checksum;
+  });
+  EXPECT_DOUBLE_EQ(got, apps::gauss_serial(p));
+}
+
+TEST_P(ExtendedAppsTest, WaterMatchesSerial) {
+  apps::WaterParams p;
+  p.molecules = 48;
+  p.iters = 2;
+  Cluster c(config());
+  double got = 0;
+  c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto r = apps::water(tmk, p);
+    if (env.id == 0) got = r.checksum;
+  });
+  EXPECT_DOUBLE_EQ(got, apps::water_serial(p));
+}
+
+TEST_P(ExtendedAppsTest, BarnesMatchesSerial) {
+  apps::BarnesParams p;
+  p.bodies = 96;
+  p.steps = 2;
+  Cluster c(config());
+  double got = 0;
+  c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto r = apps::barnes(tmk, p);
+    if (env.id == 0) got = r.checksum;
+  });
+  EXPECT_DOUBLE_EQ(got, apps::barnes_serial(p));
+}
+
+TEST(BarnesSanity, TreeForcesApproximateDirectSum) {
+  // One serial step with theta=0.5 must track the O(N^2) direct sum.
+  apps::BarnesParams p;
+  p.bodies = 64;
+  p.steps = 1;
+  const double approx = apps::barnes_serial(p);
+  EXPECT_TRUE(std::isfinite(approx));
+  // Bodies barely move in one small step: the checksum stays near the
+  // initial position fold, which for uniform [0,1) positions is ~1.5*N.
+  EXPECT_NEAR(approx, 1.5 * p.bodies, 0.15 * p.bodies);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ExtendedAppsTest,
+    ::testing::Values(Case{SubstrateKind::FastGm, 1},
+                      Case{SubstrateKind::FastGm, 3},
+                      Case{SubstrateKind::FastGm, 8},
+                      Case{SubstrateKind::UdpGm, 4},
+                      Case{SubstrateKind::FastIb, 4}),
+    case_name);
+
+}  // namespace
+}  // namespace tmkgm::cluster

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gm/gm.hpp"
+#include "net/network.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::gm {
+namespace {
+
+TEST(GmSizes, PaperWorkedNumbers) {
+  // The paper's examples: 8-byte requests are size 4; size 5 holds up to
+  // 24 bytes; size 13 ~8K; size 15 holds 32760 bytes.
+  EXPECT_EQ(min_size_for_length(8), 4);
+  EXPECT_EQ(max_length_for_size(5), 24u);
+  EXPECT_EQ(max_length_for_size(13), 8184u);
+  EXPECT_EQ(max_length_for_size(15), 32760u);
+  EXPECT_EQ(min_size_for_length(9), 5);
+  EXPECT_EQ(min_size_for_length(4096), 13);
+  EXPECT_EQ(min_size_for_length(32760), 15);
+  EXPECT_THROW(min_size_for_length(32761), CheckError);
+}
+
+TEST(GmSizes, BufferBytes) {
+  EXPECT_EQ(buffer_bytes_for_size(4), 16u);
+  EXPECT_EQ(buffer_bytes_for_size(15), 32768u);
+}
+
+/// Two-node fixture: programs are installed per-test and run under a shared
+/// engine/network/GM instance.
+class GmFixture : public ::testing::Test {
+ protected:
+  void build(int n_nodes, std::vector<std::function<void(sim::Node&)>> progs) {
+    engine_ = std::make_unique<sim::Engine>();
+    for (int i = 0; i < n_nodes; ++i) {
+      engine_->add_node("n" + std::to_string(i), progs[static_cast<std::size_t>(i)]);
+    }
+    network_ = std::make_unique<net::Network>(*engine_, n_nodes, cost_);
+    gm_ = std::make_unique<GmSystem>(*network_);
+  }
+
+  net::CostModel cost_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<GmSystem> gm_;
+};
+
+TEST_F(GmFixture, PortLimitsEnforced) {
+  build(1, {[&](sim::Node&) {
+    auto& nic = gm_->nic(0);
+    EXPECT_THROW(nic.open_port(0), CheckError);  // mapper's port
+    for (int p = 1; p <= 7; ++p) nic.open_port(p);
+    EXPECT_THROW(nic.open_port(8), CheckError);  // only 8 ports exist
+    EXPECT_THROW(nic.open_port(3), CheckError);  // double-open
+  }});
+  engine_->run();
+}
+
+TEST_F(GmFixture, RegisteredMemoryBookkeeping) {
+  build(1, {[&](sim::Node& n) {
+    auto& nic = gm_->nic(0);
+    std::vector<std::byte> a(8192), b(100);
+    const SimTime before = n.now();
+    nic.register_memory(a.data(), a.size());
+    EXPECT_GT(n.now(), before);  // pinning costs CPU time
+    EXPECT_TRUE(nic.is_registered(a.data(), a.size()));
+    EXPECT_TRUE(nic.is_registered(a.data() + 100, 50));
+    EXPECT_FALSE(nic.is_registered(b.data(), b.size()));
+    EXPECT_EQ(nic.registered_bytes(), 8192u);
+    nic.deregister_memory(a.data());
+    EXPECT_FALSE(nic.is_registered(a.data(), 1));
+  }});
+  engine_->run();
+}
+
+TEST_F(GmFixture, SendFromUnregisteredMemoryRejected) {
+  build(2, {[&](sim::Node&) {
+              auto& port = gm_->nic(0).open_port(2);
+              std::vector<std::byte> buf(64);
+              EXPECT_THROW(port.send_with_callback(buf.data(), 4, 8, 1, 2,
+                                                   [](Status, void*) {}, nullptr),
+                           CheckError);
+            },
+            [](sim::Node&) {}});
+  engine_->run();
+}
+
+TEST_F(GmFixture, PingPongDeliversPayload) {
+  std::string received;
+  SimTime latency = -1;
+  build(2, {// sender
+            [&](sim::Node& n) {
+              auto& nic = gm_->nic(0);
+              auto& port = nic.open_port(2);
+              static char msg[] = "hello-gm";
+              nic.register_memory(msg, sizeof(msg));
+              const SimTime t0 = n.now();
+              bool sent = false;
+              port.send_with_callback(
+                  msg, 5, sizeof(msg), 1, 2,
+                  [&](Status st, void*) {
+                    EXPECT_EQ(st, Status::Ok);
+                    sent = true;
+                  },
+                  nullptr);
+              sim::Condition done(n);
+              // Wait for callback via polling virtual time.
+              while (!sent) n.compute(100);
+              latency = n.now() - t0;
+            },
+            // receiver
+            [&](sim::Node& n) {
+              auto& nic = gm_->nic(1);
+              auto& port = nic.open_port(2);
+              static std::byte rbuf[32];
+              nic.register_memory(rbuf, sizeof(rbuf));
+              port.provide_receive_buffer(rbuf, 5);
+              RecvMsg m = port.blocking_receive();
+              EXPECT_EQ(m.size, 5);
+              EXPECT_EQ(m.sender_node, 0);
+              EXPECT_EQ(m.sender_port, 2);
+              received.assign(reinterpret_cast<const char*>(m.buffer));
+              (void)n;
+            }});
+  engine_->run();
+  EXPECT_EQ(received, "hello-gm");
+  EXPECT_GT(latency, 0);
+  EXPECT_LT(latency, microseconds(50));
+}
+
+TEST_F(GmFixture, InOrderDeliveryPerPort) {
+  std::vector<int> order;
+  build(2, {[&](sim::Node&) {
+              auto& nic = gm_->nic(0);
+              auto& port = nic.open_port(2);
+              static std::uint32_t vals[3] = {10, 20, 30};
+              nic.register_memory(vals, sizeof(vals));
+              for (auto& v : vals) {
+                port.send_with_callback(&v, 4, sizeof(v), 1, 2,
+                                        [](Status st, void*) {
+                                          EXPECT_EQ(st, Status::Ok);
+                                        },
+                                        nullptr);
+              }
+            },
+            [&](sim::Node&) {
+              auto& nic = gm_->nic(1);
+              auto& port = nic.open_port(2);
+              static std::byte bufs[3][16];
+              nic.register_memory(bufs, sizeof(bufs));
+              for (auto& b : bufs) port.provide_receive_buffer(b, 4);
+              for (int i = 0; i < 3; ++i) {
+                RecvMsg m = port.blocking_receive();
+                std::uint32_t v;
+                std::memcpy(&v, m.buffer, sizeof(v));
+                order.push_back(static_cast<int>(v));
+              }
+            }});
+  engine_->run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST_F(GmFixture, MessageParksUntilBufferProvided) {
+  SimTime delivered_at = -1;
+  build(2, {[&](sim::Node&) {
+              auto& nic = gm_->nic(0);
+              auto& port = nic.open_port(2);
+              static char msg[8] = "park";
+              nic.register_memory(msg, sizeof(msg));
+              port.send_with_callback(msg, 4, sizeof(msg), 1, 2,
+                                      [](Status st, void*) {
+                                        EXPECT_EQ(st, Status::Ok);
+                                      },
+                                      nullptr);
+            },
+            [&](sim::Node& n) {
+              auto& nic = gm_->nic(1);
+              auto& port = nic.open_port(2);
+              static std::byte rbuf[16];
+              nic.register_memory(rbuf, sizeof(rbuf));
+              n.compute(milliseconds(5.0));  // buffer posted late
+              port.provide_receive_buffer(rbuf, 4);
+              RecvMsg m = port.blocking_receive();
+              (void)m;
+              delivered_at = n.now();
+            }});
+  engine_->run();
+  EXPECT_GE(delivered_at, milliseconds(5.0));
+  EXPECT_EQ(gm_->nic(1).port(2)->stats().parked, 1u);
+}
+
+TEST_F(GmFixture, ResendTimeoutFailsSendAndDisablesPort) {
+  Status got = Status::Ok;
+  SimTime failed_at = -1;
+  build(2, {[&](sim::Node& n) {
+              auto& nic = gm_->nic(0);
+              auto& port = nic.open_port(2);
+              static char msg[8] = "doomed";
+              nic.register_memory(msg, sizeof(msg));
+              bool done = false;
+              port.send_with_callback(msg, 4, sizeof(msg), 1, 2,
+                                      [&](Status st, void*) {
+                                        got = st;
+                                        done = true;
+                                      },
+                                      nullptr);
+              while (!done) n.compute(milliseconds(100.0));
+              failed_at = n.now();
+              EXPECT_FALSE(port.enabled());
+              // Further sends fail fast until the port is re-enabled.
+              bool second_done = false;
+              port.send_with_callback(msg, 4, sizeof(msg), 1, 2,
+                                      [&](Status st, void*) {
+                                        EXPECT_EQ(st, Status::SendPortDisabled);
+                                        second_done = true;
+                                      },
+                                      nullptr);
+              while (!second_done) n.compute(1000);
+              const SimTime t0 = n.now();
+              port.reenable();
+              EXPECT_TRUE(port.enabled());
+              EXPECT_GT(n.now(), t0);  // probing the network is expensive
+            },
+            [&](sim::Node&) {
+              auto& nic = gm_->nic(1);
+              nic.open_port(2);  // open but never posts a buffer
+            }});
+  engine_->run();
+  EXPECT_EQ(got, Status::SendTimedOut);
+  EXPECT_GE(failed_at, cost_.gm_resend_timeout);
+}
+
+TEST_F(GmFixture, ReceiveInterruptFiresPerArrival) {
+  std::vector<SimTime> irq_times;
+  build(2, {[&](sim::Node& n) {
+              auto& nic = gm_->nic(0);
+              auto& port = nic.open_port(2);
+              static char msg[8] = "irq";
+              nic.register_memory(msg, sizeof(msg));
+              for (int i = 0; i < 2; ++i) {
+                bool done = false;
+                port.send_with_callback(msg, 4, sizeof(msg), 1, 2,
+                                        [&](Status, void*) { done = true; },
+                                        nullptr);
+                while (!done) n.compute(1000);
+                n.compute(microseconds(100.0));
+              }
+            },
+            [&](sim::Node& n) {
+              auto& nic = gm_->nic(1);
+              auto& port = nic.open_port(2);
+              static std::byte bufs[2][16];
+              nic.register_memory(bufs, sizeof(bufs));
+              for (auto& b : bufs) port.provide_receive_buffer(b, 4);
+              int got = 0;
+              const int irq = n.add_interrupt([&] {
+                while (auto m = port.receive()) {
+                  ++got;
+                  irq_times.push_back(n.now());
+                }
+              });
+              port.set_receive_interrupt(irq);
+              while (got < 2) n.compute(microseconds(10.0));
+            }});
+  engine_->run();
+  ASSERT_EQ(irq_times.size(), 2u);
+  EXPECT_GT(irq_times[1], irq_times[0]);
+}
+
+TEST_F(GmFixture, SendTokensConsumedAndReturned) {
+  build(2, {[&](sim::Node& n) {
+              auto& nic = gm_->nic(0);
+              auto& port = nic.open_port(2);
+              const int initial = port.send_tokens();
+              static char msg[8] = "tok";
+              nic.register_memory(msg, sizeof(msg));
+              bool done = false;
+              port.send_with_callback(msg, 4, sizeof(msg), 1, 2,
+                                      [&](Status, void*) { done = true; },
+                                      nullptr);
+              EXPECT_EQ(port.send_tokens(), initial - 1);
+              while (!done) n.compute(1000);
+              EXPECT_EQ(port.send_tokens(), initial);
+            },
+            [&](sim::Node&) {
+              auto& nic = gm_->nic(1);
+              auto& port = nic.open_port(2);
+              static std::byte rbuf[16];
+              nic.register_memory(rbuf, sizeof(rbuf));
+              port.provide_receive_buffer(rbuf, 4);
+            }});
+  engine_->run();
+}
+
+TEST_F(GmFixture, SizeClassesMatchIndependently) {
+  // A small and a large message race; each finds its own buffer class.
+  std::vector<int> sizes;
+  build(2, {[&](sim::Node&) {
+              auto& nic = gm_->nic(0);
+              auto& port = nic.open_port(2);
+              static std::byte big[4096];
+              static char small[8] = "s";
+              nic.register_memory(big, sizeof(big));
+              nic.register_memory(small, sizeof(small));
+              port.send_with_callback(big, 13, sizeof(big), 1, 2,
+                                      [](Status, void*) {}, nullptr);
+              port.send_with_callback(small, 4, sizeof(small), 1, 2,
+                                      [](Status, void*) {}, nullptr);
+            },
+            [&](sim::Node&) {
+              auto& nic = gm_->nic(1);
+              auto& port = nic.open_port(2);
+              static std::byte sbuf[16];
+              static std::byte bbuf[8192];
+              nic.register_memory(sbuf, sizeof(sbuf));
+              nic.register_memory(bbuf, sizeof(bbuf));
+              port.provide_receive_buffer(sbuf, 4);
+              port.provide_receive_buffer(bbuf, 13);
+              for (int i = 0; i < 2; ++i) sizes.push_back(port.blocking_receive().size);
+            }});
+  engine_->run();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], 17);  // one size-4, one size-13
+}
+
+}  // namespace
+}  // namespace tmkgm::gm

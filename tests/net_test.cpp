@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/network.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::net {
+namespace {
+
+/// Latency of a single message per the documented model.
+SimTime expected_latency(const CostModel& c, std::uint64_t bytes) {
+  const double bneck = std::min(c.gm_wire_bytes_per_us, c.gm_pci_bytes_per_us);
+  return c.gm_lanai_per_msg + c.gm_dma_setup + transfer_time(bytes, bneck) +
+         c.gm_switch_hop * c.hops + c.gm_lanai_per_msg;
+}
+
+TEST(Network, SingleMessageLatency) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 2, c);
+  SimTime delivered = -1;
+  net.transfer(0, 1, 64, [&] { delivered = e.now(); });
+  e.run();
+  EXPECT_EQ(delivered, expected_latency(c, 64));
+}
+
+TEST(Network, LargeMessageBandwidthBound) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 2, c);
+  constexpr std::uint64_t kBytes = 1 << 20;
+  SimTime delivered = -1;
+  net.transfer(0, 1, kBytes, [&] { delivered = e.now(); });
+  e.run();
+  const double mbps = static_cast<double>(kBytes) / to_us(delivered);
+  // Large transfers approach the wire bottleneck (250 MB/s) from below.
+  EXPECT_GT(mbps, 220.0);
+  EXPECT_LT(mbps, 250.0);
+}
+
+TEST(Network, FifoPerPair) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 2, c);
+  std::vector<int> order;
+  net.transfer(0, 1, 1000, [&] { order.push_back(1); });
+  net.transfer(0, 1, 10, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Network, TransmitterSerializes) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 3, c);
+  SimTime t1 = -1, t2 = -1;
+  net.transfer(0, 1, 4096, [&] { t1 = e.now(); });
+  net.transfer(0, 2, 4096, [&] { t2 = e.now(); });
+  e.run();
+  // Second message waits for the first to clear node 0's TX engine.
+  EXPECT_GE(t2 - t1, transfer_time(4096, c.gm_wire_bytes_per_us));
+}
+
+TEST(Network, HotReceiverSerializes) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 3, c);
+  SimTime t1 = -1, t2 = -1;
+  net.transfer(0, 2, 64, [&] { t1 = e.now(); });
+  net.transfer(1, 2, 64, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_GE(t2 - t1, c.gm_lanai_per_msg);  // rx engine occupancy
+}
+
+TEST(Network, IndependentPairsOverlap) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 4, c);
+  SimTime t1 = -1, t2 = -1;
+  net.transfer(0, 1, 64, [&] { t1 = e.now(); });
+  net.transfer(2, 3, 64, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_EQ(t1, t2);  // disjoint NICs: fully parallel fabric
+}
+
+TEST(Network, StatsAccumulate) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 2, c);
+  net.transfer(0, 1, 100, [] {});
+  net.transfer(1, 0, 200, [] {});
+  e.run();
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 300u);
+}
+
+TEST(Network, SelfSendRejected) {
+  sim::Engine e;
+  CostModel c;
+  Network net(e, 2, c);
+  EXPECT_THROW(net.transfer(0, 0, 10, [] {}), CheckError);
+}
+
+}  // namespace
+}  // namespace tmkgm::net

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.after(30, [&] { order.push_back(3); });
+  e.after(10, [&] { order.push_back(1); });
+  e.after(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.after(5, [&] { order.push_back(1); });
+  e.after(5, [&] { order.push_back(2); });
+  e.after(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelledEventDoesNotFire) {
+  Engine e;
+  bool fired = false;
+  auto h = e.after(10, [&] { fired = true; });
+  e.after(5, [&] { h.cancel(); });
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  Engine e;
+  EventHandle h = e.after(1, [] {});
+  e.run();
+  h.cancel();  // must not crash
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  Engine e;
+  e.after(10, [&] { EXPECT_THROW(e.at(5, [] {}), CheckError); });
+  e.run();
+}
+
+TEST(Node, ComputeAdvancesVirtualTime) {
+  Engine e;
+  SimTime finished = -1;
+  e.add_node("n0", [&](Node& n) {
+    n.compute(microseconds(5));
+    n.compute(microseconds(7));
+    finished = n.now();
+  });
+  e.run();
+  EXPECT_EQ(finished, microseconds(12));
+}
+
+TEST(Node, NodesInterleaveDeterministically) {
+  Engine e;
+  std::vector<std::string> log;
+  e.add_node("a", [&](Node& n) {
+    log.push_back("a0@" + std::to_string(n.now()));
+    n.compute(10);
+    log.push_back("a1@" + std::to_string(n.now()));
+  });
+  e.add_node("b", [&](Node& n) {
+    log.push_back("b0@" + std::to_string(n.now()));
+    n.compute(5);
+    log.push_back("b1@" + std::to_string(n.now()));
+  });
+  e.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a0@0", "b0@0", "b1@5", "a1@10"}));
+}
+
+TEST(Node, ConditionSignalFromEvent) {
+  Engine e;
+  SimTime woke = -1;
+  e.add_node("n0", [&](Node& n) {
+    Condition c(n);
+    e.after(100, [&] { c.signal(); });
+    c.wait();
+    woke = n.now();
+  });
+  e.run();
+  EXPECT_EQ(woke, 100);
+}
+
+TEST(Node, ConditionSignalBeforeWaitIsRemembered) {
+  Engine e;
+  e.add_node("n0", [&](Node& n) {
+    Condition c(n);
+    c.signal();  // own context: just latches
+    c.wait();    // must not block
+    EXPECT_EQ(n.now(), 0);
+  });
+  e.run();
+}
+
+TEST(Node, WaitUntilTimesOut) {
+  Engine e;
+  bool got = true;
+  e.add_node("n0", [&](Node& n) {
+    Condition c(n);
+    got = c.wait_until(microseconds(50));
+    EXPECT_EQ(n.now(), microseconds(50));
+  });
+  e.run();
+  EXPECT_FALSE(got);
+}
+
+TEST(Node, WaitUntilSignalledEarly) {
+  Engine e;
+  e.add_node("n0", [&](Node& n) {
+    Condition c(n);
+    e.after(10, [&] { c.signal(); });
+    EXPECT_TRUE(c.wait_until(microseconds(50)));
+    EXPECT_EQ(n.now(), 10);
+  });
+  e.run();
+}
+
+TEST(Node, InterruptPreemptsCompute) {
+  Engine e;
+  std::vector<std::string> log;
+  e.add_node("n0", [&](Node& n) {
+    const int irq = n.add_interrupt([&] {
+      log.push_back("irq@" + std::to_string(n.now()));
+      n.compute(5);  // handler charges its own time
+    });
+    e.after(100, [&n, irq] { n.raise_interrupt(irq); });
+    n.compute(200);
+    log.push_back("done@" + std::to_string(n.now()));
+  });
+  e.run();
+  // 100 compute + 5 handler + remaining 100 compute = 205.
+  EXPECT_EQ(log, (std::vector<std::string>{"irq@100", "done@205"}));
+}
+
+TEST(Node, InterruptDeliveredWhileBlockedOnCondition) {
+  Engine e;
+  std::vector<std::string> log;
+  e.add_node("n0", [&](Node& n) {
+    Condition c(n);
+    const int irq =
+        n.add_interrupt([&] { log.push_back("irq@" + std::to_string(n.now())); });
+    e.after(10, [&n, irq] { n.raise_interrupt(irq); });
+    e.after(20, [&] { c.signal(); });
+    c.wait();
+    log.push_back("woke@" + std::to_string(n.now()));
+  });
+  e.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"irq@10", "woke@20"}));
+}
+
+TEST(Node, MaskedInterruptDeferredUntilUnmask) {
+  Engine e;
+  std::vector<std::string> log;
+  e.add_node("n0", [&](Node& n) {
+    const int irq =
+        n.add_interrupt([&] { log.push_back("irq@" + std::to_string(n.now())); });
+    e.after(10, [&n, irq] { n.raise_interrupt(irq); });
+    n.mask_interrupts();
+    n.compute(100);
+    EXPECT_EQ(n.pending_interrupts(), 1u);
+    n.unmask_interrupts();  // drains immediately
+    EXPECT_EQ(n.pending_interrupts(), 0u);
+  });
+  e.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"irq@100"}));
+}
+
+TEST(Node, NestedMasking) {
+  Engine e;
+  int delivered = 0;
+  e.add_node("n0", [&](Node& n) {
+    const int irq = n.add_interrupt([&] { ++delivered; });
+    n.mask_interrupts();
+    n.mask_interrupts();
+    e.after(1, [&n, irq] { n.raise_interrupt(irq); });
+    n.compute(10);
+    n.unmask_interrupts();
+    EXPECT_EQ(delivered, 0);  // still masked at depth 1
+    n.unmask_interrupts();
+    EXPECT_EQ(delivered, 1);
+  });
+  e.run();
+}
+
+TEST(Node, HandlerRunsMasked) {
+  Engine e;
+  std::vector<int> order;
+  e.add_node("n0", [&](Node& n) {
+    int irq2 = -1;
+    const int irq1 = n.add_interrupt([&] {
+      order.push_back(1);
+      n.raise_interrupt(irq2);  // pends: we're inside a handler
+      n.compute(10);
+      order.push_back(2);  // irq2 must not run inside irq1
+    });
+    irq2 = n.add_interrupt([&] { order.push_back(3); });
+    e.after(5, [&n, irq1] { n.raise_interrupt(irq1); });
+    n.compute(100);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Node, ComputeUninterruptibleDefersDelivery) {
+  Engine e;
+  SimTime irq_at = -1;
+  e.add_node("n0", [&](Node& n) {
+    const int irq = n.add_interrupt([&] { irq_at = n.now(); });
+    e.after(10, [&n, irq] { n.raise_interrupt(irq); });
+    n.compute_uninterruptible(100);
+  });
+  e.run();
+  EXPECT_EQ(irq_at, 100);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine e;
+  e.add_node("stuck", [&](Node& n) {
+    Condition c(n);
+    c.wait();  // never signalled
+  });
+  EXPECT_THROW(e.run(), SimDeadlock);
+}
+
+TEST(Engine, NodeExceptionPropagates) {
+  Engine e;
+  e.add_node("boom", [&](Node&) { throw std::runtime_error("app failure"); });
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, TeardownWithoutRunDoesNotHang) {
+  auto e = std::make_unique<Engine>();
+  e->add_node("never", [](Node& n) { n.compute(1); });
+  // Destroying without run() must join the never-started thread.
+  e.reset();
+  SUCCEED();
+}
+
+TEST(Engine, TeardownWithBlockedNodeUnwinds) {
+  bool destroyed = false;
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = true; }
+  };
+  {
+    Engine e;
+    e.add_node("stuck", [&](Node& n) {
+      Guard g{&destroyed};
+      Condition c(n);
+      c.wait();
+    });
+    try {
+      e.run();
+    } catch (const SimDeadlock&) {
+    }
+  }
+  EXPECT_TRUE(destroyed);  // stack unwound during engine teardown
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e(99);
+    std::vector<SimTime> stamps;
+    for (int i = 0; i < 4; ++i) {
+      e.add_node("n" + std::to_string(i), [&, i](Node& n) {
+        n.compute(10 * (i + 1));
+        stamps.push_back(n.now());
+        n.compute(static_cast<SimTime>(e.rng().next_below(100)));
+        stamps.push_back(n.now());
+      });
+    }
+    e.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, EventLimitGuards) {
+  Engine e;
+  e.set_event_limit(10);
+  std::function<void()> loop = [&] { e.after(1, loop); };
+  e.after(1, loop);
+  EXPECT_THROW(e.run(), CheckError);
+}
+
+TEST(Engine, ManyNodesManyEvents) {
+  Engine e;
+  constexpr int kNodes = 16;
+  constexpr int kRounds = 200;
+  std::vector<SimTime> end(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    e.add_node("n" + std::to_string(i), [&, i](Node& n) {
+      for (int r = 0; r < kRounds; ++r) n.compute(1 + (i + r) % 7);
+      end[static_cast<std::size_t>(i)] = n.now();
+    });
+  }
+  e.run();
+  for (int i = 0; i < kNodes; ++i) EXPECT_GT(end[static_cast<std::size_t>(i)], 0);
+}
+
+}  // namespace
+}  // namespace tmkgm::sim

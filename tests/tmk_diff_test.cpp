@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "tmk/diff.hpp"
+
+namespace tmkgm::tmk {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+std::vector<std::byte> make_page(std::byte fill) {
+  return std::vector<std::byte>(kPage, fill);
+}
+
+TEST(Diff, IdenticalPagesProduceEmptyDiff) {
+  auto a = make_page(std::byte{1});
+  auto b = make_page(std::byte{1});
+  EXPECT_TRUE(encode_diff(a.data(), b.data(), kPage).empty());
+}
+
+TEST(Diff, SingleWordRoundTrip) {
+  auto twin = make_page(std::byte{0});
+  auto current = twin;
+  current[100] = std::byte{0xaa};
+  const auto diff = encode_diff(current.data(), twin.data(), kPage);
+  EXPECT_FALSE(diff.empty());
+  EXPECT_EQ(diff_modified_bytes(diff), 4u);  // word granularity
+
+  auto target = make_page(std::byte{0});
+  apply_diff(target.data(), diff, kPage);
+  EXPECT_EQ(target[100], std::byte{0xaa});
+  EXPECT_EQ(target[104], std::byte{0});
+}
+
+TEST(Diff, ContiguousRunCoalesces) {
+  auto twin = make_page(std::byte{0});
+  auto current = twin;
+  for (std::size_t i = 256; i < 512; ++i) current[i] = std::byte{7};
+  const auto diff = encode_diff(current.data(), twin.data(), kPage);
+  // One run of 256 bytes: 4 header bytes + 256 payload.
+  EXPECT_EQ(diff.size(), 4u + 256u);
+  EXPECT_EQ(diff_modified_bytes(diff), 256u);
+}
+
+TEST(Diff, MultipleRuns) {
+  auto twin = make_page(std::byte{0});
+  auto current = twin;
+  current[0] = std::byte{1};
+  current[2048] = std::byte{2};
+  current[4092] = std::byte{3};
+  const auto diff = encode_diff(current.data(), twin.data(), kPage);
+  auto target = make_page(std::byte{0});
+  apply_diff(target.data(), diff, kPage);
+  EXPECT_EQ(std::memcmp(target.data(), current.data(), kPage), 0);
+  EXPECT_EQ(diff_modified_bytes(diff), 12u);
+}
+
+TEST(Diff, WholePageModified) {
+  auto twin = make_page(std::byte{0});
+  auto current = make_page(std::byte{0xff});
+  const auto diff = encode_diff(current.data(), twin.data(), kPage);
+  EXPECT_EQ(diff_modified_bytes(diff), kPage);
+  auto target = make_page(std::byte{0});
+  apply_diff(target.data(), diff, kPage);
+  EXPECT_EQ(std::memcmp(target.data(), current.data(), kPage), 0);
+}
+
+TEST(Diff, ConcurrentWritersMergeDisjointWords) {
+  // Two writers, one twin, disjoint words: applying both diffs in either
+  // order merges all writes (the multiple-writer protocol's core claim).
+  auto twin = make_page(std::byte{0});
+  auto writer_a = twin;
+  auto writer_b = twin;
+  writer_a[0] = std::byte{0xa};
+  writer_b[8] = std::byte{0xb};
+  const auto diff_a = encode_diff(writer_a.data(), twin.data(), kPage);
+  const auto diff_b = encode_diff(writer_b.data(), twin.data(), kPage);
+
+  auto merged1 = twin;
+  apply_diff(merged1.data(), diff_a, kPage);
+  apply_diff(merged1.data(), diff_b, kPage);
+  auto merged2 = twin;
+  apply_diff(merged2.data(), diff_b, kPage);
+  apply_diff(merged2.data(), diff_a, kPage);
+
+  EXPECT_EQ(std::memcmp(merged1.data(), merged2.data(), kPage), 0);
+  EXPECT_EQ(merged1[0], std::byte{0xa});
+  EXPECT_EQ(merged1[8], std::byte{0xb});
+}
+
+TEST(Diff, RunEndingAtPageBoundary) {
+  auto twin = make_page(std::byte{0});
+  auto current = twin;
+  for (std::size_t i = kPage - 8; i < kPage; ++i) current[i] = std::byte{9};
+  const auto diff = encode_diff(current.data(), twin.data(), kPage);
+  auto target = make_page(std::byte{0});
+  apply_diff(target.data(), diff, kPage);
+  EXPECT_EQ(std::memcmp(target.data(), current.data(), kPage), 0);
+}
+
+}  // namespace
+}  // namespace tmkgm::tmk

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "udpnet/udp.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::udpnet {
+namespace {
+
+class UdpFixture : public ::testing::Test {
+ protected:
+  void build(int n_nodes, std::vector<std::function<void(sim::Node&)>> progs) {
+    engine_ = std::make_unique<sim::Engine>();
+    for (int i = 0; i < n_nodes; ++i) {
+      engine_->add_node("n" + std::to_string(i),
+                        progs[static_cast<std::size_t>(i)]);
+    }
+    network_ = std::make_unique<net::Network>(*engine_, n_nodes, cost_);
+    udp_ = std::make_unique<UdpSystem>(*network_, 7);
+  }
+
+  net::CostModel cost_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<UdpSystem> udp_;
+};
+
+TEST_F(UdpFixture, DatagramRoundTrip) {
+  std::string received;
+  int from_node = -1, from_port = -1;
+  build(2, {[&](sim::Node&) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              const char msg[] = "udp-hello";
+              st.sendto(s, msg, sizeof(msg), 1, 60);
+            },
+            [&](sim::Node&) {
+              auto& st = udp_->stack(1);
+              const int s = st.create_socket();
+              st.bind(s, 60);
+              const int socks[] = {s};
+              const int ready = st.select(socks, -1);
+              ASSERT_EQ(ready, s);
+              auto dg = st.recvfrom(s);
+              ASSERT_TRUE(dg.has_value());
+              received.assign(reinterpret_cast<const char*>(dg->payload.data()));
+              from_node = dg->src_node;
+              from_port = dg->src_port;
+            }});
+  engine_->run();
+  EXPECT_EQ(received, "udp-hello");
+  EXPECT_EQ(from_node, 0);
+  EXPECT_EQ(from_port, 50);
+}
+
+TEST_F(UdpFixture, UdpSlowerThanRawFabric) {
+  // The kernel path must cost markedly more than the raw network latency —
+  // this is the entire premise of the paper.
+  SimTime received_at = -1;
+  build(2, {[&](sim::Node&) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              const char msg[] = "x";
+              st.sendto(s, msg, sizeof(msg), 1, 60);
+            },
+            [&](sim::Node&) {
+              auto& st = udp_->stack(1);
+              const int s = st.create_socket();
+              st.bind(s, 60);
+              const int socks[] = {s};
+              st.select(socks, -1);
+              st.recvfrom(s);
+              received_at = engine_->now();
+            }});
+  engine_->run();
+  EXPECT_GT(received_at, microseconds(20.0));  // vs ~9 us for GM
+}
+
+TEST_F(UdpFixture, SendmsgGathersIovec) {
+  std::string received;
+  build(2, {[&](sim::Node&) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              const char a[] = {'a', 'b'};
+              const char b[] = {'c', 'd', 'e'};
+              ConstBuf iov[] = {{a, 2}, {b, 3}};
+              st.sendmsg(s, iov, 1, 60);
+            },
+            [&](sim::Node&) {
+              auto& st = udp_->stack(1);
+              const int s = st.create_socket();
+              st.bind(s, 60);
+              const int socks[] = {s};
+              st.select(socks, -1);
+              auto dg = st.recvfrom(s);
+              ASSERT_TRUE(dg.has_value());
+              received.assign(reinterpret_cast<const char*>(dg->payload.data()),
+                              dg->payload.size());
+            }});
+  engine_->run();
+  EXPECT_EQ(received, "abcde");
+}
+
+TEST_F(UdpFixture, LargeDatagramFragments) {
+  const std::size_t kLen = 30000;  // > 3 fragments at MTU 9000
+  std::size_t got = 0;
+  build(2, {[&](sim::Node&) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              std::vector<std::byte> big(kLen, std::byte{0x5a});
+              st.sendto(s, big.data(), big.size(), 1, 60);
+            },
+            [&](sim::Node&) {
+              auto& st = udp_->stack(1);
+              const int s = st.create_socket();
+              st.bind(s, 60);
+              const int socks[] = {s};
+              st.select(socks, -1);
+              auto dg = st.recvfrom(s);
+              ASSERT_TRUE(dg.has_value());
+              got = dg->payload.size();
+              EXPECT_EQ(dg->payload[12345], std::byte{0x5a});
+            }});
+  engine_->run();
+  EXPECT_EQ(got, kLen);
+  EXPECT_EQ(udp_->stats().fragments_sent, 4u);
+  EXPECT_EQ(udp_->stats().datagrams_delivered, 1u);
+}
+
+TEST_F(UdpFixture, RandomLossKillsWholeDatagram) {
+  cost_.k_drop_prob = 1.0;  // every fragment dropped
+  build(2, {[&](sim::Node&) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              const char msg[] = "doomed";
+              st.sendto(s, msg, sizeof(msg), 1, 60);
+            },
+            [&](sim::Node& n) {
+              auto& st = udp_->stack(1);
+              const int s = st.create_socket();
+              st.bind(s, 60);
+              const int socks[] = {s};
+              EXPECT_EQ(st.select(socks, milliseconds(10.0)), -1);
+              (void)n;
+            }});
+  engine_->run();
+  EXPECT_EQ(udp_->stats().drops_random, 1u);
+  EXPECT_EQ(udp_->stats().datagrams_delivered, 0u);
+}
+
+TEST_F(UdpFixture, ReceiveBufferOverflowDrops) {
+  constexpr int kMsgs = 40;
+  constexpr std::size_t kLen = 4000;
+  int received = 0;
+  build(2, {[&](sim::Node&) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              std::vector<std::byte> payload(kLen);
+              for (int i = 0; i < kMsgs; ++i) {
+                st.sendto(s, payload.data(), payload.size(), 1, 60);
+              }
+            },
+            [&](sim::Node& n) {
+              auto& st = udp_->stack(1);
+              const int s = st.create_socket();
+              st.bind(s, 60);
+              // Sleep so every datagram lands before the first recv: the
+              // 64 KB SO_RCVBUF can hold ~16 of these 4 KB datagrams.
+              n.compute(milliseconds(50.0));
+              while (auto dg = st.recvfrom(s)) ++received;
+            }});
+  engine_->run();
+  EXPECT_GT(udp_->stats().drops_overflow, 0u);
+  EXPECT_LT(received, kMsgs);
+  EXPECT_EQ(static_cast<std::uint64_t>(received),
+            udp_->stats().datagrams_delivered);
+}
+
+TEST_F(UdpFixture, SigioRaisedOnArrival) {
+  SimTime sigio_at = -1;
+  build(2, {[&](sim::Node& n) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              n.compute(microseconds(100.0));
+              const char msg[] = "ping";
+              st.sendto(s, msg, sizeof(msg), 1, 60);
+            },
+            [&](sim::Node& n) {
+              auto& st = udp_->stack(1);
+              const int s = st.create_socket();
+              st.bind(s, 60);
+              bool got = false;
+              const int irq = n.add_interrupt([&] {
+                sigio_at = n.now();
+                auto dg = st.recvfrom(s);
+                EXPECT_TRUE(dg.has_value());
+                got = true;
+              });
+              st.set_sigio(s, irq);
+              while (!got) n.compute(microseconds(50.0));
+            }});
+  engine_->run();
+  EXPECT_GT(sigio_at, microseconds(100.0));
+}
+
+TEST_F(UdpFixture, SelectTimesOut) {
+  build(1, {[&](sim::Node& n) {
+    auto& st = udp_->stack(0);
+    const int s = st.create_socket();
+    st.bind(s, 50);
+    const int socks[] = {s};
+    const SimTime t0 = n.now();
+    EXPECT_EQ(st.select(socks, milliseconds(2.0)), -1);
+    EXPECT_GE(n.now() - t0, milliseconds(2.0));
+  }});
+  engine_->run();
+}
+
+TEST_F(UdpFixture, UnboundPortDrops) {
+  build(2, {[&](sim::Node&) {
+              auto& st = udp_->stack(0);
+              const int s = st.create_socket();
+              st.bind(s, 50);
+              const char msg[] = "nowhere";
+              st.sendto(s, msg, sizeof(msg), 1, 99);
+            },
+            [&](sim::Node& n) { n.compute(milliseconds(1.0)); }});
+  engine_->run();
+  EXPECT_EQ(udp_->stats().drops_unbound, 1u);
+}
+
+TEST_F(UdpFixture, LoopbackDelivery) {
+  std::string got;
+  build(1, {[&](sim::Node&) {
+    auto& st = udp_->stack(0);
+    const int a = st.create_socket();
+    const int b = st.create_socket();
+    st.bind(a, 50);
+    st.bind(b, 60);
+    const char msg[] = "self";
+    st.sendto(a, msg, sizeof(msg), 0, 60);
+    const int socks[] = {b};
+    st.select(socks, -1);
+    auto dg = st.recvfrom(b);
+    ASSERT_TRUE(dg.has_value());
+    got.assign(reinterpret_cast<const char*>(dg->payload.data()));
+  }});
+  engine_->run();
+  EXPECT_EQ(got, "self");
+}
+
+TEST_F(UdpFixture, DoubleBindRejected) {
+  build(1, {[&](sim::Node&) {
+    auto& st = udp_->stack(0);
+    const int a = st.create_socket();
+    const int b = st.create_socket();
+    st.bind(a, 50);
+    EXPECT_THROW(st.bind(b, 50), CheckError);
+  }});
+  engine_->run();
+}
+
+}  // namespace
+}  // namespace tmkgm::udpnet

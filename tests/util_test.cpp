@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+#include "util/wire.hpp"
+
+namespace tmkgm {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(microseconds(1.0), 1000);
+  EXPECT_EQ(milliseconds(1.0), 1'000'000);
+  EXPECT_EQ(seconds(3.0), 3'000'000'000LL);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_s(2'000'000'000LL), 2.0);
+}
+
+TEST(Time, TransferTime) {
+  // 250 bytes/us == 250 MB/s; 1 MB should take 4000 us.
+  EXPECT_EQ(transfer_time(1'000'000, 250.0), microseconds(4000));
+  EXPECT_EQ(transfer_time(0, 250.0), 0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng r(9);
+  EXPECT_FALSE(r.next_bool(0.0));
+  EXPECT_TRUE(r.next_bool(1.0));
+}
+
+TEST(Rng, NextRangeBounds) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 500 draws
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng root(5);
+  Rng a = root.split();
+  Rng b = root.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Samples, SummaryStats) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"op", "time"});
+  t.add_row({"barrier", Table::num(12.345, 1)});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("barrier"), std::string::npos);
+  EXPECT_NE(out.find("12.3"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Wire, RoundTripPodsAndBytes) {
+  WireWriter w;
+  w.put<std::uint32_t>(0xdeadbeef);
+  w.put<std::int64_t>(-42);
+  const char payload[] = "hello";
+  w.put_bytes(payload, sizeof(payload));
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  auto bytes = r.get_bytes(sizeof(payload));
+  EXPECT_EQ(std::memcmp(bytes.data(), payload, sizeof(payload)), 0);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, PatchHeader) {
+  WireWriter w;
+  w.put<std::uint32_t>(0);  // length placeholder
+  w.put<std::uint16_t>(7);
+  w.patch<std::uint32_t>(0, static_cast<std::uint32_t>(w.size()));
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 6u);
+}
+
+TEST(Wire, UnderrunThrows) {
+  WireWriter w;
+  w.put<std::uint16_t>(1);
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.get<std::uint64_t>(), CheckError);
+}
+
+}  // namespace
+}  // namespace tmkgm

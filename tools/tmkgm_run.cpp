@@ -1,0 +1,224 @@
+// tmkgm_run — ad-hoc driver for the simulated DSM cluster.
+//
+//   tmkgm_run --app jacobi --nodes 16 --substrate fastgm --size 1024
+//   tmkgm_run --app tsp --nodes 8 --substrate udpgm --size 14 --verify
+//   tmkgm_run --app fft --nodes 16 --substrate fastib --size 64 --report
+//
+// Runs one of the paper's applications under any transport and prints the
+// virtual execution time (and, with --report, the full protocol report).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "apps/extended.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/report.hpp"
+
+using namespace tmkgm;
+
+namespace {
+
+struct Options {
+  std::string app = "jacobi";
+  std::string substrate = "fastgm";
+  int nodes = 8;
+  std::size_t size = 0;  // 0 = app default
+  int iters = 0;         // 0 = app default
+  std::uint64_t seed = 1;
+  bool verify = false;
+  bool report = false;
+  bool rendezvous = false;
+  std::string async_scheme = "interrupt";
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tmkgm_run [options]\n"
+      "  --app jacobi|sor|tsp|fft|is|gauss|water|barnes  workload\n"
+      "  --substrate fastgm|udpgm|fastib  transport (default fastgm)\n"
+      "  --nodes N                     cluster size (default 8)\n"
+      "  --size S                      grid edge / cities / FFT N\n"
+      "  --iters K                     iterations\n"
+      "  --seed S                      deterministic seed\n"
+      "  --async interrupt|timer|polling  FAST/GM async scheme\n"
+      "  --rendezvous                  FAST/GM rendezvous buffering\n"
+      "  --verify                      check against the serial reference\n"
+      "  --report                      print the full protocol report\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--app") {
+      const char* v = next();
+      if (!v) return false;
+      o.app = v;
+    } else if (a == "--substrate") {
+      const char* v = next();
+      if (!v) return false;
+      o.substrate = v;
+    } else if (a == "--nodes") {
+      const char* v = next();
+      if (!v) return false;
+      o.nodes = std::atoi(v);
+    } else if (a == "--size") {
+      const char* v = next();
+      if (!v) return false;
+      o.size = std::strtoul(v, nullptr, 10);
+    } else if (a == "--iters") {
+      const char* v = next();
+      if (!v) return false;
+      o.iters = std::atoi(v);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--async") {
+      const char* v = next();
+      if (!v) return false;
+      o.async_scheme = v;
+    } else if (a == "--rendezvous") {
+      o.rendezvous = true;
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else if (a == "--report") {
+      o.report = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 1;
+  }
+
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = o.nodes;
+  cfg.seed = o.seed;
+  cfg.tmk.arena_bytes = 256u << 20;
+  if (o.substrate == "fastgm") {
+    cfg.kind = cluster::SubstrateKind::FastGm;
+  } else if (o.substrate == "udpgm") {
+    cfg.kind = cluster::SubstrateKind::UdpGm;
+  } else if (o.substrate == "fastib") {
+    cfg.kind = cluster::SubstrateKind::FastIb;
+  } else {
+    std::fprintf(stderr, "unknown substrate: %s\n", o.substrate.c_str());
+    return 1;
+  }
+  if (o.rendezvous) cfg.fastgm.rendezvous_large = true;
+  if (o.async_scheme == "timer") {
+    cfg.fastgm.async_scheme = fastgm::AsyncScheme::Timer;
+  } else if (o.async_scheme == "polling") {
+    cfg.fastgm.async_scheme = fastgm::AsyncScheme::PollingThread;
+  }
+
+  double checksum = 0, expected = 0;
+  SimTime elapsed = 0;
+  bool have_expected = false;
+
+  cluster::Cluster c(cfg);
+  cluster::RunResult result;
+
+  auto run_one = [&](auto&& app_fn) {
+    result = c.run_tmk([&](tmk::Tmk& tmk, cluster::NodeEnv& env) {
+      const apps::AppResult r = app_fn(tmk);
+      if (env.id == 0) checksum = r.checksum;
+      elapsed = std::max(elapsed, r.elapsed);
+    });
+  };
+
+  if (o.app == "jacobi") {
+    apps::JacobiParams p;
+    if (o.size) p.rows = p.cols = o.size;
+    if (o.iters) p.iters = o.iters;
+    run_one([&](tmk::Tmk& t) { return apps::jacobi(t, p); });
+    if (o.verify) expected = apps::jacobi_serial(p), have_expected = true;
+  } else if (o.app == "sor") {
+    apps::SorParams p;
+    if (o.size) p.rows = p.cols = o.size;
+    if (o.iters) p.iters = o.iters;
+    run_one([&](tmk::Tmk& t) { return apps::sor(t, p); });
+    if (o.verify) expected = apps::sor_serial(p), have_expected = true;
+  } else if (o.app == "tsp") {
+    apps::TspParams p;
+    p.seed = o.seed + 2002;
+    if (o.size) p.cities = static_cast<int>(o.size);
+    run_one([&](tmk::Tmk& t) { return apps::tsp(t, p); });
+    if (o.verify) {
+      expected = static_cast<double>(apps::tsp_serial(p));
+      have_expected = true;
+    }
+  } else if (o.app == "fft") {
+    apps::FftParams p;
+    if (o.size) p.n = o.size;
+    if (o.iters) p.iters = o.iters;
+    run_one([&](tmk::Tmk& t) { return apps::fft3d(t, p); });
+    if (o.verify) expected = apps::fft3d_serial(p), have_expected = true;
+  } else if (o.app == "is") {
+    apps::IsParams p;
+    if (o.size) p.keys_per_proc = o.size;
+    if (o.iters) p.iters = o.iters;
+    run_one([&](tmk::Tmk& t) { return apps::is_sort(t, p); });
+    if (o.verify) {
+      expected = apps::is_sort_serial(p, o.nodes);
+      have_expected = true;
+    }
+  } else if (o.app == "gauss") {
+    apps::GaussParams p;
+    if (o.size) p.n = o.size;
+    run_one([&](tmk::Tmk& t) { return apps::gauss(t, p); });
+    if (o.verify) expected = apps::gauss_serial(p), have_expected = true;
+  } else if (o.app == "barnes") {
+    apps::BarnesParams p;
+    if (o.size) p.bodies = static_cast<int>(o.size);
+    if (o.iters) p.steps = o.iters;
+    run_one([&](tmk::Tmk& t) { return apps::barnes(t, p); });
+    if (o.verify) expected = apps::barnes_serial(p), have_expected = true;
+  } else if (o.app == "water") {
+    apps::WaterParams p;
+    if (o.size) p.molecules = static_cast<int>(o.size);
+    if (o.iters) p.iters = o.iters;
+    run_one([&](tmk::Tmk& t) { return apps::water(t, p); });
+    if (o.verify) expected = apps::water_serial(p), have_expected = true;
+  } else {
+    std::fprintf(stderr, "unknown app: %s\n", o.app.c_str());
+    return 1;
+  }
+
+  std::printf("%s on %d nodes over %s\n", o.app.c_str(), o.nodes,
+              cluster::to_string(cfg.kind));
+  std::printf("parallel phase: %.3f ms (virtual)\n", to_ms(elapsed));
+  std::printf("checksum: %.9g\n", checksum);
+  if (have_expected) {
+    const bool ok = std::abs(checksum - expected) <= 1e-6;
+    std::printf("verify: %s (serial reference %.9g)\n",
+                ok ? "OK" : "MISMATCH", expected);
+    if (!ok) return 2;
+  }
+  if (o.report) {
+    std::printf("\n%s", cluster::format_report(cfg, result).c_str());
+  }
+  return 0;
+}
