@@ -1,11 +1,19 @@
 // Host-side performance of the simulator itself (google-benchmark). All
 // paper results are virtual-time; this bench guards the wall-clock cost of
-// producing them (event throughput, node handoffs, protocol rounds).
+// producing them (event throughput, node handoffs, protocol rounds) and the
+// three engineered hot paths: the inline shared-access fast path, compute()
+// coalescing, and word-wide diff scanning. Run via scripts/bench_host.sh,
+// which writes BENCH_host.json so the trajectory is trackable across PRs.
 #include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
+#include "tmk/diff.hpp"
 #include "tmk/shared_array.hpp"
 
 namespace {
@@ -25,6 +33,9 @@ void BM_EventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(10000);
 
+// Everything below that runs nodes measures real time: the work happens on
+// the nodes' host threads, so the benchmark thread's CPU clock would
+// flatter any path that parks it.
 void BM_NodeHandoff(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine e;
@@ -35,7 +46,111 @@ void BM_NodeHandoff(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(BM_NodeHandoff);
+BENCHMARK(BM_NodeHandoff)->UseRealTime();
+
+// 4 nodes computing in lockstep: every quantum ends at or after another
+// node's scheduled wake, so coalescing never applies and the semaphore
+// baton handoff itself is the measured path (the single-node variant above
+// coalesces it away entirely).
+void BM_NodeHandoffInterleaved(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int k = 0; k < 4; ++k) {
+      e.add_node("n" + std::to_string(k), [](sim::Node& n) {
+        for (int i = 0; i < 1000; ++i) n.compute(10);
+      });
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_NodeHandoffInterleaved)->UseRealTime();
+
+// Long computes with an idle event queue: coalescing on advances virtual
+// time in place; off pays two context switches per quantum.
+void BM_ComputeCoalescing(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  for (auto _ : state) {
+    sim::Engine e;
+    e.set_compute_coalescing(on);
+    e.add_node("n", [](sim::Node& n) {
+      for (int i = 0; i < 1000; ++i) n.compute(10);
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ComputeCoalescing)->Arg(0)->Arg(1)->UseRealTime();
+
+// Per-element shared accesses on already-valid pages: with the fast path
+// the access check is inline in SharedArray; without it every get/put
+// makes the out-of-line protocol call.
+void BM_SharedAccessGetPut(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  constexpr std::size_t kN = 4096;  // 16 KiB of int32 = 4 pages
+  constexpr int kRounds = 50;
+  for (auto _ : state) {
+    cluster::ClusterConfig cfg;
+    cfg.n_procs = 1;
+    cfg.tmk.arena_bytes = 1u << 20;
+    cfg.tmk.access_fast_path = fast;
+    cluster::Cluster c(cfg);
+    c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv&) {
+      auto arr = tmk::SharedArray<std::int32_t>::alloc(tmk, kN);
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::size_t i = 0; i < kN; ++i) {
+          arr.put(i, arr.get(i) + 1);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * kN * 2);
+}
+BENCHMARK(BM_SharedAccessGetPut)->Arg(0)->Arg(1)->UseRealTime();
+
+// The same work through span accessors: one range validation per sweep.
+void BM_SharedAccessSpan(benchmark::State& state) {
+  constexpr std::size_t kN = 4096;
+  constexpr int kRounds = 50;
+  for (auto _ : state) {
+    cluster::ClusterConfig cfg;
+    cfg.n_procs = 1;
+    cfg.tmk.arena_bytes = 1u << 20;
+    cluster::Cluster c(cfg);
+    c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv&) {
+      auto arr = tmk::SharedArray<std::int32_t>::alloc(tmk, kN);
+      for (int r = 0; r < kRounds; ++r) {
+        auto w = arr.span_rw(0, kN);
+        for (std::size_t i = 0; i < kN; ++i) w[i] += 1;
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * kN * 2);
+}
+BENCHMARK(BM_SharedAccessSpan)->UseRealTime();
+
+// Diff encoding at three densities: Arg = modified 4-byte words per 4 KiB
+// page (0 = clean, 8 = sparse scatter, 1024 = fully dirty).
+void BM_DiffEncode(benchmark::State& state) {
+  constexpr std::size_t kPage = 4096;
+  const auto words = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> twin(kPage, std::byte{0});
+  std::vector<std::byte> current(twin);
+  if (words > 0) {
+    const std::size_t stride = kPage / 4 / words;
+    for (std::size_t w = 0; w < words; ++w) {
+      current[w * stride * 4] = std::byte{0xff};
+    }
+  }
+  for (auto _ : state) {
+    auto d = tmk::encode_diff(current.data(), twin.data(), kPage);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kPage));
+}
+BENCHMARK(BM_DiffEncode)->Arg(0)->Arg(8)->Arg(1024);
 
 void BM_TmkLockRound(benchmark::State& state) {
   for (auto _ : state) {
@@ -56,7 +171,7 @@ void BM_TmkLockRound(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 40);
 }
-BENCHMARK(BM_TmkLockRound);
+BENCHMARK(BM_TmkLockRound)->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Host wall-clock benchmark of the simulator's hot paths (bench_engine_perf)
+# in a Release build, captured as google-benchmark JSON at the repository
+# root. BENCH_host.json is the number to watch when touching the engine,
+# the shared-access fast path, or the diff codec: commit a fresh one
+# alongside any change that claims a host-side speedup.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF
+cmake --build build-bench --target bench_engine_perf
+
+./build-bench/bench/bench_engine_perf \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_host.json \
+  --benchmark_out_format=json
+
+echo "Wrote $(pwd)/BENCH_host.json"

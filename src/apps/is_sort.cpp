@@ -98,9 +98,8 @@ AppResult is_sort(tmk::Tmk& tmk, const IsParams& p) {
   tmk.barrier(3);
   double total = 0.0;
   if (me == 0) {
-    for (int q = 0; q < np; ++q) {
-      total += partials.get(static_cast<std::size_t>(q));
-    }
+    auto ro = partials.span_ro(0, static_cast<std::size_t>(np));
+    for (auto v : ro) total += v;
   }
   tmk.barrier(4);
   return {total, elapsed};

@@ -44,6 +44,7 @@ RunResult Cluster::run(const Program& program) {
   const int n = config_.n_procs;
   sim::Engine engine(config_.seed);
   if (config_.event_limit > 0) engine.set_event_limit(config_.event_limit);
+  engine.set_compute_coalescing(config_.compute_coalescing);
 
   RunResult result;
   result.node_finish.assign(static_cast<std::size_t>(n), 0);

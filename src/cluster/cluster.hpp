@@ -45,6 +45,10 @@ struct ClusterConfig {
   std::uint64_t seed = 1;
   /// Guard against runaway simulations (0 = unlimited).
   std::uint64_t event_limit = 0;
+  /// Host wall-clock knob (virtual-time results are identical either way):
+  /// lets node compute() quanta advance virtual time without an engine
+  /// handoff when no event intervenes. See Engine::set_compute_coalescing.
+  bool compute_coalescing = true;
 };
 
 struct NodeEnv {

@@ -96,6 +96,20 @@ void Engine::transfer_to(Node& n, Resume reason) {
   current_ = prev;
 }
 
+bool Engine::try_advance_inline(Node& n, SimTime dur) {
+  if (!compute_coalescing_ || current_ != &n) return false;
+  const auto next = queue_.next_live_time();
+  if (next.has_value() && *next <= now_ + dur) return false;
+  now_ += dur;
+  // Count the wake event this advance replaces, so events_processed() —
+  // and every report derived from it — is identical to the uncoalesced
+  // schedule.
+  ++events_processed_;
+  TMKGM_CHECK_MSG(event_limit_ == 0 || events_processed_ <= event_limit_,
+                  "event limit exceeded (runaway simulation?)");
+  return true;
+}
+
 void Engine::rethrow_node_failure() {
   if (node_failure_) {
     auto e = node_failure_;

@@ -75,6 +75,14 @@ class Engine {
   /// Optional guard against runaway simulations (0 = unlimited).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Compute coalescing: when on (default), a node's compute() may advance
+  /// virtual time in place — no baton handoff — provided no live event is
+  /// scheduled at or before the quantum's end. Virtual-time results are
+  /// identical either way; off forces the classic wake-event path (used by
+  /// benchmarks and the determinism regression test to compare both).
+  void set_compute_coalescing(bool on) { compute_coalescing_ = on; }
+  bool compute_coalescing() const { return compute_coalescing_; }
+
   /// Debug trace hook; trace() is cheap when no hook is installed.
   void set_trace(std::function<void(SimTime, const std::string&)> hook);
   void trace(const std::string& msg);
@@ -98,6 +106,14 @@ class Engine {
   /// nested under an earlier transfer (a node that yielded mid-slice).
   void transfer_to(Node& n, Resume reason);
 
+  /// Called from `n`'s own context (it holds the baton, so the engine
+  /// thread is parked inside transfer_to and engine state is safe to
+  /// touch). Grants the node a quantum of `dur` by advancing now_ without
+  /// a handoff, provided no live event precedes the quantum's end (strict:
+  /// an event at exactly now_+dur would have run before the wake event it
+  /// replaces, and must still do so). Returns false when ineligible.
+  bool try_advance_inline(Node& n, SimTime dur);
+
   void rethrow_node_failure();
 
   SimTime now_ = 0;
@@ -106,6 +122,7 @@ class Engine {
   Node* current_ = nullptr;
   Rng rng_;
   bool running_ = false;
+  bool compute_coalescing_ = true;
   std::uint64_t events_processed_ = 0;
   std::uint64_t event_limit_ = 0;
   std::exception_ptr node_failure_;

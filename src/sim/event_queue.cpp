@@ -24,6 +24,12 @@ std::shared_ptr<EventRecord> EventQueue::pop() {
   return nullptr;
 }
 
+std::optional<SimTime> EventQueue::next_live_time() {
+  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top()->at;
+}
+
 bool EventQueue::empty_of_live() const {
   // The heap may hold cancelled entries; a const scan of the underlying
   // container is not exposed, so we conservatively report emptiness only

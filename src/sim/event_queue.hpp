@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -53,6 +54,10 @@ class EventQueue {
   /// Pops the next live event, or nullptr when empty. The returned record
   /// is owned by the caller; fire it with rec->fn().
   std::shared_ptr<EventRecord> pop();
+
+  /// Time of the earliest live event, or nullopt when none is scheduled.
+  /// Prunes cancelled entries off the top as a side effect.
+  std::optional<SimTime> next_live_time();
 
   bool empty_of_live() const;
   std::uint64_t scheduled_count() const { return next_seq_; }

@@ -55,6 +55,12 @@ void Node::compute(SimTime dur) {
   TMKGM_CHECK_MSG(is_current(), "compute() outside node context");
   TMKGM_CHECK(dur >= 0);
   drain_interrupts();
+  if (dur == 0) return;
+  // Coalescing fast path: with nothing deliverable pending (events never
+  // run while we hold the baton, so nothing new can arrive mid-quantum)
+  // and no event scheduled inside the quantum, advance virtual time in
+  // place and skip the two context switches of the wake-event handoff.
+  if (pending_irqs_.empty() && engine_.try_advance_inline(*this, dur)) return;
   SimTime remaining = dur;
   while (remaining > 0) {
     const SimTime slice_start = engine_.now();

@@ -7,17 +7,84 @@
 namespace tmkgm::tmk {
 
 namespace {
+
 constexpr std::size_t kWord = 4;
+
+/// True when the 4-byte words at `off` differ.
+inline bool word_differs(const std::byte* a, const std::byte* b,
+                         std::size_t off) {
+  std::uint32_t x, y;
+  std::memcpy(&x, a + off, sizeof(x));
+  std::memcpy(&y, b + off, sizeof(y));
+  return x != y;
 }
+
+/// Walks both pages 8 bytes at a time: an equal lane costs one 64-bit
+/// compare and a single `equal_at(i)` (any open run ends at i); only a
+/// differing lane is split into its two 4-byte words, each reported as
+/// `diff_word(i)` or `equal_at(i)`. Run granularity stays 4 bytes, so the
+/// resulting segmentation is identical to a word-by-word scan.
+template <typename DiffWord, typename EqualAt>
+inline void scan_words(const std::byte* current, const std::byte* twin,
+                       std::size_t page_size, DiffWord&& diff_word,
+                       EqualAt&& equal_at) {
+  std::size_t i = 0;
+  while (i + 2 * kWord <= page_size) {
+    std::uint64_t a, b;
+    std::memcpy(&a, current + i, sizeof(a));
+    std::memcpy(&b, twin + i, sizeof(b));
+    if (a == b) {
+      equal_at(i);
+      i += 2 * kWord;
+      continue;
+    }
+    for (int half = 0; half < 2; ++half, i += kWord) {
+      if (word_differs(current, twin, i)) {
+        diff_word(i);
+      } else {
+        equal_at(i);
+      }
+    }
+  }
+  if (i < page_size) {  // page_size % 8 == 4: one trailing word
+    if (word_differs(current, twin, i)) {
+      diff_word(i);
+    } else {
+      equal_at(i);
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<std::byte> encode_diff(const std::byte* current,
                                    const std::byte* twin,
                                    std::size_t page_size) {
   TMKGM_CHECK(page_size % kWord == 0);
   TMKGM_CHECK(page_size <= 65536);
-  std::vector<std::byte> out;
-  std::size_t run_start = 0;
+
+  // Pass 1: exact encoded size, so the output vector is allocated once
+  // and never grown (stored diffs keep no excess capacity either).
+  std::size_t total = 0;
   bool in_run = false;
+  scan_words(
+      current, twin, page_size,
+      [&](std::size_t) {
+        if (!in_run) {
+          total += 2 * sizeof(std::uint16_t);
+          in_run = true;
+        }
+        total += kWord;
+      },
+      [&](std::size_t) { in_run = false; });
+  if (total == 0) return {};
+
+  // Pass 2: emit {u16 off, u16 len, bytes} runs, identical to pass 1's
+  // segmentation.
+  std::vector<std::byte> out;
+  out.reserve(total);
+  std::size_t run_start = 0;
+  in_run = false;
   auto flush = [&](std::size_t end) {
     if (!in_run) return;
     const auto off = static_cast<std::uint16_t>(run_start);
@@ -29,43 +96,47 @@ std::vector<std::byte> encode_diff(const std::byte* current,
     std::memcpy(out.data() + pos + 2 * sizeof(off), current + run_start, len);
     in_run = false;
   };
-  for (std::size_t i = 0; i < page_size; i += kWord) {
-    if (std::memcmp(current + i, twin + i, kWord) != 0) {
-      if (!in_run) {
-        run_start = i;
-        in_run = true;
-      }
-    } else {
-      flush(i);
-    }
-  }
+  scan_words(
+      current, twin, page_size,
+      [&](std::size_t i) {
+        if (!in_run) {
+          run_start = i;
+          in_run = true;
+        }
+      },
+      [&](std::size_t i) { flush(i); });
   flush(page_size);
+  TMKGM_CHECK(out.size() == total);
   return out;
 }
 
 void apply_diff(std::byte* page, std::span<const std::byte> diff,
                 std::size_t page_size) {
+  const std::size_t n = diff.size();
   std::size_t pos = 0;
-  while (pos < diff.size()) {
-    TMKGM_CHECK(pos + 2 * sizeof(std::uint16_t) <= diff.size());
+  while (pos < n) {
+    TMKGM_CHECK(n - pos >= 2 * sizeof(std::uint16_t));
     std::uint16_t off, len;
     std::memcpy(&off, diff.data() + pos, sizeof(off));
     std::memcpy(&len, diff.data() + pos + sizeof(off), sizeof(len));
     pos += 2 * sizeof(std::uint16_t);
-    TMKGM_CHECK(pos + len <= diff.size());
-    TMKGM_CHECK(static_cast<std::size_t>(off) + len <= page_size);
+    TMKGM_CHECK(len <= n - pos &&
+                static_cast<std::size_t>(off) + len <= page_size);
     std::memcpy(page + off, diff.data() + pos, len);
     pos += len;
   }
 }
 
 std::size_t diff_modified_bytes(std::span<const std::byte> diff) {
+  const std::size_t n = diff.size();
   std::size_t total = 0;
   std::size_t pos = 0;
-  while (pos < diff.size()) {
+  while (pos < n) {
+    TMKGM_CHECK(pos + 2 * sizeof(std::uint16_t) <= n);
     std::uint16_t len;
     std::memcpy(&len, diff.data() + pos + sizeof(std::uint16_t), sizeof(len));
     pos += 2 * sizeof(std::uint16_t) + len;
+    TMKGM_CHECK(pos <= n);  // run payload must not be truncated
     total += len;
   }
   return total;

@@ -58,6 +58,7 @@ Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
   arena_.reset(static_cast<std::byte*>(std::calloc(config_.arena_bytes, 1)));
   TMKGM_CHECK(arena_ != nullptr);
   mode_.assign(n_pages_, PageMode::Unmapped);
+  access_ok_.assign(n_pages_, 0);
   vc_.assign(static_cast<std::size_t>(n_procs()), 0);
   intervals_.resize(static_cast<std::size_t>(n_procs()));
   locks_.resize(static_cast<std::size_t>(config_.n_locks));
@@ -100,16 +101,6 @@ Tmk::PageState& Tmk::state_of(PageId page) {
 Tmk::PageMode Tmk::page_mode(PageId page) const {
   TMKGM_CHECK(page < n_pages_);
   return mode_[page];
-}
-
-std::byte* Tmk::local(GlobalPtr ptr) {
-  TMKGM_CHECK(ptr < config_.arena_bytes);
-  return arena_.get() + ptr;
-}
-
-const std::byte* Tmk::local(GlobalPtr ptr) const {
-  TMKGM_CHECK(ptr < config_.arena_bytes);
-  return arena_.get() + ptr;
 }
 
 std::size_t Tmk::protocol_bytes() const {
@@ -178,8 +169,7 @@ void Tmk::distribute(void* data, std::size_t bytes) {
 // Access checks and faults
 // ---------------------------------------------------------------------
 
-void Tmk::ensure_read(GlobalPtr ptr, std::size_t len) {
-  TMKGM_CHECK(len > 0 && ptr + len <= config_.arena_bytes);
+void Tmk::ensure_read_slow(GlobalPtr ptr, std::size_t len) {
   const PageId first = page_of(ptr);
   const PageId last = page_of(ptr + len - 1);
   for (PageId p = first; p <= last; ++p) {
@@ -189,8 +179,7 @@ void Tmk::ensure_read(GlobalPtr ptr, std::size_t len) {
   }
 }
 
-void Tmk::ensure_write(GlobalPtr ptr, std::size_t len) {
-  TMKGM_CHECK(len > 0 && ptr + len <= config_.arena_bytes);
+void Tmk::ensure_write_slow(GlobalPtr ptr, std::size_t len) {
   const PageId first = page_of(ptr);
   const PageId last = page_of(ptr + len - 1);
   for (PageId p = first; p <= last; ++p) {
@@ -204,9 +193,9 @@ void Tmk::read_fault(PageId page) {
   PageState& st = state_of(page);
   if (mode_[page] == PageMode::Unmapped) fetch_page(page);
   while (!st.notices.empty()) fetch_diffs(page);
-  mode_[page] = (st.twin != nullptr && !st.twin_is_pending_diff)
-                    ? PageMode::ReadWrite
-                    : PageMode::ReadOnly;
+  set_mode(page, (st.twin != nullptr && !st.twin_is_pending_diff)
+                     ? PageMode::ReadWrite
+                     : PageMode::ReadOnly);
 }
 
 void Tmk::write_fault(PageId page) {
@@ -231,7 +220,7 @@ void Tmk::write_fault(PageId page) {
     ++stats_.twins_created;
     dirty_pages_.push_back(page);
   }
-  mode_[page] = PageMode::ReadWrite;
+  set_mode(page, PageMode::ReadWrite);
 }
 
 void Tmk::fetch_page(PageId page) {
@@ -240,7 +229,7 @@ void Tmk::fetch_page(PageId page) {
   if (mgr == proc_id()) {
     // Our own statically-assigned page: the zero-filled base copy is
     // already in the arena.
-    mode_[page] = PageMode::ReadOnly;
+    set_mode(page, PageMode::ReadOnly);
     return;
   }
   ++stats_.page_fetches;
@@ -265,7 +254,7 @@ void Tmk::fetch_page(PageId page) {
   std::erase_if(st.notices, [&](const WriteNotice& n) {
     return n.vt <= st.applied[n.proc];
   });
-  mode_[page] = PageMode::ReadOnly;
+  set_mode(page, PageMode::ReadOnly);
 }
 
 void Tmk::fetch_diffs(PageId page) {
@@ -446,7 +435,7 @@ bool Tmk::close_interval() {
     TMKGM_CHECK(st.twin != nullptr && !st.twin_is_pending_diff);
     st.twin_is_pending_diff = true;
     st.pending_vts.push_back(vt);
-    if (mode_[page] == PageMode::ReadWrite) mode_[page] = PageMode::ReadOnly;
+    if (mode_[page] == PageMode::ReadWrite) set_mode(page, PageMode::ReadOnly);
     my_page_writes_[page].push_back(vt);
   }
   // Write-protecting each dirty page costs an mprotect.
@@ -470,7 +459,7 @@ void Tmk::incorporate_interval(IntervalRecord rec) {
     st.notices.push_back({rec.proc, rec.vt});
     if (mode_[page] == PageMode::ReadOnly ||
         mode_[page] == PageMode::ReadWrite) {
-      mode_[page] = PageMode::Invalid;
+      set_mode(page, PageMode::Invalid);
       ++stats_.invalidations;
     }
   }

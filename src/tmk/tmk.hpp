@@ -42,6 +42,7 @@
 #include "net/cost_model.hpp"
 #include "sim/node.hpp"
 #include "sub/substrate.hpp"
+#include "util/check.hpp"
 #include "util/time.hpp"
 #include "util/wire.hpp"
 
@@ -63,6 +64,11 @@ struct TmkConfig {
   /// chunks of this many pages. 1 reproduces classic per-page round-robin;
   /// larger values give block-partitioned apps home-local base copies.
   std::uint32_t home_chunk_pages = 1;
+  /// Inline shared-access fast path (host wall-clock only): when on, the
+  /// common already-valid access is a branch and two loads in the caller;
+  /// when off every access takes the out-of-line slow path. Protocol
+  /// behaviour is identical either way (asserted by the property tests).
+  bool access_fast_path = true;
 };
 
 struct TmkStats {
@@ -119,12 +125,40 @@ class Tmk {
 
   /// --- Shared access (used by SharedArray; see shared_array.hpp) ------
   /// Validates [ptr, ptr+len) for reading / writing, faulting as needed.
-  void ensure_read(GlobalPtr ptr, std::size_t len);
-  void ensure_write(GlobalPtr ptr, std::size_t len);
+  /// The already-valid common case is fully inline — per page, one load
+  /// from the access-mode cache and a branch (the simulator's stand-in for
+  /// TLB-resident protection bits); only a miss takes the out-of-line
+  /// protocol path.
+  void ensure_read(GlobalPtr ptr, std::size_t len) {
+    TMKGM_CHECK(len > 0 && ptr + len <= config_.arena_bytes);
+    const PageId last = page_of(ptr + len - 1);
+    for (PageId p = page_of(ptr); p <= last; ++p) {
+      if (!(access_ok_[p] & kAccessRead)) [[unlikely]] {
+        ensure_read_slow(ptr, len);
+        return;
+      }
+    }
+  }
+  void ensure_write(GlobalPtr ptr, std::size_t len) {
+    TMKGM_CHECK(len > 0 && ptr + len <= config_.arena_bytes);
+    const PageId last = page_of(ptr + len - 1);
+    for (PageId p = page_of(ptr); p <= last; ++p) {
+      if (!(access_ok_[p] & kAccessWrite)) [[unlikely]] {
+        ensure_write_slow(ptr, len);
+        return;
+      }
+    }
+  }
 
   /// Raw local address of a shared location (valid after ensure_*).
-  std::byte* local(GlobalPtr ptr);
-  const std::byte* local(GlobalPtr ptr) const;
+  std::byte* local(GlobalPtr ptr) {
+    TMKGM_CHECK(ptr < config_.arena_bytes);
+    return arena_.get() + ptr;
+  }
+  const std::byte* local(GlobalPtr ptr) const {
+    TMKGM_CHECK(ptr < config_.arena_bytes);
+    return arena_.get() + ptr;
+  }
 
   /// Charges `work` abstract units (≈flops) of application compute,
   /// including any substrate CPU tax (polling-thread scheme).
@@ -193,6 +227,25 @@ class Tmk {
   }
   PageState& state_of(PageId page);
 
+  /// Misses of the inline access checks above: walk the range and fault
+  /// every page whose mode is insufficient.
+  void ensure_read_slow(GlobalPtr ptr, std::size_t len);
+  void ensure_write_slow(GlobalPtr ptr, std::size_t len);
+
+  /// Single choke point for page-mode transitions: keeps the inline
+  /// access-mode cache an exact mirror of mode_. Every fault upcall,
+  /// interval close (write re-protection), write-notice invalidation
+  /// (interrupt context) and GC validation goes through here, so the
+  /// fast path can never see a stale "valid". With the fast path off the
+  /// cache stays all-zero and every access misses into the slow path.
+  void set_mode(PageId page, PageMode m) {
+    mode_[page] = m;
+    if (!config_.access_fast_path) return;
+    access_ok_[page] = m == PageMode::ReadOnly    ? kAccessRead
+                       : m == PageMode::ReadWrite ? (kAccessRead | kAccessWrite)
+                                                  : std::uint8_t{0};
+  }
+
   void read_fault(PageId page);
   void write_fault(PageId page);
   /// Fetches the base copy from the page's manager (round-robin home).
@@ -255,6 +308,10 @@ class Tmk {
   std::unique_ptr<std::byte[], FreeDeleter> arena_;
   std::size_t n_pages_;
   std::vector<PageMode> mode_;
+  /// Inline fast-path cache: access_ok_[p] is a kAccess* bitmask mirror of
+  /// mode_[p], maintained exclusively by set_mode().
+  enum : std::uint8_t { kAccessRead = 1, kAccessWrite = 2 };
+  std::vector<std::uint8_t> access_ok_;
   std::map<PageId, PageState> pages_;
   std::vector<PageId> dirty_pages_;
 

@@ -1,0 +1,73 @@
+// Determinism regression: the simulation is a pure function of its
+// configuration. The full report string (timing, event count, fabric
+// traffic, substrate and protocol counters) must be byte-identical across
+// repeated runs, and none of the host-side wall-clock accelerators —
+// compute() coalescing, the inline access-mode fast path — may perturb a
+// single byte of it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/apps.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/report.hpp"
+
+namespace tmkgm::cluster {
+namespace {
+
+ClusterConfig jacobi_config(SubstrateKind kind) {
+  ClusterConfig cfg;
+  cfg.n_procs = 8;
+  cfg.kind = kind;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.event_limit = 500'000'000;
+  return cfg;
+}
+
+std::string run_jacobi_report(const ClusterConfig& cfg) {
+  apps::JacobiParams p;
+  p.rows = 96;
+  p.cols = 96;
+  p.iters = 4;
+  Cluster c(cfg);
+  double checksum = 0.0;
+  RunResult result = c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    auto r = apps::jacobi(tmk, p);
+    if (env.id == 0) checksum = r.checksum;
+  });
+  // Fold the app checksum in so value-level divergence is caught even if
+  // it would not move any counter.
+  return format_report(cfg, result) + "\nchecksum " +
+         std::to_string(checksum) + "\n";
+}
+
+class DeterminismTest : public ::testing::TestWithParam<SubstrateKind> {};
+
+TEST_P(DeterminismTest, JacobiReportIsByteIdenticalAcrossRuns) {
+  const auto cfg = jacobi_config(GetParam());
+  const std::string first = run_jacobi_report(cfg);
+  const std::string second = run_jacobi_report(cfg);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(DeterminismTest, ComputeCoalescingDoesNotChangeTheReport) {
+  auto cfg = jacobi_config(GetParam());
+  cfg.compute_coalescing = true;
+  const std::string coalesced = run_jacobi_report(cfg);
+  cfg.compute_coalescing = false;
+  const std::string stepped = run_jacobi_report(cfg);
+  EXPECT_EQ(coalesced, stepped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Substrates, DeterminismTest,
+                         ::testing::Values(SubstrateKind::FastGm,
+                                           SubstrateKind::UdpGm),
+                         [](const ::testing::TestParamInfo<SubstrateKind>& i) {
+                           return std::string(i.param == SubstrateKind::FastGm
+                                                  ? "FastGm"
+                                                  : "UdpGm");
+                         });
+
+}  // namespace
+}  // namespace tmkgm::cluster

@@ -211,6 +211,105 @@ TEST_P(ConsistencyProperty, MixedLocksAndBarriers) {
   }
 }
 
+// --- Fast-path equivalence ---------------------------------------------
+// The inline access-mode cache is a host-side accelerator only: with it
+// off every access walks the slow path, yet the protocol must take the
+// same faults, exchange the same messages and produce the same contents
+// at the same virtual times. A randomized DRF workload (lock-guarded
+// counters + barrier-epoch stripes + post-barrier read sampling) is run
+// with the cache on and off and every observable compared.
+
+struct WorkloadObs {
+  std::vector<std::int64_t> contents;
+  std::vector<std::uint64_t> read_faults;
+  std::vector<std::uint64_t> write_faults;
+  std::vector<std::uint64_t> invalidations;
+  std::uint64_t events = 0;
+  SimTime duration = 0;
+
+  bool operator==(const WorkloadObs&) const = default;
+};
+
+WorkloadObs run_random_workload(bool fast_path, std::uint64_t seed) {
+  constexpr int kN = 4;
+  constexpr int kWords = 192;  // spans pages on both arrays
+  constexpr int kRounds = 8;
+
+  ClusterConfig cfg;
+  cfg.n_procs = kN;
+  cfg.tmk.arena_bytes = 2u << 20;
+  cfg.tmk.access_fast_path = fast_path;
+  cfg.seed = seed;
+  cfg.event_limit = 500'000'000;
+
+  WorkloadObs obs;
+  Cluster c(cfg);
+  auto result = c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    auto counters = SharedArray<std::int64_t>::alloc(tmk, kWords);
+    auto stripes = SharedArray<std::int64_t>::alloc(tmk, kWords);
+    tmk.barrier(0);
+    Rng rng(seed * 1299721 + static_cast<std::uint64_t>(env.id));
+    std::int64_t sink = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      // Lock-discipline increments at random words.
+      const int ops = 1 + static_cast<int>(rng.next_below(6));
+      for (int k = 0; k < ops; ++k) {
+        const int w = static_cast<int>(rng.next_below(kWords));
+        tmk.lock_acquire(30 + w % 8);
+        counters.put(static_cast<std::size_t>(w),
+                     counters.get(static_cast<std::size_t>(w)) + 1);
+        tmk.lock_release(30 + w % 8);
+        tmk.compute_work(rng.next_below(3000));
+      }
+      // Barrier-discipline writes in my stripe (one writer per word).
+      for (int w = env.id; w < kWords; w += kN) {
+        if (rng.next_below(3) == 0) {
+          stripes.put(static_cast<std::size_t>(w),
+                      stripes.get(static_cast<std::size_t>(w)) + 100 + round);
+        }
+      }
+      tmk.barrier(1);
+      // Post-barrier sampling: reads of either array are DRF here.
+      for (int k = 0; k < 10; ++k) {
+        const auto w = rng.next_below(kWords);
+        sink += counters.get(w) + stripes.get(w);
+      }
+      tmk.barrier(2);
+    }
+    if (env.id == 0) {
+      obs.contents.push_back(sink);
+      for (int w = 0; w < kWords; ++w) {
+        obs.contents.push_back(counters.get(static_cast<std::size_t>(w)));
+        obs.contents.push_back(stripes.get(static_cast<std::size_t>(w)));
+      }
+    }
+    tmk.barrier(3);
+  });
+
+  for (const auto& s : result.tmk_stats) {
+    obs.read_faults.push_back(s.read_faults);
+    obs.write_faults.push_back(s.write_faults);
+    obs.invalidations.push_back(s.invalidations);
+  }
+  obs.events = result.events;
+  obs.duration = result.duration;
+  return obs;
+}
+
+TEST(FastPathEquivalence, CacheOnAndOffAreObservationallyIdentical) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto on = run_random_workload(true, seed);
+    const auto off = run_random_workload(false, seed);
+    EXPECT_EQ(on.read_faults, off.read_faults) << "seed " << seed;
+    EXPECT_EQ(on.write_faults, off.write_faults) << "seed " << seed;
+    EXPECT_EQ(on.invalidations, off.invalidations) << "seed " << seed;
+    EXPECT_EQ(on.contents, off.contents) << "seed " << seed;
+    EXPECT_EQ(on.events, off.events) << "seed " << seed;
+    EXPECT_EQ(on.duration, off.duration) << "seed " << seed;
+    EXPECT_FALSE(on.contents.empty());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ConsistencyProperty,
     ::testing::Values(PropCase{SubstrateKind::FastGm, 2, 1, false},

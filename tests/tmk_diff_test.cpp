@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tmk/diff.hpp"
+#include "util/check.hpp"
 
 namespace tmkgm::tmk {
 namespace {
@@ -88,6 +89,45 @@ TEST(Diff, ConcurrentWritersMergeDisjointWords) {
   EXPECT_EQ(std::memcmp(merged1.data(), merged2.data(), kPage), 0);
   EXPECT_EQ(merged1[0], std::byte{0xa});
   EXPECT_EQ(merged1[8], std::byte{0xb});
+}
+
+TEST(Diff, TruncatedBuffersAreRejectedNotMisread) {
+  // A diff cut off mid-header or mid-payload (a malformed or short wire
+  // buffer) must fail the bounds checks in BOTH decoders — apply_diff and
+  // diff_modified_bytes — instead of reading past the end.
+  auto twin = make_page(std::byte{0});
+  auto current = twin;
+  for (std::size_t i = 64; i < 96; ++i) current[i] = std::byte{5};
+  const auto diff = encode_diff(current.data(), twin.data(), kPage);
+  ASSERT_GE(diff.size(), 4u + 32u);
+
+  // Cut mid-payload: full header survives, payload is short.
+  std::vector<std::byte> short_payload(diff.begin(), diff.end() - 5);
+  // Cut mid-header: only half of the {off, len} header survives.
+  std::vector<std::byte> short_header(diff.begin(), diff.begin() + 3);
+
+  auto target = make_page(std::byte{0});
+  EXPECT_THROW(apply_diff(target.data(), short_payload, kPage), CheckError);
+  EXPECT_THROW(apply_diff(target.data(), short_header, kPage), CheckError);
+  EXPECT_THROW(diff_modified_bytes(short_payload), CheckError);
+  EXPECT_THROW(diff_modified_bytes(short_header), CheckError);
+
+  // The intact diff still decodes, so the checks are not over-eager.
+  apply_diff(target.data(), diff, kPage);
+  EXPECT_EQ(std::memcmp(target.data(), current.data(), kPage), 0);
+  EXPECT_EQ(diff_modified_bytes(diff), 32u);
+}
+
+TEST(Diff, OffsetBeyondPageIsRejected) {
+  // A header whose run lands outside the page must be rejected even when
+  // the buffer itself is long enough.
+  std::vector<std::byte> evil(4 + 4, std::byte{0});
+  const std::uint16_t off = kPage - 2;  // run of 4 would overhang the page
+  const std::uint16_t len = 4;
+  std::memcpy(evil.data(), &off, 2);
+  std::memcpy(evil.data() + 2, &len, 2);
+  auto target = make_page(std::byte{0});
+  EXPECT_THROW(apply_diff(target.data(), evil, kPage), CheckError);
 }
 
 TEST(Diff, RunEndingAtPageBoundary) {

@@ -107,6 +107,37 @@ TEST_P(TmkProtocolTest, FalseSharingMergesConcurrentWriters) {
   for (auto o : ok) EXPECT_TRUE(o);
 }
 
+TEST_P(TmkProtocolTest, FastPathCacheInvalidatedAcrossBarrier) {
+  // The inline access-mode cache must never satisfy an access the protocol
+  // would fault on: a repeated read in the same interval hits the cache,
+  // but after a barrier delivers a write notice the same read must fault
+  // again and see the new value, not the cached page.
+  Cluster c(base_config(2));
+  int second_read = -1;
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    auto arr = SharedArray<std::int32_t>::alloc(tmk, 64);
+    tmk.barrier(0);
+    if (env.id == 1) arr.put(0, 41);
+    tmk.barrier(1);
+    if (env.id == 0) {
+      EXPECT_EQ(arr.get(0), 41);  // faults, page becomes valid
+      const auto cached = tmk.stats().read_faults;
+      EXPECT_EQ(arr.get(0), 41);  // same interval: served by the cache
+      EXPECT_EQ(tmk.stats().read_faults, cached);
+    }
+    tmk.barrier(2);
+    if (env.id == 1) arr.put(0, 42);
+    tmk.barrier(3);
+    if (env.id == 0) {
+      const auto before = tmk.stats().read_faults;
+      second_read = arr.get(0);  // invalidated at the barrier: must re-fault
+      EXPECT_EQ(tmk.stats().read_faults, before + 1);
+    }
+    tmk.barrier(4);
+  });
+  EXPECT_EQ(second_read, 42);
+}
+
 TEST_P(TmkProtocolTest, LockMutualExclusionCounter) {
   constexpr int kN = 4;
   constexpr int kRounds = 25;
