@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "tmk/diff.hpp"
@@ -47,6 +48,24 @@ void BM_NodeHandoff(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_NodeHandoff)->UseRealTime();
+
+// Same loop with a tracer installed: the delta against BM_NodeHandoff is
+// the cost of emitting one structured record per quantum. (With no tracer,
+// tracing must cost one never-taken branch — BM_NodeHandoff guards that.)
+void BM_NodeHandoffTraced(benchmark::State& state) {
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    tracer.clear();
+    sim::Engine e;
+    e.set_tracer(&tracer);
+    e.add_node("n", [&](sim::Node& n) {
+      for (int i = 0; i < 1000; ++i) n.compute(10);
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NodeHandoffTraced)->UseRealTime();
 
 // 4 nodes computing in lockstep: every quantum ends at or after another
 // node's scheduled wake, so coalescing never applies and the semaphore

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # AddressSanitizer pass over the full test suite (slow; for CI / releases).
+# Configuration lives in CMakePresets.json ("asan" presets) so IDEs and CI
+# share the exact same flags.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
-      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -g"
-cmake --build build-asan
-ctest --test-dir build-asan --output-on-failure
+cmake --preset asan
+cmake --build --preset asan
+ctest --preset asan

@@ -10,6 +10,14 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Sanity: every report must carry the stable counter rollup; a missing
+# table means a layer silently stopped feeding the registry.
+if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report \
+    | grep -q '^counters:'; then
+  echo "error: counter table missing from the run report" >&2
+  exit 1
+fi
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/report.hpp"
 #include "gm/gm.hpp"
 #include "ib/verbs.hpp"
 #include "udpnet/udp.hpp"
@@ -38,13 +39,60 @@ void Latch::arrive_and_wait(sim::Node& node) {
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   TMKGM_CHECK(config_.n_procs >= 1);
+  TMKGM_CHECK_MSG(config_.n_procs <= sub::kMaxNodes,
+                  "n_procs " << config_.n_procs
+                             << " exceeds the substrate envelope's 8-bit "
+                                "origin field (max "
+                             << sub::kMaxNodes << ")");
 }
+
+namespace {
+
+/// Rolls the run's per-layer stats into the stable counter table. Names are
+/// "<layer>.<counter>" and only layers that were active appear.
+void fill_counters(RunResult& result, SubstrateKind kind) {
+  auto& c = result.counters;
+  c.add("net.messages", result.net.messages);
+  c.add("net.bytes", result.net.bytes);
+
+  sub::Substrate::Stats ss;
+  for (const auto& s : result.substrate_stats) {
+    ss.requests_sent += s.requests_sent;
+    ss.responses_sent += s.responses_sent;
+    ss.forwards_sent += s.forwards_sent;
+    ss.requests_handled += s.requests_handled;
+    ss.bytes_sent += s.bytes_sent;
+    ss.retransmits += s.retransmits;
+    ss.duplicates_dropped += s.duplicates_dropped;
+    ss.rendezvous += s.rendezvous;
+  }
+  c.add("sub.requests_sent", ss.requests_sent);
+  c.add("sub.responses_sent", ss.responses_sent);
+  c.add("sub.forwards_sent", ss.forwards_sent);
+  c.add("sub.requests_handled", ss.requests_handled);
+  c.add("sub.bytes_sent", ss.bytes_sent);
+  c.add("sub.retransmits", ss.retransmits);
+  c.add("sub.duplicates_dropped", ss.duplicates_dropped);
+  c.add("sub.rendezvous", ss.rendezvous);
+
+  if (kind == SubstrateKind::UdpGm) {
+    c.add("udp.datagrams_sent", result.udp.datagrams_sent);
+    c.add("udp.fragments_sent", result.udp.fragments_sent);
+    c.add("udp.datagrams_delivered", result.udp.datagrams_delivered);
+    c.add("udp.drops_overflow", result.udp.drops_overflow);
+    c.add("udp.drops_random", result.udp.drops_random);
+    c.add("udp.drops_unbound", result.udp.drops_unbound);
+  }
+}
+
+}  // namespace
 
 RunResult Cluster::run(const Program& program) {
   const int n = config_.n_procs;
   sim::Engine engine(config_.seed);
   if (config_.event_limit > 0) engine.set_event_limit(config_.event_limit);
   engine.set_compute_coalescing(config_.compute_coalescing);
+  engine.set_tracer(config_.tracer);
 
   RunResult result;
   result.node_finish.assign(static_cast<std::size_t>(n), 0);
@@ -127,6 +175,9 @@ RunResult Cluster::run(const Program& program) {
     case SubstrateKind::UdpGm:
       shared.udp = std::make_unique<udpnet::UdpSystem>(*shared.network,
                                                        config_.seed + 17);
+      if (config_.udp_drop_filter) {
+        shared.udp->set_drop_filter(config_.udp_drop_filter);
+      }
       shared.udpsub = std::make_unique<udpsub::UdpSubCluster>(*shared.udp,
                                                               config_.udpsub);
       break;
@@ -143,6 +194,8 @@ RunResult Cluster::run(const Program& program) {
       *std::max_element(result.node_finish.begin(), result.node_finish.end());
   result.events = engine.events_processed();
   result.net = shared.network->stats();
+  if (shared.udp != nullptr) result.udp = shared.udp->stats();
+  fill_counters(result, config_.kind);
   return result;
 }
 
@@ -179,6 +232,24 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
   result.duration = t1 - t0;
   result.node_finish = std::move(finished);
   result.tmk_stats = std::move(tmk_stats);
+
+  const tmk::TmkStats t = aggregate_tmk_stats(result);
+  auto& c = result.counters;
+  c.add("tmk.read_faults", t.read_faults);
+  c.add("tmk.write_faults", t.write_faults);
+  c.add("tmk.page_fetches", t.page_fetches);
+  c.add("tmk.diff_requests", t.diff_requests);
+  c.add("tmk.diffs_applied", t.diffs_applied);
+  c.add("tmk.diff_bytes_applied", t.diff_bytes_applied);
+  c.add("tmk.diffs_created", t.diffs_created);
+  c.add("tmk.diff_bytes_created", t.diff_bytes_created);
+  c.add("tmk.twins_created", t.twins_created);
+  c.add("tmk.invalidations", t.invalidations);
+  c.add("tmk.lock_acquires", t.lock_acquires);
+  c.add("tmk.lock_remote_acquires", t.lock_remote_acquires);
+  c.add("tmk.barriers", t.barriers);
+  c.add("tmk.intervals_created", t.intervals_created);
+  c.add("tmk.gc_rounds", t.gc_rounds);
   return result;
 }
 

@@ -24,8 +24,11 @@
 #include "ib/fastib.hpp"
 #include "net/cost_model.hpp"
 #include "net/network.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sub/substrate.hpp"
 #include "tmk/tmk.hpp"
+#include "udpnet/udp.hpp"
 #include "udpsub/udpsub.hpp"
 
 namespace tmkgm::cluster {
@@ -49,6 +52,14 @@ struct ClusterConfig {
   /// lets node compute() quanta advance virtual time without an engine
   /// handoff when no event intervenes. See Engine::set_compute_coalescing.
   bool compute_coalescing = true;
+  /// Structured event sink installed on the engine for the whole run; null
+  /// keeps tracing off (and zero-cost). The caller owns the tracer and
+  /// reads/exports it after run() returns.
+  obs::Tracer* tracer = nullptr;
+  /// Deterministic forced-loss seam forwarded to the UDP system (UdpGm
+  /// runs only); see udpnet::UdpSystem::set_drop_filter. For
+  /// retransmission/dedup regression tests.
+  udpnet::UdpSystem::DropFilter udp_drop_filter;
 };
 
 struct NodeEnv {
@@ -76,8 +87,13 @@ struct RunResult {
   net::Network::Stats net;
   std::vector<sub::Substrate::Stats> substrate_stats;
   std::size_t pinned_bytes_node0 = 0;
+  /// Kernel UDP stack totals (UdpGm runs only; zeros otherwise).
+  udpnet::UdpSystem::Stats udp;
   /// Per-node TreadMarks protocol stats (run_tmk only).
   std::vector<tmk::TmkStats> tmk_stats;
+  /// Cluster-wide rollup of every layer's counters, keyed
+  /// "<layer>.<counter>" — the report's stable "counters:" table.
+  obs::CounterRegistry counters;
 };
 
 /// Simulation-level barrier for harness sequencing (not a TreadMarks

@@ -75,6 +75,12 @@ std::string format_report(const ClusterConfig& config,
     if (t.gc_rounds > 0) os << ", " << t.gc_rounds << " GC rounds";
     os << "\n";
   }
+
+  // Stable machine-readable rollup; tooling greps for the "counters:"
+  // header (scripts/reproduce.sh fails a run whose report lacks it).
+  if (!result.counters.empty()) {
+    os << "counters:\n" << result.counters.format_table("  ");
+  }
   return os.str();
 }
 

@@ -187,6 +187,9 @@ void FastGmSubstrate::send_message(sub::MsgKind kind, int origin,
   const std::size_t total = sizeof(sub::Envelope) + payload;
   TMKGM_CHECK_MSG(total <= sub::kMaxMessage,
                   "message too large for the substrate: " << total);
+  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
+                  "origin " << origin
+                            << " does not fit the 8-bit envelope field");
 
   std::byte* buf = acquire_send_buffer();
   sub::Envelope env;
@@ -222,6 +225,7 @@ std::uint32_t FastGmSubstrate::send_request(
   const std::uint32_t seq = next_seq_++;
   const std::size_t payload = iov_length(iov);
   ++stats_.requests_sent;
+  trace(obs::Kind::Send, dst, seq, sizeof(sub::Envelope) + payload);
   if (config_.rendezvous_large &&
       sizeof(sub::Envelope) + payload > gm::max_length_for_size(12)) {
     start_rendezvous(sub::MsgKind::RtsRequest, node_id_, seq, dst, iov,
@@ -236,6 +240,7 @@ void FastGmSubstrate::forward(const sub::RequestCtx& ctx, int dst,
                               std::span<const sub::ConstBuf> iov) {
   ++stats_.forwards_sent;
   const std::size_t payload = iov_length(iov);
+  trace(obs::Kind::Forward, dst, ctx.seq, sizeof(sub::Envelope) + payload);
   if (config_.rendezvous_large &&
       sizeof(sub::Envelope) + payload > gm::max_length_for_size(12)) {
     start_rendezvous(sub::MsgKind::RtsRequest, ctx.origin, ctx.seq, dst, iov,
@@ -250,6 +255,8 @@ void FastGmSubstrate::respond(const sub::RequestCtx& ctx,
                               std::span<const sub::ConstBuf> iov) {
   ++stats_.responses_sent;
   const std::size_t payload = iov_length(iov);
+  trace(obs::Kind::Respond, ctx.origin, ctx.seq,
+        sizeof(sub::Envelope) + payload);
   if (config_.rendezvous_large &&
       sizeof(sub::Envelope) + payload > gm::max_length_for_size(12)) {
     start_rendezvous(sub::MsgKind::RtsResponse, node_id_, ctx.seq, ctx.origin,
@@ -265,8 +272,12 @@ void FastGmSubstrate::start_rendezvous(sub::MsgKind rts_kind, int origin,
                                        std::span<const sub::ConstBuf> iov,
                                        std::size_t payload_len) {
   ++stats_.rendezvous;
+  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
+                  "origin " << origin
+                            << " does not fit the 8-bit envelope field");
   const auto total =
       static_cast<std::uint32_t>(sizeof(sub::Envelope) + payload_len);
+  trace(obs::Kind::Rendezvous, dst, seq, total);
 
   // Prepare the data message now so the CTS handler (interrupt context)
   // can ship it without touching caller memory.
@@ -335,6 +346,7 @@ void FastGmSubstrate::handle_request_msg(const gm::RecvMsg& msg) {
   switch (static_cast<sub::MsgKind>(env.kind)) {
     case sub::MsgKind::Request: {
       ++stats_.requests_handled;
+      trace(obs::Kind::Recv, msg.sender_node, env.seq, msg.length);
       sub::RequestCtx ctx;
       ctx.src = msg.sender_node;
       ctx.origin = env.origin;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "gm/gm.hpp"
+#include "obs/trace.hpp"
 #include "sub/substrate.hpp"
 #include "util/time.hpp"
 
@@ -163,6 +164,20 @@ class FastGmSubstrate final : public sub::Substrate {
 
   int max_prepost_size() const {
     return config_.rendezvous_large ? 12 : gm::kMaxSize;
+  }
+
+  /// Substrate-level trace record; one load+branch when tracing is off.
+  void trace(obs::Kind kind, int peer, std::uint64_t a, std::uint64_t bytes) {
+    auto& engine = node_.engine();
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit({.t = node_.now(),
+                             .node = node_id_,
+                             .cat = obs::Cat::Sub,
+                             .kind = kind,
+                             .peer = peer,
+                             .a = a,
+                             .bytes = bytes});
+    }
   }
 
   gm::GmSystem& gm_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::gm {
@@ -118,6 +119,15 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
   TMKGM_CHECK_MSG(send_tokens_ > 0, "out of GM send tokens");
   --send_tokens_;
   ++stats_.sends;
+  if (engine.tracing()) [[unlikely]] {
+    engine.tracer()->emit({.t = engine.now(),
+                           .node = node_id(),
+                           .cat = obs::Cat::Gm,
+                           .kind = obs::Kind::GmSend,
+                           .peer = dest_node,
+                           .a = static_cast<std::uint64_t>(dest_port),
+                           .bytes = len});
+  }
 
   const auto& cost = nic_.system_.network().cost();
   nic_.node_.compute(cost.gm_host_send);
@@ -174,6 +184,15 @@ void Port::deliver(std::shared_ptr<Inbound> msg) {
   // Park behind any earlier arrivals of the same class (FIFO per size).
   ++stats_.parked;
   auto& engine = nic_.system_.network().engine();
+  if (engine.tracing()) [[unlikely]] {
+    engine.tracer()->emit({.t = engine.now(),
+                           .node = node_id(),
+                           .cat = obs::Cat::Gm,
+                           .kind = obs::Kind::GmParked,
+                           .peer = msg->sender_node,
+                           .a = static_cast<std::uint64_t>(port_id_),
+                           .bytes = msg->data.size()});
+  }
   Port* self = this;
   auto weak = std::weak_ptr<Inbound>(msg);
   msg->timeout = engine.after(
@@ -202,6 +221,16 @@ void Port::complete_into_buffer(Inbound& msg, void* buf) {
   out.sender_port = msg.sender_port;
   recv_queue_.push_back(out);
   ++stats_.receives;
+  auto& engine = nic_.system_.network().engine();
+  if (engine.tracing()) [[unlikely]] {
+    engine.tracer()->emit({.t = engine.now(),
+                           .node = node_id(),
+                           .cat = obs::Cat::Gm,
+                           .kind = obs::Kind::GmRecv,
+                           .peer = msg.sender_node,
+                           .a = static_cast<std::uint64_t>(port_id_),
+                           .bytes = out.length});
+  }
   msg.complete(Status::Ok);
   recv_cond_.signal();
   if (recv_irq_ >= 0) nic_.node_.raise_interrupt(recv_irq_);

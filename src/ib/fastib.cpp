@@ -125,6 +125,9 @@ void FastIbSubstrate::send_message(sub::MsgKind kind, int origin,
   for (const auto& b : iov) payload += b.len;
   const std::size_t total = sizeof(sub::Envelope) + payload;
   TMKGM_CHECK_MSG(total <= kSlot, "message too large: " << total);
+  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
+                  "origin " << origin
+                            << " does not fit the 8-bit envelope field");
 
   std::byte* buf = acquire_send_buffer();
   sub::Envelope env;
@@ -159,6 +162,9 @@ std::uint32_t FastIbSubstrate::send_request(
     int dst, std::span<const sub::ConstBuf> iov) {
   const std::uint32_t seq = next_seq_++;
   ++stats_.requests_sent;
+  std::size_t payload = 0;
+  for (const auto& b : iov) payload += b.len;
+  trace(obs::Kind::Send, dst, seq, sizeof(sub::Envelope) + payload);
   send_message(sub::MsgKind::Request, node_id_, seq, dst, iov);
   return seq;
 }
@@ -166,12 +172,19 @@ std::uint32_t FastIbSubstrate::send_request(
 void FastIbSubstrate::forward(const sub::RequestCtx& ctx, int dst,
                               std::span<const sub::ConstBuf> iov) {
   ++stats_.forwards_sent;
+  std::size_t payload = 0;
+  for (const auto& b : iov) payload += b.len;
+  trace(obs::Kind::Forward, dst, ctx.seq, sizeof(sub::Envelope) + payload);
   send_message(sub::MsgKind::Request, ctx.origin, ctx.seq, dst, iov);
 }
 
 void FastIbSubstrate::respond(const sub::RequestCtx& ctx,
                               std::span<const sub::ConstBuf> iov) {
   ++stats_.responses_sent;
+  std::size_t payload = 0;
+  for (const auto& b : iov) payload += b.len;
+  trace(obs::Kind::Respond, ctx.origin, ctx.seq,
+        sizeof(sub::Envelope) + payload);
   send_message(sub::MsgKind::Response, node_id_, ctx.seq, ctx.origin, iov);
 }
 
@@ -187,6 +200,7 @@ void FastIbSubstrate::handle_request_msg(const Completion& c) {
   std::memcpy(&env, c.buffer, sizeof(env));
   TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Request);
   ++stats_.requests_handled;
+  trace(obs::Kind::Recv, c.peer, env.seq, c.byte_len);
   sub::RequestCtx ctx;
   ctx.src = c.peer;
   ctx.origin = env.origin;

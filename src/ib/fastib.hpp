@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ib/verbs.hpp"
+#include "obs/trace.hpp"
 #include "sub/substrate.hpp"
 
 namespace tmkgm::ib {
@@ -97,6 +98,20 @@ class FastIbSubstrate final : public sub::Substrate {
   void release_send_buffer(std::byte* buf);
   void send_message(sub::MsgKind kind, int origin, std::uint32_t seq, int dst,
                     std::span<const sub::ConstBuf> iov);
+
+  /// Substrate-level trace record; one load+branch when tracing is off.
+  void trace(obs::Kind kind, int peer, std::uint64_t a, std::uint64_t bytes) {
+    auto& engine = node_.engine();
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit({.t = node_.now(),
+                             .node = node_id_,
+                             .cat = obs::Cat::Sub,
+                             .kind = kind,
+                             .peer = peer,
+                             .a = a,
+                             .bytes = bytes});
+    }
+  }
 
   FastIbCluster& cluster_;
   const int node_id_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::net {
@@ -43,6 +44,16 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
 
   ++stats_.messages;
   stats_.bytes += bytes;
+
+  if (engine_.tracing()) [[unlikely]] {
+    engine_.tracer()->emit({.t = now,
+                            .dur = rx_start + rx_occ - now,
+                            .node = src,
+                            .cat = obs::Cat::Net,
+                            .kind = obs::Kind::NetMsg,
+                            .peer = dst,
+                            .bytes = bytes});
+  }
 
   engine_.at(rx_start + rx_occ, std::move(on_delivered));
 }

@@ -1,0 +1,39 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+
+namespace tmkgm::obs {
+
+void CounterRegistry::add(std::string_view name, std::uint64_t v) {
+  auto it = rows_.find(name);
+  if (it == rows_.end()) {
+    rows_.emplace(std::string(name), v);
+  } else {
+    it->second += v;
+  }
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const {
+  auto it = rows_.find(name);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+bool CounterRegistry::contains(std::string_view name) const {
+  return rows_.find(name) != rows_.end();
+}
+
+std::string CounterRegistry::format_table(std::string_view indent) const {
+  std::size_t width = 0;
+  for (const auto& [name, v] : rows_) width = std::max(width, name.size());
+  std::string out;
+  for (const auto& [name, v] : rows_) {
+    out += indent;
+    out += name;
+    out.append(width - name.size() + 2, ' ');
+    out += std::to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tmkgm::obs

@@ -1,0 +1,39 @@
+// Counter registry: named monotonic counters rolled up from every layer's
+// stats structs (substrate, fabric, UDP stack, TreadMarks) into one stable
+// table attached to cluster::RunResult. Names are dotted paths
+// ("sub.retransmits", "udp.drops_overflow"); iteration order is the sorted
+// name order, so the formatted table is byte-stable for a given run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tmkgm::obs {
+
+class CounterRegistry {
+ public:
+  /// Adds `v` to counter `name` (creating it at zero).
+  void add(std::string_view name, std::uint64_t v);
+
+  /// Current value, or 0 for a counter never touched.
+  std::uint64_t value(std::string_view name) const;
+
+  bool contains(std::string_view name) const;
+  bool empty() const { return rows_.empty(); }
+  std::size_t size() const { return rows_.size(); }
+
+  const std::map<std::string, std::uint64_t, std::less<>>& rows() const {
+    return rows_;
+  }
+
+  /// Name-sorted fixed-layout table, one "<name> <value>" line per
+  /// counter, each prefixed with `indent`.
+  std::string format_table(std::string_view indent = "") const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> rows_;
+};
+
+}  // namespace tmkgm::obs

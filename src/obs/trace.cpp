@@ -1,0 +1,139 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace tmkgm::obs {
+
+const char* to_string(Cat cat) {
+  switch (cat) {
+    case Cat::Node: return "node";
+    case Cat::Net: return "net";
+    case Cat::Gm: return "gm";
+    case Cat::Udp: return "udp";
+    case Cat::Sub: return "sub";
+    case Cat::Tmk: return "tmk";
+  }
+  return "?";
+}
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::Compute: return "compute";
+    case Kind::Interrupt: return "interrupt";
+    case Kind::NetMsg: return "net_msg";
+    case Kind::GmSend: return "gm_send";
+    case Kind::GmRecv: return "gm_recv";
+    case Kind::GmParked: return "gm_parked";
+    case Kind::UdpSend: return "udp_send";
+    case Kind::UdpDeliver: return "udp_deliver";
+    case Kind::UdpDrop: return "udp_drop";
+    case Kind::Send: return "send";
+    case Kind::Forward: return "forward";
+    case Kind::Respond: return "respond";
+    case Kind::Recv: return "recv";
+    case Kind::Retransmit: return "retransmit";
+    case Kind::Duplicate: return "duplicate";
+    case Kind::Rendezvous: return "rendezvous";
+    case Kind::ReadFault: return "read_fault";
+    case Kind::WriteFault: return "write_fault";
+    case Kind::PageFetch: return "page_fetch";
+    case Kind::DiffRequest: return "diff_request";
+    case Kind::DiffCreate: return "diff_create";
+    case Kind::DiffApply: return "diff_apply";
+    case Kind::TwinCreate: return "twin_create";
+    case Kind::Invalidate: return "invalidate";
+    case Kind::Interval: return "interval";
+    case Kind::LockAcquire: return "lock_acquire";
+    case Kind::LockGrant: return "lock_grant";
+    case Kind::LockRelease: return "lock_release";
+    case Kind::Barrier: return "barrier";
+    case Kind::GcRound: return "gc_round";
+  }
+  return "?";
+}
+
+KindTotals Tracer::totals(Cat cat, Kind kind) const {
+  KindTotals t;
+  for (const auto& e : events_) {
+    if (e.cat == cat && e.kind == kind) {
+      ++t.count;
+      t.bytes += e.bytes;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Virtual nanoseconds as fixed-point microseconds ("12.345"); integer
+/// arithmetic only, so the rendering is deterministic across hosts.
+void append_us(std::string& out, SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Process metadata: one "process" per simulated node.
+  std::int32_t max_node = -1;
+  for (const auto& e : events) max_node = std::max(max_node, e.node);
+  for (std::int32_t n = 0; n <= max_node; ++n) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << n
+       << ",\"tid\":0,\"args\":{\"name\":\"node " << n << "\"}}";
+  }
+
+  std::string line;
+  for (const auto& e : events) {
+    sep();
+    line.clear();
+    line += "{\"name\":\"";
+    line += to_string(e.kind);
+    line += "\",\"cat\":\"";
+    line += to_string(e.cat);
+    line += "\",\"pid\":";
+    line += std::to_string(e.node);
+    line += ",\"tid\":";
+    line += std::to_string(static_cast<int>(e.cat));
+    line += ",\"ts\":";
+    append_us(line, e.t);
+    if (e.dur > 0) {
+      line += ",\"ph\":\"X\",\"dur\":";
+      append_us(line, e.dur);
+    } else {
+      line += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    line += ",\"args\":{\"peer\":";
+    line += std::to_string(e.peer);
+    line += ",\"a\":";
+    line += std::to_string(e.a);
+    line += ",\"bytes\":";
+    line += std::to_string(e.bytes);
+    line += "}}";
+    os << line;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+}  // namespace tmkgm::obs

@@ -1,0 +1,130 @@
+// Structured, deterministic event tracing for the whole simulated stack.
+//
+// Every layer — the engine's nodes, the fabric, GM, the kernel UDP stack,
+// the substrates and TreadMarks itself — emits typed records into one
+// per-run Tracer owned by the caller. Records carry only virtual time and
+// simulation-defined identifiers (node, peer, page, seq, byte counts), so
+// a trace is a pure function of the run configuration: same seed, same
+// bytes. The Chrome trace_event exporter below turns a trace into JSON
+// that loads directly in chrome://tracing or Perfetto.
+//
+// Emission is guarded at every site by `if (engine.tracing())` on a raw
+// pointer, so a run without a tracer pays one load+branch per would-be
+// record and nothing else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tmkgm::obs {
+
+/// Which layer of the stack emitted a record.
+enum class Cat : std::uint8_t {
+  Node,  ///< simulated CPU: compute slices, interrupt deliveries
+  Net,   ///< fabric: NIC-to-NIC transfers
+  Gm,    ///< GM ports: sends, receives, parked arrivals
+  Udp,   ///< kernel UDP stack: datagrams sent / delivered / dropped
+  Sub,   ///< substrate messages (FAST/GM, UDP/GM or FAST/IB)
+  Tmk,   ///< TreadMarks protocol actions
+};
+inline constexpr int kNumCats = 6;
+
+enum class Kind : std::uint8_t {
+  // Cat::Node
+  Compute,    ///< a CPU slice; dur = slice length
+  Interrupt,  ///< handler delivery; a = irq id
+  // Cat::Net
+  NetMsg,  ///< one fabric transfer; dur = tx start to rx done, peer = dst
+  // Cat::Gm
+  GmSend,    ///< a = dest port
+  GmRecv,    ///< a = receiving port
+  GmParked,  ///< arrival waiting for a receive buffer
+  // Cat::Udp — a = drop reason for UdpDrop (see kDrop* below)
+  UdpSend,
+  UdpDeliver,
+  UdpDrop,
+  // Cat::Sub — a = request seq
+  Send,        ///< new request
+  Forward,     ///< forwarded request
+  Respond,     ///< response
+  Recv,        ///< request handled
+  Retransmit,  ///< UDP/GM timeout resend
+  Duplicate,   ///< duplicate suppressed (possibly replaying a response)
+  Rendezvous,  ///< FAST/GM large-message RTS
+  // Cat::Tmk — a = page / lock / barrier id as appropriate
+  ReadFault,
+  WriteFault,
+  PageFetch,
+  DiffRequest,
+  DiffCreate,
+  DiffApply,
+  TwinCreate,
+  Invalidate,
+  Interval,
+  LockAcquire,
+  LockGrant,
+  LockRelease,
+  Barrier,
+  GcRound,
+};
+
+/// Drop reasons carried in TraceEvent::a for Kind::UdpDrop.
+inline constexpr std::uint64_t kDropOverflow = 0;
+inline constexpr std::uint64_t kDropRandom = 1;
+inline constexpr std::uint64_t kDropUnbound = 2;
+
+const char* to_string(Cat cat);
+const char* to_string(Kind kind);
+
+struct TraceEvent {
+  SimTime t = 0;    ///< virtual start time
+  SimTime dur = 0;  ///< 0 = instantaneous
+  std::int32_t node = -1;
+  Cat cat = Cat::Node;
+  Kind kind = Kind::Compute;
+  std::int32_t peer = -1;  ///< other node involved, or -1
+  std::uint64_t a = 0;     ///< kind-specific id (seq, page, lock, irq, ...)
+  std::uint64_t bytes = 0;
+};
+
+struct KindTotals {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Append-only event sink. All emission happens under the engine's baton
+/// (exactly one runnable context at a time), so no locking is needed and
+/// event order is deterministic.
+class Tracer {
+ public:
+  void emit(const TraceEvent& e) { events_.push_back(e); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Count/byte rollup over all records of (cat, kind).
+  KindTotals totals(Cat cat, Kind kind) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Writes `events` as Chrome trace_event JSON: one process per node, one
+/// thread lane per category, "X" complete events for records with a
+/// duration and thread-scoped "i" instants otherwise. Output is
+/// byte-deterministic: timestamps are fixed-point microseconds rendered
+/// with integer arithmetic, and no host state enters the file.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events);
+
+/// write_chrome_trace into a string.
+std::string chrome_trace_json(std::span<const TraceEvent> events);
+
+}  // namespace tmkgm::obs

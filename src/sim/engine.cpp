@@ -118,12 +118,4 @@ void Engine::rethrow_node_failure() {
   }
 }
 
-void Engine::set_trace(std::function<void(SimTime, const std::string&)> hook) {
-  trace_hook_ = std::move(hook);
-}
-
-void Engine::trace(const std::string& msg) {
-  if (trace_hook_) trace_hook_(now_, msg);
-}
-
 }  // namespace tmkgm::sim

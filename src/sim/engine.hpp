@@ -26,6 +26,10 @@
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
+namespace tmkgm::obs {
+class Tracer;
+}
+
 namespace tmkgm::sim {
 
 class Node;
@@ -83,10 +87,12 @@ class Engine {
   void set_compute_coalescing(bool on) { compute_coalescing_ = on; }
   bool compute_coalescing() const { return compute_coalescing_; }
 
-  /// Debug trace hook; trace() is cheap when no hook is installed.
-  void set_trace(std::function<void(SimTime, const std::string&)> hook);
-  void trace(const std::string& msg);
-  bool tracing() const { return trace_hook_ != nullptr; }
+  /// Structured trace sink (obs/trace.hpp); null = tracing off. Emit
+  /// sites across the stack guard on tracing(), which costs one pointer
+  /// load and a never-taken branch when no tracer is installed.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+  bool tracing() const { return tracer_ != nullptr; }
 
  private:
   friend class Node;
@@ -126,7 +132,7 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::uint64_t event_limit_ = 0;
   std::exception_ptr node_failure_;
-  std::function<void(SimTime, const std::string&)> trace_hook_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace tmkgm::sim

@@ -1,5 +1,6 @@
 #include "sim/node.hpp"
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::sim {
@@ -60,7 +61,19 @@ void Node::compute(SimTime dur) {
   // run while we hold the baton, so nothing new can arrive mid-quantum)
   // and no event scheduled inside the quantum, advance virtual time in
   // place and skip the two context switches of the wake-event handoff.
-  if (pending_irqs_.empty() && engine_.try_advance_inline(*this, dur)) return;
+  if (pending_irqs_.empty()) {
+    const SimTime start = engine_.now();
+    if (engine_.try_advance_inline(*this, dur)) {
+      if (engine_.tracing()) [[unlikely]] {
+        engine_.tracer()->emit({.t = start,
+                                .dur = dur,
+                                .node = id_,
+                                .cat = obs::Cat::Node,
+                                .kind = obs::Kind::Compute});
+      }
+      return;
+    }
+  }
   SimTime remaining = dur;
   while (remaining > 0) {
     const SimTime slice_start = engine_.now();
@@ -70,12 +83,22 @@ void Node::compute(SimTime dur) {
     state_ = State::BlockedCompute;
     const auto reason = yield_to_engine();
     state_ = State::Running;
+    // One trace record per completed CPU slice, so an interrupted compute
+    // shows up as slices separated by the handler's own records.
+    const SimTime consumed = engine_.now() - slice_start;
+    if (consumed > 0 && engine_.tracing()) [[unlikely]] {
+      engine_.tracer()->emit({.t = slice_start,
+                              .dur = consumed,
+                              .node = id_,
+                              .cat = obs::Cat::Node,
+                              .kind = obs::Kind::Compute});
+    }
     if (reason == Engine::Resume::ComputeDone) {
       remaining = 0;
     } else {
       TMKGM_CHECK(reason == Engine::Resume::Interrupt);
       compute_wake_.cancel();
-      remaining -= engine_.now() - slice_start;
+      remaining -= consumed;
       drain_interrupts();
     }
   }
@@ -129,6 +152,13 @@ void Node::drain_interrupts() {
   while (!pending_irqs_.empty()) {
     const int irq = pending_irqs_.front();
     pending_irqs_.pop_front();
+    if (engine_.tracing()) [[unlikely]] {
+      engine_.tracer()->emit({.t = engine_.now(),
+                              .node = id_,
+                              .cat = obs::Cat::Node,
+                              .kind = obs::Kind::Interrupt,
+                              .a = static_cast<std::uint64_t>(irq)});
+    }
     in_handler_ = true;
     ++mask_depth_;  // handlers run with interrupts masked, like SIGIO
     handlers_[static_cast<std::size_t>(irq)]();

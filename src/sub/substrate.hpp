@@ -37,6 +37,12 @@ struct ConstBuf {
 /// Largest message TreadMarks can send (GM size class 15, per the paper).
 inline constexpr std::size_t kMaxMessage = 32760;
 
+/// Envelope::origin travels as a std::uint8_t, so node ids above 255 would
+/// silently alias. Every pack site checks against this bound so a run past
+/// the 256-node future-scale sweep fails loudly instead of corrupting
+/// request routing.
+inline constexpr int kMaxNodes = 256;
+
 struct Envelope;  // below
 
 /// Largest payload once the 8-byte on-wire envelope is accounted for.

@@ -189,6 +189,7 @@ void Tmk::ensure_write_slow(GlobalPtr ptr, std::size_t len) {
 
 void Tmk::read_fault(PageId page) {
   ++stats_.read_faults;
+  trace(obs::Kind::ReadFault, -1, page);
   charge_fault();
   PageState& st = state_of(page);
   if (mode_[page] == PageMode::Unmapped) fetch_page(page);
@@ -200,6 +201,7 @@ void Tmk::read_fault(PageId page) {
 
 void Tmk::write_fault(PageId page) {
   ++stats_.write_faults;
+  trace(obs::Kind::WriteFault, -1, page);
   charge_fault();
   PageState& st = state_of(page);
   if (mode_[page] == PageMode::Unmapped) fetch_page(page);
@@ -218,6 +220,7 @@ void Tmk::write_fault(PageId page) {
     st.twin_is_pending_diff = false;
     std::memcpy(st.twin.get(), page_base(page), config_.page_size);
     ++stats_.twins_created;
+    trace(obs::Kind::TwinCreate, -1, page, config_.page_size);
     dirty_pages_.push_back(page);
   }
   set_mode(page, PageMode::ReadWrite);
@@ -233,6 +236,7 @@ void Tmk::fetch_page(PageId page) {
     return;
   }
   ++stats_.page_fetches;
+  trace(obs::Kind::PageFetch, mgr, page, config_.page_size);
   WireWriter w;
   w.put(Op::PageRequest);
   w.put<std::uint32_t>(page);
@@ -292,6 +296,7 @@ void Tmk::fetch_diffs(PageId page) {
     w.put<std::uint32_t>(from);
     w.put<std::uint32_t>(to);
     ++stats_.diff_requests;
+    trace(obs::Kind::DiffRequest, proc, page);
     return substrate_.send_request(proc, w.bytes());
   };
 
@@ -371,6 +376,7 @@ void Tmk::apply_one_diff(PageId page, int proc, std::uint32_t vt,
   st.applied[static_cast<std::size_t>(proc)] = vt;
   ++stats_.diffs_applied;
   stats_.diff_bytes_applied += diff.size();
+  trace(obs::Kind::DiffApply, proc, page, diff.size());
 }
 
 void Tmk::encode_pending_diff(PageId page) {
@@ -396,6 +402,7 @@ void Tmk::encode_pending_diff(PageId page) {
       std::make_shared<const std::vector<std::byte>>(std::move(bytes));
   ++stats_.diffs_created;
   stats_.diff_bytes_created += shared->size();
+  trace(obs::Kind::DiffCreate, -1, page, shared->size());
   const auto first_vt = st.pending_vts.front();
   const auto& mine = intervals_[static_cast<std::size_t>(proc_id())];
   for (auto vt : st.pending_vts) {
@@ -444,6 +451,7 @@ bool Tmk::close_interval() {
   intervals_[static_cast<std::size_t>(proc_id())][vt] = std::move(rec);
   dirty_pages_.clear();
   ++stats_.intervals_created;
+  trace(obs::Kind::Interval, -1, vt);
   substrate_.unmask_async();
   return true;
 }
@@ -461,6 +469,7 @@ void Tmk::incorporate_interval(IntervalRecord rec) {
         mode_[page] == PageMode::ReadWrite) {
       set_mode(page, PageMode::Invalid);
       ++stats_.invalidations;
+      trace(obs::Kind::Invalidate, rec.proc, page);
     }
   }
   vc_[rec.proc] = std::max(vc_[rec.proc], rec.vt);
@@ -540,6 +549,7 @@ void Tmk::unpack_intervals(WireReader& r) {
 void Tmk::lock_acquire(int lock) {
   TMKGM_CHECK(lock >= 0 && lock < config_.n_locks);
   ++stats_.lock_acquires;
+  trace(obs::Kind::LockAcquire, -1, static_cast<std::uint64_t>(lock));
   LockState& L = locks_[static_cast<std::size_t>(lock)];
   TMKGM_CHECK_MSG(!L.held, "recursive lock acquire");
   if (L.owned) {
@@ -580,6 +590,7 @@ void Tmk::lock_release(int lock) {
   TMKGM_CHECK(lock >= 0 && lock < config_.n_locks);
   LockState& L = locks_[static_cast<std::size_t>(lock)];
   TMKGM_CHECK_MSG(L.held && L.owned, "releasing a lock we do not hold");
+  trace(obs::Kind::LockRelease, -1, static_cast<std::uint64_t>(lock));
   close_interval();
   L.held = false;
   if (!L.successor.has_value()) return;  // keep the token until asked
@@ -594,7 +605,7 @@ void Tmk::lock_release(int lock) {
 
 void Tmk::grant_lock(int lock, const sub::RequestCtx& to,
                      const VectorClock& their_vc) {
-  (void)lock;
+  trace(obs::Kind::LockGrant, to.origin, static_cast<std::uint64_t>(lock));
   WireWriter w;
   w.put<std::uint8_t>(0);  // more flag, patched below
   w.put<std::uint8_t>(static_cast<std::uint8_t>(proc_id()));
@@ -610,6 +621,7 @@ void Tmk::grant_lock(int lock, const sub::RequestCtx& to,
 void Tmk::barrier(int id) {
   TMKGM_CHECK(id >= 0 && id < config_.n_barriers);
   ++stats_.barriers;
+  trace(obs::Kind::Barrier, -1, static_cast<std::uint64_t>(id));
   if (n_procs() == 1) return;  // nothing to synchronize or publish
   close_interval();
 
@@ -721,6 +733,7 @@ void Tmk::run_gc_validate_phase() {
   // Phase 1: validate every invalid page so no diff older than this epoch
   // can ever be requested again (see DESIGN.md).
   ++stats_.gc_rounds;
+  trace(obs::Kind::GcRound, -1, gc_floor_epoch_);
   for (PageId p = 0; p < n_pages_; ++p) {
     if (mode_[p] == PageMode::Invalid) read_fault(p);
   }

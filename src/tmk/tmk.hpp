@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "net/cost_model.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 #include "sub/substrate.hpp"
 #include "util/check.hpp"
@@ -294,6 +295,21 @@ class Tmk {
 
   void charge_mem(std::size_t bytes);
   void charge_fault();
+
+  /// Protocol-level trace record; one load+branch when tracing is off.
+  void trace(obs::Kind kind, int peer = -1, std::uint64_t a = 0,
+             std::uint64_t bytes = 0) {
+    auto& engine = node_.engine();
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit({.t = node_.now(),
+                             .node = proc_id(),
+                             .cat = obs::Cat::Tmk,
+                             .kind = kind,
+                             .peer = peer,
+                             .a = a,
+                             .bytes = bytes});
+    }
+  }
 
   sim::Node& node_;
   sub::Substrate& substrate_;

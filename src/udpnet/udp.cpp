@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::udpnet {
@@ -89,6 +90,19 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
   ++system_.stats_.datagrams_sent;
   system_.stats_.fragments_sent += nfrag;
 
+  auto& engine = system_.network().engine();
+  if (engine.tracing()) [[unlikely]] {
+    engine.tracer()->emit({.t = engine.now(),
+                           .node = node_.id(),
+                           .cat = obs::Cat::Udp,
+                           .kind = obs::Kind::UdpSend,
+                           .peer = dst_node,
+                           .a = static_cast<std::uint64_t>(dst_port),
+                           .bytes = len});
+  }
+  const bool forced = system_.drop_filter_ != nullptr &&
+                      system_.drop_filter_(node_.id(), dst_node, dst_port, len);
+
   Datagram dg;
   dg.src_node = node_.id();
   dg.src_port = src_sock.udp_port;
@@ -100,9 +114,21 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
   }
 
   UdpStack& dst = system_.stack(dst_node);
-  auto& engine = system_.network().engine();
 
   if (dst_node == node_.id()) {
+    if (forced) {
+      ++system_.stats_.drops_random;
+      if (engine.tracing()) [[unlikely]] {
+        engine.tracer()->emit({.t = engine.now(),
+                               .node = node_.id(),
+                               .cat = obs::Cat::Udp,
+                               .kind = obs::Kind::UdpDrop,
+                               .peer = node_.id(),
+                               .a = obs::kDropRandom,
+                               .bytes = len});
+      }
+      return;
+    }
     // Loopback: no fabric, just kernel dispatch.
     engine.after(cost.k_rx_interrupt,
                  [&dst, dst_port, dg = std::move(dg)]() mutable {
@@ -120,7 +146,8 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
   auto shared_dg = std::make_shared<Datagram>(std::move(dg));
   for (std::size_t f = 0; f < nfrag; ++f) {
     const std::size_t frag_len = std::min(mtu, len - f * mtu);
-    const bool dropped = system_.rng_.next_bool(cost.k_drop_prob);
+    const bool dropped =
+        (f == 0 && forced) || system_.rng_.next_bool(cost.k_drop_prob);
     system_.network().transfer(
         node_.id(), dst_node, frag_len + kUdpIpHeader,
         [&dst, key, nfrag, dropped, dst_port, shared_dg, frag_len] {
@@ -147,6 +174,16 @@ void UdpStack::fragment_arrived(std::uint64_t key, std::size_t total,
   if (dropped) {
     re.poisoned = true;
     ++system_.stats_.drops_random;
+    auto& engine = system_.network().engine();
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit({.t = engine.now(),
+                             .node = node_.id(),
+                             .cat = obs::Cat::Udp,
+                             .kind = obs::Kind::UdpDrop,
+                             .peer = dg->src_node,
+                             .a = obs::kDropRandom,
+                             .bytes = dg->payload.size()});
+    }
   }
   if (re.fragments_arrived < re.fragments_expected) return;
   const bool poisoned = re.poisoned;
@@ -156,9 +193,22 @@ void UdpStack::fragment_arrived(std::uint64_t key, std::size_t total,
 }
 
 void UdpStack::deliver_datagram(int dst_port, Datagram&& dg) {
+  auto& engine = system_.network().engine();
+  auto trace_drop = [&](std::uint64_t reason) {
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit({.t = engine.now(),
+                             .node = node_.id(),
+                             .cat = obs::Cat::Udp,
+                             .kind = obs::Kind::UdpDrop,
+                             .peer = dg.src_node,
+                             .a = reason,
+                             .bytes = dg.payload.size()});
+    }
+  };
   auto it = port_to_socket_.find(dst_port);
   if (it == port_to_socket_.end()) {
     ++system_.stats_.drops_unbound;
+    trace_drop(obs::kDropUnbound);
     return;
   }
   Socket& sk = sock(it->second);
@@ -166,7 +216,17 @@ void UdpStack::deliver_datagram(int dst_port, Datagram&& dg) {
       static_cast<std::uint32_t>(dg.payload.size()) + kSkbOverhead;
   if (sk.queued_bytes + bytes > sk.rcvbuf) {
     ++system_.stats_.drops_overflow;
+    trace_drop(obs::kDropOverflow);
     return;
+  }
+  if (engine.tracing()) [[unlikely]] {
+    engine.tracer()->emit({.t = engine.now(),
+                           .node = node_.id(),
+                           .cat = obs::Cat::Udp,
+                           .kind = obs::Kind::UdpDeliver,
+                           .peer = dg.src_node,
+                           .a = static_cast<std::uint64_t>(dst_port),
+                           .bytes = dg.payload.size()});
   }
   sk.queued_bytes += bytes;
   sk.queue.push_back(std::move(dg));

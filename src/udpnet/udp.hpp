@@ -61,12 +61,22 @@ class UdpSystem {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Test seam: deterministic forced loss. Evaluated once per datagram on
+  /// the send path, before the random-loss roll; returning true loses the
+  /// whole datagram (counted under drops_random, like the random knob).
+  /// Lets retransmission/dedup regression tests make a *specific* message
+  /// vanish instead of fishing with k_drop_prob.
+  using DropFilter = std::function<bool(int src_node, int dst_node,
+                                        int dst_port, std::size_t len)>;
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
  private:
   friend class UdpStack;
   net::Network& network_;
   Rng rng_;
   std::vector<std::unique_ptr<UdpStack>> stacks_;
   Stats stats_;
+  DropFilter drop_filter_;
 };
 
 /// Per-node socket layer. All calls must run in the owning node's context.

@@ -58,6 +58,9 @@ std::vector<std::byte> UdpSubstrate::pack(
   for (const auto& b : iov) len += b.len;
   TMKGM_CHECK_MSG(len <= sub::kMaxMessage,
                   "message too large for the substrate: " << len);
+  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
+                  "origin " << origin
+                            << " does not fit the 8-bit envelope field");
   std::vector<std::byte> out(len);
   sub::Envelope env;
   env.kind = static_cast<std::uint8_t>(kind);
@@ -78,6 +81,7 @@ std::uint32_t UdpSubstrate::send_request(int dst,
   auto dg = pack(sub::MsgKind::Request, node_id_, seq, iov);
   ++stats_.requests_sent;
   stats_.bytes_sent += dg.size();
+  trace(obs::Kind::Send, dst, seq, dg.size());
   stack_.sendto(req_sock_, dg.data(), dg.size(), dst,
                 config_.request_udp_port);
   Outstanding o;
@@ -94,11 +98,11 @@ void UdpSubstrate::forward(const sub::RequestCtx& ctx, int dst,
   auto dg = pack(sub::MsgKind::Request, ctx.origin, ctx.seq, iov);
   ++stats_.forwards_sent;
   stats_.bytes_sent += dg.size();
+  trace(obs::Kind::Forward, dst, ctx.seq, dg.size());
   stack_.sendto(req_sock_, dg.data(), dg.size(), dst,
                 config_.request_udp_port);
-  auto it = dedup_.find(ctx.origin);
-  if (it != dedup_.end() && it->second.seq == ctx.seq) {
-    it->second.outcome = Outcome::Forwarded;
+  if (DedupEntry* entry = dedup_find(ctx.origin, ctx.seq)) {
+    entry->outcome = Outcome::Forwarded;
   }
 }
 
@@ -107,13 +111,25 @@ void UdpSubstrate::respond(const sub::RequestCtx& ctx,
   auto dg = pack(sub::MsgKind::Response, node_id_, ctx.seq, iov);
   ++stats_.responses_sent;
   stats_.bytes_sent += dg.size();
+  trace(obs::Kind::Respond, ctx.origin, ctx.seq, dg.size());
   stack_.sendto(rep_sock_, dg.data(), dg.size(), ctx.origin,
                 config_.reply_udp_port);
-  auto it = dedup_.find(ctx.origin);
-  if (it != dedup_.end() && it->second.seq == ctx.seq) {
-    it->second.outcome = Outcome::Responded;
-    it->second.cached_response = std::move(dg);
+  if (DedupEntry* entry = dedup_find(ctx.origin, ctx.seq)) {
+    entry->outcome = Outcome::Responded;
+    entry->cached_response = std::move(dg);
+    // The recorded request existed only to re-drive a forward; once a
+    // response is cached it is stale state — drop it.
+    entry->raw_request.clear();
+    entry->raw_request.shrink_to_fit();
   }
+}
+
+UdpSubstrate::DedupEntry* UdpSubstrate::dedup_find(int origin,
+                                                   std::uint32_t seq) {
+  auto oit = dedup_.find(origin);
+  if (oit == dedup_.end()) return nullptr;
+  auto eit = oit->second.find(seq);
+  return eit == oit->second.end() ? nullptr : &eit->second;
 }
 
 void UdpSubstrate::on_sigio() {
@@ -132,19 +148,19 @@ void UdpSubstrate::dispatch_request(const udpnet::Datagram& dg) {
   TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Request);
   const int origin = env.origin;
 
-  auto it = dedup_.find(origin);
-  if (it != dedup_.end()) {
-    DedupEntry& entry = it->second;
-    if (env.seq < entry.seq) {
-      ++stats_.duplicates_dropped;  // stale straggler
-      return;
-    }
-    if (env.seq == entry.seq) {
+  auto oit = dedup_.find(origin);
+  if (oit != dedup_.end()) {
+    DedupWindow& window = oit->second;
+    auto eit = window.find(env.seq);
+    if (eit != window.end()) {
+      DedupEntry& entry = eit->second;
       switch (entry.outcome) {
         case Outcome::Responded:
           // The response was lost: replay the cached one (at-most-once).
           ++stats_.duplicates_dropped;
           stats_.bytes_sent += entry.cached_response.size();
+          trace(obs::Kind::Duplicate, dg.src_node, env.seq,
+                entry.cached_response.size());
           stack_.sendto(rep_sock_, entry.cached_response.data(),
                         entry.cached_response.size(), origin,
                         config_.reply_udp_port);
@@ -154,11 +170,15 @@ void UdpSubstrate::dispatch_request(const udpnet::Datagram& dg) {
           // Response still being prepared (held lock / barrier in
           // progress); the origin will hear from us eventually.
           ++stats_.duplicates_dropped;
+          trace(obs::Kind::Duplicate, dg.src_node, env.seq,
+                dg.payload.size());
           return;
         case Outcome::Forwarded: {
           // A downstream response may have died; re-drive the chain by
           // re-running the handler on the recorded request.
           ++stats_.duplicates_dropped;
+          trace(obs::Kind::Duplicate, dg.src_node, env.seq,
+                dg.payload.size());
           std::vector<std::byte> raw = entry.raw_request;
           std::span<const std::byte> payload(raw.data() + sizeof(env),
                                              raw.size() - sizeof(env));
@@ -167,7 +187,24 @@ void UdpSubstrate::dispatch_request(const udpnet::Datagram& dg) {
         }
       }
     }
+    if (window.size() >= static_cast<std::size_t>(config_.dedup_window) &&
+        env.seq < window.begin()->first) {
+      // Entries are only ever removed by pruning a FULL window, so a seq
+      // below a full window's floor was handled and pruned long ago: the
+      // origin has since issued a window's worth of newer requests to us.
+      // A straggler — drop it. (If the window is not full, nothing was
+      // ever pruned and an absent low seq means its first transmission
+      // was lost; fall through and handle it.)
+      ++stats_.duplicates_dropped;
+      trace(obs::Kind::Duplicate, dg.src_node, env.seq, dg.payload.size());
+      return;
+    }
   }
+  // Never seen (or seen and legitimately forgotten while newer-than-window):
+  // run the handler. In particular a seq SMALLER than the newest entry but
+  // inside the window must be handled, not dropped — its first transmission
+  // may have been lost while a newer request from the same origin already
+  // arrived (forward chains reorder traffic that way).
   std::span<const std::byte> payload(dg.payload.data() + sizeof(env),
                                      dg.payload.size() - sizeof(env));
   run_handler(dg.src_node, env, payload, dg.payload);
@@ -177,23 +214,32 @@ void UdpSubstrate::run_handler(int src, const sub::Envelope& env,
                                std::span<const std::byte> payload,
                                std::vector<std::byte> raw) {
   TMKGM_CHECK_MSG(handler_ != nullptr, "no request handler installed");
-  DedupEntry& entry = dedup_[env.origin];
-  entry.seq = env.seq;
+  DedupWindow& window = dedup_[env.origin];
+  DedupEntry& entry = window[env.seq];
   entry.outcome = Outcome::InProgress;
   entry.cached_response.clear();
   entry.raw_request = std::move(raw);
   entry.src = src;
+  // Bound per-origin retention; evict oldest first, never the live entry.
+  while (window.size() > static_cast<std::size_t>(config_.dedup_window)) {
+    auto victim = window.begin();
+    if (victim->first == env.seq) ++victim;
+    if (victim == window.end()) break;
+    window.erase(victim);
+  }
 
   sub::RequestCtx ctx;
   ctx.src = src;
   ctx.origin = env.origin;
   ctx.seq = env.seq;
   ++stats_.requests_handled;
+  trace(obs::Kind::Recv, src, env.seq, entry.raw_request.size());
   handler_(ctx, payload);
   // respond()/forward() flip the outcome when they run; anything else is a
   // deferred response (the ctx was saved for later).
-  if (entry.seq == env.seq && entry.outcome == Outcome::InProgress) {
-    entry.outcome = Outcome::Deferred;
+  if (DedupEntry* e = dedup_find(env.origin, env.seq);
+      e != nullptr && e->outcome == Outcome::InProgress) {
+    e->outcome = Outcome::Deferred;
   }
 }
 
@@ -206,6 +252,7 @@ void UdpSubstrate::drain_replies() {
     auto it = outstanding_.find(env.seq);
     if (it == outstanding_.end()) {
       ++stats_.duplicates_dropped;  // duplicate response
+      trace(obs::Kind::Duplicate, dg->src_node, env.seq, dg->payload.size());
       continue;
     }
     outstanding_.erase(it);
@@ -225,6 +272,7 @@ void UdpSubstrate::check_retransmits() {
     ++o.retries;
     ++stats_.retransmits;
     stats_.bytes_sent += o.datagram.size();
+    trace(obs::Kind::Retransmit, o.dst, seq, o.datagram.size());
     stack_.sendto(req_sock_, o.datagram.data(), o.datagram.size(), o.dst,
                   config_.request_udp_port);
     o.backoff = std::min(o.backoff * 2, config_.retrans_max);

@@ -8,10 +8,19 @@
 //  - timeout/retransmission of requests awaiting responses (exponential
 //    backoff), and
 //  - duplicate suppression at the responder, with at-most-once semantics:
-//    per origin, the last (seq, outcome) is remembered; a duplicate either
-//    replays the cached response, is ignored (response still being
-//    prepared, e.g. a held lock), or re-runs the handler when the original
-//    was forwarded (so a lost downstream response is re-driven).
+//    per origin, a bounded window of (seq -> outcome) entries is kept; a
+//    duplicate either replays the cached response, is ignored (response
+//    still being prepared, e.g. a held lock), or re-runs the handler when
+//    the original was forwarded (so a lost downstream response is
+//    re-driven). Keying the window by seq — not one entry per origin —
+//    matters: a newer request from the same origin must not evict the
+//    record of an older one whose retransmit is still in flight, or the
+//    straggler would be dropped as "stale" and the origin would retry
+//    forever. Only entries that fall off a FULL window are forgotten, and a
+//    seq below a full window's floor is dropped as ancient: the origin has
+//    since issued a window's worth of newer requests, so that exchange is
+//    long settled. A low seq missing from a part-full window, by contrast,
+//    means its first transmission was lost — it is handled, not dropped.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sub/substrate.hpp"
 #include "udpnet/udp.hpp"
 #include "util/time.hpp"
@@ -32,6 +42,10 @@ struct UdpSubConfig {
   int max_retries = 25;
   int request_udp_port = 4001;
   int reply_udp_port = 4002;
+  /// At-most-once window: dedup entries (cached responses / recorded
+  /// requests) retained per origin. Bounds responder memory; anything that
+  /// falls off the window is provably acknowledged (see file comment).
+  int dedup_window = 64;
 };
 
 class UdpSubstrate;
@@ -85,13 +99,14 @@ class UdpSubstrate final : public sub::Substrate {
   enum class Outcome : std::uint8_t { InProgress, Deferred, Forwarded, Responded };
 
   struct DedupEntry {
-    std::uint32_t seq = 0;
     Outcome outcome = Outcome::InProgress;
     std::vector<std::byte> cached_response;
     std::vector<std::byte> raw_request;  // replayed through the handler when
                                          // the original was forwarded
     int src = -1;
   };
+  /// seq -> entry, bounded to UdpSubConfig::dedup_window per origin.
+  using DedupWindow = std::map<std::uint32_t, DedupEntry>;
 
   struct Outstanding {
     int dst = -1;
@@ -123,8 +138,25 @@ class UdpSubstrate final : public sub::Substrate {
   int rep_sock_ = -1;
   int sigio_irq_ = -1;
 
+  /// Substrate-level trace record; one load+branch when tracing is off.
+  void trace(obs::Kind kind, int peer, std::uint64_t a, std::uint64_t bytes) {
+    auto& engine = node_.engine();
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit({.t = node_.now(),
+                             .node = node_id_,
+                             .cat = obs::Cat::Sub,
+                             .kind = kind,
+                             .peer = peer,
+                             .a = a,
+                             .bytes = bytes});
+    }
+  }
+
+  /// Finds the dedup entry for (origin, seq), or nullptr.
+  DedupEntry* dedup_find(int origin, std::uint32_t seq);
+
   RequestHandler handler_;
-  std::map<int, DedupEntry> dedup_;  // per-origin last request
+  std::map<int, DedupWindow> dedup_;  // per-origin at-most-once window
   std::map<std::uint32_t, std::vector<std::byte>> reply_stash_;
   std::map<std::uint32_t, Outstanding> outstanding_;
   const sub::RequestCtx* active_ctx_ = nullptr;  // set while handler runs

@@ -11,6 +11,7 @@
 #include "apps/apps.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/report.hpp"
+#include "obs/trace.hpp"
 
 namespace tmkgm::cluster {
 namespace {
@@ -24,7 +25,9 @@ ClusterConfig jacobi_config(SubstrateKind kind) {
   return cfg;
 }
 
-std::string run_jacobi_report(const ClusterConfig& cfg) {
+std::string run_jacobi_report(ClusterConfig cfg,
+                              obs::Tracer* tracer = nullptr) {
+  cfg.tracer = tracer;
   apps::JacobiParams p;
   p.rows = 96;
   p.cols = 96;
@@ -58,6 +61,26 @@ TEST_P(DeterminismTest, ComputeCoalescingDoesNotChangeTheReport) {
   cfg.compute_coalescing = false;
   const std::string stepped = run_jacobi_report(cfg);
   EXPECT_EQ(coalesced, stepped);
+}
+
+TEST_P(DeterminismTest, TraceIsByteIdenticalAcrossRuns) {
+  const auto cfg = jacobi_config(GetParam());
+  obs::Tracer first, second;
+  run_jacobi_report(cfg, &first);
+  run_jacobi_report(cfg, &second);
+  ASSERT_FALSE(first.empty());
+  const std::string a = obs::chrome_trace_json(first.events());
+  const std::string b = obs::chrome_trace_json(second.events());
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(DeterminismTest, TracingDoesNotChangeTheReport) {
+  const auto cfg = jacobi_config(GetParam());
+  const std::string off = run_jacobi_report(cfg);
+  obs::Tracer tracer;
+  const std::string on = run_jacobi_report(cfg, &tracer);
+  EXPECT_GT(tracer.size(), 0u);
+  EXPECT_EQ(off, on);
 }
 
 INSTANTIATE_TEST_SUITE_P(Substrates, DeterminismTest,

@@ -1,0 +1,213 @@
+// Observability layer: counter registry semantics, the Chrome trace_event
+// exporter, and — the load-bearing part — counter conservation: the trace
+// is not a parallel reality, so per-kind trace totals must equal the stats
+// counters every layer keeps for itself, and (with no configured loss)
+// what the network sends must equal what it delivers plus what it
+// accountably drops.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/apps.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/report.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm {
+namespace {
+
+// ---------------------------------------------------------------------
+// CounterRegistry
+// ---------------------------------------------------------------------
+
+TEST(CounterRegistry, AccumulatesAndReads) {
+  obs::CounterRegistry c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.value("sub.requests_sent"), 0u);
+  EXPECT_FALSE(c.contains("sub.requests_sent"));
+
+  c.add("sub.requests_sent", 3);
+  c.add("sub.requests_sent", 4);
+  c.add("net.bytes", 0);
+  EXPECT_EQ(c.value("sub.requests_sent"), 7u);
+  EXPECT_EQ(c.value("net.bytes"), 0u);
+  EXPECT_TRUE(c.contains("net.bytes"));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(CounterRegistry, FormatTableIsSortedAndAligned) {
+  obs::CounterRegistry c;
+  c.add("zz.last", 1);
+  c.add("a.first", 22);
+  c.add("m.middle_longer_name", 333);
+  const std::string table = c.format_table("  ");
+  // Sorted by name, one line each, indent applied.
+  EXPECT_EQ(table,
+            "  a.first               22\n"
+            "  m.middle_longer_name  333\n"
+            "  zz.last               1\n");
+}
+
+// ---------------------------------------------------------------------
+// Chrome exporter
+// ---------------------------------------------------------------------
+
+TEST(ChromeTrace, GoldenSmallTrace) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back({.t = 1500,
+                    .dur = 2000,
+                    .node = 0,
+                    .cat = obs::Cat::Node,
+                    .kind = obs::Kind::Compute});
+  events.push_back({.t = 4250,
+                    .node = 1,
+                    .cat = obs::Cat::Sub,
+                    .kind = obs::Kind::Send,
+                    .peer = 0,
+                    .a = 7,
+                    .bytes = 64});
+  const std::string json = obs::chrome_trace_json(events);
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"node 0\"}},\n"
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"node 1\"}},\n"
+      "{\"name\":\"compute\",\"cat\":\"node\",\"pid\":0,\"tid\":0,"
+      "\"ts\":1.500,\"ph\":\"X\",\"dur\":2.000,"
+      "\"args\":{\"peer\":-1,\"a\":0,\"bytes\":0}},\n"
+      "{\"name\":\"send\",\"cat\":\"sub\",\"pid\":1,\"tid\":4,"
+      "\"ts\":4.250,\"ph\":\"i\",\"s\":\"t\","
+      "\"args\":{\"peer\":0,\"a\":7,\"bytes\":64}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ChromeTrace, EmptyTraceIsValidJson) {
+  const std::string json = obs::chrome_trace_json({});
+  EXPECT_EQ(json, "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+// ---------------------------------------------------------------------
+// Conservation: trace totals == stats counters, sends == receives + drops
+// ---------------------------------------------------------------------
+
+cluster::RunResult run_jacobi(cluster::SubstrateKind kind,
+                              obs::Tracer& tracer) {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 4;
+  cfg.kind = kind;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.event_limit = 500'000'000;
+  cfg.tracer = &tracer;
+  apps::JacobiParams p;
+  p.rows = 48;
+  p.cols = 48;
+  p.iters = 2;
+  cluster::Cluster c(cfg);
+  return c.run_tmk(
+      [&](tmk::Tmk& tmk, cluster::NodeEnv&) { apps::jacobi(tmk, p); });
+}
+
+sub::Substrate::Stats sum_substrate(const cluster::RunResult& r) {
+  sub::Substrate::Stats t;
+  for (const auto& s : r.substrate_stats) {
+    t.requests_sent += s.requests_sent;
+    t.responses_sent += s.responses_sent;
+    t.forwards_sent += s.forwards_sent;
+    t.requests_handled += s.requests_handled;
+    t.retransmits += s.retransmits;
+    t.duplicates_dropped += s.duplicates_dropped;
+    t.rendezvous += s.rendezvous;
+  }
+  return t;
+}
+
+void expect_substrate_trace_matches(const obs::Tracer& tracer,
+                                    const sub::Substrate::Stats& ss) {
+  using obs::Cat;
+  using obs::Kind;
+  EXPECT_EQ(tracer.totals(Cat::Sub, Kind::Send).count, ss.requests_sent);
+  EXPECT_EQ(tracer.totals(Cat::Sub, Kind::Forward).count, ss.forwards_sent);
+  EXPECT_EQ(tracer.totals(Cat::Sub, Kind::Respond).count, ss.responses_sent);
+  EXPECT_EQ(tracer.totals(Cat::Sub, Kind::Recv).count, ss.requests_handled);
+  EXPECT_EQ(tracer.totals(Cat::Sub, Kind::Retransmit).count, ss.retransmits);
+  EXPECT_EQ(tracer.totals(Cat::Sub, Kind::Duplicate).count,
+            ss.duplicates_dropped);
+  EXPECT_EQ(tracer.totals(Cat::Sub, Kind::Rendezvous).count, ss.rendezvous);
+}
+
+TEST(Conservation, FastGmTraceMatchesStats) {
+  obs::Tracer tracer;
+  const auto result = run_jacobi(cluster::SubstrateKind::FastGm, tracer);
+  ASSERT_FALSE(tracer.empty());
+  expect_substrate_trace_matches(tracer, sum_substrate(result));
+
+  // GM is reliable: every message sent is received, none vanish.
+  const auto sends = tracer.totals(obs::Cat::Gm, obs::Kind::GmSend);
+  const auto recvs = tracer.totals(obs::Cat::Gm, obs::Kind::GmRecv);
+  EXPECT_GT(sends.count, 0u);
+  EXPECT_EQ(sends.count, recvs.count);
+  EXPECT_EQ(sends.bytes, recvs.bytes);
+
+  // Counter table mirrors the same totals.
+  EXPECT_EQ(result.counters.value("sub.requests_sent"),
+            sum_substrate(result).requests_sent);
+  EXPECT_FALSE(result.counters.contains("udp.datagrams_sent"));
+}
+
+TEST(Conservation, UdpGmSendsEqualDeliveriesPlusDrops) {
+  obs::Tracer tracer;
+  const auto result = run_jacobi(cluster::SubstrateKind::UdpGm, tracer);
+  ASSERT_FALSE(tracer.empty());
+  expect_substrate_trace_matches(tracer, sum_substrate(result));
+
+  // No configured loss: every datagram is delivered or accountably
+  // dropped (socket-buffer overflow / unbound port).
+  const auto& udp = result.udp;
+  EXPECT_GT(udp.datagrams_sent, 0u);
+  EXPECT_EQ(udp.datagrams_sent, udp.datagrams_delivered +
+                                    udp.drops_overflow + udp.drops_unbound);
+  EXPECT_EQ(udp.drops_random, 0u);
+
+  // Trace-side mirror of the same conservation law.
+  using obs::Cat;
+  using obs::Kind;
+  EXPECT_EQ(tracer.totals(Cat::Udp, Kind::UdpSend).count,
+            udp.datagrams_sent);
+  EXPECT_EQ(tracer.totals(Cat::Udp, Kind::UdpDeliver).count,
+            udp.datagrams_delivered);
+  EXPECT_EQ(tracer.totals(Cat::Udp, Kind::UdpDrop).count,
+            udp.drops_overflow + udp.drops_unbound);
+
+  EXPECT_EQ(result.counters.value("udp.datagrams_sent"), udp.datagrams_sent);
+}
+
+TEST(Conservation, CounterTableCoversEveryLayer) {
+  obs::Tracer tracer;
+  const auto result = run_jacobi(cluster::SubstrateKind::FastGm, tracer);
+  for (const char* name :
+       {"net.messages", "net.bytes", "sub.requests_sent", "sub.bytes_sent",
+        "tmk.read_faults", "tmk.barriers", "tmk.diffs_created"}) {
+    EXPECT_TRUE(result.counters.contains(name)) << name;
+  }
+  // The report renders the table under a stable header.
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 4;
+  const std::string report = cluster::format_report(cfg, result);
+  EXPECT_NE(report.find("counters:\n"), std::string::npos);
+  EXPECT_NE(report.find("tmk.read_faults"), std::string::npos);
+}
+
+TEST(EnvelopeGuard, ClusterRejectsMoreNodesThanOriginFieldHolds) {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 300;  // Envelope::origin is a std::uint8_t
+  EXPECT_THROW(cluster::Cluster c(cfg), CheckError);
+  cfg.n_procs = sub::kMaxNodes;  // exactly at the bound is fine
+  EXPECT_NO_THROW(cluster::Cluster c(cfg));
+}
+
+}  // namespace
+}  // namespace tmkgm

@@ -1,0 +1,207 @@
+// UDP/GM reliability regressions, driven with deterministic forced drops
+// (udpnet::UdpSystem::set_drop_filter via ClusterConfig::udp_drop_filter):
+//  - a lost response must be replayed from the responder's cache when the
+//    origin retransmits, even if a newer request from the same origin was
+//    handled in between (the per-origin single-entry dedup bug);
+//  - a lost FIRST transmission must still be handled when it finally
+//    arrives, not dropped as "stale" because a newer seq got there first;
+//  - a forwarded chain whose downstream response died must be re-driven;
+//  - retransmission backoff is capped at retrans_max, and every
+//    retransmitted datagram is accounted in bytes_sent.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::cluster {
+namespace {
+
+using sub::ConstBuf;
+using sub::RequestCtx;
+
+std::span<const std::byte> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string string_of(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+ClusterConfig udp_config(int n) {
+  ClusterConfig cfg;
+  cfg.n_procs = n;
+  cfg.kind = SubstrateKind::UdpGm;
+  cfg.event_limit = 50'000'000;
+  // Tight timers so lost-datagram tests recover in simulated milliseconds.
+  cfg.udpsub.retrans_timeout = milliseconds(2.0);
+  cfg.udpsub.retrans_max = milliseconds(8.0);
+  return cfg;
+}
+
+/// Drops the nth (0-based) datagram matching (src, dst, dst_port).
+udpnet::UdpSystem::DropFilter drop_nth(int src, int dst, int port, int n,
+                                       int& seen) {
+  return [src, dst, port, n, &seen](int s, int d, int p, std::size_t) {
+    if (s != src || d != dst || p != port) return false;
+    return seen++ == n;
+  };
+}
+
+TEST(UdpSubReliability, LostResponseIsReplayedFromCacheDespiteNewerRequest) {
+  // Origin 0 sends seq1 and seq2 to node 1; seq1's response is dropped.
+  // By the time seq1's retransmit arrives, node 1 has already handled the
+  // NEWER seq2 — with one dedup entry per origin that overwrote seq1's
+  // record and the retransmit was discarded as stale, so 0 retried until
+  // max_retries blew up. The seq-keyed window replays the cached response.
+  auto cfg = udp_config(2);
+  int responses_seen = 0;
+  cfg.udp_drop_filter =
+      drop_nth(1, 0, cfg.udpsub.reply_udp_port, 0, responses_seen);
+  Cluster c(cfg);
+  std::string got1, got2;
+  auto result = c.run([&](NodeEnv& env) {
+    env.substrate.set_request_handler(
+        [&](const RequestCtx& ctx, std::span<const std::byte> payload) {
+          const std::string body = "r" + string_of(payload);
+          env.substrate.respond(ctx, bytes_of(body));
+        });
+    if (env.id == 0) {
+      const auto seq1 = env.substrate.send_request(1, bytes_of("a"));
+      const auto seq2 = env.substrate.send_request(1, bytes_of("b"));
+      std::byte out[64];
+      auto len = env.substrate.recv_response(seq2, out);
+      got2 = string_of({out, len});
+      len = env.substrate.recv_response(seq1, out);
+      got1 = string_of({out, len});
+    }
+  });
+  EXPECT_EQ(got1, "ra");  // the replay carries seq1's response, not seq2's
+  EXPECT_EQ(got2, "rb");
+  const auto& responder = result.substrate_stats[1];
+  EXPECT_EQ(responder.requests_handled, 2u);  // seq1 handled exactly once
+  EXPECT_EQ(responder.responses_sent, 2u);    // the replay is not a respond()
+  EXPECT_GE(responder.duplicates_dropped, 1u);
+  EXPECT_GE(result.substrate_stats[0].retransmits, 1u);
+}
+
+TEST(UdpSubReliability, LostFirstTransmissionIsStillHandled) {
+  // seq1's FIRST transmission is dropped; seq2 arrives and is handled.
+  // When seq1's retransmit finally shows up it is smaller than the newest
+  // entry but was never handled — it must run the handler (the old code
+  // dropped anything below the per-origin entry's seq forever).
+  auto cfg = udp_config(2);
+  int requests_seen = 0;
+  cfg.udp_drop_filter =
+      drop_nth(0, 1, cfg.udpsub.request_udp_port, 0, requests_seen);
+  Cluster c(cfg);
+  std::string got1, got2;
+  auto result = c.run([&](NodeEnv& env) {
+    env.substrate.set_request_handler(
+        [&](const RequestCtx& ctx, std::span<const std::byte> payload) {
+          const std::string body = "r" + string_of(payload);
+          env.substrate.respond(ctx, bytes_of(body));
+        });
+    if (env.id == 0) {
+      const auto seq1 = env.substrate.send_request(1, bytes_of("a"));
+      const auto seq2 = env.substrate.send_request(1, bytes_of("b"));
+      std::byte out[64];
+      auto len = env.substrate.recv_response(seq2, out);
+      got2 = string_of({out, len});
+      len = env.substrate.recv_response(seq1, out);
+      got1 = string_of({out, len});
+    }
+  });
+  EXPECT_EQ(got1, "ra");
+  EXPECT_EQ(got2, "rb");
+  const auto& responder = result.substrate_stats[1];
+  EXPECT_EQ(responder.requests_handled, 2u);
+  EXPECT_EQ(responder.duplicates_dropped, 0u);  // nothing arrived twice
+  EXPECT_GE(result.substrate_stats[0].retransmits, 1u);
+}
+
+TEST(UdpSubReliability, ForwardedChainIsReDrivenAfterLostResponse) {
+  // 0 asks 1, 1 forwards to 2, 2's response to 0 dies. 0's retransmit goes
+  // back to 1 (the original destination), whose Forwarded record re-runs
+  // the handler — re-forwarding to 2, which replays its cached response.
+  auto cfg = udp_config(3);
+  int responses_seen = 0;
+  cfg.udp_drop_filter =
+      drop_nth(2, 0, cfg.udpsub.reply_udp_port, 0, responses_seen);
+  Cluster c(cfg);
+  std::string got;
+  auto result = c.run([&](NodeEnv& env) {
+    env.substrate.set_request_handler(
+        [&](const RequestCtx& ctx, std::span<const std::byte> payload) {
+          if (env.id == 1) {
+            ConstBuf body{payload.data(), payload.size()};
+            env.substrate.forward(ctx, 2, std::span<const ConstBuf>(&body, 1));
+          } else {
+            env.substrate.respond(ctx, bytes_of("granted"));
+          }
+        });
+    if (env.id == 0) {
+      const auto seq = env.substrate.send_request(1, bytes_of("lock"));
+      std::byte out[64];
+      const auto len = env.substrate.recv_response(seq, out);
+      got = string_of({out, len});
+    }
+  });
+  EXPECT_EQ(got, "granted");
+  const auto& mid = result.substrate_stats[1];
+  EXPECT_EQ(mid.forwards_sent, 2u);       // original + re-drive
+  EXPECT_EQ(mid.requests_handled, 2u);    // handler re-ran on the retransmit
+  EXPECT_GE(mid.duplicates_dropped, 1u);
+  const auto& owner = result.substrate_stats[2];
+  EXPECT_EQ(owner.responses_sent, 1u);    // replayed from cache, not re-made
+  EXPECT_GE(owner.duplicates_dropped, 1u);
+  EXPECT_GE(result.substrate_stats[0].retransmits, 1u);
+}
+
+TEST(UdpSubReliability, RetransmitBackoffIsCappedAndBytesAccounted) {
+  // Every request 0->1 is dropped: the sender must double its timeout only
+  // up to retrans_max (1,2,4,4,4,... not 1,2,4,...,512ms), charge every
+  // retransmitted datagram to bytes_sent, and give up after max_retries.
+  auto cfg = udp_config(2);
+  cfg.udpsub.retrans_timeout = milliseconds(1.0);
+  cfg.udpsub.retrans_max = milliseconds(4.0);
+  cfg.udpsub.max_retries = 10;
+  cfg.udp_drop_filter = [port = cfg.udpsub.request_udp_port](
+                            int s, int d, int p, std::size_t) {
+    return s == 0 && d == 1 && p == port;
+  };
+  Cluster c(cfg);
+  bool gave_up = false;
+  SimTime elapsed = 0;
+  auto result = c.run([&](NodeEnv& env) {
+    env.substrate.set_request_handler(
+        [](const RequestCtx&, std::span<const std::byte>) {});
+    if (env.id == 0) {
+      const SimTime t0 = env.node.now();
+      try {
+        const auto seq = env.substrate.send_request(1, bytes_of("x"));
+        std::byte out[16];
+        env.substrate.recv_response(seq, out);
+      } catch (const CheckError&) {
+        gave_up = true;
+      }
+      elapsed = env.node.now() - t0;
+    }
+  });
+  EXPECT_TRUE(gave_up);
+  // Capped: 1+2+4+4+... ~= 35ms of virtual time. Uncapped doubling would
+  // be 1+2+...+512 ~= 1023ms before the same retry count gave up.
+  EXPECT_GE(elapsed, milliseconds(30.0));
+  EXPECT_LT(elapsed, milliseconds(100.0));
+  const auto& sender = result.substrate_stats[0];
+  EXPECT_EQ(sender.requests_sent, 1u);
+  EXPECT_EQ(sender.retransmits, 10u);
+  const std::uint64_t dg_size = sizeof(sub::Envelope) + 1;  // payload "x"
+  EXPECT_EQ(sender.bytes_sent, 11 * dg_size);  // original + 10 retransmits
+  EXPECT_EQ(result.substrate_stats[1].requests_handled, 0u);
+}
+
+}  // namespace
+}  // namespace tmkgm::cluster

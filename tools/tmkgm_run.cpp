@@ -9,12 +9,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "apps/apps.hpp"
 #include "apps/extended.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/report.hpp"
+#include "obs/trace.hpp"
 
 using namespace tmkgm;
 
@@ -29,8 +31,10 @@ struct Options {
   std::uint64_t seed = 1;
   bool verify = false;
   bool report = false;
+  bool counters = false;
   bool rendezvous = false;
   std::string async_scheme = "interrupt";
+  std::string trace_file;
 };
 
 void usage() {
@@ -46,13 +50,25 @@ void usage() {
       "  --async interrupt|timer|polling  FAST/GM async scheme\n"
       "  --rendezvous                  FAST/GM rendezvous buffering\n"
       "  --verify                      check against the serial reference\n"
-      "  --report                      print the full protocol report\n");
+      "  --report                      print the full protocol report\n"
+      "  --trace FILE                  write a Chrome trace_event JSON of\n"
+      "                                the run (chrome://tracing, Perfetto)\n"
+      "  --counters                    print the counter rollup table\n");
 }
 
 bool parse(int argc, char** argv, Options& o) {
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = a.find('='); eq != std::string::npos) {
+      inline_value = a.substr(eq + 1);
+      a.erase(eq);
+      has_inline = true;
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", a.c_str());
         return nullptr;
@@ -89,10 +105,16 @@ bool parse(int argc, char** argv, Options& o) {
       o.async_scheme = v;
     } else if (a == "--rendezvous") {
       o.rendezvous = true;
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      o.trace_file = v;
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a == "--report") {
       o.report = true;
+    } else if (a == "--counters") {
+      o.counters = true;
     } else if (a == "--help" || a == "-h") {
       usage();
       std::exit(0);
@@ -133,6 +155,8 @@ int main(int argc, char** argv) {
   } else if (o.async_scheme == "polling") {
     cfg.fastgm.async_scheme = fastgm::AsyncScheme::PollingThread;
   }
+  obs::Tracer tracer;
+  if (!o.trace_file.empty()) cfg.tracer = &tracer;
 
   double checksum = 0, expected = 0;
   SimTime elapsed = 0;
@@ -219,6 +243,22 @@ int main(int argc, char** argv) {
   }
   if (o.report) {
     std::printf("\n%s", cluster::format_report(cfg, result).c_str());
+  }
+  if (o.counters && !o.report) {
+    // --report already contains the counters: table; avoid printing twice.
+    std::printf("counters:\n%s",
+                result.counters.format_table("  ").c_str());
+  }
+  if (!o.trace_file.empty()) {
+    std::ofstream out(o.trace_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file: %s\n",
+                   o.trace_file.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(out, tracer.events());
+    std::printf("trace: %zu events -> %s\n", tracer.size(),
+                o.trace_file.c_str());
   }
   return 0;
 }
