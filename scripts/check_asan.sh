@@ -6,4 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake --preset asan
 cmake --build --preset asan
+# The fault matrix exercises every recovery path (send-buffer reuse after
+# failed sends, seized-buffer stashes, deferred delivery closures) — the
+# exact lifetime bugs asan is here to vet. Run it first so they fail fast,
+# then the full suite.
+ctest --preset asan -R 'Fault|Oracle'
 ctest --preset asan

@@ -18,6 +18,15 @@ if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report \
   exit 1
 fi
 
+# A faulted run must surface the fault.* conservation rows in its report
+# (and still verify against the serial reference while recovering).
+if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report --verify \
+    --faults 'seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)' \
+    | grep -q 'fault\.drops_injected'; then
+  echo "error: fault.* rows missing from a faulted run report" >&2
+  exit 1
+fi
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "tmk/tmk.hpp"
 
@@ -36,10 +37,16 @@ struct JacobiParams {
   std::size_t rows = 512;
   std::size_t cols = 512;
   int iters = 10;
+  /// Coherence-oracle hook: when set, proc 0's untimed verification sweep
+  /// also copies the final grid (row-major) here, for byte comparison
+  /// against jacobi_reference_grid().
+  std::vector<float>* capture = nullptr;
 };
 /// Checksum is bitwise comparable with jacobi_serial on any proc count.
 AppResult jacobi(tmk::Tmk& tmk, const JacobiParams& p);
 double jacobi_serial(const JacobiParams& p);
+/// Single-node sequential replay: the exact final grid, bitwise.
+std::vector<float> jacobi_reference_grid(const JacobiParams& p);
 
 // ------------------------------------------------------------------- SOR
 struct SorParams {
@@ -47,9 +54,13 @@ struct SorParams {
   std::size_t cols = 512;
   int iters = 10;
   double omega = 1.5;
+  /// Coherence-oracle hook; see JacobiParams::capture.
+  std::vector<float>* capture = nullptr;
 };
 AppResult sor(tmk::Tmk& tmk, const SorParams& p);
 double sor_serial(const SorParams& p);
+/// Single-node sequential replay: the exact final grid, bitwise.
+std::vector<float> sor_reference_grid(const SorParams& p);
 
 // ------------------------------------------------------------------- TSP
 struct TspParams {

@@ -70,16 +70,20 @@ AppResult jacobi(tmk::Tmk& tmk, const JacobiParams& p) {
   // checksum (row-major, bitwise comparable with the serial reference).
   double checksum = 0.0;
   if (tmk.proc_id() == 0) {
+    if (p.capture != nullptr) p.capture->assign(R * C, 0.0f);
     for (std::size_t r = 0; r < R; ++r) {
       auto row = src->row_ro(r);
-      for (std::size_t c = 0; c < C; ++c) checksum += row[c];
+      for (std::size_t c = 0; c < C; ++c) {
+        checksum += row[c];
+        if (p.capture != nullptr) (*p.capture)[r * C + c] = row[c];
+      }
     }
   }
   tmk.barrier(2);
   return {checksum, elapsed};
 }
 
-double jacobi_serial(const JacobiParams& p) {
+std::vector<float> jacobi_reference_grid(const JacobiParams& p) {
   const std::size_t R = p.rows, C = p.cols;
   std::vector<float> cur(R * C), next(R * C);
   for (std::size_t r = 0; r < R; ++r) {
@@ -101,8 +105,13 @@ double jacobi_serial(const JacobiParams& p) {
     }
     std::swap(src, dst);
   }
+  return src == &cur ? std::move(cur) : std::move(next);
+}
+
+double jacobi_serial(const JacobiParams& p) {
+  const std::vector<float> grid = jacobi_reference_grid(p);
   double checksum = 0.0;
-  for (std::size_t i = 0; i < R * C; ++i) checksum += (*src)[i];
+  for (float v : grid) checksum += v;
   return checksum;
 }
 

@@ -102,16 +102,20 @@ AppResult sor(tmk::Tmk& tmk, const SorParams& p) {
 
   double checksum = 0.0;  // untimed verification sweep
   if (me == 0) {
+    if (p.capture != nullptr) p.capture->assign(R * C, 0.0f);
     for (std::size_t r = 0; r < R; ++r) {
       auto row = grid.row_ro(r);
-      for (std::size_t c = 0; c < C; ++c) checksum += row[c];
+      for (std::size_t c = 0; c < C; ++c) {
+        checksum += row[c];
+        if (p.capture != nullptr) (*p.capture)[r * C + c] = row[c];
+      }
     }
   }
   tmk.barrier(2);
   return {checksum, elapsed};
 }
 
-double sor_serial(const SorParams& p) {
+std::vector<float> sor_reference_grid(const SorParams& p) {
   const std::size_t R = p.rows, C = p.cols;
   std::vector<float> grid(R * C);
   for (std::size_t r = 0; r < R; ++r) {
@@ -133,6 +137,11 @@ double sor_serial(const SorParams& p) {
       }
     }
   }
+  return grid;
+}
+
+double sor_serial(const SorParams& p) {
+  const std::vector<float> grid = sor_reference_grid(p);
   double checksum = 0.0;
   for (auto v : grid) checksum += v;
   return checksum;

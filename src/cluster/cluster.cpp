@@ -48,9 +48,54 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 
 namespace {
 
+/// Applies one timed GM-port fault (PortDisable / BufferExhaust). Armed at
+/// the rule's start time; if the target port is not open yet (the plan
+/// fired during substrate setup) it re-arms itself. The window start
+/// schedules its own end, so a late start still gets its full `dur`.
+struct TimedPortFault {
+  sim::Engine* engine = nullptr;
+  gm::GmSystem* gm = nullptr;
+  fault::FaultInjector* inj = nullptr;
+  fault::FaultRule rule;
+  bool begin = true;
+
+  void operator()() const {
+    gm::Port* p = gm->nic(rule.node).port(rule.port);
+    if (p == nullptr) {
+      engine->after(milliseconds(1.0), *this);
+      return;
+    }
+    const bool disable = rule.kind == fault::FaultKind::PortDisable;
+    if (begin) {
+      if (disable) {
+        if (p->fault_set_enabled(false)) {
+          inj->note_port_disabled(rule.node, rule.port);
+        }
+      } else {
+        p->fault_seize_buffers();
+        inj->note_buffer_seize(rule.node, rule.port);
+      }
+      if (rule.dur > 0) {
+        TimedPortFault end = *this;
+        end.begin = false;
+        engine->at(std::max(rule.at + rule.dur, engine->now()), end);
+      }
+    } else {
+      if (disable) {
+        if (p->fault_set_enabled(true)) {
+          inj->note_port_reenabled(rule.node, rule.port);
+        }
+      } else {
+        p->fault_restore_buffers();
+        inj->note_buffer_restore(rule.node, rule.port);
+      }
+    }
+  }
+};
+
 /// Rolls the run's per-layer stats into the stable counter table. Names are
 /// "<layer>.<counter>" and only layers that were active appear.
-void fill_counters(RunResult& result, SubstrateKind kind) {
+void fill_counters(RunResult& result, SubstrateKind kind, bool faults_active) {
   auto& c = result.counters;
   c.add("net.messages", result.net.messages);
   c.add("net.bytes", result.net.bytes);
@@ -82,6 +127,28 @@ void fill_counters(RunResult& result, SubstrateKind kind) {
     c.add("udp.drops_overflow", result.udp.drops_overflow);
     c.add("udp.drops_random", result.udp.drops_random);
     c.add("udp.drops_unbound", result.udp.drops_unbound);
+    if (faults_active) c.add("udp.drops_injected", result.udp.drops_injected);
+  }
+
+  // fault.* rows exist only under a non-empty plan, keeping fault-free
+  // reports byte-identical to pre-fault-subsystem output.
+  if (faults_active) {
+    const auto& f = result.fault;
+    c.add("fault.drops_injected", f.drops_injected);
+    c.add("fault.drops_observed", f.drops_observed);
+    c.add("fault.dups_injected", f.dups_injected);
+    c.add("fault.dups_observed", f.dups_observed);
+    c.add("fault.delays_injected", f.delays_injected);
+    c.add("fault.delays_observed", f.delays_observed);
+    c.add("fault.reorders_injected", f.reorders_injected);
+    c.add("fault.reorders_observed", f.reorders_observed);
+    c.add("fault.send_failures", f.send_failures);
+    c.add("fault.port_disables", f.port_disables);
+    c.add("fault.port_reenables", f.port_reenables);
+    c.add("fault.buffer_seizes", f.buffer_seizes);
+    c.add("fault.buffer_restores", f.buffer_restores);
+    c.add("fault.recoveries", f.recoveries);
+    c.add("fault.compute_warped", f.compute_warped);
   }
 }
 
@@ -93,6 +160,32 @@ RunResult Cluster::run(const Program& program) {
   if (config_.event_limit > 0) engine.set_event_limit(config_.event_limit);
   engine.set_compute_coalescing(config_.compute_coalescing);
   engine.set_tracer(config_.tracer);
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config_.faults.empty()) {
+    for (const auto& rule : config_.faults.rules) {
+      switch (rule.kind) {
+        case fault::FaultKind::PortDisable:
+        case fault::FaultKind::BufferExhaust:
+        case fault::FaultKind::NodeSlow:
+        case fault::FaultKind::NodePause:
+          TMKGM_CHECK_MSG(rule.node >= 0 && rule.node < n,
+                          "fault rule targets node " << rule.node
+                                                     << " but the cluster has "
+                                                     << n << " nodes");
+          break;
+        default:
+          break;
+      }
+    }
+    injector = std::make_unique<fault::FaultInjector>(config_.faults, engine);
+    if (injector->warps_compute()) {
+      auto* inj = injector.get();
+      engine.set_compute_warp([inj](int node, SimTime at, SimTime dur) {
+        return inj->warp_compute(node, at, dur);
+      });
+    }
+  }
 
   RunResult result;
   result.node_finish.assign(static_cast<std::size_t>(n), 0);
@@ -188,6 +281,19 @@ RunResult Cluster::run(const Program& program) {
       break;
   }
 
+  if (injector != nullptr) {
+    shared.network->set_fault_injector(injector.get());
+    // Timed GM-port faults arm on the engine clock; they only make sense
+    // when a GM system exists (FastGm runs).
+    for (const auto& rule : config_.faults.rules) {
+      const bool port_fault = rule.kind == fault::FaultKind::PortDisable ||
+                              rule.kind == fault::FaultKind::BufferExhaust;
+      if (!port_fault || shared.gm == nullptr) continue;
+      engine.at(rule.at, TimedPortFault{&engine, shared.gm.get(),
+                                        injector.get(), rule});
+    }
+  }
+
   engine.run();
 
   result.duration =
@@ -195,7 +301,8 @@ RunResult Cluster::run(const Program& program) {
   result.events = engine.events_processed();
   result.net = shared.network->stats();
   if (shared.udp != nullptr) result.udp = shared.udp->stats();
-  fill_counters(result, config_.kind);
+  if (injector != nullptr) result.fault = injector->stats();
+  fill_counters(result, config_.kind, injector != nullptr);
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fastgm/fastgm.hpp"
+#include "fault/fault.hpp"
 #include "ib/fastib.hpp"
 #include "net/cost_model.hpp"
 #include "net/network.hpp"
@@ -60,6 +61,11 @@ struct ClusterConfig {
   /// runs only); see udpnet::UdpSystem::set_drop_filter. For
   /// retransmission/dedup regression tests.
   udpnet::UdpSystem::DropFilter udp_drop_filter;
+  /// Scripted fault plan (fault/fault.hpp). Empty (the default) installs
+  /// no injector: hot paths keep their single null-check and reports gain
+  /// no fault.* rows, so fault-free output is byte-identical. Port-level
+  /// faults (disable/exhaust) apply to FastGm runs only.
+  fault::FaultPlan faults;
 };
 
 struct NodeEnv {
@@ -89,6 +95,8 @@ struct RunResult {
   std::size_t pinned_bytes_node0 = 0;
   /// Kernel UDP stack totals (UdpGm runs only; zeros otherwise).
   udpnet::UdpSystem::Stats udp;
+  /// Fault-injection tallies (runs with a non-empty plan; zeros otherwise).
+  fault::FaultStats fault;
   /// Per-node TreadMarks protocol stats (run_tmk only).
   std::vector<tmk::TmkStats> tmk_stats;
   /// Cluster-wide rollup of every layer's counters, keyed

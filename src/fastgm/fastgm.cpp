@@ -114,6 +114,13 @@ void FastGmSubstrate::setup() {
     s += kSendBuf;
   }
 
+  // Send-failure recovery: only armed when a fault plan is installed, so
+  // the fault-free path keeps the original CHECK-on-failure semantics.
+  track_sends_ = gm_.network().fault_injector() != nullptr;
+  if (track_sends_) {
+    recovery_irq_ = node_.add_interrupt([this] { recover_failed_sends(); });
+  }
+
   // Asynchronous notification (§2.2.4).
   switch (config_.async_scheme) {
     case AsyncScheme::Interrupt:
@@ -180,6 +187,62 @@ void FastGmSubstrate::release_send_buffer(std::byte* buf) {
   send_avail_.signal();
 }
 
+void FastGmSubstrate::gm_send(gm::Port* port, std::byte* buf, int size,
+                              std::uint32_t len, int dst_node, int dst_port) {
+  if (track_sends_) [[unlikely]] {
+    inflight_[buf] = InflightSend{port, size, len, dst_node, dst_port};
+  }
+  port->send_with_callback(
+      buf, size, len, dst_node, dst_port,
+      [this](gm::Status st, void* ctx) {
+        on_send_complete(st, static_cast<std::byte*>(ctx));
+      },
+      buf);
+}
+
+void FastGmSubstrate::on_send_complete(gm::Status st, std::byte* buf) {
+  if (st == gm::Status::Ok) {
+    if (track_sends_) [[unlikely]] inflight_.erase(buf);
+    release_send_buffer(buf);
+    return;
+  }
+  TMKGM_CHECK_MSG(track_sends_,
+                  "FAST/GM send failed (receiver out of buffers?)");
+  // The send buffer still holds the full message; queue it and hop to node
+  // context via interrupt — Port::reenable() charges CPU there.
+  auto it = inflight_.find(buf);
+  TMKGM_CHECK(it != inflight_.end());
+  auto* inj = gm_.network().fault_injector();
+  inj->note_send_failure(node_id_, it->second.dst_node);
+  if (st == gm::Status::SendTimedOut) {
+    // The timeout itself tripped the port into the disabled state.
+    inj->note_port_disabled(node_id_, it->second.port->port_id());
+  }
+  failed_.push_back(buf);
+  if (!stopped_) node_.raise_interrupt(recovery_irq_);
+}
+
+void FastGmSubstrate::recover_failed_sends() {
+  auto* inj = gm_.network().fault_injector();
+  while (!failed_.empty()) {
+    std::byte* buf = failed_.front();
+    failed_.pop_front();
+    auto it = inflight_.find(buf);
+    TMKGM_CHECK(it != inflight_.end());
+    const InflightSend send = it->second;
+    inflight_.erase(it);
+    if (!send.port->enabled()) {
+      send.port->reenable();  // the expensive network probe, on this CPU
+      inj->note_port_reenabled(node_id_, send.port->port_id());
+    }
+    ++stats_.retransmits;
+    inj->note_recovery(node_id_, send.dst_node, send.length);
+    trace(obs::Kind::Retransmit, send.dst_node, send.dst_port, send.length);
+    gm_send(send.port, buf, send.size_class, send.length, send.dst_node,
+            send.dst_port);
+  }
+}
+
 void FastGmSubstrate::send_message(sub::MsgKind kind, int origin,
                                    std::uint32_t seq, int dst, int dst_port,
                                    std::span<const sub::ConstBuf> iov) {
@@ -210,14 +273,7 @@ void FastGmSubstrate::send_message(sub::MsgKind kind, int origin,
   const int size = gm::min_size_for_length(total);
   stats_.bytes_sent += total;
   gm::Port* port = dst_port == kRequestPort ? req_port_ : rep_port_;
-  port->send_with_callback(
-      buf, size, static_cast<std::uint32_t>(total), dst, dst_port,
-      [this](gm::Status st, void* ctx) {
-        TMKGM_CHECK_MSG(st == gm::Status::Ok,
-                        "FAST/GM send failed (receiver out of buffers?)");
-        release_send_buffer(static_cast<std::byte*>(ctx));
-      },
-      buf);
+  gm_send(port, buf, size, static_cast<std::uint32_t>(total), dst, dst_port);
 }
 
 std::uint32_t FastGmSubstrate::send_request(
@@ -394,14 +450,8 @@ void FastGmSubstrate::handle_request_msg(const gm::RecvMsg& msg) {
               : kReplyPort;
       stats_.bytes_sent += pending.length;
       gm::Port* port = dst_port == kRequestPort ? req_port_ : rep_port_;
-      port->send_with_callback(
-          pending.buffer, pending.size_class, pending.length, msg.sender_node,
-          dst_port,
-          [this](gm::Status st, void* ctx) {
-            TMKGM_CHECK(st == gm::Status::Ok);
-            release_send_buffer(static_cast<std::byte*>(ctx));
-          },
-          pending.buffer);
+      gm_send(port, pending.buffer, pending.size_class, pending.length,
+              msg.sender_node, dst_port);
       break;
     }
     case sub::MsgKind::Response:

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -141,6 +142,15 @@ class FastGmSubstrate final : public sub::Substrate {
     std::uint32_t length = 0;     // envelope + payload
     int size_class = 0;
   };
+  /// Everything needed to re-drive a failed send from the intact send
+  /// buffer (tracked only when a fault plan is active).
+  struct InflightSend {
+    gm::Port* port = nullptr;
+    int size_class = 0;
+    std::uint32_t length = 0;
+    int dst_node = -1;
+    int dst_port = -1;
+  };
   using RendezvousKey = std::tuple<std::uint8_t, int, std::uint32_t>;
 
   void setup();
@@ -153,6 +163,14 @@ class FastGmSubstrate final : public sub::Substrate {
 
   std::byte* acquire_send_buffer();
   void release_send_buffer(std::byte* buf);
+
+  /// All GM sends funnel through here so failures share one recovery path:
+  /// detect the failed send, re-enable the port from node context, and
+  /// re-drive the message from its still-held send buffer.
+  void gm_send(gm::Port* port, std::byte* buf, int size, std::uint32_t len,
+               int dst_node, int dst_port);
+  void on_send_complete(gm::Status st, std::byte* buf);
+  void recover_failed_sends();
 
   /// Copies envelope+iov into a send buffer and ships it.
   void send_message(sub::MsgKind kind, int origin, std::uint32_t seq, int dst,
@@ -199,6 +217,12 @@ class FastGmSubstrate final : public sub::Substrate {
   std::map<std::uint32_t, std::vector<std::byte>> reply_stash_;
   std::map<RendezvousKey, PendingLarge> rendezvous_out_;
   std::map<const void*, OneShot> one_shots_;
+
+  // Send-failure recovery (active only under a fault plan).
+  std::map<const void*, InflightSend> inflight_;
+  std::deque<std::byte*> failed_;
+  int recovery_irq_ = -1;
+  bool track_sends_ = false;
 
   std::uint32_t next_seq_ = 1;
   int irq_ = -1;

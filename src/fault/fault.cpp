@@ -1,0 +1,465 @@
+#include "fault/fault.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::fault {
+
+namespace {
+
+void emit(sim::Engine& engine, obs::Kind kind, int node, int peer,
+          std::uint64_t a, std::uint64_t bytes) {
+  if (engine.tracing()) [[unlikely]] {
+    engine.tracer()->emit({.t = engine.now(),
+                           .node = node,
+                           .cat = obs::Cat::Fault,
+                           .kind = kind,
+                           .peer = peer,
+                           .a = a,
+                           .bytes = bytes});
+  }
+}
+
+void append_time(std::string& out, SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+bool parse_u64(const std::string& v, std::uint64_t& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(v.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_int(const std::string& v, int& out) {
+  if (v == "*" || v == "any") {
+    out = -1;
+    return true;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (v.empty() || end == nullptr || *end != '\0') return false;
+  out = static_cast<int>(parsed);
+  return true;
+}
+
+bool parse_double(const std::string& v, double& out) {
+  char* end = nullptr;
+  out = std::strtod(v.c_str(), &end);
+  return !v.empty() && end != nullptr && *end == '\0';
+}
+
+/// "250us", "3ms", "1500000ns", "0.5s" or a bare number (microseconds).
+bool parse_time(const std::string& v, SimTime& out) {
+  double scale = 1000.0;  // default unit: microseconds
+  std::string num = v;
+  auto ends_with = [&](const char* suf) {
+    const std::size_t n = std::string(suf).size();
+    return num.size() > n && num.compare(num.size() - n, n, suf) == 0;
+  };
+  if (ends_with("ns")) {
+    scale = 1.0;
+    num.resize(num.size() - 2);
+  } else if (ends_with("us")) {
+    scale = 1000.0;
+    num.resize(num.size() - 2);
+  } else if (ends_with("ms")) {
+    scale = 1000.0 * 1000.0;
+    num.resize(num.size() - 2);
+  } else if (ends_with("s")) {
+    scale = 1000.0 * 1000.0 * 1000.0;
+    num.resize(num.size() - 1);
+  }
+  double value = 0.0;
+  if (!parse_double(num, value) || value < 0.0) return false;
+  out = static_cast<SimTime>(std::llround(value * scale));
+  return true;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+bool kind_from_name(const std::string& name, FaultKind& out) {
+  if (name == "drop") out = FaultKind::Drop;
+  else if (name == "dup") out = FaultKind::Duplicate;
+  else if (name == "delay") out = FaultKind::Delay;
+  else if (name == "reorder") out = FaultKind::Reorder;
+  else if (name == "disable") out = FaultKind::PortDisable;
+  else if (name == "exhaust") out = FaultKind::BufferExhaust;
+  else if (name == "slow") out = FaultKind::NodeSlow;
+  else if (name == "pause") out = FaultKind::NodePause;
+  else return false;
+  return true;
+}
+
+bool is_message_kind(FaultKind k) {
+  return k == FaultKind::Drop || k == FaultKind::Duplicate ||
+         k == FaultKind::Delay || k == FaultKind::Reorder;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Duplicate: return "dup";
+    case FaultKind::Delay: return "delay";
+    case FaultKind::Reorder: return "reorder";
+    case FaultKind::PortDisable: return "disable";
+    case FaultKind::BufferExhaust: return "exhaust";
+    case FaultKind::NodeSlow: return "slow";
+    case FaultKind::NodePause: return "pause";
+  }
+  return "?";
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const auto& r : rules) {
+    out += ';';
+    out += fault::to_string(r.kind);
+    out += '(';
+    if (is_message_kind(r.kind)) {
+      out += "src=" + std::to_string(r.src);
+      out += ",dst=" + std::to_string(r.dst);
+      out += ",after=" + std::to_string(r.after);
+      out += ",count=" + std::to_string(r.count);
+      out += ",prob=";
+      append_double(out, r.prob);
+      if (r.kind == FaultKind::Duplicate) {
+        out += ",copies=" + std::to_string(r.copies);
+      }
+      if (r.kind == FaultKind::Delay || r.kind == FaultKind::Reorder) {
+        out += ",delay=";
+        append_time(out, r.delay);
+      }
+    } else {
+      out += "node=" + std::to_string(r.node);
+      if (r.kind == FaultKind::PortDisable ||
+          r.kind == FaultKind::BufferExhaust) {
+        out += ",port=" + std::to_string(r.port);
+      }
+      out += ",at=";
+      append_time(out, r.at);
+      out += ",dur=";
+      append_time(out, r.dur);
+      if (r.kind == FaultKind::NodeSlow) {
+        out += ",factor=";
+        append_double(out, r.factor);
+      }
+    }
+    out += ')';
+  }
+  return out;
+}
+
+bool FaultPlan::parse(const std::string& text, FaultPlan& out,
+                      std::string& error) {
+  FaultPlan plan;
+  for (const auto& raw : split(text, ';')) {
+    const std::string tok = strip(raw);
+    if (tok.empty()) continue;
+    if (tok.rfind("seed=", 0) == 0) {
+      if (!parse_u64(tok.substr(5), plan.seed)) {
+        error = "bad seed: " + tok;
+        return false;
+      }
+      continue;
+    }
+    const std::size_t open = tok.find('(');
+    if (open == std::string::npos || tok.back() != ')') {
+      error = "expected kind(args): " + tok;
+      return false;
+    }
+    FaultRule rule;
+    const std::string name = strip(tok.substr(0, open));
+    if (!kind_from_name(name, rule.kind)) {
+      error = "unknown fault kind: " + name;
+      return false;
+    }
+    const std::string args = tok.substr(open + 1, tok.size() - open - 2);
+    for (const auto& raw_arg : split(args, ',')) {
+      const std::string arg = strip(raw_arg);
+      if (arg.empty()) continue;
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        error = "expected key=value: " + arg + " in " + tok;
+        return false;
+      }
+      const std::string key = strip(arg.substr(0, eq));
+      const std::string val = strip(arg.substr(eq + 1));
+      bool ok = true;
+      std::uint64_t u = 0;
+      if (key == "src") ok = parse_int(val, rule.src);
+      else if (key == "dst") ok = parse_int(val, rule.dst);
+      else if (key == "after") ok = parse_u64(val, rule.after);
+      else if (key == "count") ok = parse_u64(val, rule.count);
+      else if (key == "prob") ok = parse_double(val, rule.prob);
+      else if (key == "copies") {
+        ok = parse_u64(val, u) && u >= 1 && u <= 8;
+        rule.copies = static_cast<int>(u);
+      } else if (key == "delay") ok = parse_time(val, rule.delay);
+      else if (key == "node") ok = parse_int(val, rule.node);
+      else if (key == "port") ok = parse_int(val, rule.port);
+      else if (key == "at") ok = parse_time(val, rule.at);
+      else if (key == "dur") ok = parse_time(val, rule.dur);
+      else if (key == "factor") ok = parse_double(val, rule.factor);
+      else {
+        error = "unknown key '" + key + "' in " + tok;
+        return false;
+      }
+      if (!ok) {
+        error = "bad value for '" + key + "' in " + tok;
+        return false;
+      }
+    }
+    if (rule.prob < 0.0 || rule.prob > 1.0) {
+      error = "prob outside [0,1] in " + tok;
+      return false;
+    }
+    if (rule.kind == FaultKind::NodeSlow && rule.factor <= 0.0) {
+      error = "factor must be > 0 in " + tok;
+      return false;
+    }
+    if (!is_message_kind(rule.kind) && rule.node < 0) {
+      error = "timed fault needs node=N in " + tok;
+      return false;
+    }
+    if (rule.kind == FaultKind::BufferExhaust && rule.dur <= 0) {
+      error = "exhaust needs dur > 0 in " + tok;
+      return false;
+    }
+    plan.rules.push_back(rule);
+  }
+  out = std::move(plan);
+  return true;
+}
+
+FaultPlan FaultPlan::parse_or_die(const std::string& text) {
+  FaultPlan plan;
+  std::string error;
+  TMKGM_CHECK_MSG(parse(text, plan, error),
+                  "bad fault plan: " << error);
+  return plan;
+}
+
+FaultPlan random_plan(std::uint64_t seed, int n_nodes) {
+  TMKGM_CHECK(n_nodes >= 2);
+  Rng rng(seed ^ 0xfa17ed5eedULL);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  auto any_node = [&]() -> int {
+    // 50%: any node; otherwise a specific one.
+    if (rng.next_bool(0.5)) return -1;
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_nodes)));
+  };
+
+  const int message_rules = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < message_rules; ++i) {
+    FaultRule r;
+    constexpr FaultKind kinds[] = {FaultKind::Drop, FaultKind::Duplicate,
+                                   FaultKind::Reorder, FaultKind::Delay};
+    r.kind = kinds[rng.next_below(4)];
+    r.src = any_node();
+    r.dst = any_node();
+    r.after = rng.next_below(40);
+    r.count = 1 + rng.next_below(3);  // bounded burst: runs always finish
+    r.delay = microseconds(50.0 + static_cast<double>(rng.next_below(400)));
+    if (r.kind == FaultKind::Duplicate) {
+      r.copies = 1 + static_cast<int>(rng.next_below(2));
+    }
+    plan.rules.push_back(r);
+  }
+  const auto pick_node = [&] {
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n_nodes)));
+  };
+  if (rng.next_bool(0.5)) {
+    FaultRule r;
+    r.kind = FaultKind::PortDisable;
+    r.node = pick_node();
+    r.at = microseconds(500.0 + static_cast<double>(rng.next_below(3000)));
+    r.dur = milliseconds(1.0 + static_cast<double>(rng.next_below(4)));
+    plan.rules.push_back(r);
+  }
+  if (rng.next_bool(0.5)) {
+    FaultRule r;
+    r.kind = FaultKind::BufferExhaust;
+    r.node = pick_node();
+    r.at = microseconds(500.0 + static_cast<double>(rng.next_below(3000)));
+    r.dur = milliseconds(1.0 + static_cast<double>(rng.next_below(3)));
+    plan.rules.push_back(r);
+  }
+  if (rng.next_bool(0.35)) {
+    FaultRule r;
+    r.kind = rng.next_bool(0.5) ? FaultKind::NodeSlow : FaultKind::NodePause;
+    r.node = pick_node();
+    r.at = microseconds(200.0 + static_cast<double>(rng.next_below(2000)));
+    r.dur = milliseconds(1.0 + static_cast<double>(rng.next_below(2)));
+    r.factor = 2.0 + static_cast<double>(rng.next_below(3));
+    plan.rules.push_back(r);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, sim::Engine& engine)
+    : engine_(engine),
+      plan_(std::move(plan)),
+      state_(plan_.rules.size()),
+      rng_(plan_.seed ^ 0xfa17c0dedULL) {
+  for (const auto& r : plan_.rules) {
+    if (r.kind == FaultKind::NodeSlow || r.kind == FaultKind::NodePause) {
+      warps_compute_ = true;
+    }
+  }
+}
+
+bool FaultInjector::rule_fires(const FaultRule& r, RuleState& s, int src,
+                               int dst) {
+  if (r.src != -1 && r.src != src) return false;
+  if (r.dst != -1 && r.dst != dst) return false;
+  const std::uint64_t idx = s.matched++;
+  if (idx < r.after) return false;
+  if (r.count != 0 && s.applied >= r.count) return false;
+  if (r.prob < 1.0 && !rng_.next_bool(r.prob)) return false;
+  ++s.applied;
+  return true;
+}
+
+SimTime FaultInjector::transfer_delay(int src, int dst, std::uint64_t bytes) {
+  SimTime extra = 0;
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if (r.kind != FaultKind::Delay) continue;
+    if (!rule_fires(r, state_[i], src, dst)) continue;
+    extra += r.delay;
+    ++stats_.delays_injected;
+    emit(engine_, obs::Kind::FaultDelay, src, dst,
+         static_cast<std::uint64_t>(r.delay), bytes);
+  }
+  return extra;
+}
+
+FaultInjector::MsgFault FaultInjector::message_fault(int src, int dst) {
+  MsgFault out;
+  // Drop wins: a dropped message never carries a duplicate or reorder, and
+  // the other rules' match counters are not advanced for it.
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if (r.kind != FaultKind::Drop) continue;
+    if (rule_fires(r, state_[i], src, dst)) {
+      out.drop = true;
+      ++stats_.drops_injected;
+      emit(engine_, obs::Kind::FaultDrop, src, dst, 0, 0);
+      return out;
+    }
+  }
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if (r.kind == FaultKind::Duplicate) {
+      if (rule_fires(r, state_[i], src, dst)) {
+        out.duplicates += r.copies;
+        stats_.dups_injected += static_cast<std::uint64_t>(r.copies);
+        emit(engine_, obs::Kind::FaultDup, src, dst,
+             static_cast<std::uint64_t>(r.copies), 0);
+      }
+    } else if (r.kind == FaultKind::Reorder) {
+      if (rule_fires(r, state_[i], src, dst)) {
+        out.reorder_delay += r.delay;
+        ++stats_.reorders_injected;
+        emit(engine_, obs::Kind::FaultReorder, src, dst,
+             static_cast<std::uint64_t>(r.delay), 0);
+      }
+    }
+  }
+  return out;
+}
+
+SimTime FaultInjector::warp_compute(int node, SimTime now, SimTime dur) {
+  SimTime out = dur;
+  bool warped = false;
+  for (const auto& r : plan_.rules) {
+    if (r.node != node) continue;
+    const bool in_window = now >= r.at && now < r.at + r.dur;
+    if (!in_window) continue;
+    if (r.kind == FaultKind::NodeSlow) {
+      out = static_cast<SimTime>(static_cast<double>(out) * r.factor);
+      warped = true;
+    } else if (r.kind == FaultKind::NodePause) {
+      // The CPU is frozen for the rest of the window; the quantum's work
+      // only starts once it thaws.
+      out += (r.at + r.dur) - now;
+      warped = true;
+    }
+  }
+  if (warped) ++stats_.compute_warped;
+  return out;
+}
+
+void FaultInjector::note_send_failure(int node, int peer) {
+  ++stats_.send_failures;
+  emit(engine_, obs::Kind::FaultSendFail, node, peer, 0, 0);
+}
+
+void FaultInjector::note_port_disabled(int node, int port) {
+  ++stats_.port_disables;
+  emit(engine_, obs::Kind::FaultPortDisable, node, -1,
+       static_cast<std::uint64_t>(port), 0);
+}
+
+void FaultInjector::note_port_reenabled(int node, int port) {
+  ++stats_.port_reenables;
+  emit(engine_, obs::Kind::FaultPortReenable, node, -1,
+       static_cast<std::uint64_t>(port), 0);
+}
+
+void FaultInjector::note_buffer_seize(int node, int port) {
+  ++stats_.buffer_seizes;
+  emit(engine_, obs::Kind::FaultBufSeize, node, -1,
+       static_cast<std::uint64_t>(port), 0);
+}
+
+void FaultInjector::note_buffer_restore(int node, int port) {
+  ++stats_.buffer_restores;
+  emit(engine_, obs::Kind::FaultBufRestore, node, -1,
+       static_cast<std::uint64_t>(port), 0);
+}
+
+void FaultInjector::note_recovery(int node, int peer, std::uint64_t bytes) {
+  ++stats_.recoveries;
+  emit(engine_, obs::Kind::FaultRecover, node, peer, 0, bytes);
+}
+
+}  // namespace tmkgm::fault

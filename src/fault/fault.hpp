@@ -1,0 +1,207 @@
+// Deterministic, scriptable fault injection for the simulated testbed.
+//
+// A FaultPlan is a seeded list of rules, each describing one fault:
+//
+//   per-message (matched by (src, dst), in deterministic send order):
+//     drop     — the message is lost. On UDP that is a vanished datagram
+//                (retransmission recovers); on GM the firmware's resend
+//                loop exhausts, the SEND fails after gm_resend_timeout and
+//                the sending port is disabled (paper §2: GM's failure
+//                semantics), which exercises the substrate recovery path.
+//     dup      — the message is carried twice. UDP delivers both copies
+//                (the responder's dedup window absorbs the second); GM
+//                firmware suppresses duplicates, so only the extra fabric
+//                occupancy is modeled.
+//     delay    — extra transmit occupancy at the fabric layer. FIFO is
+//                preserved (congestion-like), so both substrates just see
+//                added latency.
+//     reorder  — one message is held back so later traffic overtakes it.
+//                UDP genuinely delivers out of order; GM resequences in
+//                firmware, surfaced to the host as added latency.
+//
+//   timed (armed on the engine clock):
+//     disable  — flips a GM port to disabled at `at` (optionally back at
+//                `at+dur`), as if a send failure had tripped it.
+//     exhaust  — seizes every posted receive buffer on a GM port for
+//                [at, at+dur): arrivals park, the resend timer expires,
+//                sends FAIL and the sending port is disabled — the paper's
+//                buffer-exhaustion path, end to end.
+//     slow     — multiplies compute quanta started inside [at, at+dur) by
+//                `factor` on one node (an overloaded host).
+//     pause    — freezes a node's CPU for the rest of the window when it
+//                first computes inside [at, at+dur).
+//
+// Plans parse from / print to a stable string form, e.g.
+//   "seed=7;drop(src=1,dst=0,after=4,count=2);disable(node=2,at=2ms,dur=3ms)"
+// so any run — including a fuzzer counterexample — replays exactly via
+// `tmkgm_run --faults PLAN`.
+//
+// The FaultInjector is the runtime seam: layers consult it at decision
+// points (one pointer load + branch when no plan is installed, same as
+// Engine::tracing()) and report back when an injected fault materializes,
+// so tests can assert conservation: every injected fault is observed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::fault {
+
+enum class FaultKind : std::uint8_t {
+  Drop,           // per-message
+  Duplicate,      // per-message
+  Delay,          // per-message (fabric occupancy)
+  Reorder,        // per-message (held-back delivery)
+  PortDisable,    // timed, GM only
+  BufferExhaust,  // timed, GM only
+  NodeSlow,       // timed, per-node compute window
+  NodePause,      // timed, per-node compute window
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::Drop;
+
+  // Per-message matchers (-1 = any). A message is "eligible" when src/dst
+  // match; the rule applies to eligible messages after skipping `after`,
+  // for `count` applications (0 = unbounded), each with probability `prob`.
+  int src = -1;
+  int dst = -1;
+  std::uint64_t after = 0;
+  std::uint64_t count = 1;
+  double prob = 1.0;
+  int copies = 1;                     // Duplicate: extra copies per message
+  SimTime delay = microseconds(200);  // Delay / Reorder magnitude
+
+  // Timed faults.
+  int node = 0;
+  int port = 2;  // fastgm::kRequestPort; reply port is 3
+  SimTime at = 0;
+  SimTime dur = milliseconds(5.0);
+  double factor = 4.0;  // NodeSlow compute multiplier
+
+  bool operator==(const FaultRule&) const = default;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Canonical, replayable form; parse(to_string()) reproduces the plan.
+  std::string to_string() const;
+
+  /// Parses the rule grammar above. Returns false (with a message in
+  /// `error`) on malformed input; `out` is untouched on failure.
+  static bool parse(const std::string& text, FaultPlan& out,
+                    std::string& error);
+
+  /// parse() that throws CheckError on malformed input — for tests and
+  /// trusted plan literals.
+  static FaultPlan parse_or_die(const std::string& text);
+};
+
+/// Bounded random plan for fuzzing: a handful of finite message bursts
+/// plus at most one of each timed fault, all windowed so every run still
+/// completes. Deterministic in `seed`.
+FaultPlan random_plan(std::uint64_t seed, int n_nodes);
+
+/// Injected vs. materialized tallies; rolled into the "fault.*" counter
+/// rows of a cluster run. The *_injected / *_observed pairs must balance
+/// at end of run (the conservation invariant the matrix test asserts).
+struct FaultStats {
+  std::uint64_t drops_injected = 0;
+  std::uint64_t drops_observed = 0;
+  std::uint64_t dups_injected = 0;
+  std::uint64_t dups_observed = 0;
+  std::uint64_t delays_injected = 0;
+  std::uint64_t delays_observed = 0;
+  std::uint64_t reorders_injected = 0;
+  std::uint64_t reorders_observed = 0;
+  std::uint64_t send_failures = 0;   // GM send callbacks that reported failure
+  std::uint64_t port_disables = 0;   // plan-driven disables that took effect
+  std::uint64_t port_reenables = 0;  // reenables (plan-driven or recovery)
+  std::uint64_t buffer_seizes = 0;
+  std::uint64_t buffer_restores = 0;
+  std::uint64_t recoveries = 0;      // substrate re-drives of failed sends
+  std::uint64_t compute_warped = 0;  // compute quanta stretched or paused
+};
+
+/// Runtime decision seam. One instance per cluster run, consulted from
+/// net::Network (delay), gm::Port (drop/dup/reorder as GM firmware
+/// behavior), udpnet::UdpStack (drop/dup/reorder as datagram behavior) and
+/// sim::Node (compute warp), and armed for timed faults by the cluster
+/// harness. All decisions are deterministic: rule state advances in
+/// engine event order and probabilistic rules draw from a plan-seeded Rng.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, sim::Engine& engine);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Extra transmit occupancy for one fabric transfer (Delay rules). The
+  /// network must call note_delay_observed() when it charges a non-zero
+  /// result.
+  SimTime transfer_delay(int src, int dst, std::uint64_t bytes);
+
+  /// Per-message verdict for Drop / Duplicate / Reorder rules, shared by
+  /// the GM send path and the UDP datagram path. A drop wins over the
+  /// other kinds for the same message. Counted as injected here; the
+  /// consuming layer reports materialization via the note_* calls.
+  struct MsgFault {
+    bool drop = false;
+    int duplicates = 0;
+    SimTime reorder_delay = 0;
+  };
+  MsgFault message_fault(int src, int dst);
+
+  /// True when the plan contains NodeSlow / NodePause rules (the cluster
+  /// only installs the engine compute-warp hook in that case).
+  bool warps_compute() const { return warps_compute_; }
+
+  /// Compute-warp hook: duration a quantum of `dur` starting at `now` on
+  /// `node` really takes under the plan's slow/pause windows.
+  SimTime warp_compute(int node, SimTime now, SimTime dur);
+
+  // Materialization reports from the layers (conservation bookkeeping).
+  void note_drop_observed() { ++stats_.drops_observed; }
+  void note_dup_observed() { ++stats_.dups_observed; }
+  void note_delay_observed() { ++stats_.delays_observed; }
+  void note_reorder_observed() { ++stats_.reorders_observed; }
+
+  // Lifecycle events (traced; counted).
+  void note_send_failure(int node, int peer);
+  void note_port_disabled(int node, int port);
+  void note_port_reenabled(int node, int port);
+  void note_buffer_seize(int node, int port);
+  void note_buffer_restore(int node, int port);
+  void note_recovery(int node, int peer, std::uint64_t bytes);
+
+ private:
+  struct RuleState {
+    std::uint64_t matched = 0;  // eligible messages seen
+    std::uint64_t applied = 0;  // times the rule fired
+  };
+
+  /// Advances rule state for one eligible message; true when the rule
+  /// fires on it.
+  bool rule_fires(const FaultRule& r, RuleState& s, int src, int dst);
+
+  sim::Engine& engine_;
+  FaultPlan plan_;
+  std::vector<RuleState> state_;
+  Rng rng_;
+  FaultStats stats_;
+  bool warps_compute_ = false;
+};
+
+}  // namespace tmkgm::fault

@@ -84,6 +84,12 @@ void Port::provide_receive_buffer(void* buf, int size) {
   TMKGM_CHECK_MSG(
       nic_.is_registered(buf, buffer_bytes_for_size(size)),
       "receive buffer not in registered memory (node " << node_id() << ")");
+  if (buffers_seized_) [[unlikely]] {
+    // Exhaust window: withhold re-posted buffers too, or handlers would
+    // drain the fault away as fast as it is injected.
+    seized_[size].push_back(buf);
+    return;
+  }
   auto& parked = parked_[size];
   if (!parked.empty()) {
     auto msg = parked.front();
@@ -154,22 +160,57 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
   };
 
   auto& system = nic_.system_;
-  system.network().transfer(
-      node_id(), dest_node,
-      len + system.config().wire_header_bytes,
-      [&system, dest_node, dest_port, msg] {
-        Port* port = system.nic(dest_node).port(dest_port);
-        if (port == nullptr) {
-          // No such port: the message can never be claimed; GM's resend
-          // timer eventually fails the send.
-          auto& eng = system.network().engine();
-          auto done = msg->complete;
-          eng.after(system.network().cost().gm_resend_timeout,
-                    [done] { done(Status::SendTimedOut); });
-          return;
-        }
-        port->deliver(msg);
+  const std::uint64_t wire_bytes = len + system.config().wire_header_bytes;
+  auto deliver_fn = [&system, dest_node, dest_port, msg] {
+    Port* port = system.nic(dest_node).port(dest_port);
+    if (port == nullptr) {
+      // No such port: the message can never be claimed; GM's resend
+      // timer eventually fails the send.
+      auto& eng = system.network().engine();
+      auto done = msg->complete;
+      eng.after(system.network().cost().gm_resend_timeout,
+                [done] { done(Status::SendTimedOut); });
+      return;
+    }
+    port->deliver(msg);
+  };
+
+  fault::FaultInjector* inj = system.network().fault_injector();
+  if (inj != nullptr) [[unlikely]] {
+    const auto f = inj->message_fault(node_id(), dest_node);
+    if (f.drop) {
+      // The wire transfer never succeeds: GM firmware resends silently
+      // until the timer expires, then the send fails and the port is
+      // disabled — the paper's reliability failure mode.
+      engine.after(cost.gm_resend_timeout, [inj, msg] {
+        inj->note_drop_observed();
+        msg->complete(Status::SendTimedOut);
       });
+      return;
+    }
+    for (int i = 0; i < f.duplicates; ++i) {
+      // Wire-level duplicate: the receiving firmware suppresses it, so
+      // only the extra fabric occupancy is visible.
+      system.network().transfer(node_id(), dest_node, wire_bytes,
+                                [inj] { inj->note_dup_observed(); });
+    }
+    if (f.reorder_delay > 0) {
+      // Held back in the sending firmware; GM still delivers in order
+      // per (node, port) pair, so this surfaces as added latency.
+      GmSystem* sys = &system;
+      const int src = node_id();
+      engine.after(f.reorder_delay,
+                   [sys, inj, src, dest_node, wire_bytes, deliver_fn] {
+                     inj->note_reorder_observed();
+                     sys->network().transfer(src, dest_node, wire_bytes,
+                                             deliver_fn);
+                   });
+      return;
+    }
+  }
+
+  system.network().transfer(node_id(), dest_node, wire_bytes,
+                            std::move(deliver_fn));
 }
 
 void Port::deliver(std::shared_ptr<Inbound> msg) {
@@ -256,6 +297,32 @@ void Port::reenable() {
   TMKGM_CHECK(!enabled_);
   nic_.node_.compute(nic_.system_.network().cost().gm_port_reenable);
   enabled_ = true;
+}
+
+bool Port::fault_set_enabled(bool on) {
+  if (enabled_ == on) return false;
+  enabled_ = on;
+  return true;
+}
+
+void Port::fault_seize_buffers() {
+  buffers_seized_ = true;
+  for (auto& [size, pool] : buffers_) {
+    auto& stash = seized_[size];
+    while (!pool.empty()) {
+      stash.push_back(pool.front());
+      pool.pop_front();
+    }
+  }
+}
+
+void Port::fault_restore_buffers() {
+  buffers_seized_ = false;
+  auto stash = std::move(seized_);
+  seized_.clear();
+  for (auto& [size, bufs] : stash) {
+    for (void* buf : bufs) provide_receive_buffer(buf, size);
+  }
 }
 
 }  // namespace tmkgm::gm

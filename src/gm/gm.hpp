@@ -135,6 +135,20 @@ class Port {
   /// probe on the caller's CPU.
   void reenable();
 
+  // --- fault-injection hooks (fault/fault.hpp; event context is fine) ---
+  /// Forces the enabled flag (a plan-driven disable, or the reenable at
+  /// the end of its window — no CPU charge, unlike reenable()). Returns
+  /// false when the port was already in the requested state.
+  bool fault_set_enabled(bool on);
+  /// Withholds every posted receive buffer (and any posted during the
+  /// window): arrivals park, the resend timer expires, sends FAIL and the
+  /// sending port is disabled — the paper's buffer-exhaustion path.
+  void fault_seize_buffers();
+  /// Ends the exhaustion window; stashed buffers are re-posted (serving
+  /// parked arrivals first).
+  void fault_restore_buffers();
+  bool fault_buffers_seized() const { return buffers_seized_; }
+
   int send_tokens() const { return send_tokens_; }
   int posted_buffers(int size) const;
 
@@ -174,6 +188,8 @@ class Port {
 
   std::map<int, std::deque<void*>> buffers_;                 // size -> FIFO
   std::map<int, std::deque<std::shared_ptr<Inbound>>> parked_;  // size -> FIFO
+  bool buffers_seized_ = false;  // exhaust window active
+  std::map<int, std::deque<void*>> seized_;  // withheld during the window
   std::deque<RecvMsg> recv_queue_;
   sim::Condition recv_cond_;
   Stats stats_;

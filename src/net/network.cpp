@@ -29,9 +29,15 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
   const double bottleneck =
       std::min(fabric_.wire_bytes_per_us, fabric_.pci_bytes_per_us);
 
+  SimTime injected = 0;
+  if (injector_ != nullptr) [[unlikely]] {
+    injected = injector_->transfer_delay(src, dst, bytes);
+    if (injected > 0) injector_->note_delay_observed();
+  }
+
   const SimTime tx_start = std::max(now, tx_free_[static_cast<std::size_t>(src)]);
   const SimTime tx_occ = fabric_.per_msg + fabric_.dma_setup +
-                         transfer_time(bytes, bottleneck);
+                         transfer_time(bytes, bottleneck) + injected;
   tx_free_[static_cast<std::size_t>(src)] = tx_start + tx_occ;
 
   const SimTime arrival =

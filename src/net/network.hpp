@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/cost_model.hpp"
 #include "sim/engine.hpp"
 
@@ -45,6 +46,14 @@ class Network {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Fault seam: Delay rules add transmit occupancy per transfer (FIFO
+  /// preserved — injected delay looks like congestion). Null (the default)
+  /// costs one load + branch per transfer.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
  private:
   sim::Engine& engine_;
   CostModel cost_;
@@ -52,6 +61,7 @@ class Network {
   std::vector<SimTime> tx_free_;
   std::vector<SimTime> rx_free_;
   Stats stats_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace tmkgm::net

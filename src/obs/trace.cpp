@@ -16,6 +16,7 @@ const char* to_string(Cat cat) {
     case Cat::Udp: return "udp";
     case Cat::Sub: return "sub";
     case Cat::Tmk: return "tmk";
+    case Cat::Fault: return "fault";
   }
   return "?";
 }
@@ -52,6 +53,16 @@ const char* to_string(Kind kind) {
     case Kind::LockRelease: return "lock_release";
     case Kind::Barrier: return "barrier";
     case Kind::GcRound: return "gc_round";
+    case Kind::FaultDrop: return "fault_drop";
+    case Kind::FaultDup: return "fault_dup";
+    case Kind::FaultDelay: return "fault_delay";
+    case Kind::FaultReorder: return "fault_reorder";
+    case Kind::FaultSendFail: return "fault_send_fail";
+    case Kind::FaultPortDisable: return "fault_port_disable";
+    case Kind::FaultPortReenable: return "fault_port_reenable";
+    case Kind::FaultBufSeize: return "fault_buf_seize";
+    case Kind::FaultBufRestore: return "fault_buf_restore";
+    case Kind::FaultRecover: return "fault_recover";
   }
   return "?";
 }

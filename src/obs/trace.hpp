@@ -32,8 +32,9 @@ enum class Cat : std::uint8_t {
   Udp,   ///< kernel UDP stack: datagrams sent / delivered / dropped
   Sub,   ///< substrate messages (FAST/GM, UDP/GM or FAST/IB)
   Tmk,   ///< TreadMarks protocol actions
+  Fault, ///< injected faults and the recovery actions they trigger
 };
-inline constexpr int kNumCats = 6;
+inline constexpr int kNumCats = 7;
 
 enum class Kind : std::uint8_t {
   // Cat::Node
@@ -72,12 +73,24 @@ enum class Kind : std::uint8_t {
   LockRelease,
   Barrier,
   GcRound,
+  // Cat::Fault — injected faults (fault/fault.hpp) and recovery actions.
+  FaultDrop,          ///< message dropped by plan; peer = dst
+  FaultDup,           ///< a = extra copies injected
+  FaultDelay,         ///< a = added occupancy (ns)
+  FaultReorder,       ///< a = hold-back delay (ns)
+  FaultSendFail,      ///< GM send failed (timeout or disabled port)
+  FaultPortDisable,   ///< plan disabled a port; a = port id
+  FaultPortReenable,  ///< port re-enabled (plan or recovery); a = port id
+  FaultBufSeize,      ///< receive buffers seized; a = port id
+  FaultBufRestore,    ///< receive buffers restored; a = port id
+  FaultRecover,       ///< substrate re-drove a failed send; peer = dst
 };
 
 /// Drop reasons carried in TraceEvent::a for Kind::UdpDrop.
 inline constexpr std::uint64_t kDropOverflow = 0;
 inline constexpr std::uint64_t kDropRandom = 1;
 inline constexpr std::uint64_t kDropUnbound = 2;
+inline constexpr std::uint64_t kDropInjected = 3;
 
 const char* to_string(Cat cat);
 const char* to_string(Kind kind);

@@ -94,6 +94,13 @@ class Engine {
   obs::Tracer* tracer() const { return tracer_; }
   bool tracing() const { return tracer_ != nullptr; }
 
+  /// Compute-warp hook (fault injection: slow / paused nodes). When set,
+  /// every Node::compute quantum is mapped through it: (node, now, dur) ->
+  /// warped dur. Unset (the default) costs nothing on the compute path
+  /// beyond one branch.
+  using ComputeWarp = std::function<SimTime(int node, SimTime now, SimTime dur)>;
+  void set_compute_warp(ComputeWarp warp) { compute_warp_ = std::move(warp); }
+
  private:
   friend class Node;
   friend class Condition;
@@ -133,6 +140,7 @@ class Engine {
   std::uint64_t event_limit_ = 0;
   std::exception_ptr node_failure_;
   obs::Tracer* tracer_ = nullptr;
+  ComputeWarp compute_warp_;
 };
 
 }  // namespace tmkgm::sim

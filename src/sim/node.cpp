@@ -57,6 +57,11 @@ void Node::compute(SimTime dur) {
   TMKGM_CHECK(dur >= 0);
   drain_interrupts();
   if (dur == 0) return;
+  if (engine_.compute_warp_) [[unlikely]] {
+    dur = engine_.compute_warp_(id_, engine_.now(), dur);
+    TMKGM_CHECK(dur >= 0);
+    if (dur == 0) return;
+  }
   // Coalescing fast path: with nothing deliverable pending (events never
   // run while we hold the baton, so nothing new can arrive mid-quantum)
   // and no event scheduled inside the quantum, advance virtual time in

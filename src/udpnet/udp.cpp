@@ -103,6 +103,17 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
   const bool forced = system_.drop_filter_ != nullptr &&
                       system_.drop_filter_(node_.id(), dst_node, dst_port, len);
 
+  // Fault-plan verdict for this datagram (remote sends only; drop wins
+  // over dup/reorder inside message_fault).
+  fault::FaultInjector* inj = nullptr;
+  fault::FaultInjector::MsgFault mf;
+  if (dst_node != node_.id()) {
+    inj = system_.network().fault_injector();
+    if (inj != nullptr) [[unlikely]] {
+      mf = inj->message_fault(node_.id(), dst_node);
+    }
+  }
+
   Datagram dg;
   dg.src_node = node_.id();
   dg.src_port = src_sock.udp_port;
@@ -137,43 +148,77 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
     return;
   }
 
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(node_.id()) << 32) | next_datagram_id_++;
-
   // The payload rides with fragment 0's completion record; the remaining
   // fragments are pure bookkeeping (the content already sits in kernel
   // memory at the receiver once all fragments have arrived).
   auto shared_dg = std::make_shared<Datagram>(std::move(dg));
-  for (std::size_t f = 0; f < nfrag; ++f) {
-    const std::size_t frag_len = std::min(mtu, len - f * mtu);
-    const bool dropped =
-        (f == 0 && forced) || system_.rng_.next_bool(cost.k_drop_prob);
-    system_.network().transfer(
-        node_.id(), dst_node, frag_len + kUdpIpHeader,
-        [&dst, key, nfrag, dropped, dst_port, shared_dg, frag_len] {
-          // Receive-side kernel work per packet (incl. the IP-over-GM
-          // staging copy), then reassembly.
-          auto& eng = dst.system_.network().engine();
-          const auto& c = dst.system_.cost();
-          eng.after(c.k_rx_interrupt + c.k_udp_proto +
-                        transfer_time(frag_len, c.k_ipgm_bytes_per_us),
-                    [&dst, key, nfrag, dropped, dst_port, shared_dg] {
-                      dst.fragment_arrived(key, nfrag, dropped, dst_port,
-                                           shared_dg);
-                    });
-        });
+  // Everything a (possibly deferred) ship of this datagram needs, by
+  // value: a Reorder hold-back runs it from event context later.
+  auto ship = [this, &dst, dst_node, dst_port, nfrag, len, mtu, forced,
+               drop_injected = mf.drop, shared_dg](FragMeta base) {
+    const auto& cost = system_.cost();
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(node_.id()) << 32) | next_datagram_id_++;
+    for (std::size_t f = 0; f < nfrag; ++f) {
+      const std::size_t frag_len = std::min(mtu, len - f * mtu);
+      FragMeta meta = base;
+      if ((f == 0 && forced && !base.dup) ||
+          system_.rng_.next_bool(cost.k_drop_prob)) {
+        meta.drop_reason = 1;
+      } else if (f == 0 && drop_injected && !base.dup) {
+        meta.drop_reason = 2;
+      }
+      system_.network().transfer(
+          node_.id(), dst_node, frag_len + kUdpIpHeader,
+          [&dst, key, nfrag, meta, dst_port, shared_dg, frag_len] {
+            // Receive-side kernel work per packet (incl. the IP-over-GM
+            // staging copy), then reassembly.
+            auto& eng = dst.system_.network().engine();
+            const auto& c = dst.system_.cost();
+            eng.after(c.k_rx_interrupt + c.k_udp_proto +
+                          transfer_time(frag_len, c.k_ipgm_bytes_per_us),
+                      [&dst, key, nfrag, meta, dst_port, shared_dg] {
+                        dst.fragment_arrived(key, nfrag, meta, dst_port,
+                                             shared_dg);
+                      });
+          });
+    }
+  };
+
+  if (mf.reorder_delay > 0) {
+    // Hold the whole datagram back in the shim driver; everything sent
+    // after it overtakes it on the wire (true UDP reordering).
+    engine.after(mf.reorder_delay, [inj, ship] {
+      inj->note_reorder_observed();
+      ship(FragMeta{.reordered = true});
+    });
+  } else {
+    ship(FragMeta{});
+  }
+
+  // Wire-level duplicates: the kernel sent once, the wire carried the
+  // datagram again, so the copies charge no send-side CPU. The receiver's
+  // dedup window is what absorbs them.
+  for (int c = 0; c < mf.duplicates; ++c) {
+    ship(FragMeta{.dup = true});
   }
 }
 
 void UdpStack::fragment_arrived(std::uint64_t key, std::size_t total,
-                                bool dropped, int dst_port,
+                                FragMeta meta, int dst_port,
                                 const std::shared_ptr<Datagram>& dg) {
   auto& re = reassembly_[key];
   re.fragments_expected = total;
   ++re.fragments_arrived;
-  if (dropped) {
+  if (meta.drop_reason != 0) {
     re.poisoned = true;
-    ++system_.stats_.drops_random;
+    const bool injected = meta.drop_reason == 2;
+    if (injected) {
+      ++system_.stats_.drops_injected;
+      system_.network().fault_injector()->note_drop_observed();
+    } else {
+      ++system_.stats_.drops_random;
+    }
     auto& engine = system_.network().engine();
     if (engine.tracing()) [[unlikely]] {
       engine.tracer()->emit({.t = engine.now(),
@@ -181,7 +226,8 @@ void UdpStack::fragment_arrived(std::uint64_t key, std::size_t total,
                              .cat = obs::Cat::Udp,
                              .kind = obs::Kind::UdpDrop,
                              .peer = dg->src_node,
-                             .a = obs::kDropRandom,
+                             .a = injected ? obs::kDropInjected
+                                           : obs::kDropRandom,
                              .bytes = dg->payload.size()});
     }
   }
@@ -189,6 +235,12 @@ void UdpStack::fragment_arrived(std::uint64_t key, std::size_t total,
   const bool poisoned = re.poisoned;
   reassembly_.erase(key);
   if (poisoned) return;  // IP: lose one fragment, lose the datagram
+  if (meta.dup) {
+    // The duplicate copy completed reassembly; it now hits the receiver's
+    // dedup window like any repeated datagram. (Random loss could poison a
+    // copy first, but conservation tests run with k_drop_prob = 0.)
+    system_.network().fault_injector()->note_dup_observed();
+  }
   deliver_datagram(dst_port, Datagram(*dg));
 }
 

@@ -58,6 +58,7 @@ class UdpSystem {
     std::uint64_t drops_overflow = 0;
     std::uint64_t drops_random = 0;
     std::uint64_t drops_unbound = 0;
+    std::uint64_t drops_injected = 0;  // fault-plan drops (fault/fault.hpp)
   };
   const Stats& stats() const { return stats_; }
 
@@ -128,12 +129,20 @@ class UdpStack {
     bool poisoned = false;  // a fragment was dropped in flight
   };
 
+  /// Per-fragment fate, decided on the send path and reported to the fault
+  /// injector where it materializes (conservation bookkeeping).
+  struct FragMeta {
+    std::uint8_t drop_reason = 0;  // 0 none, 1 random/forced, 2 injected
+    bool dup = false;        // wire-level duplicate of an earlier datagram
+    bool reordered = false;  // held back by a Reorder rule
+  };
+
   Socket& sock(int s);
   const Socket& sock(int s) const;
 
   /// Delivery path, event context: one fragment has reached this node's
   /// kernel.
-  void fragment_arrived(std::uint64_t key, std::size_t total, bool dropped,
+  void fragment_arrived(std::uint64_t key, std::size_t total, FragMeta meta,
                         int dst_port, const std::shared_ptr<Datagram>& dg);
   void deliver_datagram(int dst_port, Datagram&& dg);
 

@@ -1,0 +1,121 @@
+// Coherence oracle: a single-node sequential replay of Jacobi and SOR
+// produces the exact final shared array; every faulted cluster run must
+// produce a byte-identical grid. Checksums can collide; memcmp over the
+// full array cannot — this is the strongest statement that fault recovery
+// never corrupts coherence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
+
+namespace tmkgm {
+namespace {
+
+using cluster::SubstrateKind;
+
+cluster::ClusterConfig oracle_config(SubstrateKind kind,
+                                     const std::string& plan) {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 4;
+  cfg.kind = kind;
+  cfg.seed = 1;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.event_limit = 500'000'000;
+  cfg.cost.gm_resend_timeout = milliseconds(20.0);  // see fault_matrix_test
+  if (!plan.empty()) cfg.faults = fault::FaultPlan::parse_or_die(plan);
+  return cfg;
+}
+
+void expect_bytes_equal(const std::vector<float>& got,
+                        const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(float)),
+            0);
+}
+
+constexpr const char* kPlans[] = {
+    "drop(count=3)",
+    "dup(count=3,copies=2);reorder(count=2,delay=250us)",
+    "seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)",
+    "delay(count=6,delay=150us);drop(src=2,count=1)",
+};
+
+class CoherenceOracleTest
+    : public ::testing::TestWithParam<std::tuple<SubstrateKind, int>> {};
+
+TEST_P(CoherenceOracleTest, JacobiGridMatchesSequentialReplay) {
+  const auto& [kind, plan_idx] = GetParam();
+  const std::string plan = kPlans[plan_idx];
+  SCOPED_TRACE("plan: " + plan);
+
+  apps::JacobiParams p{.rows = 32, .cols = 32, .iters = 4};
+  const std::vector<float> want = apps::jacobi_reference_grid(p);
+
+  std::vector<float> got;
+  p.capture = &got;
+  cluster::Cluster c(oracle_config(kind, plan));
+  c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+    apps::JacobiParams mine = p;
+    if (env.id != 0) mine.capture = nullptr;  // only proc 0 captures
+    apps::jacobi(t, mine);
+  });
+  expect_bytes_equal(got, want);
+}
+
+TEST_P(CoherenceOracleTest, SorGridMatchesSequentialReplay) {
+  const auto& [kind, plan_idx] = GetParam();
+  const std::string plan = kPlans[plan_idx];
+  SCOPED_TRACE("plan: " + plan);
+
+  apps::SorParams p{.rows = 32, .cols = 32, .iters = 3};
+  const std::vector<float> want = apps::sor_reference_grid(p);
+
+  std::vector<float> got;
+  p.capture = &got;
+  cluster::Cluster c(oracle_config(kind, plan));
+  c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+    apps::SorParams mine = p;
+    if (env.id != 0) mine.capture = nullptr;
+    apps::sor(t, mine);
+  });
+  expect_bytes_equal(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Oracle, CoherenceOracleTest,
+    ::testing::Combine(::testing::Values(SubstrateKind::FastGm,
+                                         SubstrateKind::UdpGm),
+                       ::testing::Range(0, 4)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == SubstrateKind::FastGm
+                             ? "FastGm"
+                             : "UdpGm") +
+             "_plan" + std::to_string(std::get<1>(info.param));
+    });
+
+// The oracle also certifies the fault-free runs, closing the loop: faulted
+// == fault-free == sequential replay, all bytewise.
+TEST(CoherenceOracleTest, FaultFreeRunMatchesReplay) {
+  for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm}) {
+    apps::JacobiParams p{.rows = 32, .cols = 32, .iters = 4};
+    const std::vector<float> want = apps::jacobi_reference_grid(p);
+    std::vector<float> got;
+    p.capture = &got;
+    cluster::Cluster c(oracle_config(kind, ""));
+    c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+      apps::JacobiParams mine = p;
+      if (env.id != 0) mine.capture = nullptr;
+      apps::jacobi(t, mine);
+    });
+    expect_bytes_equal(got, want);
+  }
+}
+
+}  // namespace
+}  // namespace tmkgm

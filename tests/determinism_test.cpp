@@ -83,6 +83,47 @@ TEST_P(DeterminismTest, TracingDoesNotChangeTheReport) {
   EXPECT_EQ(off, on);
 }
 
+ClusterConfig faulted_config(SubstrateKind kind) {
+  auto cfg = jacobi_config(kind);
+  cfg.cost.gm_resend_timeout = milliseconds(20.0);  // see fault_matrix_test
+  cfg.faults = fault::FaultPlan::parse_or_die(
+      "seed=9;drop(count=2);dup(count=2,copies=2);reorder(count=2,"
+      "delay=250us);disable(node=1,at=1ms,dur=2ms)");
+  return cfg;
+}
+
+TEST_P(DeterminismTest, FaultedReportIsByteIdenticalAcrossRuns) {
+  // Same seed + same FaultPlan => every fault fires at the same virtual
+  // instant, every recovery lands identically, and the report (now with
+  // fault.* rows) is byte-identical.
+  const auto cfg = faulted_config(GetParam());
+  const std::string first = run_jacobi_report(cfg);
+  const std::string second = run_jacobi_report(cfg);
+  EXPECT_NE(first.find("fault.drops_injected"), std::string::npos);
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(DeterminismTest, FaultedTraceIsByteIdenticalAcrossRuns) {
+  const auto cfg = faulted_config(GetParam());
+  obs::Tracer first, second;
+  run_jacobi_report(cfg, &first);
+  run_jacobi_report(cfg, &second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(obs::chrome_trace_json(first.events()),
+            obs::chrome_trace_json(second.events()));
+}
+
+TEST_P(DeterminismTest, EmptyPlanLeavesTheReportUntouched) {
+  // An empty FaultPlan must not install an injector: no fault.* rows, no
+  // perturbation — the fault seam is invisible until a plan is scripted.
+  const auto plain = run_jacobi_report(jacobi_config(GetParam()));
+  auto cfg = jacobi_config(GetParam());
+  cfg.faults = fault::FaultPlan{};
+  const std::string with_empty_plan = run_jacobi_report(cfg);
+  EXPECT_EQ(plain.find("fault."), std::string::npos);
+  EXPECT_EQ(plain, with_empty_plan);
+}
+
 INSTANTIATE_TEST_SUITE_P(Substrates, DeterminismTest,
                          ::testing::Values(SubstrateKind::FastGm,
                                            SubstrateKind::UdpGm),

@@ -1,0 +1,197 @@
+// Fault matrix: {Jacobi, SOR, FFT3D, IS} x {FAST/GM, UDP/GM} x
+// {drop-burst, dup, reorder, port-disable}. Every combination must run to
+// completion, produce results bitwise identical to the fault-free run, and
+// balance the fault.* conservation counters (every injected fault is
+// observed). A second sweep drives all eight apps through the acceptance
+// plan (drops + port-disable) on both substrates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "apps/apps.hpp"
+#include "apps/extended.hpp"
+#include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
+
+namespace tmkgm {
+namespace {
+
+using cluster::SubstrateKind;
+
+cluster::ClusterConfig base_config(SubstrateKind kind,
+                                   const std::string& plan) {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 4;
+  cfg.kind = kind;
+  cfg.seed = 1;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.event_limit = 500'000'000;
+  // A forced GM drop stalls the sender for the full resend timeout. The
+  // testbed's 3s value is faithful but makes lock-polling apps burn host
+  // wall-clock waiting it out, so fault tests shrink it (virtual-time
+  // semantics — fail, disable, recover — are unchanged).
+  cfg.cost.gm_resend_timeout = milliseconds(20.0);
+  if (!plan.empty()) cfg.faults = fault::FaultPlan::parse_or_die(plan);
+  return cfg;
+}
+
+/// Runs one of the named apps at matrix-test size; returns proc 0's
+/// checksum and fills `out`.
+double run_app(const std::string& app, SubstrateKind kind,
+               const std::string& plan, cluster::RunResult* out = nullptr) {
+  cluster::Cluster c(base_config(kind, plan));
+  double checksum = 0.0;
+  const auto result = c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+    apps::AppResult r;
+    if (app == "jacobi") {
+      r = apps::jacobi(t, {.rows = 32, .cols = 32, .iters = 4});
+    } else if (app == "sor") {
+      r = apps::sor(t, {.rows = 32, .cols = 32, .iters = 3});
+    } else if (app == "fft") {
+      r = apps::fft3d(t, {.n = 16, .iters = 1});
+    } else if (app == "is") {
+      r = apps::is_sort(t, {.keys_per_proc = 512, .buckets = 64, .iters = 2});
+    } else if (app == "tsp") {
+      r = apps::tsp(t, {.cities = 8});
+    } else if (app == "gauss") {
+      r = apps::gauss(t, {.n = 48});
+    } else if (app == "water") {
+      r = apps::water(t, {.molecules = 64, .iters = 2});
+    } else if (app == "barnes") {
+      r = apps::barnes(t, {.bodies = 96, .steps = 2});
+    } else {
+      ADD_FAILURE() << "unknown app " << app;
+    }
+    if (env.id == 0) checksum = r.checksum;
+  });
+  if (out != nullptr) *out = result;
+  return checksum;
+}
+
+/// Fault-free checksum, cached per (app, substrate): the identity baseline.
+double baseline(const std::string& app, SubstrateKind kind) {
+  static std::map<std::pair<std::string, int>, double> cache;
+  const auto key = std::make_pair(app, static_cast<int>(kind));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, run_app(app, kind, "")).first;
+  }
+  return it->second;
+}
+
+/// The conservation invariant: every injected fault materialized somewhere.
+void expect_conserved(const fault::FaultStats& f) {
+  EXPECT_EQ(f.drops_injected, f.drops_observed);
+  EXPECT_EQ(f.dups_injected, f.dups_observed);
+  EXPECT_EQ(f.delays_injected, f.delays_observed);
+  EXPECT_EQ(f.reorders_injected, f.reorders_observed);
+}
+
+struct PlanCase {
+  const char* name;
+  const char* plan;
+};
+
+constexpr PlanCase kPlans[] = {
+    {"DropBurst", "drop(count=3)"},
+    {"Dup", "dup(count=4,copies=2)"},
+    {"Reorder", "reorder(count=3,delay=300us)"},
+    {"PortDisable", "disable(node=1,at=500us,dur=2ms)"},
+};
+
+class FaultMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, SubstrateKind, PlanCase>> {};
+
+TEST_P(FaultMatrixTest, CompletesIdenticalAndConserves) {
+  const auto& [app, kind, plan_case] = GetParam();
+  SCOPED_TRACE(std::string("plan: ") + plan_case.plan);
+
+  cluster::RunResult result;
+  const double faulted = run_app(app, kind, plan_case.plan, &result);
+
+  // Bitwise identity with the fault-free run: faults cost time, never
+  // correctness.
+  EXPECT_EQ(faulted, baseline(app, kind));
+  expect_conserved(result.fault);
+
+  const std::string plan_name = plan_case.name;
+  if (plan_name == "DropBurst") {
+    EXPECT_EQ(result.fault.drops_injected, 3u);
+    if (kind == SubstrateKind::FastGm) {
+      // Every forced drop fails a send (a disabled port may fail more,
+      // fast, before recovery runs); every failure is re-driven.
+      EXPECT_GE(result.fault.send_failures, 3u);
+      EXPECT_EQ(result.fault.recoveries, result.fault.send_failures);
+      EXPECT_EQ(result.fault.port_disables, result.fault.port_reenables);
+    }
+  } else if (plan_name == "Dup") {
+    EXPECT_EQ(result.fault.dups_injected, 8u);  // 4 messages x 2 copies
+  } else if (plan_name == "Reorder") {
+    EXPECT_EQ(result.fault.reorders_injected, 3u);
+  } else if (plan_name == "PortDisable") {
+    if (kind == SubstrateKind::FastGm) {
+      EXPECT_EQ(result.fault.port_disables, 1u);
+      // Re-enabled by substrate recovery, by the window's end, or both:
+      // recovery's reenable() pays the expensive network probe
+      // (gm_port_reenable), and the window can end mid-probe.
+      EXPECT_GE(result.fault.port_reenables, 1u);
+      EXPECT_LE(result.fault.port_reenables, 2u);
+    } else {
+      // Port faults are GM-only: a no-op plan on UDP/GM, but the run must
+      // still complete identically.
+      EXPECT_EQ(result.fault.port_disables, 0u);
+    }
+  }
+
+  // A faulted run's counter rollup carries the fault.* rows.
+  const std::string table = result.counters.format_table("");
+  EXPECT_NE(table.find("fault.drops_injected"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FaultMatrixTest,
+    ::testing::Combine(::testing::Values("jacobi", "sor", "fft", "is"),
+                       ::testing::Values(SubstrateKind::FastGm,
+                                         SubstrateKind::UdpGm),
+                       ::testing::ValuesIn(kPlans)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == SubstrateKind::FastGm ? "_FastGm_"
+                                                               : "_UdpGm_") +
+             std::get<2>(info.param).name;
+    });
+
+/// Acceptance sweep: the ISSUE's headline plan — drops plus a port-disable
+/// window — across all eight apps on both substrates.
+class AcceptanceSweepTest
+    : public ::testing::TestWithParam<std::tuple<const char*, SubstrateKind>> {
+};
+
+TEST_P(AcceptanceSweepTest, AllAppsCompleteByteIdentical) {
+  const auto& [app, kind] = GetParam();
+  const char* plan = "seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)";
+  SCOPED_TRACE(std::string("plan: ") + plan);
+  cluster::RunResult result;
+  const double faulted = run_app(app, kind, plan, &result);
+  EXPECT_EQ(faulted, baseline(app, kind));
+  expect_conserved(result.fault);
+  EXPECT_EQ(result.fault.drops_injected, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AcceptanceSweepTest,
+    ::testing::Combine(::testing::Values("jacobi", "sor", "tsp", "fft", "is",
+                                         "gauss", "water", "barnes"),
+                       ::testing::Values(SubstrateKind::FastGm,
+                                         SubstrateKind::UdpGm)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == SubstrateKind::FastGm ? "_FastGm"
+                                                               : "_UdpGm");
+    });
+
+}  // namespace
+}  // namespace tmkgm

@@ -1,0 +1,354 @@
+// Fault-injection subsystem unit tests: plan grammar round-trips, rule
+// matching semantics (after/count/prob, drop-wins), GM-level fault
+// materialization (forced send timeout + port disable, buffer seizure),
+// the compute-warp hook, and fabric delay injection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gm/gm.hpp"
+#include "net/network.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::fault {
+namespace {
+
+TEST(FaultPlanGrammar, ToStringParseRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 42;
+  FaultRule drop;
+  drop.kind = FaultKind::Drop;
+  drop.src = 1;
+  drop.dst = 0;
+  drop.after = 4;
+  drop.count = 2;
+  plan.rules.push_back(drop);
+  FaultRule dup;
+  dup.kind = FaultKind::Duplicate;
+  dup.copies = 3;
+  dup.count = 5;
+  dup.prob = 0.5;
+  plan.rules.push_back(dup);
+  FaultRule delay;
+  delay.kind = FaultKind::Delay;
+  delay.delay = microseconds(350);
+  delay.count = 0;  // unbounded
+  plan.rules.push_back(delay);
+  FaultRule reorder;
+  reorder.kind = FaultKind::Reorder;
+  reorder.src = 3;
+  reorder.delay = microseconds(900);
+  plan.rules.push_back(reorder);
+  FaultRule disable;
+  disable.kind = FaultKind::PortDisable;
+  disable.node = 2;
+  disable.port = 3;
+  disable.at = milliseconds(2.0);
+  disable.dur = milliseconds(3.0);
+  plan.rules.push_back(disable);
+  FaultRule exhaust;
+  exhaust.kind = FaultKind::BufferExhaust;
+  exhaust.node = 1;
+  exhaust.at = milliseconds(1.0);
+  exhaust.dur = milliseconds(4.0);
+  plan.rules.push_back(exhaust);
+  FaultRule slow;
+  slow.kind = FaultKind::NodeSlow;
+  slow.node = 0;
+  slow.factor = 2.5;
+  slow.at = 0;
+  slow.dur = milliseconds(5.0);
+  plan.rules.push_back(slow);
+  FaultRule pause;
+  pause.kind = FaultKind::NodePause;
+  pause.node = 3;
+  pause.at = microseconds(500);
+  pause.dur = milliseconds(1.0);
+  plan.rules.push_back(pause);
+
+  const std::string text = plan.to_string();
+  const FaultPlan reparsed = FaultPlan::parse_or_die(text);
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  ASSERT_EQ(reparsed.rules.size(), plan.rules.size());
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    EXPECT_EQ(reparsed.rules[i], plan.rules[i]) << "rule " << i << " in " << text;
+  }
+  // And the canonical form is a fixed point.
+  EXPECT_EQ(reparsed.to_string(), text);
+}
+
+TEST(FaultPlanGrammar, ParsesHumanFriendlyInput) {
+  const auto plan = FaultPlan::parse_or_die(
+      "seed=7; drop(src=1, dst=*, after=4, count=2); "
+      "disable(node=2, at=2ms, dur=3ms); slow(node=0, at=1s, dur=500us, "
+      "factor=8)");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::Drop);
+  EXPECT_EQ(plan.rules[0].src, 1);
+  EXPECT_EQ(plan.rules[0].dst, -1);
+  EXPECT_EQ(plan.rules[0].after, 4u);
+  EXPECT_EQ(plan.rules[0].count, 2u);
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::PortDisable);
+  EXPECT_EQ(plan.rules[1].at, milliseconds(2.0));
+  EXPECT_EQ(plan.rules[1].dur, milliseconds(3.0));
+  EXPECT_EQ(plan.rules[2].kind, FaultKind::NodeSlow);
+  EXPECT_EQ(plan.rules[2].at, seconds(1.0));
+  EXPECT_EQ(plan.rules[2].dur, microseconds(500));
+  EXPECT_DOUBLE_EQ(plan.rules[2].factor, 8.0);
+}
+
+TEST(FaultPlanGrammar, RejectsMalformedInput) {
+  FaultPlan out;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("drop(src=", out, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(FaultPlan::parse("explode(node=1)", out, error));
+  EXPECT_FALSE(FaultPlan::parse("drop(prob=1.5)", out, error));
+  EXPECT_FALSE(FaultPlan::parse("slow(node=1,factor=0)", out, error));
+  EXPECT_FALSE(FaultPlan::parse("exhaust(node=1,dur=0)", out, error));
+  EXPECT_FALSE(FaultPlan::parse("disable(node=-2)", out, error));
+  // `out` untouched on failure.
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FaultPlanGrammar, RandomPlanIsDeterministicAndRoundTrips) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const FaultPlan a = random_plan(seed, 4);
+    const FaultPlan b = random_plan(seed, 4);
+    EXPECT_EQ(a.to_string(), b.to_string()) << "seed " << seed;
+    EXPECT_FALSE(a.empty());
+    const FaultPlan re = FaultPlan::parse_or_die(a.to_string());
+    EXPECT_EQ(re.to_string(), a.to_string()) << "seed " << seed;
+    // Bounded by construction: no unbounded message rules.
+    for (const auto& r : a.rules) {
+      switch (r.kind) {
+        case FaultKind::Drop:
+        case FaultKind::Duplicate:
+        case FaultKind::Delay:
+        case FaultKind::Reorder:
+          EXPECT_GT(r.count, 0u) << "seed " << seed;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorRules, AfterCountAndSrcDstMatching) {
+  sim::Engine engine;
+  FaultPlan plan = FaultPlan::parse_or_die(
+      "drop(src=1,dst=0,after=2,count=2)");
+  FaultInjector inj(plan, engine);
+  // Wrong edge never matches.
+  EXPECT_FALSE(inj.message_fault(0, 1).drop);
+  // Eligible #0 and #1 are skipped (after=2); #2 and #3 fire; #4 exhausted.
+  EXPECT_FALSE(inj.message_fault(1, 0).drop);
+  EXPECT_FALSE(inj.message_fault(1, 0).drop);
+  EXPECT_TRUE(inj.message_fault(1, 0).drop);
+  EXPECT_TRUE(inj.message_fault(1, 0).drop);
+  EXPECT_FALSE(inj.message_fault(1, 0).drop);
+  EXPECT_EQ(inj.stats().drops_injected, 2u);
+}
+
+TEST(FaultInjectorRules, DropWinsOverDupAndReorder) {
+  sim::Engine engine;
+  FaultPlan plan = FaultPlan::parse_or_die(
+      "drop(count=1);dup(count=5,copies=2);reorder(count=5,delay=100us)");
+  FaultInjector inj(plan, engine);
+  const auto first = inj.message_fault(0, 1);
+  EXPECT_TRUE(first.drop);
+  EXPECT_EQ(first.duplicates, 0);
+  EXPECT_EQ(first.reorder_delay, 0);
+  const auto second = inj.message_fault(0, 1);
+  EXPECT_FALSE(second.drop);
+  EXPECT_EQ(second.duplicates, 2);
+  EXPECT_EQ(second.reorder_delay, microseconds(100));
+  EXPECT_EQ(inj.stats().drops_injected, 1u);
+  EXPECT_EQ(inj.stats().dups_injected, 2u);
+  EXPECT_EQ(inj.stats().reorders_injected, 1u);
+}
+
+TEST(FaultInjectorRules, ComputeWarpSlowsAndPauses) {
+  sim::Engine engine;
+  FaultPlan plan = FaultPlan::parse_or_die(
+      "slow(node=0,at=0,dur=1ms,factor=4);pause(node=1,at=0,dur=1ms)");
+  FaultInjector inj(plan, engine);
+  EXPECT_TRUE(inj.warps_compute());
+  // Node 0 inside the window: 4x. Outside: untouched.
+  EXPECT_EQ(inj.warp_compute(0, 0, microseconds(10)), microseconds(40));
+  EXPECT_EQ(inj.warp_compute(0, milliseconds(2.0), microseconds(10)),
+            microseconds(10));
+  // Node 1 pauses until the window ends: quantum stretches to cover it.
+  EXPECT_EQ(inj.warp_compute(1, microseconds(200), microseconds(10)),
+            (milliseconds(1.0) - microseconds(200)) + microseconds(10));
+  // Unlisted node untouched.
+  EXPECT_EQ(inj.warp_compute(2, 0, microseconds(10)), microseconds(10));
+  EXPECT_EQ(inj.stats().compute_warped, 2u);
+}
+
+/// GM harness mirroring gm_test.cpp's fixture, with an injector installed.
+class GmFaultFixture : public ::testing::Test {
+ protected:
+  void build(int n_nodes, const std::string& plan_text,
+             std::vector<std::function<void(sim::Node&)>> progs) {
+    engine_ = std::make_unique<sim::Engine>();
+    for (int i = 0; i < n_nodes; ++i) {
+      engine_->add_node("n" + std::to_string(i),
+                        progs[static_cast<std::size_t>(i)]);
+    }
+    network_ = std::make_unique<net::Network>(*engine_, n_nodes, cost_);
+    gm_ = std::make_unique<gm::GmSystem>(*network_);
+    injector_ = std::make_unique<FaultInjector>(
+        FaultPlan::parse_or_die(plan_text), *engine_);
+    network_->set_fault_injector(injector_.get());
+  }
+
+  net::CostModel cost_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<gm::GmSystem> gm_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+TEST_F(GmFaultFixture, DroppedGmSendTimesOutAndDisablesPort) {
+  cost_.gm_resend_timeout = milliseconds(5.0);
+  std::vector<gm::Status> statuses;
+  build(2, "drop(src=0,dst=1,count=1)",
+        {[&](sim::Node& n) {
+           auto& port = gm_->nic(0).open_port(2);
+           std::vector<std::byte> buf(64);
+           gm_->nic(0).register_memory(buf.data(), buf.size());
+           const SimTime t0 = n.now();
+           bool done = false;
+           port.send_with_callback(
+               buf.data(), 4, 8, 1, 2,
+               [&](gm::Status st, void*) {
+                 statuses.push_back(st);
+                 done = true;
+               },
+               nullptr);
+           while (!done) n.compute(microseconds(50));
+           // The failure consumed the full resend timeout and disabled us.
+           EXPECT_GE(n.now() - t0, milliseconds(5.0));
+           EXPECT_FALSE(port.enabled());
+           // A subsequent send fails fast with SendPortDisabled.
+           done = false;
+           port.send_with_callback(
+               buf.data(), 4, 8, 1, 2,
+               [&](gm::Status st, void*) {
+                 statuses.push_back(st);
+                 done = true;
+               },
+               nullptr);
+           while (!done) n.compute(microseconds(50));
+           // reenable() restores service.
+           port.reenable();
+           EXPECT_TRUE(port.enabled());
+           done = false;
+           port.send_with_callback(
+               buf.data(), 4, 8, 1, 2,
+               [&](gm::Status st, void*) {
+                 statuses.push_back(st);
+                 done = true;
+               },
+               nullptr);
+           while (!done) n.compute(microseconds(50));
+         },
+         [&](sim::Node& n) {
+           auto& port = gm_->nic(1).open_port(2);
+           std::vector<std::byte> buf(64);
+           gm_->nic(1).register_memory(buf.data(), buf.size());
+           port.provide_receive_buffer(buf.data(), 4);
+           port.blocking_receive();
+           (void)n;
+         }});
+  engine_->run();
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], gm::Status::SendTimedOut);
+  EXPECT_EQ(statuses[1], gm::Status::SendPortDisabled);
+  EXPECT_EQ(statuses[2], gm::Status::Ok);
+  EXPECT_EQ(injector_->stats().drops_injected, 1u);
+  EXPECT_EQ(injector_->stats().drops_observed, 1u);
+}
+
+TEST_F(GmFaultFixture, SeizedBuffersParkArrivalsUntilRestored) {
+  bool received = false;
+  build(2, "delay(count=0,prob=0)",  // injector present, no message faults
+        {[&](sim::Node& n) {
+           auto& port = gm_->nic(0).open_port(2);
+           std::vector<std::byte> buf(64);
+           gm_->nic(0).register_memory(buf.data(), buf.size());
+           bool done = false;
+           port.send_with_callback(
+               buf.data(), 4, 8, 1, 2,
+               [&](gm::Status st, void*) {
+                 EXPECT_EQ(st, gm::Status::Ok);
+                 done = true;
+               },
+               nullptr);
+           while (!done) n.compute(microseconds(50));
+         },
+         [&](sim::Node& n) {
+           auto& port = gm_->nic(1).open_port(2);
+           std::vector<std::byte> buf(64);
+           gm_->nic(1).register_memory(buf.data(), buf.size());
+           port.provide_receive_buffer(buf.data(), 4);
+           // Seize before the message can arrive; it must park.
+           port.fault_seize_buffers();
+           EXPECT_EQ(port.posted_buffers(4), 0);
+           n.compute(milliseconds(2.0));
+           EXPECT_EQ(port.stats().parked, 1u);
+           EXPECT_FALSE(received);
+           // Restoring re-posts the stash, which serves the parked arrival.
+           port.fault_restore_buffers();
+           const auto msg = port.blocking_receive();
+           received = true;
+           EXPECT_EQ(msg.length, 8u);
+         }});
+  engine_->run();
+  EXPECT_TRUE(received);
+}
+
+TEST_F(GmFaultFixture, InjectedTransferDelayAddsOccupancy) {
+  SimTime plain = 0, delayed = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    SimTime* out = pass == 0 ? &plain : &delayed;
+    const std::string plan =
+        pass == 0 ? "delay(count=0,prob=0)" : "delay(count=0,delay=250us)";
+    build(2, plan,
+          {[&, out](sim::Node& n) {
+             auto& port = gm_->nic(0).open_port(2);
+             std::vector<std::byte> buf(64);
+             gm_->nic(0).register_memory(buf.data(), buf.size());
+             const SimTime t0 = n.now();
+             bool done = false;
+             port.send_with_callback(
+                 buf.data(), 4, 8, 1, 2,
+                 [&](gm::Status, void*) { done = true; }, nullptr);
+             while (!done) n.compute(microseconds(10));
+             *out = n.now() - t0;
+           },
+           [&](sim::Node&) {
+             auto& port = gm_->nic(1).open_port(2);
+             std::vector<std::byte> buf(64);
+             gm_->nic(1).register_memory(buf.data(), buf.size());
+             port.provide_receive_buffer(buf.data(), 4);
+             port.blocking_receive();
+           }});
+    engine_->run();
+  }
+  EXPECT_GE(delayed - plain, microseconds(250) - microseconds(20));
+  EXPECT_EQ(injector_->stats().delays_injected,
+            injector_->stats().delays_observed);
+  EXPECT_GT(injector_->stats().delays_observed, 0u);
+}
+
+}  // namespace
+}  // namespace tmkgm::fault

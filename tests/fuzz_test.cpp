@@ -1,11 +1,18 @@
 // Randomized unit-level fuzzing of the low-level building blocks: the
-// twin/diff codec, the wire codec, and the engine's interrupt machinery
-// under load. Seeds are fixed — failures reproduce exactly.
+// twin/diff codec, the wire codec, the engine's interrupt machinery under
+// load, and randomized fault plans driven through full cluster runs.
+// Seeds are fixed — failures reproduce exactly (fault-plan failures print
+// the plan string for `tmkgm_run --faults` replay).
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
+#include <tuple>
 #include <vector>
 
+#include "apps/apps.hpp"
+#include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "tmk/diff.hpp"
@@ -172,6 +179,66 @@ TEST(EngineStress, ConditionTimeoutsUnderInterrupts) {
   EXPECT_EQ(signals, 25);
   EXPECT_EQ(timeouts, 25);
 }
+
+/// Randomized fault plans through full cluster runs. random_plan() is
+/// bounded by construction (finite message bursts, windowed timed faults),
+/// so every run must complete with the fault-free result and balanced
+/// conservation counters. On failure, SCOPED_TRACE prints the exact
+/// command line to replay the counterexample.
+class FaultPlanFuzz
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, cluster::SubstrateKind>> {};
+
+TEST_P(FaultPlanFuzz, RandomPlansCompleteAndConserve) {
+  const auto& [seed, kind] = GetParam();
+  const fault::FaultPlan plan = fault::random_plan(seed, 4);
+  const char* substrate =
+      kind == cluster::SubstrateKind::FastGm ? "fastgm" : "udpgm";
+  SCOPED_TRACE("replay: tmkgm_run --app jacobi --nodes 4 --substrate " +
+               std::string(substrate) + " --faults \"" + plan.to_string() +
+               "\"");
+
+  auto run_once = [&](bool faulted, cluster::RunResult* out) {
+    cluster::ClusterConfig cfg;
+    cfg.n_procs = 4;
+    cfg.kind = kind;
+    cfg.tmk.arena_bytes = 8u << 20;
+    cfg.event_limit = 500'000'000;
+    cfg.cost.gm_resend_timeout = milliseconds(20.0);
+    if (faulted) cfg.faults = plan;
+    cluster::Cluster c(cfg);
+    double checksum = 0.0;
+    const auto result =
+        c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+          const auto r = apps::jacobi(t, {.rows = 32, .cols = 32, .iters = 3});
+          if (env.id == 0) checksum = r.checksum;
+        });
+    if (out != nullptr) *out = result;
+    return checksum;
+  };
+
+  const double baseline = run_once(false, nullptr);
+  cluster::RunResult result;
+  const double faulted = run_once(true, &result);
+  EXPECT_EQ(faulted, baseline);
+  EXPECT_EQ(result.fault.drops_injected, result.fault.drops_observed);
+  EXPECT_EQ(result.fault.dups_injected, result.fault.dups_observed);
+  EXPECT_EQ(result.fault.delays_injected, result.fault.delays_observed);
+  EXPECT_EQ(result.fault.reorders_injected, result.fault.reorders_observed);
+  EXPECT_EQ(result.fault.recoveries, result.fault.send_failures);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FaultPlanFuzz,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 99u, 20260805u),
+                       ::testing::Values(cluster::SubstrateKind::FastGm,
+                                         cluster::SubstrateKind::UdpGm)),
+    [](const auto& info) {
+      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == cluster::SubstrateKind::FastGm
+                  ? "_FastGm"
+                  : "_UdpGm");
+    });
 
 }  // namespace
 }  // namespace tmkgm

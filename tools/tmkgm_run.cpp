@@ -35,6 +35,7 @@ struct Options {
   bool rendezvous = false;
   std::string async_scheme = "interrupt";
   std::string trace_file;
+  std::string faults;
 };
 
 void usage() {
@@ -53,7 +54,12 @@ void usage() {
       "  --report                      print the full protocol report\n"
       "  --trace FILE                  write a Chrome trace_event JSON of\n"
       "                                the run (chrome://tracing, Perfetto)\n"
-      "  --counters                    print the counter rollup table\n");
+      "  --counters                    print the counter rollup table\n"
+      "  --faults PLAN                 scripted fault plan, e.g.\n"
+      "                                \"seed=7;drop(src=1,dst=0,count=2);"
+      "disable(node=0,at=2ms,dur=3ms)\"\n"
+      "                                (kinds: drop dup delay reorder "
+      "disable exhaust slow pause)\n");
 }
 
 bool parse(int argc, char** argv, Options& o) {
@@ -109,6 +115,10 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (!v) return false;
       o.trace_file = v;
+    } else if (a == "--faults") {
+      const char* v = next();
+      if (!v) return false;
+      o.faults = v;
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a == "--report") {
@@ -154,6 +164,13 @@ int main(int argc, char** argv) {
     cfg.fastgm.async_scheme = fastgm::AsyncScheme::Timer;
   } else if (o.async_scheme == "polling") {
     cfg.fastgm.async_scheme = fastgm::AsyncScheme::PollingThread;
+  }
+  if (!o.faults.empty()) {
+    std::string error;
+    if (!fault::FaultPlan::parse(o.faults, cfg.faults, error)) {
+      std::fprintf(stderr, "bad --faults plan: %s\n", error.c_str());
+      return 1;
+    }
   }
   obs::Tracer tracer;
   if (!o.trace_file.empty()) cfg.tracer = &tracer;
