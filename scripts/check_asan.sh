@@ -1,14 +1,47 @@
 #!/usr/bin/env bash
-# AddressSanitizer pass over the full test suite (slow; for CI / releases).
-# Configuration lives in CMakePresets.json ("asan" presets) so IDEs and CI
-# share the exact same flags.
+# Sanitizer pass over the full test suite (slow; for CI / releases).
+# Configuration lives in CMakePresets.json ("asan" and "ubsan" presets) so
+# IDEs and CI share the exact same flags.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake --preset asan
-cmake --build --preset asan
-# The fault matrix exercises every recovery path (send-buffer reuse after
-# failed sends, seized-buffer stashes, deferred delivery closures) — the
-# exact lifetime bugs asan is here to vet. Run it first so they fail fast,
-# then the full suite.
-ctest --preset asan -R 'Fault|Oracle'
-ctest --preset asan
+
+# Race-oracle controls, run under each sanitizer build: the deliberately
+# racy demo must be flagged (exit 3), and every paper application must
+# come back clean on both substrates — sanitizers watch the oracle's own
+# shadow bookkeeping while it watches the protocol.
+race_oracle_controls() {
+  local bin="$1/tools/tmkgm_run"
+  echo "== race-oracle positive control (racy must be flagged)"
+  local rc=0
+  "$bin" --app racy --nodes 4 --race-check > /dev/null || rc=$?
+  if [ "$rc" -ne 3 ]; then
+    echo "error: racy app not flagged (exit $rc, expected 3)" >&2
+    exit 1
+  fi
+  echo "== race-oracle negative controls (all apps must be clean)"
+  local app size
+  for sub in fastgm udpgm; do
+    for spec in jacobi:48 sor:48 tsp:8 fft:8 is:512 gauss:32 water:32 \
+                barnes:32; do
+      app="${spec%%:*}"
+      size="${spec##*:}"
+      if ! "$bin" --app "$app" --substrate "$sub" --nodes 4 \
+          --size "$size" --race-check --verify > /dev/null; then
+        echo "error: $app/$sub flagged or failed under --race-check" >&2
+        exit 1
+      fi
+    done
+  done
+}
+
+for preset in asan ubsan; do
+  cmake --preset "$preset"
+  cmake --build --preset "$preset"
+  # The fault matrix exercises every recovery path (send-buffer reuse after
+  # failed sends, seized-buffer stashes, deferred delivery closures) — the
+  # exact lifetime bugs asan is here to vet. Run it first so they fail
+  # fast, then the race-oracle controls, then the full suite.
+  ctest --preset "$preset" -R 'Fault|Oracle|RaceCheck'
+  race_oracle_controls "build-$preset"
+  ctest --preset "$preset"
+done

@@ -1,0 +1,55 @@
+#include "apps/racy.hpp"
+
+#include "tmk/shared_array.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::apps {
+
+AppResult racy(tmk::Tmk& tmk, const RacyParams& p) {
+  const int me = tmk.proc_id();
+  const int n = tmk.n_procs();
+  TMKGM_CHECK(p.slots >= static_cast<std::size_t>(n) + 2);
+  constexpr int kCounterLock = 0;
+  auto arr = tmk::SharedArray<std::int32_t>::alloc(tmk, p.slots);
+  const std::size_t counter = p.slots - 1;
+
+  if (me == 0) {
+    for (std::size_t i = 0; i < p.slots; ++i) arr.put(i, 0);
+  }
+  tmk.barrier(0);
+  const SimTime t0 = tmk.node().now();
+
+  for (int r = 0; r < p.rounds; ++r) {
+    // THE RACE: an unsynchronized read-modify-write of slot 0 by every
+    // proc. Under LRC each increment lands in a separate diff of the same
+    // word; the merge keeps one and the others vanish.
+    const std::int32_t seen = arr.get(0);
+    arr.put(0, seen + 1 + me);
+
+    // Not a race: disjoint words of the same page, one per proc — the
+    // multiple-writer pattern the protocol (and the oracle's word
+    // granularity) exists for.
+    arr.put(static_cast<std::size_t>(1 + me), me * 100 + r);
+
+    // Not a race: a shared counter under a lock.
+    tmk.lock_acquire(kCounterLock);
+    arr.put(counter, arr.get(counter) + 1);
+    tmk.lock_release(kCounterLock);
+
+    tmk.compute_work(200.0);
+    tmk.barrier(1);
+  }
+
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  double checksum = 0.0;
+  if (me == 0) {
+    for (std::size_t i = 0; i < p.slots; ++i) {
+      checksum += static_cast<double>(arr.get(i));
+    }
+  }
+  tmk.barrier(2);
+  return {checksum, elapsed};
+}
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,26 @@
+// Deliberately racy demo app: the positive control for `--race-check`.
+//
+// Every proc read-modify-writes the same shared word with no intervening
+// synchronization — the textbook data race LRC silently mangles (each
+// proc's increment lands in its own diff; the merge keeps one). Alongside
+// it, two patterns that must NOT be flagged: per-proc writes to disjoint
+// words of the same page (multiple-writer, word granularity) and a
+// lock-protected shared counter. A correct oracle reports word 0 and
+// nothing else.
+#pragma once
+
+#include "apps/apps.hpp"
+
+namespace tmkgm::apps {
+
+struct RacyParams {
+  int rounds = 3;
+  /// int32 slots in the shared array: slot 0 is the racing word, slots
+  /// 1..n_procs are per-proc (race-free), the last is lock-protected.
+  std::size_t slots = 64;
+};
+/// checksum = proc 0's post-race view (whatever the diff merge produced)
+/// plus the race-free slots; meaningful only as "the run completed".
+AppResult racy(tmk::Tmk& tmk, const RacyParams& p);
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,251 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace tmkgm::check {
+
+namespace {
+
+void join(VectorClock& a, const VectorClock& b) {
+  for (std::size_t i = 0; i < b.size(); ++i) a[i] = std::max(a[i], b[i]);
+}
+
+std::string site_str(const AccessSite& s) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "p%d %s (vt %u, after %s)", s.proc,
+                s.write ? "write" : "read", s.vt, s.sync.c_str());
+  return buf;
+}
+
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  char head[64];
+  std::snprintf(head, sizeof head, "race at 0x%08llx (page %u word %u): ",
+                static_cast<unsigned long long>(addr), page, word);
+  return std::string(head) + site_str(cur) + " vs " + site_str(prev);
+}
+
+RaceOracle::RaceOracle(int n_procs, std::size_t page_size,
+                       std::size_t max_reports)
+    : n_(n_procs),
+      page_size_(page_size),
+      words_per_page_(page_size / 4),
+      max_reports_(max_reports) {
+  TMKGM_CHECK(n_ > 0 && page_size_ % 4 == 0);
+  clock_.assign(static_cast<std::size_t>(n_),
+                VectorClock(static_cast<std::size_t>(n_), 0));
+  seg_sync_.assign(static_cast<std::size_t>(n_), {"start"});
+  published_vc_.assign(static_cast<std::size_t>(n_),
+                       VectorClock(static_cast<std::size_t>(n_), 0));
+}
+
+RaceOracle::PageShadow& RaceOracle::shadow_of(std::uint32_t page) {
+  auto& s = shadow_[page];
+  if (s.w.empty()) {
+    s.w.assign(words_per_page_, {});
+    s.rseg.assign(words_per_page_ * static_cast<std::size_t>(n_), 0);
+    s.rvt.assign(words_per_page_ * static_cast<std::size_t>(n_), 0);
+  }
+  return s;
+}
+
+void RaceOracle::open_segment(int proc, std::string label) {
+  auto& c = clock_[static_cast<std::size_t>(proc)];
+  ++c[static_cast<std::size_t>(proc)];
+  seg_sync_[static_cast<std::size_t>(proc)].push_back(std::move(label));
+  ++stats_.segments;
+}
+
+AccessSite RaceOracle::site_of(int proc, bool write, std::uint32_t seg,
+                               std::uint32_t vt) const {
+  return {.proc = proc,
+          .write = write,
+          .seg = seg,
+          .vt = vt,
+          .sync = seg_sync_[static_cast<std::size_t>(proc)][seg]};
+}
+
+void RaceOracle::report(std::uint32_t page, std::uint32_t word,
+                        const AccessSite& prev, const AccessSite& cur,
+                        std::optional<RaceReport>& first) {
+  if (!reported_words_.insert({page, word}).second) return;
+  ++stats_.races;
+  RaceReport r{.addr = static_cast<std::uint64_t>(page) * page_size_ +
+                       static_cast<std::uint64_t>(word) * 4,
+               .page = page,
+               .word = word,
+               .prev = prev,
+               .cur = cur};
+  if (!first) first = r;
+  if (reports_.size() < max_reports_) reports_.push_back(std::move(r));
+}
+
+std::optional<RaceReport> RaceOracle::record(int proc, std::uint64_t ptr,
+                                             std::size_t len, std::uint32_t vt,
+                                             bool write) {
+  std::optional<RaceReport> first;
+  const auto& c = clock_[static_cast<std::size_t>(proc)];
+  const std::uint32_t my_seg = c[static_cast<std::size_t>(proc)];
+  const std::uint64_t w0 = ptr / 4;
+  const std::uint64_t w1 = (ptr + len - 1) / 4;
+  for (std::uint64_t gw = w0; gw <= w1; ++gw) {
+    const auto page = static_cast<std::uint32_t>(gw / words_per_page_);
+    const auto word = static_cast<std::uint32_t>(gw % words_per_page_);
+    auto& sh = shadow_of(page);
+    auto& we = sh.w[word];
+    // Write-write / write-read: against the last write epoch.
+    if (we.proc >= 0 && we.proc != proc &&
+        c[static_cast<std::size_t>(we.proc)] < we.seg) {
+      report(page, word, site_of(we.proc, true, we.seg, we.vt),
+             site_of(proc, write, my_seg, vt), first);
+    }
+    if (write) {
+      // Read-write: against every proc's last read segment.
+      const std::size_t base = static_cast<std::size_t>(word) *
+                               static_cast<std::size_t>(n_);
+      for (int r = 0; r < n_; ++r) {
+        if (r == proc) continue;
+        // sr1 stores seg + 1; race iff c[r] < seg, i.e. c[r] + 1 < sr1.
+        const std::uint32_t sr1 = sh.rseg[base + static_cast<std::size_t>(r)];
+        if (sr1 != 0 && c[static_cast<std::size_t>(r)] + 1 < sr1) {
+          report(page, word,
+                 site_of(r, false, sr1 - 1,
+                         sh.rvt[base + static_cast<std::size_t>(r)]),
+                 site_of(proc, write, my_seg, vt), first);
+        }
+      }
+      we = {.proc = static_cast<std::int16_t>(proc), .seg = my_seg, .vt = vt};
+    } else {
+      const std::size_t slot = static_cast<std::size_t>(word) *
+                                   static_cast<std::size_t>(n_) +
+                               static_cast<std::size_t>(proc);
+      sh.rseg[slot] = my_seg + 1;
+      sh.rvt[slot] = vt;
+    }
+  }
+  if (write) {
+    ++stats_.writes_recorded;
+  } else {
+    ++stats_.reads_recorded;
+  }
+  return first;
+}
+
+std::optional<RaceReport> RaceOracle::record_read(int proc, std::uint64_t ptr,
+                                                  std::size_t len,
+                                                  std::uint32_t vt) {
+  return record(proc, ptr, len, vt, false);
+}
+
+std::optional<RaceReport> RaceOracle::record_write(int proc, std::uint64_t ptr,
+                                                   std::size_t len,
+                                                   std::uint32_t vt) {
+  return record(proc, ptr, len, vt, true);
+}
+
+void RaceOracle::on_lock_release(int proc, int lock, std::uint32_t vt) {
+  // Publish before bumping: accesses after the matching grant must not be
+  // ordered before accesses the releaser performs after this release.
+  lock_clock_[lock] = clock_[static_cast<std::size_t>(proc)];
+  ++stats_.hb_edges;
+  open_segment(proc, "release(lock " + std::to_string(lock) + ") vt " +
+                         std::to_string(vt));
+}
+
+void RaceOracle::on_lock_acquired(int proc, int lock, std::uint32_t vt) {
+  const auto it = lock_clock_.find(lock);
+  if (it != lock_clock_.end()) {
+    join(clock_[static_cast<std::size_t>(proc)], it->second);
+    ++stats_.hb_edges;
+  }
+  open_segment(proc, "acquire(lock " + std::to_string(lock) + ") vt " +
+                         std::to_string(vt));
+}
+
+void RaceOracle::on_barrier_arrive(int proc, int barrier, std::uint32_t vt) {
+  auto& b = barriers_[barrier];
+  if (b.join.empty()) {
+    b.join.assign(static_cast<std::size_t>(n_), 0);
+    b.arrived_epoch.assign(static_cast<std::size_t>(n_), 0);
+  }
+  join(b.join, clock_[static_cast<std::size_t>(proc)]);
+  b.arrived_epoch[static_cast<std::size_t>(proc)] = b.collecting_epoch;
+  ++stats_.hb_edges;
+  if (++b.arrived == n_) {
+    b.released[b.collecting_epoch] = {b.join, n_};
+    b.join.assign(static_cast<std::size_t>(n_), 0);
+    b.arrived = 0;
+    ++b.collecting_epoch;
+  }
+  open_segment(proc, "arrive(barrier " + std::to_string(barrier) + ") vt " +
+                         std::to_string(vt));
+}
+
+void RaceOracle::on_barrier_leave(int proc, int barrier, std::uint32_t vt) {
+  auto& b = barriers_[barrier];
+  const auto epoch = b.arrived_epoch.empty()
+                         ? 0
+                         : b.arrived_epoch[static_cast<std::size_t>(proc)];
+  const auto it = b.released.find(epoch);
+  TMKGM_CHECK_MSG(it != b.released.end(),
+                  "oracle: p" + std::to_string(proc) + " leaves barrier " +
+                      std::to_string(barrier) +
+                      " before every proc arrived (protocol bug)");
+  join(clock_[static_cast<std::size_t>(proc)], it->second.first);
+  ++stats_.hb_edges;
+  if (--it->second.second == 0) b.released.erase(it);
+  open_segment(proc, "barrier " + std::to_string(barrier) + " vt " +
+                         std::to_string(vt));
+}
+
+void RaceOracle::on_lock_token_granted(int lock, int from, int to) {
+  auto& t = tokens_.try_emplace(lock, TokenState{from, -1}).first->second;
+  ++stats_.invariant_checks;
+  TMKGM_CHECK_MSG(t.in_flight_to == -1,
+                  "lock-chain invariant: lock " + std::to_string(lock) +
+                      " granted by p" + std::to_string(from) + " to p" +
+                      std::to_string(to) + " while already in flight to p" +
+                      std::to_string(t.in_flight_to));
+  TMKGM_CHECK_MSG(t.holder == from,
+                  "lock-chain invariant: lock " + std::to_string(lock) +
+                      " granted by p" + std::to_string(from) +
+                      " which does not hold the token (holder p" +
+                      std::to_string(t.holder) + ")");
+  t.holder = -1;
+  t.in_flight_to = to;
+}
+
+void RaceOracle::on_lock_token_acquired(int lock, int proc) {
+  const auto it = tokens_.find(lock);
+  ++stats_.invariant_checks;
+  TMKGM_CHECK_MSG(it != tokens_.end() && it->second.in_flight_to == proc,
+                  "lock-chain invariant: lock " + std::to_string(lock) +
+                      " token landed at p" + std::to_string(proc) +
+                      " without a matching grant");
+  it->second.holder = proc;
+  it->second.in_flight_to = -1;
+}
+
+void RaceOracle::on_barrier_vc(int proc, const VectorClock& vc) {
+  published_vc_[static_cast<std::size_t>(proc)] = vc;
+}
+
+void RaceOracle::on_gc_discard(int discarder, int creator, std::uint32_t vt) {
+  ++stats_.invariant_checks;
+  for (int r = 0; r < n_; ++r) {
+    const auto& vc = published_vc_[static_cast<std::size_t>(r)];
+    TMKGM_CHECK_MSG(
+        vc[static_cast<std::size_t>(creator)] >= vt,
+        "GC safety: p" + std::to_string(discarder) + " discards interval (p" +
+            std::to_string(creator) + ", vt " + std::to_string(vt) +
+            ") not covered by p" + std::to_string(r) +
+            "'s last published barrier clock (has " +
+            std::to_string(vc[static_cast<std::size_t>(creator)]) + ")");
+  }
+}
+
+}  // namespace tmkgm::check

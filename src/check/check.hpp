@@ -1,0 +1,176 @@
+// DRF race-detection oracle for the LRC protocol.
+//
+// TreadMarks is only correct for data-race-free programs: twin retention
+// attributes one accumulated diff blob to several intervals, and
+// fetch_diffs orders concurrent diffs by a vc_sum tiebreak that is sound
+// only when no two unordered intervals write the same word. A racy
+// program silently corrupts shared data instead of failing. This oracle
+// makes the assumption checkable: it records word-granularity access sets
+// and replays the synchronization edges the protocol already computes
+// (lock grants, barrier releases) as a happens-before graph, reporting
+// the first pair of unordered same-word accesses with both sites.
+//
+// The detector is FastTrack-shaped. Each proc carries an oracle vector
+// clock whose own component is its current *segment* id; a new segment
+// opens at every sync operation. Releases publish the releaser's clock
+// *before* bumping (so post-release accesses are not falsely ordered);
+// acquires join the published snapshot. Barriers join all arrival clocks
+// and release the join to every leaver. Shadow state per word keeps the
+// last write epoch {proc, seg, vt} plus one read segment per proc; an
+// access races with a recorded one iff the accessor's clock component
+// for the recorder is below the recorded segment. Keeping only the last
+// write is sound by the usual FastTrack argument: if the last write is
+// ordered after an earlier one, any access unordered with the earlier
+// write is also unordered with (or races against) the last one first.
+//
+// Everything runs under the simulator's engine baton — exactly one
+// runnable context at a time — so one shared oracle needs no locking and
+// detection order is deterministic.
+//
+// The oracle doubles as a protocol-invariant monitor: the single-token
+// lock-chain invariant (every grant leaves exactly one holder-or-in-
+// flight token per lock), and the GC safety condition (no proc may
+// discard an interval record that some proc's last published barrier
+// clock does not cover — the proactive form of the "GC raced a
+// laggard?" check in pack_missing_intervals).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tmkgm::check {
+
+using VectorClock = std::vector<std::uint32_t>;
+
+/// One side of a reported race: which proc touched the word, in which
+/// oracle segment, at which protocol interval timestamp, and which
+/// synchronization operation opened the enclosing segment.
+struct AccessSite {
+  int proc = -1;
+  bool write = false;
+  std::uint32_t seg = 0;   ///< oracle segment id (own clock component)
+  std::uint32_t vt = 0;    ///< protocol vc_[proc] at the access
+  std::string sync;        ///< sync op that opened the segment
+};
+
+struct RaceReport {
+  std::uint64_t addr = 0;  ///< global byte offset of the racing word
+  std::uint32_t page = 0;
+  std::uint32_t word = 0;  ///< word index within the page
+  AccessSite prev, cur;
+
+  /// Deterministic one-line rendering (used by tmkgm_run --race-check).
+  std::string to_string() const;
+};
+
+struct CheckStats {
+  std::uint64_t reads_recorded = 0;
+  std::uint64_t writes_recorded = 0;
+  std::uint64_t segments = 0;         // sync-opened segments, all procs
+  std::uint64_t hb_edges = 0;         // publish/join edges replayed
+  std::uint64_t invariant_checks = 0; // protocol invariants evaluated
+  std::uint64_t races = 0;            // distinct racing words found
+};
+
+class RaceOracle {
+ public:
+  RaceOracle(int n_procs, std::size_t page_size, std::size_t max_reports = 64);
+
+  // --- application accesses (Tmk::ensure_* slow paths) -----------------
+  // Returns the first newly found race of this access, if any (already
+  // recorded in reports(); returned for immediate trace emission).
+  std::optional<RaceReport> record_read(int proc, std::uint64_t ptr,
+                                        std::size_t len, std::uint32_t vt);
+  std::optional<RaceReport> record_write(int proc, std::uint64_t ptr,
+                                         std::size_t len, std::uint32_t vt);
+
+  // --- happens-before edges replayed from the protocol -----------------
+  void on_lock_release(int proc, int lock, std::uint32_t vt);
+  void on_lock_acquired(int proc, int lock, std::uint32_t vt);
+  void on_barrier_arrive(int proc, int barrier, std::uint32_t vt);
+  void on_barrier_leave(int proc, int barrier, std::uint32_t vt);
+
+  // --- protocol-invariant mode -----------------------------------------
+  /// Token left `from` toward `to` (lock grant). TMKGM_CHECKs the
+  /// single-token chain invariant.
+  void on_lock_token_granted(int lock, int from, int to);
+  /// Token landed at `proc` (remote acquire completed).
+  void on_lock_token_acquired(int lock, int proc);
+  /// `proc` published its protocol vector clock at a barrier arrival.
+  void on_barrier_vc(int proc, const VectorClock& vc);
+  /// `discarder` is GC-discarding creator's interval `vt`; TMKGM_CHECKs
+  /// that every proc's last published barrier clock covers it.
+  void on_gc_discard(int discarder, int creator, std::uint32_t vt);
+  /// Book-keeping for invariants asserted inline in tmk.cpp.
+  void count_invariant_check() { ++stats_.invariant_checks; }
+
+  const std::vector<RaceReport>& reports() const { return reports_; }
+  const CheckStats& stats() const { return stats_; }
+  int n_procs() const { return n_; }
+
+ private:
+  struct WriteEpoch {
+    std::int16_t proc = -1;  // -1: never written
+    std::uint32_t seg = 0;
+    std::uint32_t vt = 0;
+  };
+  /// Lazily allocated per-page shadow: last write epoch per word, plus
+  /// one read segment (stored as seg+1; 0 = none) and read vt per
+  /// (word, proc). Flat vectors — no per-word heap traffic.
+  struct PageShadow {
+    std::vector<WriteEpoch> w;        // words
+    std::vector<std::uint32_t> rseg;  // words * n, seg + 1 or 0
+    std::vector<std::uint32_t> rvt;   // words * n
+  };
+
+  struct BarrierState {
+    std::uint64_t collecting_epoch = 0;
+    int arrived = 0;
+    VectorClock join;
+    /// Completed epochs not yet left by everyone: epoch -> (join,
+    /// leavers still due). Handles a fast proc re-arriving at the same
+    /// barrier id while a straggler has not left the previous episode.
+    std::map<std::uint64_t, std::pair<VectorClock, int>> released;
+    std::vector<std::uint64_t> arrived_epoch;  // per proc
+  };
+
+  struct TokenState {
+    int holder = -1;        // proc holding the token, or -1 if in flight
+    int in_flight_to = -1;  // destination of an in-flight grant, or -1
+  };
+
+  PageShadow& shadow_of(std::uint32_t page);
+  /// Opens a new segment for `proc`: bumps its own clock component and
+  /// records the label of the sync op that opened it.
+  void open_segment(int proc, std::string label);
+  std::optional<RaceReport> record(int proc, std::uint64_t ptr,
+                                   std::size_t len, std::uint32_t vt,
+                                   bool write);
+  void report(std::uint32_t page, std::uint32_t word, const AccessSite& prev,
+              const AccessSite& cur, std::optional<RaceReport>& first);
+  AccessSite site_of(int proc, bool write, std::uint32_t seg,
+                     std::uint32_t vt) const;
+
+  const int n_;
+  const std::size_t page_size_;
+  const std::size_t words_per_page_;
+  const std::size_t max_reports_;
+
+  std::vector<VectorClock> clock_;                  // per proc, size n
+  std::vector<std::vector<std::string>> seg_sync_;  // per proc, per segment
+  std::map<std::uint32_t, PageShadow> shadow_;
+  std::map<int, VectorClock> lock_clock_;  // last release snapshot
+  std::map<int, BarrierState> barriers_;
+  std::map<int, TokenState> tokens_;
+  std::vector<VectorClock> published_vc_;  // last barrier-arrival vc
+  std::set<std::pair<std::uint32_t, std::uint32_t>> reported_words_;
+  std::vector<RaceReport> reports_;
+  CheckStats stats_;
+};
+
+}  // namespace tmkgm::check

@@ -309,6 +309,13 @@ RunResult Cluster::run(const Program& program) {
 RunResult Cluster::run_tmk(const TmkProgram& program) {
   const int n = config_.n_procs;
   std::vector<tmk::TmkStats> tmk_stats(static_cast<std::size_t>(n));
+  // One shared oracle for the whole cluster: the engine baton means only
+  // one node runs at a time, so cross-node shadow state needs no locking
+  // and detection order is deterministic.
+  std::unique_ptr<check::RaceOracle> oracle;
+  if (config_.tmk.race_check) {
+    oracle = std::make_unique<check::RaceOracle>(n, config_.tmk.page_size);
+  }
   // TreadMarks installs the request handler in its constructor; gate so no
   // protocol message reaches a node whose Tmk does not exist yet, and gate
   // at the end so the timing excludes construction (the paper's execution
@@ -320,7 +327,7 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
 
   RunResult result = run([&](NodeEnv& env) {
     tmk::Tmk tmk(env.node, env.substrate, env.cost, config_.tmk,
-                 env.compute_tax);
+                 env.compute_tax, oracle.get());
     ready_gate.arrive_and_wait(env.node);
     started[static_cast<std::size_t>(env.id)] = env.node.now();
     program(tmk, env);
@@ -357,6 +364,19 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
   c.add("tmk.barriers", t.barriers);
   c.add("tmk.intervals_created", t.intervals_created);
   c.add("tmk.gc_rounds", t.gc_rounds);
+  // check.* rows exist only under --race-check, keeping default reports
+  // byte-identical (same pattern as the fault.* rows).
+  if (oracle != nullptr) {
+    result.races = oracle->reports();
+    result.check = oracle->stats();
+    const auto& s = result.check;
+    c.add("check.reads_recorded", s.reads_recorded);
+    c.add("check.writes_recorded", s.writes_recorded);
+    c.add("check.segments", s.segments);
+    c.add("check.hb_edges", s.hb_edges);
+    c.add("check.invariant_checks", s.invariant_checks);
+    c.add("check.races", s.races);
+  }
   return result;
 }
 

@@ -99,6 +99,11 @@ struct RunResult {
   fault::FaultStats fault;
   /// Per-node TreadMarks protocol stats (run_tmk only).
   std::vector<tmk::TmkStats> tmk_stats;
+  /// DRF oracle findings (run_tmk with TmkConfig::race_check; empty
+  /// otherwise — and empty for a data-race-free program).
+  std::vector<check::RaceReport> races;
+  /// Oracle bookkeeping (race_check runs only; zeros otherwise).
+  check::CheckStats check;
   /// Cluster-wide rollup of every layer's counters, keyed
   /// "<layer>.<counter>" — the report's stable "counters:" table.
   obs::CounterRegistry counters;

@@ -262,6 +262,7 @@ void FastGmSubstrate::send_message(sub::MsgKind kind, int origin,
   std::memcpy(buf, &env, sizeof(env));
   std::size_t off = sizeof(env);
   for (const auto& b : iov) {
+    if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(buf + off, b.data, b.len);
     off += b.len;
   }
@@ -348,6 +349,7 @@ void FastGmSubstrate::start_rendezvous(sub::MsgKind rts_kind, int origin,
   std::memcpy(buf, &env, sizeof(env));
   std::size_t off = sizeof(env);
   for (const auto& b : iov) {
+    if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(buf + off, b.data, b.len);
     off += b.len;
   }
@@ -508,7 +510,7 @@ std::size_t FastGmSubstrate::recv_response(std::uint32_t seq,
     if (it != reply_stash_.end()) {
       const std::size_t len = it->second.size();
       TMKGM_CHECK(len <= out.size());
-      std::memcpy(out.data(), it->second.data(), len);
+      if (len != 0) std::memcpy(out.data(), it->second.data(), len);
       reply_stash_.erase(it);
       return len;
     }
@@ -526,7 +528,7 @@ std::size_t FastGmSubstrate::recv_response_any(
       if (it != reply_stash_.end()) {
         len = it->second.size();
         TMKGM_CHECK(len <= out.size());
-        std::memcpy(out.data(), it->second.data(), len);
+        if (len != 0) std::memcpy(out.data(), it->second.data(), len);
         reply_stash_.erase(it);
         return i;
       }

@@ -137,6 +137,7 @@ void FastIbSubstrate::send_message(sub::MsgKind kind, int origin,
   std::memcpy(buf, &env, sizeof(env));
   std::size_t off = sizeof(env);
   for (const auto& b : iov) {
+    if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(buf + off, b.data, b.len);
     off += b.len;
   }
@@ -237,7 +238,7 @@ std::size_t FastIbSubstrate::recv_response(std::uint32_t seq,
     if (it != reply_stash_.end()) {
       const std::size_t len = it->second.size();
       TMKGM_CHECK(len <= out.size());
-      std::memcpy(out.data(), it->second.data(), len);
+      if (len != 0) std::memcpy(out.data(), it->second.data(), len);
       reply_stash_.erase(it);
       return len;
     }
@@ -255,7 +256,7 @@ std::size_t FastIbSubstrate::recv_response_any(
       if (it != reply_stash_.end()) {
         len = it->second.size();
         TMKGM_CHECK(len <= out.size());
-        std::memcpy(out.data(), it->second.data(), len);
+        if (len != 0) std::memcpy(out.data(), it->second.data(), len);
         reply_stash_.erase(it);
         return i;
       }

@@ -17,6 +17,7 @@ const char* to_string(Cat cat) {
     case Cat::Sub: return "sub";
     case Cat::Tmk: return "tmk";
     case Cat::Fault: return "fault";
+    case Cat::Check: return "check";
   }
   return "?";
 }
@@ -63,6 +64,7 @@ const char* to_string(Kind kind) {
     case Kind::FaultBufSeize: return "fault_buf_seize";
     case Kind::FaultBufRestore: return "fault_buf_restore";
     case Kind::FaultRecover: return "fault_recover";
+    case Kind::RaceReport: return "race_report";
   }
   return "?";
 }

@@ -33,8 +33,9 @@ enum class Cat : std::uint8_t {
   Sub,   ///< substrate messages (FAST/GM, UDP/GM or FAST/IB)
   Tmk,   ///< TreadMarks protocol actions
   Fault, ///< injected faults and the recovery actions they trigger
+  Check, ///< DRF race-detection oracle reports (check/check.hpp)
 };
-inline constexpr int kNumCats = 7;
+inline constexpr int kNumCats = 8;
 
 enum class Kind : std::uint8_t {
   // Cat::Node
@@ -84,6 +85,9 @@ enum class Kind : std::uint8_t {
   FaultBufSeize,      ///< receive buffers seized; a = port id
   FaultBufRestore,    ///< receive buffers restored; a = port id
   FaultRecover,       ///< substrate re-drove a failed send; peer = dst
+  // Cat::Check — race oracle findings.
+  RaceReport,  ///< unordered same-word access pair; a = global word addr,
+               ///< peer = the other proc involved
 };
 
 /// Drop reasons carried in TraceEvent::a for Kind::UdpDrop.

@@ -43,12 +43,13 @@ std::uint64_t vc_sum(const VectorClock& vc) {
 
 Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
          const net::CostModel& cost, const TmkConfig& config,
-         double compute_tax)
+         double compute_tax, check::RaceOracle* oracle)
     : node_(node),
       substrate_(substrate),
       cost_(cost),
       config_(config),
       compute_tax_(compute_tax),
+      oracle_(oracle),
       barrier_cond_(node),
       distribute_cond_(node) {
   TMKGM_CHECK(config_.page_size >= 64 && config_.page_size % 4 == 0);
@@ -108,6 +109,11 @@ std::size_t Tmk::protocol_bytes() const {
   for (const auto& per_proc : intervals_) {
     intervals += per_proc.size() *
                  (64 + 4 * static_cast<std::size_t>(n_procs()));
+    // The write-notice page list dominates the record for page-heavy
+    // workloads (Gauss, 3Dfft); omitting it made GC trip late.
+    for (const auto& [vt, rec] : per_proc) {
+      intervals += 4 * rec.pages.size();
+    }
   }
   return diff_store_bytes_ + intervals;
 }
@@ -126,12 +132,14 @@ GlobalPtr Tmk::malloc(std::size_t bytes) {
   if (it != free_lists_.end() && !it->second.empty()) {
     const GlobalPtr out = it->second.back();
     it->second.pop_back();
+    live_allocs_[out] = aligned;
     return out;
   }
   TMKGM_CHECK_MSG(alloc_cursor_ + aligned <= config_.arena_bytes,
                   "shared arena exhausted: grow TmkConfig::arena_bytes");
   const GlobalPtr out = alloc_cursor_;
   alloc_cursor_ += aligned;
+  live_allocs_[out] = aligned;
   return out;
 }
 
@@ -141,6 +149,19 @@ void Tmk::free(GlobalPtr ptr, std::size_t bytes) {
       (bytes + config_.page_size - 1) / config_.page_size * config_.page_size;
   TMKGM_CHECK(ptr % config_.page_size == 0);
   TMKGM_CHECK(ptr + aligned <= alloc_cursor_);
+  // An unchecked free used to push the block straight onto the free list,
+  // so a double free (or a pointer inside a live block) let malloc hand
+  // the same pages to two live allocations — corrupting shared data far
+  // from the bug. Only exact live blocks may be freed.
+  auto live = live_allocs_.find(ptr);
+  TMKGM_CHECK_MSG(live != live_allocs_.end(),
+                  "free(" << ptr << "): not the start of a live allocation "
+                          << "(double free or overlapping block)");
+  TMKGM_CHECK_MSG(live->second == aligned,
+                  "free(" << ptr << "): size " << aligned
+                          << " does not match the allocation's "
+                          << live->second);
+  live_allocs_.erase(live);
   free_lists_[aligned].push_back(ptr);
 }
 
@@ -170,6 +191,7 @@ void Tmk::distribute(void* data, std::size_t bytes) {
 // ---------------------------------------------------------------------
 
 void Tmk::ensure_read_slow(GlobalPtr ptr, std::size_t len) {
+  if (oracle_ != nullptr) record_access(ptr, len, /*write=*/false);
   const PageId first = page_of(ptr);
   const PageId last = page_of(ptr + len - 1);
   for (PageId p = first; p <= last; ++p) {
@@ -180,10 +202,31 @@ void Tmk::ensure_read_slow(GlobalPtr ptr, std::size_t len) {
 }
 
 void Tmk::ensure_write_slow(GlobalPtr ptr, std::size_t len) {
+  if (oracle_ != nullptr) record_access(ptr, len, /*write=*/true);
   const PageId first = page_of(ptr);
   const PageId last = page_of(ptr + len - 1);
   for (PageId p = first; p <= last; ++p) {
     if (mode_[p] != PageMode::ReadWrite) write_fault(p);
+  }
+}
+
+void Tmk::record_access(GlobalPtr ptr, std::size_t len, bool write) {
+  // Recording charges no simulated cost: virtual time with the oracle on
+  // is identical to a run with it off.
+  const auto vt = vc_[static_cast<std::size_t>(proc_id())];
+  const auto hit = write ? oracle_->record_write(proc_id(), ptr, len, vt)
+                         : oracle_->record_read(proc_id(), ptr, len, vt);
+  if (hit.has_value()) {
+    auto& engine = node_.engine();
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit({.t = node_.now(),
+                             .node = proc_id(),
+                             .cat = obs::Cat::Check,
+                             .kind = obs::Kind::RaceReport,
+                             .peer = hit->prev.proc,
+                             .a = hit->addr,
+                             .bytes = 4});
+    }
   }
 }
 
@@ -365,6 +408,28 @@ void Tmk::apply_one_diff(PageId page, int proc, std::uint32_t vt,
                          std::span<const std::byte> diff) {
   PageState& st = state_of(page);
   if (vt <= st.applied[static_cast<std::size_t>(proc)]) return;  // duplicate
+  if (oracle_ != nullptr) {
+    // Applied-clock monotonicity: every interval that happened before
+    // (proc, vt) and wrote this page must already be reflected in
+    // st.applied, or the vc_sum linear extension was violated. (Records
+    // GC may have reclaimed are covered by the GC-safety invariant.)
+    const auto& vc =
+        intervals_[static_cast<std::size_t>(proc)].at(vt).vc;
+    for (int q = 0; q < n_procs(); ++q) {
+      if (q == proc || q == proc_id()) continue;
+      for (const auto& [uvt, urec] : intervals_[static_cast<std::size_t>(q)]) {
+        if (uvt > vc[static_cast<std::size_t>(q)]) break;
+        if (uvt <= st.applied[static_cast<std::size_t>(q)]) continue;
+        TMKGM_CHECK_MSG(
+            std::find(urec.pages.begin(), urec.pages.end(), page) ==
+                urec.pages.end(),
+            "diff (" << proc << "," << vt << ") for page " << page
+                     << " applied before its happened-before predecessor ("
+                     << q << "," << uvt << ")");
+      }
+    }
+    oracle_->count_invariant_check();
+  }
   const auto modified = diff_modified_bytes(diff);
   node_.compute(cost_.mem_op_overhead +
                 transfer_time(modified, cost_.memcpy_bytes_per_us));
@@ -554,6 +619,10 @@ void Tmk::lock_acquire(int lock) {
   TMKGM_CHECK_MSG(!L.held, "recursive lock acquire");
   if (L.owned) {
     L.held = true;  // free re-acquire: we saw our own last release
+    if (oracle_ != nullptr) {
+      oracle_->on_lock_acquired(proc_id(), lock,
+                                vc_[static_cast<std::size_t>(proc_id())]);
+    }
     return;
   }
   ++stats_.lock_remote_acquires;
@@ -584,6 +653,11 @@ void Tmk::lock_acquire(int lock) {
   if (more != 0) fetch_more_intervals(granter);
   L.owned = true;
   L.held = true;
+  if (oracle_ != nullptr) {
+    oracle_->on_lock_token_acquired(lock, proc_id());
+    oracle_->on_lock_acquired(proc_id(), lock,
+                              vc_[static_cast<std::size_t>(proc_id())]);
+  }
 }
 
 void Tmk::lock_release(int lock) {
@@ -592,6 +666,13 @@ void Tmk::lock_release(int lock) {
   TMKGM_CHECK_MSG(L.held && L.owned, "releasing a lock we do not hold");
   trace(obs::Kind::LockRelease, -1, static_cast<std::uint64_t>(lock));
   close_interval();
+  // Snapshot the release clock even with no successor queued: a deferred
+  // grant (handle_lock_acquire, interrupt context) orders the acquirer
+  // after this release, not after whatever we do afterwards.
+  if (oracle_ != nullptr) {
+    oracle_->on_lock_release(proc_id(), lock,
+                             vc_[static_cast<std::size_t>(proc_id())]);
+  }
   L.held = false;
   if (!L.successor.has_value()) return;  // keep the token until asked
 
@@ -606,6 +687,9 @@ void Tmk::lock_release(int lock) {
 void Tmk::grant_lock(int lock, const sub::RequestCtx& to,
                      const VectorClock& their_vc) {
   trace(obs::Kind::LockGrant, to.origin, static_cast<std::uint64_t>(lock));
+  if (oracle_ != nullptr) {
+    oracle_->on_lock_token_granted(lock, proc_id(), to.origin);
+  }
   WireWriter w;
   w.put<std::uint8_t>(0);  // more flag, patched below
   w.put<std::uint8_t>(static_cast<std::uint8_t>(proc_id()));
@@ -624,6 +708,15 @@ void Tmk::barrier(int id) {
   trace(obs::Kind::Barrier, -1, static_cast<std::uint64_t>(id));
   if (n_procs() == 1) return;  // nothing to synchronize or publish
   close_interval();
+  if (oracle_ != nullptr) {
+    // Publish the arrival clock first: the GC-safety invariant checks
+    // discards against what each proc knew when it arrived (everyone
+    // arrives before anyone leaves, so by discard time all n arrival
+    // clocks for this barrier are in).
+    oracle_->on_barrier_vc(proc_id(), vc_);
+    oracle_->on_barrier_arrive(proc_id(), id,
+                               vc_[static_cast<std::size_t>(proc_id())]);
+  }
 
   bool run_gc = false;
   if (proc_id() == 0) {
@@ -717,6 +810,10 @@ void Tmk::barrier(int id) {
     if (release_more != 0) fetch_more_intervals(0);
   }
 
+  if (oracle_ != nullptr) {
+    oracle_->on_barrier_leave(proc_id(), id,
+                              vc_[static_cast<std::size_t>(proc_id())]);
+  }
   ++barrier_epoch_;
   if (gc_discard_pending_) {
     discard_old_protocol_state();
@@ -760,9 +857,14 @@ void Tmk::discard_old_protocol_state() {
       return rec != mine.end() && rec->second.epoch < floor;
     });
   }
-  for (auto& per_proc : intervals_) {
+  for (int p = 0; p < n_procs(); ++p) {
+    auto& per_proc = intervals_[static_cast<std::size_t>(p)];
     std::erase_if(per_proc, [&](const auto& kv) {
-      return kv.second.epoch < floor;
+      const bool dead = kv.second.epoch < floor;
+      if (dead && oracle_ != nullptr) {
+        oracle_->on_gc_discard(proc_id(), p, kv.first);
+      }
+      return dead;
     });
   }
 }
@@ -879,15 +981,24 @@ void Tmk::handle_lock_acquire(const sub::RequestCtx& ctx, WireReader& r) {
   if (lock_manager(lock) == proc_id()) {
     // Manager duties: serialize the chain.
     auto fwd = L.forwarded.find(ctx.origin);
-    if (fwd != L.forwarded.end() && fwd->second.first == ctx.seq) {
-      // Duplicate (the UDP path lost something downstream): re-drive the
-      // forward we already made — the target's dedup sorts out the rest.
-      WireWriter w;
-      w.put(Op::LockAcquire);
-      w.put<std::uint32_t>(static_cast<std::uint32_t>(lock));
-      put_vc(w, their_vc);
-      substrate_.forward(ctx, fwd->second.second, w.bytes());
-      return;
+    if (fwd != L.forwarded.end()) {
+      if (fwd->second.first == ctx.seq) {
+        // Duplicate (the UDP path lost something downstream): re-drive the
+        // forward we already made — the target's dedup sorts out the rest.
+        WireWriter w;
+        w.put(Op::LockAcquire);
+        w.put<std::uint32_t>(static_cast<std::uint32_t>(lock));
+        put_vc(w, their_vc);
+        substrate_.forward(ctx, fwd->second.second, w.bytes());
+        return;
+      }
+      // A newer request from this origin proves the old forward completed
+      // (the origin acquired and released since). Keeping the stale entry
+      // would leak — one per origin per lock, forever — and a recycled
+      // (origin, seq) after the substrate's dedup window rotates could
+      // spuriously re-drive the old forward to a node that long since
+      // passed the lock on.
+      L.forwarded.erase(fwd);
     }
     if (L.tail == proc_id()) {
       if (L.owned && !L.held) {

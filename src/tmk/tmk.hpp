@@ -39,6 +39,7 @@
 #include <span>
 #include <vector>
 
+#include "check/check.hpp"
 #include "net/cost_model.hpp"
 #include "obs/trace.hpp"
 #include "sim/node.hpp"
@@ -70,6 +71,14 @@ struct TmkConfig {
   /// when off every access takes the out-of-line slow path. Protocol
   /// behaviour is identical either way (asserted by the property tests).
   bool access_fast_path = true;
+  /// DRF race-detection oracle (check/check.hpp): record every shared
+  /// access at word granularity, replay the protocol's sync edges as a
+  /// happens-before graph, and report unordered same-word access pairs;
+  /// also asserts protocol invariants (lock-chain single token, GC
+  /// safety, diff-apply ordering). Virtual time is unchanged — the
+  /// oracle charges no simulated cost — but when on, the inline access
+  /// fast path is disabled so every access reaches the recording hook.
+  bool race_check = false;
 };
 
 struct TmkStats {
@@ -93,7 +102,8 @@ struct TmkStats {
 class Tmk {
  public:
   Tmk(sim::Node& node, sub::Substrate& substrate, const net::CostModel& cost,
-      const TmkConfig& config, double compute_tax = 0.0);
+      const TmkConfig& config, double compute_tax = 0.0,
+      check::RaceOracle* oracle = nullptr);
   ~Tmk();
 
   Tmk(const Tmk&) = delete;
@@ -172,6 +182,11 @@ class Tmk {
   enum class PageMode : std::uint8_t { Unmapped, Invalid, ReadOnly, ReadWrite };
   PageMode page_mode(PageId page) const;
 
+  /// Manager-side lock re-drive table size, for tests (leak regression).
+  std::size_t lock_forwarded_entries(int lock) const {
+    return locks_[static_cast<std::size_t>(lock)].forwarded.size();
+  }
+
  private:
   struct WriteNotice {
     std::uint8_t proc;
@@ -237,15 +252,20 @@ class Tmk {
   /// access-mode cache an exact mirror of mode_. Every fault upcall,
   /// interval close (write re-protection), write-notice invalidation
   /// (interrupt context) and GC validation goes through here, so the
-  /// fast path can never see a stale "valid". With the fast path off the
-  /// cache stays all-zero and every access misses into the slow path.
+  /// fast path can never see a stale "valid". With the fast path off —
+  /// or the race oracle installed, which must observe every access —
+  /// the cache stays all-zero and every access misses into the slow path.
   void set_mode(PageId page, PageMode m) {
     mode_[page] = m;
-    if (!config_.access_fast_path) return;
+    if (!config_.access_fast_path || oracle_ != nullptr) return;
     access_ok_[page] = m == PageMode::ReadOnly    ? kAccessRead
                        : m == PageMode::ReadWrite ? (kAccessRead | kAccessWrite)
                                                   : std::uint8_t{0};
   }
+
+  /// Feeds one application access to the race oracle (oracle_ != nullptr)
+  /// and emits a Cat::Check trace record on a fresh race.
+  void record_access(GlobalPtr ptr, std::size_t len, bool write);
 
   void read_fault(PageId page);
   void write_fault(PageId page);
@@ -316,6 +336,9 @@ class Tmk {
   const net::CostModel& cost_;
   TmkConfig config_;
   const double compute_tax_;
+  /// Shared DRF oracle (one per cluster; engine baton serializes access),
+  /// or nullptr when race checking is off.
+  check::RaceOracle* oracle_ = nullptr;
 
   struct FreeDeleter {
     void operator()(std::byte* p) const { std::free(p); }
@@ -379,6 +402,9 @@ class Tmk {
   std::size_t alloc_cursor_ = 0;
   /// Free lists by (page-aligned) block size, LIFO for determinism.
   std::map<std::size_t, std::vector<GlobalPtr>> free_lists_;
+  /// Live allocations (start -> aligned size): free() rejects double
+  /// frees and blocks that were never handed out.
+  std::map<GlobalPtr, std::size_t> live_allocs_;
   TmkStats stats_;
 };
 

@@ -69,6 +69,7 @@ std::vector<std::byte> UdpSubstrate::pack(
   std::memcpy(out.data(), &env, sizeof(env));
   std::size_t off = sizeof(env);
   for (const auto& b : iov) {
+    if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(out.data() + off, b.data, b.len);
     off += b.len;
   }
@@ -298,7 +299,7 @@ std::size_t UdpSubstrate::recv_response_any(
       if (it != reply_stash_.end()) {
         len = it->second.size();
         TMKGM_CHECK(len <= out.size());
-        std::memcpy(out.data(), it->second.data(), len);
+        if (len != 0) std::memcpy(out.data(), it->second.data(), len);
         reply_stash_.erase(it);
         return i;
       }

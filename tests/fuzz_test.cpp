@@ -61,6 +61,36 @@ TEST_P(DiffFuzz, EncodeApplyRoundTrip) {
   }
 }
 
+TEST_P(DiffFuzz, TrailingWordPageSizesRoundTrip) {
+  // Odd page sizes with page_size % 8 == 4 drive scan_words' trailing
+  // 4-byte-word branch; random word flips must round-trip exactly at
+  // every offset, including the final lone word.
+  Rng rng(GetParam() ^ 0x7411ed);
+  for (const std::size_t size : {std::size_t{68}, std::size_t{132}}) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::byte> twin(size);
+      for (auto& b : twin) b = std::byte(rng.next_below(256));
+      std::vector<std::byte> current = twin;
+      const int words = 1 + static_cast<int>(rng.next_below(8));
+      for (int w = 0; w < words; ++w) {
+        const auto off = rng.next_below(size / 4) * 4;
+        current[off] = std::byte(rng.next_below(256));
+      }
+      // Half the rounds force the trailing word specifically.
+      if (round % 2 == 0) {
+        current[size - 4] =
+            std::byte(~std::to_integer<unsigned>(current[size - 4]));
+      }
+      const auto diff = tmk::encode_diff(current.data(), twin.data(), size);
+      std::vector<std::byte> rebuilt = twin;
+      tmk::apply_diff(rebuilt.data(), diff, size);
+      ASSERT_EQ(std::memcmp(rebuilt.data(), current.data(), size), 0)
+          << "size " << size << " seed " << GetParam() << " round " << round;
+      ASSERT_LE(tmk::diff_modified_bytes(diff), size);
+    }
+  }
+}
+
 TEST_P(DiffFuzz, DisjointConcurrentWritersMerge) {
   Rng rng(GetParam() ^ 0xabcdef);
   for (int round = 0; round < 25; ++round) {

@@ -1,0 +1,212 @@
+// DRF race-detection oracle regressions.
+//
+// Positive control: the deliberately racy demo app must be flagged with a
+// word-level two-site report naming slot 0 and nothing else. Negative
+// controls: every paper application is data-race-free and must produce
+// zero reports on both substrates, through injected faults, and through a
+// GC-pressured run (which also drives the protocol-invariant hooks). The
+// oracle must be deterministic and must not move a single byte of the
+// run report when enabled — detection is free in virtual time.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/extended.hpp"
+#include "apps/racy.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/report.hpp"
+#include "fault/fault.hpp"
+#include "tmk/shared_array.hpp"
+
+namespace tmkgm::cluster {
+namespace {
+
+ClusterConfig checked_config(SubstrateKind kind, int n = 4) {
+  ClusterConfig cfg;
+  cfg.n_procs = n;
+  cfg.kind = kind;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.tmk.race_check = true;
+  cfg.event_limit = 500'000'000;
+  return cfg;
+}
+
+class RaceCheckTest : public ::testing::TestWithParam<SubstrateKind> {};
+
+TEST_P(RaceCheckTest, RacyAppIsFlaggedAtWordZeroOnly) {
+  Cluster c(checked_config(GetParam()));
+  const auto result = c.run_tmk([](tmk::Tmk& tmk, NodeEnv&) {
+    apps::racy(tmk, apps::RacyParams{});
+  });
+
+  // Exactly one racing word: the unsynchronized slot 0. The per-proc
+  // slots and the lock-protected counter must NOT be flagged.
+  ASSERT_EQ(result.races.size(), 1u);
+  EXPECT_EQ(result.check.races, 1u);
+  const auto& r = result.races.front();
+  EXPECT_EQ(r.word, 0u);  // slot 0 sits at word 0 of its page-aligned block
+
+  // Both sites are populated and name distinct procs, and the report
+  // carries the enclosing sync op of each side.
+  EXPECT_NE(r.prev.proc, r.cur.proc);
+  EXPECT_GE(r.prev.proc, 0);
+  EXPECT_GE(r.cur.proc, 0);
+  EXPECT_FALSE(r.prev.sync.empty());
+  EXPECT_FALSE(r.cur.sync.empty());
+  EXPECT_NE(r.to_string().find("race at"), std::string::npos);
+}
+
+TEST_P(RaceCheckTest, RacyReportIsDeterministicAcrossRuns) {
+  auto run = [&] {
+    Cluster c(checked_config(GetParam()));
+    auto result = c.run_tmk([](tmk::Tmk& tmk, NodeEnv&) {
+      apps::racy(tmk, apps::RacyParams{});
+    });
+    std::string s;
+    for (const auto& r : result.races) s += r.to_string() + "\n";
+    return s;
+  };
+  const std::string first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run());
+}
+
+TEST_P(RaceCheckTest, PaperAppsAreClean) {
+  const auto kind = GetParam();
+  struct Case {
+    const char* name;
+    void (*run)(tmk::Tmk&);
+  };
+  static const Case kCases[] = {
+      {"jacobi",
+       [](tmk::Tmk& t) {
+         apps::jacobi(t, {.rows = 32, .cols = 32, .iters = 3});
+       }},
+      {"sor",
+       [](tmk::Tmk& t) { apps::sor(t, {.rows = 32, .cols = 32, .iters = 3}); }},
+      {"tsp", [](tmk::Tmk& t) { apps::tsp(t, {.cities = 8}); }},
+      {"fft", [](tmk::Tmk& t) { apps::fft3d(t, {.n = 8, .iters = 2}); }},
+      {"is",
+       [](tmk::Tmk& t) {
+         apps::is_sort(t, {.keys_per_proc = 256, .iters = 2});
+       }},
+      {"gauss", [](tmk::Tmk& t) { apps::gauss(t, {.n = 24}); }},
+      {"water", [](tmk::Tmk& t) { apps::water(t, {.molecules = 24, .iters = 2}); }},
+      {"barnes", [](tmk::Tmk& t) { apps::barnes(t, {.bodies = 24, .steps = 2}); }},
+  };
+  for (const auto& cs : kCases) {
+    SCOPED_TRACE(cs.name);
+    Cluster c(checked_config(kind));
+    const auto result =
+        c.run_tmk([&](tmk::Tmk& tmk, NodeEnv&) { cs.run(tmk); });
+    std::string rendered;
+    for (const auto& r : result.races) rendered += r.to_string() + "\n";
+    EXPECT_TRUE(result.races.empty()) << rendered;
+    EXPECT_GT(result.check.reads_recorded, 0u);
+    EXPECT_GT(result.check.hb_edges, 0u);
+  }
+}
+
+TEST_P(RaceCheckTest, FaultedRunStaysClean) {
+  // Recovery paths (retransmits, disabled-node stalls) re-deliver protocol
+  // messages; replayed sync edges must not manufacture false races.
+  auto cfg = checked_config(GetParam());
+  cfg.faults = fault::FaultPlan::parse_or_die(
+      "seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)");
+  apps::JacobiParams p{.rows = 32, .cols = 32, .iters = 4};
+  Cluster c(cfg);
+  double checksum = 0.0;
+  const auto result = c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto r = apps::jacobi(tmk, p);
+    if (env.id == 0) checksum = r.checksum;
+  });
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_DOUBLE_EQ(checksum, apps::jacobi_serial(p));
+}
+
+TEST_P(RaceCheckTest, GcPressuredRunIsCleanAndChecksInvariants) {
+  // A tiny gc_high_water forces protocol-state GC rounds mid-run: the
+  // apply-clock monotonicity and GC-safety invariant hooks must all pass
+  // and the oracle must stay clean across discarded interval records.
+  auto cfg = checked_config(GetParam(), 3);
+  cfg.tmk.gc_high_water = 20'000;  // tiny: force GC rounds
+  Cluster c(cfg);
+  const auto result = c.run_tmk([](tmk::Tmk& tmk, NodeEnv& env) {
+    auto arr = tmk::SharedArray<std::int32_t>::alloc(tmk, 3072);  // 3 pages
+    for (int r = 1; r <= 10; ++r) {
+      const std::size_t slice = 1024;
+      auto w = arr.span_rw(static_cast<std::size_t>(env.id) * slice, slice);
+      for (std::size_t i = 0; i < slice; ++i) {
+        w[i] = static_cast<std::int32_t>(r * 100 + env.id);
+      }
+      tmk.barrier(0);
+      for (int p = 0; p < 3; ++p) {
+        arr.get(static_cast<std::size_t>(p) * 1024 + 7);
+      }
+      tmk.barrier(1);
+    }
+  });
+  EXPECT_GT(result.counters.value("tmk.gc_rounds"), 0u);
+  std::string rendered;
+  for (const auto& rep : result.races) rendered += rep.to_string() + "\n";
+  EXPECT_TRUE(result.races.empty()) << rendered;
+  EXPECT_GT(result.check.invariant_checks, 0u);
+}
+
+TEST_P(RaceCheckTest, OracleDoesNotPerturbTheRunReport) {
+  // Detection must be free in virtual time: the full report with the
+  // oracle on — minus its own check.* counter rows — is byte-identical
+  // to the report with it off.
+  auto run = [&](bool race_check) {
+    auto cfg = checked_config(GetParam());
+    cfg.tmk.race_check = race_check;
+    Cluster c(cfg);
+    auto result = c.run_tmk([](tmk::Tmk& tmk, NodeEnv&) {
+      apps::sor(tmk, {.rows = 32, .cols = 32, .iters = 3});
+    });
+    std::string report = format_report(cfg, result);
+    std::string filtered;
+    for (std::size_t pos = 0; pos < report.size();) {
+      const auto eol = report.find('\n', pos);
+      const auto line = report.substr(pos, eol - pos);
+      if (line.find("check.") == std::string::npos) filtered += line + "\n";
+      pos = eol == std::string::npos ? report.size() : eol + 1;
+    }
+    return filtered;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST_P(RaceCheckTest, CountersSurfaceOnlyWhenEnabled) {
+  auto cfg = checked_config(GetParam());
+  cfg.tmk.race_check = false;
+  Cluster off(cfg);
+  const auto r_off = off.run_tmk([](tmk::Tmk& tmk, NodeEnv&) {
+    apps::jacobi(tmk, {.rows = 32, .cols = 32, .iters = 2});
+  });
+  EXPECT_FALSE(r_off.counters.contains("check.reads_recorded"));
+
+  cfg.tmk.race_check = true;
+  Cluster on(cfg);
+  const auto r_on = on.run_tmk([](tmk::Tmk& tmk, NodeEnv&) {
+    apps::jacobi(tmk, {.rows = 32, .cols = 32, .iters = 2});
+  });
+  EXPECT_TRUE(r_on.counters.contains("check.reads_recorded"));
+  EXPECT_EQ(r_on.counters.value("check.races"), 0u);
+  EXPECT_GT(r_on.counters.value("check.segments"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Substrates, RaceCheckTest,
+                         ::testing::Values(SubstrateKind::FastGm,
+                                           SubstrateKind::UdpGm),
+                         [](const ::testing::TestParamInfo<SubstrateKind>& i) {
+                           return std::string(i.param == SubstrateKind::FastGm
+                                                  ? "FastGm"
+                                                  : "UdpGm");
+                         });
+
+}  // namespace
+}  // namespace tmkgm::cluster

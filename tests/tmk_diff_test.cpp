@@ -140,5 +140,49 @@ TEST(Diff, RunEndingAtPageBoundary) {
   EXPECT_EQ(std::memcmp(target.data(), current.data(), kPage), 0);
 }
 
+TEST(Diff, TrailingWordPageSizesRoundTrip) {
+  // page_size % 8 == 4 leaves one lone 4-byte word after the 8-byte
+  // scanning strides — scan_words has a dedicated branch for it that the
+  // usual power-of-two sizes never reach. Sizes 68 and 132 (the smallest
+  // the Tmk ctor would accept above its 64-byte floor) both hit it.
+  for (const std::size_t size : {std::size_t{68}, std::size_t{132}}) {
+    SCOPED_TRACE(size);
+    ASSERT_EQ(size % 8, 4u);
+    std::vector<std::byte> twin(size, std::byte{0});
+
+    // Only the trailing word modified.
+    auto current = twin;
+    for (std::size_t i = size - 4; i < size; ++i) current[i] = std::byte{7};
+    auto diff = encode_diff(current.data(), twin.data(), size);
+    EXPECT_EQ(diff_modified_bytes(diff), 4u);
+    auto target = twin;
+    apply_diff(target.data(), diff, size);
+    EXPECT_EQ(std::memcmp(target.data(), current.data(), size), 0);
+
+    // A run crossing from the strided region into the trailing word.
+    current = twin;
+    for (std::size_t i = size - 12; i < size; ++i) current[i] = std::byte{3};
+    diff = encode_diff(current.data(), twin.data(), size);
+    EXPECT_EQ(diff_modified_bytes(diff), 12u);
+    target = twin;
+    apply_diff(target.data(), diff, size);
+    EXPECT_EQ(std::memcmp(target.data(), current.data(), size), 0);
+
+    // Whole page, including the trailing word.
+    current.assign(size, std::byte{0xee});
+    diff = encode_diff(current.data(), twin.data(), size);
+    EXPECT_EQ(diff_modified_bytes(diff), size);
+    target = twin;
+    apply_diff(target.data(), diff, size);
+    EXPECT_EQ(std::memcmp(target.data(), current.data(), size), 0);
+
+    // An unmodified trailing word must not be encoded.
+    current = twin;
+    current[0] = std::byte{1};
+    diff = encode_diff(current.data(), twin.data(), size);
+    EXPECT_EQ(diff_modified_bytes(diff), 4u);
+  }
+}
+
 }  // namespace
 }  // namespace tmkgm::tmk

@@ -8,6 +8,7 @@
 
 #include "cluster/cluster.hpp"
 #include "tmk/shared_array.hpp"
+#include "util/check.hpp"
 
 namespace tmkgm::cluster {
 namespace {
@@ -431,6 +432,166 @@ TEST_P(TmkProtocolTest, ChunkedHomesReducePageFetches) {
   const auto chunked = fetches(16);  // 16-page chunks align with the slices
   EXPECT_EQ(chunked, 0u);
   EXPECT_GT(rr, 0u);
+}
+
+TEST_P(TmkProtocolTest, ProtocolBytesCountTheWriteNoticePageList) {
+  // Proc 0 dirties three pages in one interval. The interval record costs
+  // 64 bytes fixed + 4 per vector-clock entry + 4 per page id in the
+  // write-notice list: 64 + 4*2 + 4*3 = 84 on both procs (no diffs have
+  // been created or fetched). The page-list term — 12 bytes here, and the
+  // dominant term for page-heavy workloads — was previously omitted,
+  // which made GC trip late against gc_high_water.
+  Cluster c(base_config(2));
+  std::vector<std::size_t> pb(2, 0);
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    auto arr = SharedArray<std::int32_t>::alloc(tmk, 3 * 1024);  // 3 pages
+    if (env.id == 0) {
+      for (std::size_t pg = 0; pg < 3; ++pg) arr.put(pg * 1024, 1);
+    }
+    tmk.barrier(0);
+    pb[static_cast<std::size_t>(env.id)] = tmk.protocol_bytes();
+    tmk.barrier(1);
+  });
+  EXPECT_EQ(pb[0], 84u);
+  EXPECT_EQ(pb[1], 84u);
+}
+
+TEST_P(TmkProtocolTest, FreeRejectsDoubleFree) {
+  // A double free used to push the block onto free_lists_ twice, letting
+  // malloc hand the same pages to two live allocations.
+  Cluster c(base_config(2));
+  EXPECT_THROW(c.run_tmk([](Tmk& tmk, NodeEnv& env) {
+                 if (env.id != 0) return;
+                 const auto a = tmk.malloc(100);
+                 tmk.free(a, 100);
+                 tmk.free(a, 100);
+               }),
+               CheckError);
+}
+
+TEST_P(TmkProtocolTest, FreeRejectsInteriorPointer) {
+  // Freeing into the middle of a live block would overlap the remainder
+  // of the allocation with whatever malloc hands out next.
+  Cluster c(base_config(2));
+  EXPECT_THROW(c.run_tmk([](Tmk& tmk, NodeEnv& env) {
+                 if (env.id != 0) return;
+                 const auto a = tmk.malloc(2 * tmk.config().page_size);
+                 tmk.free(a + tmk.config().page_size,
+                          tmk.config().page_size);
+               }),
+               CheckError);
+}
+
+TEST_P(TmkProtocolTest, FreeThenMallocStillReusesTheBlock) {
+  // The liveness tracking must not break the legitimate free-list reuse
+  // path (same-size blocks are recycled deterministically).
+  Cluster c(base_config(2));
+  std::vector<bool> reused(2, false);
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    const auto a = tmk.malloc(3000);
+    tmk.free(a, 3000);
+    const auto b = tmk.malloc(3000);
+    tmk.free(b, 3000);
+    reused[static_cast<std::size_t>(env.id)] = a == b;
+  });
+  EXPECT_TRUE(reused[0]);
+  EXPECT_TRUE(reused[1]);
+}
+
+TEST_P(TmkProtocolTest, ManagerPrunesStaleForwardedEntryOnNewerRequest) {
+  // Forwarded-chain bookkeeping at the manager: round 1 creates an entry
+  // for origin 2, round 2 one for origin 1. When origin 2's NEWER request
+  // arrives in round 4 and is granted directly (the token rests at the
+  // manager), the stale round-1 entry must be pruned — it used to live
+  // forever, and a recycled (origin, seq) pair after the substrate's
+  // dedup window rotated could spuriously re-drive the dead forward.
+  Cluster c(base_config(3));
+  std::size_t after_round2 = 0, after_round4 = 0;
+  c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    // Round 1: p1 grabs the lock and holds it while p2 queues up — the
+    // manager forwards p2's request to p1 and records it.
+    if (env.id == 1) {
+      tmk.lock_acquire(0);
+      env.node.compute(microseconds(100.0));
+      tmk.lock_release(0);
+    } else if (env.id == 2) {
+      env.node.compute(microseconds(10.0));
+      tmk.lock_acquire(0);
+      tmk.lock_release(0);
+    }
+    tmk.barrier(0);
+    // Round 2: p1 queues behind the current owner p2.
+    if (env.id == 1) {
+      tmk.lock_acquire(0);
+      tmk.lock_release(0);
+    }
+    tmk.barrier(1);
+    if (env.id == 0) after_round2 = tmk.lock_forwarded_entries(0);
+    // Round 3: the manager takes the token home.
+    if (env.id == 0) {
+      tmk.lock_acquire(0);
+      tmk.lock_release(0);
+    }
+    tmk.barrier(2);
+    // Round 4: origin 2's newer request is granted directly by the
+    // manager; its stale entry must go away without a replacement.
+    if (env.id == 2) {
+      tmk.lock_acquire(0);
+      tmk.lock_release(0);
+    }
+    tmk.barrier(3);
+    if (env.id == 0) after_round4 = tmk.lock_forwarded_entries(0);
+  });
+  EXPECT_EQ(after_round2, 2u);  // origins 1 and 2 both on file
+  EXPECT_EQ(after_round4, 1u);  // origin 2's stale entry pruned
+}
+
+/// Drops the nth (0-based) datagram matching (src, dst, dst_port).
+udpnet::UdpSystem::DropFilter drop_nth(int src, int dst, int port, int n,
+                                       int& seen) {
+  return [src, dst, port, n, &seen](int s, int d, int p, std::size_t) {
+    if (s != src || d != dst || p != port) return false;
+    return seen++ == n;
+  };
+}
+
+TEST(TmkLockChain, DuplicateRequestStillReDrivesALostForwardedGrant) {
+  // The prune must not eat the duplicate path. Lock 1's manager is proc 1;
+  // the token rests at proc 0, so p2's grant comes from chain member p0
+  // and we drop it. p2's substrate retransmits the request to the MANAGER
+  // with the same seq; the manager must recognize the duplicate and
+  // re-drive the recorded forward to p0, whose dedup cache replays the
+  // lost grant. Without that path p2 hangs forever.
+  ClusterConfig cfg;
+  cfg.n_procs = 3;
+  cfg.kind = SubstrateKind::UdpGm;
+  cfg.event_limit = 50'000'000;
+  cfg.udpsub.retrans_timeout = milliseconds(2.0);
+  cfg.udpsub.retrans_max = milliseconds(8.0);
+  int grants_seen = 0;
+  cfg.udp_drop_filter =
+      drop_nth(0, 2, cfg.udpsub.reply_udp_port, 0, grants_seen);
+  constexpr int kLock = 1;
+  Cluster c(cfg);
+  std::vector<std::int32_t> got(3, -1);
+  auto result = c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+    auto arr = SharedArray<std::int32_t>::alloc(tmk, 16);
+    if (env.id == 0) {
+      tmk.lock_acquire(kLock);  // pulls the token from manager p1 to p0
+      arr.put(0, arr.get(0) + 1);
+      tmk.lock_release(kLock);
+    } else if (env.id == 2) {
+      env.node.compute(microseconds(500.0));
+      tmk.lock_acquire(kLock);  // forwarded to p0; the grant is dropped
+      arr.put(0, arr.get(0) + 1);
+      tmk.lock_release(kLock);
+    }
+    tmk.barrier(0);
+    got[static_cast<std::size_t>(env.id)] = arr.get(0);
+  });
+  for (auto v : got) EXPECT_EQ(v, 2);
+  EXPECT_GE(result.substrate_stats[2].retransmits, 1u);
+  EXPECT_GE(result.substrate_stats[0].duplicates_dropped, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTransports, TmkProtocolTest,

@@ -14,6 +14,7 @@
 
 #include "apps/apps.hpp"
 #include "apps/extended.hpp"
+#include "apps/racy.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/report.hpp"
 #include "obs/trace.hpp"
@@ -32,6 +33,7 @@ struct Options {
   bool verify = false;
   bool report = false;
   bool counters = false;
+  bool race_check = false;
   bool rendezvous = false;
   std::string async_scheme = "interrupt";
   std::string trace_file;
@@ -42,7 +44,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: tmkgm_run [options]\n"
-      "  --app jacobi|sor|tsp|fft|is|gauss|water|barnes  workload\n"
+      "  --app jacobi|sor|tsp|fft|is|gauss|water|barnes|racy  workload\n"
       "  --substrate fastgm|udpgm|fastib  transport (default fastgm)\n"
       "  --nodes N                     cluster size (default 8)\n"
       "  --size S                      grid edge / cities / FFT N\n"
@@ -51,6 +53,8 @@ void usage() {
       "  --async interrupt|timer|polling  FAST/GM async scheme\n"
       "  --rendezvous                  FAST/GM rendezvous buffering\n"
       "  --verify                      check against the serial reference\n"
+      "  --race-check                  run the DRF race-detection oracle;\n"
+      "                                prints every report (exit 3 if any)\n"
       "  --report                      print the full protocol report\n"
       "  --trace FILE                  write a Chrome trace_event JSON of\n"
       "                                the run (chrome://tracing, Perfetto)\n"
@@ -121,6 +125,8 @@ bool parse(int argc, char** argv, Options& o) {
       o.faults = v;
     } else if (a == "--verify") {
       o.verify = true;
+    } else if (a == "--race-check") {
+      o.race_check = true;
     } else if (a == "--report") {
       o.report = true;
     } else if (a == "--counters") {
@@ -172,6 +178,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (o.race_check) cfg.tmk.race_check = true;
   obs::Tracer tracer;
   if (!o.trace_file.empty()) cfg.tracer = &tracer;
 
@@ -243,6 +250,12 @@ int main(int argc, char** argv) {
     if (o.iters) p.iters = o.iters;
     run_one([&](tmk::Tmk& t) { return apps::water(t, p); });
     if (o.verify) expected = apps::water_serial(p), have_expected = true;
+  } else if (o.app == "racy") {
+    apps::RacyParams p;
+    if (o.size) p.slots = o.size;
+    if (o.iters) p.rounds = o.iters;
+    run_one([&](tmk::Tmk& t) { return apps::racy(t, p); });
+    // Deliberately racy: no serial reference to verify against.
   } else {
     std::fprintf(stderr, "unknown app: %s\n", o.app.c_str());
     return 1;
@@ -257,6 +270,21 @@ int main(int argc, char** argv) {
     std::printf("verify: %s (serial reference %.9g)\n",
                 ok ? "OK" : "MISMATCH", expected);
     if (!ok) return 2;
+  }
+  if (o.race_check) {
+    if (result.races.empty()) {
+      std::printf("race-check: clean (%llu reads, %llu writes, %llu sync "
+                  "edges)\n",
+                  static_cast<unsigned long long>(result.check.reads_recorded),
+                  static_cast<unsigned long long>(result.check.writes_recorded),
+                  static_cast<unsigned long long>(result.check.hb_edges));
+    } else {
+      std::printf("race-check: %llu racing word(s)\n",
+                  static_cast<unsigned long long>(result.check.races));
+      for (const auto& r : result.races) {
+        std::printf("  %s\n", r.to_string().c_str());
+      }
+    }
   }
   if (o.report) {
     std::printf("\n%s", cluster::format_report(cfg, result).c_str());
@@ -277,5 +305,5 @@ int main(int argc, char** argv) {
     std::printf("trace: %zu events -> %s\n", tracer.size(),
                 o.trace_file.c_str());
   }
-  return 0;
+  return o.race_check && !result.races.empty() ? 3 : 0;
 }
