@@ -12,6 +12,7 @@
 
 #include "cluster/cluster.hpp"
 #include "obs/trace.hpp"
+#include "proto/kind.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "tmk/diff.hpp"
@@ -171,11 +172,17 @@ void BM_DiffEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffEncode)->Arg(0)->Arg(8)->Arg(1024);
 
+// Arg "hlrc": 0 = homeless LRC (diff pulls), 1 = home-based HLRC (eager
+// flush + whole-page fetches). The pair in BENCH_host.json is the host-side
+// cost comparison of the two protocol engines on the same workload.
 void BM_TmkLockRound(benchmark::State& state) {
+  const auto protocol =
+      state.range(0) != 0 ? proto::Kind::Hlrc : proto::Kind::Lrc;
   for (auto _ : state) {
     cluster::ClusterConfig cfg;
     cfg.n_procs = 4;
     cfg.tmk.arena_bytes = 1u << 20;
+    cfg.tmk.protocol = protocol;
     cluster::Cluster c(cfg);
     c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv&) {
       auto arr = tmk::SharedArray<std::int32_t>::alloc(tmk, 16);
@@ -190,7 +197,38 @@ void BM_TmkLockRound(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 40);
 }
-BENCHMARK(BM_TmkLockRound)->UseRealTime();
+BENCHMARK(BM_TmkLockRound)->ArgName("hlrc")->Arg(0)->Arg(1)->UseRealTime();
+
+// One dirty page bounced between two writers through barriers: the
+// protocol-bound handoff path. LRC pulls diffs from the last writer at
+// each fault; HLRC flushes to the home at each release and refetches the
+// whole page.
+void BM_TmkPageHandoff(benchmark::State& state) {
+  const auto protocol =
+      state.range(0) != 0 ? proto::Kind::Hlrc : proto::Kind::Lrc;
+  constexpr std::size_t kWords = 1024;  // one 4 KiB page of int32
+  for (auto _ : state) {
+    cluster::ClusterConfig cfg;
+    cfg.n_procs = 2;
+    cfg.tmk.arena_bytes = 1u << 20;
+    cfg.tmk.protocol = protocol;
+    cluster::Cluster c(cfg);
+    c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv& env) {
+      auto arr = tmk::SharedArray<std::int32_t>::alloc(tmk, kWords);
+      tmk.barrier(0);
+      for (int r = 0; r < 10; ++r) {
+        if (r % 2 == env.id) {
+          for (std::size_t i = 0; i < kWords; i += 64) {
+            arr.put(i, r);
+          }
+        }
+        tmk.barrier(1 + r);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_TmkPageHandoff)->ArgName("hlrc")->Arg(0)->Arg(1)->UseRealTime();
 
 }  // namespace
 

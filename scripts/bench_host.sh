@@ -2,15 +2,42 @@
 # Host wall-clock benchmark of the simulator's hot paths (bench_engine_perf)
 # in a Release build, captured as google-benchmark JSON at the repository
 # root. BENCH_host.json is the number to watch when touching the engine,
-# the shared-access fast path, or the diff codec: commit a fresh one
-# alongside any change that claims a host-side speedup.
+# the shared-access fast path, the diff codec, or a coherence protocol:
+# commit a fresh one alongside any change that claims a host-side speedup.
+#
+#   scripts/bench_host.sh [--protocol lrc|hlrc]
+#
+# The protocol-parameterized benches (page handoff, lock round) run under
+# both protocols by default so BENCH_host.json always carries the
+# lrc-vs-hlrc comparison; --protocol restricts them to one side.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+PROTOCOL=all
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --protocol=*) PROTOCOL="${1#*=}" ;;
+    --protocol) shift; PROTOCOL="${1:?--protocol needs a value}" ;;
+    *) echo "usage: $0 [--protocol lrc|hlrc]" >&2; exit 1 ;;
+  esac
+  shift
+done
+
+# Protocol-parameterized benches carry an "hlrc:0|1" arg in their names;
+# a negative filter drops the unwanted side and keeps every other bench.
+FILTER_ARGS=()
+case "$PROTOCOL" in
+  all) ;;
+  lrc) FILTER_ARGS+=(--benchmark_filter='-hlrc:1') ;;
+  hlrc) FILTER_ARGS+=(--benchmark_filter='-hlrc:0') ;;
+  *) echo "error: unknown protocol '$PROTOCOL' (lrc|hlrc)" >&2; exit 1 ;;
+esac
 
 cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF
 cmake --build build-bench --target bench_engine_perf
 
 ./build-bench/bench/bench_engine_perf \
+  ${FILTER_ARGS[@]+"${FILTER_ARGS[@]}"} \
   --benchmark_format=json \
   --benchmark_out=BENCH_host.json \
   --benchmark_out_format=json

@@ -5,32 +5,55 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Race-oracle controls, run under each sanitizer build: the deliberately
-# racy demo must be flagged (exit 3), and every paper application must
-# come back clean on both substrates — sanitizers watch the oracle's own
-# shadow bookkeeping while it watches the protocol.
+# Race-oracle controls, run under each sanitizer build and under both
+# coherence protocols: the deliberately racy demo must be flagged (exit 3),
+# and every paper application must come back clean on both substrates —
+# sanitizers watch the oracle's own shadow bookkeeping while it watches
+# the protocol.
 race_oracle_controls() {
   local bin="$1/tools/tmkgm_run"
-  echo "== race-oracle positive control (racy must be flagged)"
-  local rc=0
-  "$bin" --app racy --nodes 4 --race-check > /dev/null || rc=$?
-  if [ "$rc" -ne 3 ]; then
-    echo "error: racy app not flagged (exit $rc, expected 3)" >&2
-    exit 1
-  fi
-  echo "== race-oracle negative controls (all apps must be clean)"
-  local app size
-  for sub in fastgm udpgm; do
-    for spec in jacobi:48 sor:48 tsp:8 fft:8 is:512 gauss:32 water:32 \
-                barnes:32; do
-      app="${spec%%:*}"
-      size="${spec##*:}"
-      if ! "$bin" --app "$app" --substrate "$sub" --nodes 4 \
-          --size "$size" --race-check --verify > /dev/null; then
-        echo "error: $app/$sub flagged or failed under --race-check" >&2
-        exit 1
-      fi
+  local proto app size rc
+  for proto in lrc hlrc; do
+    echo "== race-oracle positive control ($proto: racy must be flagged)"
+    rc=0
+    "$bin" --app racy --nodes 4 --protocol "$proto" --race-check \
+      > /dev/null || rc=$?
+    if [ "$rc" -ne 3 ]; then
+      echo "error: racy app not flagged under $proto (exit $rc, expected 3)" >&2
+      exit 1
+    fi
+    echo "== race-oracle negative controls ($proto: all apps must be clean)"
+    for sub in fastgm udpgm; do
+      for spec in jacobi:48 sor:48 tsp:8 fft:8 is:512 gauss:32 water:32 \
+                  barnes:32; do
+        app="${spec%%:*}"
+        size="${spec##*:}"
+        if ! "$bin" --app "$app" --substrate "$sub" --nodes 4 \
+            --size "$size" --protocol "$proto" --race-check --verify \
+            > /dev/null; then
+          echo "error: $app/$sub/$proto flagged or failed under --race-check" >&2
+          exit 1
+        fi
+      done
     done
+  done
+}
+
+# One faulted run per protocol: fault recovery exercises the send-buffer
+# reuse and deferred-delivery paths with protocol messages (including
+# hlrc's DiffFlush) in flight — exactly what the sanitizers are here to vet.
+faulted_run_controls() {
+  local bin="$1/tools/tmkgm_run"
+  local proto
+  for proto in lrc hlrc; do
+    echo "== faulted-run control ($proto must recover and verify)"
+    if ! "$bin" --app jacobi --nodes 4 --size 64 --protocol "$proto" \
+        --verify \
+        --faults 'seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)' \
+        > /dev/null; then
+      echo "error: faulted $proto run failed under sanitizer" >&2
+      exit 1
+    fi
   done
 }
 
@@ -40,8 +63,10 @@ for preset in asan ubsan; do
   # The fault matrix exercises every recovery path (send-buffer reuse after
   # failed sends, seized-buffer stashes, deferred delivery closures) — the
   # exact lifetime bugs asan is here to vet. Run it first so they fail
-  # fast, then the race-oracle controls, then the full suite.
-  ctest --preset "$preset" -R 'Fault|Oracle|RaceCheck'
+  # fast, then the race-oracle and faulted-run controls, then the full
+  # suite.
+  ctest --preset "$preset" -R 'Fault|Oracle|RaceCheck|Hlrc'
   race_oracle_controls "build-$preset"
+  faulted_run_controls "build-$preset"
   ctest --preset "$preset"
 done

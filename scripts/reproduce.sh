@@ -2,8 +2,29 @@
 # Builds the repository, runs the full test suite, then regenerates every
 # paper table/figure plus the ablations and future-work studies, capturing
 # the outputs at the repository root.
+#
+#   scripts/reproduce.sh [--protocol lrc|hlrc]
+#
+# --protocol selects the coherence protocol for the sanity runs (default
+# lrc, the paper's homeless protocol). Under the default, the reports and
+# trace are additionally pinned byte-for-byte against scripts/golden/ —
+# the protocol-engine seam must not perturb the default protocol in any
+# observable way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+PROTOCOL=lrc
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --protocol=*) PROTOCOL="${1#*=}" ;;
+    --protocol) shift; PROTOCOL="${1:?--protocol needs a value}" ;;
+    *) echo "usage: $0 [--protocol lrc|hlrc]" >&2; exit 1 ;;
+  esac
+  shift
+done
+case "$PROTOCOL" in lrc|hlrc) ;; *)
+  echo "error: unknown protocol '$PROTOCOL' (lrc|hlrc)" >&2; exit 1 ;;
+esac
 
 cmake -B build -G Ninja
 cmake --build build
@@ -13,7 +34,7 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # Sanity: every report must carry the stable counter rollup; a missing
 # table means a layer silently stopped feeding the registry.
 if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report \
-    | grep -q '^counters:'; then
+    --protocol "$PROTOCOL" | grep -q '^counters:'; then
   echo "error: counter table missing from the run report" >&2
   exit 1
 fi
@@ -21,10 +42,39 @@ fi
 # A faulted run must surface the fault.* conservation rows in its report
 # (and still verify against the serial reference while recovering).
 if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report --verify \
+    --protocol "$PROTOCOL" \
     --faults 'seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)' \
     | grep -q 'fault\.drops_injected'; then
   echo "error: fault.* rows missing from a faulted run report" >&2
   exit 1
+fi
+
+if [ "$PROTOCOL" = hlrc ]; then
+  # The home-based protocol must surface its proto.* rows.
+  if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report \
+      --protocol hlrc | grep -q 'proto\.flush_msgs'; then
+    echo "error: proto.* rows missing from an hlrc run report" >&2
+    exit 1
+  fi
+fi
+
+# Golden pin (default protocol only): the lrc reports and trace must be
+# byte-identical to the captures taken from the seed binary. Any diff here
+# means the protocol seam changed default behavior.
+if [ "$PROTOCOL" = lrc ]; then
+  build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report \
+    > /tmp/reproduce_golden_jacobi.txt
+  diff -u scripts/golden/report_jacobi_fastgm_lrc.txt \
+    /tmp/reproduce_golden_jacobi.txt
+  build/tools/tmkgm_run --app sor --substrate udpgm --nodes 4 --size 48 \
+    --report > /tmp/reproduce_golden_sor.txt
+  diff -u scripts/golden/report_sor_udpgm_lrc.txt \
+    /tmp/reproduce_golden_sor.txt
+  build/tools/tmkgm_run --app fft --nodes 4 --size 16 \
+    --trace /tmp/reproduce_golden_fft.trace > /dev/null
+  sha256sum /tmp/reproduce_golden_fft.trace | awk '{print $1}' \
+    | diff - scripts/golden/trace_fft_fastgm_lrc.sha256
+  echo "golden: default-lrc reports and trace are byte-identical to the seed"
 fi
 
 : > bench_output.txt

@@ -309,6 +309,7 @@ RunResult Cluster::run(const Program& program) {
 RunResult Cluster::run_tmk(const TmkProgram& program) {
   const int n = config_.n_procs;
   std::vector<tmk::TmkStats> tmk_stats(static_cast<std::size_t>(n));
+  std::vector<proto::ProtoStats> proto_stats(static_cast<std::size_t>(n));
   // One shared oracle for the whole cluster: the engine baton means only
   // one node runs at a time, so cross-node shadow state needs no locking
   // and detection order is deterministic.
@@ -333,6 +334,7 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
     program(tmk, env);
     finished[static_cast<std::size_t>(env.id)] = env.node.now();
     tmk_stats[static_cast<std::size_t>(env.id)] = tmk.stats();
+    proto_stats[static_cast<std::size_t>(env.id)] = tmk.protocol().stats();
     // Keep this node's Tmk alive (still servicing diff/page requests)
     // until every node is done — like a real process parked in Tmk_exit.
     finish_gate.arrive_and_wait(env.node);
@@ -346,6 +348,7 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
   result.duration = t1 - t0;
   result.node_finish = std::move(finished);
   result.tmk_stats = std::move(tmk_stats);
+  result.proto_stats = std::move(proto_stats);
 
   const tmk::TmkStats t = aggregate_tmk_stats(result);
   auto& c = result.counters;
@@ -364,6 +367,28 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
   c.add("tmk.barriers", t.barriers);
   c.add("tmk.intervals_created", t.intervals_created);
   c.add("tmk.gc_rounds", t.gc_rounds);
+  // proto.* rows exist only when a non-default protocol is selected,
+  // keeping default-LRC reports byte-identical to the pre-seam output
+  // (same pattern as the fault.* and check.* rows).
+  if (config_.tmk.protocol == proto::Kind::Hlrc) {
+    proto::ProtoStats p;
+    for (const auto& per_node : result.proto_stats) {
+      p.flush_msgs += per_node.flush_msgs;
+      p.flush_pages += per_node.flush_pages;
+      p.flush_bytes += per_node.flush_bytes;
+      p.home_applies += per_node.home_applies;
+      p.home_apply_bytes += per_node.home_apply_bytes;
+      p.home_fetches += per_node.home_fetches;
+      p.write_merges += per_node.write_merges;
+    }
+    c.add("proto.flush_msgs", p.flush_msgs);
+    c.add("proto.flush_pages", p.flush_pages);
+    c.add("proto.flush_bytes", p.flush_bytes);
+    c.add("proto.home_applies", p.home_applies);
+    c.add("proto.home_apply_bytes", p.home_apply_bytes);
+    c.add("proto.home_fetches", p.home_fetches);
+    c.add("proto.write_merges", p.write_merges);
+  }
   // check.* rows exist only under --race-check, keeping default reports
   // byte-identical (same pattern as the fault.* rows).
   if (oracle != nullptr) {

@@ -27,6 +27,7 @@
 #include "net/network.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "proto/protocol.hpp"
 #include "sub/substrate.hpp"
 #include "tmk/tmk.hpp"
 #include "udpnet/udp.hpp"
@@ -99,6 +100,9 @@ struct RunResult {
   fault::FaultStats fault;
   /// Per-node TreadMarks protocol stats (run_tmk only).
   std::vector<tmk::TmkStats> tmk_stats;
+  /// Per-node protocol-engine stats (run_tmk only; all-zero under LRC,
+  /// which drives none of the proto.* counters).
+  std::vector<proto::ProtoStats> proto_stats;
   /// DRF oracle findings (run_tmk with TmkConfig::race_check; empty
   /// otherwise — and empty for a data-race-free program).
   std::vector<check::RaceReport> races;

@@ -65,6 +65,8 @@ const char* to_string(Kind kind) {
     case Kind::FaultBufRestore: return "fault_buf_restore";
     case Kind::FaultRecover: return "fault_recover";
     case Kind::RaceReport: return "race_report";
+    case Kind::ProtoFlush: return "proto_flush";
+    case Kind::ProtoHomeApply: return "proto_home_apply";
   }
   return "?";
 }

@@ -88,6 +88,10 @@ enum class Kind : std::uint8_t {
   // Cat::Check — race oracle findings.
   RaceReport,  ///< unordered same-word access pair; a = global word addr,
                ///< peer = the other proc involved
+  // Cat::Tmk — HLRC protocol engine (appended so earlier kinds keep their
+  // numeric values and default-LRC traces stay byte-identical).
+  ProtoFlush,      ///< eager diff flush to a home; peer = home, a = pages
+  ProtoHomeApply,  ///< home applied a flushed diff; peer = writer, a = page
 };
 
 /// Drop reasons carried in TraceEvent::a for Kind::UdpDrop.

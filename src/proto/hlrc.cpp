@@ -1,0 +1,276 @@
+#include "proto/hlrc.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "tmk/diff.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::proto {
+
+using tmk::Op;
+using tmk::PageId;
+using tmk::Tmk;
+using tmk::VectorClock;
+
+void Hlrc::make_current(PageId page) {
+  Tmk::PageState& st = t_.state_of(page);
+  // A blocking fetch is a preemption point; loop until the page is both
+  // mapped and notice-free. Notices cannot be incorporated from interrupt
+  // context (incorporation runs only in our own sync operations), but the
+  // loop keeps this path robust rather than reliant on that.
+  while (true) {
+    if (t_.mode_[page] == Tmk::PageMode::Unmapped) {
+      t_.fetch_page(page);
+      continue;  // fetch_page pruned the notices its copy covers
+    }
+    if (st.notices.empty()) return;
+    const auto before = st.notices.size();
+    refetch_from_home(page);
+    // The home acked every flush before the corresponding write notice
+    // could reach us, so its copy must cover what we fetched for.
+    TMKGM_CHECK_MSG(st.notices.size() < before,
+                    "hlrc: home copy of page "
+                        << page << " did not cover pending write notices");
+  }
+}
+
+void Hlrc::refetch_from_home(PageId page) {
+  Tmk::PageState& st = t_.state_of(page);
+  const int home = t_.page_manager(page);
+  // A home page is never invalidated: incoming notices are always covered
+  // by the applied clock the flush already advanced.
+  TMKGM_CHECK(home != t_.proc_id());
+  ++t_.stats_.page_fetches;
+  ++stats_.home_fetches;
+  t_.trace(obs::Kind::PageFetch, home, page, t_.config_.page_size);
+  WireWriter w;
+  w.put(Op::PageRequest);
+  w.put<std::uint32_t>(page);
+  const auto seq = t_.substrate_.send_request(home, w.bytes());
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  const auto len = t_.substrate_.recv_response(seq, buf);
+  WireReader r({buf.data(), len});
+  const auto got_page = r.get<std::uint32_t>();
+  TMKGM_CHECK(got_page == page);
+  VectorClock applied = tmk::get_vc(r);
+  auto bytes = r.get_bytes(t_.config_.page_size);
+
+  // HLRC never retains a twin past its flush, so a live twin means an
+  // open interval with uncommitted local writes. Preserve them across the
+  // refetch: overlay our local diff on the fetched copy (disjoint words
+  // under data-race freedom) and refresh the twin to the home's state so
+  // our next flush carries only our own writes.
+  if (st.twin != nullptr) {
+    TMKGM_CHECK(!st.twin_is_pending_diff);
+    ++stats_.write_merges;
+    t_.node_.compute(t_.cost_.mem_op_overhead +
+                     transfer_time(t_.config_.page_size,
+                                   t_.cost_.diff_scan_bytes_per_us));
+    auto local = tmk::encode_diff(t_.page_base(page), st.twin.get(),
+                                  t_.config_.page_size);
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(t_.page_base(page), bytes.data(), t_.config_.page_size);
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(st.twin.get(), t_.page_base(page), t_.config_.page_size);
+    const auto modified = tmk::diff_modified_bytes(local);
+    t_.node_.compute(t_.cost_.mem_op_overhead +
+                     transfer_time(modified, t_.cost_.memcpy_bytes_per_us));
+    tmk::apply_diff(t_.page_base(page), local, t_.config_.page_size);
+  } else {
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(t_.page_base(page), bytes.data(), t_.config_.page_size);
+  }
+  st.applied = std::move(applied);
+  // Our own writes never appear as notices, and the home's claim about
+  // what it applied of *our* diffs is irrelevant to our copy.
+  st.applied[static_cast<std::size_t>(t_.proc_id())] = 0;
+  std::erase_if(st.notices, [&](const Tmk::WriteNotice& n) {
+    return n.vt <= st.applied[n.proc];
+  });
+}
+
+void Hlrc::on_read_fault(PageId page) {
+  make_current(page);
+  Tmk::PageState& st = t_.state_of(page);
+  t_.set_mode(page, st.twin != nullptr ? Tmk::PageMode::ReadWrite
+                                       : Tmk::PageMode::ReadOnly);
+}
+
+void Hlrc::on_write_fault(PageId page) {
+  make_current(page);
+  Tmk::PageState& st = t_.state_of(page);
+  if (st.twin == nullptr) {
+    t_.charge_mem(t_.config_.page_size);
+    st.twin.reset(new std::byte[t_.config_.page_size]);
+    std::memcpy(st.twin.get(), t_.page_base(page), t_.config_.page_size);
+    ++t_.stats_.twins_created;
+    t_.trace(obs::Kind::TwinCreate, -1, page, t_.config_.page_size);
+    t_.dirty_pages_.push_back(page);
+  }
+  t_.set_mode(page, Tmk::PageMode::ReadWrite);
+}
+
+void Hlrc::on_interval_close(std::uint32_t vt,
+                             std::span<const PageId> pages) {
+  for (PageId page : pages) {
+    Tmk::PageState& st = t_.state_of(page);
+    TMKGM_CHECK(st.twin != nullptr && !st.twin_is_pending_diff);
+    if (t_.mode_[page] == Tmk::PageMode::ReadWrite) {
+      t_.set_mode(page, Tmk::PageMode::ReadOnly);
+    }
+    // Eager diffing: encode against the twin now and free it — after the
+    // flush the home holds the authoritative copy, so nothing stays
+    // latent and a re-write starts a fresh twin.
+    t_.node_.compute(t_.cost_.mem_op_overhead +
+                     transfer_time(t_.config_.page_size,
+                                   t_.cost_.diff_scan_bytes_per_us));
+    auto diff = tmk::encode_diff(t_.page_base(page), st.twin.get(),
+                                 t_.config_.page_size);
+    t_.node_.compute(
+        transfer_time(diff.size(), t_.cost_.memcpy_bytes_per_us));
+    ++t_.stats_.diffs_created;
+    t_.stats_.diff_bytes_created += diff.size();
+    t_.trace(obs::Kind::DiffCreate, -1, page, diff.size());
+    st.twin.reset();
+    const int home = t_.page_manager(page);
+    if (home == t_.proc_id()) {
+      // Our own home pages: the arena copy IS the authoritative copy; mark
+      // our writes applied so fetchers prune the matching notices. Even an
+      // empty diff must advance the clock.
+      st.applied[static_cast<std::size_t>(home)] = vt;
+    } else {
+      staged_.push_back({page, vt, std::move(diff)});
+    }
+  }
+}
+
+void Hlrc::on_interval_closed() { flush_staged(); }
+
+void Hlrc::flush_staged() {
+  if (staged_.empty()) return;
+  // Batch per home; a message that would overflow the payload starts the
+  // next one. Messages to one home go strictly one at a time (ack before
+  // the next), so a home sees at most one in-flight DiffFlush per peer —
+  // the same per-peer bound the request-port buffer pools are sized for
+  // (barrier arrivals). Distinct homes proceed in parallel.
+  std::map<int, std::vector<const Staged*>> by_home;
+  for (const auto& s : staged_) {
+    by_home[t_.page_manager(s.page)].push_back(&s);
+  }
+  struct Msg {
+    std::vector<std::byte> bytes;
+    std::uint32_t pages = 0;
+  };
+  struct Queue {
+    int home = 0;
+    std::vector<Msg> msgs;
+    std::size_t next = 0;
+  };
+  std::vector<Queue> queues;
+  for (auto& [home, items] : by_home) {
+    Queue q;
+    q.home = home;
+    std::size_t i = 0;
+    while (i < items.size()) {
+      WireWriter w;
+      w.put(Op::DiffFlush);
+      const std::size_t count_pos = w.size();
+      w.put<std::uint32_t>(0);
+      std::uint32_t count = 0;
+      while (i < items.size()) {
+        const Staged& s = *items[i];
+        const std::size_t need = 4 + 4 + 4 + s.diff.size();
+        if (w.size() + need > sub::kMaxPayload) break;
+        w.put<std::uint32_t>(s.page);
+        w.put<std::uint32_t>(s.vt);
+        w.put<std::uint32_t>(static_cast<std::uint32_t>(s.diff.size()));
+        w.put_bytes(s.diff);
+        ++count;
+        ++i;
+      }
+      TMKGM_CHECK_MSG(count > 0,
+                      "hlrc: one page diff exceeds the flush budget "
+                      "(page_size too large for the substrate payload)");
+      w.patch<std::uint32_t>(count_pos, count);
+      auto bytes = w.bytes();
+      q.msgs.push_back({{bytes.begin(), bytes.end()}, count});
+      stats_.flush_pages += count;
+    }
+    queues.push_back(std::move(q));
+  }
+
+  std::vector<std::uint32_t> seqs;
+  std::vector<std::size_t> seq_q;
+  auto send_next = [&](std::size_t qi) {
+    Queue& q = queues[qi];
+    const Msg& m = q.msgs[q.next++];
+    ++stats_.flush_msgs;
+    stats_.flush_bytes += m.bytes.size();
+    t_.trace(obs::Kind::ProtoFlush, q.home, m.pages, m.bytes.size());
+    seqs.push_back(t_.substrate_.send_request(
+        q.home, std::span<const std::byte>(m.bytes)));
+    seq_q.push_back(qi);
+  };
+  for (std::size_t qi = 0; qi < queues.size(); ++qi) send_next(qi);
+  std::vector<std::byte> ack(16);
+  while (!seqs.empty()) {
+    std::size_t len = 0;
+    const auto idx = t_.substrate_.recv_response_any(seqs, ack, len);
+    const auto qi = seq_q[idx];
+    seqs.erase(seqs.begin() + static_cast<std::ptrdiff_t>(idx));
+    seq_q.erase(seq_q.begin() + static_cast<std::ptrdiff_t>(idx));
+    if (queues[qi].next < queues[qi].msgs.size()) send_next(qi);
+  }
+  staged_.clear();
+}
+
+void Hlrc::on_gc_discard(std::uint32_t /*floor_epoch*/) {
+  // Nothing protocol-private outlives a release: diffs were flushed and
+  // twins freed at close. Interval records are shared state, discarded by
+  // Tmk.
+  TMKGM_CHECK(staged_.empty());
+}
+
+bool Hlrc::handle_request(Op op, const sub::RequestCtx& ctx,
+                          WireReader& r) {
+  if (op != Op::DiffFlush) return false;
+  handle_diff_flush(ctx, r);
+  return true;
+}
+
+void Hlrc::handle_diff_flush(const sub::RequestCtx& ctx, WireReader& r) {
+  const int writer = ctx.origin;
+  const auto count = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto page = r.get<std::uint32_t>();
+    const auto vt = r.get<std::uint32_t>();
+    const auto dlen = r.get<std::uint32_t>();
+    auto diff = r.get_bytes(dlen);
+    TMKGM_CHECK_MSG(t_.page_manager(page) == t_.proc_id(),
+                    "DiffFlush for page " << page << " reached proc "
+                                          << t_.proc_id()
+                                          << ", which is not its home");
+    Tmk::PageState& st = t_.state_of(page);
+    const auto modified = tmk::diff_modified_bytes(diff);
+    t_.node_.compute(t_.cost_.mem_op_overhead +
+                     transfer_time(modified, t_.cost_.memcpy_bytes_per_us));
+    tmk::apply_diff(t_.page_base(page), diff, t_.config_.page_size);
+    if (st.twin != nullptr) {
+      // We are mid-interval on our own home page: keep the twin in sync so
+      // our next flush carries only our own writes (disjoint words under
+      // data-race freedom).
+      tmk::apply_diff(st.twin.get(), diff, t_.config_.page_size);
+    }
+    auto& applied = st.applied[static_cast<std::size_t>(writer)];
+    applied = std::max(applied, vt);
+    ++t_.stats_.diffs_applied;
+    t_.stats_.diff_bytes_applied += dlen;
+    ++stats_.home_applies;
+    stats_.home_apply_bytes += dlen;
+    t_.trace(obs::Kind::ProtoHomeApply, writer, page, dlen);
+  }
+  t_.substrate_.respond(ctx, std::span<const std::byte>{});
+}
+
+}  // namespace tmkgm::proto

@@ -1,0 +1,69 @@
+// Home-based lazy release consistency (HLRC).
+//
+// Every page has a home — the same round-robin `home_chunk_pages` striping
+// that assigns base-copy managers under LRC — and the home's copy is
+// authoritative:
+//
+//  - At each interval close the writer diffs every dirty page against its
+//    twin, frees the twin (nothing is latent in HLRC), and eagerly flushes
+//    the diffs to the homes (Op::DiffFlush, batched per home). The release
+//    does not complete until every home has acked, so any write notice a
+//    peer can ever learn about is already applied at the home — exactly
+//    the direct-deposit pattern the paper's FAST/GM remote-put models.
+//  - Homes apply incoming diffs immediately, in interrupt context. Arrival
+//    order is consistent with happened-before: ordered writers are
+//    serialized by the flush-ack-before-release rule, and concurrent
+//    writers touch disjoint words under data-race freedom.
+//  - Acquirers receive only write-notice page ids through the unchanged
+//    interval piggyback machinery; a fault fetches the whole page from
+//    home (one round trip regardless of the number of writers). A home
+//    page is never invalidated: its applied clock already covers every
+//    notice by the time the notice arrives.
+//
+// Protocol memory is just the interval records — no diff store, no
+// retained twins — so GC has nothing protocol-private to discard.
+#pragma once
+
+#include <vector>
+
+#include "proto/protocol.hpp"
+
+namespace tmkgm::proto {
+
+class Hlrc final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  Kind kind() const override { return Kind::Hlrc; }
+  void on_read_fault(tmk::PageId page) override;
+  void on_write_fault(tmk::PageId page) override;
+  void on_interval_close(std::uint32_t vt,
+                         std::span<const tmk::PageId> pages) override;
+  void on_interval_closed() override;
+  void on_gc_discard(std::uint32_t floor_epoch) override;
+  std::size_t private_bytes() const override { return 0; }
+  bool handle_request(tmk::Op op, const sub::RequestCtx& ctx,
+                      WireReader& r) override;
+
+ private:
+  /// Brings the page's local copy up to date with everything we are
+  /// required to see: base-copy fetch when unmapped, whole-page refetch
+  /// from home while write notices are pending.
+  void make_current(tmk::PageId page);
+  /// Whole-page refetch from the home of an already-mapped page; an open
+  /// twin's uncommitted local writes are merged over the fetched copy
+  /// (multiple-writer: disjoint words under data-race freedom).
+  void refetch_from_home(tmk::PageId page);
+  void flush_staged();
+  void handle_diff_flush(const sub::RequestCtx& ctx, WireReader& r);
+
+  /// Diffs encoded at interval close, awaiting the post-close flush.
+  struct Staged {
+    tmk::PageId page;
+    std::uint32_t vt;
+    std::vector<std::byte> diff;
+  };
+  std::vector<Staged> staged_;
+};
+
+}  // namespace tmkgm::proto

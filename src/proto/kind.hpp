@@ -1,0 +1,37 @@
+// Coherence-protocol selector. Kept in its own tiny header so tmk.hpp can
+// embed a proto::Kind in TmkConfig without pulling in the protocol classes
+// (which themselves need the full Tmk definition).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tmkgm::proto {
+
+enum class Kind : std::uint8_t {
+  /// TreadMarks' homeless lazy release consistency: twins are retained
+  /// across intervals, diffs are encoded lazily and pulled from each
+  /// writer on demand.
+  Lrc,
+  /// Home-based LRC: writers eagerly flush diffs to the page's home at
+  /// each release; the home holds the authoritative copy and faulting
+  /// nodes fetch whole pages from it.
+  Hlrc,
+};
+
+constexpr const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Lrc: return "lrc";
+    case Kind::Hlrc: return "hlrc";
+  }
+  return "?";
+}
+
+inline std::optional<Kind> parse_kind(std::string_view s) {
+  if (s == "lrc") return Kind::Lrc;
+  if (s == "hlrc") return Kind::Hlrc;
+  return std::nullopt;
+}
+
+}  // namespace tmkgm::proto

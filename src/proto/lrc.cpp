@@ -1,0 +1,346 @@
+#include "proto/lrc.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tmk/diff.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::proto {
+
+using tmk::Op;
+using tmk::PageId;
+using tmk::Tmk;
+using tmk::VectorClock;
+
+void Lrc::on_read_fault(PageId page) {
+  Tmk::PageState& st = t_.state_of(page);
+  if (t_.mode_[page] == Tmk::PageMode::Unmapped) t_.fetch_page(page);
+  while (!st.notices.empty()) fetch_diffs(page);
+  t_.set_mode(page, (st.twin != nullptr && !st.twin_is_pending_diff)
+                        ? Tmk::PageMode::ReadWrite
+                        : Tmk::PageMode::ReadOnly);
+}
+
+void Lrc::on_write_fault(PageId page) {
+  Tmk::PageState& st = t_.state_of(page);
+  if (t_.mode_[page] == Tmk::PageMode::Unmapped) t_.fetch_page(page);
+  while (!st.notices.empty()) fetch_diffs(page);
+  if (st.twin != nullptr && st.twin_is_pending_diff) {
+    // Twin retention (TreadMarks' lazy diffing): re-writing a page whose
+    // previous intervals are still latent keeps the same twin; the
+    // accumulated diff is encoded only when somebody asks. A single
+    // steady writer pays one cheap re-protection fault per interval and
+    // never encodes pages nobody reads.
+    st.twin_is_pending_diff = false;
+    t_.dirty_pages_.push_back(page);
+  } else if (st.twin == nullptr) {
+    t_.charge_mem(t_.config_.page_size);
+    st.twin.reset(new std::byte[t_.config_.page_size]);
+    st.twin_is_pending_diff = false;
+    std::memcpy(st.twin.get(), t_.page_base(page), t_.config_.page_size);
+    ++t_.stats_.twins_created;
+    t_.trace(obs::Kind::TwinCreate, -1, page, t_.config_.page_size);
+    t_.dirty_pages_.push_back(page);
+  }
+  t_.set_mode(page, Tmk::PageMode::ReadWrite);
+}
+
+void Lrc::on_interval_close(std::uint32_t vt,
+                            std::span<const PageId> pages) {
+  for (PageId page : pages) {
+    Tmk::PageState& st = t_.state_of(page);
+    TMKGM_CHECK(st.twin != nullptr && !st.twin_is_pending_diff);
+    st.twin_is_pending_diff = true;
+    st.pending_vts.push_back(vt);
+    if (t_.mode_[page] == Tmk::PageMode::ReadWrite) {
+      t_.set_mode(page, Tmk::PageMode::ReadOnly);
+    }
+    my_page_writes_[page].push_back(vt);
+  }
+}
+
+void Lrc::on_gc_discard(std::uint32_t floor_epoch) {
+  auto& mine = t_.intervals_[static_cast<std::size_t>(t_.proc_id())];
+  for (auto it = my_diffs_.begin(); it != my_diffs_.end();) {
+    const auto vt = it->first.second;
+    auto rec = mine.find(vt);
+    if (rec != mine.end() && rec->second.epoch < floor_epoch) {
+      diff_store_bytes_ -= it->second.bytes->size();
+      it = my_diffs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [page, vts] : my_page_writes_) {
+    std::erase_if(vts, [&](std::uint32_t vt) {
+      auto rec = mine.find(vt);
+      return rec != mine.end() && rec->second.epoch < floor_epoch;
+    });
+  }
+}
+
+bool Lrc::handle_request(Op op, const sub::RequestCtx& ctx, WireReader& r) {
+  if (op != Op::DiffRequest) return false;
+  handle_diff_request(ctx, r);
+  return true;
+}
+
+void Lrc::fetch_diffs(PageId page) {
+  Tmk::PageState& st = t_.state_of(page);
+  struct Need {
+    int proc;
+    std::uint32_t from, to;
+  };
+  std::vector<Need> needs;
+  for (const auto& n : st.notices) {
+    TMKGM_CHECK(n.proc != t_.proc_id());
+    auto it = std::find_if(needs.begin(), needs.end(),
+                           [&](const Need& x) { return x.proc == n.proc; });
+    if (it == needs.end()) {
+      needs.push_back({n.proc, st.applied[n.proc], n.vt});
+    } else {
+      it->to = std::max(it->to, n.vt);
+    }
+  }
+  if (needs.empty()) return;
+
+  // Foreign diffs are about to land on this page: any latent accumulated
+  // diff must be encoded NOW, so one blob never spans a synchronization
+  // point after which other writers' values interleave with ours (the
+  // attribution of a spanning blob to a single position in happened-before
+  // order would be unsound in both directions).
+  if (st.twin != nullptr && !st.pending_vts.empty()) {
+    encode_pending_diff(page);
+  }
+
+  auto request_range = [&](int proc, std::uint32_t from, std::uint32_t to) {
+    WireWriter w;
+    w.put(Op::DiffRequest);
+    w.put<std::uint32_t>(page);
+    w.put<std::uint32_t>(from);
+    w.put<std::uint32_t>(to);
+    ++t_.stats_.diff_requests;
+    t_.trace(obs::Kind::DiffRequest, proc, page);
+    return t_.substrate_.send_request(proc, w.bytes());
+  };
+
+  // Parallel requests to every writer (the paper's "receive from any node
+  // of a group" requirement), re-requesting continuations when a writer's
+  // diffs overflow one response.
+  std::vector<std::uint32_t> seqs;
+  std::vector<Need> seq_need;
+  for (const auto& n : needs) {
+    seqs.push_back(request_range(n.proc, n.from, n.to));
+    seq_need.push_back(n);
+  }
+
+  struct GotDiff {
+    int proc;
+    std::uint32_t vt;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<GotDiff> got;
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  while (!seqs.empty()) {
+    std::size_t len = 0;
+    const auto idx = t_.substrate_.recv_response_any(seqs, buf, len);
+    const Need need = seq_need[idx];
+    seqs.erase(seqs.begin() + static_cast<std::ptrdiff_t>(idx));
+    seq_need.erase(seq_need.begin() + static_cast<std::ptrdiff_t>(idx));
+    WireReader r({buf.data(), len});
+    const auto got_page = r.get<std::uint32_t>();
+    TMKGM_CHECK(got_page == page);
+    const auto count = r.get<std::uint32_t>();
+    const auto more = r.get<std::uint8_t>();
+    const auto cont_vt = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto vt = r.get<std::uint32_t>();
+      const auto dlen = r.get<std::uint32_t>();
+      auto bytes = r.get_bytes(dlen);
+      got.push_back({need.proc, vt, {bytes.begin(), bytes.end()}});
+    }
+    if (more != 0) {
+      seqs.push_back(request_range(need.proc, cont_vt, need.to));
+      seq_need.push_back({need.proc, cont_vt, need.to});
+    }
+  }
+
+  // Apply in a linear extension of happened-before.
+  std::sort(got.begin(), got.end(), [&](const GotDiff& a, const GotDiff& b) {
+    const auto& va =
+        t_.intervals_[static_cast<std::size_t>(a.proc)].at(a.vt).vc;
+    const auto& vb =
+        t_.intervals_[static_cast<std::size_t>(b.proc)].at(b.vt).vc;
+    const auto sa = tmk::vc_sum(va), sb = tmk::vc_sum(vb);
+    if (sa != sb) return sa < sb;
+    if (a.proc != b.proc) return a.proc < b.proc;
+    return a.vt < b.vt;
+  });
+  for (const auto& d : got) {
+    apply_one_diff(page, d.proc, d.vt, d.bytes);
+  }
+  std::erase_if(st.notices, [&](const Tmk::WriteNotice& n) {
+    return n.vt <= st.applied[n.proc];
+  });
+  // st.notices may be non-empty again: an interrupt handler (e.g. a
+  // barrier arrival at the root) can incorporate fresh intervals while we
+  // were blocked waiting for responses. The fault path loops until quiet.
+}
+
+void Lrc::apply_one_diff(PageId page, int proc, std::uint32_t vt,
+                         std::span<const std::byte> diff) {
+  Tmk::PageState& st = t_.state_of(page);
+  if (vt <= st.applied[static_cast<std::size_t>(proc)]) return;  // duplicate
+  if (t_.oracle_ != nullptr) {
+    // Applied-clock monotonicity: every interval that happened before
+    // (proc, vt) and wrote this page must already be reflected in
+    // st.applied, or the vc_sum linear extension was violated. (Records
+    // GC may have reclaimed are covered by the GC-safety invariant.)
+    const auto& vc = t_.intervals_[static_cast<std::size_t>(proc)].at(vt).vc;
+    for (int q = 0; q < t_.n_procs(); ++q) {
+      if (q == proc || q == t_.proc_id()) continue;
+      for (const auto& [uvt, urec] :
+           t_.intervals_[static_cast<std::size_t>(q)]) {
+        if (uvt > vc[static_cast<std::size_t>(q)]) break;
+        if (uvt <= st.applied[static_cast<std::size_t>(q)]) continue;
+        TMKGM_CHECK_MSG(
+            std::find(urec.pages.begin(), urec.pages.end(), page) ==
+                urec.pages.end(),
+            "diff (" << proc << "," << vt << ") for page " << page
+                     << " applied before its happened-before predecessor ("
+                     << q << "," << uvt << ")");
+      }
+    }
+    t_.oracle_->count_invariant_check();
+  }
+  const auto modified = tmk::diff_modified_bytes(diff);
+  t_.node_.compute(t_.cost_.mem_op_overhead +
+                   transfer_time(modified, t_.cost_.memcpy_bytes_per_us));
+  tmk::apply_diff(t_.page_base(page), diff, t_.config_.page_size);
+  if (st.twin != nullptr) {
+    // Keep the twin in sync so our next diff contains only our own writes.
+    tmk::apply_diff(st.twin.get(), diff, t_.config_.page_size);
+  }
+  st.applied[static_cast<std::size_t>(proc)] = vt;
+  ++t_.stats_.diffs_applied;
+  t_.stats_.diff_bytes_applied += diff.size();
+  t_.trace(obs::Kind::DiffApply, proc, page, diff.size());
+}
+
+void Lrc::encode_pending_diff(PageId page) {
+  // The compute charges below are preemption points, and a diff-request
+  // handler may try to encode this very twin; hold async delivery across
+  // the whole encode (the handler runs masked already).
+  sub::AsyncMasked masked(t_.substrate_);
+  Tmk::PageState& st = t_.state_of(page);
+  if (st.twin == nullptr || st.pending_vts.empty()) return;  // raced
+
+  // One scan serves every pending interval: the accumulated diff is
+  // attributed to each of them (re-application is idempotent; cross-writer
+  // ordering is preserved because remote diffs were applied to the twin
+  // too). If the page is open in a new interval, its uncommitted writes
+  // ride along — data-race freedom guarantees nobody reads those words
+  // before our next release — and the twin refreshes to match.
+  t_.node_.compute(t_.cost_.mem_op_overhead +
+                   transfer_time(t_.config_.page_size,
+                                 t_.cost_.diff_scan_bytes_per_us));
+  auto bytes = tmk::encode_diff(t_.page_base(page), st.twin.get(),
+                                t_.config_.page_size);
+  t_.node_.compute(
+      transfer_time(bytes.size(), t_.cost_.memcpy_bytes_per_us));
+  auto shared =
+      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  ++t_.stats_.diffs_created;
+  t_.stats_.diff_bytes_created += shared->size();
+  t_.trace(obs::Kind::DiffCreate, -1, page, shared->size());
+  const auto first_vt = st.pending_vts.front();
+  const auto& mine = t_.intervals_[static_cast<std::size_t>(t_.proc_id())];
+  for (auto vt : st.pending_vts) {
+    if (!mine.contains(vt)) continue;  // GC already reclaimed it
+    my_diffs_[{page, vt}] = StoredDiff{shared, first_vt};
+    diff_store_bytes_ += shared->size();
+  }
+  st.pending_vts.clear();
+
+  const bool open = !st.twin_is_pending_diff;
+  if (open) {
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(st.twin.get(), t_.page_base(page), t_.config_.page_size);
+  } else {
+    st.twin.reset();
+    st.twin_is_pending_diff = false;
+  }
+}
+
+void Lrc::handle_diff_request(const sub::RequestCtx& ctx, WireReader& r) {
+  const auto page = r.get<std::uint32_t>();
+  const auto from = r.get<std::uint32_t>();
+  const auto to = r.get<std::uint32_t>();
+
+  WireWriter w;
+  w.put<std::uint32_t>(page);
+  const std::size_t count_pos = w.size();
+  w.put<std::uint32_t>(0);
+  const std::size_t more_pos = w.size();
+  w.put<std::uint8_t>(0);
+  const std::size_t cont_pos = w.size();
+  w.put<std::uint32_t>(0);
+
+  std::uint32_t count = 0;
+  std::uint8_t more = 0;
+  std::uint32_t cont_vt = 0;
+
+  auto it = my_page_writes_.find(page);
+  if (it != my_page_writes_.end()) {
+    // Accumulated diffs are shared between intervals; within one response
+    // the content is sent once and the other intervals ride as empty
+    // diffs (the receiver still advances its applied clock).
+    const std::vector<std::byte>* already_sent = nullptr;
+    for (auto vt : it->second) {
+      if (vt <= from || vt > to) continue;
+      // Locate the diff: cached, or still latent in a (retained) twin.
+      auto cached = my_diffs_.find({page, vt});
+      if (cached == my_diffs_.end()) {
+        Tmk::PageState& st = t_.state_of(page);
+        const bool latent =
+            st.twin != nullptr &&
+            std::find(st.pending_vts.begin(), st.pending_vts.end(), vt) !=
+                st.pending_vts.end();
+        TMKGM_CHECK_MSG(latent,
+                        "diff (" << page << "," << vt << ") unavailable");
+        encode_pending_diff(page);
+        cached = my_diffs_.find({page, vt});
+        TMKGM_CHECK(cached != my_diffs_.end());
+      }
+      const std::vector<std::byte>& diff = *cached->second.bytes;
+      // Empty when the requester has this blob already: either it arrived
+      // earlier in this response, or the blob was first attributed to an
+      // interval the requester's range says it has applied. Re-applying
+      // would roll back writes the requester made since.
+      const bool duplicate =
+          already_sent == &diff || cached->second.first_vt <= from;
+      const std::size_t need = duplicate ? 8 : 8 + diff.size();
+      if (w.size() + need > sub::kMaxPayload) {
+        more = 1;
+        break;
+      }
+      w.put<std::uint32_t>(vt);
+      if (duplicate) {
+        w.put<std::uint32_t>(0);
+      } else {
+        w.put<std::uint32_t>(static_cast<std::uint32_t>(diff.size()));
+        w.put_bytes(diff);
+        already_sent = &diff;
+      }
+      ++count;
+      cont_vt = vt;
+    }
+  }
+  w.patch<std::uint32_t>(count_pos, count);
+  w.patch<std::uint8_t>(more_pos, more);
+  w.patch<std::uint32_t>(cont_pos, cont_vt);
+  t_.substrate_.respond(ctx, w.bytes());
+}
+
+}  // namespace tmkgm::proto

@@ -1,0 +1,62 @@
+// Homeless lazy release consistency — TreadMarks' protocol, extracted
+// verbatim from the pre-seam Tmk (the default protocol's behaviour, costs
+// and wire traffic are byte-identical to the pre-refactor tree; the
+// determinism and golden-report tests pin this).
+//
+// Twins are retained across consecutive intervals of a single writer and
+// the accumulated diff is encoded lazily, when first requested or when a
+// foreign diff is about to land on the page. Faulting nodes pull diffs
+// from every writer named in the page's write notices (in parallel) and
+// apply them in a linear extension of happened-before.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "proto/protocol.hpp"
+
+namespace tmkgm::proto {
+
+class Lrc final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  Kind kind() const override { return Kind::Lrc; }
+  void on_read_fault(tmk::PageId page) override;
+  void on_write_fault(tmk::PageId page) override;
+  void on_interval_close(std::uint32_t vt,
+                         std::span<const tmk::PageId> pages) override;
+  void on_interval_closed() override {}  // diffs stay latent until pulled
+  void on_gc_discard(std::uint32_t floor_epoch) override;
+  std::size_t private_bytes() const override { return diff_store_bytes_; }
+  bool handle_request(tmk::Op op, const sub::RequestCtx& ctx,
+                      WireReader& r) override;
+
+ private:
+  /// Fetches and applies every missing diff for the page.
+  void fetch_diffs(tmk::PageId page);
+  void apply_one_diff(tmk::PageId page, int proc, std::uint32_t vt,
+                      std::span<const std::byte> diff);
+  /// Encodes the accumulated twin diff and stores it for every pending
+  /// interval of this page; refreshes or frees the twin.
+  void encode_pending_diff(tmk::PageId page);
+  void handle_diff_request(const sub::RequestCtx& ctx, WireReader& r);
+
+  /// My own diffs: (page, vt) -> encoded diff. Accumulated diffs are
+  /// shared between the intervals they cover; first_vt identifies the
+  /// earliest of them, so a requester that already applied the blob (its
+  /// request range starts at or past first_vt) gets an empty diff instead
+  /// of a damaging re-application.
+  struct StoredDiff {
+    std::shared_ptr<const std::vector<std::byte>> bytes;
+    std::uint32_t first_vt = 0;
+  };
+  std::map<std::pair<tmk::PageId, std::uint32_t>, StoredDiff> my_diffs_;
+  /// Which of my intervals wrote each page (sorted vts).
+  std::map<tmk::PageId, std::vector<std::uint32_t>> my_page_writes_;
+  std::size_t diff_store_bytes_ = 0;
+};
+
+}  // namespace tmkgm::proto

@@ -1,0 +1,18 @@
+#include "proto/protocol.hpp"
+
+#include "proto/hlrc.hpp"
+#include "proto/lrc.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::proto {
+
+std::unique_ptr<Protocol> make_protocol(Kind kind, tmk::Tmk& t) {
+  switch (kind) {
+    case Kind::Lrc: return std::make_unique<Lrc>(t);
+    case Kind::Hlrc: return std::make_unique<Hlrc>(t);
+  }
+  TMKGM_CHECK_MSG(false, "unknown protocol kind");
+  return nullptr;
+}
+
+}  // namespace tmkgm::proto

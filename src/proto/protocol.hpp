@@ -1,0 +1,94 @@
+// The coherence-protocol seam. Tmk owns the machinery every protocol
+// shares — the arena and page tables, interval records and vector clocks,
+// write-notice incorporation, the interval piggyback/pull wire format,
+// locks, barriers, two-phase GC and allocation — and drives a Protocol
+// object at the five points where homeless LRC and home-based LRC differ:
+//
+//   1. page-fault servicing (on_read_fault / on_write_fault),
+//   2. the per-record body of an interval close (on_interval_close, runs
+//      with async delivery masked),
+//   3. the post-close step (on_interval_closed, unmasked — HLRC flushes
+//      its staged diffs to the homes here, and a release does not
+//      complete until every home has acked),
+//   4. the GC discard phase for protocol-private state (on_gc_discard),
+//   5. protocol-specific request ops (handle_request: LRC serves
+//      Op::DiffRequest, HLRC applies Op::DiffFlush).
+//
+// Protocol implementations are friends of Tmk and operate on its state
+// directly; what is protocol-private (LRC's diff store, HLRC's staged
+// flushes) lives in the concrete class. See DESIGN.md §9.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "proto/kind.hpp"
+#include "sub/substrate.hpp"
+#include "tmk/ops.hpp"
+#include "tmk/tmk.hpp"
+#include "util/wire.hpp"
+
+namespace tmkgm::proto {
+
+/// Protocol-engine counters, surfaced as proto.* rows (HLRC runs only, so
+/// default-protocol reports stay byte-identical to the pre-seam output).
+struct ProtoStats {
+  std::uint64_t flush_msgs = 0;        ///< DiffFlush requests sent
+  std::uint64_t flush_pages = 0;       ///< page diffs flushed to homes
+  std::uint64_t flush_bytes = 0;       ///< DiffFlush payload bytes sent
+  std::uint64_t home_applies = 0;      ///< diffs applied at this home
+  std::uint64_t home_apply_bytes = 0;  ///< diff bytes applied at this home
+  std::uint64_t home_fetches = 0;      ///< whole-page refetches from home
+  std::uint64_t write_merges = 0;      ///< refetches merged over open twins
+};
+
+class Protocol {
+ public:
+  explicit Protocol(tmk::Tmk& t) : t_(t) {}
+  virtual ~Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual Kind kind() const = 0;
+  const char* name() const { return kind_name(kind()); }
+  const ProtoStats& stats() const { return stats_; }
+
+  /// Makes `page` readable / writable (app context, async unmasked). The
+  /// Tmk fault wrapper has already charged the fault cost and counted it.
+  virtual void on_read_fault(tmk::PageId page) = 0;
+  virtual void on_write_fault(tmk::PageId page) = 0;
+
+  /// Per-record body of Tmk::close_interval (async masked). `pages` is the
+  /// record's write-notice list; an oversized dirty set is split into
+  /// several records, giving one call each.
+  virtual void on_interval_close(std::uint32_t vt,
+                                 std::span<const tmk::PageId> pages) = 0;
+
+  /// Runs after close_interval unmasks, before the release/barrier message
+  /// goes out. HLRC performs the blocking diff flush here, so any write
+  /// notice a peer can ever learn is already applied at the home.
+  virtual void on_interval_closed() = 0;
+
+  /// GC discard phase: drop protocol-private state for own intervals with
+  /// epoch < floor. Shared interval records are discarded by Tmk after.
+  virtual void on_gc_discard(std::uint32_t floor_epoch) = 0;
+
+  /// Bytes of protocol-private memory (LRC: the diff store) counted into
+  /// Tmk::protocol_bytes() for the GC high-water check.
+  virtual std::size_t private_bytes() const = 0;
+
+  /// Dispatch for protocol-specific request ops (interrupt context; the
+  /// shared per-request CPU charge is already paid). Returns false if the
+  /// op is not one of this protocol's.
+  virtual bool handle_request(tmk::Op op, const sub::RequestCtx& ctx,
+                              WireReader& r) = 0;
+
+ protected:
+  tmk::Tmk& t_;
+  ProtoStats stats_;
+};
+
+std::unique_ptr<Protocol> make_protocol(Kind kind, tmk::Tmk& t);
+
+}  // namespace tmkgm::proto

@@ -1,0 +1,46 @@
+// Wire-level request opcodes and vector-clock (de)serialization shared by
+// the Tmk core and the coherence-protocol implementations (src/proto/).
+// The opcode byte is the first byte of every substrate request payload;
+// values are part of the wire format and must never be renumbered.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/wire.hpp"
+
+namespace tmkgm::tmk {
+
+using VectorClock = std::vector<std::uint32_t>;
+
+enum class Op : std::uint8_t {
+  DiffRequest = 1,    // homeless LRC: pull diffs from a writer
+  PageRequest = 2,    // base-copy / authoritative-copy fetch from the home
+  LockAcquire = 3,
+  BarrierArrive = 4,
+  Distribute = 5,
+  MoreIntervals = 6,  // pull the rest of a truncated interval set
+  DiffFlush = 7,      // HLRC: eager diff flush from a writer to the home
+};
+
+inline void put_vc(WireWriter& w, const VectorClock& vc) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(vc.size()));
+  for (auto v : vc) w.put<std::uint32_t>(v);
+}
+
+inline VectorClock get_vc(WireReader& r) {
+  const auto n = r.get<std::uint32_t>();
+  VectorClock vc(n);
+  for (auto& v : vc) v = r.get<std::uint32_t>();
+  return vc;
+}
+
+/// Linear extension of happened-before: componentwise-ordered clocks have
+/// strictly ordered sums, so sorting by sum (proc id as tiebreak for
+/// concurrent intervals) applies diffs in a causally consistent order.
+inline std::uint64_t vc_sum(const VectorClock& vc) {
+  return std::accumulate(vc.begin(), vc.end(), std::uint64_t{0});
+}
+
+}  // namespace tmkgm::tmk

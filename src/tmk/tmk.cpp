@@ -2,44 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
-#include <numeric>
 
+#include "proto/protocol.hpp"
 #include "tmk/diff.hpp"
 #include "util/check.hpp"
 
+// Request opcodes and vector-clock wire helpers live in tmk/ops.hpp,
+// shared with the protocol implementations in src/proto/.
+
 namespace tmkgm::tmk {
-
-namespace {
-
-enum class Op : std::uint8_t {
-  DiffRequest = 1,
-  PageRequest = 2,
-  LockAcquire = 3,
-  BarrierArrive = 4,
-  Distribute = 5,
-  MoreIntervals = 6,  // pull the rest of a truncated interval set
-};
-
-void put_vc(WireWriter& w, const VectorClock& vc) {
-  w.put<std::uint32_t>(static_cast<std::uint32_t>(vc.size()));
-  for (auto v : vc) w.put<std::uint32_t>(v);
-}
-
-VectorClock get_vc(WireReader& r) {
-  const auto n = r.get<std::uint32_t>();
-  VectorClock vc(n);
-  for (auto& v : vc) v = r.get<std::uint32_t>();
-  return vc;
-}
-
-/// Linear extension of happened-before: componentwise-ordered clocks have
-/// strictly ordered sums, so sorting by sum (proc id as tiebreak for
-/// concurrent intervals) applies diffs in a causally consistent order.
-std::uint64_t vc_sum(const VectorClock& vc) {
-  return std::accumulate(vc.begin(), vc.end(), std::uint64_t{0});
-}
-
-}  // namespace
 
 Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
          const net::CostModel& cost, const TmkConfig& config,
@@ -70,6 +41,8 @@ Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
   if (proc_id() == 0) {
     barrier_root_.resize(static_cast<std::size_t>(config_.n_barriers));
   }
+  // The protocol engine must exist before any request can arrive.
+  protocol_ = proto::make_protocol(config_.protocol, *this);
   substrate_.set_request_handler(
       [this](const sub::RequestCtx& ctx, std::span<const std::byte> payload) {
         handle_request(ctx, payload);
@@ -115,7 +88,7 @@ std::size_t Tmk::protocol_bytes() const {
       intervals += 4 * rec.pages.size();
     }
   }
-  return diff_store_bytes_ + intervals;
+  return protocol_->private_bytes() + intervals;
 }
 
 // ---------------------------------------------------------------------
@@ -234,39 +207,14 @@ void Tmk::read_fault(PageId page) {
   ++stats_.read_faults;
   trace(obs::Kind::ReadFault, -1, page);
   charge_fault();
-  PageState& st = state_of(page);
-  if (mode_[page] == PageMode::Unmapped) fetch_page(page);
-  while (!st.notices.empty()) fetch_diffs(page);
-  set_mode(page, (st.twin != nullptr && !st.twin_is_pending_diff)
-                     ? PageMode::ReadWrite
-                     : PageMode::ReadOnly);
+  protocol_->on_read_fault(page);
 }
 
 void Tmk::write_fault(PageId page) {
   ++stats_.write_faults;
   trace(obs::Kind::WriteFault, -1, page);
   charge_fault();
-  PageState& st = state_of(page);
-  if (mode_[page] == PageMode::Unmapped) fetch_page(page);
-  while (!st.notices.empty()) fetch_diffs(page);
-  if (st.twin != nullptr && st.twin_is_pending_diff) {
-    // Twin retention (TreadMarks' lazy diffing): re-writing a page whose
-    // previous intervals are still latent keeps the same twin; the
-    // accumulated diff is encoded only when somebody asks. A single
-    // steady writer pays one cheap re-protection fault per interval and
-    // never encodes pages nobody reads.
-    st.twin_is_pending_diff = false;
-    dirty_pages_.push_back(page);
-  } else if (st.twin == nullptr) {
-    charge_mem(config_.page_size);
-    st.twin.reset(new std::byte[config_.page_size]);
-    st.twin_is_pending_diff = false;
-    std::memcpy(st.twin.get(), page_base(page), config_.page_size);
-    ++stats_.twins_created;
-    trace(obs::Kind::TwinCreate, -1, page, config_.page_size);
-    dirty_pages_.push_back(page);
-  }
-  set_mode(page, PageMode::ReadWrite);
+  protocol_->on_write_fault(page);
 }
 
 void Tmk::fetch_page(PageId page) {
@@ -304,220 +252,53 @@ void Tmk::fetch_page(PageId page) {
   set_mode(page, PageMode::ReadOnly);
 }
 
-void Tmk::fetch_diffs(PageId page) {
-  PageState& st = state_of(page);
-  struct Need {
-    int proc;
-    std::uint32_t from, to;
-  };
-  std::vector<Need> needs;
-  for (const auto& n : st.notices) {
-    TMKGM_CHECK(n.proc != proc_id());
-    auto it = std::find_if(needs.begin(), needs.end(),
-                           [&](const Need& x) { return x.proc == n.proc; });
-    if (it == needs.end()) {
-      needs.push_back({n.proc, st.applied[n.proc], n.vt});
-    } else {
-      it->to = std::max(it->to, n.vt);
-    }
-  }
-  if (needs.empty()) return;
-
-  // Foreign diffs are about to land on this page: any latent accumulated
-  // diff must be encoded NOW, so one blob never spans a synchronization
-  // point after which other writers' values interleave with ours (the
-  // attribution of a spanning blob to a single position in happened-before
-  // order would be unsound in both directions).
-  if (st.twin != nullptr && !st.pending_vts.empty()) {
-    encode_pending_diff(page);
-  }
-
-  auto request_range = [&](int proc, std::uint32_t from, std::uint32_t to) {
-    WireWriter w;
-    w.put(Op::DiffRequest);
-    w.put<std::uint32_t>(page);
-    w.put<std::uint32_t>(from);
-    w.put<std::uint32_t>(to);
-    ++stats_.diff_requests;
-    trace(obs::Kind::DiffRequest, proc, page);
-    return substrate_.send_request(proc, w.bytes());
-  };
-
-  // Parallel requests to every writer (the paper's "receive from any node
-  // of a group" requirement), re-requesting continuations when a writer's
-  // diffs overflow one response.
-  std::vector<std::uint32_t> seqs;
-  std::vector<Need> seq_need;
-  for (const auto& n : needs) {
-    seqs.push_back(request_range(n.proc, n.from, n.to));
-    seq_need.push_back(n);
-  }
-
-  struct GotDiff {
-    int proc;
-    std::uint32_t vt;
-    std::vector<std::byte> bytes;
-  };
-  std::vector<GotDiff> got;
-  std::vector<std::byte> buf(sub::kMaxMessage);
-  while (!seqs.empty()) {
-    std::size_t len = 0;
-    const auto idx = substrate_.recv_response_any(seqs, buf, len);
-    const Need need = seq_need[idx];
-    seqs.erase(seqs.begin() + static_cast<std::ptrdiff_t>(idx));
-    seq_need.erase(seq_need.begin() + static_cast<std::ptrdiff_t>(idx));
-    WireReader r({buf.data(), len});
-    const auto got_page = r.get<std::uint32_t>();
-    TMKGM_CHECK(got_page == page);
-    const auto count = r.get<std::uint32_t>();
-    const auto more = r.get<std::uint8_t>();
-    const auto cont_vt = r.get<std::uint32_t>();
-    for (std::uint32_t i = 0; i < count; ++i) {
-      const auto vt = r.get<std::uint32_t>();
-      const auto dlen = r.get<std::uint32_t>();
-      auto bytes = r.get_bytes(dlen);
-      got.push_back({need.proc, vt, {bytes.begin(), bytes.end()}});
-    }
-    if (more != 0) {
-      seqs.push_back(request_range(need.proc, cont_vt, need.to));
-      seq_need.push_back({need.proc, cont_vt, need.to});
-    }
-  }
-
-  // Apply in a linear extension of happened-before.
-  std::sort(got.begin(), got.end(), [&](const GotDiff& a, const GotDiff& b) {
-    const auto& va = intervals_[static_cast<std::size_t>(a.proc)].at(a.vt).vc;
-    const auto& vb = intervals_[static_cast<std::size_t>(b.proc)].at(b.vt).vc;
-    const auto sa = vc_sum(va), sb = vc_sum(vb);
-    if (sa != sb) return sa < sb;
-    if (a.proc != b.proc) return a.proc < b.proc;
-    return a.vt < b.vt;
-  });
-  for (const auto& d : got) {
-    apply_one_diff(page, d.proc, d.vt, d.bytes);
-  }
-  std::erase_if(st.notices, [&](const WriteNotice& n) {
-    return n.vt <= st.applied[n.proc];
-  });
-  // st.notices may be non-empty again: an interrupt handler (e.g. a
-  // barrier arrival at the root) can incorporate fresh intervals while we
-  // were blocked waiting for responses. The fault path loops until quiet.
-}
-
-void Tmk::apply_one_diff(PageId page, int proc, std::uint32_t vt,
-                         std::span<const std::byte> diff) {
-  PageState& st = state_of(page);
-  if (vt <= st.applied[static_cast<std::size_t>(proc)]) return;  // duplicate
-  if (oracle_ != nullptr) {
-    // Applied-clock monotonicity: every interval that happened before
-    // (proc, vt) and wrote this page must already be reflected in
-    // st.applied, or the vc_sum linear extension was violated. (Records
-    // GC may have reclaimed are covered by the GC-safety invariant.)
-    const auto& vc =
-        intervals_[static_cast<std::size_t>(proc)].at(vt).vc;
-    for (int q = 0; q < n_procs(); ++q) {
-      if (q == proc || q == proc_id()) continue;
-      for (const auto& [uvt, urec] : intervals_[static_cast<std::size_t>(q)]) {
-        if (uvt > vc[static_cast<std::size_t>(q)]) break;
-        if (uvt <= st.applied[static_cast<std::size_t>(q)]) continue;
-        TMKGM_CHECK_MSG(
-            std::find(urec.pages.begin(), urec.pages.end(), page) ==
-                urec.pages.end(),
-            "diff (" << proc << "," << vt << ") for page " << page
-                     << " applied before its happened-before predecessor ("
-                     << q << "," << uvt << ")");
-      }
-    }
-    oracle_->count_invariant_check();
-  }
-  const auto modified = diff_modified_bytes(diff);
-  node_.compute(cost_.mem_op_overhead +
-                transfer_time(modified, cost_.memcpy_bytes_per_us));
-  apply_diff(page_base(page), diff, config_.page_size);
-  if (st.twin != nullptr) {
-    // Keep the twin in sync so our next diff contains only our own writes.
-    apply_diff(st.twin.get(), diff, config_.page_size);
-  }
-  st.applied[static_cast<std::size_t>(proc)] = vt;
-  ++stats_.diffs_applied;
-  stats_.diff_bytes_applied += diff.size();
-  trace(obs::Kind::DiffApply, proc, page, diff.size());
-}
-
-void Tmk::encode_pending_diff(PageId page) {
-  // The compute charges below are preemption points, and a diff-request
-  // handler may try to encode this very twin; hold async delivery across
-  // the whole encode (the handler runs masked already).
-  sub::AsyncMasked masked(substrate_);
-  PageState& st = state_of(page);
-  if (st.twin == nullptr || st.pending_vts.empty()) return;  // raced
-
-  // One scan serves every pending interval: the accumulated diff is
-  // attributed to each of them (re-application is idempotent; cross-writer
-  // ordering is preserved because remote diffs were applied to the twin
-  // too). If the page is open in a new interval, its uncommitted writes
-  // ride along — data-race freedom guarantees nobody reads those words
-  // before our next release — and the twin refreshes to match.
-  node_.compute(cost_.mem_op_overhead +
-                transfer_time(config_.page_size,
-                              cost_.diff_scan_bytes_per_us));
-  auto bytes = encode_diff(page_base(page), st.twin.get(), config_.page_size);
-  node_.compute(transfer_time(bytes.size(), cost_.memcpy_bytes_per_us));
-  auto shared =
-      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
-  ++stats_.diffs_created;
-  stats_.diff_bytes_created += shared->size();
-  trace(obs::Kind::DiffCreate, -1, page, shared->size());
-  const auto first_vt = st.pending_vts.front();
-  const auto& mine = intervals_[static_cast<std::size_t>(proc_id())];
-  for (auto vt : st.pending_vts) {
-    if (!mine.contains(vt)) continue;  // GC already reclaimed it
-    my_diffs_[{page, vt}] = StoredDiff{shared, first_vt};
-    diff_store_bytes_ += shared->size();
-  }
-  st.pending_vts.clear();
-
-  const bool open = !st.twin_is_pending_diff;
-  if (open) {
-    charge_mem(config_.page_size);
-    std::memcpy(st.twin.get(), page_base(page), config_.page_size);
-  } else {
-    st.twin.reset();
-    st.twin_is_pending_diff = false;
-  }
-}
-
 // ---------------------------------------------------------------------
 // Intervals
 // ---------------------------------------------------------------------
+
+std::size_t Tmk::max_notice_pages() const {
+  // An interval record must fit in every interval-bearing message.
+  // pack_missing_intervals budgets kMaxPayload - 64 per chunk; halving it
+  // guarantees a truncated chunk still carries at least one whole record,
+  // so Op::MoreIntervals always makes progress. Subtract the fixed record
+  // header (proc, vt, vc, page count) and divide by the per-page cost.
+  return (sub::kMaxPayload / 2 - 64 -
+          (1 + 4 + (4 + 4 * vc_.size()) + 4)) /
+         4;
+}
 
 bool Tmk::close_interval() {
   if (n_procs() == 1) return false;  // no consumers: keep pages writable
   if (dirty_pages_.empty()) return false;
   substrate_.mask_async();
-  const auto vt = ++vc_[static_cast<std::size_t>(proc_id())];
-  IntervalRecord rec;
-  rec.proc = static_cast<std::uint8_t>(proc_id());
-  rec.vt = vt;
-  rec.vc = vc_;
-  rec.pages = dirty_pages_;
-  rec.epoch = barrier_epoch_;
-  for (PageId page : dirty_pages_) {
-    PageState& st = state_of(page);
-    TMKGM_CHECK(st.twin != nullptr && !st.twin_is_pending_diff);
-    st.twin_is_pending_diff = true;
-    st.pending_vts.push_back(vt);
-    if (mode_[page] == PageMode::ReadWrite) set_mode(page, PageMode::ReadOnly);
-    my_page_writes_[page].push_back(vt);
+  // A dirty set larger than one wire record can carry is split into
+  // consecutive intervals (vt, vt+1, ...): each record then fits any
+  // interval-bearing message, and consumers see an equivalent history.
+  const std::size_t cap = max_notice_pages();
+  for (std::size_t off = 0; off < dirty_pages_.size(); off += cap) {
+    const std::size_t count = std::min(cap, dirty_pages_.size() - off);
+    const auto vt = ++vc_[static_cast<std::size_t>(proc_id())];
+    IntervalRecord rec;
+    rec.proc = static_cast<std::uint8_t>(proc_id());
+    rec.vt = vt;
+    rec.vc = vc_;
+    rec.pages.assign(dirty_pages_.begin() + static_cast<std::ptrdiff_t>(off),
+                     dirty_pages_.begin() +
+                         static_cast<std::ptrdiff_t>(off + count));
+    rec.epoch = barrier_epoch_;
+    protocol_->on_interval_close(vt, rec.pages);
+    // Write-protecting each dirty page costs an mprotect.
+    node_.compute(static_cast<SimTime>(count) * cost_.tmk_protocol_op);
+    intervals_[static_cast<std::size_t>(proc_id())][vt] = std::move(rec);
+    ++stats_.intervals_created;
+    trace(obs::Kind::Interval, -1, vt);
   }
-  // Write-protecting each dirty page costs an mprotect.
-  node_.compute(static_cast<SimTime>(dirty_pages_.size()) *
-                cost_.tmk_protocol_op);
-  intervals_[static_cast<std::size_t>(proc_id())][vt] = std::move(rec);
   dirty_pages_.clear();
-  ++stats_.intervals_created;
-  trace(obs::Kind::Interval, -1, vt);
   substrate_.unmask_async();
+  protocol_->on_interval_closed();
+  // Only now may peers learn the new intervals: HLRC's flush has been
+  // acked by every home, so every learnable notice is applied there.
+  published_self_vt_ = vc_[static_cast<std::size_t>(proc_id())];
   return true;
 }
 
@@ -550,8 +331,14 @@ bool Tmk::pack_missing_intervals(WireWriter& w,
   const std::size_t budget = sub::kMaxPayload - 64;
   for (int p = 0; p < n_procs(); ++p) {
     const auto& per_proc = intervals_[static_cast<std::size_t>(p)];
+    // Own intervals are served only up to the publish watermark (equal to
+    // the clock under LRC; behind it while an HLRC flush is in flight).
+    const std::uint32_t limit =
+        p == proc_id()
+            ? std::min(vc_[static_cast<std::size_t>(p)], published_self_vt_)
+            : vc_[static_cast<std::size_t>(p)];
     for (std::uint32_t vt = theirs[static_cast<std::size_t>(p)] + 1;
-         vt <= vc_[static_cast<std::size_t>(p)]; ++vt) {
+         vt <= limit; ++vt) {
       auto it = per_proc.find(vt);
       TMKGM_CHECK_MSG(it != per_proc.end(),
                       "interval (" << p << "," << vt
@@ -563,6 +350,13 @@ bool Tmk::pack_missing_intervals(WireWriter& w,
         // Receiver pulls the remainder with Op::MoreIntervals; truncating
         // mid-stream is safe because records are packed in (proc, vt)
         // order, so what was sent is a contiguous prefix per proc.
+        // close_interval caps records at max_notice_pages(), so a chunk
+        // always fits at least one; an empty truncated chunk would make
+        // Op::MoreIntervals spin forever on the same clock.
+        TMKGM_CHECK_MSG(count > 0,
+                        "interval record (" << p << "," << vt << ") with "
+                            << rec.pages.size()
+                            << " pages exceeds the wire budget");
         w.patch<std::uint32_t>(count_pos, count);
         return true;
       }
@@ -834,29 +628,24 @@ void Tmk::run_gc_validate_phase() {
   for (PageId p = 0; p < n_pages_; ++p) {
     if (mode_[p] == PageMode::Invalid) read_fault(p);
   }
+  // Never-touched pages accumulate write notices too (incorporation does
+  // not depend on the local mode). Leaving them unmapped across the
+  // discard would dangle: a later first touch fetches the home's base
+  // copy — whose applied clock predates the discarded intervals — and
+  // then pulls diffs their writers no longer have, spinning forever on
+  // empty responses. Validate them now, while every diff still exists.
+  for (auto& [p, st] : pages_) {
+    if (mode_[p] == PageMode::Unmapped && !st.notices.empty()) {
+      read_fault(p);
+    }
+  }
 }
 
 void Tmk::discard_old_protocol_state() {
   // Phase 2 (a barrier later): everyone validated, so intervals learned
   // before the GC barrier — and their diffs — are dead.
   const auto floor = gc_floor_epoch_;
-  auto& mine = intervals_[static_cast<std::size_t>(proc_id())];
-  for (auto it = my_diffs_.begin(); it != my_diffs_.end();) {
-    const auto vt = it->first.second;
-    auto rec = mine.find(vt);
-    if (rec != mine.end() && rec->second.epoch < floor) {
-      diff_store_bytes_ -= it->second.bytes->size();
-      it = my_diffs_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  for (auto& [page, vts] : my_page_writes_) {
-    std::erase_if(vts, [&](std::uint32_t vt) {
-      auto rec = mine.find(vt);
-      return rec != mine.end() && rec->second.epoch < floor;
-    });
-  }
+  protocol_->on_gc_discard(floor);
   for (int p = 0; p < n_procs(); ++p) {
     auto& per_proc = intervals_[static_cast<std::size_t>(p)];
     std::erase_if(per_proc, [&](const auto& kv) {
@@ -879,83 +668,20 @@ void Tmk::handle_request(const sub::RequestCtx& ctx,
   WireReader r(payload);
   const auto op = r.get<Op>();
   switch (op) {
-    case Op::DiffRequest: handle_diff_request(ctx, r); break;
     case Op::PageRequest: handle_page_request(ctx, r); break;
     case Op::LockAcquire: handle_lock_acquire(ctx, r); break;
     case Op::BarrierArrive: handle_barrier_arrive(ctx, r); break;
     case Op::MoreIntervals: handle_more_intervals(ctx, r); break;
     case Op::Distribute: handle_distribute(ctx, r); break;
+    default:
+      // Protocol-specific traffic (DiffRequest for LRC, DiffFlush for
+      // HLRC) is owned by the active protocol engine.
+      TMKGM_CHECK_MSG(protocol_->handle_request(op, ctx, r),
+                      "unhandled request op "
+                          << static_cast<int>(op) << " under protocol "
+                          << protocol_->name());
+      break;
   }
-}
-
-void Tmk::handle_diff_request(const sub::RequestCtx& ctx, WireReader& r) {
-  const auto page = r.get<std::uint32_t>();
-  const auto from = r.get<std::uint32_t>();
-  const auto to = r.get<std::uint32_t>();
-
-  WireWriter w;
-  w.put<std::uint32_t>(page);
-  const std::size_t count_pos = w.size();
-  w.put<std::uint32_t>(0);
-  const std::size_t more_pos = w.size();
-  w.put<std::uint8_t>(0);
-  const std::size_t cont_pos = w.size();
-  w.put<std::uint32_t>(0);
-
-  std::uint32_t count = 0;
-  std::uint8_t more = 0;
-  std::uint32_t cont_vt = 0;
-
-  auto it = my_page_writes_.find(page);
-  if (it != my_page_writes_.end()) {
-    // Accumulated diffs are shared between intervals; within one response
-    // the content is sent once and the other intervals ride as empty
-    // diffs (the receiver still advances its applied clock).
-    const std::vector<std::byte>* already_sent = nullptr;
-    for (auto vt : it->second) {
-      if (vt <= from || vt > to) continue;
-      // Locate the diff: cached, or still latent in a (retained) twin.
-      auto cached = my_diffs_.find({page, vt});
-      if (cached == my_diffs_.end()) {
-        PageState& st = state_of(page);
-        const bool latent =
-            st.twin != nullptr &&
-            std::find(st.pending_vts.begin(), st.pending_vts.end(), vt) !=
-                st.pending_vts.end();
-        TMKGM_CHECK_MSG(latent,
-                        "diff (" << page << "," << vt << ") unavailable");
-        encode_pending_diff(page);
-        cached = my_diffs_.find({page, vt});
-        TMKGM_CHECK(cached != my_diffs_.end());
-      }
-      const std::vector<std::byte>& diff = *cached->second.bytes;
-      // Empty when the requester has this blob already: either it arrived
-      // earlier in this response, or the blob was first attributed to an
-      // interval the requester's range says it has applied. Re-applying
-      // would roll back writes the requester made since.
-      const bool duplicate =
-          already_sent == &diff || cached->second.first_vt <= from;
-      const std::size_t need = duplicate ? 8 : 8 + diff.size();
-      if (w.size() + need > sub::kMaxPayload) {
-        more = 1;
-        break;
-      }
-      w.put<std::uint32_t>(vt);
-      if (duplicate) {
-        w.put<std::uint32_t>(0);
-      } else {
-        w.put<std::uint32_t>(static_cast<std::uint32_t>(diff.size()));
-        w.put_bytes(diff);
-        already_sent = &diff;
-      }
-      ++count;
-      cont_vt = vt;
-    }
-  }
-  w.patch<std::uint32_t>(count_pos, count);
-  w.patch<std::uint8_t>(more_pos, more);
-  w.patch<std::uint32_t>(cont_pos, cont_vt);
-  substrate_.respond(ctx, w.bytes());
 }
 
 void Tmk::handle_page_request(const sub::RequestCtx& ctx, WireReader& r) {

@@ -42,21 +42,32 @@
 #include "check/check.hpp"
 #include "net/cost_model.hpp"
 #include "obs/trace.hpp"
+#include "proto/kind.hpp"
 #include "sim/node.hpp"
 #include "sub/substrate.hpp"
+#include "tmk/ops.hpp"
 #include "util/check.hpp"
 #include "util/time.hpp"
 #include "util/wire.hpp"
+
+namespace tmkgm::proto {
+class Protocol;
+class Lrc;
+class Hlrc;
+}  // namespace tmkgm::proto
 
 namespace tmkgm::tmk {
 
 using GlobalPtr = std::uint64_t;  // byte offset within the shared arena
 using PageId = std::uint32_t;
-using VectorClock = std::vector<std::uint32_t>;
 
 struct TmkConfig {
   std::size_t arena_bytes = 64u << 20;
   std::size_t page_size = 4096;
+  /// Coherence protocol (src/proto/): homeless LRC (the TreadMarks
+  /// default, byte-identical to the pre-seam implementation) or
+  /// home-based LRC with eager diff flushes.
+  proto::Kind protocol = proto::Kind::Lrc;
   int n_locks = 256;
   int n_barriers = 16;
   /// Protocol memory high-water mark; above it, the next barrier triggers
@@ -114,6 +125,8 @@ class Tmk {
   sim::Node& node() { return node_; }
   const TmkConfig& config() const { return config_; }
   const TmkStats& stats() const { return stats_; }
+  /// The coherence-protocol engine driving this node (proto.* counters).
+  const proto::Protocol& protocol() const { return *protocol_; }
 
   /// --- Allocation (Tmk_malloc / Tmk_distribute) ----------------------
   /// Deterministic page-aligned bump allocation in the shared arena; with
@@ -188,6 +201,13 @@ class Tmk {
   }
 
  private:
+  /// The coherence protocols (src/proto/) are friends: they implement the
+  /// behaviour that differs between homeless and home-based LRC directly
+  /// on this shared state (see proto/protocol.hpp for the seam contract).
+  friend class proto::Protocol;
+  friend class proto::Lrc;
+  friend class proto::Hlrc;
+
   struct WriteNotice {
     std::uint8_t proc;
     std::uint32_t vt;
@@ -267,21 +287,22 @@ class Tmk {
   /// and emits a Cat::Check trace record on a fresh race.
   void record_access(GlobalPtr ptr, std::size_t len, bool write);
 
+  /// Fault wrappers: count, trace and charge the fault, then hand the
+  /// page to the protocol engine.
   void read_fault(PageId page);
   void write_fault(PageId page);
   /// Fetches the base copy from the page's manager (round-robin home).
   void fetch_page(PageId page);
-  /// Fetches and applies every missing diff for the page.
-  void fetch_diffs(PageId page);
-  void apply_one_diff(PageId page, int proc, std::uint32_t vt,
-                      std::span<const std::byte> diff);
-  /// Encodes the accumulated twin diff and stores it for every pending
-  /// interval of this page; refreshes or frees the twin.
-  void encode_pending_diff(PageId page);
 
   /// Closes the current interval if any page is dirty; returns true if an
-  /// interval was created.
+  /// interval was created. A dirty set whose write-notice list would not
+  /// fit one interval-transfer chunk is split into several consecutive
+  /// records (each capped at max_notice_pages()), so a single record can
+  /// always be packed — see pack_missing_intervals.
   bool close_interval();
+  /// Largest write-notice page list a single interval record may carry
+  /// and still fit any interval-bearing message alongside its headers.
+  std::size_t max_notice_pages() const;
   void incorporate_interval(IntervalRecord rec);
   /// Serializes interval records the peer (with clock `theirs`) lacks, up
   /// to the message budget; returns true if records remain (the receiver
@@ -300,7 +321,6 @@ class Tmk {
   // --- request handling (interrupt context) ----------------------------
   void handle_request(const sub::RequestCtx& ctx,
                       std::span<const std::byte> payload);
-  void handle_diff_request(const sub::RequestCtx& ctx, WireReader& r);
   void handle_page_request(const sub::RequestCtx& ctx, WireReader& r);
   void handle_lock_acquire(const sub::RequestCtx& ctx, WireReader& r);
   void handle_barrier_arrive(const sub::RequestCtx& ctx, WireReader& r);
@@ -355,21 +375,22 @@ class Tmk {
   std::vector<PageId> dirty_pages_;
 
   VectorClock vc_;
+  /// Publish watermark: own intervals with vt > published_self_vt_ are
+  /// invisible to pack_missing_intervals. Under LRC close_interval
+  /// publishes immediately (the watermark always equals vc_[self]); under
+  /// HLRC the watermark advances only after the eager diff flush is acked
+  /// by every home, so an interrupt-context piggyback (a direct lock grant
+  /// or an Op::MoreIntervals pull racing the flush) can never leak a write
+  /// notice whose diff is not yet applied at its home.
+  std::uint32_t published_self_vt_ = 0;
   /// intervals_[p][vt]: every interval record this node knows about.
+  /// (Protocol-private memory — LRC's diff store — lives in the protocol
+  /// object and is reported through proto::Protocol::private_bytes().)
   std::vector<std::map<std::uint32_t, IntervalRecord>> intervals_;
-  /// My own diffs: (page, vt) -> encoded diff. Accumulated diffs are
-  /// shared between the intervals they cover; first_vt identifies the
-  /// earliest of them, so a requester that already applied the blob (its
-  /// request range starts at or past first_vt) gets an empty diff instead
-  /// of a damaging re-application.
-  struct StoredDiff {
-    std::shared_ptr<const std::vector<std::byte>> bytes;
-    std::uint32_t first_vt = 0;
-  };
-  std::map<std::pair<PageId, std::uint32_t>, StoredDiff> my_diffs_;
-  /// Which of my intervals wrote each page (sorted vts).
-  std::map<PageId, std::vector<std::uint32_t>> my_page_writes_;
-  std::size_t diff_store_bytes_ = 0;
+
+  /// The coherence-protocol engine (created from config_.protocol before
+  /// the request handler is installed; never null).
+  std::unique_ptr<proto::Protocol> protocol_;
 
   std::vector<LockState> locks_;
 

@@ -13,6 +13,7 @@
 #include "apps/apps.hpp"
 #include "cluster/cluster.hpp"
 #include "fault/fault.hpp"
+#include "proto/kind.hpp"
 
 namespace tmkgm {
 namespace {
@@ -20,10 +21,12 @@ namespace {
 using cluster::SubstrateKind;
 
 cluster::ClusterConfig oracle_config(SubstrateKind kind,
-                                     const std::string& plan) {
+                                     const std::string& plan,
+                                     proto::Kind protocol = proto::Kind::Lrc) {
   cluster::ClusterConfig cfg;
   cfg.n_procs = 4;
   cfg.kind = kind;
+  cfg.tmk.protocol = protocol;
   cfg.seed = 1;
   cfg.tmk.arena_bytes = 8u << 20;
   cfg.event_limit = 500'000'000;
@@ -47,10 +50,11 @@ constexpr const char* kPlans[] = {
 };
 
 class CoherenceOracleTest
-    : public ::testing::TestWithParam<std::tuple<SubstrateKind, int>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<SubstrateKind, int, proto::Kind>> {};
 
 TEST_P(CoherenceOracleTest, JacobiGridMatchesSequentialReplay) {
-  const auto& [kind, plan_idx] = GetParam();
+  const auto& [kind, plan_idx, protocol] = GetParam();
   const std::string plan = kPlans[plan_idx];
   SCOPED_TRACE("plan: " + plan);
 
@@ -59,7 +63,7 @@ TEST_P(CoherenceOracleTest, JacobiGridMatchesSequentialReplay) {
 
   std::vector<float> got;
   p.capture = &got;
-  cluster::Cluster c(oracle_config(kind, plan));
+  cluster::Cluster c(oracle_config(kind, plan, protocol));
   c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
     apps::JacobiParams mine = p;
     if (env.id != 0) mine.capture = nullptr;  // only proc 0 captures
@@ -69,7 +73,7 @@ TEST_P(CoherenceOracleTest, JacobiGridMatchesSequentialReplay) {
 }
 
 TEST_P(CoherenceOracleTest, SorGridMatchesSequentialReplay) {
-  const auto& [kind, plan_idx] = GetParam();
+  const auto& [kind, plan_idx, protocol] = GetParam();
   const std::string plan = kPlans[plan_idx];
   SCOPED_TRACE("plan: " + plan);
 
@@ -78,7 +82,7 @@ TEST_P(CoherenceOracleTest, SorGridMatchesSequentialReplay) {
 
   std::vector<float> got;
   p.capture = &got;
-  cluster::Cluster c(oracle_config(kind, plan));
+  cluster::Cluster c(oracle_config(kind, plan, protocol));
   c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
     apps::SorParams mine = p;
     if (env.id != 0) mine.capture = nullptr;
@@ -91,23 +95,26 @@ INSTANTIATE_TEST_SUITE_P(
     Oracle, CoherenceOracleTest,
     ::testing::Combine(::testing::Values(SubstrateKind::FastGm,
                                          SubstrateKind::UdpGm),
-                       ::testing::Range(0, 4)),
+                       ::testing::Range(0, 4),
+                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param) == SubstrateKind::FastGm
                              ? "FastGm"
                              : "UdpGm") +
-             "_plan" + std::to_string(std::get<1>(info.param));
+             "_plan" + std::to_string(std::get<1>(info.param)) + "_" +
+             proto::kind_name(std::get<2>(info.param));
     });
 
 // The oracle also certifies the fault-free runs, closing the loop: faulted
 // == fault-free == sequential replay, all bytewise.
 TEST(CoherenceOracleTest, FaultFreeRunMatchesReplay) {
-  for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm}) {
+  for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm})
+  for (const auto protocol : {proto::Kind::Lrc, proto::Kind::Hlrc}) {
     apps::JacobiParams p{.rows = 32, .cols = 32, .iters = 4};
     const std::vector<float> want = apps::jacobi_reference_grid(p);
     std::vector<float> got;
     p.capture = &got;
-    cluster::Cluster c(oracle_config(kind, ""));
+    cluster::Cluster c(oracle_config(kind, "", protocol));
     c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
       apps::JacobiParams mine = p;
       if (env.id != 0) mine.capture = nullptr;

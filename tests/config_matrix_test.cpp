@@ -1,17 +1,25 @@
 // Cross-configuration integration tests: the protocol and apps must stay
 // correct under every substrate configuration the benches exercise —
 // rendezvous buffering, each async-handling scheme, zero-copy responses,
-// and a lossy UDP fabric.
+// a lossy UDP fabric, and both coherence protocols (homeless LRC and
+// home-based HLRC).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 #include "apps/apps.hpp"
+#include "apps/extended.hpp"
 #include "cluster/cluster.hpp"
+#include "proto/kind.hpp"
 #include "tmk/shared_array.hpp"
 
 namespace tmkgm::cluster {
 namespace {
 
-double run_jacobi(ClusterConfig cfg) {
+constexpr proto::Kind kProtocols[] = {proto::Kind::Lrc, proto::Kind::Hlrc};
+
+double run_jacobi_once(ClusterConfig cfg) {
   apps::JacobiParams p;
   p.rows = 48;
   p.cols = 64;
@@ -24,6 +32,17 @@ double run_jacobi(ClusterConfig cfg) {
   });
   const double want = apps::jacobi_serial(p);
   EXPECT_DOUBLE_EQ(got, want);
+  return got;
+}
+
+// Every substrate configuration must hold under both coherence protocols.
+double run_jacobi(ClusterConfig cfg) {
+  double got = 0;
+  for (const auto pk : kProtocols) {
+    SCOPED_TRACE(std::string("protocol: ") + proto::kind_name(pk));
+    cfg.tmk.protocol = pk;
+    got = run_jacobi_once(cfg);
+  }
   return got;
 }
 
@@ -69,26 +88,30 @@ TEST(ConfigMatrix, LossyUdpStillCorrect) {
 }
 
 TEST(ConfigMatrix, LossyUdpLockChains) {
-  auto cfg = base(3, SubstrateKind::UdpGm);
-  cfg.cost.k_drop_prob = 0.10;
-  cfg.seed = 13;
-  Cluster c(cfg);
-  int final_value = -1;
-  auto result = c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
-    auto counter = tmk::SharedArray<std::int32_t>::alloc(tmk, 1);
-    tmk.barrier(0);
-    for (int r = 0; r < 15; ++r) {
-      tmk.lock_acquire(1);
-      counter.put(0, counter.get(0) + 1);
-      tmk.lock_release(1);
-    }
-    tmk.barrier(1);
-    if (env.id == 0) final_value = counter.get(0);
-  });
-  EXPECT_EQ(final_value, 45);
-  std::uint64_t retransmits = 0;
-  for (const auto& s : result.substrate_stats) retransmits += s.retransmits;
-  EXPECT_GT(retransmits, 0u);  // the loss actually exercised recovery
+  for (const auto pk : kProtocols) {
+    SCOPED_TRACE(std::string("protocol: ") + proto::kind_name(pk));
+    auto cfg = base(3, SubstrateKind::UdpGm);
+    cfg.cost.k_drop_prob = 0.10;
+    cfg.seed = 13;
+    cfg.tmk.protocol = pk;
+    Cluster c(cfg);
+    int final_value = -1;
+    auto result = c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+      auto counter = tmk::SharedArray<std::int32_t>::alloc(tmk, 1);
+      tmk.barrier(0);
+      for (int r = 0; r < 15; ++r) {
+        tmk.lock_acquire(1);
+        counter.put(0, counter.get(0) + 1);
+        tmk.lock_release(1);
+      }
+      tmk.barrier(1);
+      if (env.id == 0) final_value = counter.get(0);
+    });
+    EXPECT_EQ(final_value, 45);
+    std::uint64_t retransmits = 0;
+    for (const auto& s : result.substrate_stats) retransmits += s.retransmits;
+    EXPECT_GT(retransmits, 0u);  // the loss actually exercised recovery
+  }
 }
 
 TEST(ConfigMatrix, TimerSchemeSlowerThanInterrupts) {
@@ -112,6 +135,66 @@ TEST(ConfigMatrix, TimerSchemeSlowerThanInterrupts) {
   };
   EXPECT_GT(run(timer_cfg), run(irq_cfg));  // lock-heavy app hates the timer
 }
+
+// Full apps x substrates x protocols sweep: each workload verifies against
+// its serial reference under every transport and both coherence protocols.
+class ProtocolMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, SubstrateKind, proto::Kind>> {};
+
+TEST_P(ProtocolMatrixTest, AppVerifiesAgainstSerial) {
+  const auto& [app, kind, pk] = GetParam();
+  auto cfg = base(4, kind);
+  cfg.seed = 1;
+  cfg.tmk.protocol = pk;
+  Cluster c(cfg);
+  double got = 0;
+  std::string name = app;
+  double want = 0;
+  c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    apps::AppResult r;
+    if (name == "jacobi") {
+      r = apps::jacobi(tmk, {.rows = 32, .cols = 32, .iters = 4});
+    } else if (name == "sor") {
+      r = apps::sor(tmk, {.rows = 32, .cols = 32, .iters = 3});
+    } else if (name == "tsp") {
+      r = apps::tsp(tmk, {.cities = 8});
+    } else if (name == "is") {
+      r = apps::is_sort(tmk,
+                        {.keys_per_proc = 512, .buckets = 64, .iters = 2});
+    }
+    if (env.id == 0) got = r.checksum;
+  });
+  if (name == "jacobi") {
+    want = apps::jacobi_serial({.rows = 32, .cols = 32, .iters = 4});
+  } else if (name == "sor") {
+    want = apps::sor_serial({.rows = 32, .cols = 32, .iters = 3});
+  } else if (name == "tsp") {
+    want = static_cast<double>(apps::tsp_serial({.cities = 8}));
+  } else if (name == "is") {
+    want = apps::is_sort_serial({.keys_per_proc = 512, .buckets = 64,
+                                 .iters = 2},
+                                cfg.n_procs);
+  }
+  EXPECT_NEAR(got, want, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ProtocolMatrixTest,
+    ::testing::Combine(::testing::Values("jacobi", "sor", "tsp", "is"),
+                       ::testing::Values(SubstrateKind::FastGm,
+                                         SubstrateKind::UdpGm,
+                                         SubstrateKind::FastIb),
+                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc)),
+    [](const auto& info) {
+      const char* sub = std::get<1>(info.param) == SubstrateKind::FastGm
+                            ? "FastGm"
+                            : std::get<1>(info.param) == SubstrateKind::UdpGm
+                                  ? "UdpGm"
+                                  : "FastIb";
+      return std::string(std::get<0>(info.param)) + "_" + sub + "_" +
+             proto::kind_name(std::get<2>(info.param));
+    });
 
 }  // namespace
 }  // namespace tmkgm::cluster

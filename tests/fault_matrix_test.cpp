@@ -14,6 +14,7 @@
 #include "apps/extended.hpp"
 #include "cluster/cluster.hpp"
 #include "fault/fault.hpp"
+#include "proto/kind.hpp"
 
 namespace tmkgm {
 namespace {
@@ -21,10 +22,12 @@ namespace {
 using cluster::SubstrateKind;
 
 cluster::ClusterConfig base_config(SubstrateKind kind,
-                                   const std::string& plan) {
+                                   const std::string& plan,
+                                   proto::Kind protocol = proto::Kind::Lrc) {
   cluster::ClusterConfig cfg;
   cfg.n_procs = 4;
   cfg.kind = kind;
+  cfg.tmk.protocol = protocol;
   cfg.seed = 1;
   cfg.tmk.arena_bytes = 8u << 20;
   cfg.event_limit = 500'000'000;
@@ -40,8 +43,9 @@ cluster::ClusterConfig base_config(SubstrateKind kind,
 /// Runs one of the named apps at matrix-test size; returns proc 0's
 /// checksum and fills `out`.
 double run_app(const std::string& app, SubstrateKind kind,
-               const std::string& plan, cluster::RunResult* out = nullptr) {
-  cluster::Cluster c(base_config(kind, plan));
+               const std::string& plan, cluster::RunResult* out = nullptr,
+               proto::Kind protocol = proto::Kind::Lrc) {
+  cluster::Cluster c(base_config(kind, plan, protocol));
   double checksum = 0.0;
   const auto result = c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
     apps::AppResult r;
@@ -71,12 +75,14 @@ double run_app(const std::string& app, SubstrateKind kind,
 }
 
 /// Fault-free checksum, cached per (app, substrate): the identity baseline.
-double baseline(const std::string& app, SubstrateKind kind) {
-  static std::map<std::pair<std::string, int>, double> cache;
-  const auto key = std::make_pair(app, static_cast<int>(kind));
+double baseline(const std::string& app, SubstrateKind kind,
+                proto::Kind protocol = proto::Kind::Lrc) {
+  static std::map<std::tuple<std::string, int, int>, double> cache;
+  const auto key = std::make_tuple(app, static_cast<int>(kind),
+                                   static_cast<int>(protocol));
   auto it = cache.find(key);
   if (it == cache.end()) {
-    it = cache.emplace(key, run_app(app, kind, "")).first;
+    it = cache.emplace(key, run_app(app, kind, "", nullptr, protocol)).first;
   }
   return it->second;
 }
@@ -165,18 +171,19 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 /// Acceptance sweep: the ISSUE's headline plan — drops plus a port-disable
-/// window — across all eight apps on both substrates.
+/// window — across all eight apps on both substrates and both coherence
+/// protocols.
 class AcceptanceSweepTest
-    : public ::testing::TestWithParam<std::tuple<const char*, SubstrateKind>> {
-};
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, SubstrateKind, proto::Kind>> {};
 
 TEST_P(AcceptanceSweepTest, AllAppsCompleteByteIdentical) {
-  const auto& [app, kind] = GetParam();
+  const auto& [app, kind, protocol] = GetParam();
   const char* plan = "seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)";
   SCOPED_TRACE(std::string("plan: ") + plan);
   cluster::RunResult result;
-  const double faulted = run_app(app, kind, plan, &result);
-  EXPECT_EQ(faulted, baseline(app, kind));
+  const double faulted = run_app(app, kind, plan, &result, protocol);
+  EXPECT_EQ(faulted, baseline(app, kind, protocol));
   expect_conserved(result.fault);
   EXPECT_EQ(result.fault.drops_injected, 2u);
 }
@@ -186,11 +193,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("jacobi", "sor", "tsp", "fft", "is",
                                          "gauss", "water", "barnes"),
                        ::testing::Values(SubstrateKind::FastGm,
-                                         SubstrateKind::UdpGm)),
+                                         SubstrateKind::UdpGm),
+                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) == SubstrateKind::FastGm ? "_FastGm"
-                                                               : "_UdpGm");
+             (std::get<1>(info.param) == SubstrateKind::FastGm ? "_FastGm_"
+                                                               : "_UdpGm_") +
+             proto::kind_name(std::get<2>(info.param));
     });
 
 }  // namespace

@@ -1,0 +1,241 @@
+// HLRC acceptance suite: the home-based protocol must produce app results
+// byte-identical to homeless LRC for every app on both substrates, replace
+// diff pulls with whole-page fetches from the home, stay clean under the
+// race-detection oracle, survive the fault plans, and stay deterministic.
+// Also pins the flush mechanics (every flushed page applied exactly once
+// at its home) and the counter surface (proto.* rows appear only under
+// hlrc, so default-lrc reports stay byte-identical to the seed).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/extended.hpp"
+#include "apps/racy.hpp"
+#include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
+#include "proto/kind.hpp"
+
+namespace tmkgm {
+namespace {
+
+using cluster::SubstrateKind;
+
+cluster::ClusterConfig make_config(SubstrateKind kind, proto::Kind protocol,
+                                   const std::string& plan = "") {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 4;
+  cfg.kind = kind;
+  cfg.seed = 1;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.tmk.protocol = protocol;
+  cfg.event_limit = 500'000'000;
+  cfg.cost.gm_resend_timeout = milliseconds(20.0);  // see fault_matrix_test
+  if (!plan.empty()) cfg.faults = fault::FaultPlan::parse_or_die(plan);
+  return cfg;
+}
+
+/// Runs one of the named apps at matrix-test size; returns proc 0's
+/// checksum and fills `out`.
+double run_app(const std::string& app, cluster::ClusterConfig cfg,
+               cluster::RunResult* out = nullptr) {
+  cluster::Cluster c(cfg);
+  double checksum = 0.0;
+  const auto result = c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+    apps::AppResult r;
+    if (app == "jacobi") {
+      r = apps::jacobi(t, {.rows = 32, .cols = 32, .iters = 4});
+    } else if (app == "sor") {
+      r = apps::sor(t, {.rows = 32, .cols = 32, .iters = 3});
+    } else if (app == "fft") {
+      r = apps::fft3d(t, {.n = 16, .iters = 1});
+    } else if (app == "is") {
+      r = apps::is_sort(t, {.keys_per_proc = 512, .buckets = 64, .iters = 2});
+    } else if (app == "tsp") {
+      r = apps::tsp(t, {.cities = 8});
+    } else if (app == "gauss") {
+      r = apps::gauss(t, {.n = 48});
+    } else if (app == "water") {
+      r = apps::water(t, {.molecules = 64, .iters = 2});
+    } else if (app == "barnes") {
+      r = apps::barnes(t, {.bodies = 96, .steps = 2});
+    } else {
+      ADD_FAILURE() << "unknown app " << app;
+    }
+    if (env.id == 0) checksum = r.checksum;
+  });
+  if (out != nullptr) *out = result;
+  return checksum;
+}
+
+proto::ProtoStats sum_proto(const cluster::RunResult& r) {
+  proto::ProtoStats s;
+  for (const auto& p : r.proto_stats) {
+    s.flush_msgs += p.flush_msgs;
+    s.flush_pages += p.flush_pages;
+    s.flush_bytes += p.flush_bytes;
+    s.home_applies += p.home_applies;
+    s.home_apply_bytes += p.home_apply_bytes;
+    s.home_fetches += p.home_fetches;
+    s.write_merges += p.write_merges;
+  }
+  return s;
+}
+
+std::uint64_t sum_diff_requests(const cluster::RunResult& r) {
+  std::uint64_t n = 0;
+  for (const auto& s : r.tmk_stats) n += s.diff_requests;
+  return n;
+}
+
+/// Every app, both substrates: hlrc's result is bitwise identical to
+/// lrc's. (Same virtual cluster, same seed — only the protocol differs.)
+class HlrcEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, SubstrateKind>> {};
+
+TEST_P(HlrcEquivalenceTest, ChecksumMatchesLrcBitwise) {
+  const auto& [app, kind] = GetParam();
+  const double lrc = run_app(app, make_config(kind, proto::Kind::Lrc));
+  cluster::RunResult result;
+  const double hlrc =
+      run_app(app, make_config(kind, proto::Kind::Hlrc), &result);
+  EXPECT_EQ(lrc, hlrc);
+  // HLRC never pulls diffs: acquirers fetch whole pages from the home.
+  EXPECT_EQ(sum_diff_requests(result), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, HlrcEquivalenceTest,
+    ::testing::Combine(::testing::Values("jacobi", "sor", "tsp", "fft", "is",
+                                         "gauss", "water", "barnes"),
+                       ::testing::Values(SubstrateKind::FastGm,
+                                         SubstrateKind::UdpGm)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == SubstrateKind::FastGm ? "_FastGm"
+                                                               : "_UdpGm");
+    });
+
+// Checksums can collide; memcmp over the whole grid cannot. The strongest
+// equivalence statement: hlrc's final shared array is byte-identical to
+// both lrc's and the sequential replay's.
+TEST(ProtoHlrc, JacobiGridBytesMatchLrcAndReplay) {
+  apps::JacobiParams p{.rows = 32, .cols = 32, .iters = 4};
+  const std::vector<float> want = apps::jacobi_reference_grid(p);
+
+  for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm}) {
+    SCOPED_TRACE(kind == SubstrateKind::FastGm ? "FastGm" : "UdpGm");
+    std::vector<float> grids[2];
+    int gi = 0;
+    for (const auto pk : {proto::Kind::Lrc, proto::Kind::Hlrc}) {
+      std::vector<float>& got = grids[gi++];
+      apps::JacobiParams mine = p;
+      mine.capture = &got;
+      cluster::Cluster c(make_config(kind, pk));
+      c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+        apps::JacobiParams local = mine;
+        if (env.id != 0) local.capture = nullptr;  // only proc 0 captures
+        apps::jacobi(t, local);
+      });
+      ASSERT_EQ(got.size(), want.size());
+      EXPECT_EQ(
+          std::memcmp(got.data(), want.data(), want.size() * sizeof(float)),
+          0);
+    }
+    EXPECT_EQ(std::memcmp(grids[0].data(), grids[1].data(),
+                          want.size() * sizeof(float)),
+              0);
+  }
+}
+
+// Flush mechanics: at matrix size the jacobi bands straddle page/home
+// boundaries, so releases must flush diffs to remote homes, and every
+// flushed page is applied exactly once at its home. Under lrc the proto
+// stats stay zero and no proto.* counter row exists — that is what keeps
+// the default report byte-identical to the seed.
+TEST(ProtoHlrc, FlushStatsBalanceAndCountersGated) {
+  cluster::RunResult hlrc_result;
+  run_app("jacobi", make_config(SubstrateKind::FastGm, proto::Kind::Hlrc),
+          &hlrc_result);
+  const auto hs = sum_proto(hlrc_result);
+  EXPECT_GT(hs.flush_msgs, 0u);
+  EXPECT_GT(hs.flush_pages, 0u);
+  EXPECT_GT(hs.flush_bytes, 0u);
+  EXPECT_EQ(hs.home_applies, hs.flush_pages);
+  EXPECT_GT(hs.home_fetches, 0u);
+  const std::string htable = hlrc_result.counters.format_table("");
+  EXPECT_NE(htable.find("proto.flush_msgs"), std::string::npos);
+  EXPECT_NE(htable.find("proto.home_applies"), std::string::npos);
+
+  cluster::RunResult lrc_result;
+  run_app("jacobi", make_config(SubstrateKind::FastGm, proto::Kind::Lrc),
+          &lrc_result);
+  const auto ls = sum_proto(lrc_result);
+  EXPECT_EQ(ls.flush_msgs, 0u);
+  EXPECT_EQ(ls.home_applies, 0u);
+  EXPECT_EQ(ls.home_fetches, 0u);
+  EXPECT_EQ(lrc_result.counters.format_table("").find("proto."),
+            std::string::npos);
+  // ...and lrc does pull diffs, which hlrc never does.
+  EXPECT_GT(sum_diff_requests(lrc_result), 0u);
+}
+
+// The DRF race oracle composes with hlrc: a race-free app is clean, the
+// deliberately racy control still reports exactly its racing word.
+TEST(ProtoHlrc, RaceOracleCleanOnDrfAppAndFiresOnRacyControl) {
+  auto clean_cfg = make_config(SubstrateKind::FastGm, proto::Kind::Hlrc);
+  clean_cfg.tmk.race_check = true;
+  cluster::RunResult clean;
+  run_app("jacobi", clean_cfg, &clean);
+  EXPECT_TRUE(clean.races.empty());
+  EXPECT_GT(clean.check.hb_edges, 0u);
+
+  auto racy_cfg = make_config(SubstrateKind::FastGm, proto::Kind::Hlrc);
+  racy_cfg.tmk.race_check = true;
+  cluster::Cluster c(racy_cfg);
+  const auto result = c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv&) {
+    apps::racy(t, {});
+  });
+  EXPECT_FALSE(result.races.empty());
+  EXPECT_GE(result.check.races, 1u);
+}
+
+// Fault injection composes with hlrc: the acceptance plan (drops plus a
+// port-disable window) completes with results identical to the fault-free
+// hlrc run on both substrates.
+TEST(ProtoHlrc, SurvivesAcceptanceFaultPlan) {
+  const char* plan = "seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)";
+  for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm}) {
+    SCOPED_TRACE(kind == SubstrateKind::FastGm ? "FastGm" : "UdpGm");
+    const double clean = run_app("sor", make_config(kind, proto::Kind::Hlrc));
+    cluster::RunResult result;
+    const double faulted =
+        run_app("sor", make_config(kind, proto::Kind::Hlrc, plan), &result);
+    EXPECT_EQ(faulted, clean);
+    EXPECT_EQ(result.fault.drops_injected, 2u);
+    EXPECT_EQ(result.fault.drops_injected, result.fault.drops_observed);
+  }
+}
+
+// Same config, same seed: two hlrc runs are bit-identical in both result
+// and virtual duration (the simulator is deterministic; the protocol must
+// not break that).
+TEST(ProtoHlrc, DeterministicAcrossRuns) {
+  cluster::RunResult a, b;
+  const double ca =
+      run_app("water", make_config(SubstrateKind::FastGm, proto::Kind::Hlrc),
+              &a);
+  const double cb =
+      run_app("water", make_config(SubstrateKind::FastGm, proto::Kind::Hlrc),
+              &b);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(sum_proto(a).flush_msgs, sum_proto(b).flush_msgs);
+}
+
+}  // namespace
+}  // namespace tmkgm

@@ -594,6 +594,93 @@ TEST(TmkLockChain, DuplicateRequestStillReDrivesALostForwardedGrant) {
   EXPECT_GE(result.substrate_stats[0].duplicates_dropped, 1u);
 }
 
+TEST_P(TmkProtocolTest, OversizedDirtySetSplitsIntervalRecords) {
+  // A single interval whose write-notice list exceeds the per-chunk wire
+  // budget used to stall the run: pack_missing_intervals truncated the
+  // chunk to zero records and Op::MoreIntervals pulled the same empty
+  // chunk forever. close_interval now splits the dirty set into records
+  // of at most max_notice_pages() pages each (~4k pages at a 32 KB
+  // payload with two procs), so every record fits any message. 64-byte
+  // pages keep the arena small while pushing the page count far past the
+  // split threshold — and past the old stall threshold (~8k pages).
+  for (auto pk : {proto::Kind::Lrc, proto::Kind::Hlrc}) {
+    SCOPED_TRACE(proto::kind_name(pk));
+    constexpr std::size_t kPages = 8300;
+    constexpr std::size_t kWordsPerPage = 64 / sizeof(std::int32_t);
+    ClusterConfig cfg = base_config(2);
+    cfg.tmk.protocol = pk;
+    cfg.tmk.page_size = 64;
+    Cluster c(cfg);
+    int failures = 0;
+    auto result = c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+      auto arr =
+          SharedArray<std::int32_t>::alloc(tmk, kPages * kWordsPerPage);
+      if (env.id == 0) {
+        for (std::size_t pg = 0; pg < kPages; ++pg) {
+          arr.put(pg * kWordsPerPage, static_cast<std::int32_t>(pg) + 7);
+        }
+      }
+      tmk.barrier(0);
+      if (env.id == 1) {
+        for (std::size_t pg : {std::size_t{0}, kPages / 2, kPages - 1}) {
+          if (arr.get(pg * kWordsPerPage) !=
+              static_cast<std::int32_t>(pg) + 7) {
+            ++failures;
+          }
+        }
+      }
+      tmk.barrier(1);
+    });
+    EXPECT_EQ(failures, 0);
+    // 8300 notices at ~4k per record must have produced several records.
+    EXPECT_GE(result.tmk_stats[0].intervals_created, 3u);
+  }
+}
+
+TEST_P(TmkProtocolTest, GcWithChunkedHomesKeepsBaseCopyFetchesSafe) {
+  // Chunk-striped homes put every base-copy fetch on a remote node while
+  // rotating writers keep invalidating those chunks; with a tiny GC high
+  // water, intervals are discarded at the GC barrier while the validate
+  // phase's fetches are still being serviced. A discarded interval must
+  // never be reachable from an in-flight fetch (dangling write notices
+  // were the historical failure mode).
+  for (auto pk : {proto::Kind::Lrc, proto::Kind::Hlrc}) {
+    SCOPED_TRACE(proto::kind_name(pk));
+    ClusterConfig cfg = base_config(3);
+    cfg.tmk.protocol = pk;
+    cfg.tmk.home_chunk_pages = 4;
+    // Small enough that HLRC trips too: it frees twins and diffs at the
+    // flush, so only the interval records themselves build up pressure.
+    cfg.tmk.gc_high_water = 1'000;
+    Cluster c(cfg);
+    int failures = 0;
+    auto result = c.run_tmk([&](Tmk& tmk, NodeEnv& env) {
+      auto arr = SharedArray<std::int32_t>::alloc(tmk, 12 * 1024);
+      for (int r = 1; r <= 10; ++r) {
+        // Each round every node writes a different 4-page band (one full
+        // home chunk), so writers and homes keep changing places.
+        const int band = (env.id + r) % 3;
+        const std::size_t slice = 4 * 1024;
+        auto w = arr.span_rw(static_cast<std::size_t>(band) * slice, slice);
+        for (std::size_t i = 0; i < slice; ++i) {
+          w[i] = static_cast<std::int32_t>(r * 1000 + band);
+        }
+        tmk.barrier(0);
+        for (int band_chk = 0; band_chk < 3; ++band_chk) {
+          const auto v = arr.get(static_cast<std::size_t>(band_chk) * slice +
+                                 513);
+          if (v != r * 1000 + band_chk) ++failures;
+        }
+        tmk.barrier(1);
+      }
+    });
+    EXPECT_EQ(failures, 0);
+    std::uint64_t gc_rounds = 0;
+    for (const auto& s : result.tmk_stats) gc_rounds += s.gc_rounds;
+    EXPECT_GT(gc_rounds, 0u);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTransports, TmkProtocolTest,
                          ::testing::Values(SubstrateKind::FastGm,
                                            SubstrateKind::UdpGm,

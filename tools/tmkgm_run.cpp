@@ -26,6 +26,7 @@ namespace {
 struct Options {
   std::string app = "jacobi";
   std::string substrate = "fastgm";
+  std::string protocol = "lrc";
   int nodes = 8;
   std::size_t size = 0;  // 0 = app default
   int iters = 0;         // 0 = app default
@@ -46,6 +47,8 @@ void usage() {
       "usage: tmkgm_run [options]\n"
       "  --app jacobi|sor|tsp|fft|is|gauss|water|barnes|racy  workload\n"
       "  --substrate fastgm|udpgm|fastib  transport (default fastgm)\n"
+      "  --protocol lrc|hlrc           coherence protocol (default lrc:\n"
+      "                                homeless lazy release consistency)\n"
       "  --nodes N                     cluster size (default 8)\n"
       "  --size S                      grid edge / cities / FFT N\n"
       "  --iters K                     iterations\n"
@@ -93,6 +96,10 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (!v) return false;
       o.substrate = v;
+    } else if (a == "--protocol") {
+      const char* v = next();
+      if (!v) return false;
+      o.protocol = v;
     } else if (a == "--nodes") {
       const char* v = next();
       if (!v) return false;
@@ -163,6 +170,12 @@ int main(int argc, char** argv) {
     cfg.kind = cluster::SubstrateKind::FastIb;
   } else {
     std::fprintf(stderr, "unknown substrate: %s\n", o.substrate.c_str());
+    return 1;
+  }
+  if (const auto pk = proto::parse_kind(o.protocol); pk.has_value()) {
+    cfg.tmk.protocol = *pk;
+  } else {
+    std::fprintf(stderr, "unknown protocol: %s\n", o.protocol.c_str());
     return 1;
   }
   if (o.rendezvous) cfg.fastgm.rendezvous_large = true;
