@@ -35,6 +35,76 @@ void BM_EventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(10000);
 
+// The queue in isolation, in its steady-state shape: a bounded in-flight
+// population (like a running simulation's timers and deliveries) where
+// each quantum stages `batch` sends and then yields — the first pop
+// absorbs the whole batch in one flush. batch=1 reproduces the classic
+// one-sift-up-per-insert discipline the staging buffer replaced.
+void BM_EventQueueInsert(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  constexpr int kInFlight = 64;
+  constexpr int kTotal = 1 << 14;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t lcg = 1;  // spread times so the heap stays realistic
+    SimTime t = 0;
+    const auto draw = [&lcg] {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<SimTime>(lcg >> 54);
+    };
+    for (int i = 0; i < kInFlight; ++i) q.post(t + 1 + draw(), [] {});
+    sim::EventQueue::Popped p;
+    for (int i = 0; i < kTotal; i += batch) {
+      for (int j = 0; j < batch; ++j) q.post(t + 1 + draw(), [] {});
+      for (int j = 0; j < batch; ++j) {
+        q.pop(p);
+        t = p.at;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kTotal);
+}
+BENCHMARK(BM_EventQueueInsert)
+    ->ArgName("batch")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+
+// Affine event chains across engine shards (shards=0: the sequential
+// scheduler on the same workload). Each chain reschedules itself on its
+// own node, so in parallel mode every step lands in the shard-local
+// overflow pool and replays through the window barrier — this prices the
+// stage/merge machinery, not just the happy path.
+void BM_EventThroughputSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  constexpr int kChains = 4;
+  constexpr int kSteps = 2500;
+  for (auto _ : state) {
+    sim::EngineConfig ec;
+    if (shards > 0) {
+      ec.sched = sim::SchedMode::Par;
+      ec.shards = shards;
+    }
+    sim::Engine e(1, ec);
+    e.set_lookahead(64, 64);
+    std::function<void(int, int)> step = [&](int node, int left) {
+      if (left == 0) return;
+      e.after_node(node, 1, [&step, node, left] { step(node, left - 1); });
+    };
+    for (int c = 0; c < kChains; ++c) step(c, kSteps);
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kChains * kSteps);
+}
+BENCHMARK(BM_EventThroughputSharded)
+    ->ArgName("shards")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+
 // Everything below that runs nodes measures real time: the work happens on
 // the nodes' host threads, so the benchmark thread's CPU clock would
 // flatter any path that parks it.
@@ -67,6 +137,41 @@ void BM_NodeHandoffTraced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_NodeHandoffTraced)->UseRealTime();
+
+// Four traced compute loops spread over engine shards (shards=0: the
+// sequential scheduler). Coalescing is off so every quantum is a real
+// wake + fiber handoff in both modes, and each shard batches its trace
+// records into a staging buffer that replays at the window barrier.
+void BM_NodeHandoffTracedSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    tracer.clear();
+    sim::EngineConfig ec;
+    if (shards > 0) {
+      ec.sched = sim::SchedMode::Par;
+      ec.shards = shards;
+    }
+    sim::Engine e(1, ec);
+    e.set_compute_coalescing(false);
+    e.set_tracer(&tracer);
+    e.set_lookahead(16, 16);
+    for (int k = 0; k < 4; ++k) {
+      e.add_node("n" + std::to_string(k), [](sim::Node& n) {
+        for (int i = 0; i < 1000; ++i) n.compute(10);
+      });
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_NodeHandoffTracedSharded)
+    ->ArgName("shards")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
 
 // 4 nodes computing in lockstep: every quantum ends at or after another
 // node's scheduled wake, so coalescing never applies and the semaphore

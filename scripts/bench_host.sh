@@ -5,20 +5,28 @@
 # the shared-access fast path, the diff codec, or a coherence protocol:
 # commit a fresh one alongside any change that claims a host-side speedup.
 #
-#   scripts/bench_host.sh [--protocol lrc|hlrc]
+#   scripts/bench_host.sh [--protocol lrc|hlrc] [--strict]
 #
 # The protocol-parameterized benches (page handoff, lock round) run under
 # both protocols by default so BENCH_host.json always carries the
 # lrc-vs-hlrc comparison; --protocol restricts them to one side.
+#
+# A debug build of the google-benchmark *library* quietly inflates every
+# number (the harness itself runs unoptimized); the script detects it from
+# the binary's own context report, warns by default, and refuses outright
+# under --strict (use that on machines with a release library — CI, perf
+# boxes). The simulator code is always built Release either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PROTOCOL=all
+STRICT=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --protocol=*) PROTOCOL="${1#*=}" ;;
     --protocol) shift; PROTOCOL="${1:?--protocol needs a value}" ;;
-    *) echo "usage: $0 [--protocol lrc|hlrc]" >&2; exit 1 ;;
+    --strict) STRICT=1 ;;
+    *) echo "usage: $0 [--protocol lrc|hlrc] [--strict]" >&2; exit 1 ;;
   esac
   shift
 done
@@ -36,10 +44,32 @@ esac
 cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF
 cmake --build build-bench --target bench_engine_perf
 
+# Probe the harness library's own build type before measuring anything.
+# (An empty benchmark_filter makes old libraries print an error instead of
+# JSON, so probe with one real-but-tiny run; the context block rides along.)
+LIB_BUILD=$(./build-bench/bench/bench_engine_perf \
+  --benchmark_filter='^BM_EventQueueInsert/batch:1$' \
+  --benchmark_min_time=0.001 --benchmark_format=json 2>/dev/null \
+  | python3 -c 'import json,sys; \
+print(json.load(sys.stdin)["context"].get("library_build_type","unknown"))')
+if [ "$LIB_BUILD" != release ]; then
+  echo "WARNING: google-benchmark library build type is '$LIB_BUILD'," >&2
+  echo "WARNING: absolute numbers in BENCH_host.json will be inflated" >&2
+  echo "WARNING: by harness overhead (compare only within this file)." >&2
+  if [ "$STRICT" -eq 1 ]; then
+    echo "error: --strict refuses a non-release benchmark library" >&2
+    exit 1
+  fi
+fi
+
+# The engine axes swept by the binary ride along in the context block so a
+# BENCH_host.json snapshot is self-describing: shards:0 rows are the
+# sequential scheduler, shards:N rows the conservative parallel engine.
 ./build-bench/bench/bench_engine_perf \
   ${FILTER_ARGS[@]+"${FILTER_ARGS[@]}"} \
+  --benchmark_context=engine_sched_axes=seq+par,engine_shards_axis=0:1:2:4 \
   --benchmark_format=json \
   --benchmark_out=BENCH_host.json \
   --benchmark_out_format=json
 
-echo "Wrote $(pwd)/BENCH_host.json"
+echo "Wrote $(pwd)/BENCH_host.json (benchmark library: $LIB_BUILD)"

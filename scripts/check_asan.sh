@@ -57,6 +57,25 @@ faulted_run_controls() {
   done
 }
 
+# Parallel-engine controls: the conservative parallel scheduler is the
+# one genuinely multithreaded part of the codebase, so it gets a
+# dedicated pass under each sanitizer. ASan additionally vets the fiber
+# stack switching (fake-stack hooks) on the same runs.
+parallel_engine_controls() {
+  local bin="$1/tools/tmkgm_run"
+  local app shards
+  echo "== parallel-engine controls (fibers + shards under sanitizer)"
+  for app in jacobi barnes; do
+    for shards in 2 4; do
+      if ! "$bin" --app "$app" --nodes 8 --size 32 --verify \
+          --engine par --engine-shards "$shards" > /dev/null; then
+        echo "error: $app --engine par --engine-shards $shards failed" >&2
+        exit 1
+      fi
+    done
+  done
+}
+
 for preset in asan ubsan; do
   cmake --preset "$preset"
   cmake --build --preset "$preset"
@@ -64,9 +83,19 @@ for preset in asan ubsan; do
   # failed sends, seized-buffer stashes, deferred delivery closures) — the
   # exact lifetime bugs asan is here to vet. Run it first so they fail
   # fast, then the race-oracle and faulted-run controls, then the full
-  # suite.
+  # suite (which runs every node program on fibers — the ASan fiber pass).
   ctest --preset "$preset" -R 'Fault|Oracle|RaceCheck|Hlrc'
   race_oracle_controls "build-$preset"
   faulted_run_controls "build-$preset"
+  parallel_engine_controls "build-$preset"
   ctest --preset "$preset"
 done
+
+# ThreadSanitizer: scoped to what actually runs threads — the parallel
+# engine's shard workers (plus the engine/determinism suites that pin its
+# bit-identity). The sequential suite is single-threaded by construction
+# and already covered above.
+cmake --preset tsan
+cmake --build --preset tsan
+ctest --preset tsan -R '^Engine\.|^EventQueue\.|^EngineStress\.|Determinism'
+parallel_engine_controls build-tsan

@@ -20,6 +20,10 @@ const char* to_string(SubstrateKind kind) {
 }
 
 void Latch::arrive_and_wait(sim::Node& node) {
+  // The latch counter and waiter list are shared across every node; in
+  // parallel mode the caller must be serialized before touching them
+  // (sequential mode: no-op).
+  node.engine().enter_global(node);
   ++arrived_;
   if (arrived_ == expected_) {
     // Release everyone else via an event (cross-node signals must not be
@@ -156,10 +160,26 @@ void fill_counters(RunResult& result, SubstrateKind kind, bool faults_active) {
 
 RunResult Cluster::run(const Program& program) {
   const int n = config_.n_procs;
-  sim::Engine engine(config_.seed);
+  const bool par = config_.engine.sched == sim::SchedMode::Par;
+  if (par) {
+    // These features mutate cross-node state from node contexts without
+    // staging (race oracle, drop filter) or draw from shared RNG streams
+    // on shard threads (random loss), or reach into ports from timed
+    // global events (fault plans). All are sequential-engine-only.
+    TMKGM_CHECK_MSG(config_.faults.empty(),
+                    "fault injection requires the sequential engine");
+    TMKGM_CHECK_MSG(!config_.tmk.race_check,
+                    "race_check requires the sequential engine");
+    TMKGM_CHECK_MSG(!config_.udp_drop_filter,
+                    "udp_drop_filter requires the sequential engine");
+    TMKGM_CHECK_MSG(config_.cost.k_drop_prob <= 0.0,
+                    "random UDP loss requires the sequential engine");
+  }
+  sim::Engine engine(config_.seed, config_.engine);
   if (config_.event_limit > 0) engine.set_event_limit(config_.event_limit);
   engine.set_compute_coalescing(config_.compute_coalescing);
   engine.set_tracer(config_.tracer);
+  engine.set_trace_engine(config_.trace_engine);
 
   std::unique_ptr<fault::FaultInjector> injector;
   if (!config_.faults.empty()) {
@@ -281,6 +301,27 @@ RunResult Cluster::run(const Program& program) {
       break;
   }
 
+  if (par) {
+    // Conservative lookahead: nothing crosses nodes faster than the
+    // fabric's minimum delivery latency, except delivery-side acks, which
+    // trail a delivery by exactly one switch traversal (the short-reply
+    // bound; see the GM/IB completion closures).
+    const SimTime l_short = config_.kind == SubstrateKind::FastIb
+                                ? config_.cost.ib_switch_hop * config_.cost.hops
+                                : config_.cost.gm_switch_hop * config_.cost.hops;
+    engine.set_lookahead(shared.network->min_delivery_latency(), l_short);
+    // Parked messages (GM bufferless arrivals, IB RNR) complete toward
+    // their sender as soon as the receiver frees a buffer — sooner than
+    // any lookahead bound. The planner serializes while one exists.
+    if (shared.gm != nullptr) {
+      gm::GmSystem* gm_sys = shared.gm.get();
+      engine.set_par_hazard([gm_sys] { return gm_sys->any_parked(); });
+    } else if (shared.ib != nullptr) {
+      ib::IbSystem* ib_sys = shared.ib.get();
+      engine.set_par_hazard([ib_sys] { return ib_sys->any_rnr_parked(); });
+    }
+  }
+
   if (injector != nullptr) {
     shared.network->set_fault_injector(injector.get());
     // Timed GM-port faults arm on the engine clock; they only make sense
@@ -299,10 +340,22 @@ RunResult Cluster::run(const Program& program) {
   result.duration =
       *std::max_element(result.node_finish.begin(), result.node_finish.end());
   result.events = engine.events_processed();
+  result.eng = engine.eng_stats();
   result.net = shared.network->stats();
   if (shared.udp != nullptr) result.udp = shared.udp->stats();
   if (injector != nullptr) result.fault = injector->stats();
   fill_counters(result, config_.kind, injector != nullptr);
+  if (par) {
+    // eng.* rows only for parallel runs, keeping sequential reports
+    // byte-identical to the pre-parallel-engine output.
+    auto& c = result.counters;
+    c.add("eng.handoffs", result.eng.handoffs);
+    c.add("eng.windows", result.eng.windows);
+    c.add("eng.window_stalls", result.eng.window_stalls);
+    c.add("eng.serial_events", result.eng.serial_events);
+    c.add("eng.staged_pushes", result.eng.staged_pushes);
+    c.add("eng.shard_imbalance_pct", result.eng.shard_imbalance_pct);
+  }
   return result;
 }
 

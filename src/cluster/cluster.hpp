@@ -43,6 +43,11 @@ struct ClusterConfig {
   int n_procs = 4;
   SubstrateKind kind = SubstrateKind::FastGm;
   net::CostModel cost = net::testbed_cost_model();
+  /// Host engine execution/scheduling (fibers vs threads, sequential vs
+  /// conservative parallel). Virtual-time results are identical across all
+  /// settings; parallel mode forbids faults, race_check, drop filters and
+  /// random UDP loss (their implementations assume one runnable context).
+  sim::EngineConfig engine;
   fastgm::FastGmConfig fastgm;
   udpsub::UdpSubConfig udpsub;
   ib::FastIbConfig fastib;
@@ -58,6 +63,9 @@ struct ClusterConfig {
   /// keeps tracing off (and zero-cost). The caller owns the tracer and
   /// reads/exports it after run() returns.
   obs::Tracer* tracer = nullptr;
+  /// Opt-in Cat::Eng scheduler records (parallel windows/barriers) in the
+  /// trace; off keeps traces byte-identical across engine modes.
+  bool trace_engine = false;
   /// Deterministic forced-loss seam forwarded to the UDP system (UdpGm
   /// runs only); see udpnet::UdpSystem::set_drop_filter. For
   /// retransmission/dedup regression tests.
@@ -91,6 +99,9 @@ struct RunResult {
   SimTime duration = 0;
   std::vector<SimTime> node_finish;
   std::uint64_t events = 0;
+  /// Host-scheduler observability (eng.* counter rows appear only in
+  /// parallel-engine runs, keeping default reports byte-identical).
+  sim::Engine::EngStats eng;
   net::Network::Stats net;
   std::vector<sub::Substrate::Stats> substrate_stats;
   std::size_t pinned_bytes_node0 = 0;

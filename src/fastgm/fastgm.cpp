@@ -137,12 +137,12 @@ void FastGmSubstrate::setup() {
         void operator()() const {
           if (sub->stopped_) return;
           sub->node_.raise_interrupt(sub->irq_);
-          sub->timer_event_ = sub->gm_.network().engine().after(
-              sub->config_.timer_period, Rearm{sub});
+          sub->timer_event_ = sub->gm_.network().engine().after_node(
+              sub->node_.id(), sub->config_.timer_period, Rearm{sub});
         }
       };
-      timer_event_ =
-          gm_.network().engine().after(config_.timer_period, Rearm{this});
+      timer_event_ = gm_.network().engine().after_node(
+          node_.id(), config_.timer_period, Rearm{this});
       break;
     }
   }

@@ -27,6 +27,18 @@ GmNic& GmSystem::nic(int node) {
 
 int GmSystem::n_nodes() const { return static_cast<int>(nics_.size()); }
 
+bool GmSystem::any_parked() const {
+  for (const auto& nic : nics_)
+    if (nic->any_parked()) return true;
+  return false;
+}
+
+bool GmNic::any_parked() const {
+  for (const auto& port : ports_)
+    if (port != nullptr && port->has_parked()) return true;
+  return false;
+}
+
 GmNic::GmNic(GmSystem& system, sim::Node& node)
     : system_(system), node_(node) {
   ports_.resize(static_cast<std::size_t>(system_.config().max_ports));
@@ -117,7 +129,7 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
                   "send buffer not in registered memory");
 
   if (!enabled_) {
-    engine.after(0, [callback, context] {
+    engine.after_node(node_id(), 0, [callback, context] {
       callback(Status::SendPortDisabled, context);
     });
     return;
@@ -146,10 +158,15 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
   msg->sender_port = port_id_;
 
   Port* self = this;
-  msg->complete = [&engine, &cost, self, callback, context](Status st) {
+  const int src_node = node_id();
+  msg->complete = [&engine, &cost, self, src_node, callback, context](Status st) {
+    // Runs on the receiving side; the ack (token return, callback) touches
+    // sender-side state, so it is sender-affine. On a successful delivery
+    // the delay is exactly the engine's short-reply lookahead, which the
+    // transfer's short_reply hint below guarantees stays window-safe.
     const SimTime ack_delay =
         st == Status::Ok ? cost.gm_switch_hop * cost.hops : 0;
-    engine.after(ack_delay, [self, st, callback, context] {
+    engine.after_node(src_node, ack_delay, [self, st, callback, context] {
       if (st != Status::Ok) {
         self->enabled_ = false;
         ++self->stats_.send_failures;
@@ -210,7 +227,7 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
   }
 
   system.network().transfer(node_id(), dest_node, wire_bytes,
-                            std::move(deliver_fn));
+                            std::move(deliver_fn), /*short_reply=*/true);
 }
 
 void Port::deliver(std::shared_ptr<Inbound> msg) {

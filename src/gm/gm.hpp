@@ -66,6 +66,13 @@ class GmSystem {
   const GmConfig& config() const { return config_; }
   net::Network& network() { return network_; }
 
+  /// True while any port on any NIC holds a parked (bufferless) message.
+  /// A parked send completes whenever the receiver next frees a buffer —
+  /// an effect the conservative parallel engine cannot bound by network
+  /// lookahead — so the scheduler polls this and serializes until the
+  /// parked messages drain. See Engine::set_par_hazard.
+  bool any_parked() const;
+
  private:
   net::Network& network_;
   GmConfig config_;
@@ -91,6 +98,9 @@ class GmNic {
   void deregister_memory(const void* addr);
   bool is_registered(const void* addr, std::size_t len) const;
   std::size_t registered_bytes() const;
+
+  /// True while any open port holds a parked arrival (see GmSystem).
+  bool any_parked() const;
 
  private:
   friend class Port;
@@ -151,6 +161,13 @@ class Port {
 
   int send_tokens() const { return send_tokens_; }
   int posted_buffers(int size) const;
+
+  /// True while any arrival is parked waiting for a receive buffer.
+  bool has_parked() const {
+    for (const auto& [size, q] : parked_)
+      if (!q.empty()) return true;
+    return false;
+  }
 
   struct Stats {
     std::uint64_t sends = 0;

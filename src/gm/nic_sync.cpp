@@ -27,16 +27,18 @@ NicSyncSystem::NicSyncSystem(GmSystem& gm, int root, int n_locks)
 
 void NicSyncSystem::firmware_send(int src, int dst,
                                   std::function<void()> on_arrival) {
-  ++stats_.packets;
+  packets_.fetch_add(1, std::memory_order_relaxed);
   auto& engine = gm_.network().engine();
+  // The arrival handler runs "in firmware" at dst: it touches root NIC
+  // state (dst == root_) or wakes dst's host, so it is dst-affine.
   if (src == dst) {
     // Local NIC command: just the firmware op.
-    engine.after(kFwOp, std::move(on_arrival));
+    engine.after_node(dst, kFwOp, std::move(on_arrival));
     return;
   }
   gm_.network().transfer(src, dst, kFwPacketBytes,
-                         [&engine, fn = std::move(on_arrival)]() mutable {
-                           engine.after(kFwOp, std::move(fn));
+                         [&engine, dst, fn = std::move(on_arrival)]() mutable {
+                           engine.after_node(dst, kFwOp, std::move(fn));
                          });
 }
 

@@ -15,6 +15,7 @@
 // synchronization cost both ways — the gap is the paper's projected win.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -40,7 +41,10 @@ class NicSyncSystem {
     std::uint64_t lock_grants = 0;
     std::uint64_t packets = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return {stats_.barriers, stats_.lock_grants,
+            packets_.load(std::memory_order_relaxed)};
+  }
 
  private:
   /// Ships a firmware-level packet (host not involved at the receiver).
@@ -62,7 +66,11 @@ class NicSyncSystem {
   std::vector<FwLock> locks_;
   std::vector<std::unique_ptr<sim::Condition>> lock_waiters_;
 
+  // barriers / lock_grants mutate only in root-affine handlers (one shard);
+  // the packet count bumps from any sender's shard, so it is a relaxed
+  // atomic (an order-independent total).
   Stats stats_;
+  std::atomic<std::uint64_t> packets_{0};
 };
 
 }  // namespace tmkgm::gm

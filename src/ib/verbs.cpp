@@ -22,6 +22,13 @@ Hca& IbSystem::hca(int node) {
 
 int IbSystem::n_nodes() const { return static_cast<int>(hcas_.size()); }
 
+bool IbSystem::any_rnr_parked() const {
+  for (const auto& hca : hcas_)
+    for (const auto& [peer, qp] : hca->qps_)
+      if (qp->rnr_parked()) return true;
+  return false;
+}
+
 Hca::Hca(IbSystem& system, sim::Node& node)
     : system_(system),
       node_(node),
@@ -141,9 +148,12 @@ void Qp::post_send(const void* buf, std::uint32_t len,
   msg->data.resize(len);
   std::memcpy(msg->data.data(), buf, len);
   Qp* self = this;
-  msg->complete = [&engine, &cost, self, cb = std::move(on_complete)] {
+  const int src_node = hca_.node_id();
+  msg->complete = [&engine, &cost, self, src_node, cb = std::move(on_complete)] {
+    // Runs at the receiver; the ack (credit return, callback) is
+    // sender-affine and lands exactly at the short-reply lookahead.
     const SimTime ack = cost.ib_switch_hop * cost.hops;
-    engine.after(ack, [self, cb] {
+    engine.after_node(src_node, ack, [self, cb] {
       ++self->send_credits_;
       cb();
     });
@@ -156,7 +166,8 @@ void Qp::post_send(const void* buf, std::uint32_t len,
       src, dst, len + system.config().wire_header_bytes,
       [&system, src, dst, msg] {
         system.hca(dst).qp(src).deliver_send(msg);
-      });
+      },
+      /*short_reply=*/true);
 }
 
 void Qp::deliver_send(std::shared_ptr<Inbound> msg) {
@@ -224,11 +235,12 @@ void Qp::rdma_write(const void* local, void* remote, std::uint32_t len,
           system.hca(dst).push_rdma_completion(c);
         }
         const SimTime ack = cost.ib_switch_hop * cost.hops;
-        engine.after(ack, [self, cb] {
+        engine.after_node(src, ack, [self, cb] {
           ++self->send_credits_;
           cb();
         });
-      });
+      },
+      /*short_reply=*/true);
 }
 
 }  // namespace tmkgm::ib

@@ -61,6 +61,13 @@ class IbSystem {
   const IbConfig& config() const { return config_; }
   net::Network& network() { return network_; }
 
+  /// True while any QP holds an RNR-parked message. A parked send
+  /// completes whenever the receiver next posts a receive — unbounded by
+  /// network lookahead — so the conservative parallel engine polls this
+  /// and serializes until the parked messages drain (Engine::
+  /// set_par_hazard).
+  bool any_rnr_parked() const;
+
  private:
   net::Network& network_;
   IbConfig config_;
@@ -135,6 +142,9 @@ class Qp {
   /// is delivered into a posted receive (don't reuse `buf` before then).
   void post_send(const void* buf, std::uint32_t len,
                  std::function<void()> on_complete);
+
+  /// True while an incoming send is parked for want of a posted receive.
+  bool rnr_parked() const { return !rnr_parked_.empty(); }
 
   /// One-sided RDMA write into the peer's registered memory; no receiver
   /// software runs. With `imm`, a Completion::RdmaImm surfaces on the

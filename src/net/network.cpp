@@ -19,7 +19,7 @@ Network::Network(sim::Engine& engine, int n_nodes, const CostModel& cost,
 }
 
 void Network::transfer(int src, int dst, std::uint64_t bytes,
-                       std::function<void()> on_delivered) {
+                       std::function<void()> on_delivered, bool short_reply) {
   TMKGM_CHECK(src >= 0 && src < n_nodes());
   TMKGM_CHECK(dst >= 0 && dst < n_nodes());
   TMKGM_CHECK(src != dst);
@@ -35,6 +35,9 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
     if (injected > 0) injector_->note_delay_observed();
   }
 
+  // The transmit side is src-local: transfers from src are only ever issued
+  // from src's own context, so tx_free_[src] is safe to touch even on a
+  // parallel shard. The receive side (rx_free_[dst], stats_) is shared.
   const SimTime tx_start = std::max(now, tx_free_[static_cast<std::size_t>(src)]);
   const SimTime tx_occ = fabric_.per_msg + fabric_.dma_setup +
                          transfer_time(bytes, bottleneck) + injected;
@@ -42,6 +45,38 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
 
   const SimTime arrival =
       tx_start + tx_occ + fabric_.switch_hop * fabric_.hops;
+
+  if (engine_.in_shard_ctx()) [[unlikely]] {
+    // Parallel window: stage the receive-side serialization for the
+    // barrier. The trace record goes out now (in program order, on the
+    // shard's staging tracer) with a placeholder duration the commit
+    // patches once the delivery time is known.
+    std::size_t tidx = static_cast<std::size_t>(-1);
+    if (engine_.tracing()) [[unlikely]] {
+      obs::Tracer* tr = engine_.tracer();
+      tidx = tr->size();
+      tr->emit({.t = now,
+                .dur = 0,
+                .node = src,
+                .cat = obs::Cat::Net,
+                .kind = obs::Kind::NetMsg,
+                .peer = dst,
+                .bytes = bytes});
+    }
+    engine_.stage_network_commit(
+        dst, short_reply, tidx,
+        [this, dst, bytes, arrival] {
+          const SimTime rx_start =
+              std::max(arrival, rx_free_[static_cast<std::size_t>(dst)]);
+          const SimTime rx_end = rx_start + fabric_.per_msg;
+          rx_free_[static_cast<std::size_t>(dst)] = rx_end;
+          ++stats_.messages;
+          stats_.bytes += bytes;
+          return rx_end;
+        },
+        std::move(on_delivered));
+    return;
+  }
 
   const SimTime rx_start =
       std::max(arrival, rx_free_[static_cast<std::size_t>(dst)]);
@@ -61,7 +96,11 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
                             .bytes = bytes});
   }
 
-  engine_.at(rx_start + rx_occ, std::move(on_delivered));
+  if (short_reply) {
+    engine_.post_at_node_short(dst, rx_start + rx_occ, std::move(on_delivered));
+  } else {
+    engine_.post_at_node(dst, rx_start + rx_occ, std::move(on_delivered));
+  }
 }
 
 }  // namespace tmkgm::net

@@ -36,9 +36,19 @@ class Network {
 
   /// Moves `bytes` from NIC `src` to NIC `dst`; `on_delivered` fires in
   /// event context once the message is in receiving-NIC memory. Delivery
-  /// between a given pair is FIFO.
+  /// between a given pair is FIFO. `short_reply` is the parallel engine's
+  /// lookahead hint: set it when the delivery handler may answer the
+  /// sender at NIC-level latency (a GM ack) rather than full fabric
+  /// latency; it has no effect on virtual-time results.
   void transfer(int src, int dst, std::uint64_t bytes,
-                std::function<void()> on_delivered);
+                std::function<void()> on_delivered, bool short_reply = false);
+
+  /// Lower bound on (delivery time - issue time) over every possible
+  /// transfer: the parallel engine's network lookahead.
+  SimTime min_delivery_latency() const {
+    return fabric_.per_msg * 2 + fabric_.dma_setup +
+           fabric_.switch_hop * fabric_.hops;
+  }
 
   struct Stats {
     std::uint64_t messages = 0;

@@ -18,6 +18,7 @@ const char* to_string(Cat cat) {
     case Cat::Tmk: return "tmk";
     case Cat::Fault: return "fault";
     case Cat::Check: return "check";
+    case Cat::Eng: return "eng";
   }
   return "?";
 }
@@ -67,6 +68,9 @@ const char* to_string(Kind kind) {
     case Kind::RaceReport: return "race_report";
     case Kind::ProtoFlush: return "proto_flush";
     case Kind::ProtoHomeApply: return "proto_home_apply";
+    case Kind::EngSerial: return "eng_serial";
+    case Kind::EngWindow: return "eng_window";
+    case Kind::EngBarrier: return "eng_barrier";
   }
   return "?";
 }

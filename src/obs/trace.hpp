@@ -34,8 +34,9 @@ enum class Cat : std::uint8_t {
   Tmk,   ///< TreadMarks protocol actions
   Fault, ///< injected faults and the recovery actions they trigger
   Check, ///< DRF race-detection oracle reports (check/check.hpp)
+  Eng,   ///< scheduler internals (parallel windows/barriers; opt-in)
 };
-inline constexpr int kNumCats = 8;
+inline constexpr int kNumCats = 9;
 
 enum class Kind : std::uint8_t {
   // Cat::Node
@@ -92,6 +93,12 @@ enum class Kind : std::uint8_t {
   // numeric values and default-LRC traces stay byte-identical).
   ProtoFlush,      ///< eager diff flush to a home; peer = home, a = pages
   ProtoHomeApply,  ///< home applied a flushed diff; peer = writer, a = page
+  // Cat::Eng — parallel-scheduler internals. Emitted only under
+  // Engine::set_trace_engine(true), so default traces (and the golden
+  // hashes) never contain them.
+  EngSerial,   ///< a globally-ordered event ran on the planner; a = seq
+  EngWindow,   ///< a lookahead window; dur = width, a = events executed
+  EngBarrier,  ///< window barrier/replay; a = staged pushes committed
 };
 
 /// Drop reasons carried in TraceEvent::a for Kind::UdpDrop.
@@ -127,6 +134,10 @@ class Tracer {
   void emit(const TraceEvent& e) { events_.push_back(e); }
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  /// Mutable record access. The parallel engine stages records in
+  /// per-shard tracers and patches transfer durations (unknown until the
+  /// barrier commits receive-side serialization) before merging.
+  TraceEvent& at(std::size_t i) { return events_[i]; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
   void clear() { events_.clear(); }

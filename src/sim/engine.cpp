@@ -3,30 +3,60 @@
 #include "sim/node.hpp"
 #include "util/check.hpp"
 
+// Construction/destruction and everything SchedMode::Par lives in
+// engine_par.cpp, where ParState is a complete type. This file is the
+// sequential scheduler plus the mode-agnostic plumbing.
+
 namespace tmkgm::sim {
 
-Engine::Engine(std::uint64_t seed) : rng_(seed) {}
-
-Engine::~Engine() {
-  // Abort any node program still on its stack so their threads can be
-  // joined. Nodes unwind via NodeAborted inside yield_to_engine().
-  for (auto& n : nodes_) {
-    if (n->state_ != Node::State::Finished) {
-      n->abort_requested_ = true;
-      n->go_.release();
-      n->done_.acquire();
-    }
+EventHandle Engine::schedule(int aff, bool short_reply, SimTime t,
+                             std::function<void()> fn) {
+  if (par_ && in_shard_ctx()) {
+    return par_stage(aff, short_reply, t, std::move(fn), /*want_handle=*/true);
   }
+  TMKGM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
+  if (par_) par_check_root_push(aff, t);
+  return queue_.push(t, std::move(fn), aff, short_reply);
 }
 
-EventHandle Engine::at(SimTime t, std::function<void()> fn) {
+void Engine::schedule_post(int aff, bool short_reply, SimTime t,
+                           std::function<void()> fn) {
+  if (par_ && in_shard_ctx()) {
+    par_stage(aff, short_reply, t, std::move(fn), /*want_handle=*/false);
+    return;
+  }
   TMKGM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
-  return queue_.push(t, std::move(fn));
+  if (par_) par_check_root_push(aff, t);
+  queue_.post(t, std::move(fn), aff, short_reply);
 }
 
 EventHandle Engine::after(SimTime delay, std::function<void()> fn) {
   TMKGM_CHECK(delay >= 0);
-  return at(now_ + delay, std::move(fn));
+  return schedule(-1, false, now() + delay, std::move(fn));
+}
+
+EventHandle Engine::after_node(int node, SimTime delay,
+                               std::function<void()> fn) {
+  TMKGM_CHECK(delay >= 0);
+  return schedule(node, false, now() + delay, std::move(fn));
+}
+
+void Engine::post_after(SimTime delay, std::function<void()> fn) {
+  TMKGM_CHECK(delay >= 0);
+  schedule_post(-1, false, now() + delay, std::move(fn));
+}
+
+void Engine::post_after_node(int node, SimTime delay,
+                             std::function<void()> fn) {
+  TMKGM_CHECK(delay >= 0);
+  schedule_post(node, false, now() + delay, std::move(fn));
+}
+
+void Engine::set_lookahead(SimTime l_net, SimTime l_short) {
+  TMKGM_CHECK_MSG(!running_, "set_lookahead after run() started");
+  TMKGM_CHECK_MSG(l_net >= 1 && l_short >= 1, "lookahead must be >= 1ns");
+  l_net_ = l_net;
+  l_short_ = l_short;
 }
 
 Node& Engine::add_node(std::string name, std::function<void(Node&)> program) {
@@ -42,41 +72,48 @@ Node& Engine::node(int id) {
   return *nodes_[id];
 }
 
+void Engine::check_event_limit() const {
+  TMKGM_CHECK_MSG(event_limit_ == 0 || events_processed_ <= event_limit_,
+                  "event limit exceeded (runaway simulation?)");
+}
+
 void Engine::run() {
   TMKGM_CHECK_MSG(!running_, "run() is not reentrant");
   running_ = true;
 
-  // Start every node at t=0, in id order for determinism.
+  // Start every node at t=0, in id order for determinism. Start events are
+  // globally ordered (a program may touch shared harness state before its
+  // first yield), so the parallel planner runs them serially too.
   for (auto& n : nodes_) {
     Node* node = n.get();
-    at(0, [this, node] { transfer_to(*node, Resume::Start); });
+    post_at(0, [this, node] { transfer_to(*node, Resume::Start); });
   }
 
-  while (true) {
-    auto rec = queue_.pop();
-    if (!rec) break;
-    TMKGM_CHECK(rec->at >= now_);
-    now_ = rec->at;
-    ++events_processed_;
-    TMKGM_CHECK_MSG(event_limit_ == 0 || events_processed_ <= event_limit_,
-                    "event limit exceeded (runaway simulation?)");
-    rec->fn();
-    rethrow_node_failure();
+  if (par_) {
+    run_par();
+  } else {
+    while (const EventQueue::Entry* ev = queue_.pop_fired()) {
+      TMKGM_CHECK(ev->at >= now_);
+      now_ = ev->at;
+      ++events_processed_;
+      check_event_limit();
+      ev->fn();
+      queue_.release_fired();
+      rethrow_node_failure();
+    }
   }
 
+  throw_if_deadlocked();
+}
+
+void Engine::throw_if_deadlocked() const {
   // Queue drained: every node must have finished, otherwise the simulated
   // system deadlocked.
   std::string stuck;
-  for (auto& n : nodes_) {
+  for (const auto& n : nodes_) {
     if (n->state_ != Node::State::Finished) {
       if (!stuck.empty()) stuck += ", ";
-      stuck += n->name_;
-      switch (n->state_) {
-        case Node::State::NotStarted: stuck += "(not started)"; break;
-        case Node::State::BlockedCompute: stuck += "(computing)"; break;
-        case Node::State::BlockedCond: stuck += "(blocked)"; break;
-        default: stuck += "(?)"; break;
-      }
+      stuck += n->describe_block();
     }
   }
   if (!stuck.empty()) {
@@ -86,17 +123,33 @@ void Engine::run() {
 }
 
 void Engine::transfer_to(Node& n, Resume reason) {
+  if (par_ && in_shard_ctx()) {
+    par_transfer_to(n, reason);
+    return;
+  }
   TMKGM_CHECK_MSG(current_ != &n, "node resuming itself");
   TMKGM_CHECK(n.state_ != Node::State::Finished);
   Node* prev = current_;
   current_ = &n;
   n.resume_reason_ = reason;
-  n.go_.release();
-  n.done_.acquire();
+  ++handoffs_;
+  if (cfg_.exec == ExecMode::Threads) {
+    n.go_.release();
+    n.done_.acquire();
+  } else {
+    if (!n.fiber_.initialized()) {
+      n.fiber_.init(cfg_.fiber_stack_bytes, &Node::fiber_entry, &n);
+    }
+    n.fiber_.switch_in();
+  }
   current_ = prev;
 }
 
 bool Engine::try_advance_inline(Node& n, SimTime dur) {
+  // Shard contexts always decline: the coalescing decision needs the exact
+  // global event horizon, which only the planner has. The wake event this
+  // forces is count-mirrored either way, so reports are unaffected.
+  if (par_ && in_shard_ctx()) return false;
   if (!compute_coalescing_ || current_ != &n) return false;
   const auto next = queue_.next_live_time();
   if (next.has_value() && *next <= now_ + dur) return false;
@@ -105,8 +158,7 @@ bool Engine::try_advance_inline(Node& n, SimTime dur) {
   // and every report derived from it — is identical to the uncoalesced
   // schedule.
   ++events_processed_;
-  TMKGM_CHECK_MSG(event_limit_ == 0 || events_processed_ <= event_limit_,
-                  "event limit exceeded (runaway simulation?)");
+  check_event_limit();
   return true;
 }
 

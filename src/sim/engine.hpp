@@ -7,11 +7,35 @@
 // activity. Determinism: ties in the queue break by sequence number, and all
 // randomness comes from the engine's seeded Rng.
 //
-// Threading protocol. The engine thread (the caller of run()) executes event
-// callbacks. A node runs only while the engine has handed it the baton via a
-// pair of binary semaphores; handing the baton back and forth is the only
-// inter-thread communication, so user code needs no locks. Event callbacks
-// never run on node threads.
+// Execution protocol. The engine context (the caller of run()) executes
+// event callbacks. A node runs only while the engine has handed it the
+// baton; handing the baton back and forth is the only communication, so
+// user code needs no locks. Event callbacks never run in node context.
+//
+// The baton itself comes in two flavours (ExecMode):
+//  - Fibers (default): each node program runs on its own stack (sim/fiber),
+//    switched in and out with a user-space context swap. One OS thread, no
+//    kernel involvement per handoff.
+//  - Threads: the historical model — one OS thread per node parked on a
+//    binary-semaphore pair, two futex round-trips per handoff. Retained as
+//    a cross-check axis for the determinism suite.
+// The schedule is identical in both modes; ExecMode is invisible in any
+// virtual-time output.
+//
+// Scheduling also comes in two flavours (SchedMode):
+//  - Seq (default): the classic loop above.
+//  - Par: conservative parallel discrete-event simulation. Events carry a
+//    node affinity; nodes (and their fibers) are sharded node_id % shards.
+//    The planner runs globally-ordered events serially, and batches
+//    node-affine events into lookahead windows [T, T + L) — L derived from
+//    the network's minimum delivery latency — that worker threads execute
+//    concurrently, one shard each. Cross-shard effects (event pushes,
+//    receive-side fabric serialization, trace records) are staged per
+//    shard and committed at a window barrier by replaying the shards'
+//    execution logs in (time, seq) order, which reassigns exactly the
+//    sequence numbers the sequential engine would have used. Virtual-time
+//    output is therefore bit-identical to Seq. See DESIGN.md
+//    ("Engine execution model") for the full argument.
 #pragma once
 
 #include <cstdint>
@@ -41,21 +65,102 @@ class SimDeadlock : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// How node programs are hosted (see the file comment).
+enum class ExecMode : std::uint8_t { Fibers, Threads };
+
+/// Event scheduling: Seq is the classic single-queue loop; Par shards the
+/// queue and fibers by node and executes conservative lookahead windows on
+/// worker threads, with bit-identical virtual-time output.
+enum class SchedMode : std::uint8_t { Seq, Par };
+
+struct EngineConfig {
+  SchedMode sched = SchedMode::Seq;
+  ExecMode exec = ExecMode::Fibers;
+  int shards = 1;  // parallel mode only; 1..N event/fiber shards
+  std::size_t fiber_stack_bytes = 1u << 20;
+};
+
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed = 1);
+  explicit Engine(std::uint64_t seed = 1, EngineConfig cfg = {});
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  SimTime now() const { return now_; }
+  SimTime now() const { return par_ ? par_now() : now_; }
 
-  /// Schedules fn at absolute virtual time t (must be >= now()).
-  EventHandle at(SimTime t, std::function<void()> fn);
+  /// Schedules fn at absolute virtual time t (must be >= now()). Events
+  /// scheduled this way are globally ordered: the parallel engine runs
+  /// them serially, and a node-context push in parallel mode must land at
+  /// or beyond the current lookahead window (it CHECK-fails otherwise —
+  /// tag it with an affinity instead).
+  EventHandle at(SimTime t, std::function<void()> fn) {
+    return schedule(-1, false, t, std::move(fn));
+  }
 
   /// Schedules fn `delay` after now().
   EventHandle after(SimTime delay, std::function<void()> fn);
+
+  /// Affinity-tagged variants: fn touches only state owned by `node` (or
+  /// reachable from its context), so the parallel engine may run it on
+  /// that node's shard inside a lookahead window. Semantically identical
+  /// to at()/after() in sequential mode.
+  EventHandle at_node(int node, SimTime t, std::function<void()> fn) {
+    return schedule(node, false, t, std::move(fn));
+  }
+  EventHandle after_node(int node, SimTime delay, std::function<void()> fn);
+
+  /// Fire-and-forget variants: no handle, no shared control block. Use on
+  /// hot paths (deliveries, acks) that never cancel.
+  void post_at(SimTime t, std::function<void()> fn) {
+    schedule_post(-1, false, t, std::move(fn));
+  }
+  void post_after(SimTime delay, std::function<void()> fn);
+  void post_at_node(int node, SimTime t, std::function<void()> fn) {
+    schedule_post(node, false, t, std::move(fn));
+  }
+  void post_after_node(int node, SimTime delay, std::function<void()> fn);
+
+  /// Delivery variant carrying the short-reply lookahead hint: executing
+  /// fn may schedule onto another node after as little as l_short (a
+  /// NIC-level ack). The parallel planner caps any window containing such
+  /// an event accordingly.
+  void post_at_node_short(int node, SimTime t, std::function<void()> fn) {
+    schedule_post(node, true, t, std::move(fn));
+  }
+
+  /// Parallel-mode lookahead bounds, both in virtual ns and >= 1:
+  /// l_net — a node-context action reaches another node no sooner than
+  /// this (the fabric's minimum delivery latency); l_short — a
+  /// short-reply event schedules cross-node no sooner than this. Must be
+  /// set before run() in parallel mode when nodes communicate; the
+  /// defaults (1, 1) only parallelize same-timestamp events.
+  void set_lookahead(SimTime l_net, SimTime l_short);
+
+  /// Parallel-mode escape hatch for effects lookahead cannot bound. Some
+  /// substrate states break the minimum-latency contract — a GM message
+  /// parked for want of a receive buffer (or an IB RNR-parked send)
+  /// completes toward its *sender* the moment the receiver frees a
+  /// buffer, which can be arbitrarily soon. While `hazard()` returns
+  /// true the planner stops opening windows and runs events one at a
+  /// time (sequential semantics, so always safe); parking is rare and
+  /// transient, so windows resume almost immediately. Polled only
+  /// between events on the planner thread — the callback may freely read
+  /// simulation state. Sequential mode ignores it.
+  void set_par_hazard(std::function<bool()> hazard) {
+    par_hazard_ = std::move(hazard);
+  }
+
+  /// Declares that `n` (the calling node) is about to touch state shared
+  /// across shards (e.g. a harness latch). Sequential mode: no-op. In
+  /// parallel mode the node parks, its shard stalls for the current
+  /// window, and the continuation runs serialized at the window barrier,
+  /// at its exact place in the global event order. See DESIGN.md for the
+  /// safety rule (the continuation must not schedule events unless it is
+  /// globally last in the window, as the all-arrive latch pattern
+  /// guarantees).
+  void enter_global(Node& n);
 
   /// Creates a node; its program starts at virtual time 0 when run() is
   /// called. Nodes must all be added before run().
@@ -70,11 +175,24 @@ class Engine {
   void run();
 
   /// The node whose code is executing, or nullptr in event/engine context.
-  Node* current_node() const { return current_; }
+  Node* current_node() const { return par_ ? par_current_node() : current_; }
+
+  const EngineConfig& config() const { return cfg_; }
 
   Rng& rng() { return rng_; }
 
   std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Scheduler observability (the report's eng.* rows).
+  struct EngStats {
+    std::uint64_t handoffs = 0;       ///< node context switches (both modes)
+    std::uint64_t windows = 0;        ///< parallel lookahead windows
+    std::uint64_t window_stalls = 0;  ///< shards stalled by enter_global
+    std::uint64_t serial_events = 0;  ///< globally-ordered events (par)
+    std::uint64_t staged_pushes = 0;  ///< pushes staged in windows (par)
+    std::uint64_t shard_imbalance_pct = 0;  ///< mean idle share per window
+  };
+  EngStats eng_stats() const;
 
   /// Optional guard against runaway simulations (0 = unlimited).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
@@ -89,10 +207,17 @@ class Engine {
 
   /// Structured trace sink (obs/trace.hpp); null = tracing off. Emit
   /// sites across the stack guard on tracing(), which costs one pointer
-  /// load and a never-taken branch when no tracer is installed.
+  /// load and a never-taken branch when no tracer is installed. In
+  /// parallel mode, shard contexts see a per-shard staging tracer whose
+  /// records merge into the real one at the window barrier, in global
+  /// event order — emit sites need no changes.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
-  obs::Tracer* tracer() const { return tracer_; }
+  obs::Tracer* tracer() const { return par_ ? par_tracer() : tracer_; }
   bool tracing() const { return tracer_ != nullptr; }
+
+  /// Opt-in Cat::Eng records (windows, barriers, serial events). Off by
+  /// default so traces stay byte-identical across engine modes.
+  void set_trace_engine(bool on) { trace_engine_ = on; }
 
   /// Compute-warp hook (fault injection: slow / paused nodes). When set,
   /// every Node::compute quantum is mapped through it: (node, now, dur) ->
@@ -100,6 +225,23 @@ class Engine {
   /// beyond one branch.
   using ComputeWarp = std::function<SimTime(int node, SimTime now, SimTime dur)>;
   void set_compute_warp(ComputeWarp warp) { compute_warp_ = std::move(warp); }
+
+  /// Internal seam for net::Network in parallel mode: stages the
+  /// receive-side commit of a transfer issued from a shard context. The
+  /// barrier replay runs `commit` (which serializes on the destination
+  /// NIC and returns the delivery time), patches the staged trace record
+  /// `trace_idx` (SIZE_MAX = none) with the final duration, and schedules
+  /// `deliver` with destination affinity.
+  void stage_network_commit(int dst, bool short_reply, std::size_t trace_idx,
+                            std::function<SimTime()> commit,
+                            std::function<void()> deliver);
+
+  /// True while a parallel shard worker is the calling context.
+  bool in_shard_ctx() const;
+
+  /// Parallel scheduler state; defined in engine_par.cpp. Public only so
+  /// that file's thread-local execution context can name it.
+  struct ParState;
 
  private:
   friend class Node;
@@ -112,6 +254,7 @@ class Engine {
     ComputeDone,
     Interrupt,
     Abort,
+    Global,  ///< enter_global continuation, run at a window barrier
   };
 
   /// Hands the baton to `n` (which must be blocked) and waits for it to
@@ -128,19 +271,47 @@ class Engine {
   bool try_advance_inline(Node& n, SimTime dur);
 
   void rethrow_node_failure();
+  void check_event_limit() const;
+  void throw_if_deadlocked() const;
+
+  /// Common scheduling funnel: affinity + short hint + (t, fn). Shard
+  /// contexts stage; everything else inserts into the queue directly.
+  EventHandle schedule(int aff, bool short_reply, SimTime t,
+                       std::function<void()> fn);
+  void schedule_post(int aff, bool short_reply, SimTime t,
+                     std::function<void()> fn);
+
+  // Parallel engine (engine_par.cpp). par_ is null in sequential mode, so
+  // the hot accessors above stay a null test + direct member load.
+  SimTime par_now() const;
+  Node* par_current_node() const;
+  obs::Tracer* par_tracer() const;
+  void par_transfer_to(Node& n, Resume reason);
+  EventHandle par_stage(int aff, bool short_reply, SimTime t,
+                        std::function<void()> fn, bool want_handle);
+  void run_par();
+  void par_check_root_push(int aff, SimTime t) const;
+  void record_node_failure(std::exception_ptr e);
 
   SimTime now_ = 0;
+  EngineConfig cfg_;
   EventQueue queue_;
   std::vector<std::unique_ptr<Node>> nodes_;
   Node* current_ = nullptr;
   Rng rng_;
   bool running_ = false;
   bool compute_coalescing_ = true;
+  bool trace_engine_ = false;
   std::uint64_t events_processed_ = 0;
   std::uint64_t event_limit_ = 0;
+  std::uint64_t handoffs_ = 0;
+  SimTime l_net_ = 1;
+  SimTime l_short_ = 1;
+  std::function<bool()> par_hazard_;
   std::exception_ptr node_failure_;
   obs::Tracer* tracer_ = nullptr;
   ComputeWarp compute_warp_;
+  std::unique_ptr<ParState> par_;
 };
 
 }  // namespace tmkgm::sim

@@ -1,0 +1,685 @@
+// Conservative parallel scheduler (SchedMode::Par) — see the engine.hpp
+// file comment for the model and DESIGN.md for the determinism argument.
+//
+// Shape of the algorithm. The planner (the thread that called run())
+// alternates two phases over the shared event queue:
+//
+//  - Serial phase: while the earliest live event is globally ordered
+//    (affinity -1), pop and execute it exactly like the sequential loop.
+//    Queue, sequence counter and clock are all live, so serial phases are
+//    the sequential engine, verbatim.
+//
+//  - Window phase: the earliest event is node-affine at time T. Pop every
+//    node-affine event in [T, W) — W capped at T + l_net, at the first
+//    globally-ordered event, and at t_s + l_short for every short-reply
+//    event popped at t_s — partition by node_id % shards, and let one
+//    worker per shard execute its partition. Workers never touch shared
+//    engine state: pushes, fabric receive-side serialization and trace
+//    records are staged into per-shard execution logs.
+//
+// At the window barrier the planner replays the shard logs in (time, seq)
+// order — a k-way merge; within a shard, pushers precede pushees, so the
+// key of an in-window ("overflow") event is always known by the time it
+// can reach a merge head. Replay assigns each staged push the next global
+// sequence number, which is exactly the number the sequential engine would
+// have assigned at that push site; commits receive-side fabric state in
+// the same order the sequential engine would have; and appends each
+// event's staged trace records at its position. Virtual-time output is
+// therefore bit-identical to the sequential engine.
+//
+// enter_global parks the calling node, stalls its shard for the rest of
+// the window (the unexecuted remainder is re-inserted, sequence numbers
+// intact), and resumes the node serialized at its replay position. While
+// raced-ahead records from other shards remain unreplayed, the
+// continuation may only schedule onto its own shard — a cross-shard or
+// global push would be ordered before events that already executed — and
+// par_check_root_push enforces that loudly.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::sim {
+
+namespace {
+constexpr std::size_t kNoTrace = static_cast<std::size_t>(-1);
+constexpr std::uint32_t kNoOvf = static_cast<std::uint32_t>(-1);
+constexpr std::uint64_t kSeqUnset = static_cast<std::uint64_t>(-1);
+}  // namespace
+
+struct Engine::ParState {
+  /// One staged side effect of an in-window execution, in program order.
+  struct Action {
+    enum class K : std::uint8_t {
+      Push,      ///< cross-shard / global / post-window push
+      Overflow,  ///< same-shard in-window push (executed locally; replay
+                 ///< only assigns its sequence number)
+      Xfer,      ///< fabric transfer: receive-side commit + delivery push
+    };
+    K k = K::Push;
+    SimTime at = 0;
+    std::function<void()> fn;
+    std::shared_ptr<EventState> state;
+    std::int32_t aff = -1;
+    bool short_reply = false;
+    std::uint32_t ovf = kNoOvf;            // K::Overflow: pool index
+    std::function<SimTime()> commit;       // K::Xfer: returns delivery time
+    std::size_t trace_idx = kNoTrace;      // K::Xfer: staged record to patch
+  };
+
+  /// A same-shard push that lands inside the open window.
+  struct OvfEvent {
+    SimTime at = 0;
+    std::function<void()> fn;
+    std::shared_ptr<EventState> state;
+    std::int32_t aff = -1;
+    bool short_reply = false;
+    std::uint64_t seq = kSeqUnset;  // assigned during barrier replay
+    bool consumed = false;          // executed (or skipped dead) in-window
+  };
+
+  /// One event executed on a shard, in local execution order.
+  struct ExecRec {
+    SimTime t = 0;
+    std::uint64_t seq = 0;       // ordering key for planner-assigned events
+    std::uint32_t ovf = kNoOvf;  // set: key lives in the overflow pool
+    std::vector<Action> actions;
+    std::uint32_t trace_b = 0, trace_e = 0;  // staging tracer range
+    Node* section = nullptr;  // non-null: ended parked in enter_global
+  };
+
+  struct Shard {
+    std::vector<EventQueue::Entry> assigned;  // window events, (t,seq) order
+    std::size_t next = 0;                     // first unexecuted assigned
+    std::vector<OvfEvent> ovf;
+    std::vector<std::uint32_t> ovf_heap;  // min-heap of pool ids by (at, id)
+    std::vector<ExecRec> log;
+    obs::Tracer staging;
+    std::uint64_t events = 0;    // live events executed this window
+    std::uint64_t handoffs = 0;  // cumulative fiber switches
+    bool stalled = false;
+    std::exception_ptr failure;
+    std::size_t failure_rec = 0;
+  };
+
+  /// Per-thread execution context; resolved via the file-local
+  /// thread_local below. Root (planner) context keeps using the Engine
+  /// members directly.
+  struct Ctx {
+    Engine* eng = nullptr;
+    SimTime now = 0;
+    Node* current = nullptr;
+    int shard = -1;
+    Shard* sh = nullptr;
+    ExecRec* rec = nullptr;
+  };
+
+  int shards = 1;
+  SimTime window_end = 0;  // exclusive; staged-push lookahead bound
+  SimTime ovf_end = 0;     // exclusive; in-window execution bound
+  // Barrier-replay state for enter_global continuations: while records
+  // from other shards remain unreplayed, a continuation may only schedule
+  // onto section_shard.
+  bool replaying_section = false;
+  bool section_racers_left = false;
+  int section_shard = -1;
+  std::vector<Shard> shard;
+
+  // Worker pool: one persistent thread per shard, woken per window by an
+  // epoch bump. nproc may be lower than shards; correctness (and the
+  // determinism contract) never depends on real concurrency.
+  std::vector<std::thread> workers;
+  std::mutex m;
+  std::condition_variable cv;
+  std::uint64_t epoch = 0;
+  int running = 0;
+  bool stop = false;
+
+  std::uint64_t windows = 0, window_stalls = 0, serial_events = 0,
+                staged_pushes = 0;
+  std::uint64_t imbalance_num = 0, imbalance_den = 0;
+
+  void run_shard(Engine& eng, int si);
+  void merge_window(Engine& eng);
+};
+
+namespace {
+thread_local Engine::ParState::Ctx* g_ctx = nullptr;
+
+/// The calling thread's shard context under `eng`, or nullptr.
+Engine::ParState::Ctx* ctx_of(const Engine* eng) {
+  Engine::ParState::Ctx* c = g_ctx;
+  return (c != nullptr && c->eng == eng) ? c : nullptr;
+}
+}  // namespace
+
+Engine::Engine(std::uint64_t seed, EngineConfig cfg) : cfg_(cfg), rng_(seed) {
+  TMKGM_CHECK_MSG(cfg_.shards >= 1, "engine shards must be >= 1");
+  TMKGM_CHECK_MSG(cfg_.sched == SchedMode::Seq || cfg_.exec == ExecMode::Fibers,
+                  "parallel scheduling requires fiber execution");
+  if (cfg_.sched == SchedMode::Par) {
+    par_ = std::make_unique<ParState>();
+    par_->shards = cfg_.shards;
+    par_->shard.resize(static_cast<std::size_t>(cfg_.shards));
+  }
+}
+
+Engine::~Engine() {
+  // Abort any node program still on its stack so it unwinds (via
+  // NodeAborted inside yield_to_engine) and its resources are released.
+  // Parallel workers are long gone (joined before run_par returned), so
+  // the teardown switches happen on this thread.
+  for (auto& n : nodes_) {
+    if (n->state_ == Node::State::Finished) continue;
+    if (cfg_.exec == ExecMode::Threads) {
+      // Parked threads (even never-started ones) must be woken to exit.
+      n->abort_requested_ = true;
+      n->go_.release();
+      n->done_.acquire();
+    } else if (n->fiber_.initialized()) {
+      // Never-started fibers have no stack to unwind.
+      n->abort_requested_ = true;
+      n->fiber_.switch_in();
+    }
+  }
+}
+
+bool Engine::in_shard_ctx() const { return ctx_of(this) != nullptr; }
+
+SimTime Engine::par_now() const {
+  const auto* c = ctx_of(this);
+  return c != nullptr ? c->now : now_;
+}
+
+Node* Engine::par_current_node() const {
+  const auto* c = ctx_of(this);
+  return c != nullptr ? c->current : current_;
+}
+
+obs::Tracer* Engine::par_tracer() const {
+  const auto* c = ctx_of(this);
+  if (c != nullptr && tracer_ != nullptr) return &c->sh->staging;
+  return tracer_;
+}
+
+Engine::EngStats Engine::eng_stats() const {
+  EngStats s;
+  s.handoffs = handoffs_;
+  if (par_) {
+    for (const auto& sh : par_->shard) s.handoffs += sh.handoffs;
+    s.windows = par_->windows;
+    s.window_stalls = par_->window_stalls;
+    s.serial_events = par_->serial_events;
+    s.staged_pushes = par_->staged_pushes;
+    if (par_->imbalance_den > 0) {
+      s.shard_imbalance_pct =
+          100 * par_->imbalance_num / par_->imbalance_den;
+    }
+  }
+  return s;
+}
+
+void Engine::record_node_failure(std::exception_ptr e) {
+  if (auto* c = ctx_of(this); c != nullptr) {
+    auto& sh = *c->sh;
+    if (!sh.failure) {
+      sh.failure = std::move(e);
+      sh.failure_rec = sh.log.size() - 1;  // the record being executed
+    }
+    return;
+  }
+  node_failure_ = std::move(e);
+}
+
+void Engine::par_transfer_to(Node& n, Resume reason) {
+  auto* c = ctx_of(this);
+  TMKGM_CHECK(c != nullptr);
+  TMKGM_CHECK_MSG(c->current != &n, "node resuming itself");
+  TMKGM_CHECK(n.state_ != Node::State::Finished);
+  TMKGM_CHECK_MSG(n.id_ % par_->shards == c->shard,
+                  "cross-shard transfer_to; event affinity is wrong");
+  Node* prev = c->current;
+  c->current = &n;
+  n.resume_reason_ = reason;
+  if (!n.fiber_.initialized()) {
+    n.fiber_.init(cfg_.fiber_stack_bytes, &Node::fiber_entry, &n);
+  }
+  ++c->sh->handoffs;
+  n.fiber_.switch_in();
+  c->current = prev;
+}
+
+EventHandle Engine::par_stage(int aff, bool short_reply, SimTime t,
+                              std::function<void()> fn, bool want_handle) {
+  auto* c = ctx_of(this);
+  TMKGM_CHECK(c != nullptr);
+  TMKGM_CHECK_MSG(t >= c->now,
+                  "scheduling into the past: " << t << " < " << c->now);
+  auto& ps = *par_;
+  std::shared_ptr<EventState> state;
+  if (want_handle) state = std::make_shared<EventState>();
+  EventHandle handle{state};
+
+  const bool same_shard = aff >= 0 && aff % ps.shards == c->shard;
+  ParState::Action a;
+  a.at = t;
+  a.aff = aff;
+  a.short_reply = short_reply;
+  if (same_shard && t < ps.ovf_end) {
+    // Executes within this window, on this shard. The local pool keeps
+    // the closure; the logged action only reserves its sequence number at
+    // replay time.
+    auto& sh = *c->sh;
+    const auto id = static_cast<std::uint32_t>(sh.ovf.size());
+    sh.ovf.push_back({t, std::move(fn), state, aff, short_reply});
+    sh.ovf_heap.push_back(id);
+    std::push_heap(sh.ovf_heap.begin(), sh.ovf_heap.end(),
+                   [&sh](std::uint32_t x, std::uint32_t y) {
+                     if (sh.ovf[x].at != sh.ovf[y].at)
+                       return sh.ovf[x].at > sh.ovf[y].at;
+                     return x > y;
+                   });
+    a.k = ParState::Action::K::Overflow;
+    a.ovf = id;
+  } else {
+    // Anything not provably after the window would execute before its
+    // sequence number exists — the conservative-lookahead contract
+    // forbids it.
+    TMKGM_CHECK_MSG(
+        same_shard || t >= ps.window_end,
+        "event pushed mid-window violates conservative lookahead (t="
+            << t << " < window end " << ps.window_end
+            << "); tag it with at_node/after_node affinity for node "
+            << "context, or increase its delay");
+    a.k = ParState::Action::K::Push;
+    a.fn = std::move(fn);
+    a.state = std::move(state);
+  }
+  c->rec->actions.push_back(std::move(a));
+  return handle;
+}
+
+void Engine::stage_network_commit(int dst, bool short_reply,
+                                  std::size_t trace_idx,
+                                  std::function<SimTime()> commit,
+                                  std::function<void()> deliver) {
+  auto* c = ctx_of(this);
+  TMKGM_CHECK_MSG(c != nullptr,
+                  "stage_network_commit outside a shard context");
+  ParState::Action a;
+  a.k = ParState::Action::K::Xfer;
+  a.aff = dst;
+  a.short_reply = short_reply;
+  a.trace_idx = trace_idx;
+  a.commit = std::move(commit);
+  a.fn = std::move(deliver);
+  c->rec->actions.push_back(std::move(a));
+}
+
+void Engine::par_check_root_push(int aff, SimTime) const {
+  const auto& ps = *par_;
+  if (!ps.replaying_section || !ps.section_racers_left) return;
+  TMKGM_CHECK_MSG(
+      aff >= 0 && aff % ps.shards == ps.section_shard,
+      "enter_global continuation scheduled a cross-shard or global event "
+      "while raced-ahead window records remain; it would be ordered before "
+      "events that already executed. Reach this point only after the "
+      "window quiesces (the all-arrive latch pattern), or tag the event "
+      "with the continuing node's affinity");
+}
+
+void Engine::enter_global(Node& n) {
+  if (!par_) return;
+  auto* c = ctx_of(this);
+  if (c == nullptr) return;  // planner context: already globally ordered
+  TMKGM_CHECK_MSG(c->current == &n, "enter_global outside the node's context");
+  n.state_ = Node::State::BlockedGlobal;
+  c->rec->section = &n;
+  c->sh->stalled = true;
+  (void)n.yield_to_engine();  // resumed serialized, at the window barrier
+  n.state_ = Node::State::Running;
+}
+
+void Engine::ParState::run_shard(Engine& eng, int si) {
+  auto& sh = shard[static_cast<std::size_t>(si)];
+  Ctx ctx;
+  ctx.eng = &eng;
+  ctx.shard = si;
+  ctx.sh = &sh;
+  g_ctx = &ctx;
+  const auto ovf_later = [&sh](std::uint32_t x, std::uint32_t y) {
+    if (sh.ovf[x].at != sh.ovf[y].at) return sh.ovf[x].at > sh.ovf[y].at;
+    return x > y;
+  };
+  while (!sh.stalled) {
+    // Next event in key order: planner-assigned entries carry real
+    // sequence numbers, all smaller than any window-staged push, so at
+    // equal times the assigned entry runs first; two overflows tie-break
+    // by creation order, which within one shard is key order.
+    const bool have_a = sh.next < sh.assigned.size();
+    const bool have_o = !sh.ovf_heap.empty();
+    SimTime t = 0;
+    std::uint64_t key_seq = 0;
+    std::uint32_t ovf_id = kNoOvf;
+    std::function<void()>* fn = nullptr;
+    if (have_o &&
+        (!have_a || sh.ovf[sh.ovf_heap.front()].at < sh.assigned[sh.next].at)) {
+      ovf_id = sh.ovf_heap.front();
+      std::pop_heap(sh.ovf_heap.begin(), sh.ovf_heap.end(), ovf_later);
+      sh.ovf_heap.pop_back();
+      auto& oe = sh.ovf[ovf_id];
+      oe.consumed = true;
+      if (oe.state != nullptr) {
+        if (oe.state->cancelled.load(std::memory_order_relaxed)) continue;
+        oe.state->fired.store(true, std::memory_order_relaxed);
+      }
+      t = oe.at;
+      fn = &oe.fn;
+    } else if (have_a) {
+      auto& en = sh.assigned[sh.next];
+      ++sh.next;
+      if (en.dead()) continue;  // cancelled after planning, same shard
+      t = en.at;
+      key_seq = en.seq;
+      fn = &en.fn;
+    } else {
+      break;
+    }
+    sh.log.emplace_back();
+    ExecRec& rec = sh.log.back();
+    rec.t = t;
+    rec.seq = key_seq;
+    rec.ovf = ovf_id;
+    rec.trace_b = static_cast<std::uint32_t>(sh.staging.size());
+    ctx.now = t;
+    ctx.current = nullptr;
+    ctx.rec = &rec;
+    try {
+      (*fn)();
+    } catch (...) {
+      if (!sh.failure) {
+        sh.failure = std::current_exception();
+        sh.failure_rec = sh.log.size() - 1;
+      }
+      rec.trace_e = static_cast<std::uint32_t>(sh.staging.size());
+      ctx.rec = nullptr;
+      ++sh.events;
+      break;
+    }
+    rec.trace_e = static_cast<std::uint32_t>(sh.staging.size());
+    ctx.rec = nullptr;
+    ++sh.events;
+  }
+  g_ctx = nullptr;
+}
+
+void Engine::ParState::merge_window(Engine& eng) {
+  // K-way merge of the shard logs by (t, seq). A record's key is its own
+  // seq, or — for overflow events — the seq its push action received
+  // earlier in the replay (the pusher always precedes it in the same log).
+  std::vector<std::size_t> head(shard.size(), 0);
+  std::exception_ptr first_failure;
+  const auto key_seq = [this](int s, const ExecRec& r) {
+    if (r.ovf == kNoOvf) return r.seq;
+    const std::uint64_t q = shard[static_cast<std::size_t>(s)].ovf[r.ovf].seq;
+    TMKGM_CHECK_MSG(q != kSeqUnset,
+                    "overflow event replayed before its pusher");
+    return q;
+  };
+  for (;;) {
+    int best = -1;
+    SimTime bt = 0;
+    std::uint64_t bs = 0;
+    for (int s = 0; s < shards; ++s) {
+      const auto& sh = shard[static_cast<std::size_t>(s)];
+      if (head[static_cast<std::size_t>(s)] >= sh.log.size()) continue;
+      const ExecRec& r = sh.log[head[static_cast<std::size_t>(s)]];
+      const std::uint64_t q = key_seq(s, r);
+      if (best < 0 || r.t < bt || (r.t == bt && q < bs)) {
+        best = s;
+        bt = r.t;
+        bs = q;
+      }
+    }
+    if (best < 0) break;
+    auto& sh = shard[static_cast<std::size_t>(best)];
+    const std::size_t idx = head[static_cast<std::size_t>(best)]++;
+    ExecRec& r = sh.log[idx];
+    eng.now_ = r.t;
+    if (sh.failure && sh.failure_rec == idx && !first_failure) {
+      first_failure = sh.failure;
+    }
+    for (auto& a : r.actions) {
+      ++staged_pushes;
+      switch (a.k) {
+        case Action::K::Push: {
+          EventQueue::Entry e;
+          e.at = a.at;
+          e.seq = eng.queue_.alloc_seq();
+          e.fn = std::move(a.fn);
+          e.state = std::move(a.state);
+          e.aff = a.aff;
+          e.short_reply = a.short_reply;
+          eng.queue_.insert(std::move(e));
+        } break;
+        case Action::K::Overflow:
+          sh.ovf[a.ovf].seq = eng.queue_.alloc_seq();
+          break;
+        case Action::K::Xfer: {
+          const SimTime rx_end = a.commit();
+          TMKGM_CHECK_MSG(rx_end >= window_end,
+                          "network lookahead bound violated; "
+                          "set_lookahead is too large for this fabric");
+          if (a.trace_idx != kNoTrace) {
+            auto& tr = sh.staging.at(a.trace_idx);
+            tr.dur = rx_end - tr.t;
+          }
+          EventQueue::Entry e;
+          e.at = rx_end;
+          e.seq = eng.queue_.alloc_seq();
+          e.fn = std::move(a.fn);
+          e.aff = a.aff;
+          e.short_reply = a.short_reply;
+          eng.queue_.insert(std::move(e));
+        } break;
+      }
+    }
+    if (eng.tracer_ != nullptr) {
+      for (std::uint32_t i = r.trace_b; i < r.trace_e; ++i) {
+        eng.tracer_->emit(sh.staging.events()[i]);
+      }
+    }
+    if (r.section != nullptr) {
+      // Resume the parked node serialized, at exactly its place in the
+      // global order. Whether raced-ahead records remain decides what it
+      // may schedule (par_check_root_push).
+      bool racers = false;
+      for (int s = 0; s < shards && !racers; ++s) {
+        racers = head[static_cast<std::size_t>(s)] <
+                 shard[static_cast<std::size_t>(s)].log.size();
+      }
+      replaying_section = true;
+      section_racers_left = racers;
+      section_shard = best;
+      eng.transfer_to(*r.section, Resume::Global);
+      replaying_section = false;
+      section_racers_left = false;
+      section_shard = -1;
+    }
+  }
+
+  // Unexecuted remainders go back to the queue with their keys intact.
+  for (auto& sh : shard) {
+    for (std::size_t i = sh.next; i < sh.assigned.size(); ++i) {
+      auto& en = sh.assigned[i];
+      if (en.dead()) continue;
+      if (en.state != nullptr) {
+        en.state->fired.store(false, std::memory_order_relaxed);
+      }
+      eng.queue_.insert(std::move(en));
+    }
+    for (auto& oe : sh.ovf) {
+      if (oe.consumed) continue;
+      TMKGM_CHECK(oe.seq != kSeqUnset);
+      EventQueue::Entry e;
+      e.at = oe.at;
+      e.seq = oe.seq;
+      e.fn = std::move(oe.fn);
+      e.state = std::move(oe.state);
+      e.aff = oe.aff;
+      e.short_reply = oe.short_reply;
+      eng.queue_.insert(std::move(e));
+    }
+  }
+
+  if (first_failure) eng.node_failure_ = std::move(first_failure);
+}
+
+void Engine::run_par() {
+  auto& ps = *par_;
+  for (int s = 0; s < ps.shards; ++s) {
+    ps.workers.emplace_back([this, s, &ps] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lk(ps.m);
+          ps.cv.wait(lk, [&] { return ps.stop || ps.epoch != seen; });
+          if (ps.stop) return;
+          seen = ps.epoch;
+        }
+        ps.run_shard(*this, s);
+        {
+          std::lock_guard<std::mutex> lk(ps.m);
+          if (--ps.running == 0) ps.cv.notify_all();
+        }
+      }
+    });
+  }
+  const auto stop_workers = [&ps] {
+    {
+      std::lock_guard<std::mutex> lk(ps.m);
+      ps.stop = true;
+    }
+    ps.cv.notify_all();
+    for (auto& w : ps.workers) w.join();
+    ps.workers.clear();
+  };
+
+  try {
+    for (;;) {
+      const EventQueue::Entry* top = queue_.peek();
+      if (top == nullptr) break;
+      if (top->aff < 0 || (par_hazard_ && par_hazard_())) {
+        // Serial phase: the sequential loop, verbatim. Also taken while a
+        // substrate hazard (parked message) suspends the lookahead
+        // contract — see set_par_hazard.
+        EventQueue::Entry ev;
+        queue_.pop_entry(ev);
+        TMKGM_CHECK(ev.at >= now_);
+        now_ = ev.at;
+        ++events_processed_;
+        check_event_limit();
+        ++ps.serial_events;
+        if (trace_engine_ && tracer_ != nullptr) {
+          tracer_->emit({.t = ev.at,
+                         .cat = obs::Cat::Eng,
+                         .kind = obs::Kind::EngSerial,
+                         .a = ev.seq});
+        }
+        ev.fn();
+        rethrow_node_failure();
+        continue;
+      }
+
+      // Window phase.
+      const SimTime T = top->at;
+      SimTime w_end = T + l_net_;
+      SimTime ovf_end = w_end;
+      for (;;) {
+        const EventQueue::Entry* e = queue_.peek();
+        if (e == nullptr || e->at >= w_end) break;
+        if (e->aff < 0) {
+          // A globally-ordered event inside the horizon: in-window pushes
+          // must stay strictly before it (their seqs are larger).
+          ovf_end = std::min(ovf_end, e->at);
+          break;
+        }
+        if (e->short_reply) w_end = std::min(w_end, e->at + l_short_);
+        EventQueue::Entry en;
+        queue_.pop_entry(en);
+        ps.shard[static_cast<std::size_t>(en.aff % ps.shards)]
+            .assigned.push_back(std::move(en));
+      }
+      ovf_end = std::min(ovf_end, w_end);
+      ps.window_end = w_end;
+      ps.ovf_end = ovf_end;
+
+      {
+        std::lock_guard<std::mutex> lk(ps.m);
+        ps.running = ps.shards;
+        ++ps.epoch;
+      }
+      ps.cv.notify_all();
+      {
+        std::unique_lock<std::mutex> lk(ps.m);
+        ps.cv.wait(lk, [&] { return ps.running == 0; });
+      }
+
+      std::uint64_t total = 0, max_events = 0, stalls = 0;
+      for (const auto& sh : ps.shard) {
+        total += sh.events;
+        max_events = std::max(max_events, sh.events);
+        if (sh.stalled) ++stalls;
+      }
+      ps.merge_window(*this);
+      events_processed_ += total;
+      check_event_limit();
+      ++ps.windows;
+      ps.window_stalls += stalls;
+      if (max_events > 0) {
+        ps.imbalance_num +=
+            static_cast<std::uint64_t>(ps.shards) * max_events - total;
+        ps.imbalance_den += static_cast<std::uint64_t>(ps.shards) * max_events;
+      }
+      if (trace_engine_ && tracer_ != nullptr) {
+        tracer_->emit({.t = T,
+                       .dur = w_end - T,
+                       .cat = obs::Cat::Eng,
+                       .kind = obs::Kind::EngWindow,
+                       .a = total});
+        tracer_->emit({.t = now_,
+                       .cat = obs::Cat::Eng,
+                       .kind = obs::Kind::EngBarrier,
+                       .a = ps.staged_pushes});
+      }
+      for (auto& sh : ps.shard) {
+        sh.assigned.clear();
+        sh.next = 0;
+        sh.ovf.clear();
+        sh.ovf_heap.clear();
+        sh.log.clear();
+        sh.staging.clear();
+        sh.events = 0;
+        sh.stalled = false;
+        sh.failure = nullptr;
+        sh.failure_rec = 0;
+      }
+      rethrow_node_failure();
+    }
+  } catch (...) {
+    stop_workers();
+    throw;
+  }
+  stop_workers();
+}
+
+}  // namespace tmkgm::sim

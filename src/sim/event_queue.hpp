@@ -1,15 +1,31 @@
-// Cancellable virtual-time event queue.
+// Cancellable virtual-time event queue with batched insertion.
 //
 // Events are (time, sequence) ordered; the sequence number makes ties — and
 // therefore the whole simulation — deterministic. Cancellation is lazy: the
 // handle flips a flag and the queue skips dead entries on pop.
+//
+// Insertion is staged: push()/post() append to a small pending vector
+// (sequence numbers are assigned at stage time, so ordering is unaffected)
+// and the heap absorbs the whole batch at the next pop() or
+// next_live_time(). A node quantum that emits several sends — the common
+// substrate pattern — therefore costs one bulk heap operation at its yield
+// point instead of one sift-up per send. next_live_time() flushes before
+// answering, so its result is always exact (the compute-coalescing decision
+// depends on that).
+//
+// Two insertion flavours:
+//  - push(): returns a cancellable EventHandle (one small shared EventState
+//    allocation).
+//  - post(): fire-and-forget, no handle, no control block — for the hot
+//    paths (message deliveries, acks) that never cancel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "util/time.hpp"
@@ -17,13 +33,14 @@
 namespace tmkgm::sim {
 
 class EventQueue;
+class Engine;
 
-/// Shared state between the queue entry and any outstanding handle.
-struct EventRecord {
-  SimTime at = 0;
-  std::uint64_t seq = 0;
-  bool cancelled = false;
-  std::function<void()> fn;
+/// Shared state between a queue entry and any outstanding handle. The flags
+/// are relaxed atomics so the parallel engine may cancel from one shard
+/// while another pops; ordering guarantees come from its window barriers.
+struct EventState {
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> fired{false};
 };
 
 /// Copyable handle to a scheduled event; cancel() is idempotent and safe
@@ -33,48 +50,155 @@ class EventHandle {
   EventHandle() = default;
 
   void cancel() {
-    if (auto rec = rec_.lock()) rec->cancelled = true;
+    if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
   }
 
   bool pending() const {
-    auto rec = rec_.lock();
-    return rec && !rec->cancelled && rec->fn != nullptr;
+    return state_ && !state_->cancelled.load(std::memory_order_relaxed) &&
+           !state_->fired.load(std::memory_order_relaxed);
   }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<EventRecord> rec) : rec_(std::move(rec)) {}
-  std::weak_ptr<EventRecord> rec_;
+  friend class Engine;  // parallel mode hands out handles to staged events
+  explicit EventHandle(std::shared_ptr<EventState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<EventState> state_;
 };
 
 class EventQueue {
  public:
-  EventHandle push(SimTime at, std::function<void()> fn);
+  /// A popped, live event ready to fire.
+  struct Popped {
+    SimTime at = 0;
+    std::function<void()> fn;
+  };
 
-  /// Pops the next live event, or nullptr when empty. The returned record
-  /// is owned by the caller; fire it with rec->fn().
-  std::shared_ptr<EventRecord> pop();
+  /// A scheduled event. Public so the parallel planner can pop entries
+  /// with their ordering key and affinity intact, and re-insert unexecuted
+  /// remainders without renumbering them.
+  struct Entry {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<EventState> state;  // null for post() entries
+    /// Scheduling affinity: the node whose shard must execute this event,
+    /// or -1 for globally-ordered events the planner runs serially.
+    std::int32_t aff = -1;
+    /// Lookahead hint: executing this event may schedule onto another
+    /// node after as little as the engine's short-reply lookahead (e.g. a
+    /// delivery that acks the sender at NIC-level latency). Caps the
+    /// window it is popped into.
+    bool short_reply = false;
 
-  /// Time of the earliest live event, or nullopt when none is scheduled.
-  /// Prunes cancelled entries off the top as a side effect.
-  std::optional<SimTime> next_live_time();
-
-  bool empty_of_live() const;
-  std::uint64_t scheduled_count() const { return next_seq_; }
-
- private:
-  struct Later {
-    bool operator()(const std::shared_ptr<EventRecord>& a,
-                    const std::shared_ptr<EventRecord>& b) const {
-      if (a->at != b->at) return a->at > b->at;
-      return a->seq > b->seq;
+    bool dead() const {
+      return state && state->cancelled.load(std::memory_order_relaxed);
     }
   };
 
-  std::priority_queue<std::shared_ptr<EventRecord>,
-                      std::vector<std::shared_ptr<EventRecord>>, Later>
-      heap_;
+  EventHandle push(SimTime at, std::function<void()> fn) {
+    return push(at, std::move(fn), -1, false);
+  }
+  EventHandle push(SimTime at, std::function<void()> fn, std::int32_t aff,
+                   bool short_reply);
+
+  /// Fire-and-forget insertion: no handle, no shared control block.
+  void post(SimTime at, std::function<void()> fn) {
+    post(at, std::move(fn), -1, false);
+  }
+  void post(SimTime at, std::function<void()> fn, std::int32_t aff,
+            bool short_reply);
+
+  /// Pops the next live event into `out`; false when the queue is empty.
+  bool pop(Popped& out);
+
+  /// Zero-move pop for the hot sequential loop: returns the next live
+  /// entry, leaving it parked in its pool slot so the caller can invoke
+  /// entry->fn in place (staging new events is fine — slots are stable).
+  /// Call release_fired() afterwards to recycle the slot. nullptr when
+  /// empty.
+  const Entry* pop_fired();
+  void release_fired();
+
+  /// Full-entry pop for the parallel planner; false when empty.
+  bool pop_entry(Entry& out);
+
+  /// The next live entry without popping it (flushes and prunes first);
+  /// nullptr when empty. Invalidated by any mutation.
+  const Entry* peek();
+
+  /// Draws the next sequence number without scheduling anything. Barrier
+  /// replay uses this to hand staged events the same numbers the
+  /// sequential engine would have assigned at their push sites.
+  std::uint64_t alloc_seq() { return next_seq_++; }
+
+  /// Inserts an entry whose sequence number was already assigned (via
+  /// alloc_seq(), or an unexecuted remainder from pop_entry()).
+  void insert(Entry e);
+
+  /// Time of the earliest live event, or nullopt when none is scheduled.
+  /// Flushes staged entries and prunes cancelled tops, so the answer is
+  /// exact.
+  std::optional<SimTime> next_live_time();
+
+  bool empty_of_live() const { return heap_.empty() && pending_.empty(); }
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+  /// Batching instrumentation: bulk flushes performed / entries staged.
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t staged() const { return next_seq_; }
+
+ private:
+  // The heap orders trivially-copyable 24-byte keys; the fat Entry (a
+  // std::function, a shared_ptr) sits still in a slot pool. Sifting moves
+  // PODs and the comparator reads inline fields — no pointer chase, no
+  // per-level function-object moves. The key carries the pool entry's
+  // address directly (deque slots never move), so the hot paths do no
+  // index arithmetic.
+  struct Key {
+    SimTime at;
+    std::uint64_t seq;
+    Entry* e;
+  };
+  struct Later {
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void stage(SimTime at, std::function<void()> fn,
+             std::shared_ptr<EventState> state, std::int32_t aff,
+             bool short_reply);
+  void flush() {
+    if (!pending_.empty()) flush_pending();
+  }
+  void flush_pending();
+  void prune_dead_top();
+  Entry* alloc_entry() {
+    if (!free_entries_.empty()) {
+      Entry* e = free_entries_.back();
+      free_entries_.pop_back();
+      return e;
+    }
+    return alloc_entry_slow();
+  }
+  Entry* alloc_entry_slow();
+  void release_entry(Entry* e) {
+    e->fn = nullptr;
+    e->state.reset();
+    free_entries_.push_back(e);
+  }
+
+  // Deque, not vector: growth must not move entries — a std::function is
+  // expensive to relocate, and heap keys/peek() hold pool addresses.
+  std::deque<Entry> pool_;          // slot storage for scheduled entries
+  std::vector<Entry*> free_entries_;
+  std::vector<Key> heap_;     // binary heap under Later
+  std::vector<Key> pending_;  // staged since the last flush
   std::uint64_t next_seq_ = 0;
+  std::uint64_t flushes_ = 0;
+  Entry* fired_ = nullptr;  // entry parked by pop_fired()
 };
 
 }  // namespace tmkgm::sim

@@ -1,0 +1,302 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "util/check.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+// --- Sanitizer fiber hooks -------------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TMKGM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TMKGM_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define TMKGM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TMKGM_TSAN 1
+#endif
+#endif
+
+#if defined(TMKGM_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr,
+                                   std::size_t size);
+}
+#endif
+
+#if defined(TMKGM_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace tmkgm::sim {
+
+namespace {
+
+constexpr std::size_t kStackAlign = 64;
+
+#if defined(__linux__)
+std::size_t page_size() {
+  static const std::size_t ps =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+#endif
+
+}  // namespace
+
+// --- x86-64 SysV context switch -------------------------------------------
+//
+// tmkgm_fiber_switch(from_sp_slot, to_sp): saves the callee-saved register
+// frame + mxcsr + x87 control word on the current stack, stores rsp into
+// *from_sp_slot, installs to_sp and restores the mirrored frame. The first
+// entry into a fiber "restores" a hand-crafted frame that returns into
+// tmkgm_fiber_trampoline with rbx = entry, r12 = arg.
+
+#if defined(__x86_64__)
+
+extern "C" void tmkgm_fiber_switch(void** from_sp_slot, void* to_sp);
+extern "C" void tmkgm_fiber_trampoline();
+
+asm(R"(
+.text
+.globl tmkgm_fiber_switch
+.type tmkgm_fiber_switch,@function
+.align 16
+tmkgm_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq  $8, %rsp
+    stmxcsr (%rsp)
+    fnstcw  4(%rsp)
+    movq  %rsp, (%rdi)
+    movq  %rsi, %rsp
+    ldmxcsr (%rsp)
+    fldcw   4(%rsp)
+    addq  $8, %rsp
+    popq  %r15
+    popq  %r14
+    popq  %r13
+    popq  %r12
+    popq  %rbx
+    popq  %rbp
+    retq
+.size tmkgm_fiber_switch, .-tmkgm_fiber_switch
+
+.globl tmkgm_fiber_trampoline
+.type tmkgm_fiber_trampoline,@function
+.align 16
+tmkgm_fiber_trampoline:
+    movq  %r12, %rdi
+    callq *%rbx
+    ud2
+.size tmkgm_fiber_trampoline, .-tmkgm_fiber_trampoline
+)");
+
+#endif  // __x86_64__
+
+Fiber::~Fiber() {
+#if defined(TMKGM_TSAN)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (stack_base_ == nullptr) return;
+#if defined(TMKGM_ASAN)
+  // Frames the fiber left behind have poisoned redzones in shadow memory;
+  // munmap/delete do not clear shadow, and a later allocation (or mmap) can
+  // land on the same addresses and trip a false stack-buffer-overflow.
+  __asan_unpoison_memory_region(stack_base_, stack_bytes_);
+#endif
+#if !defined(__x86_64__)
+  delete static_cast<ucontext_t*>(fiber_sp_);
+  delete static_cast<ucontext_t*>(return_sp_);
+#endif
+#if defined(__linux__)
+  if (used_mmap_) {
+    ::munmap(stack_base_, stack_bytes_);
+    return;
+  }
+#endif
+  ::operator delete[](stack_base_, std::align_val_t{kStackAlign});
+}
+
+#if !defined(__x86_64__)
+namespace {
+// makecontext passes ints only; smuggle the pointer through two halves.
+void ucontext_trampoline(unsigned hi, unsigned lo) {
+  auto addr = (static_cast<std::uintptr_t>(hi) << 32) |
+              static_cast<std::uintptr_t>(lo);
+  auto* pair = reinterpret_cast<void**>(addr);
+  auto entry = reinterpret_cast<Fiber::Entry>(pair[0]);
+  entry(pair[1]);
+  TMKGM_CHECK_MSG(false, "fiber entry returned");
+}
+}  // namespace
+#endif
+
+void Fiber::entry_thunk(void* self_ptr) {
+  auto* self = static_cast<Fiber*>(self_ptr);
+#if defined(TMKGM_ASAN)
+  // The switch_in() that started this fiber opened a sanitizer stack
+  // switch; close it here (first entry lands in the trampoline, not in
+  // switch_out's resume path) and capture the host stack extent for the
+  // fiber's first switch_out().
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_host_bottom_,
+                                  &self->asan_host_size_);
+#endif
+  self->entry_(self->arg_);
+  TMKGM_CHECK_MSG(false, "fiber entry returned");
+}
+
+void Fiber::init(std::size_t stack_bytes, Entry entry, void* arg) {
+  TMKGM_CHECK(stack_base_ == nullptr);
+  TMKGM_CHECK(entry != nullptr);
+  TMKGM_CHECK(stack_bytes >= 16 * 1024);
+  entry_ = entry;
+  arg_ = arg;
+
+#if defined(__linux__)
+  // mmap with a PROT_NONE guard page at the low end, so stack overflow in a
+  // node program faults instead of corrupting a neighbouring allocation.
+  const std::size_t ps = page_size();
+  stack_bytes_ = (stack_bytes + ps - 1) & ~(ps - 1);
+  void* mem = ::mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem != MAP_FAILED) {
+    ::mprotect(mem, ps, PROT_NONE);
+    stack_base_ = mem;
+    used_mmap_ = true;
+  }
+#endif
+  if (stack_base_ == nullptr) {
+    stack_bytes_ = stack_bytes;
+    stack_base_ = ::operator new[](stack_bytes_, std::align_val_t{kStackAlign});
+    used_mmap_ = false;
+  }
+
+#if defined(TMKGM_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+
+#if defined(__x86_64__)
+  // Build the initial frame tmkgm_fiber_switch will "restore". Layout from
+  // the initial rsp upward: [mxcsr|fcw], r15, r14, r13, r12(=arg),
+  // rbx(=entry), rbp, return address (= trampoline). A real save point has
+  // rsp % 16 == 0 (entry rsp % 16 == 8, minus 48 of pushes and 8 of sub);
+  // mirroring that leaves the trampoline's callq with the 16-aligned rsp
+  // the SysV ABI requires.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base_) + stack_bytes_;
+  top &= ~static_cast<std::uintptr_t>(15);
+  std::uintptr_t sp0 = top - 64;  // 64-byte frame, keeps sp0 % 16 == 0
+  auto* frame = reinterpret_cast<std::uint64_t*>(sp0);
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  frame[0] = static_cast<std::uint64_t>(mxcsr) |
+             (static_cast<std::uint64_t>(fcw) << 32);
+  frame[1] = 0;                                        // r15
+  frame[2] = 0;                                        // r14
+  frame[3] = 0;                                        // r13
+  frame[4] = reinterpret_cast<std::uint64_t>(this);            // r12
+  frame[5] = reinterpret_cast<std::uint64_t>(&entry_thunk);    // rbx
+  frame[6] = 0;                                        // rbp
+  frame[7] = reinterpret_cast<std::uint64_t>(&tmkgm_fiber_trampoline);
+  fiber_sp_ = reinterpret_cast<void*>(sp0);
+#else
+  auto* ctx = new ucontext_t;
+  auto* ret = new ucontext_t;
+  TMKGM_CHECK(getcontext(ctx) == 0);
+  ctx->uc_stack.ss_sp = stack_base_;
+  ctx->uc_stack.ss_size = stack_bytes_;
+  ctx->uc_link = nullptr;
+  // The (entry, arg) pair lives at the base of the fiber stack, above the
+  // guard page, for the trampoline to pick up.
+  auto* pair = reinterpret_cast<void**>(
+      reinterpret_cast<std::uintptr_t>(stack_base_) + 4096);
+  pair[0] = reinterpret_cast<void*>(&entry_thunk);
+  pair[1] = this;
+  const auto addr = reinterpret_cast<std::uintptr_t>(pair);
+  makecontext(ctx, reinterpret_cast<void (*)()>(&ucontext_trampoline), 2,
+              static_cast<unsigned>(addr >> 32),
+              static_cast<unsigned>(addr & 0xffffffffu));
+  fiber_sp_ = ctx;
+  return_sp_ = ret;
+#endif
+}
+
+void Fiber::switch_in() {
+  TMKGM_CHECK(initialized());
+#if defined(TMKGM_TSAN)
+  tsan_return_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+#if defined(TMKGM_ASAN)
+  __sanitizer_start_switch_fiber(&asan_fake_stack_host_, stack_base_,
+                                 stack_bytes_);
+#endif
+#if defined(__x86_64__)
+  tmkgm_fiber_switch(&return_sp_, fiber_sp_);
+#else
+  swapcontext(static_cast<ucontext_t*>(return_sp_),
+              static_cast<ucontext_t*>(fiber_sp_));
+#endif
+#if defined(TMKGM_ASAN)
+  // Control came back from the fiber (its switch_out already announced the
+  // transition); land the host stack.
+  __sanitizer_finish_switch_fiber(asan_fake_stack_host_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::switch_out() {
+#if defined(TMKGM_TSAN)
+  __tsan_switch_to_fiber(tsan_return_, 0);
+#endif
+#if defined(TMKGM_ASAN)
+  __sanitizer_start_switch_fiber(&asan_fake_stack_fiber_, asan_host_bottom_,
+                                 asan_host_size_);
+#endif
+#if defined(__x86_64__)
+  tmkgm_fiber_switch(&fiber_sp_, return_sp_);
+#else
+  swapcontext(static_cast<ucontext_t*>(fiber_sp_),
+              static_cast<ucontext_t*>(return_sp_));
+#endif
+#if defined(TMKGM_ASAN)
+  // Back inside the fiber: record where the host stack lives so the next
+  // switch_out() can hand it to the sanitizer.
+  __sanitizer_finish_switch_fiber(asan_fake_stack_fiber_, &asan_host_bottom_,
+                                  &asan_host_size_);
+#endif
+}
+
+}  // namespace tmkgm::sim

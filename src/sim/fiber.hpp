@@ -1,0 +1,77 @@
+// Stackful fiber for the engine's cooperative node scheduling.
+//
+// A node program runs on its own stack; switching between the engine and a
+// node is a user-space register swap (~tens of ns) instead of the two
+// kernel futex round-trips of the thread+semaphore baton. The switch is a
+// hand-written x86-64 SysV context swap (callee-saved registers + mxcsr +
+// x87 control word); other architectures fall back to ucontext, whose
+// swapcontext() also saves the signal mask (one sigprocmask syscall each
+// way — still cheaper and more deterministic than a futex handoff).
+//
+// Fibers carry no thread identity: a fiber may be switched in from any
+// host thread (the sharded parallel engine resumes node fibers on worker
+// threads, and on the main thread during serial phases). The only
+// discipline required is LIFO: a fiber switches out to whoever last
+// switched it in.
+//
+// Under AddressSanitizer and ThreadSanitizer the switch paths call the
+// sanitizer fiber hooks, so sanitized builds see the stack changes instead
+// of reporting false positives.
+#pragma once
+
+#include <cstddef>
+
+namespace tmkgm::sim {
+
+class Fiber {
+ public:
+  using Entry = void (*)(void*);
+
+  Fiber() = default;
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Allocates the stack (guard page at the low end) and prepares the
+  /// fiber to run entry(arg) at the first switch_in(). entry must never
+  /// return: it finishes by calling switch_out() one final time.
+  void init(std::size_t stack_bytes, Entry entry, void* arg);
+
+  bool initialized() const { return stack_base_ != nullptr; }
+
+  /// Transfers control from the calling context into the fiber. Returns
+  /// when the fiber calls switch_out().
+  void switch_in();
+
+  /// Transfers control from inside the fiber back to the context that
+  /// last called switch_in().
+  void switch_out();
+
+ private:
+  // First-entry shim: closes the sanitizer's in-flight stack switch (and
+  // records where the host stack lives) before running the user entry.
+  static void entry_thunk(void* self);
+
+  Entry entry_ = nullptr;
+  void* arg_ = nullptr;
+  void* fiber_sp_ = nullptr;   // fiber's saved stack pointer (or ucontext)
+  void* return_sp_ = nullptr;  // host's saved stack pointer (or ucontext)
+  void* stack_base_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+  bool used_mmap_ = false;
+#if defined(__x86_64__)
+  static constexpr bool kUsesUcontext = false;
+#else
+  static constexpr bool kUsesUcontext = true;
+#endif
+  // Sanitizer bookkeeping (no-ops in plain builds).
+  void* tsan_fiber_ = nullptr;
+  void* tsan_return_ = nullptr;
+  void* asan_fake_stack_host_ = nullptr;
+  void* asan_fake_stack_fiber_ = nullptr;
+  const void* asan_host_bottom_ = nullptr;
+  std::size_t asan_host_size_ = 0;
+};
+
+}  // namespace tmkgm::sim

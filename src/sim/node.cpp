@@ -17,12 +17,17 @@ Node::Node(Engine& engine, int id, std::string name,
     : engine_(engine),
       id_(id),
       name_(std::move(name)),
-      program_(std::move(program)),
-      thread_([this] { thread_main(); }) {}
+      program_(std::move(program)) {
+  if (engine_.config().exec == ExecMode::Threads) {
+    thread_ = std::thread([this] { thread_main(); });
+  }
+  // Fibers allocate their stack lazily at the first transfer.
+}
 
 Node::~Node() {
   // Engine's destructor has already unwound a live program; by the time
-  // nodes are destroyed the thread body has returned or is about to.
+  // nodes are destroyed the thread body has returned or is about to, and
+  // any fiber stack is just memory to free (done by ~Fiber).
   if (thread_.joinable()) thread_.join();
 }
 
@@ -39,15 +44,37 @@ void Node::thread_main() {
   } catch (const NodeAborted&) {
     // Engine teardown; fall through.
   } catch (...) {
-    engine_.node_failure_ = std::current_exception();
+    engine_.record_node_failure(std::current_exception());
   }
   state_ = State::Finished;
   done_.release();
 }
 
+void Node::fiber_entry(void* arg) { static_cast<Node*>(arg)->fiber_main(); }
+
+void Node::fiber_main() {
+  // First switch_in always comes from transfer_to(Start): teardown skips
+  // fibers that were never initialized.
+  state_ = State::Running;
+  try {
+    program_(*this);
+  } catch (const NodeAborted&) {
+    // Engine teardown; fall through.
+  } catch (...) {
+    engine_.record_node_failure(std::current_exception());
+  }
+  state_ = State::Finished;
+  fiber_.switch_out();
+  // Unreachable: the engine never resumes a Finished node.
+}
+
 Engine::Resume Node::yield_to_engine() {
-  done_.release();
-  go_.acquire();
+  if (engine_.config().exec == ExecMode::Threads) {
+    done_.release();
+    go_.acquire();
+  } else {
+    fiber_.switch_out();
+  }
   if (abort_requested_) throw NodeAborted{};
   return resume_reason_;
 }
@@ -82,9 +109,10 @@ void Node::compute(SimTime dur) {
   SimTime remaining = dur;
   while (remaining > 0) {
     const SimTime slice_start = engine_.now();
-    compute_wake_ = engine_.after(remaining, [this] {
+    compute_wake_ = engine_.after_node(id_, remaining, [this] {
       engine_.transfer_to(*this, Engine::Resume::ComputeDone);
     });
+    compute_until_ = slice_start + remaining;
     state_ = State::BlockedCompute;
     const auto reason = yield_to_engine();
     state_ = State::Running;
@@ -135,10 +163,46 @@ void Node::raise_interrupt(int irq) {
 void Node::deliver_from_event_context(int) {
   // Preempt a blocked node so it can run its handler at the current virtual
   // instant. A Running node cannot be observed here (events never run while
-  // a node holds the baton); NotStarted/Finished nodes keep it pending.
+  // a node holds the baton); NotStarted/Finished nodes keep it pending, and
+  // so does a node parked in a global section (it drains at its next
+  // preemption point after the barrier resumes it).
   if (state_ == State::BlockedCompute || state_ == State::BlockedCond) {
     engine_.transfer_to(*this, Engine::Resume::Interrupt);
   }
+}
+
+std::string Node::describe_block() const {
+  std::string s = name_;
+  switch (state_) {
+    case State::NotStarted:
+      s += "(not started)";
+      break;
+    case State::BlockedCompute:
+      s += "(computing until " + std::to_string(compute_until_) + "ns)";
+      break;
+    case State::BlockedCond: {
+      s += "(waiting on condition";
+      if (blocked_on_ != nullptr && blocked_on_->name()[0] != '\0') {
+        s += " '";
+        s += blocked_on_->name();
+        s += "'";
+      }
+      if (cond_deadline_ >= 0) {
+        s += ", timeout at " + std::to_string(cond_deadline_) + "ns";
+      }
+      if (!pending_irqs_.empty()) {
+        s += ", " + std::to_string(pending_irqs_.size()) + " pending irq(s)";
+      }
+      s += ")";
+    } break;
+    case State::BlockedGlobal:
+      s += "(parked in global section)";
+      break;
+    default:
+      s += "(?)";
+      break;
+  }
+  return s;
 }
 
 void Node::mask_interrupts() {
@@ -199,16 +263,18 @@ bool Condition::wait_until(SimTime deadline) {
     return true;
   }
   if (n.now() >= deadline) return false;
-  EventHandle timeout = n.engine_.at(deadline, [this, &n] {
+  EventHandle timeout = n.engine_.at_node(n.id_, deadline, [this, &n] {
     if (n.state_ == Node::State::BlockedCond && n.blocked_on_ == this) {
       n.engine_.transfer_to(n, Engine::Resume::Timeout);
     }
   });
+  n.cond_deadline_ = deadline;
   while (!signalled_) {
     // Interrupt handlers may have consumed virtual time past the deadline
     // (in which case the timeout event has already fired as a no-op).
     if (n.now() >= deadline) {
       timeout.cancel();
+      n.cond_deadline_ = -1;
       return false;
     }
     n.blocked_on_ = this;
@@ -219,10 +285,14 @@ bool Condition::wait_until(SimTime deadline) {
     if (reason == Engine::Resume::Interrupt) {
       n.drain_interrupts();
     } else if (reason == Engine::Resume::Timeout) {
-      if (!signalled_) return false;
+      if (!signalled_) {
+        n.cond_deadline_ = -1;
+        return false;
+      }
     }
   }
   timeout.cancel();
+  n.cond_deadline_ = -1;
   signalled_ = false;
   return true;
 }

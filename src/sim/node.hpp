@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/fiber.hpp"
 #include "util/time.hpp"
 
 namespace tmkgm::sim {
@@ -85,6 +86,7 @@ class Node {
     Running,
     BlockedCompute,
     BlockedCond,
+    BlockedGlobal,  ///< parked in Engine::enter_global (parallel mode)
     Finished,
   };
 
@@ -92,6 +94,8 @@ class Node {
        std::function<void(Node&)> program);
 
   void thread_main();
+  static void fiber_entry(void* arg);
+  void fiber_main();
 
   /// Gives the baton back to the engine; returns when the engine resumes
   /// this node. Throws if the engine is tearing down.
@@ -104,6 +108,11 @@ class Node {
   /// blocked node.
   void deliver_from_event_context(int irq);
 
+  /// "name(what it is stuck on)" for the deadlock report: the condition
+  /// (by name, when given one), its timeout, the compute wake time, or
+  /// the global-section park.
+  std::string describe_block() const;
+
   Engine& engine_;
   const int id_;
   const std::string name_;
@@ -112,6 +121,8 @@ class Node {
   State state_ = State::NotStarted;
   Condition* blocked_on_ = nullptr;
   EventHandle compute_wake_;
+  SimTime compute_until_ = 0;   // wake time of the current compute slice
+  SimTime cond_deadline_ = -1;  // wait_until deadline; -1 = untimed wait
 
   std::vector<InterruptHandler> handlers_;
   std::deque<int> pending_irqs_;
@@ -121,6 +132,12 @@ class Node {
   Engine::Resume resume_reason_ = Engine::Resume::Start;
   bool abort_requested_ = false;
 
+  // ExecMode::Fibers baton: the program's stack, created lazily at the
+  // first transfer (so a never-run engine allocates nothing).
+  Fiber fiber_;
+
+  // ExecMode::Threads baton: dedicated thread parked on go_, engine parked
+  // on done_ while the node runs.
   std::binary_semaphore go_{0};
   std::binary_semaphore done_{0};
   std::thread thread_;
@@ -132,10 +149,15 @@ class Node {
 /// node); cross-node signalling must go through a scheduled event instead.
 class Condition {
  public:
-  explicit Condition(Node& owner) : owner_(owner) {}
+  /// `name` (optional, not owned — use a string literal) identifies the
+  /// condition in deadlock reports.
+  explicit Condition(Node& owner, const char* name = "")
+      : owner_(owner), name_(name) {}
 
   Condition(const Condition&) = delete;
   Condition& operator=(const Condition&) = delete;
+
+  const char* name() const { return name_; }
 
   /// Blocks the owner until signalled; services interrupts while blocked.
   void wait();
@@ -150,6 +172,7 @@ class Condition {
 
  private:
   Node& owner_;
+  const char* name_;
   bool signalled_ = false;
 };
 

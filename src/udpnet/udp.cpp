@@ -87,8 +87,8 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
       transfer_time(len, cost.k_ipgm_bytes_per_us) +
       static_cast<SimTime>(nfrag) * (cost.k_udp_proto + cost.k_ipgm_driver));
 
-  ++system_.stats_.datagrams_sent;
-  system_.stats_.fragments_sent += nfrag;
+  system_.stats_.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
+  system_.stats_.fragments_sent.fetch_add(nfrag, std::memory_order_relaxed);
 
   auto& engine = system_.network().engine();
   if (engine.tracing()) [[unlikely]] {
@@ -128,7 +128,7 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
 
   if (dst_node == node_.id()) {
     if (forced) {
-      ++system_.stats_.drops_random;
+      system_.stats_.drops_random.fetch_add(1, std::memory_order_relaxed);
       if (engine.tracing()) [[unlikely]] {
         engine.tracer()->emit({.t = engine.now(),
                                .node = node_.id(),
@@ -140,11 +140,11 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
       }
       return;
     }
-    // Loopback: no fabric, just kernel dispatch.
-    engine.after(cost.k_rx_interrupt,
-                 [&dst, dst_port, dg = std::move(dg)]() mutable {
-                   dst.deliver_datagram(dst_port, std::move(dg));
-                 });
+    // Loopback: no fabric, just kernel dispatch (on this same node).
+    engine.after_node(node_.id(), cost.k_rx_interrupt,
+                      [&dst, dst_port, dg = std::move(dg)]() mutable {
+                        dst.deliver_datagram(dst_port, std::move(dg));
+                      });
     return;
   }
 
@@ -170,17 +170,18 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
       }
       system_.network().transfer(
           node_.id(), dst_node, frag_len + kUdpIpHeader,
-          [&dst, key, nfrag, meta, dst_port, shared_dg, frag_len] {
+          [&dst, dst_node, key, nfrag, meta, dst_port, shared_dg, frag_len] {
             // Receive-side kernel work per packet (incl. the IP-over-GM
-            // staging copy), then reassembly.
+            // staging copy), then reassembly — all on the receiving node.
             auto& eng = dst.system_.network().engine();
             const auto& c = dst.system_.cost();
-            eng.after(c.k_rx_interrupt + c.k_udp_proto +
-                          transfer_time(frag_len, c.k_ipgm_bytes_per_us),
-                      [&dst, key, nfrag, meta, dst_port, shared_dg] {
-                        dst.fragment_arrived(key, nfrag, meta, dst_port,
-                                             shared_dg);
-                      });
+            eng.after_node(
+                dst_node,
+                c.k_rx_interrupt + c.k_udp_proto +
+                    transfer_time(frag_len, c.k_ipgm_bytes_per_us),
+                [&dst, key, nfrag, meta, dst_port, shared_dg] {
+                  dst.fragment_arrived(key, nfrag, meta, dst_port, shared_dg);
+                });
           });
     }
   };
@@ -214,10 +215,10 @@ void UdpStack::fragment_arrived(std::uint64_t key, std::size_t total,
     re.poisoned = true;
     const bool injected = meta.drop_reason == 2;
     if (injected) {
-      ++system_.stats_.drops_injected;
+      system_.stats_.drops_injected.fetch_add(1, std::memory_order_relaxed);
       system_.network().fault_injector()->note_drop_observed();
     } else {
-      ++system_.stats_.drops_random;
+      system_.stats_.drops_random.fetch_add(1, std::memory_order_relaxed);
     }
     auto& engine = system_.network().engine();
     if (engine.tracing()) [[unlikely]] {
@@ -259,7 +260,7 @@ void UdpStack::deliver_datagram(int dst_port, Datagram&& dg) {
   };
   auto it = port_to_socket_.find(dst_port);
   if (it == port_to_socket_.end()) {
-    ++system_.stats_.drops_unbound;
+    system_.stats_.drops_unbound.fetch_add(1, std::memory_order_relaxed);
     trace_drop(obs::kDropUnbound);
     return;
   }
@@ -267,7 +268,7 @@ void UdpStack::deliver_datagram(int dst_port, Datagram&& dg) {
   const auto bytes =
       static_cast<std::uint32_t>(dg.payload.size()) + kSkbOverhead;
   if (sk.queued_bytes + bytes > sk.rcvbuf) {
-    ++system_.stats_.drops_overflow;
+    system_.stats_.drops_overflow.fetch_add(1, std::memory_order_relaxed);
     trace_drop(obs::kDropOverflow);
     return;
   }
@@ -282,7 +283,7 @@ void UdpStack::deliver_datagram(int dst_port, Datagram&& dg) {
   }
   sk.queued_bytes += bytes;
   sk.queue.push_back(std::move(dg));
-  ++system_.stats_.datagrams_delivered;
+  system_.stats_.datagrams_delivered.fetch_add(1, std::memory_order_relaxed);
   readable_cond_.signal();
   if (sk.sigio_irq >= 0) node_.raise_interrupt(sk.sigio_irq);
 }

@@ -11,6 +11,7 @@
 // paper): sendto/sendmsg, recvfrom (non-blocking), select, and SIGIO.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -60,7 +61,15 @@ class UdpSystem {
     std::uint64_t drops_unbound = 0;
     std::uint64_t drops_injected = 0;  // fault-plan drops (fault/fault.hpp)
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    const auto ld = [](const std::atomic<std::uint64_t>& v) {
+      return v.load(std::memory_order_relaxed);
+    };
+    return {ld(stats_.datagrams_sent),     ld(stats_.fragments_sent),
+            ld(stats_.datagrams_delivered), ld(stats_.drops_overflow),
+            ld(stats_.drops_random),        ld(stats_.drops_unbound),
+            ld(stats_.drops_injected)};
+  }
 
   /// Test seam: deterministic forced loss. Evaluated once per datagram on
   /// the send path, before the random-loss roll; returning true loses the
@@ -73,10 +82,24 @@ class UdpSystem {
 
  private:
   friend class UdpStack;
+
+  /// Counters bump from sender shards (sent/fragments) and receiver shards
+  /// (delivered/drops) concurrently in parallel mode; each is an
+  /// order-independent total, so relaxed atomics suffice.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> datagrams_sent{0};
+    std::atomic<std::uint64_t> fragments_sent{0};
+    std::atomic<std::uint64_t> datagrams_delivered{0};
+    std::atomic<std::uint64_t> drops_overflow{0};
+    std::atomic<std::uint64_t> drops_random{0};
+    std::atomic<std::uint64_t> drops_unbound{0};
+    std::atomic<std::uint64_t> drops_injected{0};
+  };
+
   net::Network& network_;
   Rng rng_;
   std::vector<std::unique_ptr<UdpStack>> stacks_;
-  Stats stats_;
+  AtomicStats stats_;
   DropFilter drop_filter_;
 };
 

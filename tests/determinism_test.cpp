@@ -83,6 +83,99 @@ TEST_P(DeterminismTest, TracingDoesNotChangeTheReport) {
   EXPECT_EQ(off, on);
 }
 
+// --- host-engine axes: execution mode, scheduling mode, shard count ---
+// The engine contract is that none of these move a single byte of virtual
+// -time output. Parallel runs add eng.* scheduler counters to the report
+// (and nothing else), so comparisons strip those rows and separately
+// assert they are present.
+
+std::string strip_eng_rows(const std::string& report) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < report.size()) {
+    std::size_t end = report.find('\n', pos);
+    if (end == std::string::npos) end = report.size();
+    const std::string line = report.substr(pos, end - pos);
+    if (line.rfind("  eng.", 0) != 0) {
+      out += line;
+      out += '\n';
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+ClusterConfig engine_config(SubstrateKind kind, sim::SchedMode sched,
+                            int shards,
+                            sim::ExecMode exec = sim::ExecMode::Fibers) {
+  auto cfg = jacobi_config(kind);
+  cfg.engine.sched = sched;
+  cfg.engine.shards = shards;
+  cfg.engine.exec = exec;
+  return cfg;
+}
+
+TEST_P(DeterminismTest, ThreadAndFiberBatonsProduceTheSameReport) {
+  const std::string fibers = run_jacobi_report(engine_config(
+      GetParam(), sim::SchedMode::Seq, 1, sim::ExecMode::Fibers));
+  const std::string threads = run_jacobi_report(engine_config(
+      GetParam(), sim::SchedMode::Seq, 1, sim::ExecMode::Threads));
+  EXPECT_EQ(fibers, threads);
+}
+
+TEST_P(DeterminismTest, ParallelEngineMatchesSequentialAtEveryShardCount) {
+  const std::string seq =
+      run_jacobi_report(engine_config(GetParam(), sim::SchedMode::Seq, 1));
+  EXPECT_EQ(seq.find("eng."), std::string::npos);
+  for (int shards : {1, 2, 4}) {
+    const std::string par = run_jacobi_report(
+        engine_config(GetParam(), sim::SchedMode::Par, shards));
+    EXPECT_NE(par.find("eng.windows"), std::string::npos) << shards;
+    EXPECT_EQ(seq, strip_eng_rows(par)) << "shards=" << shards;
+  }
+}
+
+TEST_P(DeterminismTest, ParallelEngineTraceIsByteIdenticalToSequential) {
+  for (bool coalescing : {true, false}) {
+    auto seq_cfg = engine_config(GetParam(), sim::SchedMode::Seq, 1);
+    seq_cfg.compute_coalescing = coalescing;
+    obs::Tracer seq_trace;
+    run_jacobi_report(seq_cfg, &seq_trace);
+    ASSERT_FALSE(seq_trace.empty());
+
+    auto par_cfg = engine_config(GetParam(), sim::SchedMode::Par, 2);
+    par_cfg.compute_coalescing = coalescing;
+    obs::Tracer par_trace;
+    run_jacobi_report(par_cfg, &par_trace);
+    EXPECT_EQ(obs::chrome_trace_json(seq_trace.events()),
+              obs::chrome_trace_json(par_trace.events()))
+        << "coalescing=" << coalescing;
+  }
+}
+
+TEST_P(DeterminismTest, ParallelEngineMatchesSequentialUnderHlrc) {
+  // The protocol axis: home-based LRC drives different traffic (eager
+  // flushes, whole-page fetches) through the same windows.
+  auto seq_cfg = engine_config(GetParam(), sim::SchedMode::Seq, 1);
+  seq_cfg.tmk.protocol = proto::Kind::Hlrc;
+  const std::string seq = run_jacobi_report(seq_cfg);
+  for (int shards : {2, 4}) {
+    auto par_cfg = engine_config(GetParam(), sim::SchedMode::Par, shards);
+    par_cfg.tmk.protocol = proto::Kind::Hlrc;
+    const std::string par = run_jacobi_report(par_cfg);
+    EXPECT_EQ(seq, strip_eng_rows(par)) << "shards=" << shards;
+  }
+}
+
+TEST_P(DeterminismTest, ParallelEngineCoalescingDoesNotChangeTheReport) {
+  auto cfg = engine_config(GetParam(), sim::SchedMode::Par, 2);
+  cfg.compute_coalescing = true;
+  const std::string coalesced = run_jacobi_report(cfg);
+  cfg.compute_coalescing = false;
+  const std::string stepped = run_jacobi_report(cfg);
+  EXPECT_EQ(coalesced, stepped);
+}
+
 ClusterConfig faulted_config(SubstrateKind kind) {
   auto cfg = jacobi_config(kind);
   cfg.cost.gm_resend_timeout = milliseconds(20.0);  // see fault_matrix_test

@@ -298,6 +298,112 @@ TEST(Engine, EventLimitGuards) {
   EXPECT_THROW(e.run(), CheckError);
 }
 
+TEST(Engine, EventLimitBoundaryIsExact) {
+  // Two scheduled events: a limit of exactly 2 passes, 1 trips — the guard
+  // must not be off by one in either direction.
+  {
+    Engine e;
+    e.set_event_limit(2);
+    e.after(1, [] {});
+    e.after(2, [] {});
+    e.run();
+    EXPECT_EQ(e.events_processed(), 2u);
+  }
+  {
+    Engine e;
+    e.set_event_limit(1);
+    e.after(1, [] {});
+    e.after(2, [] {});
+    EXPECT_THROW(e.run(), CheckError);
+  }
+}
+
+TEST(Engine, EventLimitGuardsParallelMode) {
+  EngineConfig cfg;
+  cfg.sched = SchedMode::Par;
+  cfg.shards = 2;
+  Engine e(1, cfg);
+  e.set_event_limit(10);
+  std::function<void()> loop = [&] { e.after(1, loop); };
+  e.after(1, loop);
+  EXPECT_THROW(e.run(), CheckError);
+}
+
+TEST(Engine, DeadlockMessageDescribesEveryStuckNode) {
+  Engine e;
+  e.add_node("reader", [&](Node& n) {
+    Condition c(n, "reply-queue");
+    c.wait();  // never signalled
+  });
+  e.add_node("sleeper", [&](Node& n) {
+    Condition c(n);
+    (void)c.wait_until(500);  // times out, then waits forever
+    c.wait();
+  });
+  e.add_node("done", [](Node&) {});
+  try {
+    e.run();
+    FAIL() << "expected SimDeadlock";
+  } catch (const SimDeadlock& d) {
+    const std::string msg = d.what();
+    // Both stuck nodes appear, with their block reason; the finished node
+    // does not. The named condition is called out by name.
+    EXPECT_NE(msg.find("reader"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("waiting on condition 'reply-queue'"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("sleeper"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("done"), std::string::npos) << msg;
+    // The virtual time of the wedge is in the headline.
+    EXPECT_NE(msg.find("deadlock at t=500ns"), std::string::npos) << msg;
+  }
+}
+
+TEST(Engine, DeadlockMessageSurvivesInterruptTraffic) {
+  // An interrupt preempts the waiting node, runs its handler, and returns
+  // it to the same wait — the diagnostic must still name the condition
+  // after that round trip.
+  Engine e;
+  bool handled = false;
+  int irq = -1;
+  e.add_node("handler", [&](Node& n) {
+    irq = n.add_interrupt([&] { handled = true; });
+    Condition c(n, "never");
+    c.wait();
+  });
+  e.after(20, [&] { e.node(0).raise_interrupt(irq); });
+  try {
+    e.run();
+    FAIL() << "expected SimDeadlock";
+  } catch (const SimDeadlock& d) {
+    const std::string msg = d.what();
+    EXPECT_TRUE(handled);
+    EXPECT_NE(msg.find("waiting on condition 'never'"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Engine, DeadlockDetectedInParallelMode) {
+  EngineConfig cfg;
+  cfg.sched = SchedMode::Par;
+  cfg.shards = 2;
+  Engine e(1, cfg);
+  e.add_node("stuck", [&](Node& n) {
+    Condition c(n, "par-wedge");
+    c.wait();
+  });
+  e.add_node("fine", [](Node&) {});
+  try {
+    e.run();
+    FAIL() << "expected SimDeadlock";
+  } catch (const SimDeadlock& d) {
+    const std::string msg = d.what();
+    EXPECT_NE(msg.find("stuck"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("par-wedge"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("fine"), std::string::npos) << msg;
+  }
+}
+
 TEST(Engine, ManyNodesManyEvents) {
   Engine e;
   constexpr int kNodes = 16;

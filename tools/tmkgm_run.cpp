@@ -37,6 +37,10 @@ struct Options {
   bool race_check = false;
   bool rendezvous = false;
   std::string async_scheme = "interrupt";
+  std::string engine = "seq";
+  std::string engine_exec = "fibers";
+  int engine_shards = 2;
+  bool trace_engine = false;
   std::string trace_file;
   std::string faults;
 };
@@ -53,6 +57,14 @@ void usage() {
       "  --size S                      grid edge / cities / FFT N\n"
       "  --iters K                     iterations\n"
       "  --seed S                      deterministic seed\n"
+      "  --engine seq|par              host scheduler: classic sequential\n"
+      "                                loop, or conservative parallel DES\n"
+      "                                (bit-identical virtual-time output)\n"
+      "  --engine-shards N             parallel mode: event/fiber shards\n"
+      "                                (default 2)\n"
+      "  --engine-exec fibers|threads  node baton (default fibers)\n"
+      "  --trace-engine                with --trace: include scheduler\n"
+      "                                window/barrier records\n"
       "  --async interrupt|timer|polling  FAST/GM async scheme\n"
       "  --rendezvous                  FAST/GM rendezvous buffering\n"
       "  --verify                      check against the serial reference\n"
@@ -120,6 +132,20 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (!v) return false;
       o.async_scheme = v;
+    } else if (a == "--engine") {
+      const char* v = next();
+      if (!v) return false;
+      o.engine = v;
+    } else if (a == "--engine-shards") {
+      const char* v = next();
+      if (!v) return false;
+      o.engine_shards = std::atoi(v);
+    } else if (a == "--engine-exec") {
+      const char* v = next();
+      if (!v) return false;
+      o.engine_exec = v;
+    } else if (a == "--trace-engine") {
+      o.trace_engine = true;
     } else if (a == "--rendezvous") {
       o.rendezvous = true;
     } else if (a == "--trace") {
@@ -162,6 +188,24 @@ int main(int argc, char** argv) {
   cfg.n_procs = o.nodes;
   cfg.seed = o.seed;
   cfg.tmk.arena_bytes = 256u << 20;
+  if (o.engine == "par") {
+    cfg.engine.sched = sim::SchedMode::Par;
+  } else if (o.engine != "seq") {
+    std::fprintf(stderr, "unknown engine: %s\n", o.engine.c_str());
+    return 1;
+  }
+  if (o.engine_exec == "threads") {
+    cfg.engine.exec = sim::ExecMode::Threads;
+  } else if (o.engine_exec != "fibers") {
+    std::fprintf(stderr, "unknown engine exec: %s\n", o.engine_exec.c_str());
+    return 1;
+  }
+  if (o.engine_shards < 1) {
+    std::fprintf(stderr, "--engine-shards must be >= 1\n");
+    return 1;
+  }
+  cfg.engine.shards = o.engine_shards;
+  cfg.trace_engine = o.trace_engine;
   if (o.substrate == "fastgm") {
     cfg.kind = cluster::SubstrateKind::FastGm;
   } else if (o.substrate == "udpgm") {
