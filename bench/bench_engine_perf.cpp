@@ -335,6 +335,36 @@ void BM_TmkPageHandoff(benchmark::State& state) {
 }
 BENCHMARK(BM_TmkPageHandoff)->ArgName("hlrc")->Arg(0)->Arg(1)->UseRealTime();
 
+// Host wall-clock of one full barrier episode at scale, flat (arity 0)
+// vs arity-8 combining tree. The tree moves interval merging off the
+// root, so host time per episode should track the message count:
+// O(n) flat vs O(n) tree messages overall, but the tree batches child
+// subtrees into single arrivals and the root touches only K of them.
+void BM_BarrierTreeScale(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int arity = static_cast<int>(state.range(1));
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = nodes;
+  cfg.tmk.arena_bytes = 1u << 20;
+  cfg.tmk.barrier_arity = arity;
+  cfg.fastgm.rendezvous_large = true;  // keep per-peer pre-posting sane
+  constexpr int kRounds = 5;
+  for (auto _ : state) {
+    cluster::Cluster c(cfg);
+    c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv&) {
+      for (int r = 0; r < kRounds; ++r) tmk.barrier(0);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_BarrierTreeScale)
+    ->ArgNames({"nodes", "arity"})
+    ->Args({64, 0})
+    ->Args({64, 8})
+    ->Args({256, 0})
+    ->Args({256, 8})
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -57,6 +57,25 @@ faulted_run_controls() {
   done
 }
 
+# Scale controls: 512 nodes — twice the old uint8 wire ceiling — with the
+# arity-8 combining-tree barrier and hashed lock homes. This drives the
+# 16-bit envelope, the tree's arrival batching / release relay / overflow
+# pull, and the lock directory under the sanitizer, on both engines (the
+# parallel run doubles as the TSan target for the tree paths).
+scale_tree_controls() {
+  local bin="$1/tools/tmkgm_run"
+  echo "== 512-node tree-barrier controls (seq + par under sanitizer)"
+  for engine_args in "" "--engine par --engine-shards 4"; do
+    # shellcheck disable=SC2086
+    if ! "$bin" --app jacobi --nodes 512 --size 32 --iters 2 --verify \
+        --substrate udpgm --barrier-arity 8 --lock-directory --arena-mb 2 \
+        $engine_args > /dev/null; then
+      echo "error: 512-node tree-barrier run failed (${engine_args:-seq})" >&2
+      exit 1
+    fi
+  done
+}
+
 # Parallel-engine controls: the conservative parallel scheduler is the
 # one genuinely multithreaded part of the codebase, so it gets a
 # dedicated pass under each sanitizer. ASan additionally vets the fiber
@@ -88,6 +107,7 @@ for preset in asan ubsan; do
   race_oracle_controls "build-$preset"
   faulted_run_controls "build-$preset"
   parallel_engine_controls "build-$preset"
+  scale_tree_controls "build-$preset"
   ctest --preset "$preset"
 done
 
@@ -99,3 +119,4 @@ cmake --preset tsan
 cmake --build --preset tsan
 ctest --preset tsan -R '^Engine\.|^EventQueue\.|^EngineStress\.|Determinism'
 parallel_engine_controls build-tsan
+scale_tree_controls build-tsan

@@ -58,9 +58,22 @@ if [ "$PROTOCOL" = hlrc ]; then
   fi
 fi
 
-# Golden pin (default protocol only): the lrc reports and trace must be
-# byte-identical to the captures taken from the seed binary. Any diff here
-# means the protocol seam changed default behavior.
+# Hierarchical-sync sanity: the combining-tree barrier plus the hashed
+# lock directory must compute the same answers as the flat defaults (the
+# topology moves messages, never data), including past the old 256-node
+# wire ceiling.
+build/tools/tmkgm_run --app jacobi --nodes 16 --size 64 --verify \
+  --protocol "$PROTOCOL" --barrier-arity 4 --lock-directory > /dev/null
+build/tools/tmkgm_run --app jacobi --nodes 512 --size 32 --iters 2 \
+  --substrate udpgm --arena-mb 2 --verify --protocol "$PROTOCOL" \
+  --barrier-arity 8 --lock-directory > /dev/null
+echo "tree: hierarchical-sync runs verify against the serial reference"
+
+# Golden pin (default protocol only, flat sync): the lrc reports and trace
+# must be byte-identical to the captures taken from the seed binary. The
+# runs below use the default flat barrier and flat lock homes — any diff
+# here means the protocol seam, the 16-bit wire envelope, or the
+# hierarchical-sync work changed default behavior.
 if [ "$PROTOCOL" = lrc ]; then
   build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report \
     > /tmp/reproduce_golden_jacobi.txt

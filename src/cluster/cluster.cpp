@@ -45,7 +45,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   TMKGM_CHECK(config_.n_procs >= 1);
   TMKGM_CHECK_MSG(config_.n_procs <= sub::kMaxNodes,
                   "n_procs " << config_.n_procs
-                             << " exceeds the substrate envelope's 8-bit "
+                             << " exceeds the substrate envelope's 16-bit "
                                 "origin field (max "
                              << sub::kMaxNodes << ")");
 }

@@ -250,17 +250,10 @@ void FastGmSubstrate::send_message(sub::MsgKind kind, int origin,
   const std::size_t total = sizeof(sub::Envelope) + payload;
   TMKGM_CHECK_MSG(total <= sub::kMaxMessage,
                   "message too large for the substrate: " << total);
-  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
-                  "origin " << origin
-                            << " does not fit the 8-bit envelope field");
 
   std::byte* buf = acquire_send_buffer();
-  sub::Envelope env;
-  env.kind = static_cast<std::uint8_t>(kind);
-  env.origin = static_cast<std::uint8_t>(origin);
-  env.seq = seq;
-  std::memcpy(buf, &env, sizeof(env));
-  std::size_t off = sizeof(env);
+  sub::pack_envelope(buf, kind, origin, seq);
+  std::size_t off = sizeof(sub::Envelope);
   for (const auto& b : iov) {
     if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(buf + off, b.data, b.len);
@@ -329,9 +322,6 @@ void FastGmSubstrate::start_rendezvous(sub::MsgKind rts_kind, int origin,
                                        std::span<const sub::ConstBuf> iov,
                                        std::size_t payload_len) {
   ++stats_.rendezvous;
-  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
-                  "origin " << origin
-                            << " does not fit the 8-bit envelope field");
   const auto total =
       static_cast<std::uint32_t>(sizeof(sub::Envelope) + payload_len);
   trace(obs::Kind::Rendezvous, dst, seq, total);
@@ -339,15 +329,13 @@ void FastGmSubstrate::start_rendezvous(sub::MsgKind rts_kind, int origin,
   // Prepare the data message now so the CTS handler (interrupt context)
   // can ship it without touching caller memory.
   std::byte* buf = acquire_send_buffer();
-  sub::Envelope env;
-  env.kind = static_cast<std::uint8_t>(rts_kind == sub::MsgKind::RtsRequest
-                                           ? sub::MsgKind::Request
-                                           : sub::MsgKind::Response);
-  env.origin = static_cast<std::uint8_t>(
-      rts_kind == sub::MsgKind::RtsRequest ? origin : node_id_);
-  env.seq = seq;
-  std::memcpy(buf, &env, sizeof(env));
-  std::size_t off = sizeof(env);
+  sub::pack_envelope(buf,
+                     rts_kind == sub::MsgKind::RtsRequest
+                         ? sub::MsgKind::Request
+                         : sub::MsgKind::Response,
+                     rts_kind == sub::MsgKind::RtsRequest ? origin : node_id_,
+                     seq);
+  std::size_t off = sizeof(sub::Envelope);
   for (const auto& b : iov) {
     if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(buf + off, b.data, b.len);
@@ -394,9 +382,7 @@ void FastGmSubstrate::drain_request_port() {
 }
 
 void FastGmSubstrate::handle_request_msg(const gm::RecvMsg& msg) {
-  TMKGM_CHECK(msg.length >= sizeof(sub::Envelope));
-  sub::Envelope env;
-  std::memcpy(&env, msg.buffer, sizeof(env));
+  const sub::Envelope env = sub::unpack_envelope(msg.buffer, msg.length);
   const auto* payload =
       static_cast<const std::byte*>(msg.buffer) + sizeof(env);
   const std::size_t payload_len = msg.length - sizeof(env);
@@ -483,9 +469,7 @@ void FastGmSubstrate::consume_reply_buffer(const gm::RecvMsg& msg) {
 }
 
 void FastGmSubstrate::handle_reply_msg(const gm::RecvMsg& msg) {
-  TMKGM_CHECK(msg.length >= sizeof(sub::Envelope));
-  sub::Envelope env;
-  std::memcpy(&env, msg.buffer, sizeof(env));
+  const sub::Envelope env = sub::unpack_envelope(msg.buffer, msg.length);
   TMKGM_CHECK_MSG(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Response,
                   "non-response on the reply port");
   const auto* payload =

@@ -125,17 +125,10 @@ void FastIbSubstrate::send_message(sub::MsgKind kind, int origin,
   for (const auto& b : iov) payload += b.len;
   const std::size_t total = sizeof(sub::Envelope) + payload;
   TMKGM_CHECK_MSG(total <= kSlot, "message too large: " << total);
-  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
-                  "origin " << origin
-                            << " does not fit the 8-bit envelope field");
 
   std::byte* buf = acquire_send_buffer();
-  sub::Envelope env;
-  env.kind = static_cast<std::uint8_t>(kind);
-  env.origin = static_cast<std::uint8_t>(origin);
-  env.seq = seq;
-  std::memcpy(buf, &env, sizeof(env));
-  std::size_t off = sizeof(env);
+  sub::pack_envelope(buf, kind, origin, seq);
+  std::size_t off = sizeof(sub::Envelope);
   for (const auto& b : iov) {
     if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(buf + off, b.data, b.len);
@@ -196,9 +189,7 @@ void FastIbSubstrate::on_recv_event() {
 
 void FastIbSubstrate::handle_request_msg(const Completion& c) {
   TMKGM_CHECK(c.kind == Completion::Kind::Recv);
-  TMKGM_CHECK(c.byte_len >= sizeof(sub::Envelope));
-  sub::Envelope env;
-  std::memcpy(&env, c.buffer, sizeof(env));
+  const sub::Envelope env = sub::unpack_envelope(c.buffer, c.byte_len);
   TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Request);
   ++stats_.requests_handled;
   trace(obs::Kind::Recv, c.peer, env.seq, c.byte_len);
@@ -218,8 +209,7 @@ void FastIbSubstrate::drain_rdma_cq() {
   const Completion c = hca_.wait_rdma_cq();
   TMKGM_CHECK(c.kind == Completion::Kind::RdmaImm);
   const std::byte* slot = reply_slot_for(c.peer, c.imm);
-  sub::Envelope env;
-  std::memcpy(&env, slot, sizeof(env));
+  const sub::Envelope env = sub::unpack_envelope(slot, c.byte_len);
   TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Response);
   TMKGM_CHECK(env.seq == c.imm);
   const std::size_t payload_len = c.byte_len - sizeof(env);

@@ -225,7 +225,7 @@ void Hlrc::flush_staged() {
   staged_.clear();
 }
 
-void Hlrc::on_gc_discard(std::uint32_t /*floor_epoch*/) {
+void Hlrc::on_gc_discard(std::uint64_t /*floor_epoch*/) {
   // Nothing protocol-private outlives a release: diffs were flushed and
   // twins freed at close. Interval records are shared state, discarded by
   // Tmk.

@@ -40,7 +40,7 @@ class Hlrc final : public Protocol {
   void on_interval_close(std::uint32_t vt,
                          std::span<const tmk::PageId> pages) override;
   void on_interval_closed() override;
-  void on_gc_discard(std::uint32_t floor_epoch) override;
+  void on_gc_discard(std::uint64_t floor_epoch) override;
   std::size_t private_bytes() const override { return 0; }
   bool handle_request(tmk::Op op, const sub::RequestCtx& ctx,
                       WireReader& r) override;

@@ -60,7 +60,7 @@ void Lrc::on_interval_close(std::uint32_t vt,
   }
 }
 
-void Lrc::on_gc_discard(std::uint32_t floor_epoch) {
+void Lrc::on_gc_discard(std::uint64_t floor_epoch) {
   auto& mine = t_.intervals_[static_cast<std::size_t>(t_.proc_id())];
   for (auto it = my_diffs_.begin(); it != my_diffs_.end();) {
     const auto vt = it->first.second;

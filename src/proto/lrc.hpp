@@ -29,7 +29,7 @@ class Lrc final : public Protocol {
   void on_interval_close(std::uint32_t vt,
                          std::span<const tmk::PageId> pages) override;
   void on_interval_closed() override {}  // diffs stay latent until pulled
-  void on_gc_discard(std::uint32_t floor_epoch) override;
+  void on_gc_discard(std::uint64_t floor_epoch) override;
   std::size_t private_bytes() const override { return diff_store_bytes_; }
   bool handle_request(tmk::Op op, const sub::RequestCtx& ctx,
                       WireReader& r) override;

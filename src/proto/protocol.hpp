@@ -72,7 +72,7 @@ class Protocol {
 
   /// GC discard phase: drop protocol-private state for own intervals with
   /// epoch < floor. Shared interval records are discarded by Tmk after.
-  virtual void on_gc_discard(std::uint32_t floor_epoch) = 0;
+  virtual void on_gc_discard(std::uint64_t floor_epoch) = 0;
 
   /// Bytes of protocol-private memory (LRC: the diff store) counted into
   /// Tmk::protocol_bytes() for the GC high-water check.

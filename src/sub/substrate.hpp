@@ -24,8 +24,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <span>
+
+#include "util/check.hpp"
 
 namespace tmkgm::sub {
 
@@ -37,11 +40,11 @@ struct ConstBuf {
 /// Largest message TreadMarks can send (GM size class 15, per the paper).
 inline constexpr std::size_t kMaxMessage = 32760;
 
-/// Envelope::origin travels as a std::uint8_t, so node ids above 255 would
-/// silently alias. Every pack site checks against this bound so a run past
-/// the 256-node future-scale sweep fails loudly instead of corrupting
-/// request routing.
-inline constexpr int kMaxNodes = 256;
+/// Envelope::origin travels as a std::uint16_t (wire format v2), so node
+/// ids up to 65535 route correctly. pack_envelope — the one shared pack
+/// site — checks this bound so a run past it fails loudly instead of
+/// corrupting request routing.
+inline constexpr int kMaxNodes = 65536;
 
 struct Envelope;  // below
 
@@ -144,7 +147,7 @@ class AsyncMasked {
   Substrate& s_;
 };
 
-/// On-wire envelope shared by both substrates (8 bytes — the paper notes
+/// On-wire envelope shared by every substrate (8 bytes — the paper notes
 /// most asynchronous requests are of this order).
 enum class MsgKind : std::uint8_t {
   Request = 1,
@@ -154,12 +157,51 @@ enum class MsgKind : std::uint8_t {
   Cts = 5,          // rendezvous: receiver pinned a buffer; go ahead
 };
 
+/// Wire format version. v1 carried the origin in a single byte (and an
+/// unused 16-bit pad); v2 repacks the same 8 bytes as a version byte plus
+/// a 16-bit origin, lifting the 256-node cap without growing any message.
+inline constexpr std::uint8_t kWireVersion = 2;
+
 struct Envelope {
   std::uint8_t kind = 0;
-  std::uint8_t origin = 0;
-  std::uint16_t reserved = 0;
+  std::uint8_t ver = kWireVersion;
+  std::uint16_t origin = 0;
   std::uint32_t seq = 0;
 };
 static_assert(sizeof(Envelope) == 8);
+
+/// Packs the shared envelope into `out` (which must have room for
+/// sizeof(Envelope) bytes). This is the ONE place the origin is
+/// range-checked against kMaxNodes — the per-substrate copies of that
+/// guard are gone, so widening the id space cannot miss a pack site.
+inline void pack_envelope(void* out, MsgKind kind, int origin,
+                          std::uint32_t seq) {
+  TMKGM_CHECK_MSG(origin >= 0 && origin < kMaxNodes,
+                  "origin " << origin
+                            << " does not fit the 16-bit envelope field");
+  Envelope env;
+  env.kind = static_cast<std::uint8_t>(kind);
+  env.ver = kWireVersion;
+  env.origin = static_cast<std::uint16_t>(origin);
+  env.seq = seq;
+  std::memcpy(out, &env, sizeof(env));
+}
+
+/// Unpacks and validates the shared envelope from the head of a message.
+/// Rejects short messages, unknown wire versions and out-of-range origins
+/// — every substrate receive path funnels through here.
+inline Envelope unpack_envelope(const void* data, std::size_t len) {
+  TMKGM_CHECK_MSG(len >= sizeof(Envelope),
+                  "message shorter than the envelope: " << len);
+  Envelope env;
+  std::memcpy(&env, data, sizeof(env));
+  TMKGM_CHECK_MSG(env.ver == kWireVersion,
+                  "wire version " << static_cast<int>(env.ver)
+                                  << " (expected "
+                                  << static_cast<int>(kWireVersion) << ")");
+  TMKGM_CHECK_MSG(env.origin < kMaxNodes,
+                  "origin " << env.origin << " out of range");
+  return env;
+}
 
 }  // namespace tmkgm::sub

@@ -1,0 +1,16 @@
+#include "tmk/lockdir.hpp"
+
+namespace tmkgm::tmk {
+
+LockDirectory::LockDirectory(int n_procs, int n_locks, int self, bool hashed)
+    : n_procs_(n_procs), hashed_(hashed) {
+  TMKGM_CHECK(n_procs >= 1 && n_locks >= 0);
+  locks_.resize(static_cast<std::size_t>(n_locks));
+  for (int l = 0; l < n_locks; ++l) {
+    auto& L = locks_[static_cast<std::size_t>(l)];
+    L.tail = home(l);
+    L.owned = home(l) == self;
+  }
+}
+
+}  // namespace tmkgm::tmk

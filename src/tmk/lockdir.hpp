@@ -1,0 +1,94 @@
+// Lock-manager directory: who manages which lock, and the per-lock
+// distributed-queue state each node keeps.
+//
+// TreadMarks assigns every lock a static manager; every acquire goes to
+// the manager, which forwards it (exactly once) to the tail of the
+// acquisition chain and records the new tail — probable-owner forwarding
+// serialized at the home, so requests cannot cycle. That protocol is
+// unchanged here; what this module owns is the PLACEMENT of the homes:
+//
+//  - flat (directory off): manager(l) = l % n_procs, the classic
+//    TreadMarks mapping. Kept bit-for-bit so existing goldens hold.
+//  - hashed directory (directory on): manager(l) = mix(l) % n_procs with
+//    a splitmix-style integer mix. Applications overwhelmingly use low,
+//    consecutive lock ids (0..k), which under the flat mapping all land
+//    on procs 0..k — at 1024 nodes that turns the first few procs into
+//    lock-service hot spots while 1000+ procs manage nothing. Hashing
+//    the id spreads consecutive ids uniformly across every home.
+//
+// The mapping must only be deterministic and identical on every node —
+// acquirers compute the home locally — so a fixed keyless mix suffices.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sub/substrate.hpp"
+#include "tmk/ops.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::tmk {
+
+/// Lock state, TreadMarks-style distributed queue: every acquire goes to
+/// the static manager, which forwards it (exactly once) to the tail of
+/// the acquisition chain and records the new tail. A chain member holds
+/// at most one successor and grants to it at release. No other node ever
+/// forwards, so requests cannot cycle.
+struct LockState {
+  bool held = false;
+  bool owned = false;  // we hold the token (last releaser / initial mgr)
+  /// The next node in the chain after us (set while we hold/await the
+  /// lock), granted at our release.
+  std::optional<std::pair<sub::RequestCtx, VectorClock>> successor;
+  // --- manager-only state ---
+  /// Last node in the acquisition chain (where the next request goes).
+  int tail = 0;
+  /// Re-drive table for duplicate requests (UDP loss): origin -> the
+  /// (seq, target) of the forward we already made.
+  std::map<int, std::pair<std::uint32_t, int>> forwarded;
+};
+
+class LockDirectory {
+ public:
+  /// `self` initializes the manager-resident token: the home of each lock
+  /// starts as its owner and chain tail.
+  LockDirectory(int n_procs, int n_locks, int self, bool hashed);
+
+  /// The managing node of `lock`.
+  int home(int lock) const {
+    return hashed_ ? static_cast<int>(mix(static_cast<std::uint32_t>(lock)) %
+                                      static_cast<std::uint32_t>(n_procs_))
+                   : lock % n_procs_;
+  }
+
+  LockState& state(int lock) {
+    return locks_[static_cast<std::size_t>(lock)];
+  }
+  const LockState& state(int lock) const {
+    return locks_[static_cast<std::size_t>(lock)];
+  }
+
+  int n_locks() const { return static_cast<int>(locks_.size()); }
+
+ private:
+  /// splitmix32-style finalizer: full-avalanche, keyless, identical
+  /// everywhere.
+  static std::uint32_t mix(std::uint32_t x) {
+    x += 0x9e3779b9u;
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+  }
+
+  int n_procs_;
+  bool hashed_;
+  std::vector<LockState> locks_;
+};
+
+}  // namespace tmkgm::tmk

@@ -22,7 +22,34 @@ enum class Op : std::uint8_t {
   Distribute = 5,
   MoreIntervals = 6,  // pull the rest of a truncated interval set
   DiffFlush = 7,      // HLRC: eager diff flush from a writer to the home
+  BarrierPull = 8,    // tree barrier: parent pulls a child's overflowed
+                      // arrive records (raw pass-through, not incorporated)
 };
+
+/// Interval records and lock grants name procs on the wire. With 256 or
+/// fewer procs a proc id is a single byte — exactly the historical
+/// encoding, so every ≤256-node golden report stays byte-identical — and
+/// two bytes above that (the cluster layer caps n_procs at
+/// sub::kMaxNodes = 65536). Both sides derive the width from n_procs,
+/// which every node knows, so no per-message flag is needed.
+inline bool wide_proc_ids(int n_procs) { return n_procs > 256; }
+
+inline std::size_t proc_id_wire_bytes(int n_procs) {
+  return wide_proc_ids(n_procs) ? 2 : 1;
+}
+
+inline void put_proc(WireWriter& w, int proc, int n_procs) {
+  if (wide_proc_ids(n_procs)) {
+    w.put<std::uint16_t>(static_cast<std::uint16_t>(proc));
+  } else {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(proc));
+  }
+}
+
+inline int get_proc(WireReader& r, int n_procs) {
+  return wide_proc_ids(n_procs) ? static_cast<int>(r.get<std::uint16_t>())
+                                : static_cast<int>(r.get<std::uint8_t>());
+}
 
 inline void put_vc(WireWriter& w, const VectorClock& vc) {
   w.put<std::uint32_t>(static_cast<std::uint32_t>(vc.size()));

@@ -21,11 +21,15 @@ Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
       config_(config),
       compute_tax_(compute_tax),
       oracle_(oracle),
+      lockdir_(substrate.n_procs(), config.n_locks, substrate.self(),
+               config.lock_directory),
       barrier_cond_(node),
       distribute_cond_(node) {
   TMKGM_CHECK(config_.page_size >= 64 && config_.page_size % 4 == 0);
   TMKGM_CHECK(config_.home_chunk_pages >= 1);
   TMKGM_CHECK(config_.arena_bytes % config_.page_size == 0);
+  TMKGM_CHECK_MSG(config_.barrier_arity >= 0,
+                  "barrier_arity must be 0 (flat) or a tree arity >= 2");
   n_pages_ = config_.arena_bytes / config_.page_size;
   arena_.reset(static_cast<std::byte*>(std::calloc(config_.arena_bytes, 1)));
   TMKGM_CHECK(arena_ != nullptr);
@@ -33,13 +37,10 @@ Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
   access_ok_.assign(n_pages_, 0);
   vc_.assign(static_cast<std::size_t>(n_procs()), 0);
   intervals_.resize(static_cast<std::size_t>(n_procs()));
-  locks_.resize(static_cast<std::size_t>(config_.n_locks));
-  for (int l = 0; l < config_.n_locks; ++l) {
-    locks_[static_cast<std::size_t>(l)].tail = lock_manager(l);
-    locks_[static_cast<std::size_t>(l)].owned = lock_manager(l) == proc_id();
-  }
-  if (proc_id() == 0) {
-    barrier_root_.resize(static_cast<std::size_t>(config_.n_barriers));
+  // Flat mode collects arrivals on proc 0 only; in tree mode every node
+  // may be a parent and every non-root keeps a pull queue.
+  if (proc_id() == 0 || config_.barrier_arity >= 2) {
+    barrier_state_.resize(static_cast<std::size_t>(config_.n_barriers));
   }
   // The protocol engine must exist before any request can arrive.
   protocol_ = proto::make_protocol(config_.protocol, *this);
@@ -263,7 +264,7 @@ std::size_t Tmk::max_notice_pages() const {
   // so Op::MoreIntervals always makes progress. Subtract the fixed record
   // header (proc, vt, vc, page count) and divide by the per-page cost.
   return (sub::kMaxPayload / 2 - 64 -
-          (1 + 4 + (4 + 4 * vc_.size()) + 4)) /
+          (proc_id_wire_bytes(n_procs()) + 4 + (4 + 4 * vc_.size()) + 4)) /
          4;
 }
 
@@ -279,7 +280,7 @@ bool Tmk::close_interval() {
     const std::size_t count = std::min(cap, dirty_pages_.size() - off);
     const auto vt = ++vc_[static_cast<std::size_t>(proc_id())];
     IntervalRecord rec;
-    rec.proc = static_cast<std::uint8_t>(proc_id());
+    rec.proc = static_cast<std::uint16_t>(proc_id());
     rec.vt = vt;
     rec.vc = vc_;
     rec.pages.assign(dirty_pages_.begin() + static_cast<std::ptrdiff_t>(off),
@@ -344,8 +345,9 @@ bool Tmk::pack_missing_intervals(WireWriter& w,
                       "interval (" << p << "," << vt
                                    << ") missing (GC raced a laggard?)");
       const IntervalRecord& rec = it->second;
-      const std::size_t need =
-          1 + 4 + (4 + 4 * rec.vc.size()) + 4 + 4 * rec.pages.size();
+      const std::size_t need = proc_id_wire_bytes(n_procs()) + 4 +
+                               (4 + 4 * rec.vc.size()) + 4 +
+                               4 * rec.pages.size();
       if (w.size() + need > budget) {
         // Receiver pulls the remainder with Op::MoreIntervals; truncating
         // mid-stream is safe because records are packed in (proc, vt)
@@ -360,7 +362,7 @@ bool Tmk::pack_missing_intervals(WireWriter& w,
         w.patch<std::uint32_t>(count_pos, count);
         return true;
       }
-      w.put<std::uint8_t>(rec.proc);
+      put_proc(w, rec.proc, n_procs());
       w.put<std::uint32_t>(rec.vt);
       put_vc(w, rec.vc);
       w.put<std::uint32_t>(static_cast<std::uint32_t>(rec.pages.size()));
@@ -391,7 +393,7 @@ void Tmk::unpack_intervals(WireReader& r) {
   const auto count = r.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < count; ++i) {
     IntervalRecord rec;
-    rec.proc = r.get<std::uint8_t>();
+    rec.proc = static_cast<std::uint16_t>(get_proc(r, n_procs()));
     rec.vt = r.get<std::uint32_t>();
     rec.vc = get_vc(r);
     const auto npages = r.get<std::uint32_t>();
@@ -409,7 +411,7 @@ void Tmk::lock_acquire(int lock) {
   TMKGM_CHECK(lock >= 0 && lock < config_.n_locks);
   ++stats_.lock_acquires;
   trace(obs::Kind::LockAcquire, -1, static_cast<std::uint64_t>(lock));
-  LockState& L = locks_[static_cast<std::size_t>(lock)];
+  LockState& L = lockdir_.state(lock);
   TMKGM_CHECK_MSG(!L.held, "recursive lock acquire");
   if (L.owned) {
     L.held = true;  // free re-acquire: we saw our own last release
@@ -442,7 +444,7 @@ void Tmk::lock_acquire(int lock) {
   const auto len = substrate_.recv_response(seq, buf);
   WireReader r({buf.data(), len});
   const auto more = r.get<std::uint8_t>();
-  const auto granter = r.get<std::uint8_t>();
+  const int granter = get_proc(r, n_procs());
   unpack_intervals(r);
   if (more != 0) fetch_more_intervals(granter);
   L.owned = true;
@@ -456,7 +458,7 @@ void Tmk::lock_acquire(int lock) {
 
 void Tmk::lock_release(int lock) {
   TMKGM_CHECK(lock >= 0 && lock < config_.n_locks);
-  LockState& L = locks_[static_cast<std::size_t>(lock)];
+  LockState& L = lockdir_.state(lock);
   TMKGM_CHECK_MSG(L.held && L.owned, "releasing a lock we do not hold");
   trace(obs::Kind::LockRelease, -1, static_cast<std::uint64_t>(lock));
   close_interval();
@@ -486,7 +488,7 @@ void Tmk::grant_lock(int lock, const sub::RequestCtx& to,
   }
   WireWriter w;
   w.put<std::uint8_t>(0);  // more flag, patched below
-  w.put<std::uint8_t>(static_cast<std::uint8_t>(proc_id()));
+  put_proc(w, proc_id(), n_procs());
   const bool more = pack_missing_intervals(w, their_vc);
   w.patch<std::uint8_t>(0, more ? 1 : 0);
   substrate_.respond(to, w.bytes());
@@ -512,9 +514,29 @@ void Tmk::barrier(int id) {
                                vc_[static_cast<std::size_t>(proc_id())]);
   }
 
+  const bool run_gc =
+      config_.barrier_arity >= 2 ? barrier_tree(id) : barrier_flat(id);
+
+  if (oracle_ != nullptr) {
+    oracle_->on_barrier_leave(proc_id(), id,
+                              vc_[static_cast<std::size_t>(proc_id())]);
+  }
+  ++barrier_epoch_;
+  if (gc_discard_pending_) {
+    discard_old_protocol_state();
+    gc_discard_pending_ = false;
+  }
+  if (run_gc) {
+    run_gc_validate_phase();
+    gc_discard_pending_ = true;
+    gc_floor_epoch_ = barrier_epoch_;
+  }
+}
+
+bool Tmk::barrier_flat(int id) {
   bool run_gc = false;
   if (proc_id() == 0) {
-    BarrierRoot& root = barrier_root_[static_cast<std::size_t>(id)];
+    BarrierState& root = barrier_state_[static_cast<std::size_t>(id)];
     const int expected = n_procs() - 1;
     substrate_.mask_async();
     while (root.arrived < expected) {
@@ -522,9 +544,9 @@ void Tmk::barrier(int id) {
       barrier_cond_.wait();
       substrate_.mask_async();
     }
-    // Take exactly this epoch's arrivals: a fast client may already have
+    // Take exactly this episode's arrivals: a fast client may already have
     // arrived at the *next* use of this barrier while we were still here,
-    // and that arrival must survive for the next epoch.
+    // and that arrival must survive for the next episode.
     std::vector<BarrierArrival> batch(
         std::make_move_iterator(root.clients.begin()),
         std::make_move_iterator(root.clients.begin() + expected));
@@ -577,13 +599,14 @@ void Tmk::barrier(int id) {
     for (std::uint32_t vt = my_last_sent_vt_ + 1;
          vt <= vc_[static_cast<std::size_t>(proc_id())]; ++vt) {
       const IntervalRecord& rec = mine.at(vt);
-      const std::size_t need =
-          1 + 4 + (4 + 4 * rec.vc.size()) + 4 + 4 * rec.pages.size();
+      const std::size_t need = proc_id_wire_bytes(n_procs()) + 4 +
+                               (4 + 4 * rec.vc.size()) + 4 +
+                               4 * rec.pages.size();
       if (w.size() + need > budget) {
         arrive_more = 1;
         break;
       }
-      w.put<std::uint8_t>(rec.proc);
+      put_proc(w, rec.proc, n_procs());
       w.put<std::uint32_t>(rec.vt);
       put_vc(w, rec.vc);
       w.put<std::uint32_t>(static_cast<std::uint32_t>(rec.pages.size()));
@@ -603,20 +626,183 @@ void Tmk::barrier(int id) {
     unpack_intervals(r);
     if (release_more != 0) fetch_more_intervals(0);
   }
+  return run_gc;
+}
 
-  if (oracle_ != nullptr) {
-    oracle_->on_barrier_leave(proc_id(), id,
-                              vc_[static_cast<std::size_t>(proc_id())]);
+bool Tmk::barrier_tree(int id) {
+  BarrierState& st = barrier_state_[static_cast<std::size_t>(id)];
+  const int kids = barrier_child_count();
+
+  // This node's own newly closed intervals head the subtree's up-set.
+  // Children's records are appended RAW, never incorporated on the way
+  // up: an arrive carries only a subtree's own intervals, whose clocks
+  // may reference third-party intervals this node has not seen, and
+  // incorporating an unclosed set would break causal closure (see
+  // handle_barrier_arrive). Only the root, holding the full union,
+  // incorporates.
+  std::vector<std::vector<std::byte>> up;
+  const auto& mine = intervals_[static_cast<std::size_t>(proc_id())];
+  for (std::uint32_t vt = my_last_sent_vt_ + 1;
+       vt <= vc_[static_cast<std::size_t>(proc_id())]; ++vt) {
+    up.push_back(serialize_record(mine.at(vt)));
   }
-  ++barrier_epoch_;
-  if (gc_discard_pending_) {
-    discard_old_protocol_state();
-    gc_discard_pending_ = false;
+  my_last_sent_vt_ = vc_[static_cast<std::size_t>(proc_id())];
+
+  VectorClock subtree_min = vc_;
+  bool want_gc =
+      config_.gc_high_water > 0 && protocol_bytes() > config_.gc_high_water;
+
+  std::vector<BarrierArrival> batch;
+  if (kids > 0) {
+    substrate_.mask_async();
+    while (st.arrived < kids) {
+      substrate_.unmask_async();
+      barrier_cond_.wait();
+      substrate_.mask_async();
+    }
+    // Exactly this episode's arrivals: a child released early at the
+    // previous use of this id may have re-arrived already (same hazard
+    // as the flat root; the prefix is safe because no child can arrive
+    // twice in one episode — its release only comes at the end).
+    batch.assign(std::make_move_iterator(st.clients.begin()),
+                 std::make_move_iterator(st.clients.begin() + kids));
+    st.clients.erase(st.clients.begin(), st.clients.begin() + kids);
+    st.arrived -= kids;
+    substrate_.unmask_async();
+
+    for (auto& arrival : batch) {
+      for (std::size_t p = 0; p < subtree_min.size(); ++p) {
+        subtree_min[p] = std::min(subtree_min[p], arrival.vc[p]);
+      }
+      if (arrival.want_gc) want_gc = true;
+      charge_mem(arrival.intervals.size());
+      WireReader ir(arrival.intervals);
+      const auto child_more = ir.get<std::uint8_t>();
+      const auto count = ir.get<std::uint32_t>();
+      split_raw_records(ir, count, up);
+      if (child_more != 0) pull_child_records(arrival.ctx.origin, id, up);
+    }
   }
-  if (run_gc) {
-    run_gc_validate_phase();
-    gc_discard_pending_ = true;
-    gc_floor_epoch_ = barrier_epoch_;
+
+  bool run_gc;
+  if (proc_id() == 0) {
+    // Root: every proc's records are in hand, so the union is closed.
+    for (const auto& rec : up) incorporate_raw_record(rec);
+    run_gc = want_gc;
+  } else {
+    // Arrive at the parent: the subtree-min clock, the OR'd GC vote, and
+    // as many up-records as fit; the parent pulls the rest.
+    WireWriter w;
+    w.put(Op::BarrierArrive);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(id));
+    w.put<std::uint8_t>(want_gc ? 1 : 0);
+    put_vc(w, subtree_min);
+    const std::size_t more_pos = w.size();
+    w.put<std::uint8_t>(0);
+    const std::size_t count_pos = w.size();
+    w.put<std::uint32_t>(0);
+    std::uint32_t count = 0;
+    const std::size_t budget = sub::kMaxPayload - 64;
+    std::size_t sent = 0;
+    while (sent < up.size() && w.size() + up[sent].size() <= budget) {
+      w.put_bytes(up[sent].data(), up[sent].size());
+      ++count;
+      ++sent;
+    }
+    w.patch<std::uint32_t>(count_pos, count);
+    if (sent < up.size()) {
+      w.patch<std::uint8_t>(more_pos, 1);
+      // Park the remainder for the parent's Op::BarrierPull. No yield
+      // point separates this from the send below, so the pulls (which
+      // the parent issues only after our arrive lands) cannot race it.
+      st.pull_queue.assign(std::make_move_iterator(up.begin() +
+                                                   static_cast<std::ptrdiff_t>(
+                                                       sent)),
+                           std::make_move_iterator(up.end()));
+      st.pull_cursor = 0;
+    }
+
+    const int parent = barrier_parent(proc_id());
+    const auto seq = substrate_.send_request(parent, w.bytes());
+    std::vector<std::byte> buf(sub::kMaxMessage);
+    const auto len = substrate_.recv_response(seq, buf);
+    WireReader r({buf.data(), len});
+    run_gc = r.get<std::uint8_t>() != 0;
+    const auto release_more = r.get<std::uint8_t>();
+    unpack_intervals(r);
+    if (release_more != 0) fetch_more_intervals(parent);
+  }
+
+  // Release the children, each against its subtree-min clock. This node
+  // now holds the complete union (the root built it; everyone else just
+  // incorporated a release packed against a clock no newer than any
+  // subtree member's), so pack_missing_intervals can serve every record
+  // a child subtree lacks — the child relays onward the same way.
+  for (auto& arrival : batch) {
+    WireWriter w;
+    w.put<std::uint8_t>(run_gc ? 1 : 0);
+    w.put<std::uint8_t>(0);  // more flag, patched below
+    const bool more = pack_missing_intervals(w, arrival.vc);
+    w.patch<std::uint8_t>(1, more ? 1 : 0);
+    substrate_.respond(arrival.ctx, w.bytes());
+  }
+  return run_gc;
+}
+
+std::vector<std::byte> Tmk::serialize_record(const IntervalRecord& rec) const {
+  WireWriter w;
+  put_proc(w, rec.proc, n_procs());
+  w.put<std::uint32_t>(rec.vt);
+  put_vc(w, rec.vc);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(rec.pages.size()));
+  for (auto page : rec.pages) w.put<std::uint32_t>(page);
+  const auto b = w.bytes();
+  return {b.begin(), b.end()};
+}
+
+void Tmk::split_raw_records(WireReader& r, std::uint32_t count,
+                            std::vector<std::vector<std::byte>>& out) const {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WireWriter w;
+    put_proc(w, get_proc(r, n_procs()), n_procs());
+    w.put<std::uint32_t>(r.get<std::uint32_t>());  // vt
+    put_vc(w, get_vc(r));
+    const auto npages = r.get<std::uint32_t>();
+    w.put<std::uint32_t>(npages);
+    for (std::uint32_t p = 0; p < npages; ++p) {
+      w.put<std::uint32_t>(r.get<std::uint32_t>());
+    }
+    const auto b = w.bytes();
+    out.emplace_back(b.begin(), b.end());
+  }
+}
+
+void Tmk::incorporate_raw_record(std::span<const std::byte> bytes) {
+  WireReader r(bytes);
+  IntervalRecord rec;
+  rec.proc = static_cast<std::uint16_t>(get_proc(r, n_procs()));
+  rec.vt = r.get<std::uint32_t>();
+  rec.vc = get_vc(r);
+  const auto npages = r.get<std::uint32_t>();
+  rec.pages.resize(npages);
+  for (auto& page : rec.pages) page = r.get<std::uint32_t>();
+  incorporate_interval(std::move(rec));
+}
+
+void Tmk::pull_child_records(int child, int id,
+                             std::vector<std::vector<std::byte>>& out) {
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  while (true) {
+    WireWriter w;
+    w.put(Op::BarrierPull);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(id));
+    const auto seq = substrate_.send_request(child, w.bytes());
+    const auto len = substrate_.recv_response(seq, buf);
+    WireReader r({buf.data(), len});
+    const auto more = r.get<std::uint8_t>();
+    const auto count = r.get<std::uint32_t>();
+    split_raw_records(r, count, out);
+    if (more == 0) return;
   }
 }
 
@@ -671,6 +857,7 @@ void Tmk::handle_request(const sub::RequestCtx& ctx,
     case Op::PageRequest: handle_page_request(ctx, r); break;
     case Op::LockAcquire: handle_lock_acquire(ctx, r); break;
     case Op::BarrierArrive: handle_barrier_arrive(ctx, r); break;
+    case Op::BarrierPull: handle_barrier_pull(ctx, r); break;
     case Op::MoreIntervals: handle_more_intervals(ctx, r); break;
     case Op::Distribute: handle_distribute(ctx, r); break;
     default:
@@ -702,7 +889,7 @@ void Tmk::handle_page_request(const sub::RequestCtx& ctx, WireReader& r) {
 void Tmk::handle_lock_acquire(const sub::RequestCtx& ctx, WireReader& r) {
   const auto lock = static_cast<int>(r.get<std::uint32_t>());
   VectorClock their_vc = get_vc(r);
-  LockState& L = locks_[static_cast<std::size_t>(lock)];
+  LockState& L = lockdir_.state(lock);
 
   if (lock_manager(lock) == proc_id()) {
     // Manager duties: serialize the chain.
@@ -765,25 +952,64 @@ void Tmk::handle_lock_acquire(const sub::RequestCtx& ctx, WireReader& r) {
 }
 
 void Tmk::handle_barrier_arrive(const sub::RequestCtx& ctx, WireReader& r) {
-  TMKGM_CHECK_MSG(proc_id() == 0, "barrier arrival at a non-root node");
+  if (config_.barrier_arity >= 2) {
+    TMKGM_CHECK_MSG(barrier_parent(ctx.origin) == proc_id(),
+                    "barrier arrival from " << ctx.origin
+                        << " at a node that is not its tree parent");
+  } else {
+    TMKGM_CHECK_MSG(proc_id() == 0, "barrier arrival at a non-root node");
+  }
   const auto id = r.get<std::uint32_t>();
-  TMKGM_CHECK(id < barrier_root_.size());
+  TMKGM_CHECK(id < barrier_state_.size());
   BarrierArrival arrival;
   arrival.ctx = ctx;
   arrival.want_gc = r.get<std::uint8_t>() != 0;
   arrival.vc = get_vc(r);
-  // Do NOT incorporate here: an arrive message carries only the client's
-  // own intervals, whose clocks may reference third-party intervals the
-  // root has not seen. Incorporating mid-application would break causal
-  // closure (a later fetch could re-apply an older concurrent write over
-  // a newer one). The root collects raw records and incorporates the
-  // whole — closed — union when it reaches the barrier itself.
+  // Do NOT incorporate here: an arrive message carries only the sender
+  // subtree's own intervals, whose clocks may reference third-party
+  // intervals this node has not seen. Incorporating mid-application would
+  // break causal closure (a later fetch could re-apply an older
+  // concurrent write over a newer one). The collector keeps raw records;
+  // only the root, once it holds the whole — closed — union, incorporates.
   auto raw = r.get_bytes(r.remaining());
   arrival.intervals.assign(raw.begin(), raw.end());
-  BarrierRoot& root = barrier_root_[id];
-  root.clients.push_back(std::move(arrival));
-  ++root.arrived;
+  BarrierState& st = barrier_state_[id];
+  st.clients.push_back(std::move(arrival));
+  ++st.arrived;
   barrier_cond_.signal();
+}
+
+void Tmk::handle_barrier_pull(const sub::RequestCtx& ctx, WireReader& r) {
+  TMKGM_CHECK_MSG(config_.barrier_arity >= 2,
+                  "barrier pull outside tree mode");
+  const auto id = r.get<std::uint32_t>();
+  TMKGM_CHECK(id < barrier_state_.size());
+  BarrierState& st = barrier_state_[id];
+  WireWriter w;
+  w.put<std::uint8_t>(0);  // more flag, patched below
+  const std::size_t count_pos = w.size();
+  w.put<std::uint32_t>(0);
+  std::uint32_t count = 0;
+  const std::size_t budget = sub::kMaxPayload - 64;
+  while (st.pull_cursor < st.pull_queue.size()) {
+    const auto& rec = st.pull_queue[st.pull_cursor];
+    if (w.size() + rec.size() > budget) break;
+    w.put_bytes(rec.data(), rec.size());
+    ++count;
+    ++st.pull_cursor;
+  }
+  const bool more = st.pull_cursor < st.pull_queue.size();
+  // Records are capped at max_notice_pages (half the budget), so a chunk
+  // always advances; an empty truncated chunk would spin the parent.
+  TMKGM_CHECK_MSG(count > 0 || !more,
+                  "barrier pull chunk cannot fit a single record");
+  if (!more) {
+    st.pull_queue.clear();
+    st.pull_cursor = 0;
+  }
+  w.patch<std::uint8_t>(0, more ? 1 : 0);
+  w.patch<std::uint32_t>(count_pos, count);
+  substrate_.respond(ctx, w.bytes());
 }
 
 void Tmk::handle_more_intervals(const sub::RequestCtx& ctx, WireReader& r) {

@@ -16,9 +16,12 @@
 //  - Multiple-writer: the first write to a protected page makes a twin;
 //    diffs (word-run encodings of twin vs current) are created lazily when
 //    first requested, or when the page is re-written in a later interval.
-//  - Locks use a static manager (lock % nprocs) with probable-owner
-//    forwarding (the paper's "direct"/"indirect" Lock microbenchmark
-//    cases). Barriers are centralized at proc 0.
+//  - Locks use a static manager with probable-owner forwarding (the
+//    paper's "direct"/"indirect" Lock microbenchmark cases); manager
+//    placement is lock % nprocs by default, or a hashed home directory
+//    (TmkConfig::lock_directory, see tmk/lockdir.hpp). Barriers are
+//    centralized at proc 0 by default; TmkConfig::barrier_arity arranges
+//    the procs into a K-ary combining tree instead, for scale.
 //
 // All communication goes through sub::Substrate, so the identical protocol
 // runs over FAST/GM and UDP/GM — the paper's experimental contrast.
@@ -29,6 +32,7 @@
 // cost is charged from the cost model at each fault transition.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <deque>
@@ -45,6 +49,7 @@
 #include "proto/kind.hpp"
 #include "sim/node.hpp"
 #include "sub/substrate.hpp"
+#include "tmk/lockdir.hpp"
 #include "tmk/ops.hpp"
 #include "util/check.hpp"
 #include "util/time.hpp"
@@ -90,6 +95,22 @@ struct TmkConfig {
   /// oracle charges no simulated cost — but when on, the inline access
   /// fast path is disabled so every access reaches the recording hook.
   bool race_check = false;
+  /// Barrier topology. 0 (or 1) = flat: every other proc arrives at proc
+  /// 0 — the TreadMarks default, byte-identical to the pre-tree
+  /// implementation. K >= 2 = static K-ary tree rooted at 0 (parent of i
+  /// is (i-1)/K): each internal node combines its subtree's arrivals
+  /// (componentwise-min clock, OR'd GC votes, raw pass-through of the
+  /// subtree's interval records) and relays the root's release, so
+  /// per-node fan-in is K instead of n-1 and barrier latency grows with
+  /// the tree depth, not the proc count.
+  int barrier_arity = 0;
+  /// Lock-manager placement. false = the classic static lock % n_procs
+  /// assignment (byte-identical goldens); true = home-hashed directory
+  /// (splitmix-mixed lock id modulo n_procs), spreading consecutive hot
+  /// lock ids across the cluster instead of piling locks 0..k onto procs
+  /// 0..k. The manager-serialized chain protocol is identical either way
+  /// — only the home mapping changes. See tmk/lockdir.hpp.
+  bool lock_directory = false;
 };
 
 struct TmkStats {
@@ -197,8 +218,11 @@ class Tmk {
 
   /// Manager-side lock re-drive table size, for tests (leak regression).
   std::size_t lock_forwarded_entries(int lock) const {
-    return locks_[static_cast<std::size_t>(lock)].forwarded.size();
+    return lockdir_.state(lock).forwarded.size();
   }
+
+  /// The managing node of `lock` (placement per TmkConfig::lock_directory).
+  int lock_manager(int lock) const { return lockdir_.home(lock); }
 
  private:
   /// The coherence protocols (src/proto/) are friends: they implement the
@@ -208,17 +232,21 @@ class Tmk {
   friend class proto::Lrc;
   friend class proto::Hlrc;
 
+  // Proc ids in these records are 16-bit in memory (sub::kMaxNodes =
+  // 65536); on the wire they are width-adaptive (ops.hpp put_proc): one
+  // byte with <= 256 procs — the historical encoding, keeping small-run
+  // goldens byte-identical — and two bytes above.
   struct WriteNotice {
-    std::uint8_t proc;
+    std::uint16_t proc;
     std::uint32_t vt;
   };
 
   struct IntervalRecord {
-    std::uint8_t proc = 0;
+    std::uint16_t proc = 0;
     std::uint32_t vt = 0;
     VectorClock vc;               // creator's clock at close
     std::vector<PageId> pages;    // write notices
-    std::uint32_t epoch = 0;      // local barrier epoch when learned (GC)
+    std::uint64_t epoch = 0;      // local barrier epoch when learned (GC)
   };
 
   struct PageState {
@@ -235,24 +263,8 @@ class Tmk {
     VectorClock applied;                // applied[p] = highest vt applied
   };
 
-  /// Lock state, TreadMarks-style distributed queue: every acquire goes to
-  /// the static manager, which forwards it (exactly once) to the tail of
-  /// the acquisition chain and records the new tail. A chain member holds
-  /// at most one successor and grants to it at release. No other node ever
-  /// forwards, so requests cannot cycle.
-  struct LockState {
-    bool held = false;
-    bool owned = false;  // we hold the token (last releaser / initial mgr)
-    /// The next node in the chain after us (set while we hold/await the
-    /// lock), granted at our release.
-    std::optional<std::pair<sub::RequestCtx, VectorClock>> successor;
-    // --- manager-only state ---
-    /// Last node in the acquisition chain (where the next request goes).
-    int tail = 0;
-    /// Re-drive table for duplicate requests (UDP loss): origin -> the
-    /// (seq, target) of the forward we already made.
-    std::map<int, std::pair<std::uint32_t, int>> forwarded;
-  };
+  // Per-lock queue state and manager placement live in tmk/lockdir.hpp
+  // (LockState, LockDirectory).
 
   // --- protocol helpers (all run with async masked unless noted) -------
   PageId page_of(GlobalPtr ptr) const {
@@ -316,7 +328,37 @@ class Tmk {
     const auto chunk = page / config_.home_chunk_pages;
     return static_cast<int>(chunk % static_cast<PageId>(n_procs()));
   }
-  int lock_manager(int lock) const { return lock % n_procs(); }
+
+  // --- barrier internals -----------------------------------------------
+  /// Tree topology (config_.barrier_arity = K >= 2): static K-ary tree
+  /// rooted at 0, parent of i is (i-1)/K, children of i are K*i+1 ..
+  /// K*i+K (those < n_procs). Flat mode never calls these.
+  int barrier_parent(int proc) const {
+    return (proc - 1) / config_.barrier_arity;
+  }
+  int barrier_first_child() const {
+    return config_.barrier_arity * proc_id() + 1;
+  }
+  int barrier_child_count() const {
+    const int first = barrier_first_child();
+    if (first >= n_procs()) return 0;
+    return std::min(config_.barrier_arity, n_procs() - first);
+  }
+  /// The two barrier bodies behind barrier()'s shared prologue/epilogue;
+  /// each returns whether this barrier triggers a GC round.
+  bool barrier_flat(int id);
+  bool barrier_tree(int id);
+  /// Serializes one interval record exactly as pack_missing_intervals
+  /// frames it (the tree barrier passes records through raw).
+  std::vector<std::byte> serialize_record(const IntervalRecord& rec) const;
+  /// Splits `count` wire-framed records off `r` into raw per-record blobs
+  /// appended to `out` — boundaries only, nothing is incorporated.
+  void split_raw_records(WireReader& r, std::uint32_t count,
+                         std::vector<std::vector<std::byte>>& out) const;
+  void incorporate_raw_record(std::span<const std::byte> rec);
+  /// Drains a child's overflowed up-records via Op::BarrierPull.
+  void pull_child_records(int child, int id,
+                          std::vector<std::vector<std::byte>>& out);
 
   // --- request handling (interrupt context) ----------------------------
   void handle_request(const sub::RequestCtx& ctx,
@@ -324,6 +366,7 @@ class Tmk {
   void handle_page_request(const sub::RequestCtx& ctx, WireReader& r);
   void handle_lock_acquire(const sub::RequestCtx& ctx, WireReader& r);
   void handle_barrier_arrive(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_barrier_pull(const sub::RequestCtx& ctx, WireReader& r);
   void handle_more_intervals(const sub::RequestCtx& ctx, WireReader& r);
   void handle_distribute(const sub::RequestCtx& ctx, WireReader& r);
   void grant_lock(int lock, const sub::RequestCtx& to,
@@ -392,29 +435,41 @@ class Tmk {
   /// the request handler is installed; never null).
   std::unique_ptr<proto::Protocol> protocol_;
 
-  std::vector<LockState> locks_;
+  LockDirectory lockdir_;
 
-  // Barrier root bookkeeping (proc 0).
+  // Barrier bookkeeping. Flat mode: one collector on proc 0. Tree mode:
+  // every node with children collects its children's arrivals here, and
+  // every non-root node additionally parks its overflowed up-records in
+  // pull_queue for the parent's Op::BarrierPull.
   struct BarrierArrival {
     sub::RequestCtx ctx;
-    VectorClock vc;
+    VectorClock vc;  // flat: sender's clock; tree: its subtree's min
     std::vector<std::byte> intervals;  // raw; incorporated AT the barrier
     bool want_gc = false;
   };
-  struct BarrierRoot {
+  struct BarrierState {
     int arrived = 0;
     std::vector<BarrierArrival> clients;
-    bool gc_requested = false;
+    /// Tree mode: this node's up-records that overflowed the arrive
+    /// message, served to the parent chunk by chunk (pull_cursor marks
+    /// how far the parent has read).
+    std::vector<std::vector<std::byte>> pull_queue;
+    std::size_t pull_cursor = 0;
   };
-  std::vector<BarrierRoot> barrier_root_;
+  std::vector<BarrierState> barrier_state_;
   sim::Condition barrier_cond_;
-  std::uint32_t my_last_sent_vt_ = 0;  // own intervals already sent to root
+  std::uint32_t my_last_sent_vt_ = 0;  // own intervals already sent up
 
   // GC epochs (two-phase: validate-all at epoch k, discard < k at k+1).
-  std::uint32_t barrier_epoch_ = 0;
+  // 64-bit on purpose: epochs are local-only (never serialized), and at
+  // any realistic barrier rate a uint64 cannot wrap within a run, so the
+  // raw `epoch < floor` comparisons in GC stay sound. The uint32 they
+  // replaced could wrap under ~4e9 barrier episodes and silently un-age
+  // every record.
+  std::uint64_t barrier_epoch_ = 0;
   bool gc_validate_pending_ = false;
   bool gc_discard_pending_ = false;
-  std::uint32_t gc_floor_epoch_ = 0;
+  std::uint64_t gc_floor_epoch_ = 0;
 
   // Distribute mailbox.
   std::deque<std::vector<std::byte>> distribute_inbox_;

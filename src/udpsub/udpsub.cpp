@@ -58,16 +58,9 @@ std::vector<std::byte> UdpSubstrate::pack(
   for (const auto& b : iov) len += b.len;
   TMKGM_CHECK_MSG(len <= sub::kMaxMessage,
                   "message too large for the substrate: " << len);
-  TMKGM_CHECK_MSG(origin >= 0 && origin < sub::kMaxNodes,
-                  "origin " << origin
-                            << " does not fit the 8-bit envelope field");
   std::vector<std::byte> out(len);
-  sub::Envelope env;
-  env.kind = static_cast<std::uint8_t>(kind);
-  env.origin = static_cast<std::uint8_t>(origin);
-  env.seq = seq;
-  std::memcpy(out.data(), &env, sizeof(env));
-  std::size_t off = sizeof(env);
+  sub::pack_envelope(out.data(), kind, origin, seq);
+  std::size_t off = sizeof(sub::Envelope);
   for (const auto& b : iov) {
     if (b.len == 0) continue;  // null data is legal for an empty buffer
     std::memcpy(out.data() + off, b.data, b.len);
@@ -143,9 +136,8 @@ void UdpSubstrate::drain_requests() {
 }
 
 void UdpSubstrate::dispatch_request(const udpnet::Datagram& dg) {
-  TMKGM_CHECK(dg.payload.size() >= sizeof(sub::Envelope));
-  sub::Envelope env;
-  std::memcpy(&env, dg.payload.data(), sizeof(env));
+  const sub::Envelope env =
+      sub::unpack_envelope(dg.payload.data(), dg.payload.size());
   TMKGM_CHECK(static_cast<sub::MsgKind>(env.kind) == sub::MsgKind::Request);
   const int origin = env.origin;
 
@@ -189,13 +181,15 @@ void UdpSubstrate::dispatch_request(const udpnet::Datagram& dg) {
       }
     }
     if (window.size() >= static_cast<std::size_t>(config_.dedup_window) &&
-        env.seq < window.begin()->first) {
+        SerialLess{}(env.seq, window.begin()->first)) {
       // Entries are only ever removed by pruning a FULL window, so a seq
-      // below a full window's floor was handled and pruned long ago: the
-      // origin has since issued a window's worth of newer requests to us.
-      // A straggler — drop it. (If the window is not full, nothing was
-      // ever pruned and an absent low seq means its first transmission
-      // was lost; fall through and handle it.)
+      // serially below a full window's floor was handled and pruned long
+      // ago: the origin has since issued a window's worth of newer
+      // requests to us. A straggler — drop it. (If the window is not
+      // full, nothing was ever pruned and an absent low seq means its
+      // first transmission was lost; fall through and handle it.) Serial
+      // order, not raw uint32 <: a wrapped seq 0 is NEWER than a floor
+      // near UINT32_MAX and must be handled, not dropped as ancient.
       ++stats_.duplicates_dropped;
       trace(obs::Kind::Duplicate, dg.src_node, env.seq, dg.payload.size());
       return;
@@ -247,8 +241,8 @@ void UdpSubstrate::run_handler(int src, const sub::Envelope& env,
 void UdpSubstrate::drain_replies() {
   while (auto dg = stack_.recvfrom(rep_sock_)) {
     if (dg->payload.size() < sizeof(sub::Envelope)) continue;
-    sub::Envelope env;
-    std::memcpy(&env, dg->payload.data(), sizeof(env));
+    const sub::Envelope env =
+        sub::unpack_envelope(dg->payload.data(), dg->payload.size());
     if (static_cast<sub::MsgKind>(env.kind) != sub::MsgKind::Response) continue;
     auto it = outstanding_.find(env.seq);
     if (it == outstanding_.end()) {

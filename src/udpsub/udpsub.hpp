@@ -21,6 +21,10 @@
 //    since issued a window's worth of newer requests, so that exchange is
 //    long settled. A low seq missing from a part-full window, by contrast,
 //    means its first transmission was lost — it is handled, not dropped.
+//    "Below" is serial-number order (RFC 1982 style), not raw uint32 <:
+//    when an origin's seq counter wraps past 2^32, the post-wrap seqs 0, 1,
+//    ... compare NEWER than the pre-wrap floor near UINT32_MAX, so they are
+//    handled instead of being dropped as stale forever.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +38,18 @@
 #include "util/time.hpp"
 
 namespace tmkgm::udpsub {
+
+/// Serial-number order on 32-bit seqs (RFC 1982 style): a precedes b iff
+/// the signed difference b - a is positive. Within any set of seqs spanning
+/// fewer than 2^31 values — the dedup window holds at most a few dozen —
+/// this is a strict weak order that survives the uint32 wrap, so a
+/// just-wrapped seq 0 correctly sorts AFTER a pre-wrap seq near
+/// UINT32_MAX instead of below the window floor.
+struct SerialLess {
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::int32_t>(b - a) > 0;
+  }
+};
 
 struct UdpSubConfig {
   /// First retransmission timeout; doubles per retry.
@@ -94,6 +110,10 @@ class UdpSubstrate final : public sub::Substrate {
   double compute_tax() const { return 0.0; }
   void shutdown() {}
 
+  /// Test seam: start the request-seq counter near a chosen value (e.g.
+  /// just below UINT32_MAX) to exercise the dedup window across the wrap.
+  void set_next_seq(std::uint32_t seq) { next_seq_ = seq; }
+
  private:
   /// Outcome of handling a request, for at-most-once replay decisions.
   enum class Outcome : std::uint8_t { InProgress, Deferred, Forwarded, Responded };
@@ -105,8 +125,9 @@ class UdpSubstrate final : public sub::Substrate {
                                          // the original was forwarded
     int src = -1;
   };
-  /// seq -> entry, bounded to UdpSubConfig::dedup_window per origin.
-  using DedupWindow = std::map<std::uint32_t, DedupEntry>;
+  /// seq -> entry in serial order, bounded to UdpSubConfig::dedup_window
+  /// per origin; begin() is the serially-oldest entry even across a wrap.
+  using DedupWindow = std::map<std::uint32_t, DedupEntry, SerialLess>;
 
   struct Outstanding {
     int dst = -1;

@@ -203,10 +203,31 @@ TEST(Conservation, CounterTableCoversEveryLayer) {
 
 TEST(EnvelopeGuard, ClusterRejectsMoreNodesThanOriginFieldHolds) {
   cluster::ClusterConfig cfg;
-  cfg.n_procs = 300;  // Envelope::origin is a std::uint8_t
-  EXPECT_THROW(cluster::Cluster c(cfg), CheckError);
+  cfg.n_procs = 300;  // above the old uint8_t cap: legal under wire v2
+  EXPECT_NO_THROW(cluster::Cluster c(cfg));
   cfg.n_procs = sub::kMaxNodes;  // exactly at the bound is fine
   EXPECT_NO_THROW(cluster::Cluster c(cfg));
+  cfg.n_procs = sub::kMaxNodes + 1;  // Envelope::origin is a std::uint16_t
+  EXPECT_THROW(cluster::Cluster c(cfg), CheckError);
+}
+
+TEST(EnvelopeGuard, PackRejectsOutOfRangeOriginAndBadVersion) {
+  std::byte buf[sizeof(sub::Envelope)];
+  EXPECT_NO_THROW(
+      sub::pack_envelope(buf, sub::MsgKind::Request, sub::kMaxNodes - 1, 7));
+  const auto env = sub::unpack_envelope(buf, sizeof(buf));
+  EXPECT_EQ(env.origin, sub::kMaxNodes - 1);
+  EXPECT_EQ(env.ver, sub::kWireVersion);
+  EXPECT_EQ(env.seq, 7u);
+  EXPECT_THROW(
+      sub::pack_envelope(buf, sub::MsgKind::Request, sub::kMaxNodes, 7),
+      CheckError);
+  EXPECT_THROW(sub::pack_envelope(buf, sub::MsgKind::Request, -1, 7),
+               CheckError);
+  // A v1 (or corrupted) message must be rejected, not misrouted.
+  buf[1] = std::byte{1};
+  EXPECT_THROW(sub::unpack_envelope(buf, sizeof(buf)), CheckError);
+  EXPECT_THROW(sub::unpack_envelope(buf, 4), CheckError);
 }
 
 }  // namespace

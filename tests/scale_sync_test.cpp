@@ -1,0 +1,273 @@
+// Hierarchical synchronization at scale. The K-ary combining-tree barrier
+// (TmkConfig::barrier_arity) and the hashed lock-manager directory
+// (TmkConfig::lock_directory) change WHERE sync traffic flows, never WHAT
+// the application computes:
+//  - every tree shape must produce the same application results as the
+//    flat proc-0 barrier (virtual timing may differ — that is the point);
+//  - a barrier id reused back-to-back must survive a fast subtree
+//    re-arriving at the NEXT episode while the parent is still paying out
+//    releases for the current one;
+//  - GC votes and the two-phase collection must ride the tree exactly as
+//    they ride the flat barrier;
+//  - 1024 simulated nodes — four times the uint8 envelope that capped the
+//    old wire format — run end-to-end on both host engines with identical
+//    virtual results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cluster/cluster.hpp"
+#include "tmk/lockdir.hpp"
+#include "tmk/shared_array.hpp"
+
+namespace tmkgm::cluster {
+namespace {
+
+ClusterConfig scale_config(int n_procs, SubstrateKind kind) {
+  ClusterConfig cfg;
+  cfg.n_procs = n_procs;
+  cfg.kind = kind;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.event_limit = 2'000'000'000;
+  return cfg;
+}
+
+double run_jacobi_checksum(const ClusterConfig& cfg,
+                           const apps::JacobiParams& p) {
+  Cluster c(cfg);
+  double checksum = 0.0;
+  c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto r = apps::jacobi(tmk, p);
+    if (env.id == 0) checksum = r.checksum;
+  });
+  return checksum;
+}
+
+// ------------------------------------------------------------ tree barrier
+
+// Any tree arity computes exactly what the flat barrier computes: the
+// checksum is a pure function of the program, not of the sync topology.
+TEST(TreeBarrier, MatchesFlatResultsAcrossArities) {
+  apps::JacobiParams p;
+  p.rows = 64;
+  p.cols = 64;
+  p.iters = 3;
+  const double serial = apps::jacobi_serial(p);
+
+  auto flat = scale_config(16, SubstrateKind::FastGm);
+  EXPECT_EQ(run_jacobi_checksum(flat, p), serial);
+
+  for (int arity : {2, 3, 8, 16}) {
+    auto cfg = scale_config(16, SubstrateKind::FastGm);
+    cfg.tmk.barrier_arity = arity;
+    EXPECT_EQ(run_jacobi_checksum(cfg, p), serial) << "arity " << arity;
+  }
+}
+
+// Same program over a lossy-capable substrate with hashed lock homes and a
+// binary tree: still the serial answer.
+TEST(TreeBarrier, TreePlusLockDirectoryOverUdp) {
+  apps::JacobiParams p;
+  p.rows = 48;
+  p.cols = 48;
+  p.iters = 2;
+  auto cfg = scale_config(8, SubstrateKind::UdpGm);
+  cfg.tmk.barrier_arity = 2;
+  cfg.tmk.lock_directory = true;
+  EXPECT_EQ(run_jacobi_checksum(cfg, p), apps::jacobi_serial(p));
+}
+
+// Barrier-id reuse under skewed arrival order. Each episode rotates which
+// nodes are slow, so a leaf that was last to arrive in episode e can be
+// first to re-arrive — at the SAME barrier id — in episode e+1, while its
+// parent may still be collecting episode-e arrivals from a slower sibling
+// subtree. The internal nodes must extract exactly one arrival per child
+// per episode (prefix batch extraction), never mixing episodes. Every
+// write is verified on every node after the barrier, so any causal-closure
+// or episode-mixing bug shows up as a stale slot.
+TEST(TreeBarrier, ReusedBarrierIdSurvivesSkewedReArrival) {
+  constexpr int kProcs = 9;  // arity 3 -> root, 3 internal-ish, leaves
+  constexpr int kEpisodes = 8;
+  auto cfg = scale_config(kProcs, SubstrateKind::FastGm);
+  cfg.tmk.barrier_arity = 3;
+  Cluster c(cfg);
+  int failures = -1;
+  c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    auto slots = tmk::SharedArray<std::int64_t>::alloc(
+        tmk, static_cast<std::size_t>(kProcs));
+    int bad = 0;
+    for (int e = 0; e < kEpisodes; ++e) {
+      // Rotating skew: node (id+e)%n is the straggler this episode.
+      env.compute_work(1000.0 * ((env.id + e) % kProcs));
+      slots.put(static_cast<std::size_t>(env.id),
+                static_cast<std::int64_t>(e * kProcs + env.id));
+      tmk.barrier(0);
+      for (int i = 0; i < kProcs; ++i) {
+        if (slots.get(static_cast<std::size_t>(i)) !=
+            static_cast<std::int64_t>(e * kProcs + i)) {
+          ++bad;
+        }
+      }
+      // Same id again before anyone overwrites: the reads above must not
+      // race the next episode's writes.
+      tmk.barrier(0);
+    }
+    if (env.id == 0) failures = bad;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+// GC votes propagate up the tree (OR of the subtree) and the collection
+// decision rides the release down: with a tiny high-water mark the run
+// must collect, and still compute the serial answer.
+TEST(TreeBarrier, GcRunsThroughTheTree) {
+  apps::JacobiParams p;
+  p.rows = 64;
+  p.cols = 64;
+  p.iters = 4;
+  auto cfg = scale_config(8, SubstrateKind::FastGm);
+  cfg.tmk.barrier_arity = 2;
+  cfg.tmk.gc_high_water = 4096;  // force collection almost immediately
+  Cluster c(cfg);
+  double checksum = 0.0;
+  const RunResult r = c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto res = apps::jacobi(tmk, p);
+    if (env.id == 0) checksum = res.checksum;
+  });
+  EXPECT_EQ(checksum, apps::jacobi_serial(p));
+  std::uint64_t gc_rounds = 0;
+  for (const auto& s : r.tmk_stats) gc_rounds += s.gc_rounds;
+  EXPECT_GT(gc_rounds, 0u);
+}
+
+// The DRF oracle derives happens-before from the vector clocks published
+// at barrier arrive/leave — per node, not per topology. A race-free
+// program under the tree must stay oracle-clean (the tree's relayed
+// releases are real sync edges), with hashed lock homes in play too.
+TEST(TreeBarrier, RaceOracleFollowsTreeSyncEdges) {
+  apps::JacobiParams p;
+  p.rows = 48;
+  p.cols = 48;
+  p.iters = 2;
+  auto cfg = scale_config(8, SubstrateKind::FastGm);
+  cfg.tmk.barrier_arity = 2;
+  cfg.tmk.lock_directory = true;
+  cfg.tmk.race_check = true;
+  Cluster c(cfg);
+  const RunResult r = c.run_tmk(
+      [&](tmk::Tmk& tmk, NodeEnv&) { (void)apps::jacobi(tmk, p); });
+  EXPECT_TRUE(r.races.empty());
+  EXPECT_GT(r.check.hb_edges, 0u);
+}
+
+// -------------------------------------------------------- lock directory
+
+TEST(LockDirectory, HashedHomesAreDeterministicAndSpread) {
+  constexpr int kProcs = 8;
+  constexpr int kLocks = 256;
+  tmk::LockDirectory flat(kProcs, kLocks, 0, /*hashed=*/false);
+  tmk::LockDirectory hashed_a(kProcs, kLocks, 0, /*hashed=*/true);
+  tmk::LockDirectory hashed_b(kProcs, kLocks, 3, /*hashed=*/true);
+
+  std::set<int> homes_of_low_ids;
+  std::vector<int> histogram(kProcs, 0);
+  for (int l = 0; l < kLocks; ++l) {
+    EXPECT_EQ(flat.home(l), l % kProcs);
+    const int h = hashed_a.home(l);
+    ASSERT_GE(h, 0);
+    ASSERT_LT(h, kProcs);
+    // The mapping is a pure function of (lock, n_procs): every node
+    // computes the same home regardless of who it is.
+    EXPECT_EQ(h, hashed_b.home(l));
+    if (l < kProcs) homes_of_low_ids.insert(h);
+    ++histogram[static_cast<std::size_t>(h)];
+  }
+  // Consecutive hot ids 0..7 must not pile onto one manager...
+  EXPECT_GT(homes_of_low_ids.size(), 2u);
+  // ...and over many ids every proc manages something.
+  for (int p = 0; p < kProcs; ++p) {
+    EXPECT_GT(histogram[static_cast<std::size_t>(p)], 0) << "proc " << p;
+  }
+}
+
+// A lock-hungry app (TSP branch-and-bound: one queue lock + one bound
+// lock, contended) still finds the optimum with hashed homes, and the
+// chain protocol actually exercises remote managers.
+TEST(LockDirectory, TspFindsOptimumWithHashedHomes) {
+  apps::TspParams p;
+  p.cities = 9;
+  p.split_depth = 3;
+  auto cfg = scale_config(8, SubstrateKind::FastGm);
+  cfg.tmk.lock_directory = true;
+  cfg.tmk.barrier_arity = 2;
+  Cluster c(cfg);
+  std::int64_t got = -1;
+  std::uint64_t remote = 0;
+  const RunResult r = c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+    const auto res = apps::tsp(tmk, p);
+    if (env.id == 0) got = static_cast<std::int64_t>(res.checksum);
+  });
+  for (const auto& s : r.tmk_stats) remote += s.lock_remote_acquires;
+  EXPECT_EQ(got, apps::tsp_serial(p));
+  EXPECT_GT(remote, 0u);
+}
+
+// ------------------------------------------------------- 1024-node smoke
+
+// The headline scale target: 1024 simulated nodes, far past the 256-node
+// uint8 wire ceiling, over the unpinned UDP substrate with an arity-8 tree
+// (depth 4 instead of 1023 arrivals at proc 0) and hashed lock homes.
+// Rows are kept small so only the first 32 procs write the grid — every
+// interval record carries a full 1024-entry vector clock, and all procs
+// learn all records at the barrier, so writer count bounds host memory —
+// while all 1024 procs still allocate, arrive, and release. Both host
+// engines must agree on the virtual outcome exactly.
+TEST(ScaleSmoke, Jacobi1024NodesOnBothEngines) {
+  apps::JacobiParams p;
+  p.rows = 32;
+  p.cols = 32;
+  p.iters = 2;
+  const double serial = apps::jacobi_serial(p);
+
+  auto base = scale_config(1024, SubstrateKind::UdpGm);
+  base.tmk.arena_bytes = 2u << 20;
+  base.tmk.barrier_arity = 8;
+  base.tmk.lock_directory = true;
+  base.event_limit = 8'000'000'000;
+
+  struct Outcome {
+    double checksum = 0.0;
+    SimTime duration = 0;
+    std::uint64_t events = 0;
+  };
+  auto run = [&](sim::SchedMode sched, int shards) {
+    auto cfg = base;
+    cfg.engine.sched = sched;
+    cfg.engine.shards = shards;
+    Cluster c(cfg);
+    Outcome out;
+    const RunResult r = c.run_tmk([&](tmk::Tmk& tmk, NodeEnv& env) {
+      const auto res = apps::jacobi(tmk, p);
+      if (env.id == 0) out.checksum = res.checksum;
+    });
+    out.duration = r.duration;
+    out.events = r.events;
+    return out;
+  };
+
+  const Outcome seq = run(sim::SchedMode::Seq, 1);
+  EXPECT_EQ(seq.checksum, serial);
+  EXPECT_GT(seq.duration, 0);
+
+  const Outcome par = run(sim::SchedMode::Par, 4);
+  EXPECT_EQ(par.checksum, seq.checksum);
+  EXPECT_EQ(par.duration, seq.duration);
+  EXPECT_EQ(par.events, seq.events);
+}
+
+}  // namespace
+}  // namespace tmkgm::cluster

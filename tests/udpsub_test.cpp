@@ -10,10 +10,12 @@
 //    retransmitted datagram is accounted in bytes_sent.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "udpsub/udpsub.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::cluster {
@@ -158,6 +160,49 @@ TEST(UdpSubReliability, ForwardedChainIsReDrivenAfterLostResponse) {
   EXPECT_EQ(owner.responses_sent, 1u);    // replayed from cache, not re-made
   EXPECT_GE(owner.duplicates_dropped, 1u);
   EXPECT_GE(result.substrate_stats[0].retransmits, 1u);
+}
+
+TEST(UdpSubReliability, DedupWindowSurvivesSeqWraparound) {
+  // The origin's 32-bit seq counter wraps past 2^32: post-wrap seqs 0, 1,
+  // ... arrive at a responder whose full dedup window has a floor near
+  // UINT32_MAX. Under raw uint32 comparison every post-wrap request was
+  // "below the floor" and dropped as ancient — including its retransmits,
+  // so the origin retried until max_retries CHECK-failed. Serial-number
+  // order sorts a just-wrapped seq ABOVE the pre-wrap floor, so the
+  // stream keeps flowing.
+  auto cfg = udp_config(2);
+  cfg.udpsub.dedup_window = 4;
+  Cluster c(cfg);
+  std::vector<std::string> got;
+  auto result = c.run([&](NodeEnv& env) {
+    env.substrate.set_request_handler(
+        [&](const RequestCtx& ctx, std::span<const std::byte> payload) {
+          const std::string body = "r" + string_of(payload);
+          env.substrate.respond(ctx, bytes_of(body));
+        });
+    if (env.id == 0) {
+      auto& udp = dynamic_cast<udpsub::UdpSubstrate&>(env.substrate);
+      // Four pre-wrap requests fill the responder's window with seqs just
+      // below UINT32_MAX; the next four cross the wrap to 0, 1, 2, 3.
+      udp.set_next_seq(std::numeric_limits<std::uint32_t>::max() - 3);
+      for (int i = 0; i < 8; ++i) {
+        const std::string body(1, static_cast<char>('a' + i));
+        const auto seq = env.substrate.send_request(1, bytes_of(body));
+        std::byte out[64];
+        const auto len = env.substrate.recv_response(seq, out);
+        got.push_back(string_of({out, len}));
+      }
+    }
+  });
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)],
+              std::string("r") + static_cast<char>('a' + i));
+  }
+  const auto& responder = result.substrate_stats[1];
+  EXPECT_EQ(responder.requests_handled, 8u);  // none mistaken for ancient
+  EXPECT_EQ(responder.duplicates_dropped, 0u);
+  EXPECT_EQ(result.substrate_stats[0].retransmits, 0u);
 }
 
 TEST(UdpSubReliability, RetransmitBackoffIsCappedAndBytesAccounted) {

@@ -31,6 +31,9 @@ struct Options {
   std::size_t size = 0;  // 0 = app default
   int iters = 0;         // 0 = app default
   std::uint64_t seed = 1;
+  int barrier_arity = 0;
+  bool lock_directory = false;
+  std::size_t arena_mb = 256;
   bool verify = false;
   bool report = false;
   bool counters = false;
@@ -57,6 +60,13 @@ void usage() {
       "  --size S                      grid edge / cities / FFT N\n"
       "  --iters K                     iterations\n"
       "  --seed S                      deterministic seed\n"
+      "  --barrier-arity K             K>=2: K-ary combining-tree barrier\n"
+      "                                (default 0 = flat proc-0 barrier)\n"
+      "  --lock-directory              hash lock homes across all nodes\n"
+      "                                (default: classic lock %% n_procs)\n"
+      "  --arena-mb M                  per-node shared arena size in MiB\n"
+      "                                (default 256; shrink for 512+ node\n"
+      "                                runs)\n"
       "  --engine seq|par              host scheduler: classic sequential\n"
       "                                loop, or conservative parallel DES\n"
       "                                (bit-identical virtual-time output)\n"
@@ -128,6 +138,16 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (!v) return false;
       o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--barrier-arity") {
+      const char* v = next();
+      if (!v) return false;
+      o.barrier_arity = std::atoi(v);
+    } else if (a == "--lock-directory") {
+      o.lock_directory = true;
+    } else if (a == "--arena-mb") {
+      const char* v = next();
+      if (!v) return false;
+      o.arena_mb = std::strtoul(v, nullptr, 10);
     } else if (a == "--async") {
       const char* v = next();
       if (!v) return false;
@@ -187,7 +207,9 @@ int main(int argc, char** argv) {
   cluster::ClusterConfig cfg;
   cfg.n_procs = o.nodes;
   cfg.seed = o.seed;
-  cfg.tmk.arena_bytes = 256u << 20;
+  cfg.tmk.arena_bytes = o.arena_mb << 20;
+  cfg.tmk.barrier_arity = o.barrier_arity;
+  cfg.tmk.lock_directory = o.lock_directory;
   if (o.engine == "par") {
     cfg.engine.sched = sim::SchedMode::Par;
   } else if (o.engine != "seq") {
