@@ -95,20 +95,43 @@ parallel_engine_controls() {
   done
 }
 
+# Re-cost controls: capture a run, verify the bit-exact identity replay,
+# then sweep + cross-validate against a real re-run — the capture codec,
+# the shadow NIC tables, and the replay cursor all under the sanitizer.
+recost_controls() {
+  local run="$1/tools/tmkgm_run"
+  local recost="$1/tools/tmkgm_recost"
+  echo "== re-cost controls (capture, identity replay, validated sweep)"
+  if ! "$run" --app jacobi --nodes 4 --size 48 \
+      --capture /tmp/asan_recost.cap > /dev/null; then
+    echo "error: capturing run failed under sanitizer" >&2
+    exit 1
+  fi
+  if ! "$recost" /tmp/asan_recost.cap \
+      --sweep 'gm_lanai_per_msg*=1,2' --validate 1 > /dev/null; then
+    echo "error: re-cost sweep/validation failed under sanitizer" >&2
+    exit 1
+  fi
+}
+
 for preset in asan ubsan; do
   cmake --preset "$preset"
   cmake --build --preset "$preset"
   # The fault matrix exercises every recovery path (send-buffer reuse after
   # failed sends, seized-buffer stashes, deferred delivery closures) — the
   # exact lifetime bugs asan is here to vet. Run it first so they fail
-  # fast, then the race-oracle and faulted-run controls, then the full
-  # suite (which runs every node program on fibers — the ASan fiber pass).
+  # fast, then the race-oracle and faulted-run controls, then the fast
+  # tier (which runs every node program on fibers — the ASan fiber pass)
+  # and finally the labeled slow suites (sweeps, 1024-node sync, re-cost
+  # cross-validation).
   ctest --preset "$preset" -R 'Fault|Oracle|RaceCheck|Hlrc'
   race_oracle_controls "build-$preset"
   faulted_run_controls "build-$preset"
   parallel_engine_controls "build-$preset"
   scale_tree_controls "build-$preset"
-  ctest --preset "$preset"
+  recost_controls "build-$preset"
+  ctest --preset "$preset" -LE slow
+  ctest --preset "$preset" -L slow
 done
 
 # ThreadSanitizer: scoped to what actually runs threads — the parallel

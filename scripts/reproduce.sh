@@ -29,7 +29,10 @@ esac
 cmake -B build -G Ninja
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+# Fast tier first (fails fast), then the labeled slow suites —
+# configuration sweeps, 1024-node sync, re-cost cross-validation re-runs.
+ctest --test-dir build -LE slow 2>&1 | tee test_output.txt
+ctest --test-dir build -L slow 2>&1 | tee -a test_output.txt
 
 # Sanity: every report must carry the stable counter rollup; a missing
 # table means a layer silently stopped feeding the registry.
@@ -88,6 +91,20 @@ if [ "$PROTOCOL" = lrc ]; then
   sha256sum /tmp/reproduce_golden_fft.trace | awk '{print $1}' \
     | diff - scripts/golden/trace_fft_fastgm_lrc.sha256
   echo "golden: default-lrc reports and trace are byte-identical to the seed"
+
+  # Re-cost pin: capture a run, replay it under a perturbed cost model,
+  # and cross-validate one sweep point against a real re-run. The report
+  # (identity totals, sweep ranking, validation error) must be
+  # byte-identical — it covers the capture format, the replay core, and
+  # the term programs every instrumented layer stages.
+  build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 \
+    --capture /tmp/reproduce_recost.cap > /dev/null
+  build/tools/tmkgm_recost /tmp/reproduce_recost.cap \
+    --sweep 'gm_lanai_per_msg*=0.5,1,2;gm_wire_bytes_per_us*=1,10' \
+    --validate 2 > /tmp/reproduce_recost.txt
+  diff -u scripts/golden/recost_jacobi_fastgm_lrc.txt \
+    /tmp/reproduce_recost.txt
+  echo "golden: recost report is byte-identical to the pinned capture replay"
 fi
 
 : > bench_output.txt

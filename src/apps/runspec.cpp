@@ -1,0 +1,220 @@
+#include "apps/runspec.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "apps/apps.hpp"
+#include "apps/extended.hpp"
+#include "apps/racy.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::apps {
+
+std::string RunSpec::to_string() const {
+  std::string s;
+  s += "app=" + app;
+  s += ";substrate=" + substrate;
+  s += ";protocol=" + protocol;
+  s += ";nodes=" + std::to_string(nodes);
+  s += ";size=" + std::to_string(size);
+  s += ";iters=" + std::to_string(iters);
+  s += ";seed=" + std::to_string(seed);
+  s += ";barrier_arity=" + std::to_string(barrier_arity);
+  s += ";lock_directory=" + std::to_string(lock_directory ? 1 : 0);
+  s += ";arena_mb=" + std::to_string(arena_mb);
+  return s;
+}
+
+bool RunSpec::parse(const std::string& text, RunSpec& out, std::string& error) {
+  RunSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string kv = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      error = "expected key=value, got '" + kv + "'";
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "app") {
+      spec.app = val;
+    } else if (key == "substrate") {
+      spec.substrate = val;
+    } else if (key == "protocol") {
+      spec.protocol = val;
+    } else if (key == "nodes") {
+      spec.nodes = std::atoi(val.c_str());
+    } else if (key == "size") {
+      spec.size = std::strtoul(val.c_str(), nullptr, 10);
+    } else if (key == "iters") {
+      spec.iters = std::atoi(val.c_str());
+    } else if (key == "seed") {
+      spec.seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "barrier_arity") {
+      spec.barrier_arity = std::atoi(val.c_str());
+    } else if (key == "lock_directory") {
+      spec.lock_directory = std::atoi(val.c_str()) != 0;
+    } else if (key == "arena_mb") {
+      spec.arena_mb = std::strtoul(val.c_str(), nullptr, 10);
+    } else {
+      error = "unknown RunSpec key '" + key + "'";
+      return false;
+    }
+  }
+  out = spec;
+  error.clear();
+  return true;
+}
+
+bool spec_cluster_config(const RunSpec& spec, cluster::ClusterConfig& cfg,
+                         std::string& error) {
+  cfg.n_procs = spec.nodes;
+  cfg.seed = spec.seed;
+  cfg.tmk.arena_bytes = spec.arena_mb << 20;
+  cfg.tmk.barrier_arity = spec.barrier_arity;
+  cfg.tmk.lock_directory = spec.lock_directory;
+  if (spec.substrate == "fastgm") {
+    cfg.kind = cluster::SubstrateKind::FastGm;
+  } else if (spec.substrate == "udpgm") {
+    cfg.kind = cluster::SubstrateKind::UdpGm;
+  } else if (spec.substrate == "fastib") {
+    cfg.kind = cluster::SubstrateKind::FastIb;
+  } else {
+    error = "unknown substrate: " + spec.substrate;
+    return false;
+  }
+  if (const auto pk = proto::parse_kind(spec.protocol); pk.has_value()) {
+    cfg.tmk.protocol = *pk;
+  } else {
+    error = "unknown protocol: " + spec.protocol;
+    return false;
+  }
+  error.clear();
+  return true;
+}
+
+namespace {
+
+/// Dispatches to the app named by the spec, calling `fn(params)` with the
+/// fully-resolved parameter struct. Mirrors tmkgm_run's flag mapping
+/// (size = grid edge / cities / FFT N / keys-per-proc / matrix N / bodies /
+/// molecules / slots; iters = iterations / steps / rounds).
+template <typename Fn>
+bool dispatch(const RunSpec& spec, Fn&& fn) {
+  if (spec.app == "jacobi") {
+    JacobiParams p;
+    if (spec.size) p.rows = p.cols = spec.size;
+    if (spec.iters) p.iters = spec.iters;
+    fn(p);
+  } else if (spec.app == "sor") {
+    SorParams p;
+    if (spec.size) p.rows = p.cols = spec.size;
+    if (spec.iters) p.iters = spec.iters;
+    fn(p);
+  } else if (spec.app == "tsp") {
+    TspParams p;
+    p.seed = spec.seed + 2002;
+    if (spec.size) p.cities = static_cast<int>(spec.size);
+    fn(p);
+  } else if (spec.app == "fft") {
+    FftParams p;
+    if (spec.size) p.n = spec.size;
+    if (spec.iters) p.iters = spec.iters;
+    fn(p);
+  } else if (spec.app == "is") {
+    IsParams p;
+    if (spec.size) p.keys_per_proc = spec.size;
+    if (spec.iters) p.iters = spec.iters;
+    fn(p);
+  } else if (spec.app == "gauss") {
+    GaussParams p;
+    if (spec.size) p.n = spec.size;
+    fn(p);
+  } else if (spec.app == "barnes") {
+    BarnesParams p;
+    if (spec.size) p.bodies = static_cast<int>(spec.size);
+    if (spec.iters) p.steps = spec.iters;
+    fn(p);
+  } else if (spec.app == "water") {
+    WaterParams p;
+    if (spec.size) p.molecules = static_cast<int>(spec.size);
+    if (spec.iters) p.iters = spec.iters;
+    fn(p);
+  } else if (spec.app == "racy") {
+    RacyParams p;
+    if (spec.size) p.slots = spec.size;
+    if (spec.iters) p.rounds = spec.iters;
+    fn(p);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+AppResult run_app(tmk::Tmk& t, const JacobiParams& p) { return jacobi(t, p); }
+AppResult run_app(tmk::Tmk& t, const SorParams& p) { return sor(t, p); }
+AppResult run_app(tmk::Tmk& t, const TspParams& p) { return tsp(t, p); }
+AppResult run_app(tmk::Tmk& t, const FftParams& p) { return fft3d(t, p); }
+AppResult run_app(tmk::Tmk& t, const IsParams& p) { return is_sort(t, p); }
+AppResult run_app(tmk::Tmk& t, const GaussParams& p) { return gauss(t, p); }
+AppResult run_app(tmk::Tmk& t, const BarnesParams& p) { return barnes(t, p); }
+AppResult run_app(tmk::Tmk& t, const WaterParams& p) { return water(t, p); }
+AppResult run_app(tmk::Tmk& t, const RacyParams& p) { return racy(t, p); }
+
+}  // namespace
+
+SpecRunResult run_spec(const RunSpec& spec, const cluster::ClusterConfig& cfg) {
+  SpecRunResult out;
+  cluster::Cluster c(cfg);
+  const bool known = dispatch(spec, [&](const auto& params) {
+    out.run = c.run_tmk([&](tmk::Tmk& tmk, cluster::NodeEnv& env) {
+      const AppResult r = run_app(tmk, params);
+      if (env.id == 0) out.checksum = r.checksum;
+      out.elapsed = std::max(out.elapsed, r.elapsed);
+    });
+  });
+  TMKGM_CHECK_MSG(known, "unknown app in RunSpec: " << spec.app);
+  return out;
+}
+
+bool spec_serial_reference(const RunSpec& spec, double& expected) {
+  bool have = false;
+  const bool known = dispatch(spec, [&](const auto& params) {
+    using P = std::decay_t<decltype(params)>;
+    if constexpr (std::is_same_v<P, JacobiParams>) {
+      expected = jacobi_serial(params);
+      have = true;
+    } else if constexpr (std::is_same_v<P, SorParams>) {
+      expected = sor_serial(params);
+      have = true;
+    } else if constexpr (std::is_same_v<P, TspParams>) {
+      expected = static_cast<double>(tsp_serial(params));
+      have = true;
+    } else if constexpr (std::is_same_v<P, FftParams>) {
+      expected = fft3d_serial(params);
+      have = true;
+    } else if constexpr (std::is_same_v<P, IsParams>) {
+      expected = is_sort_serial(params, spec.nodes);
+      have = true;
+    } else if constexpr (std::is_same_v<P, GaussParams>) {
+      expected = gauss_serial(params);
+      have = true;
+    } else if constexpr (std::is_same_v<P, BarnesParams>) {
+      expected = barnes_serial(params);
+      have = true;
+    } else if constexpr (std::is_same_v<P, WaterParams>) {
+      expected = water_serial(params);
+      have = true;
+    }
+    // RacyParams: deliberately racy, no serial reference.
+  });
+  TMKGM_CHECK_MSG(known, "unknown app in RunSpec: " << spec.app);
+  return have;
+}
+
+}  // namespace tmkgm::apps

@@ -1,0 +1,61 @@
+// RunSpec: a named point in the app × substrate × protocol space, with a
+// stable string form ("app=jacobi;substrate=fastgm;...").
+//
+// One dispatch to rule them all: tmkgm_run, the re-cost capture header
+// (which embeds the spec so a capture file is self-describing), and the
+// re-cost sweep tool's validation re-runs all build their cluster from the
+// same RunSpec, so "the run that produced this capture" is reproducible
+// from the capture alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::apps {
+
+struct RunSpec {
+  std::string app = "jacobi";
+  std::string substrate = "fastgm";
+  std::string protocol = "lrc";
+  int nodes = 8;
+  std::size_t size = 0;  // 0 = app default (grid edge / cities / keys ...)
+  int iters = 0;         // 0 = app default
+  std::uint64_t seed = 1;
+  int barrier_arity = 0;  // 0 = flat proc-0 barrier
+  bool lock_directory = false;
+  std::size_t arena_mb = 256;
+
+  /// Stable "key=value;..." form; parse() round-trips it.
+  std::string to_string() const;
+  static bool parse(const std::string& text, RunSpec& out, std::string& error);
+
+  friend bool operator==(const RunSpec&, const RunSpec&) = default;
+};
+
+/// Fills a ClusterConfig from the spec (n_procs, substrate kind, protocol,
+/// tmk knobs, seed). Returns false with `error` set on an unknown
+/// substrate/protocol name. Fields the spec does not cover (engine mode,
+/// tracer, capture, cost model) keep whatever the caller put there.
+bool spec_cluster_config(const RunSpec& spec, cluster::ClusterConfig& cfg,
+                         std::string& error);
+
+struct SpecRunResult {
+  cluster::RunResult run;
+  double checksum = 0.0;
+  /// Max over nodes of the app's own timed phase.
+  SimTime elapsed = 0;
+};
+
+/// Runs the spec's app on an already-configured cluster config (callers
+/// typically customize cfg.cost / cfg.capture / cfg.tracer between
+/// spec_cluster_config and here). Throws CheckError on an unknown app.
+SpecRunResult run_spec(const RunSpec& spec, const cluster::ClusterConfig& cfg);
+
+/// Serial-reference checksum for --verify; returns false for apps without
+/// one (racy).
+bool spec_serial_reference(const RunSpec& spec, double& expected);
+
+}  // namespace tmkgm::apps

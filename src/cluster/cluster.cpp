@@ -175,7 +175,20 @@ RunResult Cluster::run(const Program& program) {
     TMKGM_CHECK_MSG(config_.cost.k_drop_prob <= 0.0,
                     "random UDP loss requires the sequential engine");
   }
+  if (config_.capture != nullptr) {
+    // Capture re-times the recorded schedule under substituted cost-model
+    // parameters; anything that perturbs the run from outside the cost
+    // model (faults, forced/random drops) would make the replay a lie.
+    TMKGM_CHECK_MSG(!par, "re-cost capture requires the sequential engine");
+    TMKGM_CHECK_MSG(config_.faults.empty(),
+                    "re-cost capture forbids fault injection");
+    TMKGM_CHECK_MSG(!config_.udp_drop_filter,
+                    "re-cost capture forbids drop filters");
+    TMKGM_CHECK_MSG(config_.cost.k_drop_prob <= 0.0,
+                    "re-cost capture forbids random UDP loss");
+  }
   sim::Engine engine(config_.seed, config_.engine);
+  if (config_.capture != nullptr) engine.set_capture(config_.capture);
   if (config_.event_limit > 0) engine.set_event_limit(config_.event_limit);
   engine.set_compute_coalescing(config_.compute_coalescing);
   engine.set_tracer(config_.tracer);
@@ -260,6 +273,9 @@ RunResult Cluster::run(const Program& program) {
           program(env);
 
           result.node_finish[static_cast<std::size_t>(i)] = node.now();
+          if (config_.capture != nullptr) {
+            config_.capture->mark(i, recost::MarkTag::NodeDone, node.now());
+          }
           end_gate.arrive_and_wait(node);
 
           if (fast_sub != nullptr) fast_sub->shutdown();
@@ -336,6 +352,9 @@ RunResult Cluster::run(const Program& program) {
   }
 
   engine.run();
+  if (config_.capture != nullptr) {
+    config_.capture->finish(engine.events_processed());
+  }
 
   result.duration =
       *std::max_element(result.node_finish.begin(), result.node_finish.end());
@@ -384,8 +403,14 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
                  env.compute_tax, oracle.get());
     ready_gate.arrive_and_wait(env.node);
     started[static_cast<std::size_t>(env.id)] = env.node.now();
+    if (config_.capture != nullptr) {
+      config_.capture->mark(env.id, recost::MarkTag::SegStart, env.node.now());
+    }
     program(tmk, env);
     finished[static_cast<std::size_t>(env.id)] = env.node.now();
+    if (config_.capture != nullptr) {
+      config_.capture->mark(env.id, recost::MarkTag::SegEnd, env.node.now());
+    }
     tmk_stats[static_cast<std::size_t>(env.id)] = tmk.stats();
     proto_stats[static_cast<std::size_t>(env.id)] = tmk.protocol().stats();
     // Keep this node's Tmk alive (still servicing diff/page requests)

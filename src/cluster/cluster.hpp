@@ -28,6 +28,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "proto/protocol.hpp"
+#include "recost/capture.hpp"
 #include "sub/substrate.hpp"
 #include "tmk/tmk.hpp"
 #include "udpnet/udp.hpp"
@@ -75,6 +76,12 @@ struct ClusterConfig {
   /// no fault.* rows, so fault-free output is byte-identical. Port-level
   /// faults (disable/exhaust) apply to FastGm runs only.
   fault::FaultPlan faults;
+  /// Re-cost capture sink (recost/capture.hpp): records every schedule and
+  /// compute charge with its cost-model term program so the run can be
+  /// re-timed under a different CostModel without re-running. Requires the
+  /// sequential engine and forbids faults, drop filters and random UDP
+  /// loss. The caller owns the sink and reads it after run() returns.
+  recost::CaptureSink* capture = nullptr;
 };
 
 struct NodeEnv {
@@ -88,8 +95,15 @@ struct NodeEnv {
 
   /// Charges `work` abstract work units (≈flops) of application compute.
   void compute_work(double work) {
-    node.compute(static_cast<SimTime>(work * cost.app_ns_per_work *
-                                      (1.0 + compute_tax)));
+    // Associated as field * scale so the FieldScaled re-cost op replays
+    // the identical double arithmetic.
+    const double scale = work * (1.0 + compute_tax);
+    if (recost::CaptureSink* cap = node.engine().capture()) [[unlikely]] {
+      cap->stage_charge(
+          obs::Cat::Node,
+          {recost::Op::field_scaled(recost::FieldId::AppNsPerWork, scale)});
+    }
+    node.compute(static_cast<SimTime>(cost.app_ns_per_work * scale));
   }
 };
 

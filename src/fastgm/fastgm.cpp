@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::fastgm {
@@ -261,6 +262,13 @@ void FastGmSubstrate::send_message(sub::MsgKind kind, int origin,
   }
   // The paper's send-side copy into registered memory.
   const auto& cost = gm_.network().cost();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Sub,
+        {recost::Op::field(recost::FieldId::MemOpOverhead),
+         recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs,
+                          static_cast<std::int64_t>(payload))});
+  }
   node_.compute(cost.mem_op_overhead +
                 transfer_time(payload, cost.memcpy_bytes_per_us));
 
@@ -342,6 +350,13 @@ void FastGmSubstrate::start_rendezvous(sub::MsgKind rts_kind, int origin,
     off += b.len;
   }
   const auto& cost = gm_.network().cost();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Sub,
+        {recost::Op::field(recost::FieldId::MemOpOverhead),
+         recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs,
+                          static_cast<std::int64_t>(payload_len))});
+  }
   node_.compute(cost.mem_op_overhead +
                 transfer_time(payload_len, cost.memcpy_bytes_per_us));
 
@@ -365,6 +380,10 @@ void FastGmSubstrate::on_async_notify() {
   const auto& cost = gm_.network().cost();
   switch (config_.async_scheme) {
     case AsyncScheme::Interrupt:
+      if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+        cap->stage_charge(obs::Cat::Gm,
+                          {recost::Op::field(recost::FieldId::GmInterrupt)});
+      }
       node_.compute(cost.gm_interrupt);
       break;
     case AsyncScheme::PollingThread:
@@ -480,6 +499,13 @@ void FastGmSubstrate::handle_reply_msg(const gm::RecvMsg& msg) {
   // registered buffer into TreadMarks-visible memory.
   if (!config_.zero_copy_responses) {
     const auto& cost = gm_.network().cost();
+    if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+      cap->stage_charge(
+          obs::Cat::Sub,
+          {recost::Op::field(recost::FieldId::MemOpOverhead),
+           recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs,
+                            static_cast<std::int64_t>(payload_len))});
+    }
     node_.compute(cost.mem_op_overhead +
                   transfer_time(payload_len, cost.memcpy_bytes_per_us));
   }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/trace.hpp"
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::gm {
@@ -148,6 +149,10 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
   }
 
   const auto& cost = nic_.system_.network().cost();
+  if (recost::CaptureSink* cap = engine.capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Gm,
+                      {recost::Op::field(recost::FieldId::GmHostSend)});
+  }
   nic_.node_.compute(cost.gm_host_send);
 
   auto msg = std::make_shared<Inbound>();
@@ -166,6 +171,12 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
     // transfer's short_reply hint below guarantees stays window-safe.
     const SimTime ack_delay =
         st == Status::Ok ? cost.gm_switch_hop * cost.hops : 0;
+    if (st == Status::Ok) {
+      if (recost::CaptureSink* cap = engine.capture()) [[unlikely]] {
+        cap->stage_sched(
+            {recost::Op::field(recost::FieldId::GmSwitchHop, cost.hops)});
+      }
+    }
     engine.after_node(src_node, ack_delay, [self, st, callback, context] {
       if (st != Status::Ok) {
         self->enabled_ = false;
@@ -185,6 +196,9 @@ void Port::send_with_callback(const void* buf, int size, std::uint32_t len,
       // timer eventually fails the send.
       auto& eng = system.network().engine();
       auto done = msg->complete;
+      if (recost::CaptureSink* cap = eng.capture()) [[unlikely]] {
+        cap->stage_sched({recost::Op::field(recost::FieldId::GmResendTimeout)});
+      }
       eng.after(system.network().cost().gm_resend_timeout,
                 [done] { done(Status::SendTimedOut); });
       return;
@@ -253,6 +267,9 @@ void Port::deliver(std::shared_ptr<Inbound> msg) {
   }
   Port* self = this;
   auto weak = std::weak_ptr<Inbound>(msg);
+  if (recost::CaptureSink* cap = engine.capture()) [[unlikely]] {
+    cap->stage_sched({recost::Op::field(recost::FieldId::GmResendTimeout)});
+  }
   msg->timeout = engine.after(
       nic_.system_.network().cost().gm_resend_timeout, [self, weak] {
         auto m = weak.lock();
@@ -298,7 +315,12 @@ std::optional<RecvMsg> Port::receive() {
   if (recv_queue_.empty()) return std::nullopt;
   RecvMsg msg = recv_queue_.front();
   recv_queue_.pop_front();
-  nic_.node_.compute(nic_.system_.network().cost().gm_host_recv);
+  auto& net = nic_.system_.network();
+  if (recost::CaptureSink* cap = net.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Gm,
+                      {recost::Op::field(recost::FieldId::GmHostRecv)});
+  }
+  nic_.node_.compute(net.cost().gm_host_recv);
   return msg;
 }
 
@@ -306,13 +328,23 @@ RecvMsg Port::blocking_receive() {
   while (recv_queue_.empty()) recv_cond_.wait();
   RecvMsg msg = recv_queue_.front();
   recv_queue_.pop_front();
-  nic_.node_.compute(nic_.system_.network().cost().gm_host_recv);
+  auto& net = nic_.system_.network();
+  if (recost::CaptureSink* cap = net.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Gm,
+                      {recost::Op::field(recost::FieldId::GmHostRecv)});
+  }
+  nic_.node_.compute(net.cost().gm_host_recv);
   return msg;
 }
 
 void Port::reenable() {
   TMKGM_CHECK(!enabled_);
-  nic_.node_.compute(nic_.system_.network().cost().gm_port_reenable);
+  auto& net = nic_.system_.network();
+  if (recost::CaptureSink* cap = net.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Gm,
+                      {recost::Op::field(recost::FieldId::GmPortReenable)});
+  }
+  nic_.node_.compute(net.cost().gm_port_reenable);
   enabled_ = true;
 }
 

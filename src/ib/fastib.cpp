@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::ib {
@@ -135,6 +136,13 @@ void FastIbSubstrate::send_message(sub::MsgKind kind, int origin,
     off += b.len;
   }
   const auto& cost = cluster_.ib_.network().cost();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Sub,
+        {recost::Op::field(recost::FieldId::MemOpOverhead),
+         recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs,
+                          static_cast<std::int64_t>(payload))});
+  }
   node_.compute(cost.mem_op_overhead +
                 transfer_time(payload, cost.memcpy_bytes_per_us));
   stats_.bytes_sent += total;
@@ -183,6 +191,10 @@ void FastIbSubstrate::respond(const sub::RequestCtx& ctx,
 }
 
 void FastIbSubstrate::on_recv_event() {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbInterrupt)});
+  }
   node_.compute(cluster_.ib_.network().cost().ib_interrupt);
   while (auto c = hca_.poll_recv_cq()) handle_request_msg(*c);
 }
@@ -215,6 +227,13 @@ void FastIbSubstrate::drain_rdma_cq() {
   const std::size_t payload_len = c.byte_len - sizeof(env);
   // Single copy out of the slot into TreadMarks-visible storage.
   const auto& cost = cluster_.ib_.network().cost();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Sub,
+        {recost::Op::field(recost::FieldId::MemOpOverhead),
+         recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs,
+                          static_cast<std::int64_t>(payload_len))});
+  }
   node_.compute(cost.mem_op_overhead +
                 transfer_time(payload_len, cost.memcpy_bytes_per_us));
   reply_stash_[env.seq].assign(slot + sizeof(env),

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::ib {
@@ -80,6 +81,10 @@ std::optional<Completion> Hca::poll_recv_cq() {
   if (recv_cq_.empty()) return std::nullopt;
   Completion c = recv_cq_.front();
   recv_cq_.pop_front();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbPoll)});
+  }
   node_.compute(system_.network().cost().ib_poll);
   return c;
 }
@@ -88,6 +93,10 @@ Completion Hca::wait_recv_cq() {
   while (recv_cq_.empty()) recv_cq_cond_.wait();
   Completion c = recv_cq_.front();
   recv_cq_.pop_front();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbPoll)});
+  }
   node_.compute(system_.network().cost().ib_poll);
   return c;
 }
@@ -96,6 +105,10 @@ std::optional<Completion> Hca::poll_rdma_cq() {
   if (rdma_cq_.empty()) return std::nullopt;
   Completion c = rdma_cq_.front();
   rdma_cq_.pop_front();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbPoll)});
+  }
   node_.compute(system_.network().cost().ib_poll);
   return c;
 }
@@ -104,6 +117,10 @@ Completion Hca::wait_rdma_cq() {
   while (rdma_cq_.empty()) rdma_cq_cond_.wait();
   Completion c = rdma_cq_.front();
   rdma_cq_.pop_front();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbPoll)});
+  }
   node_.compute(system_.network().cost().ib_poll);
   return c;
 }
@@ -142,6 +159,10 @@ void Qp::post_send(const void* buf, std::uint32_t len,
   ++hca_.stats_.sends;
 
   const auto& cost = hca_.system_.network().cost();
+  if (recost::CaptureSink* cap = hca_.node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbPost)});
+  }
   hca_.node_.compute(cost.ib_post);
 
   auto msg = std::make_shared<Inbound>();
@@ -153,6 +174,10 @@ void Qp::post_send(const void* buf, std::uint32_t len,
     // Runs at the receiver; the ack (credit return, callback) is
     // sender-affine and lands exactly at the short-reply lookahead.
     const SimTime ack = cost.ib_switch_hop * cost.hops;
+    if (recost::CaptureSink* cap = engine.capture()) [[unlikely]] {
+      cap->stage_sched(
+          {recost::Op::field(recost::FieldId::IbSwitchHop, cost.hops)});
+    }
     engine.after_node(src_node, ack, [self, cb] {
       ++self->send_credits_;
       cb();
@@ -208,6 +233,10 @@ void Qp::rdma_write(const void* local, void* remote, std::uint32_t len,
   hca_.stats_.rdma_bytes += len;
 
   const auto& cost = hca_.system_.network().cost();
+  if (recost::CaptureSink* cap = hca_.node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbPost)});
+  }
   hca_.node_.compute(cost.ib_post);
 
   // Stage the payload (the HCA DMAs it out; the source may be reused once
@@ -235,6 +264,10 @@ void Qp::rdma_write(const void* local, void* remote, std::uint32_t len,
           system.hca(dst).push_rdma_completion(c);
         }
         const SimTime ack = cost.ib_switch_hop * cost.hops;
+        if (recost::CaptureSink* cap = engine.capture()) [[unlikely]] {
+          cap->stage_sched(
+              {recost::Op::field(recost::FieldId::IbSwitchHop, cost.hops)});
+        }
         engine.after_node(src, ack, [self, cb] {
           ++self->send_credits_;
           cb();

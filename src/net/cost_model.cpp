@@ -1,6 +1,14 @@
 #include "net/cost_model.hpp"
 
+#include "recost/ops.hpp"
+
 namespace tmkgm::net {
+
+namespace {
+
+std::uint8_t fid(recost::FieldId id) { return static_cast<std::uint8_t>(id); }
+
+}  // namespace
 
 CostModel testbed_cost_model() { return CostModel{}; }
 
@@ -12,6 +20,11 @@ FabricParams gm_fabric(const CostModel& cost) {
   f.pci_bytes_per_us = cost.gm_pci_bytes_per_us;
   f.switch_hop = cost.gm_switch_hop;
   f.hops = cost.hops;
+  f.f_per_msg = fid(recost::FieldId::GmLanaiPerMsg);
+  f.f_dma_setup = fid(recost::FieldId::GmDmaSetup);
+  f.f_wire = fid(recost::FieldId::GmWireBytesPerUs);
+  f.f_pci = fid(recost::FieldId::GmPciBytesPerUs);
+  f.f_switch_hop = fid(recost::FieldId::GmSwitchHop);
   return f;
 }
 
@@ -23,6 +36,11 @@ FabricParams ib_fabric(const CostModel& cost) {
   f.pci_bytes_per_us = cost.gm_pci_bytes_per_us;  // same PCI bus
   f.switch_hop = cost.ib_switch_hop;
   f.hops = cost.hops;
+  f.f_per_msg = fid(recost::FieldId::IbHcaPerMsg);
+  f.f_dma_setup = fid(recost::FieldId::IbDmaSetup);
+  f.f_wire = fid(recost::FieldId::IbWireBytesPerUs);
+  f.f_pci = fid(recost::FieldId::GmPciBytesPerUs);  // same PCI bus
+  f.f_switch_hop = fid(recost::FieldId::IbSwitchHop);
   return f;
 }
 

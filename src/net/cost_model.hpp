@@ -109,6 +109,12 @@ struct FabricParams {
   double pci_bytes_per_us = 1.0;
   SimTime switch_hop = 0;
   int hops = 2;
+  /// recost::FieldId of each parameter above (raw bytes so this header
+  /// stays recost-free), for the re-cost capture's fabric term programs.
+  /// Set by gm_fabric()/ib_fabric(); the defaults are never evaluated
+  /// because captures only run under fabrics built by those helpers.
+  std::uint8_t f_per_msg = 0, f_dma_setup = 0, f_wire = 0, f_pci = 0,
+               f_switch_hop = 0;
 };
 
 FabricParams gm_fabric(const CostModel& cost);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::net {
@@ -96,6 +97,27 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
                             .bytes = bytes});
   }
 
+  if (recost::CaptureSink* cap = engine_.capture()) [[unlikely]] {
+    // The delivery's term program, mirroring the arithmetic above op for
+    // op (capture forbids fault plans, so injected == 0): seize the
+    // sender's NIC, pay per-message + DMA setup + the bottleneck transfer,
+    // release it, cross the switch, then serialize on the receiver's NIC.
+    const auto f_per_msg = static_cast<recost::FieldId>(fabric_.f_per_msg);
+    cap->stage_sched({
+        recost::Op::seize_tx(src),
+        recost::Op::field(f_per_msg),
+        recost::Op::field(static_cast<recost::FieldId>(fabric_.f_dma_setup)),
+        recost::Op::xfer_min(static_cast<recost::FieldId>(fabric_.f_wire),
+                             static_cast<recost::FieldId>(fabric_.f_pci),
+                             bytes),
+        recost::Op::release_tx(src),
+        recost::Op::field(static_cast<recost::FieldId>(fabric_.f_switch_hop),
+                          fabric_.hops),
+        recost::Op::seize_rx(dst),
+        recost::Op::field(f_per_msg),
+        recost::Op::release_rx(dst),
+    });
+  }
   if (short_reply) {
     engine_.post_at_node_short(dst, rx_start + rx_occ, std::move(on_delivered));
   } else {

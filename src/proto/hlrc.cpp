@@ -64,9 +64,7 @@ void Hlrc::refetch_from_home(PageId page) {
   if (st.twin != nullptr) {
     TMKGM_CHECK(!st.twin_is_pending_diff);
     ++stats_.write_merges;
-    t_.node_.compute(t_.cost_.mem_op_overhead +
-                     transfer_time(t_.config_.page_size,
-                                   t_.cost_.diff_scan_bytes_per_us));
+    t_.charge_scan(t_.config_.page_size);
     auto local = tmk::encode_diff(t_.page_base(page), st.twin.get(),
                                   t_.config_.page_size);
     t_.charge_mem(t_.config_.page_size);
@@ -74,8 +72,7 @@ void Hlrc::refetch_from_home(PageId page) {
     t_.charge_mem(t_.config_.page_size);
     std::memcpy(st.twin.get(), t_.page_base(page), t_.config_.page_size);
     const auto modified = tmk::diff_modified_bytes(local);
-    t_.node_.compute(t_.cost_.mem_op_overhead +
-                     transfer_time(modified, t_.cost_.memcpy_bytes_per_us));
+    t_.charge_mem(modified);
     tmk::apply_diff(t_.page_base(page), local, t_.config_.page_size);
   } else {
     t_.charge_mem(t_.config_.page_size);
@@ -122,13 +119,10 @@ void Hlrc::on_interval_close(std::uint32_t vt,
     // Eager diffing: encode against the twin now and free it — after the
     // flush the home holds the authoritative copy, so nothing stays
     // latent and a re-write starts a fresh twin.
-    t_.node_.compute(t_.cost_.mem_op_overhead +
-                     transfer_time(t_.config_.page_size,
-                                   t_.cost_.diff_scan_bytes_per_us));
+    t_.charge_scan(t_.config_.page_size);
     auto diff = tmk::encode_diff(t_.page_base(page), st.twin.get(),
                                  t_.config_.page_size);
-    t_.node_.compute(
-        transfer_time(diff.size(), t_.cost_.memcpy_bytes_per_us));
+    t_.charge_copy(diff.size());
     ++t_.stats_.diffs_created;
     t_.stats_.diff_bytes_created += diff.size();
     t_.trace(obs::Kind::DiffCreate, -1, page, diff.size());
@@ -253,8 +247,7 @@ void Hlrc::handle_diff_flush(const sub::RequestCtx& ctx, WireReader& r) {
                                           << ", which is not its home");
     Tmk::PageState& st = t_.state_of(page);
     const auto modified = tmk::diff_modified_bytes(diff);
-    t_.node_.compute(t_.cost_.mem_op_overhead +
-                     transfer_time(modified, t_.cost_.memcpy_bytes_per_us));
+    t_.charge_mem(modified);
     tmk::apply_diff(t_.page_base(page), diff, t_.config_.page_size);
     if (st.twin != nullptr) {
       // We are mid-interval on our own home page: keep the twin in sync so

@@ -215,8 +215,7 @@ void Lrc::apply_one_diff(PageId page, int proc, std::uint32_t vt,
     t_.oracle_->count_invariant_check();
   }
   const auto modified = tmk::diff_modified_bytes(diff);
-  t_.node_.compute(t_.cost_.mem_op_overhead +
-                   transfer_time(modified, t_.cost_.memcpy_bytes_per_us));
+  t_.charge_mem(modified);
   tmk::apply_diff(t_.page_base(page), diff, t_.config_.page_size);
   if (st.twin != nullptr) {
     // Keep the twin in sync so our next diff contains only our own writes.
@@ -242,13 +241,10 @@ void Lrc::encode_pending_diff(PageId page) {
   // too). If the page is open in a new interval, its uncommitted writes
   // ride along — data-race freedom guarantees nobody reads those words
   // before our next release — and the twin refreshes to match.
-  t_.node_.compute(t_.cost_.mem_op_overhead +
-                   transfer_time(t_.config_.page_size,
-                                 t_.cost_.diff_scan_bytes_per_us));
+  t_.charge_scan(t_.config_.page_size);
   auto bytes = tmk::encode_diff(t_.page_base(page), st.twin.get(),
                                 t_.config_.page_size);
-  t_.node_.compute(
-      transfer_time(bytes.size(), t_.cost_.memcpy_bytes_per_us));
+  t_.charge_copy(bytes.size());
   auto shared =
       std::make_shared<const std::vector<std::byte>>(std::move(bytes));
   ++t_.stats_.diffs_created;

@@ -1,0 +1,361 @@
+#include "recost/capture.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace tmkgm::recost {
+
+namespace {
+
+// --- varint codec ------------------------------------------------------
+// LEB128 for unsigned values, zigzag on top for signed ones, and raw
+// 8-byte little-endian bit patterns for the field doubles (bit-exactness
+// matters more than size there).
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, (static_cast<std::uint64_t>(v) << 1) ^
+                   static_cast<std::uint64_t>(v >> 63));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+struct ByteReader {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+
+  std::uint8_t byte() {
+    TMKGM_CHECK_MSG(p < end, "truncated capture");
+    return *p++;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      TMKGM_CHECK_MSG(shift < 64, "overlong varint in capture");
+      const std::uint8_t b = byte();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+  std::int64_t i64() {
+    const std::uint64_t z = u64();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+  double f64() {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(byte()) << (8 * i);
+    }
+    return std::bit_cast<double>(bits);
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    TMKGM_CHECK_MSG(p + n <= end, "truncated capture string");
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    return s;
+  }
+};
+
+constexpr char kMagic[4] = {'T', 'M', 'K', 'R'};
+constexpr std::uint64_t kVersion = 1;
+
+void put_prog(std::vector<std::uint8_t>& out, const Prog& prog) {
+  put_u64(out, prog.size());
+  for (const Op& op : prog) {
+    out.push_back(static_cast<std::uint8_t>(op.code));
+    out.push_back(op.f);
+    out.push_back(op.f2);
+    put_i64(out, op.a);
+  }
+}
+
+Prog get_prog(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  TMKGM_CHECK_MSG(n <= 1u << 16, "implausible capture program length");
+  Prog prog(n);
+  for (Op& op : prog) {
+    const std::uint8_t code = r.byte();
+    TMKGM_CHECK_MSG(code <= static_cast<std::uint8_t>(OpCode::ReleaseRx),
+                    "bad opcode in capture");
+    op.code = static_cast<OpCode>(code);
+    op.f = r.byte();
+    op.f2 = r.byte();
+    op.a = r.i64();
+  }
+  return prog;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> CaptureData::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + records.size() * 8);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u64(out, kVersion);
+  put_u64(out, static_cast<std::uint64_t>(n_procs));
+  put_u64(out, static_cast<std::uint64_t>(kFieldCount));
+  for (double v : fields) put_f64(out, v);
+  put_u64(out, meta.size());
+  out.insert(out.end(), meta.begin(), meta.end());
+  put_i64(out, orig_duration);
+  put_u64(out, static_cast<std::uint64_t>(obs::kNumCats));
+  for (SimTime v : orig_cat_busy) put_i64(out, v);
+  put_u64(out, orig_events);
+  put_u64(out, records.size());
+  for (const Record& rec : records) {
+    out.push_back(static_cast<std::uint8_t>(rec.kind));
+    switch (rec.kind) {
+      case RecKind::Exec:
+        put_u64(out, static_cast<std::uint64_t>(rec.a));
+        break;
+      case RecKind::Sched:
+        put_i64(out, rec.node);
+        put_i64(out, rec.a);
+        put_prog(out, rec.prog);
+        break;
+      case RecKind::Charge:
+        put_u64(out, static_cast<std::uint64_t>(rec.node));
+        out.push_back(rec.tag);
+        put_i64(out, rec.a);
+        put_prog(out, rec.prog);
+        break;
+      case RecKind::Busy:
+        put_u64(out, static_cast<std::uint64_t>(rec.node));
+        out.push_back(rec.tag);
+        put_i64(out, rec.a);
+        put_prog(out, rec.prog);
+        break;
+      case RecKind::Mark:
+        put_u64(out, static_cast<std::uint64_t>(rec.node));
+        out.push_back(rec.tag);
+        put_i64(out, rec.a);
+        break;
+    }
+  }
+  return out;
+}
+
+CaptureData CaptureData::from_bytes(const std::uint8_t* data,
+                                    std::size_t size) {
+  ByteReader r{data, data + size};
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r.byte());
+  TMKGM_CHECK_MSG(std::memcmp(magic, kMagic, 4) == 0,
+                  "not a recost capture (bad magic)");
+  const std::uint64_t version = r.u64();
+  TMKGM_CHECK_MSG(version == kVersion,
+                  "unsupported capture version " << version);
+  CaptureData d;
+  d.n_procs = static_cast<int>(r.u64());
+  const std::uint64_t n_fields = r.u64();
+  TMKGM_CHECK_MSG(n_fields == static_cast<std::uint64_t>(kFieldCount),
+                  "capture has " << n_fields << " cost fields, this build "
+                  "knows " << kFieldCount);
+  for (double& v : d.fields) v = r.f64();
+  d.meta = r.str();
+  d.orig_duration = r.i64();
+  const std::uint64_t n_cats = r.u64();
+  TMKGM_CHECK_MSG(n_cats == static_cast<std::uint64_t>(obs::kNumCats),
+                  "capture has " << n_cats << " trace categories, this "
+                  "build knows " << obs::kNumCats);
+  for (SimTime& v : d.orig_cat_busy) v = r.i64();
+  d.orig_events = r.u64();
+  const std::uint64_t n_records = r.u64();
+  d.records.resize(n_records);
+  for (Record& rec : d.records) {
+    const std::uint8_t kind = r.byte();
+    TMKGM_CHECK_MSG(kind >= static_cast<std::uint8_t>(RecKind::Exec) &&
+                        kind <= static_cast<std::uint8_t>(RecKind::Mark),
+                    "bad record kind in capture");
+    rec.kind = static_cast<RecKind>(kind);
+    switch (rec.kind) {
+      case RecKind::Exec:
+        rec.a = static_cast<std::int64_t>(r.u64());
+        break;
+      case RecKind::Sched:
+        rec.node = static_cast<std::int32_t>(r.i64());
+        rec.a = r.i64();
+        rec.prog = get_prog(r);
+        break;
+      case RecKind::Charge:
+        rec.node = static_cast<std::int32_t>(r.u64());
+        rec.tag = r.byte();
+        rec.a = r.i64();
+        rec.prog = get_prog(r);
+        break;
+      case RecKind::Busy:
+        rec.node = static_cast<std::int32_t>(r.u64());
+        rec.tag = r.byte();
+        rec.a = r.i64();
+        rec.prog = get_prog(r);
+        break;
+      case RecKind::Mark:
+        rec.node = static_cast<std::int32_t>(r.u64());
+        rec.tag = r.byte();
+        rec.a = r.i64();
+        break;
+    }
+  }
+  TMKGM_CHECK_MSG(r.p == r.end, "trailing bytes after capture records");
+  return d;
+}
+
+void CaptureData::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  TMKGM_CHECK_MSG(out.good(), "cannot open capture file for write: " << path);
+  const auto bytes = to_bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  TMKGM_CHECK_MSG(out.good(), "short write to capture file: " << path);
+}
+
+CaptureData CaptureData::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TMKGM_CHECK_MSG(in.good(), "cannot open capture file: " << path);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return from_bytes(bytes.data(), bytes.size());
+}
+
+// --- CaptureSink -------------------------------------------------------
+
+CaptureSink::CaptureSink(int n_procs, const FieldValues& base_fields)
+    : shadow_(static_cast<std::size_t>(std::max(n_procs, 0))) {
+  TMKGM_CHECK(n_procs > 0);
+  data_.n_procs = n_procs;
+  data_.fields = base_fields;
+}
+
+void CaptureSink::flush_exec() {
+  if (!have_pending_exec_) return;
+  have_pending_exec_ = false;
+  data_.records.push_back(
+      {RecKind::Exec, -1, 0, static_cast<std::int64_t>(pending_exec_), {}});
+}
+
+std::uint64_t CaptureSink::on_sched(int ctx_node, SimTime now, SimTime t) {
+  flush_exec();
+  Record rec;
+  rec.kind = RecKind::Sched;
+  rec.node = ctx_node;
+  rec.a = t - now;
+  if (staged_sched_.has_value()) {
+    rec.prog = std::move(*staged_sched_);
+    staged_sched_.reset();
+    // Capture-time self-check: the term program, evaluated against the
+    // shadow NIC tables, must land exactly where the live fabric did. A
+    // divergence here means an instrumentation bug — fail the capturing
+    // run, not some later replay.
+    const SimTime got = run_prog(rec.prog, now, data_.fields, &shadow_);
+    TMKGM_CHECK_MSG(got == t, "capture self-check: schedule program "
+                    "resolves to " << got << " but the engine scheduled at "
+                    << t);
+  }
+  data_.records.push_back(std::move(rec));
+  return ++n_scheds_;
+}
+
+void CaptureSink::on_exec(std::uint64_t sched_id) {
+  TMKGM_CHECK_MSG(sched_id != 0,
+                  "executing an event scheduled before capture was installed");
+  // Lazy: the previous pending exec (if still unflushed) produced no
+  // records, so replay has no use for it.
+  pending_exec_ = sched_id;
+  have_pending_exec_ = true;
+}
+
+void CaptureSink::charge(int node, obs::Cat cat, SimTime dur, Prog prog) {
+  flush_exec();
+  if (!prog.empty()) {
+    const SimTime got = run_prog(prog, 0, data_.fields, nullptr);
+    TMKGM_CHECK_MSG(got == dur, "capture self-check: charge program "
+                    "resolves to " << got << " but the node computed "
+                    << dur);
+  }
+  cat_busy_[static_cast<std::size_t>(cat)] += dur;
+  data_.records.push_back({RecKind::Charge, node,
+                           static_cast<std::uint8_t>(cat), dur,
+                           std::move(prog)});
+}
+
+void CaptureSink::busy(int node, obs::Cat cat, SimTime dur, Prog prog) {
+  flush_exec();
+  if (!prog.empty()) {
+    const SimTime got = run_prog(prog, 0, data_.fields, nullptr);
+    TMKGM_CHECK_MSG(got == dur, "capture self-check: busy program "
+                    "resolves to " << got << " but the slice consumed "
+                    << dur);
+  }
+  cat_busy_[static_cast<std::size_t>(cat)] += dur;
+  data_.records.push_back({RecKind::Busy, node,
+                           static_cast<std::uint8_t>(cat), dur,
+                           std::move(prog)});
+}
+
+void CaptureSink::mark(int node, MarkTag tag, SimTime t) {
+  flush_exec();
+  switch (tag) {
+    case MarkTag::SegStart:
+      seg_start_ = std::max(seg_start_, t);
+      break;
+    case MarkTag::SegEnd:
+      seg_end_ = std::max(seg_end_, t);
+      break;
+    case MarkTag::NodeDone:
+      node_done_ = std::max(node_done_, t);
+      break;
+  }
+  data_.records.push_back(
+      {RecKind::Mark, node, static_cast<std::uint8_t>(tag), t, {}});
+}
+
+void CaptureSink::stage_charge(obs::Cat cat, Prog prog) {
+  TMKGM_CHECK_MSG(!staged_charge_.has_value(),
+                  "staged re-cost charge was never consumed");
+  staged_charge_ = StagedCharge{cat, std::move(prog)};
+}
+
+void CaptureSink::stage_sched(Prog prog) {
+  TMKGM_CHECK_MSG(!staged_sched_.has_value(),
+                  "staged re-cost schedule was never consumed");
+  staged_sched_ = std::move(prog);
+}
+
+CaptureSink::StagedCharge CaptureSink::take_staged_charge() {
+  if (!staged_charge_.has_value()) return {};
+  StagedCharge s = std::move(*staged_charge_);
+  staged_charge_.reset();
+  return s;
+}
+
+void CaptureSink::finish(std::uint64_t events) {
+  TMKGM_CHECK_MSG(!staged_charge_.has_value() && !staged_sched_.has_value(),
+                  "staged re-cost record left unconsumed at end of run");
+  data_.orig_events = events;
+  data_.orig_cat_busy = cat_busy_;
+  // Same rule the replay applies: a measured segment (run_tmk's gates)
+  // wins; otherwise the whole run up to the last node's finish.
+  data_.orig_duration =
+      seg_end_ >= 0 ? seg_end_ - std::max<SimTime>(seg_start_, 0) : node_done_;
+}
+
+}  // namespace tmkgm::recost

@@ -1,0 +1,158 @@
+// Capture: the compact binary record stream a re-costable run writes.
+//
+// The capture is a flat, stream-ordered log mirroring the sequential
+// engine's execution. Replay walks it once, front to back, maintaining a
+// single cursor `cur` that tracks what the engine's clock (now_) was at
+// each record — the engine clock is monotonic, so a linear cursor
+// reproduces it exactly. Five record kinds:
+//
+//   Sched  — an event was scheduled. Carries the scheduling context's node
+//            (-1 for event context), the resolved delta from now, and — for
+//            fabric transfers — a term program that re-derives the delivery
+//            time (including NIC seize/release) under substituted fields.
+//            Ids are implicit: the k-th Sched record in the stream is
+//            schedule id k (1-based; 0 is the "uncaptured" sentinel that
+//            set_capture's install-before-anything check makes impossible).
+//   Exec   — the run loop popped the event with the given schedule id;
+//            replay sets cur to that event's re-costed time. Emitted
+//            lazily: an execution that produced no other records needs no
+//            Exec (nothing depended on its time).
+//   Charge — a coalesced compute quantum: advances cur by the (possibly
+//            re-costed) duration and accrues busy time.
+//   Busy   — accounting only, no cursor movement: a sliced compute's
+//            consumed time, whose advance already came from the wake
+//            event's Exec.
+//   Mark   — a timing landmark (measured-segment start/end, node done),
+//            with its original virtual time for identity verification.
+//
+// CaptureSink is installed on the engine before any event exists and also
+// self-checks at capture time: every staged term program is evaluated
+// against shadow NIC tables and must reproduce the live engine's result
+// bit-exactly, so a capture that would not replay exactly fails loudly
+// during the run that produces it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "recost/ops.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::recost {
+
+enum class RecKind : std::uint8_t {
+  Exec = 1,
+  Sched = 2,
+  Charge = 3,
+  Busy = 4,
+  Mark = 5,
+};
+
+enum class MarkTag : std::uint8_t {
+  SegStart = 0,  ///< node passed the measured-segment start gate (run_tmk)
+  SegEnd = 1,    ///< node finished the measured segment (run_tmk)
+  NodeDone = 2,  ///< node program finished (run)
+};
+
+struct Record {
+  RecKind kind = RecKind::Exec;
+  std::int32_t node = -1;  ///< Sched: scheduling context; others: the node
+  std::uint8_t tag = 0;    ///< Charge/Busy: obs::Cat; Mark: MarkTag
+  std::int64_t a = 0;  ///< Exec: sched id; Sched: delta; Charge/Busy: dur;
+                       ///< Mark: original virtual time
+  Prog prog;           ///< Sched/Charge re-cost program; empty = constant
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// A complete capture: header (cluster size, the base model's field values,
+/// a RunSpec meta string so validators can re-run the exact config, and the
+/// original run's results for identity checks) plus the record stream.
+struct CaptureData {
+  int n_procs = 0;
+  FieldValues fields{};  ///< field values of the model captured under
+  std::string meta;      ///< apps::RunSpec text (see apps/runspec.hpp)
+  SimTime orig_duration = 0;
+  std::array<SimTime, obs::kNumCats> orig_cat_busy{};
+  std::uint64_t orig_events = 0;
+  std::vector<Record> records;
+
+  friend bool operator==(const CaptureData&, const CaptureData&) = default;
+
+  std::vector<std::uint8_t> to_bytes() const;
+  static CaptureData from_bytes(const std::uint8_t* data, std::size_t size);
+
+  void save(const std::string& path) const;
+  static CaptureData load(const std::string& path);
+};
+
+class CaptureSink {
+ public:
+  CaptureSink(int n_procs, const FieldValues& base_fields);
+
+  /// Engine hook: an event is being scheduled at absolute time `t` from a
+  /// context where now() == now. Returns the record's schedule id; consumes
+  /// a staged schedule program if one is pending (and self-checks it).
+  std::uint64_t on_sched(int ctx_node, SimTime now, SimTime t);
+
+  /// Engine hook: the run loop is about to execute the event with this
+  /// schedule id (flushed lazily into the stream).
+  void on_exec(std::uint64_t sched_id);
+
+  /// Node hook: a coalesced compute quantum of `dur` on `node`.
+  void charge(int node, obs::Cat cat, SimTime dur, Prog prog);
+
+  /// Node hook: a completed compute slice (accounting only; the time
+  /// advance came from the wake event). A non-empty `prog` re-costs the
+  /// accounted time — used when the slice covered the whole quantum, whose
+  /// wake event carries the same program for the timing side.
+  void busy(int node, obs::Cat cat, SimTime dur, Prog prog = {});
+
+  /// Harness hook: a timing landmark at the node's current virtual time.
+  void mark(int node, MarkTag tag, SimTime t);
+
+  /// Instrumentation side channel: the very next Node::compute on any node
+  /// consumes this category + duration program. Sites call it immediately
+  /// before the compute() they describe.
+  void stage_charge(obs::Cat cat, Prog prog);
+
+  /// As stage_charge, for the very next engine schedule (fabric transfers,
+  /// delayed acks): the program must resolve to the scheduled absolute
+  /// time when evaluated from now against the shadow NIC tables.
+  void stage_sched(Prog prog);
+
+  struct StagedCharge {
+    obs::Cat cat = obs::Cat::Node;
+    Prog prog;
+  };
+  /// Consumes the pending staged charge (default: constant, Cat::Node).
+  StagedCharge take_staged_charge();
+
+  /// Finalizes the header (original duration, per-category totals) from
+  /// the accumulated records. `events` = engine.events_processed().
+  void finish(std::uint64_t events);
+
+  CaptureData& data() { return data_; }
+  const CaptureData& data() const { return data_; }
+
+ private:
+  void flush_exec();
+
+  CaptureData data_;
+  ResTables shadow_;
+  std::uint64_t n_scheds_ = 0;
+  std::uint64_t pending_exec_ = 0;
+  bool have_pending_exec_ = false;
+  std::optional<StagedCharge> staged_charge_;
+  std::optional<Prog> staged_sched_;
+  std::array<SimTime, obs::kNumCats> cat_busy_{};
+  SimTime seg_start_ = -1;
+  SimTime seg_end_ = -1;
+  SimTime node_done_ = 0;
+};
+
+}  // namespace tmkgm::recost

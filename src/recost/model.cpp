@@ -1,0 +1,100 @@
+#include "recost/model.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <type_traits>
+
+namespace tmkgm::recost {
+
+FieldValues field_values(const net::CostModel& m) {
+  FieldValues v{};
+#define TMKGM_RECOST_GET(name, member) \
+  v[static_cast<std::size_t>(FieldId::name)] = static_cast<double>(m.member);
+  TMKGM_RECOST_FIELD_LIST(TMKGM_RECOST_GET)
+#undef TMKGM_RECOST_GET
+  return v;
+}
+
+const char* field_name(FieldId id) {
+  switch (id) {
+#define TMKGM_RECOST_NAME(name, member) \
+  case FieldId::name:                   \
+    return #member;
+    TMKGM_RECOST_FIELD_LIST(TMKGM_RECOST_NAME)
+#undef TMKGM_RECOST_NAME
+  }
+  return "?";
+}
+
+bool parse_field(const std::string& name, FieldId& out) {
+#define TMKGM_RECOST_PARSE(enum_name, member) \
+  if (name == #member) {                      \
+    out = FieldId::enum_name;                 \
+    return true;                              \
+  }
+  TMKGM_RECOST_FIELD_LIST(TMKGM_RECOST_PARSE)
+#undef TMKGM_RECOST_PARSE
+  return false;
+}
+
+namespace {
+
+template <class T>
+void apply_num(T& field, char op, double v) {
+  const double cur = static_cast<double>(field);
+  const double out = op == '*' ? cur * v : op == '+' ? cur + v : v;
+  if constexpr (std::is_floating_point_v<T>) {
+    field = out;
+  } else {
+    field = static_cast<T>(std::llround(out));
+  }
+}
+
+}  // namespace
+
+bool apply_override(net::CostModel& m, const std::string& spec,
+                    std::string& err) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    err = "bad override '" + spec + "' (want name=value, name*=f, name+=d)";
+    return false;
+  }
+  char op = '=';
+  std::size_t name_end = eq;
+  if (spec[eq - 1] == '*' || spec[eq - 1] == '+') {
+    op = spec[eq - 1];
+    name_end = eq - 1;
+  }
+  const std::string name = spec.substr(0, name_end);
+  const std::string val = spec.substr(eq + 1);
+  char* endp = nullptr;
+  const double v = std::strtod(val.c_str(), &endp);
+  if (endp == val.c_str() || *endp != '\0') {
+    err = "bad number '" + val + "' in override '" + spec + "'";
+    return false;
+  }
+#define TMKGM_RECOST_SET(enum_name, member) \
+  if (name == #member) {                    \
+    apply_num(m.member, op, v);             \
+    return true;                            \
+  }
+  TMKGM_RECOST_FIELD_LIST(TMKGM_RECOST_SET)
+#undef TMKGM_RECOST_SET
+  err = "unknown (or non-re-costable) cost field '" + name + "'";
+  return false;
+}
+
+bool apply_overrides(net::CostModel& m, const std::string& specs,
+                     std::string& err) {
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    std::size_t end = specs.find_first_of(";,", start);
+    if (end == std::string::npos) end = specs.size();
+    const std::string spec = specs.substr(start, end - start);
+    if (!spec.empty() && !apply_override(m, spec, err)) return false;
+    start = end + 1;
+  }
+  return true;
+}
+
+}  // namespace tmkgm::recost

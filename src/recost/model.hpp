@@ -1,0 +1,36 @@
+// Bridge between net::CostModel and the recost field table.
+//
+// Lives in the tmkgm_recost library (which links net/), keeping the capture
+// core (recost/ops.hpp, recost/capture.hpp) free of net dependencies so the
+// engine itself can link it without a cycle.
+#pragma once
+
+#include <string>
+
+#include "net/cost_model.hpp"
+#include "recost/ops.hpp"
+
+namespace tmkgm::recost {
+
+/// Snapshot of every re-costable field of `m`, indexed by FieldId.
+FieldValues field_values(const net::CostModel& m);
+
+/// The CostModel member name of a field ("gm_lanai_per_msg", ...).
+const char* field_name(FieldId id);
+
+/// Resolves a CostModel member name to its FieldId; false if unknown (or a
+/// behavioral field that cannot be re-costed).
+bool parse_field(const std::string& name, FieldId& out);
+
+/// Applies one override spec to `m`: "name=value", "name*=factor" or
+/// "name+=delta", where name is a re-costable CostModel member name.
+/// Integer-typed fields round to the nearest nanosecond. Returns false and
+/// fills `err` on unknown field or malformed spec.
+bool apply_override(net::CostModel& m, const std::string& spec,
+                    std::string& err);
+
+/// Applies a ';'- or ','-separated list of override specs.
+bool apply_overrides(net::CostModel& m, const std::string& specs,
+                     std::string& err);
+
+}  // namespace tmkgm::recost

@@ -1,0 +1,219 @@
+// Re-costing term programs.
+//
+// A captured run must be re-timeable under a *different* cost model, so the
+// capture records how each duration was computed, not just its resolved
+// value. The "how" is a tiny straight-line program over cost-model fields:
+// constants, field references (with a multiplicity), transfer-time terms
+// (bytes over a rate field), and the fabric's NIC seize/release resource
+// ops. Replaying a program against a substituted field table re-derives the
+// duration exactly as the live code would have — including the integer
+// truncation of util::transfer_time and the min(wire, pci) bottleneck.
+//
+// This header is deliberately free of net/ dependencies: instrumented
+// layers name fields by FieldId only, and recost/model.hpp (a separate
+// library) maps net::CostModel to/from the field table.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/time.hpp"
+
+namespace tmkgm::recost {
+
+/// Every re-costable net::CostModel field, in wire order. The list is
+/// shared with recost/model.cpp via the X-macro so the enum, the name
+/// table and the CostModel accessors can never drift apart. Behavioral
+/// fields (k_mtu, k_so_rcvbuf, k_drop_prob, hops) are absent on purpose:
+/// they change protocol decisions, not per-event costs, so a capture is
+/// only valid for the values it was taken under.
+#define TMKGM_RECOST_FIELD_LIST(X)                \
+  X(AppNsPerWork, app_ns_per_work)                \
+  X(MemcpyBytesPerUs, memcpy_bytes_per_us)        \
+  X(MemOpOverhead, mem_op_overhead)               \
+  X(DiffScanBytesPerUs, diff_scan_bytes_per_us)   \
+  X(GmHostSend, gm_host_send)                     \
+  X(GmLanaiPerMsg, gm_lanai_per_msg)              \
+  X(GmDmaSetup, gm_dma_setup)                     \
+  X(GmPciBytesPerUs, gm_pci_bytes_per_us)         \
+  X(GmWireBytesPerUs, gm_wire_bytes_per_us)       \
+  X(GmSwitchHop, gm_switch_hop)                   \
+  X(GmHostRecv, gm_host_recv)                     \
+  X(GmResendTimeout, gm_resend_timeout)           \
+  X(GmPortReenable, gm_port_reenable)             \
+  X(GmInterrupt, gm_interrupt)                    \
+  X(GmRegisterPerPage, gm_register_per_page)      \
+  X(KSyscall, k_syscall)                          \
+  X(KUdpProto, k_udp_proto)                       \
+  X(KIpgmDriver, k_ipgm_driver)                   \
+  X(KIpgmBytesPerUs, k_ipgm_bytes_per_us)         \
+  X(KRxInterrupt, k_rx_interrupt)                 \
+  X(KSigio, k_sigio)                              \
+  X(KSelect, k_select)                            \
+  X(KCopyBytesPerUs, k_copy_bytes_per_us)         \
+  X(TmkFaultOverhead, tmk_fault_overhead)         \
+  X(TmkProtocolOp, tmk_protocol_op)               \
+  X(IbWireBytesPerUs, ib_wire_bytes_per_us)       \
+  X(IbHcaPerMsg, ib_hca_per_msg)                  \
+  X(IbDmaSetup, ib_dma_setup)                     \
+  X(IbSwitchHop, ib_switch_hop)                   \
+  X(IbPost, ib_post)                              \
+  X(IbPoll, ib_poll)                              \
+  X(IbInterrupt, ib_interrupt)
+
+enum class FieldId : std::uint8_t {
+#define TMKGM_RECOST_ENUM(name, member) name,
+  TMKGM_RECOST_FIELD_LIST(TMKGM_RECOST_ENUM)
+#undef TMKGM_RECOST_ENUM
+};
+
+inline constexpr int kFieldCount = 0
+#define TMKGM_RECOST_COUNT(name, member) +1
+    TMKGM_RECOST_FIELD_LIST(TMKGM_RECOST_COUNT)
+#undef TMKGM_RECOST_COUNT
+    ;
+
+/// One value per FieldId. SimTime-typed fields are stored as double — every
+/// realistic duration is far below 2^53 ns, so the round trip through
+/// double is exact; rate fields are doubles natively.
+using FieldValues = std::array<double, static_cast<std::size_t>(kFieldCount)>;
+
+enum class OpCode : std::uint8_t {
+  Const,        ///< t += a
+  Field,        ///< t += SimTime(fields[f]) * a       (a = multiplicity)
+  FieldScaled,  ///< t += SimTime(fields[f] * bit_cast<double>(a))
+  Xfer,         ///< t += transfer_time(a, fields[f])  (a = bytes)
+  XferMin,      ///< t += transfer_time(a, min(fields[f], fields[f2]))
+  SeizeTx,      ///< t = max(t, tx_free[a])            (a = node)
+  SeizeRx,      ///< t = max(t, rx_free[a])
+  ReleaseTx,    ///< tx_free[a] = t
+  ReleaseRx,    ///< rx_free[a] = t
+};
+
+struct Op {
+  OpCode code = OpCode::Const;
+  std::uint8_t f = 0;   // primary field (Field / Xfer / XferMin)
+  std::uint8_t f2 = 0;  // secondary field (XferMin)
+  std::int64_t a = 0;   // constant / multiplicity / bytes / node
+
+  static Op constant(SimTime d) { return {OpCode::Const, 0, 0, d}; }
+  static Op field(FieldId id, std::int64_t count = 1) {
+    return {OpCode::Field, static_cast<std::uint8_t>(id), 0, count};
+  }
+  /// Fractional multiplicity (application work units, compute tax): the
+  /// double scale rides in `a` as its raw bit pattern so the charge site's
+  /// exact `SimTime(field * scale)` arithmetic replays bit-for-bit.
+  static Op field_scaled(FieldId id, double scale) {
+    return {OpCode::FieldScaled, static_cast<std::uint8_t>(id), 0,
+            std::bit_cast<std::int64_t>(scale)};
+  }
+  static Op xfer(FieldId rate, std::uint64_t bytes) {
+    return {OpCode::Xfer, static_cast<std::uint8_t>(rate), 0,
+            static_cast<std::int64_t>(bytes)};
+  }
+  static Op xfer_min(FieldId r1, FieldId r2, std::uint64_t bytes) {
+    return {OpCode::XferMin, static_cast<std::uint8_t>(r1),
+            static_cast<std::uint8_t>(r2), static_cast<std::int64_t>(bytes)};
+  }
+  static Op seize_tx(int node) { return {OpCode::SeizeTx, 0, 0, node}; }
+  static Op seize_rx(int node) { return {OpCode::SeizeRx, 0, 0, node}; }
+  static Op release_tx(int node) { return {OpCode::ReleaseTx, 0, 0, node}; }
+  static Op release_rx(int node) { return {OpCode::ReleaseRx, 0, 0, node}; }
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+using Prog = std::vector<Op>;
+
+/// NIC occupancy tables mirroring net::Network's tx_free_/rx_free_.
+struct ResTables {
+  std::vector<SimTime> tx, rx;
+
+  explicit ResTables(std::size_t n = 0) { ensure(n); }
+  void ensure(std::size_t n) {
+    if (tx.size() < n) {
+      tx.resize(n, 0);
+      rx.resize(n, 0);
+    }
+  }
+};
+
+inline SimTime field_time(const FieldValues& f, std::uint8_t id) {
+  TMKGM_CHECK(id < kFieldCount);
+  return static_cast<SimTime>(f[id]);
+}
+
+inline double field_rate(const FieldValues& f, std::uint8_t id) {
+  TMKGM_CHECK(id < kFieldCount);
+  return f[id];
+}
+
+/// Evaluates a program from `start`, returning the final t. Programs with
+/// resource ops need `res` (charge-duration programs never carry them and
+/// pass nullptr).
+inline SimTime run_prog(const Op* ops, std::size_t n, SimTime start,
+                        const FieldValues& f, ResTables* res) {
+  SimTime t = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Op& op = ops[i];
+    switch (op.code) {
+      case OpCode::Const:
+        t += op.a;
+        break;
+      case OpCode::Field:
+        t += field_time(f, op.f) * op.a;
+        break;
+      case OpCode::FieldScaled:
+        t += static_cast<SimTime>(field_rate(f, op.f) *
+                                  std::bit_cast<double>(op.a));
+        break;
+      case OpCode::Xfer:
+        t += transfer_time(static_cast<std::uint64_t>(op.a),
+                           field_rate(f, op.f));
+        break;
+      case OpCode::XferMin: {
+        const double rate =
+            std::min(field_rate(f, op.f), field_rate(f, op.f2));
+        t += transfer_time(static_cast<std::uint64_t>(op.a), rate);
+        break;
+      }
+      case OpCode::SeizeTx: {
+        TMKGM_CHECK(res != nullptr);
+        res->ensure(static_cast<std::size_t>(op.a) + 1);
+        t = std::max(t, res->tx[static_cast<std::size_t>(op.a)]);
+        break;
+      }
+      case OpCode::SeizeRx: {
+        TMKGM_CHECK(res != nullptr);
+        res->ensure(static_cast<std::size_t>(op.a) + 1);
+        t = std::max(t, res->rx[static_cast<std::size_t>(op.a)]);
+        break;
+      }
+      case OpCode::ReleaseTx: {
+        TMKGM_CHECK(res != nullptr);
+        res->ensure(static_cast<std::size_t>(op.a) + 1);
+        res->tx[static_cast<std::size_t>(op.a)] = t;
+        break;
+      }
+      case OpCode::ReleaseRx: {
+        TMKGM_CHECK(res != nullptr);
+        res->ensure(static_cast<std::size_t>(op.a) + 1);
+        res->rx[static_cast<std::size_t>(op.a)] = t;
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+inline SimTime run_prog(const Prog& p, SimTime start, const FieldValues& f,
+                        ResTables* res = nullptr) {
+  return run_prog(p.data(), p.size(), start, f, res);
+}
+
+}  // namespace tmkgm::recost

@@ -1,0 +1,128 @@
+#include "recost/recost.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tmkgm::recost {
+
+Result recost(const CaptureData& cap, const FieldValues& fields,
+              bool verify_identity) {
+  TMKGM_CHECK(cap.n_procs > 0);
+  const std::size_t n = static_cast<std::size_t>(cap.n_procs);
+
+  Result r;
+  r.node_busy.assign(n, 0);
+  r.node_end.assign(n, 0);
+
+  ResTables res(n);
+  // Re-costed absolute time of each schedule id (1-based; slot 0 unused).
+  std::vector<SimTime> times;
+  times.reserve(cap.records.size() / 2 + 2);
+  times.push_back(0);
+
+  SimTime cur = 0;
+  SimTime seg_start = -1, seg_end = -1, node_done = 0;
+
+  auto node_idx = [n](std::int32_t node) {
+    TMKGM_CHECK(node >= 0 && static_cast<std::size_t>(node) < n);
+    return static_cast<std::size_t>(node);
+  };
+
+  for (const Record& rec : cap.records) {
+    switch (rec.kind) {
+      case RecKind::Exec: {
+        const auto id = static_cast<std::size_t>(rec.a);
+        TMKGM_CHECK_MSG(id > 0 && id < times.size(),
+                        "capture executes unknown schedule id " << rec.a);
+        cur = times[id];
+        ++r.execs;
+        break;
+      }
+      case RecKind::Sched: {
+        // The scheduling context cannot act before its node's prior work
+        // ended; under identity node_end <= cur always, so the floor is
+        // exact there and only bites under perturbation.
+        SimTime base = cur;
+        if (rec.node >= 0) {
+          base = std::max(base, r.node_end[node_idx(rec.node)]);
+        }
+        const SimTime t = rec.prog.empty()
+                              ? base + rec.a
+                              : run_prog(rec.prog, base, fields, &res);
+        if (verify_identity) {
+          TMKGM_CHECK_MSG(t == cur + rec.a,
+                          "identity re-cost diverged: schedule id "
+                              << times.size() << " resolves to " << t
+                              << ", original was " << cur + rec.a);
+        }
+        times.push_back(t);
+        break;
+      }
+      case RecKind::Charge: {
+        const std::size_t node = node_idx(rec.node);
+        const SimTime start = std::max(cur, r.node_end[node]);
+        const SimTime d =
+            rec.prog.empty() ? rec.a : run_prog(rec.prog, 0, fields, nullptr);
+        TMKGM_CHECK_MSG(d >= 0, "negative re-costed charge " << d);
+        if (verify_identity) {
+          TMKGM_CHECK_MSG(start == cur && d == rec.a,
+                          "identity re-cost diverged: charge on node "
+                              << rec.node << " is " << d << "@" << start
+                              << ", original was " << rec.a << "@" << cur);
+        }
+        cur = start + d;
+        r.node_end[node] = cur;
+        r.cat_busy[rec.tag] += d;
+        r.node_busy[node] += d;
+        break;
+      }
+      case RecKind::Busy: {
+        const std::size_t node = node_idx(rec.node);
+        // Whole-quantum slices carry the charge program (the matching wake
+        // event re-times the advance); interrupted slices stay constants.
+        const SimTime d =
+            rec.prog.empty() ? rec.a : run_prog(rec.prog, 0, fields, nullptr);
+        TMKGM_CHECK_MSG(d >= 0, "negative re-costed busy slice " << d);
+        if (verify_identity) {
+          TMKGM_CHECK_MSG(d == rec.a,
+                          "identity re-cost diverged: busy slice on node "
+                              << rec.node << " is " << d << ", original was "
+                              << rec.a);
+        }
+        r.cat_busy[rec.tag] += d;
+        r.node_busy[node] += d;
+        r.node_end[node] = std::max(r.node_end[node], cur);
+        break;
+      }
+      case RecKind::Mark: {
+        const std::size_t node = node_idx(rec.node);
+        const SimTime t = std::max(cur, r.node_end[node]);
+        if (verify_identity) {
+          TMKGM_CHECK_MSG(t == rec.a, "identity re-cost diverged: mark on "
+                                      "node " << rec.node << " lands at "
+                                      << t << ", original was " << rec.a);
+        }
+        switch (static_cast<MarkTag>(rec.tag)) {
+          case MarkTag::SegStart:
+            seg_start = std::max(seg_start, t);
+            break;
+          case MarkTag::SegEnd:
+            seg_end = std::max(seg_end, t);
+            break;
+          case MarkTag::NodeDone:
+            node_done = std::max(node_done, t);
+            r.node_end[node] = std::max(r.node_end[node], t);
+            break;
+        }
+        break;
+      }
+    }
+  }
+
+  r.duration =
+      seg_end >= 0 ? seg_end - std::max<SimTime>(seg_start, 0) : node_done;
+  return r;
+}
+
+}  // namespace tmkgm::recost

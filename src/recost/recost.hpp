@@ -1,0 +1,52 @@
+// The re-cost core: forward replay of a capture under substituted fields.
+//
+// Replay is a single pass over the record stream (see capture.hpp for the
+// cursor model). The dependency structure of the original run — which event
+// each schedule hangs off, which node each quantum occupied, how transfers
+// serialized on NIC resources — is implicit in the stream order and the
+// term programs; re-timing substitutes the field values and re-derives
+// every duration and delivery time, with a per-node end-time floor so a
+// node's later work never starts before its earlier work finished under a
+// slower model. Event *order* is frozen at capture: re-costing never
+// reorders, so perturbations large enough to flip protocol decisions (a
+// timeout that would now fire, a rendezvous threshold crossed) are outside
+// the model's validity — the cross-validation harness measures how far it
+// can be pushed in practice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "recost/capture.hpp"
+
+namespace tmkgm::recost {
+
+struct Result {
+  SimTime duration = 0;  ///< re-predicted run/segment virtual time
+  std::array<SimTime, obs::kNumCats> cat_busy{};
+  std::vector<SimTime> node_busy;  ///< per-node CPU-busy virtual time
+  std::vector<SimTime> node_end;   ///< per-node last-activity time
+  std::uint64_t execs = 0;
+
+  SimTime total_busy() const {
+    SimTime t = 0;
+    for (SimTime v : cat_busy) t += v;
+    return t;
+  }
+  /// Blocked = wall minus busy, floored at zero (a node can be busy
+  /// outside the measured segment).
+  SimTime node_blocked(int i) const {
+    const SimTime b = duration - node_busy[static_cast<std::size_t>(i)];
+    return b > 0 ? b : 0;
+  }
+};
+
+/// Replays `cap` under `fields` and returns the re-predicted timings.
+/// With `verify_identity` set (meaningful only when `fields` ==
+/// `cap.fields`), every record is checked bit-exactly against the original
+/// run — any divergence throws CheckError.
+Result recost(const CaptureData& cap, const FieldValues& fields,
+              bool verify_identity = false);
+
+}  // namespace tmkgm::recost

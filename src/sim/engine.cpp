@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "recost/capture.hpp"
 #include "sim/node.hpp"
 #include "util/check.hpp"
 
@@ -16,7 +17,12 @@ EventHandle Engine::schedule(int aff, bool short_reply, SimTime t,
   }
   TMKGM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
   if (par_) par_check_root_push(aff, t);
-  return queue_.push(t, std::move(fn), aff, short_reply);
+  std::uint64_t cap_id = 0;
+  if (capture_ != nullptr) [[unlikely]] {
+    cap_id = capture_->on_sched(current_ != nullptr ? current_->id() : -1,
+                                now_, t);
+  }
+  return queue_.push(t, std::move(fn), aff, short_reply, cap_id);
 }
 
 void Engine::schedule_post(int aff, bool short_reply, SimTime t,
@@ -27,7 +33,12 @@ void Engine::schedule_post(int aff, bool short_reply, SimTime t,
   }
   TMKGM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
   if (par_) par_check_root_push(aff, t);
-  queue_.post(t, std::move(fn), aff, short_reply);
+  std::uint64_t cap_id = 0;
+  if (capture_ != nullptr) [[unlikely]] {
+    cap_id = capture_->on_sched(current_ != nullptr ? current_->id() : -1,
+                                now_, t);
+  }
+  queue_.post(t, std::move(fn), aff, short_reply, cap_id);
 }
 
 EventHandle Engine::after(SimTime delay, std::function<void()> fn) {
@@ -50,6 +61,17 @@ void Engine::post_after_node(int node, SimTime delay,
                              std::function<void()> fn) {
   TMKGM_CHECK(delay >= 0);
   schedule_post(node, false, now() + delay, std::move(fn));
+}
+
+void Engine::set_capture(recost::CaptureSink* capture) {
+  TMKGM_CHECK_MSG(!running_, "set_capture after run() started");
+  TMKGM_CHECK_MSG(par_ == nullptr,
+                  "re-cost capture requires the sequential engine");
+  // Install-before-anything: an event scheduled before the sink existed
+  // would execute with capture id 0 and the replay could not place it.
+  TMKGM_CHECK_MSG(queue_.scheduled_count() == 0,
+                  "set_capture after events were already scheduled");
+  capture_ = capture;
 }
 
 void Engine::set_lookahead(SimTime l_net, SimTime l_short) {
@@ -97,6 +119,7 @@ void Engine::run() {
       now_ = ev->at;
       ++events_processed_;
       check_event_limit();
+      if (capture_ != nullptr) [[unlikely]] capture_->on_exec(ev->capture_id);
       ev->fn();
       queue_.release_fired();
       rethrow_node_failure();

@@ -54,6 +54,10 @@ namespace tmkgm::obs {
 class Tracer;
 }
 
+namespace tmkgm::recost {
+class CaptureSink;
+}
+
 namespace tmkgm::sim {
 
 class Node;
@@ -219,6 +223,14 @@ class Engine {
   /// default so traces stay byte-identical across engine modes.
   void set_trace_engine(bool on) { trace_engine_ = on; }
 
+  /// Re-cost capture sink (recost/capture.hpp); null = capture off. Must
+  /// be installed before anything is scheduled (so every event carries a
+  /// capture id) and requires the sequential engine. Emit sites guard on
+  /// capture() exactly like tracing() — one pointer load, a never-taken
+  /// branch when off.
+  void set_capture(recost::CaptureSink* capture);
+  recost::CaptureSink* capture() const { return capture_; }
+
   /// Compute-warp hook (fault injection: slow / paused nodes). When set,
   /// every Node::compute quantum is mapped through it: (node, now, dur) ->
   /// warped dur. Unset (the default) costs nothing on the compute path
@@ -310,6 +322,7 @@ class Engine {
   std::function<bool()> par_hazard_;
   std::exception_ptr node_failure_;
   obs::Tracer* tracer_ = nullptr;
+  recost::CaptureSink* capture_ = nullptr;
   ComputeWarp compute_warp_;
   std::unique_ptr<ParState> par_;
 };

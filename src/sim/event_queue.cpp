@@ -114,7 +114,7 @@ EventQueue::Entry* EventQueue::alloc_entry_slow() {
 
 void EventQueue::stage(SimTime at, std::function<void()> fn,
                        std::shared_ptr<EventState> state, std::int32_t aff,
-                       bool short_reply) {
+                       bool short_reply, std::uint64_t capture_id) {
   TMKGM_CHECK(fn != nullptr);
   Entry* e = alloc_entry();
   e->at = at;
@@ -123,20 +123,22 @@ void EventQueue::stage(SimTime at, std::function<void()> fn,
   e->state = std::move(state);
   e->aff = aff;
   e->short_reply = short_reply;
+  e->capture_id = capture_id;
   pending_.push_back(Key{e->at, e->seq, e});
 }
 
 EventHandle EventQueue::push(SimTime at, std::function<void()> fn,
-                             std::int32_t aff, bool short_reply) {
+                             std::int32_t aff, bool short_reply,
+                             std::uint64_t capture_id) {
   auto state = make_state();
   EventHandle handle{state};
-  stage(at, std::move(fn), std::move(state), aff, short_reply);
+  stage(at, std::move(fn), std::move(state), aff, short_reply, capture_id);
   return handle;
 }
 
 void EventQueue::post(SimTime at, std::function<void()> fn, std::int32_t aff,
-                      bool short_reply) {
-  stage(at, std::move(fn), nullptr, aff, short_reply);
+                      bool short_reply, std::uint64_t capture_id) {
+  stage(at, std::move(fn), nullptr, aff, short_reply, capture_id);
 }
 
 void EventQueue::insert(Entry e) {

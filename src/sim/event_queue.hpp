@@ -90,6 +90,9 @@ class EventQueue {
     /// delivery that acks the sender at NIC-level latency). Caps the
     /// window it is popped into.
     bool short_reply = false;
+    /// Re-cost capture: the schedule-record id assigned by the engine's
+    /// CaptureSink at push time (0 = capture off / uncaptured).
+    std::uint64_t capture_id = 0;
 
     bool dead() const {
       return state && state->cancelled.load(std::memory_order_relaxed);
@@ -100,14 +103,14 @@ class EventQueue {
     return push(at, std::move(fn), -1, false);
   }
   EventHandle push(SimTime at, std::function<void()> fn, std::int32_t aff,
-                   bool short_reply);
+                   bool short_reply, std::uint64_t capture_id = 0);
 
   /// Fire-and-forget insertion: no handle, no shared control block.
   void post(SimTime at, std::function<void()> fn) {
     post(at, std::move(fn), -1, false);
   }
   void post(SimTime at, std::function<void()> fn, std::int32_t aff,
-            bool short_reply);
+            bool short_reply, std::uint64_t capture_id = 0);
 
   /// Pops the next live event into `out`; false when the queue is empty.
   bool pop(Popped& out);
@@ -169,7 +172,7 @@ class EventQueue {
 
   void stage(SimTime at, std::function<void()> fn,
              std::shared_ptr<EventState> state, std::int32_t aff,
-             bool short_reply);
+             bool short_reply, std::uint64_t capture_id);
   void flush() {
     if (!pending_.empty()) flush_pending();
   }

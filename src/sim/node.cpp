@@ -1,6 +1,7 @@
 #include "sim/node.hpp"
 
 #include "obs/trace.hpp"
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::sim {
@@ -82,6 +83,12 @@ Engine::Resume Node::yield_to_engine() {
 void Node::compute(SimTime dur) {
   TMKGM_CHECK_MSG(is_current(), "compute() outside node context");
   TMKGM_CHECK(dur >= 0);
+  // Take any staged re-cost charge before interrupts can run: a drained
+  // handler's nested compute() must not consume a program describing this
+  // quantum.
+  recost::CaptureSink* cap = engine_.capture();
+  recost::CaptureSink::StagedCharge staged;
+  if (cap != nullptr) [[unlikely]] staged = cap->take_staged_charge();
   drain_interrupts();
   if (dur == 0) return;
   if (engine_.compute_warp_) [[unlikely]] {
@@ -103,12 +110,25 @@ void Node::compute(SimTime dur) {
                                 .cat = obs::Cat::Node,
                                 .kind = obs::Kind::Compute});
       }
+      if (cap != nullptr) [[unlikely]] {
+        cap->charge(id_, staged.cat, dur, std::move(staged.prog));
+      }
       return;
     }
   }
   SimTime remaining = dur;
   while (remaining > 0) {
     const SimTime slice_start = engine_.now();
+    // While the first slice still spans the whole quantum, the wake event's
+    // delta IS the staged program's value, so hand the program to its
+    // schedule record: re-costing can then stretch the quantum even though
+    // the time advance rides on the wake event. Once an interrupt splits
+    // the quantum the program no longer describes any single slice and the
+    // remainder re-costs as constants.
+    const bool whole_quantum = remaining == dur && !staged.prog.empty();
+    if (cap != nullptr && whole_quantum) [[unlikely]] {
+      cap->stage_sched(staged.prog);
+    }
     compute_wake_ = engine_.after_node(id_, remaining, [this] {
       engine_.transfer_to(*this, Engine::Resume::ComputeDone);
     });
@@ -119,12 +139,25 @@ void Node::compute(SimTime dur) {
     // One trace record per completed CPU slice, so an interrupted compute
     // shows up as slices separated by the handler's own records.
     const SimTime consumed = engine_.now() - slice_start;
-    if (consumed > 0 && engine_.tracing()) [[unlikely]] {
-      engine_.tracer()->emit({.t = slice_start,
-                              .dur = consumed,
-                              .node = id_,
-                              .cat = obs::Cat::Node,
-                              .kind = obs::Kind::Compute});
+    if (consumed > 0) {
+      if (engine_.tracing()) [[unlikely]] {
+        engine_.tracer()->emit({.t = slice_start,
+                                .dur = consumed,
+                                .node = id_,
+                                .cat = obs::Cat::Node,
+                                .kind = obs::Kind::Compute});
+      }
+      // Accounting only: the time advance came from the wake event's own
+      // schedule record. An uninterrupted whole-quantum slice keeps the
+      // staged program so its accounted time re-costs alongside the wake
+      // event; a split quantum degrades to constants.
+      if (cap != nullptr) [[unlikely]] {
+        if (whole_quantum && reason == Engine::Resume::ComputeDone) {
+          cap->busy(id_, staged.cat, consumed, staged.prog);
+        } else {
+          cap->busy(id_, staged.cat, consumed);
+        }
+      }
     }
     if (reason == Engine::Resume::ComputeDone) {
       remaining = 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "proto/protocol.hpp"
+#include "recost/capture.hpp"
 #include "tmk/diff.hpp"
 #include "util/check.hpp"
 
@@ -53,15 +54,54 @@ Tmk::Tmk(sim::Node& node, sub::Substrate& substrate,
 Tmk::~Tmk() = default;
 
 void Tmk::charge_mem(std::size_t bytes) {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Tmk,
+        {recost::Op::field(recost::FieldId::MemOpOverhead),
+         recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs, bytes)});
+  }
   node_.compute(cost_.mem_op_overhead +
                 transfer_time(bytes, cost_.memcpy_bytes_per_us));
 }
 
-void Tmk::charge_fault() { node_.compute(cost_.tmk_fault_overhead); }
+void Tmk::charge_scan(std::size_t bytes) {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Tmk,
+        {recost::Op::field(recost::FieldId::MemOpOverhead),
+         recost::Op::xfer(recost::FieldId::DiffScanBytesPerUs, bytes)});
+  }
+  node_.compute(cost_.mem_op_overhead +
+                transfer_time(bytes, cost_.diff_scan_bytes_per_us));
+}
+
+void Tmk::charge_copy(std::size_t bytes) {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Tmk,
+        {recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs, bytes)});
+  }
+  node_.compute(transfer_time(bytes, cost_.memcpy_bytes_per_us));
+}
+
+void Tmk::charge_fault() {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Tmk,
+                      {recost::Op::field(recost::FieldId::TmkFaultOverhead)});
+  }
+  node_.compute(cost_.tmk_fault_overhead);
+}
 
 void Tmk::compute_work(double work) {
-  node_.compute(static_cast<SimTime>(work * cost_.app_ns_per_work *
-                                     (1.0 + compute_tax_)));
+  // Associated as field * scale so the FieldScaled re-cost op replays the
+  // identical double arithmetic.
+  const double scale = work * (1.0 + compute_tax_);
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Tmk,
+        {recost::Op::field_scaled(recost::FieldId::AppNsPerWork, scale)});
+  }
+  node_.compute(static_cast<SimTime>(cost_.app_ns_per_work * scale));
 }
 
 Tmk::PageState& Tmk::state_of(PageId page) {
@@ -289,6 +329,11 @@ bool Tmk::close_interval() {
     rec.epoch = barrier_epoch_;
     protocol_->on_interval_close(vt, rec.pages);
     // Write-protecting each dirty page costs an mprotect.
+    if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+      cap->stage_charge(obs::Cat::Tmk,
+                        {recost::Op::field(recost::FieldId::TmkProtocolOp,
+                                           static_cast<std::int64_t>(count))});
+    }
     node_.compute(static_cast<SimTime>(count) * cost_.tmk_protocol_op);
     intervals_[static_cast<std::size_t>(proc_id())][vt] = std::move(rec);
     ++stats_.intervals_created;
@@ -850,6 +895,10 @@ void Tmk::discard_old_protocol_state() {
 
 void Tmk::handle_request(const sub::RequestCtx& ctx,
                          std::span<const std::byte> payload) {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Tmk,
+                      {recost::Op::field(recost::FieldId::TmkProtocolOp)});
+  }
   node_.compute(cost_.tmk_protocol_op);
   WireReader r(payload);
   const auto op = r.get<Op>();

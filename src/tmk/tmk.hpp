@@ -377,6 +377,10 @@ class Tmk {
   void discard_old_protocol_state();
 
   void charge_mem(std::size_t bytes);
+  /// Twin/diff word-compare scan over `bytes` (mem_op_overhead included).
+  void charge_scan(std::size_t bytes);
+  /// Bare copy at memcpy bandwidth, no per-op overhead.
+  void charge_copy(std::size_t bytes);
   void charge_fault();
 
   /// Protocol-level trace record; one load+branch when tracing is off.

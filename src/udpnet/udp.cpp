@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/trace.hpp"
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::udpnet {
@@ -82,6 +83,18 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
 
   // Kernel send path: syscall, gather-copy into kernel buffers, and
   // per-packet protocol + driver work; non-preemptible.
+  if (recost::CaptureSink* cap = system_.network().engine().capture())
+      [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Udp,
+        {recost::Op::field(recost::FieldId::KSyscall),
+         recost::Op::xfer(recost::FieldId::KCopyBytesPerUs, len),
+         recost::Op::xfer(recost::FieldId::KIpgmBytesPerUs, len),
+         recost::Op::field(recost::FieldId::KUdpProto,
+                           static_cast<std::int64_t>(nfrag)),
+         recost::Op::field(recost::FieldId::KIpgmDriver,
+                           static_cast<std::int64_t>(nfrag))});
+  }
   node_.compute_uninterruptible(
       cost.k_syscall + transfer_time(len, cost.k_copy_bytes_per_us) +
       transfer_time(len, cost.k_ipgm_bytes_per_us) +
@@ -141,6 +154,9 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
       return;
     }
     // Loopback: no fabric, just kernel dispatch (on this same node).
+    if (recost::CaptureSink* cap = engine.capture()) [[unlikely]] {
+      cap->stage_sched({recost::Op::field(recost::FieldId::KRxInterrupt)});
+    }
     engine.after_node(node_.id(), cost.k_rx_interrupt,
                       [&dst, dst_port, dg = std::move(dg)]() mutable {
                         dst.deliver_datagram(dst_port, std::move(dg));
@@ -175,6 +191,13 @@ void UdpStack::sendmsg(int s, std::span<const ConstBuf> iov, int dst_node,
             // staging copy), then reassembly — all on the receiving node.
             auto& eng = dst.system_.network().engine();
             const auto& c = dst.system_.cost();
+            if (recost::CaptureSink* cap = eng.capture()) [[unlikely]] {
+              cap->stage_sched(
+                  {recost::Op::field(recost::FieldId::KRxInterrupt),
+                   recost::Op::field(recost::FieldId::KUdpProto),
+                   recost::Op::xfer(recost::FieldId::KIpgmBytesPerUs,
+                                    static_cast<std::int64_t>(frag_len))});
+            }
             eng.after_node(
                 dst_node,
                 c.k_rx_interrupt + c.k_udp_proto +
@@ -292,7 +315,12 @@ std::optional<Datagram> UdpStack::recvfrom(int s) {
   TMKGM_CHECK_MSG(node_.is_current(), "recvfrom outside node context");
   auto& sk = sock(s);
   const auto& cost = system_.cost();
+  recost::CaptureSink* cap = system_.network().engine().capture();
   if (sk.queue.empty()) {
+    if (cap != nullptr) [[unlikely]] {
+      cap->stage_charge(obs::Cat::Udp,
+                        {recost::Op::field(recost::FieldId::KSyscall)});
+    }
     node_.compute_uninterruptible(cost.k_syscall);  // EWOULDBLOCK still pays
     return std::nullopt;
   }
@@ -300,6 +328,13 @@ std::optional<Datagram> UdpStack::recvfrom(int s) {
   sk.queue.pop_front();
   sk.queued_bytes -=
       static_cast<std::uint32_t>(dg.payload.size()) + kSkbOverhead;
+  if (cap != nullptr) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Udp,
+        {recost::Op::field(recost::FieldId::KSyscall),
+         recost::Op::xfer(recost::FieldId::KCopyBytesPerUs,
+                          static_cast<std::int64_t>(dg.payload.size()))});
+  }
   node_.compute_uninterruptible(
       cost.k_syscall +
       transfer_time(dg.payload.size(), cost.k_copy_bytes_per_us));
@@ -311,6 +346,11 @@ bool UdpStack::readable(int s) const { return !sock(s).queue.empty(); }
 int UdpStack::select(std::span<const int> socks, SimTime timeout) {
   TMKGM_CHECK_MSG(node_.is_current(), "select outside node context");
   const auto& cost = system_.cost();
+  if (recost::CaptureSink* cap = system_.network().engine().capture())
+      [[unlikely]] {
+    cap->stage_charge(obs::Cat::Udp,
+                      {recost::Op::field(recost::FieldId::KSelect)});
+  }
   node_.compute_uninterruptible(cost.k_select);
   const SimTime deadline = timeout < 0 ? kNever : node_.now() + timeout;
   while (true) {

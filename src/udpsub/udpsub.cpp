@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "recost/capture.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::udpsub {
@@ -127,6 +128,10 @@ UdpSubstrate::DedupEntry* UdpSubstrate::dedup_find(int origin,
 }
 
 void UdpSubstrate::on_sigio() {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::KSigio)});
+  }
   node_.compute(udp_.cost().k_sigio);
   drain_requests();
 }

@@ -1,0 +1,84 @@
+// Width-adaptive proc-id wire codec (tmk/ops.hpp): one byte through 256
+// procs — keeping every historical ≤256-node encoding byte-identical — and
+// two bytes above, with both sides deriving the width from n_procs alone.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tmk/ops.hpp"
+#include "util/wire.hpp"
+
+namespace tmkgm::tmk {
+namespace {
+
+TEST(ProcCodec, WidthBoundaryAt256) {
+  EXPECT_FALSE(wide_proc_ids(1));
+  EXPECT_FALSE(wide_proc_ids(255));
+  EXPECT_FALSE(wide_proc_ids(256));
+  EXPECT_TRUE(wide_proc_ids(257));
+  EXPECT_TRUE(wide_proc_ids(65536));
+
+  EXPECT_EQ(proc_id_wire_bytes(256), 1u);
+  EXPECT_EQ(proc_id_wire_bytes(257), 2u);
+}
+
+TEST(ProcCodec, NarrowEncodingIsOneByte) {
+  WireWriter w;
+  put_proc(w, 0, 256);
+  put_proc(w, 255, 256);
+  ASSERT_EQ(w.size(), 2u);
+  // The historical single-byte encoding: the id verbatim.
+  EXPECT_EQ(std::to_integer<int>(w.bytes()[0]), 0);
+  EXPECT_EQ(std::to_integer<int>(w.bytes()[1]), 255);
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(get_proc(r, 256), 0);
+  EXPECT_EQ(get_proc(r, 256), 255);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ProcCodec, WideEncodingIsTwoBytes) {
+  WireWriter w;
+  put_proc(w, 0, 257);
+  put_proc(w, 256, 257);
+  ASSERT_EQ(w.size(), 4u);
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(get_proc(r, 257), 0);
+  EXPECT_EQ(get_proc(r, 257), 256);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ProcCodec, RoundTripsEveryIdAtTheBoundaries) {
+  for (const int n : {255, 256, 257, 1024}) {
+    WireWriter w;
+    for (int p = 0; p < n; ++p) put_proc(w, p, n);
+    EXPECT_EQ(w.size(), static_cast<std::size_t>(n) * proc_id_wire_bytes(n));
+    WireReader r(w.bytes());
+    for (int p = 0; p < n; ++p) {
+      ASSERT_EQ(get_proc(r, n), p) << "n_procs=" << n;
+    }
+  }
+}
+
+// A mixed message (proc ids interleaved with other fields) decodes under
+// the same n_procs on both sides — the property the protocol relies on.
+TEST(ProcCodec, MixedPayloadRoundTrip) {
+  for (const int n : {256, 257}) {
+    WireWriter w;
+    w.put<std::uint32_t>(0xDEADBEEF);
+    put_proc(w, n - 1, n);
+    w.put<std::uint16_t>(42);
+    put_proc(w, 0, n);
+
+    WireReader r(w.bytes());
+    EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+    EXPECT_EQ(get_proc(r, n), n - 1);
+    EXPECT_EQ(r.get<std::uint16_t>(), 42);
+    EXPECT_EQ(get_proc(r, n), 0);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tmkgm::tmk

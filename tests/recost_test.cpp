@@ -1,0 +1,265 @@
+// Re-cost core tests: term-program evaluation, capture codec round-trips,
+// and the identity property — re-costing a capture under the very model it
+// was taken with must reproduce the original run bit-exactly (total virtual
+// time and every per-category busy total), across the app × substrate ×
+// protocol grid.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "apps/runspec.hpp"
+#include "cluster/cluster.hpp"
+#include "recost/capture.hpp"
+#include "recost/model.hpp"
+#include "recost/recost.hpp"
+
+namespace tmkgm::recost {
+namespace {
+
+FieldValues unit_fields() {
+  FieldValues f{};
+  for (auto& v : f) v = 1.0;
+  return f;
+}
+
+TEST(RunProg, ConstAndField) {
+  FieldValues f = unit_fields();
+  f[static_cast<std::size_t>(FieldId::GmHostSend)] = 700.0;
+  const Prog p = {Op::constant(100), Op::field(FieldId::GmHostSend, 3)};
+  EXPECT_EQ(run_prog(p, 0, f), 100 + 3 * 700);
+  EXPECT_EQ(run_prog(p, 50, f), 50 + 100 + 3 * 700);
+}
+
+TEST(RunProg, FieldScaledMatchesChargeSiteArithmetic) {
+  FieldValues f = unit_fields();
+  const double ns_per_work = 1.625;
+  f[static_cast<std::size_t>(FieldId::AppNsPerWork)] = ns_per_work;
+  const double scale = 12345.0 * 1.03;  // work * (1 + tax)
+  const Prog p = {Op::field_scaled(FieldId::AppNsPerWork, scale)};
+  EXPECT_EQ(run_prog(p, 0, f), static_cast<SimTime>(ns_per_work * scale));
+}
+
+TEST(RunProg, XferUsesExactTransferTime) {
+  FieldValues f = unit_fields();
+  f[static_cast<std::size_t>(FieldId::GmWireBytesPerUs)] = 133.0;
+  f[static_cast<std::size_t>(FieldId::GmPciBytesPerUs)] = 126.0;
+  const std::uint64_t bytes = 4097;
+  EXPECT_EQ(run_prog({Op::xfer(FieldId::GmWireBytesPerUs, bytes)}, 0, f),
+            transfer_time(bytes, 133.0));
+  // XferMin picks the bottleneck rate, as the fabric does.
+  EXPECT_EQ(run_prog({Op::xfer_min(FieldId::GmWireBytesPerUs,
+                                   FieldId::GmPciBytesPerUs, bytes)},
+                     0, f),
+            transfer_time(bytes, 126.0));
+}
+
+TEST(RunProg, SeizeReleaseMirrorsNicOccupancy) {
+  const FieldValues f = unit_fields();
+  ResTables res;
+  // First transfer on node 2's tx: starts at t=10, holds the NIC to 10+5.
+  const Prog first = {Op::seize_tx(2), Op::constant(5), Op::release_tx(2)};
+  EXPECT_EQ(run_prog(first, 10, f, &res), 15);
+  EXPECT_EQ(res.tx[2], 15);
+  // Second transfer issued earlier (t=3) must queue behind the first.
+  const Prog second = {Op::seize_tx(2), Op::constant(7), Op::release_tx(2)};
+  EXPECT_EQ(run_prog(second, 3, f, &res), 15 + 7);
+  // rx table is independent of tx.
+  EXPECT_EQ(run_prog({Op::seize_rx(2)}, 3, f, &res), 3);
+}
+
+TEST(Model, FieldNamesRoundTrip) {
+  for (int i = 0; i < kFieldCount; ++i) {
+    const auto id = static_cast<FieldId>(i);
+    FieldId back{};
+    ASSERT_TRUE(parse_field(field_name(id), back)) << field_name(id);
+    EXPECT_EQ(back, id);
+  }
+  FieldId ignored{};
+  EXPECT_FALSE(parse_field("no_such_field", ignored));
+}
+
+TEST(Model, ApplyOverrideOps) {
+  net::CostModel cost = net::testbed_cost_model();
+  std::string err;
+  ASSERT_TRUE(apply_override(cost, "gm_lanai_per_msg=5000", err)) << err;
+  EXPECT_EQ(cost.gm_lanai_per_msg, 5000);
+  ASSERT_TRUE(apply_override(cost, "gm_lanai_per_msg*=2", err)) << err;
+  EXPECT_EQ(cost.gm_lanai_per_msg, 10000);
+  ASSERT_TRUE(apply_override(cost, "gm_lanai_per_msg+=500", err)) << err;
+  EXPECT_EQ(cost.gm_lanai_per_msg, 10500);
+  EXPECT_FALSE(apply_override(cost, "bogus_field=1", err));
+  EXPECT_FALSE(apply_override(cost, "gm_lanai_per_msg", err));
+}
+
+// --- capture codec ------------------------------------------------------
+
+// The codec is kind-aware (an Exec carries only its sched id, Busy/Mark
+// carry no program), so the generator only populates what each kind
+// serializes — exactly what CaptureSink itself produces.
+Record random_record(std::mt19937& rng) {
+  std::uniform_int_distribution<int> kind(1, 5);
+  std::uniform_int_distribution<std::int64_t> val(-1'000'000, 1'000'000);
+  std::uniform_int_distribution<int> small(0, 8);
+  Record rec;
+  rec.kind = static_cast<RecKind>(kind(rng));
+  rec.a = val(rng);
+  auto random_prog = [&] {
+    Prog prog;
+    const int ops = small(rng) % 4;
+    for (int i = 0; i < ops; ++i) {
+      switch (small(rng) % 5) {
+        case 0: prog.push_back(Op::constant(val(rng))); break;
+        case 1: prog.push_back(Op::field(FieldId::GmHostSend, 2)); break;
+        case 2:
+          prog.push_back(Op::field_scaled(
+              FieldId::AppNsPerWork, static_cast<double>(val(rng)) / 7.0));
+          break;
+        case 3:
+          prog.push_back(Op::xfer(FieldId::GmWireBytesPerUs,
+                                  static_cast<std::uint64_t>(small(rng))));
+          break;
+        default: prog.push_back(Op::seize_tx(small(rng))); break;
+      }
+    }
+    return prog;
+  };
+  switch (rec.kind) {
+    case RecKind::Exec:
+      rec.a = std::abs(rec.a);
+      break;
+    case RecKind::Sched:
+      rec.node = small(rng) - 1;  // -1 = event context
+      rec.prog = random_prog();
+      break;
+    case RecKind::Charge:
+      rec.node = small(rng);
+      rec.tag = static_cast<std::uint8_t>(small(rng));
+      rec.prog = random_prog();
+      break;
+    case RecKind::Busy:
+      rec.node = small(rng);
+      rec.tag = static_cast<std::uint8_t>(small(rng));
+      rec.prog = random_prog();
+      break;
+    case RecKind::Mark:
+      rec.node = small(rng);
+      rec.tag = static_cast<std::uint8_t>(small(rng) % 3);
+      break;
+  }
+  return rec;
+}
+
+TEST(CaptureCodec, FuzzRoundTrip) {
+  std::mt19937 rng(0xC057);
+  for (int round = 0; round < 50; ++round) {
+    CaptureData cap;
+    cap.n_procs = 1 + static_cast<int>(rng() % 300);
+    cap.fields = field_values(net::testbed_cost_model());
+    cap.fields[round % kFieldCount] = static_cast<double>(rng() % 100000);
+    cap.meta = round % 2 ? "app=jacobi;nodes=4" : "";
+    cap.orig_duration = static_cast<SimTime>(rng() % 1'000'000'000);
+    for (auto& b : cap.orig_cat_busy) b = static_cast<SimTime>(rng() % 1000);
+    cap.orig_events = rng();
+    const int n = static_cast<int>(rng() % 40);
+    for (int i = 0; i < n; ++i) cap.records.push_back(random_record(rng));
+
+    const std::vector<std::uint8_t> bytes = cap.to_bytes();
+    const CaptureData back = CaptureData::from_bytes(bytes.data(),
+                                                     bytes.size());
+    EXPECT_EQ(back, cap) << "round " << round;
+  }
+}
+
+TEST(CaptureCodec, RejectsTruncatedAndCorrupt) {
+  CaptureData cap;
+  cap.n_procs = 4;
+  cap.fields = field_values(net::testbed_cost_model());
+  cap.records.push_back({RecKind::Charge, 0, 1, 42, {Op::constant(42)}});
+  const auto bytes = cap.to_bytes();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, bytes.size() - 1}) {
+    EXPECT_THROW(CaptureData::from_bytes(bytes.data(), cut), CheckError);
+  }
+  auto bad = bytes;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_THROW(CaptureData::from_bytes(bad.data(), bad.size()), CheckError);
+}
+
+// --- identity property --------------------------------------------------
+
+struct GridApp {
+  const char* app;
+  std::size_t size;
+  int iters;
+};
+
+// Same scale as config_matrix_test's base(): n=4, 4 MiB arena.
+constexpr GridApp kApps[] = {
+    {"jacobi", 32, 4}, {"sor", 32, 3}, {"tsp", 8, 0}, {"is", 512, 2}};
+constexpr const char* kSubstrates[] = {"fastgm", "udpgm", "fastib"};
+constexpr const char* kProtocols[] = {"lrc", "hlrc"};
+
+TEST(RecostIdentity, GridReproducesOriginalExactly) {
+  for (const auto& ga : kApps) {
+    for (const char* sub : kSubstrates) {
+      for (const char* proto : kProtocols) {
+        apps::RunSpec spec;
+        spec.app = ga.app;
+        spec.size = ga.size;
+        spec.iters = ga.iters;
+        spec.substrate = sub;
+        spec.protocol = proto;
+        spec.nodes = 4;
+        spec.arena_mb = 4;
+        SCOPED_TRACE(spec.to_string());
+
+        cluster::ClusterConfig cfg;
+        std::string err;
+        ASSERT_TRUE(apps::spec_cluster_config(spec, cfg, err)) << err;
+        cfg.event_limit = 500'000'000;
+        CaptureSink sink(spec.nodes, field_values(cfg.cost));
+        cfg.capture = &sink;
+        const auto run = apps::run_spec(spec, cfg);
+        const CaptureData& cap = sink.data();
+        ASSERT_EQ(cap.orig_duration, run.run.duration);
+
+        // verify_identity re-checks every Mark against its original time;
+        // the totals below are the user-visible contract.
+        const Result r = recost(cap, cap.fields, /*verify_identity=*/true);
+        EXPECT_EQ(r.duration, cap.orig_duration);
+        for (int c = 0; c < obs::kNumCats; ++c) {
+          EXPECT_EQ(r.cat_busy[static_cast<std::size_t>(c)],
+                    cap.orig_cat_busy[static_cast<std::size_t>(c)])
+              << "category " << c;
+        }
+      }
+    }
+  }
+}
+
+// A capture must survive its serialized form: save/load then identity.
+TEST(RecostIdentity, SurvivesSerialization) {
+  apps::RunSpec spec;
+  spec.app = "jacobi";
+  spec.size = 32;
+  spec.iters = 4;
+  spec.nodes = 4;
+  spec.arena_mb = 4;
+  cluster::ClusterConfig cfg;
+  std::string err;
+  ASSERT_TRUE(apps::spec_cluster_config(spec, cfg, err)) << err;
+  CaptureSink sink(spec.nodes, field_values(cfg.cost));
+  cfg.capture = &sink;
+  apps::run_spec(spec, cfg);
+  sink.data().meta = spec.to_string();
+
+  const auto bytes = sink.data().to_bytes();
+  const CaptureData back = CaptureData::from_bytes(bytes.data(), bytes.size());
+  EXPECT_EQ(back, sink.data());
+  const Result r = recost(back, back.fields, /*verify_identity=*/true);
+  EXPECT_EQ(r.duration, back.orig_duration);
+}
+
+}  // namespace
+}  // namespace tmkgm::recost

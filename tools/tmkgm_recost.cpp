@@ -1,0 +1,440 @@
+// tmkgm_recost — trace-driven what-if re-costing over captured runs.
+//
+//   tmkgm_run --app jacobi --nodes 8 --size 64 --capture jacobi.tmkr
+//   tmkgm_recost jacobi.tmkr                              # identity report
+//   tmkgm_recost jacobi.tmkr --model "gm_lanai_per_msg*=2"
+//   tmkgm_recost jacobi.tmkr --validate 3
+//       --sweep "gm_wire_bytes_per_us=125,250,1000;gm_lanai_per_msg*=0.5,1,2"
+//
+// Re-predicts total runtime, per-category busy breakdowns and per-node
+// busy/blocked profiles under substituted net::CostModel parameters —
+// without re-running the protocol. --sweep explores a cartesian hardware
+// grid and ranks the points; --validate K re-runs the real simulator for K
+// sampled points and reports the prediction error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/runspec.hpp"
+#include "cluster/cluster.hpp"
+#include "recost/capture.hpp"
+#include "recost/model.hpp"
+#include "recost/recost.hpp"
+#include "util/check.hpp"
+
+using namespace tmkgm;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> captures;
+  std::string model;  // override list applied to the base model
+  std::string sweep;  // "field=v1,v2;field2*=f1,f2" cartesian grid
+  int validate = 0;   // re-run the simulator for K sampled sweep points
+  int top = 10;
+  bool per_node = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tmkgm_recost CAPTURE... [options]\n"
+      "  --model \"SPECS\"    re-cost under overridden cost-model fields;\n"
+      "                     SPECS is ';'-separated name=value, name*=factor\n"
+      "                     or name+=delta (e.g. \"gm_lanai_per_msg*=2\")\n"
+      "  --sweep \"GRID\"     cartesian design-space sweep; GRID is\n"
+      "                     ';'-separated axes, each name(=|*=|+=)v1,v2,...\n"
+      "  --validate K       re-run the real simulator for K sampled sweep\n"
+      "                     points (best, worst, evenly spaced) and report\n"
+      "                     prediction error (requires --sweep)\n"
+      "  --top N            rows of the sweep ranking to print (default 10)\n"
+      "  --per-node         include the per-node busy/blocked profile\n");
+}
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = a.find('='); a.rfind("--", 0) == 0 &&
+                                     eq != std::string::npos) {
+      inline_value = a.substr(eq + 1);
+      a.erase(eq);
+      has_inline = true;
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      o.model = v;
+    } else if (a == "--sweep") {
+      const char* v = next();
+      if (!v) return false;
+      o.sweep = v;
+    } else if (a == "--validate") {
+      const char* v = next();
+      if (!v) return false;
+      o.validate = std::atoi(v);
+    } else if (a == "--top") {
+      const char* v = next();
+      if (!v) return false;
+      o.top = std::atoi(v);
+    } else if (a == "--per-node") {
+      o.per_node = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    } else {
+      o.captures.push_back(a);
+    }
+  }
+  return !o.captures.empty();
+}
+
+// --- override / sweep parsing ------------------------------------------
+
+struct Override {
+  recost::FieldId id{};
+  std::string name;
+  char op = '=';  // '=', '*', '+'
+  double value = 0;
+
+  void apply(recost::FieldValues& f) const {
+    auto& v = f[static_cast<std::size_t>(id)];
+    if (op == '*') {
+      v *= value;
+    } else if (op == '+') {
+      v += value;
+    } else {
+      v = value;
+    }
+  }
+  /// The "name(op)=value" spec string understood by recost::apply_override.
+  std::string spec() const {
+    std::string s = name;
+    if (op != '=') s += op;
+    s += "=";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return s + buf;
+  }
+};
+
+bool parse_axis_head(const std::string& head, Override& out,
+                     std::string& err) {
+  std::string name = head;
+  out.op = '=';
+  if (!name.empty() && (name.back() == '*' || name.back() == '+')) {
+    out.op = name.back();
+    name.pop_back();
+  }
+  if (!recost::parse_field(name, out.id)) {
+    err = "unknown cost-model field: " + name;
+    return false;
+  }
+  out.name = name;
+  return true;
+}
+
+struct Axis {
+  Override base;  // id/name/op; value filled per grid point
+  std::vector<double> values;
+};
+
+bool parse_sweep(const std::string& grid, std::vector<Axis>& axes,
+                 std::string& err) {
+  std::size_t pos = 0;
+  while (pos < grid.size()) {
+    auto end = grid.find(';', pos);
+    if (end == std::string::npos) end = grid.size();
+    const std::string axis_spec = grid.substr(pos, end - pos);
+    pos = end + 1;
+    if (axis_spec.empty()) continue;
+    const auto eq = axis_spec.find('=');
+    if (eq == std::string::npos) {
+      err = "sweep axis needs '=': " + axis_spec;
+      return false;
+    }
+    Axis axis;
+    if (!parse_axis_head(axis_spec.substr(0, eq), axis.base, err)) {
+      return false;
+    }
+    std::size_t vp = eq + 1;
+    while (vp <= axis_spec.size()) {
+      auto vend = axis_spec.find(',', vp);
+      if (vend == std::string::npos) vend = axis_spec.size();
+      const std::string vs = axis_spec.substr(vp, vend - vp);
+      vp = vend + 1;
+      if (vs.empty()) continue;
+      char* endp = nullptr;
+      const double v = std::strtod(vs.c_str(), &endp);
+      if (endp == vs.c_str() || *endp != '\0') {
+        err = "bad sweep value '" + vs + "' for " + axis.base.name;
+        return false;
+      }
+      axis.values.push_back(v);
+    }
+    if (axis.values.empty()) {
+      err = "sweep axis has no values: " + axis_spec;
+      return false;
+    }
+    axes.push_back(std::move(axis));
+  }
+  if (axes.empty()) {
+    err = "empty sweep grid";
+    return false;
+  }
+  return true;
+}
+
+bool parse_model(const std::string& specs, std::vector<Override>& out,
+                 std::string& err) {
+  std::size_t pos = 0;
+  while (pos < specs.size()) {
+    auto end = specs.find(';', pos);
+    if (end == std::string::npos) end = specs.size();
+    const std::string one = specs.substr(pos, end - pos);
+    pos = end + 1;
+    if (one.empty()) continue;
+    const auto eq = one.find('=');
+    if (eq == std::string::npos) {
+      err = "override needs '=': " + one;
+      return false;
+    }
+    Override ov;
+    if (!parse_axis_head(one.substr(0, eq), ov, err)) return false;
+    char* endp = nullptr;
+    const std::string vs = one.substr(eq + 1);
+    ov.value = std::strtod(vs.c_str(), &endp);
+    if (endp == vs.c_str() || *endp != '\0') {
+      err = "bad override value in: " + one;
+      return false;
+    }
+    out.push_back(std::move(ov));
+  }
+  return true;
+}
+
+// --- reporting ---------------------------------------------------------
+
+const char* cat_name(int c) {
+  switch (static_cast<obs::Cat>(c)) {
+    case obs::Cat::Node: return "node";
+    case obs::Cat::Net: return "net";
+    case obs::Cat::Gm: return "gm";
+    case obs::Cat::Udp: return "udp";
+    case obs::Cat::Sub: return "sub";
+    case obs::Cat::Tmk: return "tmk";
+    case obs::Cat::Fault: return "fault";
+    case obs::Cat::Check: return "check";
+    case obs::Cat::Eng: return "eng";
+  }
+  return "?";
+}
+
+void print_result(const recost::CaptureData& cap, const recost::Result& r,
+                  bool per_node) {
+  std::printf("  predicted duration: %.3f ms (original %.3f ms, %+.2f%%)\n",
+              to_ms(r.duration), to_ms(cap.orig_duration),
+              cap.orig_duration > 0
+                  ? 100.0 * (static_cast<double>(r.duration) -
+                             static_cast<double>(cap.orig_duration)) /
+                        static_cast<double>(cap.orig_duration)
+                  : 0.0);
+  std::printf("  busy by category (re-costed vs captured, ms):\n");
+  for (int c = 0; c < obs::kNumCats; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (r.cat_busy[i] == 0 && cap.orig_cat_busy[i] == 0) continue;
+    std::printf("    %-6s %12.3f %12.3f\n", cat_name(c), to_ms(r.cat_busy[i]),
+                to_ms(cap.orig_cat_busy[i]));
+  }
+  if (per_node) {
+    std::printf("  per-node busy/blocked (ms):\n");
+    for (std::size_t i = 0; i < r.node_busy.size(); ++i) {
+      std::printf("    p%-3zu %12.3f %12.3f\n", i, to_ms(r.node_busy[i]),
+                  to_ms(r.node_blocked(static_cast<int>(i))));
+    }
+  }
+}
+
+struct GridPoint {
+  std::vector<Override> overrides;  // one per axis, value bound
+  SimTime predicted = 0;            // summed across captures
+  std::string label() const {
+    std::string s;
+    for (const auto& ov : overrides) {
+      if (!s.empty()) s += ";";
+      s += ov.spec();
+    }
+    return s;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse_args(argc, argv, o)) {
+    usage();
+    return 1;
+  }
+  if (o.validate > 0 && o.sweep.empty()) {
+    std::fprintf(stderr, "--validate requires --sweep\n");
+    return 1;
+  }
+
+  std::vector<recost::CaptureData> caps;
+  for (const auto& path : o.captures) {
+    try {
+      caps.push_back(recost::CaptureData::load(path));
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+    const auto& cap = caps.back();
+    std::printf("%s: %d procs, %zu records, %.3f ms captured\n", path.c_str(),
+                cap.n_procs, cap.records.size(), to_ms(cap.orig_duration));
+    if (!cap.meta.empty()) std::printf("  spec: %s\n", cap.meta.c_str());
+  }
+
+  std::vector<Override> model_ovs;
+  std::string err;
+  if (!o.model.empty() && !parse_model(o.model, model_ovs, err)) {
+    std::fprintf(stderr, "bad --model: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Base (or --model) re-cost report per capture. The identity pass is
+  // verified bit-exactly: a capture the replay cannot reproduce under its
+  // own model is a bug, not an approximation.
+  for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+    const auto& cap = caps[ci];
+    recost::FieldValues fields = cap.fields;
+    for (const auto& ov : model_ovs) ov.apply(fields);
+    const bool identity = model_ovs.empty();
+    const recost::Result r = recost::recost(cap, fields, identity);
+    std::printf("%s under %s:\n", o.captures[ci].c_str(),
+                identity ? "the captured model (identity, verified)"
+                         : o.model.c_str());
+    print_result(cap, r, o.per_node);
+  }
+
+  if (o.sweep.empty()) return 0;
+
+  // --- cartesian sweep -------------------------------------------------
+  std::vector<Axis> axes;
+  if (!parse_sweep(o.sweep, axes, err)) {
+    std::fprintf(stderr, "bad --sweep: %s\n", err.c_str());
+    return 1;
+  }
+  std::size_t n_points = 1;
+  for (const auto& a : axes) n_points *= a.values.size();
+  TMKGM_CHECK_MSG(n_points <= 100000, "sweep grid too large");
+
+  std::vector<GridPoint> points;
+  points.reserve(n_points);
+  for (std::size_t idx = 0; idx < n_points; ++idx) {
+    GridPoint pt;
+    std::size_t rem = idx;
+    for (const auto& a : axes) {
+      Override ov = a.base;
+      ov.value = a.values[rem % a.values.size()];
+      rem /= a.values.size();
+      pt.overrides.push_back(ov);
+    }
+    for (const auto& cap : caps) {
+      recost::FieldValues fields = cap.fields;
+      for (const auto& ov : model_ovs) ov.apply(fields);
+      for (const auto& ov : pt.overrides) ov.apply(fields);
+      pt.predicted += recost::recost(cap, fields).duration;
+    }
+    points.push_back(std::move(pt));
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const GridPoint& a, const GridPoint& b) {
+                     return a.predicted < b.predicted;
+                   });
+
+  std::printf("\nsweep: %zu points over %zu axes, ranked by predicted "
+              "%s duration\n",
+              n_points, axes.size(), caps.size() > 1 ? "total" : "run");
+  const int rows = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(o.top, 1)), points.size());
+  for (int i = 0; i < rows; ++i) {
+    std::printf("  #%-3d %10.3f ms  %s\n", i + 1, to_ms(points[i].predicted),
+                points[i].label().c_str());
+  }
+
+  if (o.validate <= 0) return 0;
+
+  // --- cross-validation against real re-runs ---------------------------
+  // Sample K points spread over the ranking (always including best and
+  // worst), rebuild each capture's run from its embedded RunSpec with the
+  // point's overrides applied to the cost model, and re-run the simulator.
+  std::vector<std::size_t> sample;
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(o.validate),
+                            points.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    sample.push_back(k == 1 ? 0 : i * (points.size() - 1) / (k - 1));
+  }
+  sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
+
+  std::printf("\nvalidation (%zu points, real re-runs):\n", sample.size());
+  std::printf("  %-40s %12s %12s %8s\n", "point", "predicted", "actual",
+              "err");
+  double worst_err = 0;
+  for (std::size_t si : sample) {
+    const GridPoint& pt = points[si];
+    SimTime actual = 0;
+    for (const auto& cap : caps) {
+      apps::RunSpec spec;
+      if (!apps::RunSpec::parse(cap.meta, spec, err)) {
+        std::fprintf(stderr, "capture has no usable spec: %s\n", err.c_str());
+        return 1;
+      }
+      cluster::ClusterConfig cfg;
+      if (!apps::spec_cluster_config(spec, cfg, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+      }
+      for (const auto& ov : model_ovs) {
+        if (!recost::apply_override(cfg.cost, ov.spec(), err)) {
+          std::fprintf(stderr, "%s\n", err.c_str());
+          return 1;
+        }
+      }
+      for (const auto& ov : pt.overrides) {
+        if (!recost::apply_override(cfg.cost, ov.spec(), err)) {
+          std::fprintf(stderr, "%s\n", err.c_str());
+          return 1;
+        }
+      }
+      actual += apps::run_spec(spec, cfg).run.duration;
+    }
+    const double rel =
+        actual > 0 ? std::abs(static_cast<double>(pt.predicted) -
+                              static_cast<double>(actual)) /
+                         static_cast<double>(actual)
+                   : 0.0;
+    worst_err = std::max(worst_err, rel);
+    std::printf("  %-40s %9.3f ms %9.3f ms %7.2f%%\n", pt.label().c_str(),
+                to_ms(pt.predicted), to_ms(actual), 100.0 * rel);
+  }
+  std::printf("  worst validation error: %.2f%%\n", 100.0 * worst_err);
+  return 0;
+}

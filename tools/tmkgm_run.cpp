@@ -10,14 +10,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
-#include "apps/apps.hpp"
-#include "apps/extended.hpp"
-#include "apps/racy.hpp"
+#include "apps/runspec.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/report.hpp"
 #include "obs/trace.hpp"
+#include "recost/capture.hpp"
+#include "recost/model.hpp"
 
 using namespace tmkgm;
 
@@ -46,6 +47,7 @@ struct Options {
   bool trace_engine = false;
   std::string trace_file;
   std::string faults;
+  std::string capture_file;
 };
 
 void usage() {
@@ -83,6 +85,9 @@ void usage() {
       "  --report                      print the full protocol report\n"
       "  --trace FILE                  write a Chrome trace_event JSON of\n"
       "                                the run (chrome://tracing, Perfetto)\n"
+      "  --capture FILE                record a re-cost capture of the run\n"
+      "                                (tmkgm_recost re-times it under other\n"
+      "                                cost models; seq engine, no faults)\n"
       "  --counters                    print the counter rollup table\n"
       "  --faults PLAN                 scripted fault plan, e.g.\n"
       "                                \"seed=7;drop(src=1,dst=0,count=2);"
@@ -176,6 +181,10 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (!v) return false;
       o.faults = v;
+    } else if (a == "--capture") {
+      const char* v = next();
+      if (!v) return false;
+      o.capture_file = v;
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a == "--race-check") {
@@ -204,12 +213,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  apps::RunSpec spec;
+  spec.app = o.app;
+  spec.substrate = o.substrate;
+  spec.protocol = o.protocol;
+  spec.nodes = o.nodes;
+  spec.size = o.size;
+  spec.iters = o.iters;
+  spec.seed = o.seed;
+  spec.barrier_arity = o.barrier_arity;
+  spec.lock_directory = o.lock_directory;
+  spec.arena_mb = o.arena_mb;
+
   cluster::ClusterConfig cfg;
-  cfg.n_procs = o.nodes;
-  cfg.seed = o.seed;
-  cfg.tmk.arena_bytes = o.arena_mb << 20;
-  cfg.tmk.barrier_arity = o.barrier_arity;
-  cfg.tmk.lock_directory = o.lock_directory;
+  std::string spec_error;
+  if (!apps::spec_cluster_config(spec, cfg, spec_error)) {
+    std::fprintf(stderr, "%s\n", spec_error.c_str());
+    return 1;
+  }
   if (o.engine == "par") {
     cfg.engine.sched = sim::SchedMode::Par;
   } else if (o.engine != "seq") {
@@ -228,22 +249,6 @@ int main(int argc, char** argv) {
   }
   cfg.engine.shards = o.engine_shards;
   cfg.trace_engine = o.trace_engine;
-  if (o.substrate == "fastgm") {
-    cfg.kind = cluster::SubstrateKind::FastGm;
-  } else if (o.substrate == "udpgm") {
-    cfg.kind = cluster::SubstrateKind::UdpGm;
-  } else if (o.substrate == "fastib") {
-    cfg.kind = cluster::SubstrateKind::FastIb;
-  } else {
-    std::fprintf(stderr, "unknown substrate: %s\n", o.substrate.c_str());
-    return 1;
-  }
-  if (const auto pk = proto::parse_kind(o.protocol); pk.has_value()) {
-    cfg.tmk.protocol = *pk;
-  } else {
-    std::fprintf(stderr, "unknown protocol: %s\n", o.protocol.c_str());
-    return 1;
-  }
   if (o.rendezvous) cfg.fastgm.rendezvous_large = true;
   if (o.async_scheme == "timer") {
     cfg.fastgm.async_scheme = fastgm::AsyncScheme::Timer;
@@ -261,83 +266,41 @@ int main(int argc, char** argv) {
   obs::Tracer tracer;
   if (!o.trace_file.empty()) cfg.tracer = &tracer;
 
-  double checksum = 0, expected = 0;
-  SimTime elapsed = 0;
-  bool have_expected = false;
-
-  cluster::Cluster c(cfg);
-  cluster::RunResult result;
-
-  auto run_one = [&](auto&& app_fn) {
-    result = c.run_tmk([&](tmk::Tmk& tmk, cluster::NodeEnv& env) {
-      const apps::AppResult r = app_fn(tmk);
-      if (env.id == 0) checksum = r.checksum;
-      elapsed = std::max(elapsed, r.elapsed);
-    });
-  };
-
-  if (o.app == "jacobi") {
-    apps::JacobiParams p;
-    if (o.size) p.rows = p.cols = o.size;
-    if (o.iters) p.iters = o.iters;
-    run_one([&](tmk::Tmk& t) { return apps::jacobi(t, p); });
-    if (o.verify) expected = apps::jacobi_serial(p), have_expected = true;
-  } else if (o.app == "sor") {
-    apps::SorParams p;
-    if (o.size) p.rows = p.cols = o.size;
-    if (o.iters) p.iters = o.iters;
-    run_one([&](tmk::Tmk& t) { return apps::sor(t, p); });
-    if (o.verify) expected = apps::sor_serial(p), have_expected = true;
-  } else if (o.app == "tsp") {
-    apps::TspParams p;
-    p.seed = o.seed + 2002;
-    if (o.size) p.cities = static_cast<int>(o.size);
-    run_one([&](tmk::Tmk& t) { return apps::tsp(t, p); });
-    if (o.verify) {
-      expected = static_cast<double>(apps::tsp_serial(p));
-      have_expected = true;
+  std::unique_ptr<recost::CaptureSink> capture;
+  if (!o.capture_file.empty()) {
+    if (o.engine == "par") {
+      std::fprintf(stderr, "--capture requires --engine seq\n");
+      return 1;
     }
-  } else if (o.app == "fft") {
-    apps::FftParams p;
-    if (o.size) p.n = o.size;
-    if (o.iters) p.iters = o.iters;
-    run_one([&](tmk::Tmk& t) { return apps::fft3d(t, p); });
-    if (o.verify) expected = apps::fft3d_serial(p), have_expected = true;
-  } else if (o.app == "is") {
-    apps::IsParams p;
-    if (o.size) p.keys_per_proc = o.size;
-    if (o.iters) p.iters = o.iters;
-    run_one([&](tmk::Tmk& t) { return apps::is_sort(t, p); });
-    if (o.verify) {
-      expected = apps::is_sort_serial(p, o.nodes);
-      have_expected = true;
+    if (!o.faults.empty()) {
+      std::fprintf(stderr, "--capture forbids --faults\n");
+      return 1;
     }
-  } else if (o.app == "gauss") {
-    apps::GaussParams p;
-    if (o.size) p.n = o.size;
-    run_one([&](tmk::Tmk& t) { return apps::gauss(t, p); });
-    if (o.verify) expected = apps::gauss_serial(p), have_expected = true;
-  } else if (o.app == "barnes") {
-    apps::BarnesParams p;
-    if (o.size) p.bodies = static_cast<int>(o.size);
-    if (o.iters) p.steps = o.iters;
-    run_one([&](tmk::Tmk& t) { return apps::barnes(t, p); });
-    if (o.verify) expected = apps::barnes_serial(p), have_expected = true;
-  } else if (o.app == "water") {
-    apps::WaterParams p;
-    if (o.size) p.molecules = static_cast<int>(o.size);
-    if (o.iters) p.iters = o.iters;
-    run_one([&](tmk::Tmk& t) { return apps::water(t, p); });
-    if (o.verify) expected = apps::water_serial(p), have_expected = true;
-  } else if (o.app == "racy") {
-    apps::RacyParams p;
-    if (o.size) p.slots = o.size;
-    if (o.iters) p.rounds = o.iters;
-    run_one([&](tmk::Tmk& t) { return apps::racy(t, p); });
-    // Deliberately racy: no serial reference to verify against.
-  } else {
-    std::fprintf(stderr, "unknown app: %s\n", o.app.c_str());
+    capture = std::make_unique<recost::CaptureSink>(
+        o.nodes, recost::field_values(cfg.cost));
+    cfg.capture = capture.get();
+  }
+
+  apps::SpecRunResult spec_result;
+  try {
+    spec_result = apps::run_spec(spec, cfg);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
+  }
+  cluster::RunResult& result = spec_result.run;
+  const double checksum = spec_result.checksum;
+  const SimTime elapsed = spec_result.elapsed;
+  double expected = 0;
+  bool have_expected = false;
+  if (o.verify) have_expected = apps::spec_serial_reference(spec, expected);
+
+  if (capture != nullptr) {
+    capture->data().meta = spec.to_string();
+    capture->data().save(o.capture_file);
+    std::printf("capture: %zu records (%d procs) -> %s\n",
+                capture->data().records.size(), o.nodes,
+                o.capture_file.c_str());
   }
 
   std::printf("%s on %d nodes over %s\n", o.app.c_str(), o.nodes,
