@@ -5,15 +5,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Race-oracle controls, run under each sanitizer build and under both
-# coherence protocols: the deliberately racy demo must be flagged (exit 3),
+# Race-oracle controls, run under each sanitizer build and under every
+# coherence protocol: the deliberately racy demo must be flagged (exit 3),
 # and every paper application must come back clean on both substrates —
 # sanitizers watch the oracle's own shadow bookkeeping while it watches
 # the protocol.
 race_oracle_controls() {
   local bin="$1/tools/tmkgm_run"
   local proto app size rc
-  for proto in lrc hlrc; do
+  for proto in lrc hlrc adaptive; do
     echo "== race-oracle positive control ($proto: racy must be flagged)"
     rc=0
     "$bin" --app racy --nodes 4 --protocol "$proto" --race-check \
@@ -41,11 +41,12 @@ race_oracle_controls() {
 
 # One faulted run per protocol: fault recovery exercises the send-buffer
 # reuse and deferred-delivery paths with protocol messages (including
-# hlrc's DiffFlush) in flight — exactly what the sanitizers are here to vet.
+# hlrc's DiffFlush and adaptive's PageOffer/lease traffic) in flight —
+# exactly what the sanitizers are here to vet.
 faulted_run_controls() {
   local bin="$1/tools/tmkgm_run"
   local proto
-  for proto in lrc hlrc; do
+  for proto in lrc hlrc adaptive; do
     echo "== faulted-run control ($proto must recover and verify)"
     if ! "$bin" --app jacobi --nodes 4 --size 64 --protocol "$proto" \
         --verify \

@@ -3,7 +3,7 @@
 # paper table/figure plus the ablations and future-work studies, capturing
 # the outputs at the repository root.
 #
-#   scripts/reproduce.sh [--protocol lrc|hlrc]
+#   scripts/reproduce.sh [--protocol lrc|hlrc|adaptive]
 #
 # --protocol selects the coherence protocol for the sanity runs (default
 # lrc, the paper's homeless protocol). Under the default, the reports and
@@ -18,12 +18,13 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --protocol=*) PROTOCOL="${1#*=}" ;;
     --protocol) shift; PROTOCOL="${1:?--protocol needs a value}" ;;
-    *) echo "usage: $0 [--protocol lrc|hlrc]" >&2; exit 1 ;;
+    *) echo "usage: $0 [--protocol lrc|hlrc|adaptive]" >&2; exit 1 ;;
   esac
   shift
 done
-case "$PROTOCOL" in lrc|hlrc) ;; *)
-  echo "error: unknown protocol '$PROTOCOL' (lrc|hlrc)" >&2; exit 1 ;;
+case "$PROTOCOL" in lrc|hlrc|adaptive) ;; *)
+  echo "error: unknown protocol '$PROTOCOL' (lrc|hlrc|adaptive)" >&2
+  exit 1 ;;
 esac
 
 cmake -B build -G Ninja
@@ -57,6 +58,26 @@ if [ "$PROTOCOL" = hlrc ]; then
   if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 64 --report \
       --protocol hlrc | grep -q 'proto\.flush_msgs'; then
     echo "error: proto.* rows missing from an hlrc run report" >&2
+    exit 1
+  fi
+fi
+
+if [ "$PROTOCOL" = adaptive ]; then
+  # The adaptive protocol must surface its policy rows, and a forced-
+  # migration run on the one-sided substrate must keep the home CPU out
+  # of the flush path entirely (the paper's RDMA argument, DESIGN.md §14).
+  if ! build/tools/tmkgm_run --app jacobi --nodes 4 --size 32 --report \
+      --substrate fastib --protocol adaptive --adaptive-promote-demand 1 \
+      --adaptive-min-diff 1 --adaptive-cooldown 0 \
+      | grep -q 'proto\.promotes'; then
+    echo "error: proto.* rows missing from an adaptive run report" >&2
+    exit 1
+  fi
+  if build/tools/tmkgm_run --app jacobi --nodes 4 --size 32 --report \
+      --substrate fastib --protocol adaptive --adaptive-promote-demand 1 \
+      --adaptive-min-diff 1 --adaptive-cooldown 0 \
+      | grep 'proto\.home_applies' | grep -qv ' 0$'; then
+    echo "error: adaptive flush touched the home CPU on FAST/IB" >&2
     exit 1
   fi
 fi

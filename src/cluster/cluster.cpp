@@ -448,7 +448,8 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
   // proto.* rows exist only when a non-default protocol is selected,
   // keeping default-LRC reports byte-identical to the pre-seam output
   // (same pattern as the fault.* and check.* rows).
-  if (config_.tmk.protocol == proto::Kind::Hlrc) {
+  if (config_.tmk.protocol == proto::Kind::Hlrc ||
+      config_.tmk.protocol == proto::Kind::Adaptive) {
     proto::ProtoStats p;
     for (const auto& per_node : result.proto_stats) {
       p.flush_msgs += per_node.flush_msgs;
@@ -458,6 +459,19 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
       p.home_apply_bytes += per_node.home_apply_bytes;
       p.home_fetches += per_node.home_fetches;
       p.write_merges += per_node.write_merges;
+      p.promotes += per_node.promotes;
+      p.demotes += per_node.demotes;
+      p.offers += per_node.offers;
+      p.offer_rejects += per_node.offer_rejects;
+      p.rdma_flushes += per_node.rdma_flushes;
+      p.rdma_flush_bytes += per_node.rdma_flush_bytes;
+      p.home_fetch_hits += per_node.home_fetch_hits;
+      p.home_fetch_misses += per_node.home_fetch_misses;
+      p.prefetch_pages += per_node.prefetch_pages;
+      p.leases_granted += per_node.leases_granted;
+      p.leases_denied += per_node.leases_denied;
+      p.lease_catchups += per_node.lease_catchups;
+      p.leases_revoked += per_node.leases_revoked;
     }
     c.add("proto.flush_msgs", p.flush_msgs);
     c.add("proto.flush_pages", p.flush_pages);
@@ -466,6 +480,23 @@ RunResult Cluster::run_tmk(const TmkProgram& program) {
     c.add("proto.home_apply_bytes", p.home_apply_bytes);
     c.add("proto.home_fetches", p.home_fetches);
     c.add("proto.write_merges", p.write_merges);
+    // Adaptive policy rows: absent under hlrc so its reports stay
+    // byte-identical to the pre-adaptive output.
+    if (config_.tmk.protocol == proto::Kind::Adaptive) {
+      c.add("proto.promotes", p.promotes);
+      c.add("proto.demotes", p.demotes);
+      c.add("proto.offers", p.offers);
+      c.add("proto.offer_rejects", p.offer_rejects);
+      c.add("proto.rdma_flushes", p.rdma_flushes);
+      c.add("proto.rdma_flush_bytes", p.rdma_flush_bytes);
+      c.add("proto.home_fetch_hits", p.home_fetch_hits);
+      c.add("proto.home_fetch_misses", p.home_fetch_misses);
+      c.add("proto.prefetch_pages", p.prefetch_pages);
+      c.add("proto.leases_granted", p.leases_granted);
+      c.add("proto.leases_denied", p.leases_denied);
+      c.add("proto.lease_catchups", p.lease_catchups);
+      c.add("proto.leases_revoked", p.leases_revoked);
+    }
   }
   // check.* rows exist only under --race-check, keeping default reports
   // byte-identical (same pattern as the fault.* rows).

@@ -9,6 +9,13 @@ namespace tmkgm::ib {
 
 namespace {
 constexpr std::size_t kSlot = 32768;  // per-peer reply slot / buffer size
+// Flush channel: per-writer control slot size (a length-prefixed control
+// record must fit or flush_write reports the path unavailable) and the
+// cap on uncompleted flush pairs per destination (2 send credits each;
+// 24 pairs keeps 48 of the QP's 64 credits for flushes with headroom for
+// concurrent requests and responses on the same QP).
+constexpr std::size_t kCtlSlot = 4096;
+constexpr int kMaxFlushInflight = 24;
 }
 
 FastIbCluster::FastIbCluster(IbSystem& ib, const FastIbConfig& config)
@@ -34,7 +41,8 @@ FastIbSubstrate::FastIbSubstrate(FastIbCluster& cluster, int node_id)
       node_id_(node_id),
       hca_(cluster.ib_.hca(node_id)),
       node_(hca_.node()),
-      send_avail_(hca_.node()) {
+      send_avail_(hca_.node()),
+      flush_done_(hca_.node()) {
   TMKGM_CHECK_MSG(node_.is_current(),
                   "substrate must be created from its node's context");
   const int n = n_procs();
@@ -238,6 +246,108 @@ void FastIbSubstrate::drain_rdma_cq() {
                 transfer_time(payload_len, cost.memcpy_bytes_per_us));
   reply_stash_[env.seq].assign(slot + sizeof(env),
                                slot + sizeof(env) + payload_len);
+}
+
+void FastIbSubstrate::set_flush_region(std::byte* base, std::size_t len,
+                                       FlushSink sink) {
+  TMKGM_CHECK_MSG(flush_base_ == nullptr, "flush region already set");
+  TMKGM_CHECK(base != nullptr && len > 0);
+  flush_base_ = base;
+  flush_len_ = len;
+  flush_sink_ = std::move(sink);
+  hca_.register_memory(base, len);
+  const std::size_t slab = static_cast<std::size_t>(n_procs()) * kCtlSlot;
+  slabs_.emplace_back(new std::byte[slab]);
+  ctl_slab_ = slabs_.back().get();
+  hca_.register_memory(ctl_slab_, slab);
+  flush_irq_ = node_.add_interrupt([this] { on_flush_event(); });
+  hca_.set_flush_interrupt(flush_irq_);
+}
+
+std::byte* FastIbSubstrate::ctl_slot_for(int peer) {
+  TMKGM_CHECK(ctl_slab_ != nullptr && peer >= 0 && peer < n_procs());
+  return ctl_slab_ + static_cast<std::size_t>(peer) * kCtlSlot;
+}
+
+bool FastIbSubstrate::flush_write(int dst, std::span<const std::byte> data,
+                                  std::size_t dst_offset,
+                                  std::span<const std::byte> control,
+                                  std::function<void()> on_done) {
+  TMKGM_CHECK(dst >= 0 && dst < n_procs() && dst != node_id_);
+  FastIbSubstrate& peer = cluster_.substrate(dst);
+  if (peer.flush_base_ == nullptr) return false;
+  if (sizeof(std::uint16_t) + control.size() > kCtlSlot) return false;
+  if (dst_offset + data.size() > peer.flush_len_) return false;
+  TMKGM_CHECK_MSG(hca_.is_registered(data.data(), data.size()),
+                  "flush source outside the registered flush region");
+
+  while (flush_inflight_[dst] >= kMaxFlushInflight) flush_done_.wait();
+  ++flush_inflight_[dst];
+
+  // Stage the length-prefixed control record in a registered send buffer.
+  // The payload itself is never touched by the CPU: the HCA DMAs it
+  // straight out of the registered flush region.
+  std::byte* buf = acquire_send_buffer();
+  const auto len16 = static_cast<std::uint16_t>(control.size());
+  std::memcpy(buf, &len16, sizeof(len16));
+  if (!control.empty()) {
+    std::memcpy(buf + sizeof(len16), control.data(), control.size());
+  }
+  const std::size_t ctl_total = sizeof(len16) + control.size();
+  const auto& cost = cluster_.ib_.network().cost();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(
+        obs::Cat::Sub,
+        {recost::Op::field(recost::FieldId::MemOpOverhead),
+         recost::Op::xfer(recost::FieldId::MemcpyBytesPerUs,
+                          static_cast<std::int64_t>(ctl_total))});
+  }
+  node_.compute(cost.mem_op_overhead +
+                transfer_time(ctl_total, cost.memcpy_bytes_per_us));
+  stats_.bytes_sent += data.size() + ctl_total;
+
+  auto& qp = hca_.qp(dst);
+  // Payload first, control second, same QP: RC delivery is FIFO, so the
+  // control record can never announce bytes that have not landed yet.
+  qp.rdma_write(data.data(), peer.flush_base_ + dst_offset,
+                static_cast<std::uint32_t>(data.size()), std::nullopt,
+                [] {});
+  qp.rdma_write(buf, peer.ctl_slot_for(node_id_),
+                static_cast<std::uint32_t>(ctl_total),
+                static_cast<std::uint32_t>(ctl_total),
+                [this, dst, buf, done = std::move(on_done)] {
+                  release_send_buffer(buf);
+                  if (--flush_inflight_[dst] < kMaxFlushInflight) {
+                    flush_done_.signal();
+                  }
+                  if (done) done();
+                },
+                /*to_flush_cq=*/true);
+  return true;
+}
+
+void FastIbSubstrate::on_flush_event() {
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbInterrupt)});
+  }
+  node_.compute(cluster_.ib_.network().cost().ib_interrupt);
+  while (auto c = hca_.poll_flush_cq()) handle_flush(*c);
+}
+
+void FastIbSubstrate::poll_flush() {
+  while (auto c = hca_.poll_flush_cq()) handle_flush(*c);
+}
+
+void FastIbSubstrate::handle_flush(const Completion& c) {
+  TMKGM_CHECK(c.kind == Completion::Kind::RdmaImm);
+  TMKGM_CHECK_MSG(flush_sink_ != nullptr, "flush record with no sink");
+  const std::byte* slot = ctl_slot_for(c.peer);
+  std::uint16_t len16 = 0;
+  std::memcpy(&len16, slot, sizeof(len16));
+  TMKGM_CHECK(sizeof(len16) + static_cast<std::size_t>(len16) <= kCtlSlot);
+  flush_sink_(c.peer,
+              std::span<const std::byte>(slot + sizeof(len16), len16));
 }
 
 std::size_t FastIbSubstrate::recv_response(std::uint32_t seq,

@@ -86,6 +86,25 @@ class FastIbSubstrate final : public sub::Substrate {
   double compute_tax() const { return 0.0; }
   void shutdown() {}
 
+  /// ---- One-sided flush channel (sub::Substrate optional API) ---------
+  /// The flush payload is an RDMA write straight into the peer's
+  /// registered flush region (the DSM arena) — zero receiver CPU — and
+  /// the control record is a second RDMA write with immediate, on the
+  /// same QP (so it places strictly after the payload), into a per-writer
+  /// control slot; its completion surfaces on the peer's interrupt-armed
+  /// flush CQ. Control slots are reused per writer: records travel
+  /// length-prefixed so a stale completion can only re-deliver the newest
+  /// record, never a torn one (receivers must be idempotent, which the
+  /// adaptive protocol's repair-style apply is).
+  bool flush_supported() const override { return true; }
+  void set_flush_region(std::byte* base, std::size_t len,
+                        FlushSink sink) override;
+  bool flush_write(int dst, std::span<const std::byte> data,
+                   std::size_t dst_offset,
+                   std::span<const std::byte> control,
+                   std::function<void()> on_done) override;
+  void poll_flush() override;
+
   /// Where peer `peer` RDMA-writes its response for sequence `seq`.
   std::byte* reply_slot_for(int peer, std::uint32_t seq);
 
@@ -93,6 +112,10 @@ class FastIbSubstrate final : public sub::Substrate {
   void on_recv_event();
   void handle_request_msg(const Completion& c);
   void drain_rdma_cq();
+  void on_flush_event();
+  void handle_flush(const Completion& c);
+  /// Where peer `peer` RDMA-writes its flush control records for me.
+  std::byte* ctl_slot_for(int peer);
 
   std::byte* acquire_send_buffer();
   void release_send_buffer(std::byte* buf);
@@ -130,6 +153,19 @@ class FastIbSubstrate final : public sub::Substrate {
   std::map<std::uint32_t, std::vector<std::byte>> reply_stash_;
   std::uint32_t next_seq_ = 1;
   int irq_ = -1;
+
+  // Flush channel (nullptrs until set_flush_region).
+  std::byte* flush_base_ = nullptr;
+  std::size_t flush_len_ = 0;
+  FlushSink flush_sink_;
+  std::byte* ctl_slab_ = nullptr;
+  int flush_irq_ = -1;
+  /// Outstanding (uncompleted) flush pairs per destination; flush_write
+  /// blocks past the cap so two writes per flush cannot exhaust the QP's
+  /// send credits under the substrate's other traffic.
+  std::map<int, int> flush_inflight_;
+  sim::Condition flush_done_;
+
   Stats stats_;
 };
 

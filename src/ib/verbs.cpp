@@ -77,6 +77,11 @@ void Hca::push_rdma_completion(Completion c) {
   rdma_cq_cond_.signal();
 }
 
+void Hca::push_flush_completion(Completion c) {
+  flush_cq_.push_back(c);
+  if (flush_irq_ >= 0) node_.raise_interrupt(flush_irq_);
+}
+
 std::optional<Completion> Hca::poll_recv_cq() {
   if (recv_cq_.empty()) return std::nullopt;
   Completion c = recv_cq_.front();
@@ -105,6 +110,18 @@ std::optional<Completion> Hca::poll_rdma_cq() {
   if (rdma_cq_.empty()) return std::nullopt;
   Completion c = rdma_cq_.front();
   rdma_cq_.pop_front();
+  if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
+    cap->stage_charge(obs::Cat::Sub,
+                      {recost::Op::field(recost::FieldId::IbPoll)});
+  }
+  node_.compute(system_.network().cost().ib_poll);
+  return c;
+}
+
+std::optional<Completion> Hca::poll_flush_cq() {
+  if (flush_cq_.empty()) return std::nullopt;
+  Completion c = flush_cq_.front();
+  flush_cq_.pop_front();
   if (recost::CaptureSink* cap = node_.engine().capture()) [[unlikely]] {
     cap->stage_charge(obs::Cat::Sub,
                       {recost::Op::field(recost::FieldId::IbPoll)});
@@ -218,7 +235,7 @@ void Qp::deliver_send(std::shared_ptr<Inbound> msg) {
 
 void Qp::rdma_write(const void* local, void* remote, std::uint32_t len,
                     std::optional<std::uint32_t> imm,
-                    std::function<void()> on_complete) {
+                    std::function<void()> on_complete, bool to_flush_cq) {
   auto& engine = hca_.system_.network().engine();
   TMKGM_CHECK_MSG(engine.current_node() == &hca_.node_,
                   "rdma_write from wrong node context");
@@ -252,7 +269,7 @@ void Qp::rdma_write(const void* local, void* remote, std::uint32_t len,
   system.network().transfer(
       src, dst, len + system.config().wire_header_bytes,
       [&system, &engine, &cost, self, src, dst, remote, data, imm,
-       cb = std::move(on_complete)] {
+       to_flush_cq, cb = std::move(on_complete)] {
         // One-sided placement: no software at the receiver.
         std::memcpy(remote, data->data(), data->size());
         if (imm.has_value()) {
@@ -261,7 +278,11 @@ void Qp::rdma_write(const void* local, void* remote, std::uint32_t len,
           c.peer = src;
           c.byte_len = static_cast<std::uint32_t>(data->size());
           c.imm = *imm;
-          system.hca(dst).push_rdma_completion(c);
+          if (to_flush_cq) {
+            system.hca(dst).push_flush_completion(c);
+          } else {
+            system.hca(dst).push_rdma_completion(c);
+          }
         }
         const SimTime ack = cost.ib_switch_hop * cost.hops;
         if (recost::CaptureSink* cap = engine.capture()) [[unlikely]] {

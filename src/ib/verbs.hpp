@@ -101,6 +101,16 @@ class Hca {
   std::optional<Completion> poll_rdma_cq();
   Completion wait_rdma_cq();
 
+  /// --- flush CQ (one-sided flush-channel arrivals) --------------------
+  /// RDMA-immediate completions from writes issued on the flush channel
+  /// (Qp::rdma_write with to_flush_cq) surface here instead of the polled
+  /// RDMA CQ — modeling a dedicated QP set whose recv CQ is armed with a
+  /// completion channel, so flush arrivals can interrupt the host while
+  /// ordinary response immediates stay on the polled fast path.
+  std::optional<Completion> poll_flush_cq();
+  /// Arm a completion-channel interrupt for the flush CQ (-1 disarms).
+  void set_flush_interrupt(int irq) { flush_irq_ = irq; }
+
   struct Stats {
     std::uint64_t sends = 0;
     std::uint64_t recvs = 0;
@@ -116,6 +126,7 @@ class Hca {
 
   void push_recv_completion(Completion c);
   void push_rdma_completion(Completion c);
+  void push_flush_completion(Completion c);
 
   IbSystem& system_;
   sim::Node& node_;
@@ -123,9 +134,11 @@ class Hca {
   std::map<int, std::unique_ptr<Qp>> qps_;
   std::deque<Completion> recv_cq_;
   std::deque<Completion> rdma_cq_;
+  std::deque<Completion> flush_cq_;
   sim::Condition recv_cq_cond_;
   sim::Condition rdma_cq_cond_;
   int recv_irq_ = -1;
+  int flush_irq_ = -1;
   Stats stats_;
 };
 
@@ -148,10 +161,14 @@ class Qp {
 
   /// One-sided RDMA write into the peer's registered memory; no receiver
   /// software runs. With `imm`, a Completion::RdmaImm surfaces on the
-  /// peer's RDMA CQ after the data is placed.
+  /// peer's RDMA CQ after the data is placed — or on the peer's flush CQ
+  /// (which can interrupt) when `to_flush_cq` is set. Completions between
+  /// one QP pair are FIFO, and on_complete fires strictly after the
+  /// remote placement, so a completed write is also a delivered one.
   void rdma_write(const void* local, void* remote, std::uint32_t len,
                   std::optional<std::uint32_t> imm,
-                  std::function<void()> on_complete);
+                  std::function<void()> on_complete,
+                  bool to_flush_cq = false);
 
  private:
   friend class Hca;

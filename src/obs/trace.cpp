@@ -71,6 +71,8 @@ const char* to_string(Kind kind) {
     case Kind::EngSerial: return "eng_serial";
     case Kind::EngWindow: return "eng_window";
     case Kind::EngBarrier: return "eng_barrier";
+    case Kind::ProtoMigrate: return "proto_migrate";
+    case Kind::ProtoRdmaFlush: return "proto_rdma_flush";
   }
   return "?";
 }

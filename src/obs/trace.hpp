@@ -99,6 +99,11 @@ enum class Kind : std::uint8_t {
   EngSerial,   ///< a globally-ordered event ran on the planner; a = seq
   EngWindow,   ///< a lookahead window; dur = width, a = events executed
   EngBarrier,  ///< window barrier/replay; a = staged pushes committed
+  // Cat::Tmk — adaptive protocol engine (appended; earlier kinds keep
+  // their numeric values, so lrc/hlrc traces stay byte-identical).
+  ProtoMigrate,    ///< page changed mode; a = page, bytes = 1 promote /
+                   ///< 0 demote, peer = the page's home
+  ProtoRdmaFlush,  ///< one-sided RDMA page flush; peer = home, a = page
 };
 
 /// Drop reasons carried in TraceEvent::a for Kind::UdpDrop.

@@ -1,0 +1,815 @@
+#include "proto/adaptive.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tmk/diff.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::proto {
+
+using tmk::Op;
+using tmk::PageId;
+using tmk::Tmk;
+using tmk::VectorClock;
+
+// LeaseRequest response flags.
+constexpr std::uint8_t kLeaseDenied = 0;   // home-side write state; give up
+constexpr std::uint8_t kLeaseGranted = 1;  // exclusive placement right
+constexpr std::uint8_t kLeaseStale = 2;    // catch up (records follow), retry
+
+Adaptive::Adaptive(tmk::Tmk& t) : Lrc(t), flush_wait_(t.node()) {
+  if (t_.substrate_.flush_supported()) {
+    // The whole arena is the flush target: every node's arena has the same
+    // layout, so page * page_size addresses the same page everywhere.
+    t_.substrate_.set_flush_region(
+        t_.arena_.get(), t_.config_.arena_bytes,
+        [this](int writer, std::span<const std::byte> rec) {
+          on_flush_record(writer, rec);
+        });
+  }
+}
+
+std::size_t Adaptive::min_demand_diff() const {
+  return t_.config_.adaptive_promote_min_diff != 0
+             ? t_.config_.adaptive_promote_min_diff
+             : t_.config_.page_size / 2;
+}
+
+void Adaptive::note_demand(PageId page, bool writer_side) {
+  PagePolicy& pol = policy_[page];
+  if (close_count_ < pol.cooldown_until) return;
+  pol.lease_refused = false;  // cooldown served; the home may be asked again
+  ++pol.demand;
+  if (pol.demand < t_.config_.adaptive_promote_demand) return;
+  const int home = t_.page_home(page);
+  if (writer_side) {
+    if (!pol.writer_home) {
+      pol.writer_home = true;
+      ++stats_.promotes;
+      t_.trace(obs::Kind::ProtoMigrate, home, page, 1);
+    }
+  } else if (home != t_.proc_id() && !pol.reader_home) {
+    pol.reader_home = true;
+    ++stats_.promotes;
+    t_.trace(obs::Kind::ProtoMigrate, home, page, 1);
+  }
+}
+
+void Adaptive::demote_reader(PageId page, PagePolicy& pol) {
+  pol.demand = 0;
+  pol.cooldown_until = close_count_ + t_.config_.adaptive_cooldown;
+  if (!pol.reader_home) return;
+  pol.reader_home = false;
+  ++stats_.demotes;
+  t_.trace(obs::Kind::ProtoMigrate, t_.page_home(page), page, 0);
+}
+
+void Adaptive::demote_writer(PageId page, PagePolicy& pol) {
+  pol.demand = 0;
+  pol.cooldown_until = close_count_ + t_.config_.adaptive_cooldown;
+  if (!pol.writer_home) return;
+  pol.writer_home = false;
+  ++stats_.demotes;
+  t_.trace(obs::Kind::ProtoMigrate, t_.page_home(page), page, 0);
+}
+
+void Adaptive::on_read_fault(PageId page) {
+  make_current(page);
+  Lrc::on_read_fault(page);  // notices are gone; this just sets the mode
+}
+
+void Adaptive::on_write_fault(PageId page) {
+  // faulting_ keeps handle_lease_request from re-granting between the
+  // revoke (inside make_current) and the twin: the guard must outlive
+  // make_current here because a placement may never land once our twin
+  // exists (make_current and Lrc::on_write_fault can both block).
+  faulting_.insert(page);
+  make_current(page);
+  Lrc::on_write_fault(page);
+  faulting_.erase(page);
+}
+
+void Adaptive::make_current(PageId page) {
+  // Catching up advances this page's applied clock (diff pulls) or its
+  // content (home copies). A leased-out page must be reclaimed first: the
+  // holder's one-sided placements dominate the grant-time state of our
+  // copy, not anything we apply afterwards — advancing under an active
+  // lease lets the next placement regress those very words. The faulting_
+  // guard spans the blocking revoke/catch-up window so the grant cannot
+  // sneak back in; the write-fault path holds it across the whole fault.
+  const bool outer_guard = faulting_.contains(page);
+  if (!outer_guard) faulting_.insert(page);
+  if (auto it = leases_.find(page); it != leases_.end()) {
+    revoke_lease(page, it->second);
+  }
+  catch_up(page);
+  if (!outer_guard) faulting_.erase(page);
+}
+
+void Adaptive::catch_up(PageId page) {
+  Tmk::PageState& st = t_.state_of(page);
+  while (true) {
+    // One-sided placements may have landed with their control records
+    // still queued on the flush CQ; process them before judging notices.
+    t_.substrate_.poll_flush();
+    if (t_.mode_[page] == Tmk::PageMode::Unmapped) {
+      t_.fetch_page(page);
+      continue;
+    }
+    // A home flush accepted here (or a control record processed above) can
+    // leave notices the applied clock already covers; drop them before
+    // they cost a diff round trip.
+    std::erase_if(st.notices, [&](const Tmk::WriteNotice& n) {
+      return n.vt <= st.applied[n.proc];
+    });
+    if (st.notices.empty()) return;
+    auto pit = policy_.find(page);
+    if (pit != policy_.end() && pit->second.reader_home &&
+        t_.page_home(page) != t_.proc_id() && try_home_fetch(page)) {
+      continue;
+    }
+    const auto before = t_.stats_.diff_bytes_applied;
+    fetch_diffs(page);
+    if (t_.stats_.diff_bytes_applied - before >= min_demand_diff()) {
+      note_demand(page, /*writer_side=*/false);
+    }
+  }
+}
+
+bool Adaptive::try_home_fetch(PageId page) {
+  Tmk::PageState& st = t_.state_of(page);
+  const int home = t_.page_home(page);
+  const int self = t_.proc_id();
+  // Snapshot the notices driving this fetch: their interval records name
+  // the sibling pages worth prefetching alongside.
+  std::vector<std::uint16_t> nprocs;
+  std::vector<std::uint32_t> nvts;
+  for (const auto& n : st.notices) {
+    nprocs.push_back(n.proc);
+    nvts.push_back(n.vt);
+  }
+  ++t_.stats_.page_fetches;
+  ++stats_.home_fetches;
+  t_.trace(obs::Kind::PageFetch, home, page, t_.config_.page_size);
+  WireWriter w;
+  w.put(Op::PageRequest);
+  w.put<std::uint32_t>(page);
+  const auto seq = t_.substrate_.send_request(home, w.bytes());
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  const auto len = t_.substrate_.recv_response(seq, buf);
+  WireReader r({buf.data(), len});
+  const auto got_page = r.get<std::uint32_t>();
+  TMKGM_CHECK(got_page == page);
+  VectorClock fetched = tmk::get_vc(r);
+  auto bytes = r.get_bytes(t_.config_.page_size);
+
+  // Unlike HLRC, nothing guarantees the home has seen the writes behind
+  // our notices — writers promote independently and flush lazily. Accept
+  // the copy only if the home's applied clock dominates ours, and covers
+  // our own last closed write (installing a copy that predates it would
+  // roll back words we already published).
+  bool dominant = true;
+  for (int q = 0; q < t_.n_procs(); ++q) {
+    if (q == self) continue;
+    if (fetched[static_cast<std::size_t>(q)] <
+        st.applied[static_cast<std::size_t>(q)]) {
+      dominant = false;
+      break;
+    }
+  }
+  auto wit = my_page_writes_.find(page);
+  if (dominant && wit != my_page_writes_.end() && !wit->second.empty() &&
+      fetched[static_cast<std::size_t>(self)] < wit->second.back()) {
+    dominant = false;
+  }
+  if (!dominant) {
+    ++stats_.home_fetch_misses;
+    demote_reader(page, policy_[page]);
+    return false;
+  }
+  const auto before = st.notices.size();
+  install_home_copy(page, fetched, bytes.data());
+  ++stats_.home_fetch_hits;
+  if (t_.config_.adaptive_prefetch > 0) prefetch_siblings(page, nvts, nprocs);
+  if (st.notices.size() >= before) {
+    // Sound copy, but it covered none of the pending notices: the writers
+    // have not flushed this far yet. Fall back to the diff pull.
+    demote_reader(page, policy_[page]);
+    return false;
+  }
+  return true;
+}
+
+void Adaptive::install_home_copy(PageId page, const VectorClock& fetched,
+                                 const std::byte* bytes) {
+  Tmk::PageState& st = t_.state_of(page);
+  const int self = t_.proc_id();
+  // A pending twin holds latent closed diffs: bank them before the copy
+  // lands, or the blob would mix the home's bytes into our diff.
+  if (st.twin != nullptr && st.twin_is_pending_diff) encode_pending_diff(page);
+  if (st.twin != nullptr) {
+    // Open interval: overlay our uncommitted words (HLRC's write merge —
+    // disjoint words under data-race freedom) and refresh the twin.
+    ++stats_.write_merges;
+    t_.charge_scan(t_.config_.page_size);
+    auto local = tmk::encode_diff(t_.page_base(page), st.twin.get(),
+                                  t_.config_.page_size);
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(t_.page_base(page), bytes, t_.config_.page_size);
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(st.twin.get(), t_.page_base(page), t_.config_.page_size);
+    const auto modified = tmk::diff_modified_bytes(local);
+    t_.charge_mem(modified);
+    tmk::apply_diff(t_.page_base(page), local, t_.config_.page_size);
+  } else {
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(t_.page_base(page), bytes, t_.config_.page_size);
+  }
+  for (int q = 0; q < t_.n_procs(); ++q) {
+    if (q == self) continue;
+    auto& cur = st.applied[static_cast<std::size_t>(q)];
+    cur = std::max(cur, fetched[static_cast<std::size_t>(q)]);
+  }
+  std::erase_if(st.notices, [&](const Tmk::WriteNotice& n) {
+    return n.vt <= st.applied[n.proc];
+  });
+}
+
+void Adaptive::prefetch_siblings(PageId page,
+                                 const std::vector<std::uint32_t>& notice_vts,
+                                 const std::vector<std::uint16_t>&
+                                     notice_procs) {
+  const int self = t_.proc_id();
+  std::vector<PageId> cands;
+  for (std::size_t i = 0;
+       i < notice_vts.size() && cands.size() < t_.config_.adaptive_prefetch;
+       ++i) {
+    const auto& per_proc = t_.intervals_[notice_procs[i]];
+    auto rit = per_proc.find(notice_vts[i]);
+    if (rit == per_proc.end()) continue;
+    for (PageId sib : rit->second.pages) {
+      if (cands.size() >= t_.config_.adaptive_prefetch) break;
+      if (sib == page) continue;
+      if (std::find(cands.begin(), cands.end(), sib) != cands.end()) continue;
+      if (t_.page_home(sib) == self) continue;
+      // Only pages this node demonstrably reads whole: an interval record
+      // names everything its writer touched, and blind fetches of the
+      // rest (never read here, or homes that lag the writer) cost a full
+      // page each — enough to double an FFT run's fabric bytes.
+      auto pit = policy_.find(sib);
+      if (pit == policy_.end() || !pit->second.reader_home) continue;
+      const auto mode = t_.mode_[sib];
+      if (mode != Tmk::PageMode::Invalid &&
+          mode != Tmk::PageMode::Unmapped) {
+        continue;
+      }
+      // Keep the install trivially safe: no local write state of any kind.
+      Tmk::PageState& ss = t_.state_of(sib);
+      if (ss.twin != nullptr) continue;
+      auto wit = my_page_writes_.find(sib);
+      if (wit != my_page_writes_.end() && !wit->second.empty()) continue;
+      cands.push_back(sib);
+    }
+  }
+  if (cands.empty()) return;
+
+  std::vector<std::uint32_t> seqs;
+  std::vector<PageId> seq_page;
+  for (PageId sib : cands) {
+    ++t_.stats_.page_fetches;
+    t_.trace(obs::Kind::PageFetch, t_.page_home(sib), sib,
+             t_.config_.page_size);
+    WireWriter w;
+    w.put(Op::PageRequest);
+    w.put<std::uint32_t>(sib);
+    seqs.push_back(t_.substrate_.send_request(t_.page_home(sib), w.bytes()));
+    seq_page.push_back(sib);
+  }
+  std::vector<std::byte> buf(sub::kMaxMessage);
+  while (!seqs.empty()) {
+    std::size_t len = 0;
+    const auto idx = t_.substrate_.recv_response_any(seqs, buf, len);
+    const PageId sib = seq_page[idx];
+    seqs.erase(seqs.begin() + static_cast<std::ptrdiff_t>(idx));
+    seq_page.erase(seq_page.begin() + static_cast<std::ptrdiff_t>(idx));
+    WireReader r({buf.data(), len});
+    const auto got = r.get<std::uint32_t>();
+    TMKGM_CHECK(got == sib);
+    VectorClock fetched = tmk::get_vc(r);
+    auto bytes = r.get_bytes(t_.config_.page_size);
+    Tmk::PageState& ss = t_.state_of(sib);
+    bool dominant = true;
+    for (int q = 0; q < t_.n_procs(); ++q) {
+      if (q == self) continue;
+      if (fetched[static_cast<std::size_t>(q)] <
+          ss.applied[static_cast<std::size_t>(q)]) {
+        dominant = false;
+        break;
+      }
+    }
+    if (!dominant || ss.twin != nullptr) continue;  // raced; drop silently
+    install_home_copy(sib, fetched, bytes.data());
+    ++stats_.prefetch_pages;
+    // No fault wrapper will run for a prefetched page; set its mode here.
+    // Leftover notices (a writer ahead of the home) keep it Invalid — the
+    // eventual fault pulls the remaining diffs without a base fetch.
+    t_.set_mode(sib, ss.notices.empty() ? Tmk::PageMode::ReadOnly
+                                        : Tmk::PageMode::Invalid);
+  }
+}
+
+void Adaptive::on_interval_close(std::uint32_t vt,
+                                 std::span<const PageId> pages) {
+  Lrc::on_interval_close(vt, pages);  // twin retention + my_page_writes_
+  for (PageId page : pages) {
+    auto it = policy_.find(page);
+    if (it == policy_.end() || !it->second.writer_home) continue;
+    if (t_.page_home(page) == t_.proc_id()) {
+      // Writing our own home page: the arena copy is authoritative once
+      // the close is fully processed (HLRC's home==self rule), so fetchers
+      // of our copy prune the matching notices. Both the boundary encode
+      // and the applied[self]=vt publication are deferred to
+      // on_interval_closed — the encode because our interval record does
+      // not exist yet (encode_pending_diff treats a record-less vt as
+      // GC-reclaimed and would drop the diff), and the publication because
+      // it must never be visible while the twin still holds the pre-close
+      // bytes: unmask_async drains parked PageRequests before
+      // on_interval_closed runs, and a serve in that window would hand out
+      // the stale twin under a clock claiming vt — the requester would
+      // prune vt's notice, never pull the diff, and could even offer the
+      // stale bytes back over our fresh copy.
+      //
+      // The boundary encode itself is load-bearing too: a full-page
+      // publication makes vt reachable as a peer's applied clock entry
+      // WITHOUT that peer ever applying our diff blob — if a later
+      // accumulated blob spanned vt, handle_diff_request's shared-blob
+      // suppression (first_vt <= from => requester has the content) would
+      // serve that peer an empty diff and lose the newer intervals'
+      // writes. Encoding at the boundary ends the blob at exactly the
+      // bytes the publication carries.
+      self_encode_.emplace_back(page, vt);
+    } else {
+      flush_list_.emplace_back(page, vt);
+    }
+  }
+}
+
+void Adaptive::on_interval_closed() {
+  ++close_count_;
+  for (const auto& [page, vt] : self_encode_) {
+    // Encode first, publish second: the claim may only become servable
+    // once the twin is gone and the arena copy is the vt state.
+    encode_pending_diff(page);
+    t_.state_of(page).applied[static_cast<std::size_t>(t_.proc_id())] = vt;
+  }
+  self_encode_.clear();
+  if (!flush_list_.empty()) {
+    std::vector<std::pair<PageId, std::uint32_t>> offers;
+    for (const auto& [page, vt] : flush_list_) {
+      PagePolicy& pol = policy_[page];
+      if (!pol.writer_home) continue;  // demoted (e.g. revoked) since close
+      // Every flush is a diff-blob boundary (see on_interval_close): the
+      // home republishes these exact bytes under our clock entry vt, so no
+      // later blob may span vt or the shared-blob duplicate suppression in
+      // handle_diff_request would under-serve peers that installed the
+      // home copy.
+      encode_pending_diff(page);
+      if (!try_rdma_flush(page, vt, pol)) offers.emplace_back(page, vt);
+    }
+    flush_list_.clear();
+    send_offers(offers);
+  }
+  // Outside this function no one-sided flush is ever in flight — the
+  // invariant a revoke ack promises the home (its poll_flush after the ack
+  // then observes every placement the lease delivered).
+  while (rdma_inflight_ > 0) flush_wait_.wait();
+  for (const auto& ctx : parked_revokes_) {
+    t_.substrate_.respond(ctx, std::span<const std::byte>{});
+  }
+  parked_revokes_.clear();
+}
+
+bool Adaptive::try_rdma_flush(PageId page, std::uint32_t vt,
+                              PagePolicy& pol) {
+  if (!t_.substrate_.flush_supported()) return false;
+  const int home = t_.page_home(page);
+  if (!pol.leased) {
+    if (pol.lease_refused) {
+      // On a flush-capable substrate there is no two-sided fallback (the
+      // point of the lease is that the home never runs receive-side code);
+      // an unleasable page just goes back to homeless.
+      demote_writer(page, pol);
+      return true;
+    }
+    std::vector<std::byte> buf(sub::kMaxMessage);
+    for (int attempt = 0;; ++attempt) {
+      const auto revokes_before = pol.revokes;
+      WireWriter w;
+      w.put(Op::LeaseRequest);
+      w.put<std::uint32_t>(page);
+      // Our per-page applied clock rides along: the home grants only if it
+      // dominates everything the home's copy already reflects, so every
+      // placement under the lease strictly advances the home's words (our
+      // applied clock only grows; the home's side is frozen by the grant).
+      tmk::put_vc(w, t_.state_of(page).applied);
+      // And our full vector clock: a stale denial answers with the
+      // interval records we are missing (see below).
+      tmk::put_vc(w, t_.vc_);
+      const auto seq = t_.substrate_.send_request(home, w.bytes());
+      const auto len = t_.substrate_.recv_response(seq, buf);
+      WireReader r({buf.data(), len});
+      const auto flag = r.get<std::uint8_t>();
+      const bool live = pol.revokes == revokes_before && pol.writer_home;
+      if (flag == kLeaseGranted && live) {
+        pol.leased = true;
+        break;
+      }
+      if (flag == kLeaseStale && live && attempt < 2) {
+        // Our copy lags what the home's copy already reflects — typically
+        // the home's own write closed this very epoch, whose notice only
+        // travels with the sync message we have not received yet. The
+        // denial carries those interval records; incorporate them, pull
+        // the diffs (now ordinary notice-driven catch-up), and retry.
+        // Seeing the writes early is sound for the same reason placements
+        // are: any read ordered before them could not have run yet.
+        const auto more = r.get<std::uint8_t>();
+        t_.unpack_intervals(r);
+        if (more != 0) t_.fetch_more_intervals(home);
+        make_current(page);
+        ++stats_.lease_catchups;
+        continue;
+      }
+      // Denied hard (home-side write state), still stale after catch-up
+      // retries — or revoked while the grant was in flight (the home's
+      // write fault can overtake our dequeue of its response; the revoke
+      // epoch catches the stale grant).
+      pol.leased = false;
+      pol.lease_refused = pol.lease_refused || flag != kLeaseGranted;
+      demote_writer(page, pol);
+      return true;
+    }
+  }
+  Tmk::PageState& st = t_.state_of(page);
+  VectorClock offered = st.applied;
+  offered[static_cast<std::size_t>(t_.proc_id())] = vt;
+  WireWriter c;
+  c.put<std::uint32_t>(page);
+  tmk::put_vc(c, offered);
+  ++rdma_inflight_;
+  const bool sent = t_.substrate_.flush_write(
+      home, {t_.page_base(page), t_.config_.page_size},
+      static_cast<std::size_t>(page) * t_.config_.page_size, c.bytes(),
+      [this] {
+        // Event context: bookkeeping only.
+        --rdma_inflight_;
+        flush_wait_.signal();
+      });
+  if (!sent) {
+    --rdma_inflight_;
+    pol.leased = false;
+    demote_writer(page, pol);
+    return true;
+  }
+  ++stats_.rdma_flushes;
+  stats_.rdma_flush_bytes += t_.config_.page_size + c.size();
+  t_.trace(obs::Kind::ProtoRdmaFlush, home, page, t_.config_.page_size);
+  return true;
+}
+
+void Adaptive::send_offers(
+    const std::vector<std::pair<PageId, std::uint32_t>>& offers) {
+  if (offers.empty()) return;
+  struct Msg {
+    PageId page;
+    std::vector<std::byte> bytes;
+  };
+  struct Queue {
+    int home = 0;
+    std::vector<Msg> msgs;
+    std::size_t next = 0;
+  };
+  // One offer in flight per home (the per-peer bound the request buffer
+  // pools are sized for); distinct homes proceed in parallel.
+  std::map<int, Queue> by_home;
+  for (const auto& [page, vt] : offers) {
+    Tmk::PageState& st = t_.state_of(page);
+    VectorClock offered = st.applied;
+    offered[static_cast<std::size_t>(t_.proc_id())] = vt;
+    WireWriter w;
+    w.put(Op::PageOffer);
+    w.put<std::uint32_t>(page);
+    tmk::put_vc(w, offered);
+    if (w.size() + t_.config_.page_size > sub::kMaxPayload) {
+      demote_writer(page, policy_[page]);  // page too large for one offer
+      continue;
+    }
+    w.put_bytes(t_.page_base(page), t_.config_.page_size);
+    const int home = t_.page_home(page);
+    Queue& q = by_home[home];
+    q.home = home;
+    auto span = w.bytes();
+    q.msgs.push_back({page, {span.begin(), span.end()}});
+  }
+  std::vector<Queue*> queues;
+  queues.reserve(by_home.size());
+  for (auto& [home, q] : by_home) queues.push_back(&q);
+
+  std::vector<std::uint32_t> seqs;
+  std::vector<std::pair<std::size_t, PageId>> seq_info;
+  auto send_next = [&](std::size_t qi) {
+    Queue& q = *queues[qi];
+    Msg& m = q.msgs[q.next++];
+    ++stats_.offers;
+    ++stats_.flush_msgs;
+    ++stats_.flush_pages;
+    stats_.flush_bytes += m.bytes.size();
+    t_.trace(obs::Kind::ProtoFlush, q.home, 1, m.bytes.size());
+    seqs.push_back(t_.substrate_.send_request(
+        q.home, std::span<const std::byte>(m.bytes)));
+    seq_info.emplace_back(qi, m.page);
+  };
+  for (std::size_t qi = 0; qi < queues.size(); ++qi) send_next(qi);
+  std::vector<std::byte> resp(16);
+  while (!seqs.empty()) {
+    std::size_t len = 0;
+    const auto idx = t_.substrate_.recv_response_any(seqs, resp, len);
+    const auto [qi, page] = seq_info[idx];
+    seqs.erase(seqs.begin() + static_cast<std::ptrdiff_t>(idx));
+    seq_info.erase(seq_info.begin() + static_cast<std::ptrdiff_t>(idx));
+    const bool accepted = len >= 1 && resp[0] == std::byte{1};
+    if (!accepted) demote_writer(page, policy_[page]);
+    if (queues[qi]->next < queues[qi]->msgs.size()) send_next(qi);
+  }
+}
+
+bool Adaptive::handle_request(Op op, const sub::RequestCtx& ctx,
+                              WireReader& r) {
+  switch (op) {
+    case Op::DiffRequest: {
+      // The served diff's size is the writer-side demand signal: a peer
+      // repeatedly pulling page-sized diffs is cheaper to feed through the
+      // home.
+      WireReader peek = r;
+      const auto page = peek.get<std::uint32_t>();
+      TMKGM_CHECK(Lrc::handle_request(op, ctx, r));
+      auto wit = my_page_writes_.find(page);
+      if (wit != my_page_writes_.end() && !wit->second.empty()) {
+        auto d = my_diffs_.find({page, wit->second.back()});
+        if (d != my_diffs_.end() &&
+            d->second.bytes->size() >= min_demand_diff()) {
+          note_demand(page, /*writer_side=*/true);
+        }
+      }
+      return true;
+    }
+    case Op::PageOffer:
+      handle_page_offer(ctx, r);
+      return true;
+    case Op::LeaseRequest:
+      handle_lease_request(ctx, r);
+      return true;
+    case Op::LeaseRevoke:
+      handle_lease_revoke(ctx, r);
+      return true;
+    default:
+      return Lrc::handle_request(op, ctx, r);
+  }
+}
+
+void Adaptive::handle_page_offer(const sub::RequestCtx& ctx, WireReader& r) {
+  const auto page = r.get<std::uint32_t>();
+  VectorClock offered = tmk::get_vc(r);
+  auto bytes = r.get_bytes(t_.config_.page_size);
+  TMKGM_CHECK_MSG(t_.page_manager(page) == t_.proc_id(),
+                  "PageOffer for page " << page << " reached proc "
+                                        << t_.proc_id()
+                                        << ", which is not its home");
+  const int self = t_.proc_id();
+  Tmk::PageState& st = t_.state_of(page);
+  TMKGM_CHECK(offered.size() == st.applied.size());
+
+  // Monotone-dominance acceptance: the offered copy must cover (per the
+  // writer's applied clock) everything our copy already reflects — every
+  // peer's diffs we applied, and our own last closed write. An open local
+  // twin always rejects (the memcpy would clobber uncommitted words).
+  bool accept = !(st.twin != nullptr && !st.twin_is_pending_diff);
+  if (accept) {
+    auto wit = my_page_writes_.find(page);
+    if (wit != my_page_writes_.end() && !wit->second.empty() &&
+        offered[static_cast<std::size_t>(self)] < wit->second.back()) {
+      accept = false;
+    }
+  }
+  if (accept) {
+    for (int q = 0; q < t_.n_procs(); ++q) {
+      if (q == self) continue;
+      if (offered[static_cast<std::size_t>(q)] <
+          st.applied[static_cast<std::size_t>(q)]) {
+        accept = false;
+        break;
+      }
+    }
+  }
+  if (accept) {
+    // A pending twin's latent diffs must be banked before the copy lands.
+    if (st.twin != nullptr) encode_pending_diff(page);
+    TMKGM_CHECK(st.twin == nullptr);
+    t_.charge_mem(t_.config_.page_size);
+    std::memcpy(t_.page_base(page), bytes.data(), t_.config_.page_size);
+    for (int q = 0; q < t_.n_procs(); ++q) {
+      if (q == self) continue;
+      auto& cur = st.applied[static_cast<std::size_t>(q)];
+      cur = std::max(cur, offered[static_cast<std::size_t>(q)]);
+    }
+    std::erase_if(st.notices, [&](const Tmk::WriteNotice& n) {
+      return n.vt <= st.applied[n.proc];
+    });
+    ++stats_.home_applies;
+    stats_.home_apply_bytes += t_.config_.page_size;
+    t_.trace(obs::Kind::ProtoHomeApply, ctx.origin, page,
+             t_.config_.page_size);
+  } else {
+    ++stats_.offer_rejects;
+  }
+  const std::uint8_t flag = accept ? 1 : 0;
+  t_.substrate_.respond(
+      ctx, std::span<const std::byte>(
+               reinterpret_cast<const std::byte*>(&flag), 1));
+}
+
+void Adaptive::handle_lease_request(const sub::RequestCtx& ctx,
+                                    WireReader& r) {
+  const auto page = r.get<std::uint32_t>();
+  VectorClock writer_applied = tmk::get_vc(r);
+  VectorClock writer_vc = tmk::get_vc(r);
+  const int writer = ctx.origin;
+  std::uint8_t flag = kLeaseDenied;
+  if (t_.substrate_.flush_supported() &&
+      t_.page_manager(page) == t_.proc_id() && !faulting_.contains(page)) {
+    Tmk::PageState& st = t_.state_of(page);
+    auto it = leases_.find(page);
+    const bool free_lease = it == leases_.end() || it->second == writer;
+    // Grant only while we hold no write state of our own on the page: a
+    // placement can never be rejected, so nothing of ours may be at risk.
+    if (free_lease && st.twin == nullptr && st.pending_vts.empty()) {
+      flag = kLeaseGranted;
+      // Monotone-placement rule: the holder's copy must already cover
+      // every word our copy reflects — each peer's diffs we applied, and
+      // our own banked closed writes (which survive the twin checks
+      // above). A placement is accepted sight-unseen, so anything the
+      // holder lacks at grant time would be rolled back in the arena for
+      // the whole window until the control record is processed; local
+      // reads and page serves in that window would see the regression.
+      // Our side stays frozen for the lease's life: any fault-path
+      // catch-up revokes first (make_current). A dominance miss is
+      // answered kLeaseStale with the interval records the writer lacks,
+      // so it can catch up and retry (without that, a home that writes
+      // its own page every epoch starves the one-sided path forever: its
+      // newest close always leads the requester by one sync hop).
+      for (int q = 0; q < t_.n_procs(); ++q) {
+        if (q == writer) continue;
+        if (q == t_.proc_id()) {
+          auto wit = my_page_writes_.find(page);
+          if (wit != my_page_writes_.end() && !wit->second.empty() &&
+              writer_applied[static_cast<std::size_t>(q)] <
+                  wit->second.back()) {
+            flag = kLeaseStale;
+            break;
+          }
+        } else if (writer_applied[static_cast<std::size_t>(q)] <
+                   st.applied[static_cast<std::size_t>(q)]) {
+          flag = kLeaseStale;
+          break;
+        }
+      }
+    }
+  }
+  if (flag == kLeaseGranted) {
+    leases_[page] = writer;
+    ++stats_.leases_granted;
+  } else {
+    ++stats_.leases_denied;
+  }
+  WireWriter resp;
+  resp.put<std::uint8_t>(flag);
+  if (flag == kLeaseStale) {
+    const std::size_t more_pos = resp.size();
+    resp.put<std::uint8_t>(0);
+    if (t_.pack_missing_intervals(resp, writer_vc)) {
+      resp.patch<std::uint8_t>(more_pos, 1);
+    }
+  }
+  t_.substrate_.respond(ctx, resp.bytes());
+}
+
+void Adaptive::revoke_lease(PageId page, int holder) {
+  ++stats_.leases_revoked;
+  WireWriter w;
+  w.put(Op::LeaseRevoke);
+  w.put<std::uint32_t>(page);
+  const auto seq = t_.substrate_.send_request(holder, w.bytes());
+  std::byte ack[8];
+  t_.substrate_.recv_response(seq, ack);
+  // The ack promises the holder has no flush in flight; drain whatever the
+  // lease already delivered, then the page is plain homeless state again.
+  t_.substrate_.poll_flush();
+  leases_.erase(page);
+}
+
+void Adaptive::handle_lease_revoke(const sub::RequestCtx& ctx,
+                                   WireReader& r) {
+  const auto page = r.get<std::uint32_t>();
+  PagePolicy& pol = policy_[page];
+  ++pol.revokes;
+  pol.leased = false;
+  pol.lease_refused = true;
+  demote_writer(page, pol);
+  if (rdma_inflight_ == 0) {
+    t_.substrate_.respond(ctx, std::span<const std::byte>{});
+  } else {
+    // Flushes (possibly to this very home) are in flight; the ack waits
+    // for the on_interval_closed drain.
+    parked_revokes_.push_back(ctx);
+  }
+}
+
+void Adaptive::on_flush_record(int writer, std::span<const std::byte> rec) {
+  WireReader r(rec);
+  const auto page = r.get<std::uint32_t>();
+  VectorClock offered = tmk::get_vc(r);
+  TMKGM_CHECK_MSG(t_.page_manager(page) == t_.proc_id(),
+                  "flush record for page " << page << " reached proc "
+                                           << t_.proc_id()
+                                           << ", which is not its home");
+  const int self = t_.proc_id();
+  Tmk::PageState& st = t_.state_of(page);
+  TMKGM_CHECK(offered.size() == st.applied.size());
+  // The lease discipline (deny while twinned, revoke before twinning)
+  // means a placement can never land on a page we are writing.
+  TMKGM_CHECK_MSG(st.twin == nullptr,
+                  "one-sided placement on page " << page
+                                                 << " with a live twin");
+
+  // Repair-style, idempotent metadata apply: the page bytes are already in
+  // the arena (NIC placement — that is the point), so make the applied
+  // clock say exactly what the placed copy reflects. The lease grant's
+  // dominance check plus the revoke-before-catch-up rule make a regressive
+  // placement impossible; the rollback repairs below are kept as
+  // defense-in-depth.
+  for (int q = 0; q < t_.n_procs(); ++q) {
+    if (q == self) continue;
+    auto& cur = st.applied[static_cast<std::size_t>(q)];
+    const auto off = offered[static_cast<std::size_t>(q)];
+    if (off < cur) {
+      // The placement regressed us past diffs we had applied: rebuild
+      // their notices (from the interval records we hold; any record we
+      // lack will re-arrive as a normal notice and re-invalidate) so the
+      // next fault re-pulls them.
+      for (const auto& [uvt, urec] :
+           t_.intervals_[static_cast<std::size_t>(q)]) {
+        if (uvt <= off) continue;
+        if (uvt > cur) break;
+        const bool writes_page =
+            std::find(urec.pages.begin(), urec.pages.end(), page) !=
+            urec.pages.end();
+        const bool already =
+            std::find_if(st.notices.begin(), st.notices.end(),
+                         [&](const Tmk::WriteNotice& n) {
+                           return n.proc == q && n.vt == uvt;
+                         }) != st.notices.end();
+        if (writes_page && !already) {
+          st.notices.push_back({static_cast<std::uint16_t>(q), uvt});
+        }
+      }
+    }
+    cur = off;
+  }
+  // Our own closed writes beyond what the writer had applied of them: the
+  // placed copy lacks those words; re-apply them from the diff store (GC
+  // can only have reclaimed diffs every node already validated, and those
+  // are covered by `offered`).
+  if (auto wit = my_page_writes_.find(page); wit != my_page_writes_.end()) {
+    for (auto vt : wit->second) {
+      if (vt <= offered[static_cast<std::size_t>(self)]) continue;
+      auto d = my_diffs_.find({page, vt});
+      TMKGM_CHECK_MSG(d != my_diffs_.end(),
+                      "own diff (" << page << "," << vt
+                                   << ") missing under lease");
+      const auto modified = tmk::diff_modified_bytes(*d->second.bytes);
+      t_.charge_mem(modified);
+      tmk::apply_diff(t_.page_base(page), *d->second.bytes,
+                      t_.config_.page_size);
+    }
+  }
+  std::erase_if(st.notices, [&](const Tmk::WriteNotice& n) {
+    return n.vt <= st.applied[n.proc];
+  });
+  if (!st.notices.empty() && t_.mode_[page] == Tmk::PageMode::ReadOnly) {
+    t_.set_mode(page, Tmk::PageMode::Invalid);
+    ++t_.stats_.invalidations;
+  }
+  (void)writer;
+}
+
+}  // namespace tmkgm::proto

@@ -1,0 +1,133 @@
+// Adaptive per-page coherence: homeless LRC is the baseline (this class
+// IS an Lrc — byte-identical behaviour until a page promotes), and pages
+// whose diff traffic turns page-sized migrate, per node and per side, to
+// home-based handling:
+//
+//  - A promoted WRITER flushes the whole page to its home at interval
+//    close, guarded by the writer's applied vector clock so the home can
+//    accept only clock-dominant copies (Op::PageOffer, two-sided). Twins
+//    and pending diffs are retained untouched, so the homeless diff pull
+//    keeps working for every peer that never promoted — policy divergence
+//    across nodes is a performance matter, never a correctness one.
+//  - On substrates with one-sided hardware (FAST/IB) the flush is an RDMA
+//    write straight into the home's arena plus a small control record —
+//    zero receive-handler work at the home. Because a placement cannot be
+//    rejected, it requires an exclusive per-page flush lease from the home
+//    (Op::LeaseRequest / Op::LeaseRevoke): granted only while the home has
+//    no twin on the page, revoked synchronously before the home writes it,
+//    and the control record is processed repair-style (set the applied
+//    clock exactly, re-apply the home's own newer diffs, rebuild notices
+//    the placement un-covered) so reordered or duplicated records are
+//    harmless.
+//  - A promoted READER fetches the home's whole copy on a fault instead of
+//    pulling diffs, accepting it only if the home's applied clock
+//    dominates its own (and covers its own last closed write); a stale
+//    copy falls back to the inherited diff pull and cools the page down.
+//    A successful home fetch also prefetches sibling pages named by the
+//    same interval records (write-notice-driven batching).
+//
+// Promotion is driven by local observation only (diff pulls served or
+// applied whose payload reaches adaptive_promote_min_diff), with
+// hysteresis via adaptive_cooldown; no new wire traffic decides policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "proto/lrc.hpp"
+#include "sim/node.hpp"
+
+namespace tmkgm::proto {
+
+class Adaptive final : public Lrc {
+ public:
+  explicit Adaptive(tmk::Tmk& t);
+
+  Kind kind() const override { return Kind::Adaptive; }
+  void on_read_fault(tmk::PageId page) override;
+  void on_write_fault(tmk::PageId page) override;
+  void on_interval_close(std::uint32_t vt,
+                         std::span<const tmk::PageId> pages) override;
+  void on_interval_closed() override;
+  bool handle_request(tmk::Op op, const sub::RequestCtx& ctx,
+                      WireReader& r) override;
+
+ private:
+  /// Per-page, per-node policy state. Writer and reader sides promote and
+  /// demote independently; a node that both reads and writes a page keeps
+  /// both flags.
+  struct PagePolicy {
+    std::uint32_t demand = 0;       ///< page-sized diff events observed
+    bool writer_home = false;       ///< flush the page home at close
+    bool reader_home = false;       ///< fetch the home copy on faults
+    bool leased = false;            ///< we hold the one-sided flush lease
+    bool lease_refused = false;     ///< home said no; wait out the cooldown
+    std::uint32_t revokes = 0;      ///< revoke epoch (stale-grant detection)
+    std::uint64_t cooldown_until = 0;  ///< close_count_ gate on re-promotion
+  };
+
+  std::size_t min_demand_diff() const;
+  void note_demand(tmk::PageId page, bool writer_side);
+  void demote_reader(tmk::PageId page, PagePolicy& pol);
+  void demote_writer(tmk::PageId page, PagePolicy& pol);
+
+  /// Fault-path make-current: reclaims any outstanding lease (placements
+  /// dominate only the grant-time state), then catches the page up.
+  void make_current(tmk::PageId page);
+  /// Catch-up loop: fetch-if-unmapped, then home fetch (promoted reader)
+  /// or inherited diff pull until the page is notice-free.
+  void catch_up(tmk::PageId page);
+  /// One home-copy round trip; returns true if it covered (and pruned) at
+  /// least one pending notice. Installs any clock-dominant copy either way.
+  bool try_home_fetch(tmk::PageId page);
+  /// Installs a fetched home copy (open-twin merge, applied clock, notice
+  /// prune). Caller has already verified dominance.
+  void install_home_copy(tmk::PageId page, const tmk::VectorClock& fetched,
+                         const std::byte* bytes);
+  void prefetch_siblings(tmk::PageId page,
+                         const std::vector<std::uint32_t>& notice_vts,
+                         const std::vector<std::uint16_t>& notice_procs);
+
+  /// Writer flush paths, from on_interval_closed (app context).
+  bool try_rdma_flush(tmk::PageId page, std::uint32_t vt, PagePolicy& pol);
+  void send_offers(const std::vector<std::pair<tmk::PageId, std::uint32_t>>&
+                       offers);
+
+  /// Home-side handlers (interrupt context).
+  void handle_page_offer(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_lease_request(const sub::RequestCtx& ctx, WireReader& r);
+  void handle_lease_revoke(const sub::RequestCtx& ctx, WireReader& r);
+  /// Flush-channel control record (interrupt or poll context): repair-style
+  /// idempotent apply of a one-sided placement's metadata.
+  void on_flush_record(int writer, std::span<const std::byte> record);
+  /// Home fault on a leased-out page: reclaim before catching up/twinning.
+  void revoke_lease(tmk::PageId page, int holder);
+
+  std::map<tmk::PageId, PagePolicy> policy_;
+  /// Home side: page -> current one-sided leaseholder.
+  std::map<tmk::PageId, int> leases_;
+  /// Pages this node is fault-handling (catch-up or write fault); lease
+  /// requests on them are denied so a just-revoked lease cannot be
+  /// re-granted before the catch-up lands or the twin exists.
+  std::set<tmk::PageId> faulting_;
+  /// Promoted pages closed this interval, flushed in on_interval_closed.
+  std::vector<std::pair<tmk::PageId, std::uint32_t>> flush_list_;
+  /// Promoted self-homed (page, vt) closed this interval: the diff is
+  /// banked and applied[self]=vt published in on_interval_closed, in that
+  /// order (a publication boundary; see on_interval_close).
+  std::vector<std::pair<tmk::PageId, std::uint32_t>> self_encode_;
+  /// One-sided flushes posted but not completed. Nonzero only inside
+  /// on_interval_closed, which drains before returning — the invariant a
+  /// revoke ack relies on.
+  int rdma_inflight_ = 0;
+  sim::Condition flush_wait_;
+  /// Revokes that arrived while flushes were in flight; acked after the
+  /// drain.
+  std::vector<sub::RequestCtx> parked_revokes_;
+  std::uint64_t close_count_ = 0;
+};
+
+}  // namespace tmkgm::proto

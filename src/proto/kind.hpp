@@ -18,12 +18,20 @@ enum class Kind : std::uint8_t {
   /// each release; the home holds the authoritative copy and faulting
   /// nodes fetch whole pages from it.
   Hlrc,
+  /// Per-page adaptive policy layered over homeless LRC: pages whose diff
+  /// traffic approaches whole pages are promoted to home-based handling
+  /// (full-page flush offers, home-authoritative fetches, write-notice
+  /// prefetch); everything else stays exact LRC. On substrates with
+  /// one-sided RDMA (FAST/IB) the flush is an RDMA write with immediate
+  /// into the home's arena under an exclusive per-page lease.
+  Adaptive,
 };
 
 constexpr const char* kind_name(Kind k) {
   switch (k) {
     case Kind::Lrc: return "lrc";
     case Kind::Hlrc: return "hlrc";
+    case Kind::Adaptive: return "adaptive";
   }
   return "?";
 }
@@ -31,6 +39,7 @@ constexpr const char* kind_name(Kind k) {
 inline std::optional<Kind> parse_kind(std::string_view s) {
   if (s == "lrc") return Kind::Lrc;
   if (s == "hlrc") return Kind::Hlrc;
+  if (s == "adaptive") return Kind::Adaptive;
   return std::nullopt;
 }
 

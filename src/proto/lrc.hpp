@@ -19,7 +19,7 @@
 
 namespace tmkgm::proto {
 
-class Lrc final : public Protocol {
+class Lrc : public Protocol {
  public:
   using Protocol::Protocol;
 
@@ -34,7 +34,11 @@ class Lrc final : public Protocol {
   bool handle_request(tmk::Op op, const sub::RequestCtx& ctx,
                       WireReader& r) override;
 
- private:
+ protected:
+  // proto::Adaptive subclasses Lrc: its homeless baseline IS this protocol
+  // (byte-identical until a page is promoted), and its home-mode overlay
+  // needs the diff machinery below (pull fallback, pending-diff encoding,
+  // own-write lookups for the flush guards).
   /// Fetches and applies every missing diff for the page.
   void fetch_diffs(tmk::PageId page);
   void apply_one_diff(tmk::PageId page, int proc, std::uint32_t vt,

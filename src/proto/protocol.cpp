@@ -1,5 +1,6 @@
 #include "proto/protocol.hpp"
 
+#include "proto/adaptive.hpp"
 #include "proto/hlrc.hpp"
 #include "proto/lrc.hpp"
 #include "util/check.hpp"
@@ -10,6 +11,7 @@ std::unique_ptr<Protocol> make_protocol(Kind kind, tmk::Tmk& t) {
   switch (kind) {
     case Kind::Lrc: return std::make_unique<Lrc>(t);
     case Kind::Hlrc: return std::make_unique<Hlrc>(t);
+    case Kind::Adaptive: return std::make_unique<Adaptive>(t);
   }
   TMKGM_CHECK_MSG(false, "unknown protocol kind");
   return nullptr;

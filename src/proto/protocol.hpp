@@ -31,8 +31,9 @@
 
 namespace tmkgm::proto {
 
-/// Protocol-engine counters, surfaced as proto.* rows (HLRC runs only, so
-/// default-protocol reports stay byte-identical to the pre-seam output).
+/// Protocol-engine counters, surfaced as proto.* rows (HLRC and Adaptive
+/// runs only, so default-protocol reports stay byte-identical to the
+/// pre-seam output).
 struct ProtoStats {
   std::uint64_t flush_msgs = 0;        ///< DiffFlush requests sent
   std::uint64_t flush_pages = 0;       ///< page diffs flushed to homes
@@ -41,6 +42,20 @@ struct ProtoStats {
   std::uint64_t home_apply_bytes = 0;  ///< diff bytes applied at this home
   std::uint64_t home_fetches = 0;      ///< whole-page refetches from home
   std::uint64_t write_merges = 0;      ///< refetches merged over open twins
+  // Adaptive-only rows (zero — and unreported — under lrc/hlrc).
+  std::uint64_t promotes = 0;          ///< pages promoted to home mode
+  std::uint64_t demotes = 0;           ///< pages demoted back to homeless
+  std::uint64_t offers = 0;            ///< two-sided PageOffer flushes sent
+  std::uint64_t offer_rejects = 0;     ///< offers the home turned down
+  std::uint64_t rdma_flushes = 0;      ///< one-sided RDMA page flushes sent
+  std::uint64_t rdma_flush_bytes = 0;  ///< RDMA flush payload bytes
+  std::uint64_t home_fetch_hits = 0;   ///< home fetches installed (dominant)
+  std::uint64_t home_fetch_misses = 0; ///< home fetches discarded (stale)
+  std::uint64_t prefetch_pages = 0;    ///< sibling pages prefetch-installed
+  std::uint64_t leases_granted = 0;    ///< flush leases granted by this home
+  std::uint64_t leases_denied = 0;     ///< lease requests turned down
+  std::uint64_t lease_catchups = 0;    ///< stale-denied, caught up, retried
+  std::uint64_t leases_revoked = 0;    ///< leases reclaimed by this home
 };
 
 class Protocol {

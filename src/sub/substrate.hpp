@@ -104,6 +104,39 @@ class Substrate {
   virtual void mask_async() = 0;
   virtual void unmask_async() = 0;
 
+  /// ---- One-sided flush channel (optional; default unsupported) -------
+  /// Substrates with remote-DMA hardware (FAST/IB) expose a one-sided
+  /// write path into a peer's registered flush region: the payload lands
+  /// by NIC DMA with no receiver CPU, and a small control record follows
+  /// on the same ordered channel, delivered to the receiver's flush sink
+  /// (interrupt context, async maskable — same contract as the request
+  /// handler). The adaptive protocol uses this for its RDMA home flush.
+  using FlushSink =
+      std::function<void(int writer, std::span<const std::byte> record)>;
+  virtual bool flush_supported() const { return false; }
+  /// Registers this node's flush target region (the DSM arena — every
+  /// node's region has the same layout, so an offset addresses the same
+  /// page everywhere) and the control-record sink. Must be called before
+  /// any peer flush_write()s here.
+  virtual void set_flush_region(std::byte* /*base*/, std::size_t /*len*/,
+                                FlushSink /*sink*/) {}
+  /// One-sided write of `data` into dst's flush region at `dst_offset`,
+  /// then `control` to dst's flush sink; delivery of the two is ordered.
+  /// `data` must live inside the caller's own registered flush region
+  /// (it is the DMA source). `on_done` fires (event context) once both
+  /// are delivered remotely. Returns false — with nothing sent — when the
+  /// path is unavailable (unsupported substrate, no region at dst, or an
+  /// oversized control record); the caller falls back to two-sided ops.
+  virtual bool flush_write(int /*dst*/, std::span<const std::byte> /*data*/,
+                           std::size_t /*dst_offset*/,
+                           std::span<const std::byte> /*control*/,
+                           std::function<void()> /*on_done*/) {
+    return false;
+  }
+  /// Synchronously drains any flush control records already delivered but
+  /// not yet processed (poll path; the sink runs in the caller's context).
+  virtual void poll_flush() {}
+
   struct Stats {
     std::uint64_t requests_sent = 0;
     std::uint64_t responses_sent = 0;

@@ -24,6 +24,12 @@ enum class Op : std::uint8_t {
   DiffFlush = 7,      // HLRC: eager diff flush from a writer to the home
   BarrierPull = 8,    // tree barrier: parent pulls a child's overflowed
                       // arrive records (raw pass-through, not incorporated)
+  PageOffer = 9,      // adaptive: full-page flush offer to the home, guarded
+                      // by the writer's applied clock (two-sided fallback)
+  LeaseRequest = 10,  // adaptive: ask the home for the exclusive flush lease
+                      // that enables one-sided RDMA page flushes
+  LeaseRevoke = 11,   // adaptive: home reclaims a lease before writing the
+                      // page itself; ack waits for in-flight flushes
 };
 
 /// Interval records and lock grants name procs on the wire. With 256 or

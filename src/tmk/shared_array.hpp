@@ -90,6 +90,9 @@ class Shared2D {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
+  GlobalPtr global(std::size_t r, std::size_t c) const {
+    return flat_.global(r * cols_ + c);
+  }
   T get(std::size_t r, std::size_t c) const { return flat_.get(r * cols_ + c); }
   void put(std::size_t r, std::size_t c, const T& v) {
     flat_.put(r * cols_ + c, v);

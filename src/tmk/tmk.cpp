@@ -931,7 +931,15 @@ void Tmk::handle_page_request(const sub::RequestCtx& ctx, WireReader& r) {
   // re-apply those diffs in a second step — a page fault with outstanding
   // notices costs a page fetch plus a diff fetch, as in the real system.
   put_vc(w, st.applied);
-  w.put_bytes(page_base(page), config_.page_size);
+  // Serve the twin when one exists: diffs are deltas against the twin (the
+  // chain state at our last encode — remote diffs land on it too, and an
+  // encode refreshes or frees it), so the twin is exactly the baseline the
+  // requester's subsequent diff pulls expect. The raw page additionally
+  // holds our un-encoded local writes; handing those out mid-chain gives
+  // the requester transient bytes that a later accumulated diff — which
+  // only carries bytes differing from the twin — can never repair.
+  w.put_bytes(st.twin != nullptr ? st.twin.get() : page_base(page),
+              config_.page_size);
   substrate_.respond(ctx, w.bytes());
 }
 

@@ -59,6 +59,7 @@ namespace tmkgm::proto {
 class Protocol;
 class Lrc;
 class Hlrc;
+class Adaptive;
 }  // namespace tmkgm::proto
 
 namespace tmkgm::tmk {
@@ -111,6 +112,23 @@ struct TmkConfig {
   /// 0..k. The manager-serialized chain protocol is identical either way
   /// — only the home mapping changes. See tmk/lockdir.hpp.
   bool lock_directory = false;
+  /// --- Adaptive-protocol tuning (protocol == proto::Kind::Adaptive) ---
+  /// A page promotes to home mode after this many demand signals (diff
+  /// pulls whose payload is "page-sized", observed on either the writer or
+  /// the reader side). One observation suffices by default: a page-sized
+  /// diff already cost a whole page of fabric bytes, mispromotion is
+  /// corrected by the cooldown hysteresis, and every warm-up interval an
+  /// iterative app spends below the threshold is pure overhead.
+  std::uint32_t adaptive_promote_demand = 1;
+  /// A diff counts as a demand signal when its encoded payload reaches
+  /// this many bytes (0 = page_size / 2).
+  std::size_t adaptive_promote_min_diff = 0;
+  /// On a home fetch, also pull up to this many sibling pages named by the
+  /// same interval records (write-notice-driven prefetch; 0 disables).
+  std::uint32_t adaptive_prefetch = 4;
+  /// After a demotion (offer rejected, lease denied/revoked, stale home
+  /// fetch), the page may not re-promote for this many interval closes.
+  std::uint32_t adaptive_cooldown = 8;
 };
 
 struct TmkStats {
@@ -224,6 +242,11 @@ class Tmk {
   /// The managing node of `lock` (placement per TmkConfig::lock_directory).
   int lock_manager(int lock) const { return lockdir_.home(lock); }
 
+  /// The home (manager) node of `page` under the configured striping —
+  /// round-robin chunks of home_chunk_pages. Public so the striping edge
+  /// cases (uneven last stripe, n_procs > pages) are directly testable.
+  int page_home(PageId page) const { return page_manager(page); }
+
  private:
   /// The coherence protocols (src/proto/) are friends: they implement the
   /// behaviour that differs between homeless and home-based LRC directly
@@ -231,6 +254,7 @@ class Tmk {
   friend class proto::Protocol;
   friend class proto::Lrc;
   friend class proto::Hlrc;
+  friend class proto::Adaptive;
 
   // Proc ids in these records are 16-bit in memory (sub::kMaxNodes =
   // 65536); on the wire they are width-adaptive (ops.hpp put_proc): one

@@ -96,7 +96,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(SubstrateKind::FastGm,
                                          SubstrateKind::UdpGm),
                        ::testing::Range(0, 4),
-                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc)),
+                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc,
+                                         proto::Kind::Adaptive)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param) == SubstrateKind::FastGm
                              ? "FastGm"
@@ -109,7 +110,8 @@ INSTANTIATE_TEST_SUITE_P(
 // == fault-free == sequential replay, all bytewise.
 TEST(CoherenceOracleTest, FaultFreeRunMatchesReplay) {
   for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm})
-  for (const auto protocol : {proto::Kind::Lrc, proto::Kind::Hlrc}) {
+  for (const auto protocol :
+       {proto::Kind::Lrc, proto::Kind::Hlrc, proto::Kind::Adaptive}) {
     apps::JacobiParams p{.rows = 32, .cols = 32, .iters = 4};
     const std::vector<float> want = apps::jacobi_reference_grid(p);
     std::vector<float> got;

@@ -1,8 +1,8 @@
 // Cross-configuration integration tests: the protocol and apps must stay
 // correct under every substrate configuration the benches exercise —
 // rendezvous buffering, each async-handling scheme, zero-copy responses,
-// a lossy UDP fabric, and both coherence protocols (homeless LRC and
-// home-based HLRC).
+// a lossy UDP fabric, and all three coherence protocols (homeless LRC,
+// home-based HLRC, and the per-page adaptive hybrid).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -17,7 +17,8 @@
 namespace tmkgm::cluster {
 namespace {
 
-constexpr proto::Kind kProtocols[] = {proto::Kind::Lrc, proto::Kind::Hlrc};
+constexpr proto::Kind kProtocols[] = {proto::Kind::Lrc, proto::Kind::Hlrc,
+                                      proto::Kind::Adaptive};
 
 double run_jacobi_once(ClusterConfig cfg) {
   apps::JacobiParams p;
@@ -35,7 +36,7 @@ double run_jacobi_once(ClusterConfig cfg) {
   return got;
 }
 
-// Every substrate configuration must hold under both coherence protocols.
+// Every substrate configuration must hold under every coherence protocol.
 double run_jacobi(ClusterConfig cfg) {
   double got = 0;
   for (const auto pk : kProtocols) {
@@ -137,7 +138,7 @@ TEST(ConfigMatrix, TimerSchemeSlowerThanInterrupts) {
 }
 
 // Full apps x substrates x protocols sweep: each workload verifies against
-// its serial reference under every transport and both coherence protocols.
+// its serial reference under every transport and coherence protocol.
 class ProtocolMatrixTest
     : public ::testing::TestWithParam<
           std::tuple<const char*, SubstrateKind, proto::Kind>> {};
@@ -185,7 +186,8 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(SubstrateKind::FastGm,
                                          SubstrateKind::UdpGm,
                                          SubstrateKind::FastIb),
-                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc)),
+                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc,
+                                         proto::Kind::Adaptive)),
     [](const auto& info) {
       const char* sub = std::get<1>(info.param) == SubstrateKind::FastGm
                             ? "FastGm"

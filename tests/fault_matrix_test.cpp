@@ -171,8 +171,8 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 /// Acceptance sweep: the ISSUE's headline plan — drops plus a port-disable
-/// window — across all eight apps on both substrates and both coherence
-/// protocols.
+/// window — across all eight apps on both substrates and every coherence
+/// protocol.
 class AcceptanceSweepTest
     : public ::testing::TestWithParam<
           std::tuple<const char*, SubstrateKind, proto::Kind>> {};
@@ -194,7 +194,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          "gauss", "water", "barnes"),
                        ::testing::Values(SubstrateKind::FastGm,
                                          SubstrateKind::UdpGm),
-                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc)),
+                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc,
+                                         proto::Kind::Adaptive)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param)) +
              (std::get<1>(info.param) == SubstrateKind::FastGm ? "_FastGm_"

@@ -77,6 +77,50 @@ TEST(IbVerbs, RnrParksUntilReceivePosted) {
   EXPECT_EQ(rig.ib->hca(1).stats().rnr_parks, 1u);
 }
 
+// Regression: multiple sends parked by RNR on one QP must re-drive in
+// send order when receives finally show up (RC semantics — the re-drive
+// queue is per-QP FIFO), and any_rnr_parked must report the parked state
+// while it lasts. A reordering re-drive would deliver stale protocol
+// messages after newer ones and corrupt seq-matched reply stashes.
+TEST(IbVerbs, RnrRedrivePreservesPerQpFifoOrder) {
+  Rig rig;
+  std::vector<std::string> got;
+  bool parked_seen = false;
+  bool parked_after = true;
+  rig.engine.add_node("sender", [&](sim::Node& n) {
+    auto& hca = rig.ib->hca(0);
+    static char msgs[3][8] = {"one", "two", "three"};
+    hca.register_memory(msgs, sizeof(msgs));
+    int done = 0;
+    for (auto& m : msgs) {
+      hca.qp(1).post_send(m, sizeof(m), [&] { ++done; });
+    }
+    while (done < 3) n.compute(microseconds(100.0));
+  });
+  rig.engine.add_node("receiver", [&](sim::Node& n) {
+    auto& hca = rig.ib->hca(1);
+    static std::byte bufs[3][64];
+    hca.register_memory(bufs, sizeof(bufs));
+    n.compute(milliseconds(2.0));  // all three sends arrive and park
+    parked_seen = rig.ib->any_rnr_parked();
+    for (auto& buf : bufs) {
+      hca.qp(0).post_recv(buf, sizeof(buf));
+      auto c = hca.wait_recv_cq();
+      got.emplace_back(reinterpret_cast<const char*>(c.buffer));
+    }
+    parked_after = rig.ib->any_rnr_parked();
+  });
+  rig.wire(2);
+  rig.engine.run();
+  EXPECT_TRUE(parked_seen);
+  EXPECT_FALSE(parked_after);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "one");
+  EXPECT_EQ(got[1], "two");
+  EXPECT_EQ(got[2], "three");
+  EXPECT_EQ(rig.ib->hca(1).stats().rnr_parks, 3u);
+}
+
 TEST(IbVerbs, RdmaWritePlacesDataWithoutReceiverSoftware) {
   Rig rig;
   static std::byte target[4096];

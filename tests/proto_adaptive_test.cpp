@@ -1,0 +1,334 @@
+// Adaptive-protocol acceptance suite: the per-page adaptive hybrid must
+// produce app results bitwise identical to homeless LRC for every app on
+// all three substrates, actually migrate pages when forced (offers on GM,
+// one-sided RDMA flushes with zero home CPU on IB), stay clean under the
+// race oracle and the fault plans, remain deterministic, and expose its
+// policy counters only when selected (hlrc and lrc reports unchanged).
+// Also pins the home-striping edge cases via the public Tmk::page_home().
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "apps/extended.hpp"
+#include "apps/racy.hpp"
+#include "cluster/cluster.hpp"
+#include "fault/fault.hpp"
+#include "proto/kind.hpp"
+
+namespace tmkgm {
+namespace {
+
+using cluster::SubstrateKind;
+
+const char* sub_name(SubstrateKind kind) {
+  return kind == SubstrateKind::FastGm   ? "FastGm"
+         : kind == SubstrateKind::UdpGm  ? "UdpGm"
+                                         : "FastIb";
+}
+
+cluster::ClusterConfig make_config(SubstrateKind kind, proto::Kind protocol,
+                                   const std::string& plan = "") {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = 4;
+  cfg.kind = kind;
+  cfg.seed = 1;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.tmk.protocol = protocol;
+  cfg.event_limit = 500'000'000;
+  cfg.cost.gm_resend_timeout = milliseconds(20.0);  // see fault_matrix_test
+  if (!plan.empty()) cfg.faults = fault::FaultPlan::parse_or_die(plan);
+  return cfg;
+}
+
+/// Eager-migration knobs: promote on the first demand event regardless of
+/// diff density (min_diff=1 byte; 0 would mean "use the page_size/2
+/// default"), never cool down. Small test-size apps then exercise both
+/// flush paths without needing production-scale traffic.
+void force_migration(cluster::ClusterConfig& cfg) {
+  cfg.tmk.adaptive_promote_demand = 1;
+  cfg.tmk.adaptive_promote_min_diff = 1;
+  cfg.tmk.adaptive_cooldown = 0;
+}
+
+/// Runs one of the named apps at matrix-test size; returns proc 0's
+/// checksum and fills `out`.
+double run_app(const std::string& app, cluster::ClusterConfig cfg,
+               cluster::RunResult* out = nullptr) {
+  cluster::Cluster c(cfg);
+  double checksum = 0.0;
+  const auto result = c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+    apps::AppResult r;
+    if (app == "jacobi") {
+      r = apps::jacobi(t, {.rows = 32, .cols = 32, .iters = 4});
+    } else if (app == "sor") {
+      r = apps::sor(t, {.rows = 32, .cols = 32, .iters = 3});
+    } else if (app == "fft") {
+      r = apps::fft3d(t, {.n = 16, .iters = 1});
+    } else if (app == "is") {
+      r = apps::is_sort(t, {.keys_per_proc = 512, .buckets = 64, .iters = 2});
+    } else if (app == "tsp") {
+      r = apps::tsp(t, {.cities = 8});
+    } else if (app == "gauss") {
+      r = apps::gauss(t, {.n = 48});
+    } else if (app == "water") {
+      r = apps::water(t, {.molecules = 64, .iters = 2});
+    } else if (app == "barnes") {
+      r = apps::barnes(t, {.bodies = 96, .steps = 2});
+    } else {
+      ADD_FAILURE() << "unknown app " << app;
+    }
+    if (env.id == 0) checksum = r.checksum;
+  });
+  if (out != nullptr) *out = result;
+  return checksum;
+}
+
+proto::ProtoStats sum_proto(const cluster::RunResult& r) {
+  proto::ProtoStats s;
+  for (const auto& p : r.proto_stats) {
+    s.home_applies += p.home_applies;
+    s.home_fetches += p.home_fetches;
+    s.promotes += p.promotes;
+    s.demotes += p.demotes;
+    s.offers += p.offers;
+    s.offer_rejects += p.offer_rejects;
+    s.rdma_flushes += p.rdma_flushes;
+    s.rdma_flush_bytes += p.rdma_flush_bytes;
+    s.home_fetch_hits += p.home_fetch_hits;
+    s.home_fetch_misses += p.home_fetch_misses;
+    s.prefetch_pages += p.prefetch_pages;
+    s.leases_granted += p.leases_granted;
+    s.leases_denied += p.leases_denied;
+    s.leases_revoked += p.leases_revoked;
+  }
+  return s;
+}
+
+// Every app, all three substrates: adaptive's result is bitwise identical
+// to lrc's. (Same virtual cluster, same seed — only the protocol differs.)
+class AdaptiveEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, SubstrateKind>> {};
+
+TEST_P(AdaptiveEquivalenceTest, ChecksumMatchesLrcBitwise) {
+  const auto& [app, kind] = GetParam();
+  const double lrc = run_app(app, make_config(kind, proto::Kind::Lrc));
+  const double adaptive =
+      run_app(app, make_config(kind, proto::Kind::Adaptive));
+  EXPECT_EQ(lrc, adaptive);
+}
+
+// ...and still bitwise identical with migration forced on every page.
+TEST_P(AdaptiveEquivalenceTest, ChecksumMatchesLrcUnderForcedMigration) {
+  const auto& [app, kind] = GetParam();
+  const double lrc = run_app(app, make_config(kind, proto::Kind::Lrc));
+  auto cfg = make_config(kind, proto::Kind::Adaptive);
+  force_migration(cfg);
+  EXPECT_EQ(lrc, run_app(app, cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AdaptiveEquivalenceTest,
+    ::testing::Combine(::testing::Values("jacobi", "sor", "tsp", "fft", "is",
+                                         "gauss", "water", "barnes"),
+                       ::testing::Values(SubstrateKind::FastGm,
+                                         SubstrateKind::UdpGm,
+                                         SubstrateKind::FastIb)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             sub_name(std::get<1>(info.param));
+    });
+
+// Checksums can collide; memcmp over the whole grid cannot. Adaptive's
+// final shared array must be byte-identical to the sequential replay, with
+// and without forced migration.
+TEST(ProtoAdaptive, JacobiGridBytesMatchReplay) {
+  apps::JacobiParams p{.rows = 32, .cols = 32, .iters = 4};
+  const std::vector<float> want = apps::jacobi_reference_grid(p);
+
+  for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm,
+                          SubstrateKind::FastIb}) {
+    SCOPED_TRACE(sub_name(kind));
+    for (const bool forced : {false, true}) {
+      SCOPED_TRACE(forced ? "forced" : "default");
+      auto cfg = make_config(kind, proto::Kind::Adaptive);
+      if (forced) force_migration(cfg);
+      std::vector<float> got;
+      apps::JacobiParams mine = p;
+      mine.capture = &got;
+      cluster::Cluster c(cfg);
+      c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+        apps::JacobiParams local = mine;
+        if (env.id != 0) local.capture = nullptr;  // only proc 0 captures
+        apps::jacobi(t, local);
+      });
+      ASSERT_EQ(got.size(), want.size());
+      EXPECT_EQ(
+          std::memcmp(got.data(), want.data(), want.size() * sizeof(float)),
+          0);
+    }
+  }
+}
+
+// Migration mechanics on a two-sided substrate: forced promotion flushes
+// full pages via PageOffer and the homes apply them on the CPU. Policy
+// counters are reported only under adaptive, so hlrc and default-lrc
+// reports stay byte-identical to their pre-adaptive output.
+TEST(ProtoAdaptive, OffersFlowOnGmAndCountersGated) {
+  auto cfg = make_config(SubstrateKind::FastGm, proto::Kind::Adaptive);
+  force_migration(cfg);
+  cluster::RunResult result;
+  run_app("jacobi", cfg, &result);
+  const auto s = sum_proto(result);
+  EXPECT_GT(s.promotes, 0u);
+  EXPECT_GT(s.offers, 0u);
+  EXPECT_EQ(s.home_applies, s.offers - s.offer_rejects);
+  EXPECT_EQ(s.rdma_flushes, 0u);  // no one-sided path on GM
+  const std::string table = result.counters.format_table("");
+  EXPECT_NE(table.find("proto.promotes"), std::string::npos);
+  EXPECT_NE(table.find("proto.rdma_flushes"), std::string::npos);
+
+  cluster::RunResult hlrc_result;
+  run_app("jacobi", make_config(SubstrateKind::FastGm, proto::Kind::Hlrc),
+          &hlrc_result);
+  const std::string htable = hlrc_result.counters.format_table("");
+  EXPECT_NE(htable.find("proto.flush_msgs"), std::string::npos);
+  EXPECT_EQ(htable.find("proto.promotes"), std::string::npos);
+
+  cluster::RunResult lrc_result;
+  run_app("jacobi", make_config(SubstrateKind::FastGm, proto::Kind::Lrc),
+          &lrc_result);
+  EXPECT_EQ(lrc_result.counters.format_table("").find("proto."),
+            std::string::npos);
+}
+
+// The IB acceptance criterion: on FAST/IB every promoted-page flush is a
+// one-sided RDMA write under a lease — the home CPU applies nothing
+// (home_applies == 0), yet readers hit the home's authoritative copy.
+TEST(ProtoAdaptive, IbFlushesAreOneSidedWithZeroHomeCpu) {
+  auto cfg = make_config(SubstrateKind::FastIb, proto::Kind::Adaptive);
+  force_migration(cfg);
+  cluster::RunResult result;
+  run_app("jacobi", cfg, &result);
+  const auto s = sum_proto(result);
+  EXPECT_GT(s.promotes, 0u);
+  EXPECT_GT(s.leases_granted, 0u);
+  EXPECT_GT(s.rdma_flushes, 0u);
+  EXPECT_GT(s.rdma_flush_bytes, 0u);
+  EXPECT_EQ(s.offers, 0u);        // one-sided path replaces offers
+  EXPECT_EQ(s.home_applies, 0u);  // zero receiver CPU on the flush path
+  EXPECT_GT(s.home_fetch_hits, 0u);
+}
+
+// Write-notice prefetch actually installs sibling pages (fft's transpose
+// touches many pages per interval record), and disabling it via the knob
+// turns the counter off without changing the result.
+TEST(ProtoAdaptive, PrefetchInstallsSiblingsAndKnobDisables) {
+  auto cfg = make_config(SubstrateKind::FastGm, proto::Kind::Adaptive);
+  force_migration(cfg);
+  cluster::RunResult with;
+  const double c_with = run_app("fft", cfg, &with);
+  EXPECT_GT(sum_proto(with).prefetch_pages, 0u);
+
+  cfg.tmk.adaptive_prefetch = 0;
+  cluster::RunResult without;
+  const double c_without = run_app("fft", cfg, &without);
+  EXPECT_EQ(sum_proto(without).prefetch_pages, 0u);
+  EXPECT_EQ(c_with, c_without);
+}
+
+// The DRF race oracle composes with adaptive: a race-free app is clean
+// even with forced migration, the racy control still fires.
+TEST(ProtoAdaptive, RaceOracleCleanOnDrfAppAndFiresOnRacyControl) {
+  auto clean_cfg = make_config(SubstrateKind::FastGm, proto::Kind::Adaptive);
+  force_migration(clean_cfg);
+  clean_cfg.tmk.race_check = true;
+  cluster::RunResult clean;
+  run_app("jacobi", clean_cfg, &clean);
+  EXPECT_TRUE(clean.races.empty());
+  EXPECT_GT(clean.check.hb_edges, 0u);
+
+  auto racy_cfg = make_config(SubstrateKind::FastGm, proto::Kind::Adaptive);
+  racy_cfg.tmk.race_check = true;
+  cluster::Cluster c(racy_cfg);
+  const auto result = c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv&) {
+    apps::racy(t, {});
+  });
+  EXPECT_FALSE(result.races.empty());
+  EXPECT_GE(result.check.races, 1u);
+}
+
+// Fault injection composes with adaptive: the acceptance plan (drops plus
+// a port-disable window) completes with results identical to the
+// fault-free adaptive run on both GM substrates, migration forced.
+TEST(ProtoAdaptive, SurvivesAcceptanceFaultPlan) {
+  const char* plan = "seed=5;drop(count=2);disable(node=1,at=1ms,dur=2ms)";
+  for (const auto kind : {SubstrateKind::FastGm, SubstrateKind::UdpGm}) {
+    SCOPED_TRACE(sub_name(kind));
+    auto clean_cfg = make_config(kind, proto::Kind::Adaptive);
+    force_migration(clean_cfg);
+    const double clean = run_app("sor", clean_cfg);
+    auto fault_cfg = make_config(kind, proto::Kind::Adaptive, plan);
+    force_migration(fault_cfg);
+    cluster::RunResult result;
+    const double faulted = run_app("sor", fault_cfg, &result);
+    EXPECT_EQ(faulted, clean);
+    EXPECT_EQ(result.fault.drops_injected, 2u);
+    EXPECT_EQ(result.fault.drops_injected, result.fault.drops_observed);
+  }
+}
+
+// Same config, same seed: two adaptive runs are bit-identical in result,
+// virtual duration, and policy decisions.
+TEST(ProtoAdaptive, DeterministicAcrossRuns) {
+  auto cfg = make_config(SubstrateKind::FastIb, proto::Kind::Adaptive);
+  force_migration(cfg);
+  cluster::RunResult a, b;
+  const double ca = run_app("water", cfg, &a);
+  const double cb = run_app("water", cfg, &b);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(sum_proto(a).promotes, sum_proto(b).promotes);
+  EXPECT_EQ(sum_proto(a).rdma_flushes, sum_proto(b).rdma_flushes);
+}
+
+// Home striping edge cases, via the public Tmk::page_home(). The homes
+// must agree across nodes (they are computed, not negotiated).
+void expect_homes(int n_procs, std::uint32_t chunk,
+                  const std::vector<int>& want) {
+  auto cfg = make_config(SubstrateKind::FastGm, proto::Kind::Adaptive);
+  cfg.n_procs = n_procs;
+  cfg.tmk.home_chunk_pages = chunk;
+  std::vector<std::vector<int>> per_node(
+      static_cast<std::size_t>(n_procs));
+  cluster::Cluster c(cfg);
+  c.run_tmk([&](tmk::Tmk& t, cluster::NodeEnv& env) {
+    auto& mine = per_node[static_cast<std::size_t>(env.id)];
+    for (std::size_t p = 0; p < want.size(); ++p) {
+      mine.push_back(t.page_home(static_cast<tmk::PageId>(p)));
+    }
+  });
+  for (const auto& homes : per_node) EXPECT_EQ(homes, want);
+}
+
+TEST(ProtoAdaptive, HomeStripingUnevenLastStripe) {
+  // 7 pages over 3 procs, chunk=1: plain round-robin wraps mid-cycle.
+  expect_homes(3, 1, {0, 1, 2, 0, 1, 2, 0});
+}
+
+TEST(ProtoAdaptive, HomeStripingChunkedUnevenTail) {
+  // chunk=4: the second chunk is short but still belongs wholly to proc 1.
+  expect_homes(3, 4, {0, 0, 0, 0, 1, 1, 1});
+}
+
+TEST(ProtoAdaptive, HomeStripingMoreProcsThanPages) {
+  // 16 procs, 4 pages probed: low procs get one page each, the rest none.
+  expect_homes(16, 1, {0, 1, 2, 3});
+}
+
+}  // namespace
+}  // namespace tmkgm

@@ -48,6 +48,11 @@ struct Options {
   std::string trace_file;
   std::string faults;
   std::string capture_file;
+  // Adaptive-protocol tuning (-1 = keep the TmkConfig default).
+  int adaptive_promote_demand = -1;
+  long adaptive_min_diff = -1;
+  int adaptive_prefetch = -1;
+  int adaptive_cooldown = -1;
 };
 
 void usage() {
@@ -56,8 +61,18 @@ void usage() {
       "usage: tmkgm_run [options]\n"
       "  --app jacobi|sor|tsp|fft|is|gauss|water|barnes|racy  workload\n"
       "  --substrate fastgm|udpgm|fastib  transport (default fastgm)\n"
-      "  --protocol lrc|hlrc           coherence protocol (default lrc:\n"
-      "                                homeless lazy release consistency)\n"
+      "  --protocol lrc|hlrc|adaptive  coherence protocol (default lrc:\n"
+      "                                homeless lazy release consistency;\n"
+      "                                adaptive = lrc + per-page home-based\n"
+      "                                migration for page-sized sharers)\n"
+      "  --adaptive-promote-demand N   page-sized diff events before a page\n"
+      "                                promotes (default 1; 0 disables)\n"
+      "  --adaptive-min-diff B         diff bytes that count as page-sized\n"
+      "                                (default 0 = page_size/2)\n"
+      "  --adaptive-prefetch N         sibling pages prefetched per home\n"
+      "                                fetch (default 4; 0 disables)\n"
+      "  --adaptive-cooldown N         interval closes before a demoted\n"
+      "                                page may re-promote (default 8)\n"
       "  --nodes N                     cluster size (default 8)\n"
       "  --size S                      grid edge / cities / FFT N\n"
       "  --iters K                     iterations\n"
@@ -149,6 +164,22 @@ bool parse(int argc, char** argv, Options& o) {
       o.barrier_arity = std::atoi(v);
     } else if (a == "--lock-directory") {
       o.lock_directory = true;
+    } else if (a == "--adaptive-promote-demand") {
+      const char* v = next();
+      if (!v) return false;
+      o.adaptive_promote_demand = std::atoi(v);
+    } else if (a == "--adaptive-min-diff") {
+      const char* v = next();
+      if (!v) return false;
+      o.adaptive_min_diff = std::atol(v);
+    } else if (a == "--adaptive-prefetch") {
+      const char* v = next();
+      if (!v) return false;
+      o.adaptive_prefetch = std::atoi(v);
+    } else if (a == "--adaptive-cooldown") {
+      const char* v = next();
+      if (!v) return false;
+      o.adaptive_cooldown = std::atoi(v);
     } else if (a == "--arena-mb") {
       const char* v = next();
       if (!v) return false;
@@ -232,6 +263,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (o.engine == "par") {
+    // The parallel engine cannot honour these modes (the race oracle and
+    // the fault injector both need the sequential scheduler); reject the
+    // combination here instead of tripping a CHECK mid-run.
+    if (o.race_check) {
+      std::fprintf(stderr, "--race-check requires --engine seq\n");
+      return 1;
+    }
+    if (!o.faults.empty()) {
+      std::fprintf(stderr, "--faults requires --engine seq\n");
+      return 1;
+    }
     cfg.engine.sched = sim::SchedMode::Par;
   } else if (o.engine != "seq") {
     std::fprintf(stderr, "unknown engine: %s\n", o.engine.c_str());
@@ -263,6 +305,20 @@ int main(int argc, char** argv) {
     }
   }
   if (o.race_check) cfg.tmk.race_check = true;
+  if (o.adaptive_promote_demand >= 0) {
+    cfg.tmk.adaptive_promote_demand =
+        static_cast<std::uint32_t>(o.adaptive_promote_demand);
+  }
+  if (o.adaptive_min_diff >= 0) {
+    cfg.tmk.adaptive_promote_min_diff =
+        static_cast<std::size_t>(o.adaptive_min_diff);
+  }
+  if (o.adaptive_prefetch >= 0) {
+    cfg.tmk.adaptive_prefetch = static_cast<std::uint32_t>(o.adaptive_prefetch);
+  }
+  if (o.adaptive_cooldown >= 0) {
+    cfg.tmk.adaptive_cooldown = static_cast<std::uint32_t>(o.adaptive_cooldown);
+  }
   obs::Tracer tracer;
   if (!o.trace_file.empty()) cfg.tracer = &tracer;
 
