@@ -1,0 +1,58 @@
+// X8 — served tail latency vs system size x coherence protocol.
+//
+// The open-loop kv workload offers a fixed per-node arrival rate, so total
+// load grows with the cluster while the store's lock managers stay where
+// the protocol puts them. Each row reports virtual-time percentiles from
+// the merged latency histogram plus the achieved throughput. The
+// interesting structure is the protocol crossover: which protocol wins
+// depends on scale (and on which percentile you care about), not on a
+// single winner — see EXPERIMENTS.md X8 for the recorded numbers.
+#include <cstdio>
+#include <string>
+
+#include "apps/runspec.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tmkgm;
+
+  Table t({"substrate", "protocol", "nodes", "req/s", "p50 (us)", "p95 (us)",
+           "p99 (us)", "p99.9 (us)", "max (us)", "late"});
+
+  for (const char* sub : {"udpgm", "fastgm"}) {
+    for (const char* proto : {"lrc", "hlrc", "adaptive"}) {
+      for (int n : {4, 8, 16}) {
+        apps::RunSpec spec;
+        spec.app = "kv";
+        spec.substrate = sub;
+        spec.protocol = proto;
+        spec.nodes = n;
+        spec.iters = 96;  // requests per node
+        spec.arena_mb = 16;
+        cluster::ClusterConfig cfg;
+        std::string error;
+        if (!apps::spec_cluster_config(spec, cfg, error)) {
+          std::fprintf(stderr, "%s\n", error.c_str());
+          return 1;
+        }
+        cfg.event_limit = 4'000'000'000ULL;
+        const auto r = apps::run_spec(spec, cfg);
+        const auto& s = r.kv;
+        auto us = [&](double q) {
+          return Table::num(
+              static_cast<double>(s.hist.percentile_ns(q)) / 1000.0, 1);
+        };
+        t.add_row({sub, proto, std::to_string(n),
+                   Table::num(s.throughput_rps(), 0), us(0.50), us(0.95),
+                   us(0.99), us(0.999),
+                   Table::num(static_cast<double>(s.hist.max_ns()) / 1000.0,
+                              1),
+                   std::to_string(s.late_arrivals)});
+      }
+    }
+  }
+
+  std::printf("=== X8: kv tail latency vs system size x protocol ===\n%s\n",
+              t.to_string().c_str());
+  return 0;
+}

@@ -39,6 +39,31 @@ race_oracle_controls() {
   done
 }
 
+# Served-workload controls: the kv request path end-to-end — wire
+# unpacking, shard-locked probing, the histogram/stats DSM merge — under
+# the sanitizer: clean under the race oracle on both substrates and every
+# protocol, and once on the parallel engine (the TSan-relevant run).
+kv_serving_controls() {
+  local bin="$1/tools/tmkgm_run"
+  local sub proto
+  echo "== kv serving controls (race oracle, every protocol)"
+  for sub in fastgm udpgm; do
+    for proto in lrc hlrc adaptive; do
+      if ! "$bin" --app kv --substrate "$sub" --nodes 4 --iters 48 \
+          --protocol "$proto" --race-check > /dev/null; then
+        echo "error: kv/$sub/$proto flagged or failed under --race-check" >&2
+        exit 1
+      fi
+    done
+  done
+  echo "== kv serving control (parallel engine)"
+  if ! "$bin" --app kv --nodes 8 --iters 48 --engine par \
+      --engine-shards 4 --counters > /dev/null; then
+    echo "error: kv parallel-engine run failed under sanitizer" >&2
+    exit 1
+  fi
+}
+
 # One faulted run per protocol: fault recovery exercises the send-buffer
 # reuse and deferred-delivery paths with protocol messages (including
 # hlrc's DiffFlush and adaptive's PageOffer/lease traffic) in flight —
@@ -125,8 +150,9 @@ for preset in asan ubsan; do
   # tier (which runs every node program on fibers — the ASan fiber pass)
   # and finally the labeled slow suites (sweeps, 1024-node sync, re-cost
   # cross-validation).
-  ctest --preset "$preset" -R 'Fault|Oracle|RaceCheck|Hlrc'
+  ctest --preset "$preset" -R 'Fault|Oracle|RaceCheck|Hlrc|Kv'
   race_oracle_controls "build-$preset"
+  kv_serving_controls "build-$preset"
   faulted_run_controls "build-$preset"
   parallel_engine_controls "build-$preset"
   scale_tree_controls "build-$preset"
@@ -143,4 +169,5 @@ cmake --preset tsan
 cmake --build --preset tsan
 ctest --preset tsan -R '^Engine\.|^EventQueue\.|^EngineStress\.|Determinism'
 parallel_engine_controls build-tsan
+kv_serving_controls build-tsan
 scale_tree_controls build-tsan

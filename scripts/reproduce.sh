@@ -82,6 +82,14 @@ if [ "$PROTOCOL" = adaptive ]; then
   fi
 fi
 
+# Served-workload sanity: a kv run must roll its kv.* counters into the
+# report and print the latency-tail section, on every protocol.
+if ! build/tools/tmkgm_run --app kv --nodes 4 --report \
+    --protocol "$PROTOCOL" | grep -q 'kv\.latency_p99_ns'; then
+  echo "error: kv.* rows missing from a kv run report" >&2
+  exit 1
+fi
+
 # Hierarchical-sync sanity: the combining-tree barrier plus the hashed
 # lock directory must compute the same answers as the flat defaults (the
 # topology moves messages, never data), including past the old 256-node
@@ -111,6 +119,10 @@ if [ "$PROTOCOL" = lrc ]; then
     --trace /tmp/reproduce_golden_fft.trace > /dev/null
   sha256sum /tmp/reproduce_golden_fft.trace | awk '{print $1}' \
     | diff - scripts/golden/trace_fft_fastgm_lrc.sha256
+  build/tools/tmkgm_run --app kv --nodes 16 --substrate udpgm --report \
+    > /tmp/reproduce_golden_kv.txt
+  diff -u scripts/golden/report_kv_udpgm_lrc.txt \
+    /tmp/reproduce_golden_kv.txt
   echo "golden: default-lrc reports and trace are byte-identical to the seed"
 
   # Re-cost pin: capture a run, replay it under a perturbed cost model,

@@ -6,6 +6,7 @@
 #include "apps/apps.hpp"
 #include "apps/extended.hpp"
 #include "apps/racy.hpp"
+#include "kv/workload.hpp"
 #include "util/check.hpp"
 
 namespace tmkgm::apps {
@@ -22,6 +23,16 @@ std::string RunSpec::to_string() const {
   s += ";barrier_arity=" + std::to_string(barrier_arity);
   s += ";lock_directory=" + std::to_string(lock_directory ? 1 : 0);
   s += ";arena_mb=" + std::to_string(arena_mb);
+  if (app == "kv") {
+    // kv-only keys stay out of every other app's spec string (capture
+    // files embed specs verbatim; see the header comment).
+    s += ";kv_shards=" + std::to_string(kv_shards);
+    s += ";kv_slots=" + std::to_string(kv_slots);
+    s += ";kv_gap_ns=" + std::to_string(kv_gap_ns);
+    s += ";kv_get_permille=" + std::to_string(kv_get_permille);
+    s += ";kv_zipf_permille=" + std::to_string(kv_zipf_permille);
+    s += ";kv_preload=" + std::to_string(kv_preload);
+  }
   return s;
 }
 
@@ -61,6 +72,18 @@ bool RunSpec::parse(const std::string& text, RunSpec& out, std::string& error) {
       spec.lock_directory = std::atoi(val.c_str()) != 0;
     } else if (key == "arena_mb") {
       spec.arena_mb = std::strtoul(val.c_str(), nullptr, 10);
+    } else if (key == "kv_shards") {
+      spec.kv_shards = std::atoi(val.c_str());
+    } else if (key == "kv_slots") {
+      spec.kv_slots = std::atoi(val.c_str());
+    } else if (key == "kv_gap_ns") {
+      spec.kv_gap_ns = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "kv_get_permille") {
+      spec.kv_get_permille = std::atoi(val.c_str());
+    } else if (key == "kv_zipf_permille") {
+      spec.kv_zipf_permille = std::atoi(val.c_str());
+    } else if (key == "kv_preload") {
+      spec.kv_preload = std::strtoull(val.c_str(), nullptr, 10);
     } else {
       error = "unknown RunSpec key '" + key + "'";
       return false;
@@ -150,6 +173,18 @@ bool dispatch(const RunSpec& spec, Fn&& fn) {
     if (spec.size) p.slots = spec.size;
     if (spec.iters) p.rounds = spec.iters;
     fn(p);
+  } else if (spec.app == "kv") {
+    kv::KvParams p;
+    if (spec.size) p.keys = spec.size;
+    if (spec.iters) p.requests_per_node = spec.iters;
+    p.mean_gap_ns = spec.kv_gap_ns;
+    p.get_permille = spec.kv_get_permille;
+    p.zipf_permille = spec.kv_zipf_permille;
+    p.preload_keys = spec.kv_preload;
+    p.store.shards = spec.kv_shards;
+    p.store.slots_per_shard = spec.kv_slots;
+    p.seed = spec.seed + 4004;
+    fn(p);
   } else {
     return false;
   }
@@ -165,6 +200,32 @@ AppResult run_app(tmk::Tmk& t, const GaussParams& p) { return gauss(t, p); }
 AppResult run_app(tmk::Tmk& t, const BarnesParams& p) { return barnes(t, p); }
 AppResult run_app(tmk::Tmk& t, const WaterParams& p) { return water(t, p); }
 AppResult run_app(tmk::Tmk& t, const RacyParams& p) { return racy(t, p); }
+AppResult run_app(tmk::Tmk& t, const kv::KvParams& p) {
+  return kv::kv_serve(t, p);
+}
+
+/// kv.* counter rows for a served run. Added only for kv specs, so every
+/// other app's counter table — and the goldens pinned on it — stays
+/// byte-identical.
+void add_kv_counters(const kv::KvSummary& s, obs::CounterRegistry& c) {
+  c.add("kv.requests", s.requests);
+  c.add("kv.late_arrivals", s.late_arrivals);
+  c.add("kv.gets", s.store.gets);
+  c.add("kv.puts", s.store.puts);
+  c.add("kv.hits", s.store.hits);
+  c.add("kv.misses", s.store.misses);
+  c.add("kv.inserts", s.store.inserts);
+  c.add("kv.updates", s.store.updates);
+  c.add("kv.rejects_full", s.store.rejects_full);
+  c.add("kv.bad_requests", s.store.bad_requests);
+  c.add("kv.probe_steps", s.store.probe_steps);
+  c.add("kv.occupied_slots", s.occupied_slots);
+  c.add("kv.latency_p50_ns", s.hist.percentile_ns(0.50));
+  c.add("kv.latency_p95_ns", s.hist.percentile_ns(0.95));
+  c.add("kv.latency_p99_ns", s.hist.percentile_ns(0.99));
+  c.add("kv.latency_p999_ns", s.hist.percentile_ns(0.999));
+  c.add("kv.latency_max_ns", s.hist.max_ns());
+}
 
 }  // namespace
 
@@ -172,11 +233,20 @@ SpecRunResult run_spec(const RunSpec& spec, const cluster::ClusterConfig& cfg) {
   SpecRunResult out;
   cluster::Cluster c(cfg);
   const bool known = dispatch(spec, [&](const auto& params) {
+    auto p = params;  // local copy: kv hooks its summary capture below
+    using P = std::decay_t<decltype(p)>;
+    if constexpr (std::is_same_v<P, kv::KvParams>) {
+      p.summary = &out.kv;
+      out.has_kv = true;
+    }
     out.run = c.run_tmk([&](tmk::Tmk& tmk, cluster::NodeEnv& env) {
-      const AppResult r = run_app(tmk, params);
+      const AppResult r = run_app(tmk, p);
       if (env.id == 0) out.checksum = r.checksum;
       out.elapsed = std::max(out.elapsed, r.elapsed);
     });
+    if constexpr (std::is_same_v<P, kv::KvParams>) {
+      add_kv_counters(out.kv, out.run.counters);
+    }
   });
   TMKGM_CHECK_MSG(known, "unknown app in RunSpec: " << spec.app);
   return out;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cluster/cluster.hpp"
+#include "kv/workload.hpp"
 #include "util/time.hpp"
 
 namespace tmkgm::apps {
@@ -27,6 +28,16 @@ struct RunSpec {
   int barrier_arity = 0;  // 0 = flat proc-0 barrier
   bool lock_directory = false;
   std::size_t arena_mb = 256;
+  // Served-workload knobs, meaningful only for app=kv (size = key-space,
+  // iters = requests per node). to_string() emits them only for kv runs so
+  // every other app's spec string — including the ones embedded in re-cost
+  // capture files — stays byte-identical.
+  int kv_shards = 16;
+  int kv_slots = 512;             // slots per shard
+  std::uint64_t kv_gap_ns = 2000000;  // mean inter-arrival per node
+  int kv_get_permille = 900;
+  int kv_zipf_permille = 990;
+  std::uint64_t kv_preload = 1024;
 
   /// Stable "key=value;..." form; parse() round-trips it.
   std::string to_string() const;
@@ -47,6 +58,10 @@ struct SpecRunResult {
   double checksum = 0.0;
   /// Max over nodes of the app's own timed phase.
   SimTime elapsed = 0;
+  /// Served-workload accounting, filled only when the spec's app is kv
+  /// (has_kv). The same numbers are rolled into run.counters as kv.* rows.
+  kv::KvSummary kv;
+  bool has_kv = false;
 };
 
 /// Runs the spec's app on an already-configured cluster config (callers

@@ -84,4 +84,34 @@ std::string format_report(const ClusterConfig& config,
   return os.str();
 }
 
+std::string format_kv_report(const kv::KvSummary& summary) {
+  std::ostringstream os;
+  const auto& h = summary.hist;
+  os << "=== kv serving report ===\n";
+  os << "requests         " << summary.requests;
+  if (summary.late_arrivals > 0) {
+    os << " (" << summary.late_arrivals << " behind schedule)";
+  }
+  os << "\n";
+  os << "throughput       " << Table::num(summary.throughput_rps(), 1)
+     << " req/s (virtual)\n";
+  os << "ops              " << summary.store.gets << " gets ("
+     << summary.store.hits << " hits, " << summary.store.misses
+     << " misses), " << summary.store.puts << " puts ("
+     << summary.store.inserts << " inserts, " << summary.store.updates
+     << " updates";
+  if (summary.store.rejects_full > 0) {
+    os << ", " << summary.store.rejects_full << " full";
+  }
+  os << ")\n";
+  os << "latency ns       p50 " << h.percentile_ns(0.50) << "  p95 "
+     << h.percentile_ns(0.95) << "  p99 " << h.percentile_ns(0.99)
+     << "  p99.9 " << h.percentile_ns(0.999) << "  max " << h.max_ns()
+     << "\n";
+  os << "store            " << summary.occupied_slots
+     << " occupied slots, " << summary.store.probe_steps
+     << " probe steps\n";
+  return os.str();
+}
+
 }  // namespace tmkgm::cluster

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "cluster/cluster.hpp"
+#include "kv/workload.hpp"
 
 namespace tmkgm::cluster {
 
@@ -16,5 +17,11 @@ tmk::TmkStats aggregate_tmk_stats(const RunResult& result);
 /// counters.
 std::string format_report(const ClusterConfig& config,
                           const RunResult& result);
+
+/// Formats the served-workload section for a kv run: offered load,
+/// throughput, the latency tail (p50/p95/p99/p99.9/max), and store
+/// occupancy. Byte-deterministic (integer nanoseconds, fixed-point
+/// throughput).
+std::string format_kv_report(const kv::KvSummary& summary);
 
 }  // namespace tmkgm::cluster

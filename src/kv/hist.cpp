@@ -1,0 +1,90 @@
+#include "kv/hist.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tmkgm::kv {
+
+int LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < 2 * kSubBuckets) return static_cast<int>(ns);
+  const int octave = std::bit_width(ns) - 1;  // >= kSubBits + 1
+  const int sub =
+      static_cast<int>((ns >> (octave - kSubBits)) & (kSubBuckets - 1));
+  const int idx = (octave - kSubBits) * kSubBuckets + kSubBuckets + sub;
+  return std::min(idx, kBucketCount - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower(int i) {
+  TMKGM_CHECK(i >= 0 && i < kBucketCount);
+  if (i < 2 * kSubBuckets) return static_cast<std::uint64_t>(i);
+  const int octave = kSubBits + (i - kSubBuckets) / kSubBuckets;
+  const int sub = (i - kSubBuckets) % kSubBuckets;
+  return (std::uint64_t{1} << octave) +
+         (static_cast<std::uint64_t>(sub) << (octave - kSubBits));
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(int i) {
+  TMKGM_CHECK(i >= 0 && i < kBucketCount);
+  if (i < 2 * kSubBuckets) return static_cast<std::uint64_t>(i);
+  const int octave = kSubBits + (i - kSubBuckets) / kSubBuckets;
+  return bucket_lower(i) + (std::uint64_t{1} << (octave - kSubBits)) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(ns))];
+  ++count_;
+  sum_ += ns;
+  min_ = std::min(min_, ns);
+  max_ = std::max(max_, ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // ceil on exact integer-valued doubles (count fits the mantissa for any
+  // plausible request volume), clamped so q=0 still selects a sample.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)];
+    if (cum >= rank) {
+      // The top bucket is open-ended — its nominal upper bound undershoots
+      // saturated samples, so report the exact max there instead.
+      if (i == kBucketCount - 1) return max_;
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::add_bucket_count(int i, std::uint64_t c) {
+  TMKGM_CHECK(i >= 0 && i < kBucketCount);
+  buckets_[static_cast<std::size_t>(i)] += c;
+}
+
+void LatencyHistogram::add_raw(std::uint64_t count, std::uint64_t sum,
+                               std::uint64_t min, std::uint64_t max) {
+  if (count == 0) return;
+  count_ += count;
+  sum_ += sum;
+  min_ = std::min(min_, min);
+  max_ = std::max(max_, max);
+}
+
+}  // namespace tmkgm::kv

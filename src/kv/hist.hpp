@@ -1,0 +1,72 @@
+// Fixed-bucket log-scale latency histogram (HDR-lite).
+//
+// Buckets cover virtual nanoseconds with 8 sub-buckets per power of two
+// (3 significant mantissa bits): values 0..15 get unit-width buckets, then
+// each octave [2^o, 2^(o+1)) splits into 8 equal buckets, up to octave 35
+// (~69 virtual seconds); anything larger saturates into the top bucket.
+// Everything is integer arithmetic on exact counts, so a histogram — and
+// every percentile read from it — is a pure function of the recorded
+// values: byte-stable across runs, hosts, and engine shard counts.
+//
+// merge() adds counts bucket-wise, which makes merging associative and
+// commutative: shards can fold their local histograms in any grouping and
+// the result is identical (tested in kv_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tmkgm::kv {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 8;  // per octave; 3 mantissa bits
+  static constexpr int kSubBits = 3;
+  static constexpr int kMaxOctave = 35;  // top finite bucket < 2^36 ns
+  static constexpr int kBucketCount =
+      2 * kSubBuckets + (kMaxOctave - kSubBits) * kSubBuckets;  // 272
+
+  /// Bucket holding value `ns` (saturates at kBucketCount - 1).
+  static int bucket_index(std::uint64_t ns);
+
+  /// Inclusive bounds of bucket `i`. The top bucket's upper bound is the
+  /// saturation point: every value >= bucket_lower(kBucketCount-1) lands
+  /// there and reads back as that bound (max() keeps the exact maximum).
+  static std::uint64_t bucket_lower(int i);
+  static std::uint64_t bucket_upper(int i);
+
+  void record(std::uint64_t ns);
+
+  /// Bucket-wise sum; also folds count/sum/min/max.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_ns() const { return sum_; }
+  std::uint64_t min_ns() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max_ns() const { return max_; }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample, clamped to the exact observed
+  /// max (so quantiles of a single sample all report that sample's bucket).
+  /// Returns 0 for an empty histogram.
+  std::uint64_t percentile_ns(double q) const;
+
+  const std::array<std::uint64_t, kBucketCount>& buckets() const {
+    return buckets_;
+  }
+
+  /// Raw reconstruction hooks for shipping a histogram through shared
+  /// memory as a flat word array (see workload.cpp's merge phase).
+  void add_bucket_count(int i, std::uint64_t c);
+  void add_raw(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+               std::uint64_t max);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace tmkgm::kv

@@ -1,0 +1,133 @@
+#include "kv/store.hpp"
+
+#include "util/check.hpp"
+
+namespace tmkgm::kv {
+
+std::uint64_t kv_hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+KvStore KvStore::create(tmk::Tmk& tmk, const KvStoreConfig& config) {
+  TMKGM_CHECK(config.shards >= 1);
+  TMKGM_CHECK(config.slots_per_shard >= 1);
+  TMKGM_CHECK(config.lock_count >= 1);
+  TMKGM_CHECK(config.lock_base >= 0 &&
+              config.lock_base + config.lock_count <=
+                  tmk.config().n_locks);
+  const std::size_t total =
+      static_cast<std::size_t>(config.shards) * config.slots_per_shard;
+  return KvStore(tmk, tmk::SharedArray<KvSlot>::alloc(tmk, total), config);
+}
+
+int KvStore::shard_of(std::uint64_t key) const {
+  // High bits of the hash: the low bits drive the probe start, so the two
+  // placements stay decorrelated.
+  return static_cast<int>((kv_hash64(key) >> 32) %
+                          static_cast<std::uint64_t>(config_.shards));
+}
+
+int KvStore::lock_of(int shard) const {
+  return config_.lock_base + shard % config_.lock_count;
+}
+
+KvResponse KvStore::serve(const KvRequest& req) {
+  KvResponse resp;
+  resp.op = req.op;
+  resp.client = req.client;
+  resp.request_id = req.request_id;
+  resp.key = req.key;
+
+  const bool is_get = req.op == static_cast<std::uint8_t>(KvOp::Get);
+  const bool is_put = req.op == static_cast<std::uint8_t>(KvOp::Put);
+  if (req.version != kKvWireVersion || (!is_get && !is_put)) {
+    ++stats_.bad_requests;
+    resp.status = kKvBadRequest;
+    return resp;
+  }
+
+  const int shard = shard_of(req.key);
+  const std::size_t base =
+      static_cast<std::size_t>(shard) * config_.slots_per_shard;
+  const std::size_t n = config_.slots_per_shard;
+  const std::size_t start =
+      static_cast<std::size_t>(kv_hash64(req.key) % n);
+
+  tmk_->lock_acquire(lock_of(shard));
+  // Linear probe over the shard ring: stop at the key, at the first empty
+  // slot (the key cannot be further along: no deletions), or after a full
+  // lap (shard full).
+  resp.status = is_get ? kKvNotFound : kKvStoreFull;
+  for (std::size_t step = 0; step < n; ++step) {
+    ++stats_.probe_steps;
+    const std::size_t i = base + (start + step) % n;
+    KvSlot slot = slots_.get(i);
+    if (slot.version == 0) {
+      if (is_put) {
+        slot.key = req.key;
+        slot.version = 1;
+        slot.value = req.value;
+        slots_.put(i, slot);
+        resp.status = kKvCreated;
+        resp.value_version = 1;
+      }
+      break;
+    }
+    if (slot.key == req.key) {
+      if (is_put) {
+        ++slot.version;
+        slot.value = req.value;
+        slots_.put(i, slot);
+        resp.status = kKvOk;
+        resp.value_version = slot.version;
+      } else {
+        resp.status = kKvOk;
+        resp.value_version = slot.version;
+        resp.value = slot.value;
+      }
+      break;
+    }
+  }
+  tmk_->lock_release(lock_of(shard));
+
+  if (is_get) {
+    ++stats_.gets;
+    if (resp.status == kKvOk) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;  // empty-slot stop or a full probe lap
+    }
+  } else {
+    ++stats_.puts;
+    if (resp.status == kKvCreated) {
+      ++stats_.inserts;
+    } else if (resp.status == kKvOk) {
+      ++stats_.updates;
+    } else {
+      ++stats_.rejects_full;
+    }
+  }
+  return resp;
+}
+
+KvResponse KvStore::serve_wire(KvRequest wire_req) {
+  wire_req.to_host_order();
+  KvResponse resp = serve(wire_req);
+  resp.to_network_order();
+  return resp;
+}
+
+std::uint64_t KvStore::occupied_slots() {
+  std::uint64_t occupied = 0;
+  const std::size_t total =
+      static_cast<std::size_t>(config_.shards) * config_.slots_per_shard;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (slots_.get(i).version != 0) ++occupied;
+  }
+  return occupied;
+}
+
+}  // namespace tmkgm::kv

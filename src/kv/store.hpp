@@ -1,0 +1,100 @@
+// Sharded key-value store served out of TreadMarks shared memory.
+//
+// One fixed-size slot table lives in the DSM arena (a SharedArray<KvSlot>),
+// split into `shards` contiguous shard regions of `slots_per_shard` slots.
+// A key hashes to exactly one shard (splitmix64 of the key, high bits), and
+// every operation on that shard runs under the shard's TreadMarks lock, so
+// the store is data-race-free by construction: the protocol's
+// acquire/access/release path is the serving path. Within a shard, slots
+// are an open-addressed linear-probe table; a full probe ring answers
+// kKvStoreFull rather than evicting (fixed capacity, like a production
+// cache sized at provision time).
+//
+// Shard s maps to lock id `lock_base + s % lock_count` — shards beyond
+// lock_count share locks (documented in DESIGN.md §15); with
+// TmkConfig::lock_directory the lock homes (and thus the serving managers)
+// hash across all nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "kv/wire.hpp"
+#include "tmk/shared_array.hpp"
+
+namespace tmkgm::kv {
+
+#pragma pack(push, 1)
+/// One fixed-size table slot as it lives in shared memory. version == 0
+/// means the slot is empty; otherwise it counts the writes this slot has
+/// taken (echoed to clients as KvResponse::value_version).
+struct KvSlot {
+  std::uint64_t key = 0;
+  std::uint64_t version = 0;
+  std::array<std::uint8_t, kKvValueBytes> value{};
+};
+#pragma pack(pop)
+static_assert(sizeof(KvSlot) == 16 + kKvValueBytes);
+
+struct KvStoreConfig {
+  int shards = 16;
+  std::size_t slots_per_shard = 512;
+  /// First TreadMarks lock id used for shard locks; shard s uses
+  /// lock_base + s % lock_count.
+  int lock_base = 32;
+  int lock_count = 64;
+};
+
+struct KvStoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t hits = 0;         ///< GET found the key
+  std::uint64_t misses = 0;       ///< GET missed
+  std::uint64_t inserts = 0;      ///< PUT created a key
+  std::uint64_t updates = 0;      ///< PUT overwrote a key
+  std::uint64_t rejects_full = 0; ///< PUT bounced off a full shard
+  std::uint64_t bad_requests = 0; ///< version/op validation failures
+  std::uint64_t probe_steps = 0;  ///< linear-probe slot inspections
+};
+
+class KvStore {
+ public:
+  /// Collective constructor (SPMD order): every node allocates the same
+  /// table region.
+  static KvStore create(tmk::Tmk& tmk, const KvStoreConfig& config);
+
+  /// Serves one request end-to-end under the key's shard lock. `req` is a
+  /// host-order request (already validated off the wire by the caller via
+  /// serve_wire, or built locally by tests).
+  KvResponse serve(const KvRequest& req);
+
+  /// The wire path: byte image in, byte image out. Unpacks + validates the
+  /// network-order request (answering kKvBadRequest for a version or op
+  /// mismatch without touching the store), serves it, and returns the
+  /// response in network order.
+  KvResponse serve_wire(KvRequest wire_req);
+
+  int shard_of(std::uint64_t key) const;
+  int lock_of(int shard) const;
+
+  const KvStoreConfig& config() const { return config_; }
+  const KvStoreStats& stats() const { return stats_; }
+
+  /// Occupied slots in [0, shards*slots_per_shard); reads the whole table
+  /// (callers barrier first — used for the end-of-run checksum).
+  std::uint64_t occupied_slots();
+
+ private:
+  KvStore(tmk::Tmk& tmk, tmk::SharedArray<KvSlot> slots, KvStoreConfig config)
+      : tmk_(&tmk), slots_(slots), config_(config) {}
+
+  tmk::Tmk* tmk_ = nullptr;
+  tmk::SharedArray<KvSlot> slots_;
+  KvStoreConfig config_;
+  KvStoreStats stats_;
+};
+
+/// splitmix64 — the shard/probe hash (also used by the workload to scatter
+/// Zipf ranks over the key space).
+std::uint64_t kv_hash64(std::uint64_t x);
+
+}  // namespace tmkgm::kv

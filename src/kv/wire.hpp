@@ -1,0 +1,107 @@
+// Versioned packed wire structs for the served key-value workload.
+//
+// Requests and responses cross the (simulated) client/server boundary as
+// fixed-layout byte images in network (big-endian) order with explicit
+// HTTP-style status codes — the idiom of real page-server protocols
+// (packed header + fixed payload, to_network_order/to_host_order pairs).
+// Every consumer validates the version byte before trusting a field, so a
+// format change is an explicit protocol bump, not silent corruption.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace tmkgm::kv {
+
+inline constexpr std::uint8_t kKvWireVersion = 1;
+
+/// Fixed value payload per slot; the store is a fixed-slot table, so this
+/// is a compile-time constant of the wire format (bumping it bumps
+/// kKvWireVersion).
+inline constexpr std::size_t kKvValueBytes = 32;
+
+enum class KvOp : std::uint8_t {
+  Get = 1,
+  Put = 2,
+};
+
+enum KvStatus : std::uint32_t {
+  kKvOk = 200,            ///< GET hit / PUT updated an existing key
+  kKvCreated = 201,       ///< PUT inserted a fresh key
+  kKvBadRequest = 400,    ///< malformed or wrong-version request
+  kKvNotFound = 404,      ///< GET missed
+  kKvStoreFull = 507,     ///< PUT found no free slot in the key's shard
+};
+
+namespace detail {
+
+inline std::uint16_t swap_if_le(std::uint16_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+  }
+  return v;
+}
+inline std::uint32_t swap_if_le(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return __builtin_bswap32(v);
+  }
+  return v;
+}
+inline std::uint64_t swap_if_le(std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return __builtin_bswap64(v);
+  }
+  return v;
+}
+
+}  // namespace detail
+
+#pragma pack(push, 1)
+struct KvRequest {
+  std::uint8_t version = kKvWireVersion;
+  std::uint8_t op = static_cast<std::uint8_t>(KvOp::Get);
+  std::uint16_t client = 0;      ///< requesting node id
+  std::uint32_t request_id = 0;  ///< client-local sequence number
+  std::uint64_t key = 0;
+  std::array<std::uint8_t, kKvValueBytes> value{};  ///< PUT payload
+
+  void to_network_order() {
+    client = detail::swap_if_le(client);
+    request_id = detail::swap_if_le(request_id);
+    key = detail::swap_if_le(key);
+  }
+  void to_host_order() { to_network_order(); }  // byte swap is involutive
+};
+#pragma pack(pop)
+static_assert(sizeof(KvRequest) == 16 + kKvValueBytes);
+
+#pragma pack(push, 1)
+struct KvResponse {
+  std::uint8_t version = kKvWireVersion;
+  std::uint8_t op = 0;           ///< echoed from the request
+  std::uint16_t client = 0;      ///< echoed from the request
+  std::uint32_t request_id = 0;  ///< echoed from the request
+  std::uint32_t status = kKvBadRequest;
+  std::uint32_t pad = 0;         ///< keeps key 8-byte aligned in the image
+  std::uint64_t key = 0;
+  std::uint64_t value_version = 0;  ///< slot write count (0 = never written)
+  std::array<std::uint8_t, kKvValueBytes> value{};  ///< GET-hit payload
+
+  [[nodiscard]] KvStatus get_status() const {
+    return static_cast<KvStatus>(status);
+  }
+
+  void to_network_order() {
+    client = detail::swap_if_le(client);
+    request_id = detail::swap_if_le(request_id);
+    status = detail::swap_if_le(status);
+    key = detail::swap_if_le(key);
+    value_version = detail::swap_if_le(value_version);
+  }
+  void to_host_order() { to_network_order(); }
+};
+#pragma pack(pop)
+static_assert(sizeof(KvResponse) == 32 + kKvValueBytes);
+
+}  // namespace tmkgm::kv

@@ -1,0 +1,284 @@
+#include "kv/workload.hpp"
+
+#include <cmath>
+
+#include "obs/trace.hpp"
+#include "sim/node.hpp"
+#include "util/check.hpp"
+
+namespace tmkgm::kv {
+
+double KvSummary::throughput_rps() const {
+  if (span <= 0 || requests == 0) return 0.0;
+  return static_cast<double>(requests) / to_s(span);
+}
+
+std::uint64_t kv_key_of_rank(std::uint64_t rank) {
+  // Odd multiplier -> bijection mod 2^64: distinct ranks stay distinct.
+  return (rank + 1) * 0x9e3779b97f4a7c15ULL;
+}
+
+// ------------------------------------------------------------ client stream
+
+KvClientStream::KvClientStream(const KvParams& p, int node)
+    : keys_(p.keys),
+      mean_gap_ns_(p.mean_gap_ns),
+      get_permille_(p.get_permille),
+      theta_(static_cast<double>(p.zipf_permille) / 1000.0) {
+  TMKGM_CHECK(keys_ >= 1);
+  TMKGM_CHECK(p.zipf_permille >= 0 && p.zipf_permille < 1000);
+  TMKGM_CHECK(p.get_permille >= 0 && p.get_permille <= 1000);
+  // Distinct LCG stream per (seed, node); splitmix of the pair avoids
+  // correlated low bits across adjacent nodes.
+  state_ = kv_hash64(p.seed * 0x100000001b3ULL +
+                     static_cast<std::uint64_t>(node) + 1);
+  if (theta_ > 0.0) {
+    zetan_ = 0.0;
+    for (std::uint64_t i = 1; i <= keys_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    const double zeta2 = 1.0 + std::pow(0.5, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(keys_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+    half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+  }
+}
+
+std::uint64_t KvClientStream::lcg_next() {
+  // Knuth's MMIX LCG: the classic seeded linear congruential generator.
+  state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  return state_;
+}
+
+double KvClientStream::lcg_u01() {
+  // Top 53 bits -> [0, 1); never returns exactly 0 (we add half an ulp's
+  // worth below where a log needs positivity).
+  return static_cast<double>(lcg_next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t KvClientStream::zipf_rank() {
+  if (theta_ <= 0.0) return lcg_next() % keys_;
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u = lcg_u01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(keys_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= keys_ ? keys_ - 1 : rank;
+}
+
+KvClientRequest KvClientStream::next() {
+  KvClientRequest req;
+  // Exponential inter-arrival at the configured mean (Poisson arrivals),
+  // in whole virtual nanoseconds, never zero.
+  const double u = 1.0 - lcg_u01();  // (0, 1]
+  auto gap = static_cast<std::uint64_t>(
+      -static_cast<double>(mean_gap_ns_) * std::log(u));
+  clock_ += static_cast<SimTime>(gap < 1 ? 1 : gap);
+  req.arrival_offset = clock_;
+  req.key = kv_key_of_rank(zipf_rank());
+  req.op = static_cast<int>(lcg_next() % 1000) < get_permille_ ? KvOp::Get
+                                                               : KvOp::Put;
+  return req;
+}
+
+// ------------------------------------------------------------------- app
+
+namespace {
+
+/// Deterministic PUT payload: a function of (key, request_id) alone.
+std::array<std::uint8_t, kKvValueBytes> value_of(std::uint64_t key,
+                                                 std::uint32_t request_id) {
+  std::array<std::uint8_t, kKvValueBytes> v{};
+  std::uint64_t h = kv_hash64(key ^ (std::uint64_t{request_id} << 32));
+  for (std::size_t j = 0; j < kKvValueBytes; ++j) {
+    if (j % 8 == 0) h = kv_hash64(h);
+    v[j] = static_cast<std::uint8_t>(h >> ((j % 8) * 8));
+  }
+  return v;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (b * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Flat per-node accounting image shipped through shared memory for the
+// merge: histogram buckets, histogram scalars, store stats, request
+// tallies, and the node's serving-phase span.
+constexpr std::size_t kHistWords = LatencyHistogram::kBucketCount;
+constexpr std::size_t kScalarWords = 4;  // count, sum, min, max
+constexpr std::size_t kStoreWords = 9;   // KvStoreStats fields, in order
+constexpr std::size_t kTallyWords = 3;   // requests, late_arrivals, span
+constexpr std::size_t kMergeWords =
+    kHistWords + kScalarWords + kStoreWords + kTallyWords;
+
+}  // namespace
+
+apps::AppResult kv_serve(tmk::Tmk& tmk, const KvParams& p) {
+  const int me = tmk.proc_id();
+  const int n = tmk.n_procs();
+  TMKGM_CHECK(p.requests_per_node >= 0);
+  TMKGM_CHECK(p.mean_gap_ns >= 1);
+
+  KvStore store = KvStore::create(tmk, p.store);
+  auto merge = tmk::SharedArray<std::uint64_t>::alloc(
+      tmk, static_cast<std::size_t>(n) * kMergeWords);
+  tmk.barrier(0);
+
+  // Preload: proc 0 primes the hottest ranks so GETs hit from the first
+  // arrival; the barrier publishes the inserts to everyone.
+  const std::uint64_t preload = std::min(p.preload_keys, p.keys);
+  if (me == 0) {
+    for (std::uint64_t r = 0; r < preload; ++r) {
+      KvRequest req;
+      req.op = static_cast<std::uint8_t>(KvOp::Put);
+      req.client = 0;
+      req.request_id = static_cast<std::uint32_t>(r);
+      req.key = kv_key_of_rank(r);
+      req.value = value_of(req.key, req.request_id);
+      req.to_network_order();
+      store.serve_wire(req);
+    }
+  }
+  tmk.barrier(1);
+  // Snapshot so the reported store stats cover the timed phase only (the
+  // preload ran through the same store on proc 0).
+  const KvStoreStats preload_base = store.stats();
+
+  // --- the timed open-loop serving phase ---
+  const SimTime t0 = tmk.node().now();
+  KvClientStream clients(p, me);
+  LatencyHistogram hist;
+  std::uint64_t late_arrivals = 0;
+  auto& engine = tmk.node().engine();
+
+  for (int k = 0; k < p.requests_per_node; ++k) {
+    const KvClientRequest c = clients.next();
+    const SimTime arrival = t0 + c.arrival_offset;
+    if (tmk.node().now() < arrival) {
+      tmk.idle_until(arrival);
+    } else {
+      ++late_arrivals;  // open loop: the backlog becomes latency
+    }
+
+    KvRequest req;
+    req.op = static_cast<std::uint8_t>(c.op);
+    req.client = static_cast<std::uint16_t>(me);
+    req.request_id = static_cast<std::uint32_t>(k);
+    req.key = c.key;
+    if (c.op == KvOp::Put) req.value = value_of(c.key, req.request_id);
+    req.to_network_order();
+
+    if (p.work_per_request > 0) tmk.compute_work(p.work_per_request);
+    KvResponse resp = store.serve_wire(req);
+    resp.to_host_order();
+    TMKGM_CHECK(resp.version == kKvWireVersion &&
+                resp.request_id == static_cast<std::uint32_t>(k));
+
+    const SimTime done = tmk.node().now();
+    const auto latency = static_cast<std::uint64_t>(done - arrival);
+    hist.record(latency);
+    if (engine.tracing()) [[unlikely]] {
+      engine.tracer()->emit(
+          {.t = arrival,
+           .dur = done - arrival,
+           .node = me,
+           .cat = obs::Cat::Kv,
+           .kind = obs::Kind::KvRequest,
+           .peer = store.shard_of(c.key),
+           .a = c.key,
+           .bytes = sizeof(KvRequest) + sizeof(KvResponse)});
+    }
+  }
+  tmk.barrier(2);
+  const SimTime elapsed = tmk.node().now() - t0;
+
+  // --- untimed merge: ship each node's accounting through the DSM ---
+  {
+    auto row = merge.span_rw(static_cast<std::size_t>(me) * kMergeWords,
+                             kMergeWords);
+    std::size_t w = 0;
+    for (int i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      row[w++] = hist.buckets()[static_cast<std::size_t>(i)];
+    }
+    row[w++] = hist.count();
+    row[w++] = hist.sum_ns();
+    row[w++] = hist.min_ns();
+    row[w++] = hist.max_ns();
+    const KvStoreStats& s = store.stats();
+    const KvStoreStats& b = preload_base;
+    row[w++] = s.gets - b.gets;
+    row[w++] = s.puts - b.puts;
+    row[w++] = s.hits - b.hits;
+    row[w++] = s.misses - b.misses;
+    row[w++] = s.inserts - b.inserts;
+    row[w++] = s.updates - b.updates;
+    row[w++] = s.rejects_full - b.rejects_full;
+    row[w++] = s.bad_requests - b.bad_requests;
+    row[w++] = s.probe_steps - b.probe_steps;
+    row[w++] = hist.count();  // requests served by this node's clients
+    row[w++] = late_arrivals;
+    row[w++] = static_cast<std::uint64_t>(elapsed);
+    TMKGM_CHECK(w == kMergeWords);
+  }
+  tmk.barrier(3);
+
+  double checksum = 0.0;
+  if (me == 0) {
+    KvSummary sum;
+    for (int node = 0; node < n; ++node) {
+      auto row = merge.span_ro(static_cast<std::size_t>(node) * kMergeWords,
+                               kMergeWords);
+      std::size_t r = 0;
+      LatencyHistogram part;
+      for (int i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+        part.add_bucket_count(i, row[r++]);
+      }
+      const std::uint64_t count = row[r++];
+      const std::uint64_t total = row[r++];
+      const std::uint64_t mn = row[r++];
+      const std::uint64_t mx = row[r++];
+      part.add_raw(count, total, mn, mx);
+      sum.hist.merge(part);
+      sum.store.gets += row[r++];
+      sum.store.puts += row[r++];
+      sum.store.hits += row[r++];
+      sum.store.misses += row[r++];
+      sum.store.inserts += row[r++];
+      sum.store.updates += row[r++];
+      sum.store.rejects_full += row[r++];
+      sum.store.bad_requests += row[r++];
+      sum.store.probe_steps += row[r++];
+      sum.requests += row[r++];
+      sum.late_arrivals += row[r++];
+      sum.span = std::max(sum.span, static_cast<SimTime>(row[r++]));
+      TMKGM_CHECK(r == kMergeWords);
+    }
+    sum.occupied_slots = store.occupied_slots();
+
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      h = fnv1a(h, sum.hist.buckets()[static_cast<std::size_t>(i)]);
+    }
+    h = fnv1a(h, sum.hist.count());
+    h = fnv1a(h, sum.store.hits);
+    h = fnv1a(h, sum.store.misses);
+    h = fnv1a(h, sum.store.inserts);
+    h = fnv1a(h, sum.store.updates);
+    h = fnv1a(h, sum.store.rejects_full);
+    h = fnv1a(h, sum.occupied_slots);
+    checksum = static_cast<double>(h % (std::uint64_t{1} << 52));
+    if (p.summary != nullptr) *p.summary = sum;
+  }
+  tmk.barrier(4);
+  return {checksum, elapsed};
+}
+
+}  // namespace tmkgm::kv

@@ -1,0 +1,94 @@
+// Open-loop served workload over the sharded DSM key-value store.
+//
+// Every node runs one deterministic client population against the shared
+// store: a seeded LCG arrival process (exponential inter-arrival gaps at a
+// configurable mean), a GET/PUT mix, and Zipfian key skew (the YCSB-style
+// Gray generator; theta = 0 degenerates to uniform). Arrivals are OPEN
+// LOOP — request k's arrival time is fixed by the generator alone, so when
+// the store falls behind, queueing delay shows up in the latency tail
+// instead of silently throttling the offered load (the "millions of users"
+// serving model, as opposed to the closed-loop SPLASH kernels).
+//
+// Requests cross a real wire format (kv/wire.hpp: packed network-order
+// images, validated versions, explicit status codes); service runs through
+// the normal TreadMarks acquire/access/release path, so every substrate,
+// protocol, and engine axis applies unchanged. Per-request latency
+// (virtual arrival -> response) lands in a log-scale histogram
+// (kv/hist.hpp); per-node histograms and counters are merged through
+// shared memory at the end and reported by proc 0.
+#pragma once
+
+#include "apps/apps.hpp"
+#include "kv/hist.hpp"
+#include "kv/store.hpp"
+
+namespace tmkgm::kv {
+
+/// Everything proc 0 learns from the merged end-of-run accounting.
+struct KvSummary {
+  LatencyHistogram hist;
+  KvStoreStats store;
+  std::uint64_t requests = 0;
+  std::uint64_t late_arrivals = 0;  ///< dispatched after their arrival time
+                                    ///< (the node was backlogged)
+  std::uint64_t occupied_slots = 0;
+  SimTime span = 0;  ///< serving phase, max over nodes (throughput base)
+
+  /// requests / span, in requests per virtual second (0 for an idle run).
+  double throughput_rps() const;
+};
+
+struct KvParams {
+  std::uint64_t keys = 2048;      ///< key-space size (distinct keys)
+  int requests_per_node = 256;    ///< open-loop stream length per node
+  std::uint64_t mean_gap_ns = 2000000;  ///< mean inter-arrival per node
+  int get_permille = 900;         ///< GET share of the mix, out of 1000
+  int zipf_permille = 990;        ///< Zipf theta * 1000; 0 = uniform keys
+  std::uint64_t preload_keys = 1024;  ///< keys inserted before the clock
+                                      ///< starts (capped to `keys`)
+  double work_per_request = 200.0;    ///< server CPU per request (≈flops)
+  KvStoreConfig store;
+  std::uint64_t seed = 23;
+  /// Filled on proc 0 with the merged run accounting (like the grid
+  /// capture hooks of the paper apps).
+  KvSummary* summary = nullptr;
+};
+
+/// The app entry point (runspec: --app kv). checksum folds the merged
+/// histogram, status counters and final store occupancy on proc 0.
+apps::AppResult kv_serve(tmk::Tmk& tmk, const KvParams& p);
+
+/// Deterministic client-stream generator, exposed for tests: the k-th
+/// request of node `node` under `p` (arrival virtual offset from the
+/// phase start, wire key, op).
+struct KvClientRequest {
+  SimTime arrival_offset = 0;
+  std::uint64_t key = 0;
+  KvOp op = KvOp::Get;
+};
+class KvClientStream {
+ public:
+  KvClientStream(const KvParams& p, int node);
+  KvClientRequest next();
+
+ private:
+  std::uint64_t lcg_next();
+  double lcg_u01();
+  std::uint64_t zipf_rank();
+
+  std::uint64_t keys_;
+  std::uint64_t mean_gap_ns_;
+  int get_permille_;
+  double theta_;
+  std::uint64_t state_;
+  SimTime clock_ = 0;
+  // Gray et al. Zipf constants, precomputed per stream.
+  double zetan_ = 0, eta_ = 0, alpha_ = 0, half_pow_theta_ = 0;
+};
+
+/// The wire key encoding a Zipf rank: an odd-multiplier bijection on
+/// u64, so distinct ranks always map to distinct keys while scattering
+/// the hot ranks across shards and pages.
+std::uint64_t kv_key_of_rank(std::uint64_t rank);
+
+}  // namespace tmkgm::kv

@@ -19,6 +19,7 @@ const char* to_string(Cat cat) {
     case Cat::Fault: return "fault";
     case Cat::Check: return "check";
     case Cat::Eng: return "eng";
+    case Cat::Kv: return "kv";
   }
   return "?";
 }
@@ -73,6 +74,7 @@ const char* to_string(Kind kind) {
     case Kind::EngBarrier: return "eng_barrier";
     case Kind::ProtoMigrate: return "proto_migrate";
     case Kind::ProtoRdmaFlush: return "proto_rdma_flush";
+    case Kind::KvRequest: return "kv_request";
   }
   return "?";
 }

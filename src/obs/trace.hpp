@@ -35,8 +35,9 @@ enum class Cat : std::uint8_t {
   Fault, ///< injected faults and the recovery actions they trigger
   Check, ///< DRF race-detection oracle reports (check/check.hpp)
   Eng,   ///< scheduler internals (parallel windows/barriers; opt-in)
+  Kv,    ///< served key-value workload: per-request records (kv/)
 };
-inline constexpr int kNumCats = 9;
+inline constexpr int kNumCats = 10;
 
 enum class Kind : std::uint8_t {
   // Cat::Node
@@ -104,6 +105,11 @@ enum class Kind : std::uint8_t {
   ProtoMigrate,    ///< page changed mode; a = page, bytes = 1 promote /
                    ///< 0 demote, peer = the page's home
   ProtoRdmaFlush,  ///< one-sided RDMA page flush; peer = home, a = page
+  // Cat::Kv — served key-value workload (appended; earlier kinds keep
+  // their numeric values, so existing traces stay byte-identical).
+  KvRequest,  ///< one served request; dur = arrival-to-response latency,
+              ///< a = key, bytes = wire request+response size; peer = the
+              ///< key's shard
 };
 
 /// Drop reasons carried in TraceEvent::a for Kind::UdpDrop.

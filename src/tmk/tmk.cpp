@@ -104,6 +104,16 @@ void Tmk::compute_work(double work) {
   node_.compute(static_cast<SimTime>(cost_.app_ns_per_work * scale));
 }
 
+void Tmk::idle_until(SimTime t) {
+  if (node_.now() >= t) return;
+  // An idle CPU, not a busy one: Condition::wait_until keeps servicing
+  // asynchronous protocol requests until the deadline fires. Nothing ever
+  // signals the condition, so the wake time is exactly t (or later, if a
+  // request handler runs past it).
+  sim::Condition parked(node_, "kv-open-loop-idle");
+  parked.wait_until(t);
+}
+
 Tmk::PageState& Tmk::state_of(PageId page) {
   auto it = pages_.find(page);
   if (it == pages_.end()) {

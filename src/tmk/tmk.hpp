@@ -227,6 +227,12 @@ class Tmk {
   /// including any substrate CPU tax (polling-thread scheme).
   void compute_work(double work);
 
+  /// Parks this node until virtual time `t` (no-op if already past).
+  /// Unlike compute_work the CPU is idle, and the node keeps servicing
+  /// protocol requests while parked — the serving-workload idiom for an
+  /// open-loop client waiting for its next arrival.
+  void idle_until(SimTime t);
+
   /// Protocol memory currently held (diff store + interval records).
   std::size_t protocol_bytes() const;
 

@@ -10,7 +10,9 @@
 
 #include "apps/apps.hpp"
 #include "apps/extended.hpp"
+#include "apps/runspec.hpp"
 #include "cluster/cluster.hpp"
+#include "kv/workload.hpp"
 #include "proto/kind.hpp"
 #include "tmk/shared_array.hpp"
 
@@ -179,6 +181,61 @@ TEST_P(ProtocolMatrixTest, AppVerifiesAgainstSerial) {
   }
   EXPECT_NEAR(got, want, 1e-6);
 }
+
+// The served workload has no serial reference (it measures latency, not a
+// numeric kernel), so its matrix leg checks the accounting invariants the
+// store must satisfy under any timing — plus run-to-run determinism of the
+// merged checksum — on every substrate x protocol cell.
+class KvMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<SubstrateKind, proto::Kind>> {};
+
+TEST_P(KvMatrixTest, KvInvariantsHoldAndChecksumIsStable) {
+  const auto& [kind, pk] = GetParam();
+  apps::RunSpec spec;
+  spec.app = "kv";
+  spec.substrate = kind == SubstrateKind::FastGm
+                       ? "fastgm"
+                       : kind == SubstrateKind::UdpGm ? "udpgm" : "fastib";
+  spec.protocol = proto::kind_name(pk);
+  spec.nodes = 4;
+  spec.iters = 32;
+  spec.kv_gap_ns = 400000;
+  spec.arena_mb = 8;
+  ClusterConfig cfg;
+  std::string error;
+  ASSERT_TRUE(apps::spec_cluster_config(spec, cfg, error)) << error;
+  cfg.event_limit = 500'000'000;
+  const auto r1 = apps::run_spec(spec, cfg);
+  ASSERT_TRUE(r1.has_kv);
+  const kv::KvSummary& s = r1.kv;
+  EXPECT_EQ(s.requests, 4u * 32u);
+  EXPECT_EQ(s.hist.count(), s.requests);
+  EXPECT_EQ(s.store.gets + s.store.puts, s.requests);
+  EXPECT_EQ(s.store.hits + s.store.misses, s.store.gets);
+  EXPECT_EQ(s.store.inserts + s.store.updates + s.store.rejects_full,
+            s.store.puts);
+  EXPECT_EQ(s.store.bad_requests, 0u);
+  const auto r2 = apps::run_spec(spec, cfg);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, KvMatrixTest,
+    ::testing::Combine(::testing::Values(SubstrateKind::FastGm,
+                                         SubstrateKind::UdpGm,
+                                         SubstrateKind::FastIb),
+                       ::testing::Values(proto::Kind::Lrc, proto::Kind::Hlrc,
+                                         proto::Kind::Adaptive)),
+    [](const auto& info) {
+      const char* sub = std::get<0>(info.param) == SubstrateKind::FastGm
+                            ? "FastGm"
+                            : std::get<0>(info.param) == SubstrateKind::UdpGm
+                                  ? "UdpGm"
+                                  : "FastIb";
+      return std::string(sub) + "_" +
+             proto::kind_name(std::get<1>(info.param));
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, ProtocolMatrixTest,

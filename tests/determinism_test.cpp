@@ -9,6 +9,7 @@
 #include <string>
 
 #include "apps/apps.hpp"
+#include "apps/runspec.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/report.hpp"
 #include "obs/trace.hpp"
@@ -174,6 +175,56 @@ TEST_P(DeterminismTest, ParallelEngineCoalescingDoesNotChangeTheReport) {
   cfg.compute_coalescing = false;
   const std::string stepped = run_jacobi_report(cfg);
   EXPECT_EQ(coalesced, stepped);
+}
+
+// --- the served workload rides the same engine contract ---
+// Latency percentiles come from virtual timestamps, so the full kv report
+// (histogram tail included) must be byte-identical between the sequential
+// scheduler and the parallel engine at every shard count.
+
+std::string run_kv_report(SubstrateKind kind, sim::SchedMode sched,
+                          int shards, obs::Tracer* tracer = nullptr) {
+  apps::RunSpec spec;
+  spec.app = "kv";
+  spec.substrate = kind == SubstrateKind::FastGm ? "fastgm" : "udpgm";
+  spec.nodes = 4;
+  spec.iters = 32;
+  spec.kv_gap_ns = 400000;
+  spec.arena_mb = 8;
+  ClusterConfig cfg;
+  std::string error;
+  EXPECT_TRUE(apps::spec_cluster_config(spec, cfg, error)) << error;
+  cfg.event_limit = 500'000'000;
+  cfg.engine.sched = sched;
+  cfg.engine.shards = shards;
+  cfg.tracer = tracer;
+  const auto r = apps::run_spec(spec, cfg);
+  EXPECT_TRUE(r.has_kv);
+  return format_report(cfg, r.run) + "\n" + format_kv_report(r.kv) +
+         "checksum " + std::to_string(r.checksum) + "\n";
+}
+
+TEST_P(DeterminismTest, KvReportMatchesSequentialAtEveryShardCount) {
+  const std::string seq =
+      run_kv_report(GetParam(), sim::SchedMode::Seq, 1);
+  EXPECT_NE(seq.find("kv.latency_p99_ns"), std::string::npos);
+  for (int shards : {1, 2, 4}) {
+    const std::string par =
+        run_kv_report(GetParam(), sim::SchedMode::Par, shards);
+    EXPECT_EQ(seq, strip_eng_rows(par)) << "shards=" << shards;
+  }
+}
+
+TEST_P(DeterminismTest, KvTraceIsByteIdenticalAcrossEngines) {
+  obs::Tracer seq_trace, par_trace;
+  run_kv_report(GetParam(), sim::SchedMode::Seq, 1, &seq_trace);
+  run_kv_report(GetParam(), sim::SchedMode::Par, 2, &par_trace);
+  ASSERT_FALSE(seq_trace.empty());
+  // The kv per-request records themselves are present...
+  EXPECT_GT(seq_trace.totals(obs::Cat::Kv, obs::Kind::KvRequest).count, 0u);
+  // ...and the whole trace, kv records included, is engine-invariant.
+  EXPECT_EQ(obs::chrome_trace_json(seq_trace.events()),
+            obs::chrome_trace_json(par_trace.events()));
 }
 
 ClusterConfig faulted_config(SubstrateKind kind) {

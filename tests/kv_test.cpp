@@ -1,0 +1,434 @@
+// Served-workload subsystem tests: the log-scale latency histogram (exact
+// percentiles at the edge cases, bucket boundaries, saturation, merge
+// associativity), the packed wire format, the sharded DSM store's
+// semantics under its shard locks, the deterministic open-loop client
+// stream, and the end-to-end kv_serve accounting invariants that must hold
+// on every substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/runspec.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/report.hpp"
+#include "kv/hist.hpp"
+#include "kv/store.hpp"
+#include "kv/wire.hpp"
+#include "kv/workload.hpp"
+
+namespace tmkgm::kv {
+namespace {
+
+// ------------------------------------------------------------- histogram
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeroes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile_ns(q), 0u) << q;
+  }
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.record(123456);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum_ns(), 123456u);
+  EXPECT_EQ(h.min_ns(), 123456u);
+  EXPECT_EQ(h.max_ns(), 123456u);
+  // The bucket's upper bound exceeds the sample; the max clamp must bring
+  // every quantile back to the exact observed value.
+  for (double q : {0.0, 0.5, 0.95, 0.999, 1.0}) {
+    EXPECT_EQ(h.percentile_ns(q), 123456u) << q;
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundariesAreExact) {
+  // Unit buckets up to 15, then 8 sub-buckets per octave: [16,32) splits
+  // into width-2 buckets, so 15|16 and 31|32 are boundaries.
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(15), 15);
+  EXPECT_EQ(LatencyHistogram::bucket_index(16), 16);
+  EXPECT_EQ(LatencyHistogram::bucket_index(17), 16);
+  EXPECT_EQ(LatencyHistogram::bucket_index(31), 23);
+  EXPECT_EQ(LatencyHistogram::bucket_index(32), 24);
+
+  // Buckets tile the axis: lower/upper are inclusive, adjacent, and agree
+  // with bucket_index at both edges.
+  for (int i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_lower(i)),
+              i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_upper(i)),
+              i);
+    if (i > 0) {
+      EXPECT_EQ(LatencyHistogram::bucket_lower(i),
+                LatencyHistogram::bucket_upper(i - 1) + 1);
+    }
+  }
+}
+
+TEST(LatencyHistogram, TopBucketSaturates) {
+  LatencyHistogram h;
+  const int top = LatencyHistogram::kBucketCount - 1;
+  h.record(LatencyHistogram::bucket_lower(top));
+  h.record(std::uint64_t{1} << 40);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.buckets()[static_cast<std::size_t>(top)], 3u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max_ns(), ~std::uint64_t{0});
+  // The top bucket is open-ended: its nominal bound undershoots saturated
+  // samples, so percentiles landing there report the exact observed max.
+  EXPECT_EQ(h.percentile_ns(0.5), h.max_ns());
+}
+
+LatencyHistogram filled(std::uint64_t seed, int n) {
+  LatencyHistogram h;
+  std::uint64_t s = seed;
+  for (int i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    h.record(s >> (s % 50));  // spread across many octaves
+  }
+  return h;
+}
+
+std::string render(const LatencyHistogram& h) {
+  std::string out;
+  for (auto b : h.buckets()) out += std::to_string(b) + ",";
+  out += std::to_string(h.count()) + "/" + std::to_string(h.sum_ns()) + "/" +
+         std::to_string(h.min_ns()) + "/" + std::to_string(h.max_ns());
+  return out;
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  const LatencyHistogram a = filled(1, 400);
+  const LatencyHistogram b = filled(2, 300);
+  const LatencyHistogram c = filled(3, 200);
+
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ab_c = ab;
+  ab_c.merge(c);
+
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  LatencyHistogram ba = b;
+  ba.merge(a);
+
+  EXPECT_EQ(render(ab_c), render(a_bc));
+  EXPECT_EQ(render(ab), render(ba));
+  EXPECT_EQ(ab_c.count(), 900u);
+  // Quantiles of the merged histogram are the same under either grouping.
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    EXPECT_EQ(ab_c.percentile_ns(q), a_bc.percentile_ns(q)) << q;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonic) {
+  const LatencyHistogram h = filled(7, 1000);
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const std::uint64_t v = h.percentile_ns(q);
+    EXPECT_GE(v, prev) << q;
+    prev = v;
+  }
+  EXPECT_EQ(h.percentile_ns(1.0), h.max_ns());
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(KvWire, PackedSizesAreFixed) {
+  static_assert(sizeof(KvRequest) == 48);
+  static_assert(sizeof(KvResponse) == 64);
+  EXPECT_EQ(kKvWireVersion, 1);
+}
+
+TEST(KvWire, ByteOrderRoundTrips) {
+  KvRequest req;
+  req.op = static_cast<std::uint8_t>(KvOp::Put);
+  req.client = 0x1234;
+  req.request_id = 0xdeadbeef;
+  req.key = 0x0102030405060708ULL;
+  for (std::size_t i = 0; i < kKvValueBytes; ++i) {
+    req.value[i] = static_cast<std::uint8_t>(i);
+  }
+  KvRequest wire = req;
+  wire.to_network_order();
+  wire.to_host_order();
+  EXPECT_EQ(wire.client, req.client);
+  EXPECT_EQ(wire.request_id, req.request_id);
+  EXPECT_EQ(wire.key, req.key);
+  EXPECT_EQ(wire.value, req.value);
+
+  KvResponse resp;
+  resp.client = 0xa5a5;
+  resp.request_id = 7;
+  resp.status = kKvCreated;
+  resp.key = ~std::uint64_t{0};
+  resp.value_version = 42;
+  KvResponse w2 = resp;
+  w2.to_network_order();
+  w2.to_host_order();
+  EXPECT_EQ(w2.status, resp.status);
+  EXPECT_EQ(w2.key, resp.key);
+  EXPECT_EQ(w2.value_version, resp.value_version);
+}
+
+// ----------------------------------------------------------------- store
+
+cluster::ClusterConfig small_cluster(int n) {
+  cluster::ClusterConfig cfg;
+  cfg.n_procs = n;
+  cfg.kind = cluster::SubstrateKind::FastGm;
+  cfg.tmk.arena_bytes = 8u << 20;
+  cfg.event_limit = 500'000'000;
+  return cfg;
+}
+
+KvRequest make_req(KvOp op, std::uint64_t key, std::uint32_t id) {
+  KvRequest r;
+  r.op = static_cast<std::uint8_t>(op);
+  r.request_id = id;
+  r.key = key;
+  r.value[0] = static_cast<std::uint8_t>(id);
+  return r;
+}
+
+TEST(KvStore, ServesGetPutSemantics) {
+  cluster::Cluster c(small_cluster(2));
+  c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv& env) {
+    KvStoreConfig sc;
+    sc.shards = 4;
+    sc.slots_per_shard = 8;
+    KvStore store = KvStore::create(tmk, sc);
+    tmk.barrier(0);
+    if (env.id == 0) {
+      // Miss, insert, update, hit — versions count the writes.
+      KvResponse r = store.serve(make_req(KvOp::Get, 99, 1));
+      EXPECT_EQ(r.status, kKvNotFound);
+      r = store.serve(make_req(KvOp::Put, 99, 2));
+      EXPECT_EQ(r.status, kKvCreated);
+      EXPECT_EQ(r.value_version, 1u);
+      r = store.serve(make_req(KvOp::Put, 99, 3));
+      EXPECT_EQ(r.status, kKvOk);
+      EXPECT_EQ(r.value_version, 2u);
+      r = store.serve(make_req(KvOp::Get, 99, 4));
+      EXPECT_EQ(r.status, kKvOk);
+      EXPECT_EQ(r.value_version, 2u);
+      EXPECT_EQ(r.value[0], 3u);  // the last PUT's payload
+
+      EXPECT_EQ(store.stats().gets, 2u);
+      EXPECT_EQ(store.stats().puts, 2u);
+      EXPECT_EQ(store.stats().hits, 1u);
+      EXPECT_EQ(store.stats().misses, 1u);
+      EXPECT_EQ(store.stats().inserts, 1u);
+      EXPECT_EQ(store.stats().updates, 1u);
+    }
+    tmk.barrier(1);
+    // The other node reads what node 0 wrote, through the shard lock.
+    if (env.id == 1) {
+      KvResponse r = store.serve(make_req(KvOp::Get, 99, 5));
+      EXPECT_EQ(r.status, kKvOk);
+      EXPECT_EQ(r.value_version, 2u);
+      EXPECT_EQ(r.value[0], 3u);
+    }
+    tmk.barrier(2);
+  });
+}
+
+TEST(KvStore, FullShardRejectsAndBadRequestsAreCounted) {
+  cluster::Cluster c(small_cluster(1));
+  c.run_tmk([](tmk::Tmk& tmk, cluster::NodeEnv&) {
+    KvStoreConfig sc;
+    sc.shards = 1;  // every key lands in the one shard
+    sc.slots_per_shard = 4;
+    KvStore store = KvStore::create(tmk, sc);
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(store.serve(make_req(KvOp::Put, 1000 + k, k)).status,
+                kKvCreated);
+    }
+    EXPECT_EQ(store.serve(make_req(KvOp::Put, 2000, 9)).status, kKvStoreFull);
+    // A GET for an absent key in the full ring is a miss, not an error.
+    EXPECT_EQ(store.serve(make_req(KvOp::Get, 2000, 10)).status, kKvNotFound);
+    EXPECT_EQ(store.stats().rejects_full, 1u);
+    EXPECT_EQ(store.occupied_slots(), 4u);
+
+    // Wire validation: wrong version and unknown op answer 400 without
+    // touching the table.
+    KvRequest bad = make_req(KvOp::Put, 3000, 11);
+    bad.to_network_order();
+    bad.version = 99;
+    KvResponse r = store.serve_wire(bad);
+    r.to_host_order();
+    EXPECT_EQ(r.status, kKvBadRequest);
+    KvRequest bad_op = make_req(KvOp::Put, 3000, 12);
+    bad_op.op = 77;
+    bad_op.to_network_order();
+    r = store.serve_wire(bad_op);
+    r.to_host_order();
+    EXPECT_EQ(r.status, kKvBadRequest);
+    EXPECT_EQ(store.stats().bad_requests, 2u);
+    EXPECT_EQ(store.occupied_slots(), 4u);
+  });
+}
+
+// ---------------------------------------------------------------- stream
+
+TEST(KvClientStream, IsDeterministicPerNodeAndDistinctAcrossNodes) {
+  KvParams p;
+  KvClientStream a0(p, 0), a0_again(p, 0), a1(p, 1);
+  bool any_diff = false;
+  SimTime prev_arrival = 0;
+  for (int i = 0; i < 256; ++i) {
+    const KvClientRequest x = a0.next();
+    const KvClientRequest y = a0_again.next();
+    const KvClientRequest z = a1.next();
+    EXPECT_EQ(x.arrival_offset, y.arrival_offset);
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(x.op, y.op);
+    any_diff |= x.key != z.key || x.arrival_offset != z.arrival_offset;
+    EXPECT_GT(x.arrival_offset, prev_arrival);  // strictly advancing clock
+    prev_arrival = x.arrival_offset;
+  }
+  EXPECT_TRUE(any_diff);  // node 1's stream is not node 0's
+}
+
+TEST(KvClientStream, MixAndSkewFollowTheKnobs) {
+  KvParams p;
+  p.get_permille = 700;
+  p.zipf_permille = 990;
+  p.keys = 1024;
+  KvClientStream s(p, 3);
+  int gets = 0;
+  std::set<std::uint64_t> distinct;
+  std::uint64_t hottest = 0;
+  const std::uint64_t hot_key = kv_key_of_rank(0);
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const KvClientRequest r = s.next();
+    gets += r.op == KvOp::Get ? 1 : 0;
+    distinct.insert(r.key);
+    hottest += r.key == hot_key ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / n, 0.7, 0.05);
+  // Zipf theta 0.99: the hottest key dominates, yet the tail is long.
+  EXPECT_GT(hottest, static_cast<std::uint64_t>(n / 20));
+  EXPECT_GT(distinct.size(), 50u);
+
+  // Uniform keys (theta 0) spread far wider.
+  KvParams pu = p;
+  pu.zipf_permille = 0;
+  KvClientStream u(pu, 3);
+  std::set<std::uint64_t> uniform;
+  for (int i = 0; i < n; ++i) uniform.insert(u.next().key);
+  EXPECT_GT(uniform.size(), distinct.size());
+}
+
+TEST(KvClientStream, KeyOfRankIsInjective) {
+  std::set<std::uint64_t> keys;
+  for (std::uint64_t r = 0; r < 10000; ++r) keys.insert(kv_key_of_rank(r));
+  EXPECT_EQ(keys.size(), 10000u);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+apps::RunSpec kv_spec(const std::string& substrate, int nodes) {
+  apps::RunSpec spec;
+  spec.app = "kv";
+  spec.substrate = substrate;
+  spec.nodes = nodes;
+  spec.iters = 48;            // requests per node
+  spec.kv_gap_ns = 300000;    // load the store enough to queue sometimes
+  spec.arena_mb = 8;
+  return spec;
+}
+
+apps::SpecRunResult run_kv(const apps::RunSpec& spec) {
+  cluster::ClusterConfig cfg;
+  std::string error;
+  EXPECT_TRUE(apps::spec_cluster_config(spec, cfg, error)) << error;
+  cfg.event_limit = 500'000'000;
+  return apps::run_spec(spec, cfg);
+}
+
+void check_invariants(const apps::SpecRunResult& r, const apps::RunSpec& s) {
+  ASSERT_TRUE(r.has_kv);
+  const KvSummary& kv = r.kv;
+  EXPECT_EQ(kv.requests,
+            static_cast<std::uint64_t>(s.nodes) *
+                static_cast<std::uint64_t>(s.iters));
+  EXPECT_EQ(kv.hist.count(), kv.requests);
+  EXPECT_EQ(kv.store.gets + kv.store.puts, kv.requests);
+  EXPECT_EQ(kv.store.hits + kv.store.misses, kv.store.gets);
+  EXPECT_EQ(kv.store.inserts + kv.store.updates + kv.store.rejects_full,
+            kv.store.puts);
+  EXPECT_EQ(kv.store.bad_requests, 0u);
+  EXPECT_EQ(kv.occupied_slots,
+            std::min(s.kv_preload, static_cast<std::uint64_t>(2048)) +
+                kv.store.inserts);
+  EXPECT_LE(kv.hist.percentile_ns(0.5), kv.hist.percentile_ns(0.95));
+  EXPECT_LE(kv.hist.percentile_ns(0.95), kv.hist.percentile_ns(0.99));
+  EXPECT_LE(kv.hist.percentile_ns(0.99), kv.hist.max_ns());
+  EXPECT_GT(kv.throughput_rps(), 0.0);
+  EXPECT_NE(r.checksum, 0.0);
+  // The counter rollup mirrors the summary.
+  EXPECT_EQ(r.run.counters.value("kv.requests"), kv.requests);
+  EXPECT_EQ(r.run.counters.value("kv.hits"), kv.store.hits);
+  EXPECT_EQ(r.run.counters.value("kv.latency_p99_ns"),
+            kv.hist.percentile_ns(0.99));
+}
+
+TEST(KvServe, AccountingInvariantsHoldOnEverySubstrate) {
+  std::uint64_t gets = 0, puts = 0;
+  for (const char* sub : {"fastgm", "udpgm", "fastib"}) {
+    SCOPED_TRACE(sub);
+    const auto spec = kv_spec(sub, 4);
+    const auto r = run_kv(spec);
+    check_invariants(r, spec);
+    // The GET/PUT split is fixed by the generator alone — identical across
+    // substrates even though timing (and thus hits vs misses) differs.
+    if (gets == 0) {
+      gets = r.kv.store.gets;
+      puts = r.kv.store.puts;
+    } else {
+      EXPECT_EQ(r.kv.store.gets, gets);
+      EXPECT_EQ(r.kv.store.puts, puts);
+    }
+  }
+}
+
+TEST(KvServe, SummaryAndReportAreDeterministic) {
+  const auto spec = kv_spec("fastgm", 4);
+  const auto a = run_kv(spec);
+  const auto b = run_kv(spec);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(render(a.kv.hist), render(b.kv.hist));
+  EXPECT_EQ(cluster::format_kv_report(a.kv), cluster::format_kv_report(b.kv));
+  EXPECT_NE(cluster::format_kv_report(a.kv).find("latency ns"),
+            std::string::npos);
+}
+
+TEST(KvServe, SpecStringRoundTripsAndStaysOutOfOtherApps) {
+  apps::RunSpec spec = kv_spec("udpgm", 4);
+  spec.kv_shards = 8;
+  spec.kv_zipf_permille = 500;
+  const std::string s = spec.to_string();
+  EXPECT_NE(s.find("kv_shards=8"), std::string::npos);
+  apps::RunSpec back;
+  std::string error;
+  ASSERT_TRUE(apps::RunSpec::parse(s, back, error)) << error;
+  EXPECT_EQ(back, spec);
+  // Non-kv specs must not grow kv keys: capture files embed these strings.
+  apps::RunSpec jac;
+  EXPECT_EQ(jac.to_string().find("kv_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmkgm::kv

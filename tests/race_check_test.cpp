@@ -19,6 +19,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/report.hpp"
 #include "fault/fault.hpp"
+#include "kv/workload.hpp"
 #include "tmk/shared_array.hpp"
 
 namespace tmkgm::cluster {
@@ -108,6 +109,23 @@ TEST_P(RaceCheckTest, PaperAppsAreClean) {
     EXPECT_GT(result.check.reads_recorded, 0u);
     EXPECT_GT(result.check.hb_edges, 0u);
   }
+}
+
+TEST_P(RaceCheckTest, KvServingIsClean) {
+  // Every slot access runs under its shard's lock and the merge rows are
+  // barrier-separated per-node words, so the served store is data-race-
+  // free by construction; the oracle must agree.
+  Cluster c(checked_config(GetParam()));
+  kv::KvParams p;
+  p.requests_per_node = 32;
+  p.mean_gap_ns = 400000;
+  const auto result = c.run_tmk(
+      [&](tmk::Tmk& tmk, NodeEnv&) { kv::kv_serve(tmk, p); });
+  std::string rendered;
+  for (const auto& r : result.races) rendered += r.to_string() + "\n";
+  EXPECT_TRUE(result.races.empty()) << rendered;
+  EXPECT_GT(result.check.reads_recorded, 0u);
+  EXPECT_GT(result.check.hb_edges, 0u);
 }
 
 TEST_P(RaceCheckTest, FaultedRunStaysClean) {

@@ -242,6 +242,7 @@ const char* cat_name(int c) {
     case obs::Cat::Fault: return "fault";
     case obs::Cat::Check: return "check";
     case obs::Cat::Eng: return "eng";
+    case obs::Cat::Kv: return "kv";
   }
   return "?";
 }

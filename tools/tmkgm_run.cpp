@@ -53,13 +53,20 @@ struct Options {
   long adaptive_min_diff = -1;
   int adaptive_prefetch = -1;
   int adaptive_cooldown = -1;
+  // Served-workload knobs (--app kv); defaults mirror RunSpec.
+  int kv_shards = 16;
+  int kv_slots = 512;
+  std::uint64_t kv_gap_ns = 2000000;
+  int kv_get_permille = 900;
+  int kv_zipf_permille = 990;
+  std::uint64_t kv_preload = 1024;
 };
 
 void usage() {
   std::fprintf(
       stderr,
       "usage: tmkgm_run [options]\n"
-      "  --app jacobi|sor|tsp|fft|is|gauss|water|barnes|racy  workload\n"
+      "  --app jacobi|sor|tsp|fft|is|gauss|water|barnes|racy|kv  workload\n"
       "  --substrate fastgm|udpgm|fastib  transport (default fastgm)\n"
       "  --protocol lrc|hlrc|adaptive  coherence protocol (default lrc:\n"
       "                                homeless lazy release consistency;\n"
@@ -74,8 +81,19 @@ void usage() {
       "  --adaptive-cooldown N         interval closes before a demoted\n"
       "                                page may re-promote (default 8)\n"
       "  --nodes N                     cluster size (default 8)\n"
-      "  --size S                      grid edge / cities / FFT N\n"
-      "  --iters K                     iterations\n"
+      "  --size S                      grid edge / cities / FFT N / kv keys\n"
+      "  --iters K                     iterations / kv requests per node\n"
+      "  --kv-shards N                 kv: store shards, one lock each\n"
+      "                                (default 16)\n"
+      "  --kv-slots N                  kv: slots per shard (default 512)\n"
+      "  --kv-gap-ns G                 kv: mean inter-arrival per node in\n"
+      "                                virtual ns (default 2000000)\n"
+      "  --kv-get-permille P           kv: GETs per 1000 requests\n"
+      "                                (default 900)\n"
+      "  --kv-zipf-permille P          kv: Zipf theta x 1000; 0 = uniform\n"
+      "                                keys (default 990)\n"
+      "  --kv-preload N                kv: hottest keys inserted before the\n"
+      "                                clock starts (default 1024)\n"
       "  --seed S                      deterministic seed\n"
       "  --barrier-arity K             K>=2: K-ary combining-tree barrier\n"
       "                                (default 0 = flat proc-0 barrier)\n"
@@ -130,6 +148,15 @@ bool parse(int argc, char** argv, Options& o) {
       }
       return argv[++i];
     };
+    // Boolean options take no value; "--verify=0" must fail loudly rather
+    // than silently enabling the flag and dropping the "0".
+    auto flag = [&]() -> bool {
+      if (has_inline) {
+        std::fprintf(stderr, "option %s does not take a value\n", a.c_str());
+        return false;
+      }
+      return true;
+    };
     if (a == "--app") {
       const char* v = next();
       if (!v) return false;
@@ -163,7 +190,32 @@ bool parse(int argc, char** argv, Options& o) {
       if (!v) return false;
       o.barrier_arity = std::atoi(v);
     } else if (a == "--lock-directory") {
+      if (!flag()) return false;
       o.lock_directory = true;
+    } else if (a == "--kv-shards") {
+      const char* v = next();
+      if (!v) return false;
+      o.kv_shards = std::atoi(v);
+    } else if (a == "--kv-slots") {
+      const char* v = next();
+      if (!v) return false;
+      o.kv_slots = std::atoi(v);
+    } else if (a == "--kv-gap-ns") {
+      const char* v = next();
+      if (!v) return false;
+      o.kv_gap_ns = std::strtoull(v, nullptr, 10);
+    } else if (a == "--kv-get-permille") {
+      const char* v = next();
+      if (!v) return false;
+      o.kv_get_permille = std::atoi(v);
+    } else if (a == "--kv-zipf-permille") {
+      const char* v = next();
+      if (!v) return false;
+      o.kv_zipf_permille = std::atoi(v);
+    } else if (a == "--kv-preload") {
+      const char* v = next();
+      if (!v) return false;
+      o.kv_preload = std::strtoull(v, nullptr, 10);
     } else if (a == "--adaptive-promote-demand") {
       const char* v = next();
       if (!v) return false;
@@ -201,8 +253,10 @@ bool parse(int argc, char** argv, Options& o) {
       if (!v) return false;
       o.engine_exec = v;
     } else if (a == "--trace-engine") {
+      if (!flag()) return false;
       o.trace_engine = true;
     } else if (a == "--rendezvous") {
+      if (!flag()) return false;
       o.rendezvous = true;
     } else if (a == "--trace") {
       const char* v = next();
@@ -217,12 +271,16 @@ bool parse(int argc, char** argv, Options& o) {
       if (!v) return false;
       o.capture_file = v;
     } else if (a == "--verify") {
+      if (!flag()) return false;
       o.verify = true;
     } else if (a == "--race-check") {
+      if (!flag()) return false;
       o.race_check = true;
     } else if (a == "--report") {
+      if (!flag()) return false;
       o.report = true;
     } else if (a == "--counters") {
+      if (!flag()) return false;
       o.counters = true;
     } else if (a == "--help" || a == "-h") {
       usage();
@@ -255,6 +313,12 @@ int main(int argc, char** argv) {
   spec.barrier_arity = o.barrier_arity;
   spec.lock_directory = o.lock_directory;
   spec.arena_mb = o.arena_mb;
+  spec.kv_shards = o.kv_shards;
+  spec.kv_slots = o.kv_slots;
+  spec.kv_gap_ns = o.kv_gap_ns;
+  spec.kv_get_permille = o.kv_get_permille;
+  spec.kv_zipf_permille = o.kv_zipf_permille;
+  spec.kv_preload = o.kv_preload;
 
   cluster::ClusterConfig cfg;
   std::string spec_error;
@@ -363,6 +427,9 @@ int main(int argc, char** argv) {
               cluster::to_string(cfg.kind));
   std::printf("parallel phase: %.3f ms (virtual)\n", to_ms(elapsed));
   std::printf("checksum: %.9g\n", checksum);
+  if (spec_result.has_kv) {
+    std::printf("\n%s", cluster::format_kv_report(spec_result.kv).c_str());
+  }
   if (have_expected) {
     const bool ok = std::abs(checksum - expected) <= 1e-6;
     std::printf("verify: %s (serial reference %.9g)\n",
